@@ -1,0 +1,70 @@
+// Ablation A: sensitivity of the SMT-(5) check to the ICP precision δ
+// and the condition-(5) slack γ.
+//
+// DESIGN.md calls out two solver-level design choices this ablation
+// probes: (i) δ controls when branch-and-prune stops splitting — too
+// coarse yields spurious δ-SAT answers (interval slack masquerading as a
+// counterexample), too fine wastes time; (ii) γ trades strictness of the
+// decrease condition against query hardness near the zero-level set of
+// ∇W·f.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bcert;
+
+  expr::ExprPool pool;
+  const nn::FeedforwardNet controller =
+      dubins::distill_controller(dubins::proportional_teacher(), 40, 7);
+  const core::BarrierProblem problem = bench::make_problem(pool, controller);
+  core::VerifierOptions base;
+  base.adaptive_delta = false;  // measure raw single-δ behaviour
+  core::BarrierVerifier verifier(problem, base);
+
+  // A fixed valid generator (synthesized once at default settings).
+  std::vector<core::FieldSample> samples;
+  for (const linalg::Vector& x0 : verifier.random_initial_states(10, 1)) {
+    const auto s = verifier.simulate_samples(x0);
+    samples.insert(samples.end(), s.begin(), s.end());
+  }
+  const core::SynthesisResult synth = synthesize_candidate(samples, 2);
+  if (!synth.feasible) {
+    std::printf("unexpected: LP infeasible\n");
+    return 1;
+  }
+
+  std::printf("# Ablation A: SMT-(5) verdict/time vs ICP delta "
+              "(40-neuron controller, gamma = 1e-6)\n");
+  std::printf("# %10s %12s %10s %12s\n", "delta", "verdict", "time(s)",
+              "boxes");
+  for (const double delta : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
+    core::VerifierOptions opts = base;
+    opts.icp.delta = delta;
+    core::BarrierVerifier v(problem, opts);
+    const smt::IcpResult r = v.check_decrease(synth.candidate);
+    std::printf("  %10.0e %12s %10.3f %12llu\n", delta,
+                sat_result_name(r.verdict), r.stats.solve_time_s,
+                static_cast<unsigned long long>(r.stats.boxes_processed));
+    std::fflush(stdout);
+  }
+
+  std::printf("#\n# gamma sweep (delta = 1e-4): larger gamma weakens the "
+              "requirement\n");
+  std::printf("# %10s %12s %10s %12s\n", "gamma", "verdict", "time(s)",
+              "boxes");
+  for (const double gamma : {1e-9, 1e-6, 1e-3, 1e-1}) {
+    core::VerifierOptions opts = base;
+    opts.icp.delta = 1e-4;
+    opts.gamma = gamma;
+    core::BarrierVerifier v(problem, opts);
+    const smt::IcpResult r = v.check_decrease(synth.candidate);
+    std::printf("  %10.0e %12s %10.3f %12llu\n", gamma,
+                sat_result_name(r.verdict), r.stats.solve_time_s,
+                static_cast<unsigned long long>(r.stats.boxes_processed));
+    std::fflush(stdout);
+  }
+  std::printf("#\n# expected: coarse delta -> spurious delta-SAT; fine "
+              "delta -> UNSAT, more boxes.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation D: vehicle speed vs certifiability.
+//
+// DESIGN.md §6 derives that the paper's region structure (|d| ≤ 5,
+// |θ| ≤ π/2−ε) only admits quadratic barrier certificates when the
+// speed-to-steering-authority ratio is modest: at the domain corner
+// (d = 5, θ ≈ π/2) the outward drift ḋ = V sin θ ≈ V fights the bounded
+// turn rate |u| < 1, and above a critical V the Lie derivative turns
+// positive for *every* PD quadratic. This sweep measures that boundary
+// empirically with a fixed controller.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bcert;
+
+  std::printf("# Ablation D: velocity vs certifiability "
+              "(10-neuron distilled controller, fixed gains)\n");
+  std::printf("# %9s | %7s %8s %9s | %8s\n", "velocity", "status",
+              "margin", "level", "tot(s)");
+
+  const nn::FeedforwardNet controller =
+      dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
+
+  for (const double v :
+       {0.25, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0}) {
+    expr::ExprPool pool;
+    const dubins::ErrorModel model{v, 0.0};
+    core::BarrierProblem p;
+    p.pool = &pool;
+    p.sim_field = dubins::closed_loop_field(model, controller);
+    p.sym_field = dubins::closed_loop_field_expr(model, controller, pool);
+    p.initial_set = bench::paper_initial_set();
+    p.safe_rect = bench::paper_safe_rect();
+    core::VerifierOptions opts;
+    opts.max_candidate_iterations = 6;
+    core::BarrierVerifier verifier(p, opts);
+    const core::VerifyResult r = verifier.verify();
+    std::printf("  %9.2f | %7s %8.4f %9.4f | %8.2f\n", v,
+                r.safe() ? "SAFE" : "fail", r.lp_margin, r.level,
+                r.timings.total_time_s);
+    std::fflush(stdout);
+  }
+  std::printf("#\n# reading: the LP margin decays roughly like 1/V and "
+              "the certified invariant\n# shrinks toward X0 (level "
+              "falls) as speed outpaces the bounded turn rate —\n# the "
+              "LP compensates by tilting/shrinking the ellipse rather "
+              "than failing\n# outright. See DESIGN.md S6 on the V = 1 "
+              "modeling choice.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#pragma once
+/// \file bench_common.h
+/// \brief Shared setup for the paper-reproduction benches: the case-study
+/// regions, controller factories, and small env-var helpers.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/core/verifier.h"
+#include "src/dubins/error_dynamics.h"
+#include "src/dubins/training.h"
+
+namespace bcert::bench {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kEps = 0.01;  ///< the ε of U's definition (§4.3)
+
+/// Paper §4.3 regions: X0 = [-1,1]×[-π/16,π/16],
+/// U = complement of [-5,5]×[-(π/2-ε),(π/2-ε)].
+inline core::Rect paper_initial_set() {
+  return {{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
+}
+inline core::Rect paper_safe_rect() {
+  return {{-5.0, -(kPi / 2.0 - kEps)}, {5.0, kPi / 2.0 - kEps}};
+}
+
+/// Builds the closed-loop verification problem for a given controller.
+inline core::BarrierProblem make_problem(expr::ExprPool& pool,
+                                         const nn::FeedforwardNet& net) {
+  const dubins::ErrorModel model{/*velocity=*/1.0, /*theta_r=*/0.0};
+  core::BarrierProblem p;
+  p.pool = &pool;
+  p.sim_field = dubins::closed_loop_field(model, net);
+  p.sym_field = dubins::closed_loop_field_expr(model, net, pool);
+  p.initial_set = paper_initial_set();
+  p.safe_rect = paper_safe_rect();
+  return p;
+}
+
+/// Integer environment variable with default.
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+/// String environment variable with default.
+inline std::string env_str(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::string(v) : fallback;
+}
+
+/// The scaled-down Figure-4 training path (full-size geometry divided by
+/// 2.5 to match V = 1 rollouts; shape preserved).
+inline dubins::PiecewiseLinearPath training_path() {
+  return dubins::PiecewiseLinearPath({{0.0, 0.0},
+                                      {12.0, 8.0},
+                                      {24.0, 10.0},
+                                      {36.0, 18.0},
+                                      {40.0, 30.0},
+                                      {48.0, 36.0}});
+}
+
+/// Paper-default training options (§4.2) scaled to V = 1.
+inline dubins::TrainOptions paper_train_options() {
+  dubins::TrainOptions opts;
+  opts.hidden_neurons = 10;
+  opts.iterations = 50;
+  opts.population = 152;
+  opts.sim.velocity = 1.0;
+  opts.sim.dt = 0.1;
+  opts.sim.steps = 700;
+  return opts;
+}
+
+/// Training recipe that produces *verifiable* controllers: rollouts from
+/// offsets spanning the verification domain, and the angle-cost weight
+/// rescaled to our path/velocity scale (at the paper's scale the d² term
+/// dominates the cost the same way; see DESIGN.md).
+inline dubins::TrainOptions verification_train_options() {
+  dubins::TrainOptions opts = paper_train_options();
+  opts.start_offsets = dubins::verification_offsets();
+  opts.weights.angle = 1e3;
+  opts.iterations = 80;
+  return opts;
+}
+
+}  // namespace bcert::bench

@@ -1,0 +1,88 @@
+// Reproduces Figure 5: phase portrait of the verified closed-loop system
+// in the (d_err, θ_err) plane — the initial set X0, the unsafe set U,
+// sample trajectories, and the synthesized barrier-certificate level set
+// (an ellipse separating X0 from U).
+//
+// Output sections (gnuplot/CSV friendly):
+//   region X0 / region U_inner_boundary    rectangle corner series
+//   traj<k>                                sample trajectories (d θ)
+//   barrier                                points on {W(x) = ℓ}
+//
+// Environment knobs:
+//   BCERT_FIG5_TRAIN=1   use a CMA-ES-trained controller (slower) instead
+//                        of the distilled 10-neuron controller
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace bcert;
+
+  const bool train = bench::env_int("BCERT_FIG5_TRAIN", 0) != 0;
+  nn::FeedforwardNet controller;
+  if (train) {
+    controller =
+        train_controller(bench::training_path(),
+                         bench::verification_train_options())
+            .controller;
+  } else {
+    controller = dubins::distill_controller(dubins::proportional_teacher(),
+                                            10, 42);
+  }
+
+  expr::ExprPool pool;
+  const core::BarrierProblem problem = bench::make_problem(pool, controller);
+  core::BarrierVerifier verifier(problem, {});
+  const core::VerifyResult r = verifier.verify();
+
+  std::printf("# Figure 5 reproduction: phase portrait with barrier "
+              "certificate\n");
+  std::printf("# controller: %s 10-neuron tansig\n",
+              train ? "CMA-ES-trained" : "distilled");
+  std::printf("# verification: %s\n", verify_status_name(r.status));
+  if (!r.safe()) return 1;
+
+  const auto c = r.generator->coeffs();
+  std::printf("# W(d,th) = %.6f d^2 + %.6f d*th + %.6f th^2, level l = "
+              "%.6f\n", c[0], c[1], c[2], r.level);
+
+  auto emit_rect = [](const char* tag, const core::Rect& rect) {
+    std::printf("\n# series: %s (d theta), closed rectangle\n", tag);
+    std::printf("%s %.4f %.4f\n", tag, rect.lo[0], rect.lo[1]);
+    std::printf("%s %.4f %.4f\n", tag, rect.hi[0], rect.lo[1]);
+    std::printf("%s %.4f %.4f\n", tag, rect.hi[0], rect.hi[1]);
+    std::printf("%s %.4f %.4f\n", tag, rect.lo[0], rect.hi[1]);
+    std::printf("%s %.4f %.4f\n", tag, rect.lo[0], rect.lo[1]);
+  };
+  emit_rect("X0", problem.initial_set);
+  emit_rect("U_inner_boundary", problem.safe_rect);
+
+  // Sample trajectories from the domain (as in the figure: starts marked
+  // by *, ends by o).
+  const auto starts = verifier.random_initial_states(12, 7);
+  int k = 0;
+  for (const linalg::Vector& x0 : starts) {
+    ode::IntegrateOptions iopts;
+    iopts.step = 0.02;
+    iopts.t_end = 12.0;
+    const ode::Trace t = integrate_rk4(problem.sim_field, x0, iopts);
+    std::printf("\n# series: traj%02d (d theta), start -> end\n", k);
+    for (std::size_t i = 0; i < t.size(); i += 25) {
+      std::printf("traj%02d %.4f %.4f\n", k, t.state(i)[0], t.state(i)[1]);
+    }
+    std::printf("traj%02d %.4f %.4f\n", k, t.back()[0], t.back()[1]);
+    ++k;
+  }
+
+  std::printf("\n# series: barrier (d theta), level set W = l\n");
+  for (const linalg::Vector& p : r.generator->boundary_points_2d(r.level,
+                                                                 96)) {
+    std::printf("barrier %.4f %.4f\n", p[0], p[1]);
+  }
+
+  std::printf("\n# paper shape: ellipse between the green X0 box and the "
+              "red U region;\n");
+  std::printf("# trajectories flow inward across the ellipse (W "
+              "decreasing).\n");
+  return 0;
+}

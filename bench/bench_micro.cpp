@@ -1,0 +1,160 @@
+// Micro-benchmarks (google-benchmark) for the substrate layers: interval
+// arithmetic, expression evaluation (scalar & interval), HC4 contraction,
+// NN forward passes, the LP solver, RK4 integration, and the
+// eigendecomposition used by CMA-ES.
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/expr/derivative.h"
+#include "src/expr/eval.h"
+#include "src/linalg/decompositions.h"
+#include "src/smt/hc4.h"
+
+namespace {
+
+using namespace bcert;
+using interval::Box;
+using interval::Interval;
+using linalg::Vector;
+
+void BM_IntervalArithmetic(benchmark::State& state) {
+  Interval a(0.3, 1.7), b(-2.0, 0.4);
+  for (auto _ : state) {
+    Interval c = a * b + a - b / Interval(2.0, 3.0);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_IntervalArithmetic);
+
+void BM_IntervalTranscendental(benchmark::State& state) {
+  Interval a(-0.8, 0.9);
+  for (auto _ : state) {
+    Interval c = interval::tanh(interval::sin(a) + interval::cos(a));
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_IntervalTranscendental);
+
+nn::FeedforwardNet make_net(std::size_t hidden) {
+  std::mt19937 rng(5);
+  nn::FeedforwardNet net = nn::FeedforwardNet::single_hidden(2, hidden, 1);
+  net.randomize(rng);
+  return net;
+}
+
+void BM_NnForward(benchmark::State& state) {
+  const nn::FeedforwardNet net =
+      make_net(static_cast<std::size_t>(state.range(0)));
+  const Vector x{0.7, -0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_NnForward)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_NnSymbolicEvalScalar(benchmark::State& state) {
+  const nn::FeedforwardNet net =
+      make_net(static_cast<std::size_t>(state.range(0)));
+  expr::ExprPool pool;
+  expr::Evaluator ev(pool, net.to_expr(pool, {pool.var(0), pool.var(1)}));
+  const Vector x{0.7, -0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.eval(x));
+  }
+}
+BENCHMARK(BM_NnSymbolicEvalScalar)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_NnSymbolicEvalInterval(benchmark::State& state) {
+  const nn::FeedforwardNet net =
+      make_net(static_cast<std::size_t>(state.range(0)));
+  expr::ExprPool pool;
+  expr::Evaluator ev(pool, net.to_expr(pool, {pool.var(0), pool.var(1)}));
+  const Box box = Box::from_bounds({{0.6, 0.8}, {-0.4, -0.2}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ev.eval(box));
+  }
+}
+BENCHMARK(BM_NnSymbolicEvalInterval)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_Hc4ContractLieDerivative(benchmark::State& state) {
+  const nn::FeedforwardNet net =
+      make_net(static_cast<std::size_t>(state.range(0)));
+  expr::ExprPool pool;
+  const dubins::ErrorModel model{1.0, 0.0};
+  const auto field = dubins::closed_loop_field_expr(model, net, pool);
+  core::QuadraticForm w(2, Vector{0.4, 0.7, 1.0});
+  const expr::ExprId lie =
+      expr::lie_derivative(pool, w.to_expr(pool), field);
+  smt::Conjunction c;
+  c.add(pool.add(lie, pool.constant(1e-6)), smt::Rel::kGe);
+  smt::Hc4Contractor contractor(pool, c);
+  for (auto _ : state) {
+    Box box = Box::from_bounds({{1.0, 2.0}, {0.2, 0.6}});
+    benchmark::DoNotOptimize(contractor.contract(box));
+  }
+}
+BENCHMARK(BM_Hc4ContractLieDerivative)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SimplexMarginLp(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> d(0.1, 2.0);
+  lp::LpProblem p = lp::LpProblem::with_free_vars(4);
+  p.sense = lp::Sense::kMaximize;
+  p.objective[3] = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    p.lower[i] = -1.0;
+    p.upper[i] = 1.0;
+  }
+  p.lower[3] = 0.0;
+  for (int i = 0; i < rows; ++i) {
+    p.add_row(Vector{-d(rng), -d(rng), -d(rng), 1.0}, lp::RowRel::kLe, 0.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(p));
+  }
+}
+BENCHMARK(BM_SimplexMarginLp)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_Rk4DubinsTrace(benchmark::State& state) {
+  const nn::FeedforwardNet net = make_net(10);
+  const auto field =
+      dubins::closed_loop_field(dubins::ErrorModel{1.0, 0.0}, net);
+  ode::IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 10.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(integrate_rk4(field, Vector{3.0, 0.5}, opts));
+  }
+}
+BENCHMARK(BM_Rk4DubinsTrace);
+
+void BM_SymmetricEigen(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  linalg::Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a(r, c) = a(c, r) = d(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::symmetric_eigen(a));
+  }
+}
+BENCHMARK(BM_SymmetricEigen)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_FullVerificationSmall(benchmark::State& state) {
+  for (auto _ : state) {
+    expr::ExprPool pool;
+    const nn::FeedforwardNet net =
+        dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
+    core::BarrierVerifier verifier(bench::make_problem(pool, net), {});
+    benchmark::DoNotOptimize(verifier.verify());
+  }
+}
+BENCHMARK(BM_FullVerificationSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

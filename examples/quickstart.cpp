@@ -1,0 +1,63 @@
+// Quickstart: prove safety of a simple closed-loop system end to end.
+//
+// System: Dubins-car path-following error dynamics (the paper's case
+// study) with a 10-neuron tanh controller distilled from a proportional
+// steering law. The program synthesizes a barrier certificate and prints
+// it together with the Table-1-style timing columns.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/verifier.h"
+#include "src/dubins/error_dynamics.h"
+#include "src/dubins/training.h"
+#include "src/expr/printer.h"
+
+int main() {
+  using namespace bcert;
+
+  // 1. A controller: u = h(d_err, θ_err), one hidden tanh layer.
+  const nn::FeedforwardNet controller =
+      dubins::distill_controller(dubins::proportional_teacher(), 10);
+
+  // 2. The closed-loop model, numeric + symbolic (same weights).
+  expr::ExprPool pool;
+  const dubins::ErrorModel model{/*velocity=*/1.0, /*theta_r=*/0.0};
+  core::BarrierProblem problem;
+  problem.pool = &pool;
+  problem.sim_field = dubins::closed_loop_field(model, controller);
+  problem.sym_field = dubins::closed_loop_field_expr(model, controller, pool);
+
+  // 3. Regions exactly as in §4.3 of the paper.
+  constexpr double kPi = 3.14159265358979323846;
+  constexpr double kEps = 0.01;
+  problem.initial_set = {{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
+  problem.safe_rect = {{-5.0, -(kPi / 2.0 - kEps)}, {5.0, kPi / 2.0 - kEps}};
+
+  // 4. Verify.
+  core::VerifierOptions opts;
+  opts.icp.delta = 1e-3;
+  core::BarrierVerifier verifier(problem, opts);
+  const core::VerifyResult result = verifier.verify();
+
+  std::printf("status:        %s\n", verify_status_name(result.status));
+  if (result.generator) {
+    const std::string w =
+        to_string(pool, result.generator->to_expr(pool), {"d", "th"});
+    std::printf("generator W =  %s\n", w.c_str());
+  }
+  if (result.safe()) {
+    std::printf("level    l =   %.6f\n", result.level);
+    std::printf("barrier  B(x) = W(x) - l  certifies the system SAFE:\n");
+    std::printf("  no trajectory from X0 = [-1,1]x[-pi/16,pi/16] ever\n");
+    std::printf("  reaches U (|d|>5 or |th|>pi/2-eps), for all time.\n");
+  }
+  std::printf("iterations:    %d\n", result.timings.candidate_iterations);
+  std::printf("LP time:       %.3f s (%d solves)\n", result.timings.lp_time_s,
+              result.timings.lp_solves);
+  std::printf("SMT(5) time:   %.3f s (%d queries)\n",
+              result.timings.smt5_time_s, result.timings.smt5_queries);
+  std::printf("level-set:     %.3f s\n", result.timings.level_set_time_s);
+  std::printf("total:         %.3f s\n", result.timings.total_time_s);
+  return result.safe() ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// Trains the paper's NN steering controller (§4.2) by CMA-ES direct
+// policy search, reports the training evolution, validates the result on
+// a fresh path (the paper's informal validation step), and saves the
+// weights for use by verify_dubins.
+//
+// Usage: train_dubins_controller [hidden_neurons] [iterations] [out_file]
+// Defaults: 10 neurons, 80 iterations, dubins_controller.net
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/dubins/training.h"
+#include "src/dubins/vehicle.h"
+
+int main(int argc, char** argv) {
+  using namespace bcert;
+
+  const std::size_t hidden = argc > 1 ? std::stoul(argv[1]) : 10;
+  const int iterations = argc > 2 ? std::stoi(argv[2]) : 80;
+  const std::string out = argc > 3 ? argv[3] : "dubins_controller.net";
+
+  // Training path: piecewise linear with a few turns (Figure 4 shape).
+  const dubins::PiecewiseLinearPath path({{0.0, 0.0},
+                                          {12.0, 8.0},
+                                          {24.0, 10.0},
+                                          {36.0, 18.0},
+                                          {40.0, 30.0},
+                                          {48.0, 36.0}});
+
+  dubins::TrainOptions opts;
+  opts.hidden_neurons = hidden;
+  opts.iterations = iterations;
+  opts.population = 152;  // paper §4.2
+  opts.sim.velocity = 1.0;
+  opts.sim.dt = 0.1;
+  opts.sim.steps = 700;
+  // Rollouts from offsets across the verification domain, so the policy
+  // is well-behaved everywhere a certificate must hold (see DESIGN.md).
+  opts.start_offsets = dubins::verification_offsets();
+  opts.weights.angle = 1e3;  // rescaled to this geometry
+
+  std::printf("training %zu-neuron controller (%d iterations, population "
+              "%zu)...\n", hidden, iterations, opts.population);
+  int shown = 0;
+  const dubins::TrainResult result = train_controller(
+      path, opts, [&](const dubins::TrainingSnapshot& snap) {
+        if (snap.iteration % 10 == 0 || snap.iteration == iterations - 1) {
+          std::printf("  iter %3d   best cost %.1f\n", snap.iteration,
+                      snap.best_cost);
+          ++shown;
+        }
+      });
+  std::printf("final cost: %.1f\n", result.best_cost);
+
+  // Informal validation on a path the optimizer never saw (§4.2 end).
+  const dubins::PiecewiseLinearPath fresh({{0.0, 0.0},
+                                           {10.0, -6.0},
+                                           {22.0, -8.0},
+                                           {30.0, 0.0},
+                                           {42.0, 6.0}});
+  dubins::SimOptions sim = opts.sim;
+  const dubins::ClosedLoopTrace t = simulate_path_following(
+      fresh, dubins::as_controller(result.controller), {2.0, 0.0, 0.5}, sim);
+  double mean_d = 0.0, max_d = 0.0;
+  for (const auto& s : t.samples) {
+    mean_d += std::fabs(s.error.distance);
+    max_d = std::max(max_d, std::fabs(s.error.distance));
+  }
+  mean_d /= static_cast<double>(t.size());
+  std::printf("validation on a fresh path: mean |d_err| = %.3f, max "
+              "|d_err| = %.3f\n", mean_d, max_d);
+
+  std::ofstream os(out);
+  result.controller.save(os);
+  std::printf("controller saved to %s (%zu parameters)\n", out.c_str(),
+              result.controller.num_params());
+  std::printf("next: ./verify_dubins %s\n", out.c_str());
+  return 0;
+}

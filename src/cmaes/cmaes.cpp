@@ -1,0 +1,229 @@
+#include "src/cmaes/cmaes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "src/linalg/decompositions.h"
+#include "src/linalg/matrix.h"
+
+namespace bcert::cmaes {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/// Strategy constants derived from n and λ (Hansen's defaults).
+struct Strategy {
+  std::size_t lambda, mu;
+  Vector weights;  // size mu, positive, sums to 1
+  double mueff;
+  double cc, cs, c1, cmu, damps, chi_n;
+
+  Strategy(std::size_t n_, std::size_t lambda_) {
+    const double n = static_cast<double>(n_);
+    lambda = lambda_;
+    mu = lambda / 2;
+    if (mu == 0) throw std::invalid_argument("CMA-ES: lambda too small");
+    weights = Vector(mu);
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < mu; ++i) {
+      weights[i] = std::log(static_cast<double>(lambda) / 2.0 + 0.5) -
+                   std::log(static_cast<double>(i + 1));
+      wsum += weights[i];
+    }
+    double w2sum = 0.0;
+    for (std::size_t i = 0; i < mu; ++i) {
+      weights[i] /= wsum;
+      w2sum += weights[i] * weights[i];
+    }
+    mueff = 1.0 / w2sum;
+    cc = (4.0 + mueff / n) / (n + 4.0 + 2.0 * mueff / n);
+    cs = (mueff + 2.0) / (n + mueff + 5.0);
+    c1 = 2.0 / ((n + 1.3) * (n + 1.3) + mueff);
+    cmu = std::min(1.0 - c1, 2.0 * (mueff - 2.0 + 1.0 / mueff) /
+                                 ((n + 2.0) * (n + 2.0) + mueff));
+    damps =
+        1.0 + 2.0 * std::max(0.0, std::sqrt((mueff - 1.0) / (n + 1.0)) - 1.0) +
+        cs;
+    chi_n = std::sqrt(n) * (1.0 - 1.0 / (4.0 * n) + 1.0 / (21.0 * n * n));
+  }
+};
+
+}  // namespace
+
+CmaesResult cmaes_minimize(const ObjectiveFn& objective, const Vector& x0,
+                           const CmaesOptions& options,
+                           const IterationCallback& callback) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("CMA-ES: empty start point");
+
+  const std::size_t lambda =
+      options.lambda > 0
+          ? options.lambda
+          : 4 + static_cast<std::size_t>(
+                    std::floor(3.0 * std::log(static_cast<double>(n))));
+  const Strategy st(n, lambda);
+
+  std::mt19937 rng(options.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+
+  Vector mean = x0;
+  double sigma = options.sigma0;
+  Vector ps(n), pc(n);
+
+  // Full mode keeps C plus its eigendecomposition; diagonal mode keeps
+  // only the diagonal (separable CMA-ES).
+  Matrix c_mat = Matrix::identity(n);
+  Matrix b_mat = Matrix::identity(n);
+  Vector d_vec(n, 1.0);
+  Vector c_diag(n, 1.0);
+  const bool diag = options.diagonal_only;
+
+  CmaesResult result;
+  result.best_fitness = std::numeric_limits<double>::infinity();
+
+  struct Candidate {
+    Vector x, z;
+    double fitness;
+  };
+  std::vector<Candidate> pop(lambda);
+
+  int eigen_stale = 0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // --- sample & evaluate ---------------------------------------------
+    for (std::size_t k = 0; k < lambda; ++k) {
+      Vector z(n);
+      for (std::size_t i = 0; i < n; ++i) z[i] = normal(rng);
+      Vector step(n);
+      if (diag) {
+        for (std::size_t i = 0; i < n; ++i)
+          step[i] = std::sqrt(c_diag[i]) * z[i];
+      } else {
+        // step = B · (D ∘ z)
+        Vector dz(n);
+        for (std::size_t i = 0; i < n; ++i) dz[i] = d_vec[i] * z[i];
+        step = b_mat * dz;
+      }
+      pop[k].x = mean + sigma * step;
+      pop[k].z = std::move(z);
+      pop[k].fitness = objective(pop[k].x);
+    }
+    std::sort(pop.begin(), pop.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.fitness < b.fitness;
+              });
+
+    const double gen_best = pop[0].fitness;
+    result.fitness_history.push_back(gen_best);
+    if (gen_best < result.best_fitness) {
+      result.best_fitness = gen_best;
+      result.best_x = pop[0].x;
+    }
+    result.iterations = iter + 1;
+
+    if (callback) {
+      CmaesIteration info;
+      info.iteration = iter;
+      info.best_fitness = gen_best;
+      info.overall_best_fitness = result.best_fitness;
+      info.best_x = pop[0].x;
+      info.sigma = sigma;
+      callback(info);
+    }
+    if (options.tol_fun > 0.0 && result.best_fitness <= options.tol_fun) {
+      result.stop = CmaesStop::kTolFun;
+      return result;
+    }
+
+    // --- recombination ---------------------------------------------------
+    const Vector old_mean = mean;
+    Vector zw(n);  // weighted average of z (for the sigma path)
+    mean = Vector(n);
+    for (std::size_t i = 0; i < st.mu; ++i) {
+      mean += st.weights[i] * pop[i].x;
+      zw += st.weights[i] * pop[i].z;
+    }
+    const Vector y = (mean - old_mean) / sigma;  // = B D zw (full mode)
+
+    // --- step-size path (uses C^{-1/2} y = B zw) -------------------------
+    Vector c_inv_sqrt_y(n);
+    if (diag) {
+      for (std::size_t i = 0; i < n; ++i)
+        c_inv_sqrt_y[i] = y[i] / std::sqrt(c_diag[i]);
+    } else {
+      c_inv_sqrt_y = b_mat * zw;
+    }
+    const double cs_coef = std::sqrt(st.cs * (2.0 - st.cs) * st.mueff);
+    ps = (1.0 - st.cs) * ps + cs_coef * c_inv_sqrt_y;
+
+    const double ps_norm = ps.norm();
+    sigma *= std::exp((st.cs / st.damps) * (ps_norm / st.chi_n - 1.0));
+
+    // --- covariance path -------------------------------------------------
+    const double expected_cycle =
+        std::sqrt(1.0 -
+                  std::pow(1.0 - st.cs, 2.0 * static_cast<double>(iter + 1)));
+    const bool hsig =
+        ps_norm / expected_cycle / st.chi_n <
+        1.4 + 2.0 / (static_cast<double>(n) + 1.0);
+    const double cc_coef = std::sqrt(st.cc * (2.0 - st.cc) * st.mueff);
+    pc = (1.0 - st.cc) * pc;
+    if (hsig) pc += cc_coef * y;
+
+    // --- covariance update ----------------------------------------------
+    const double delta_hsig = (1.0 - (hsig ? 1.0 : 0.0)) * st.cc * (2.0 - st.cc);
+    if (diag) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double rank_mu = 0.0;
+        for (std::size_t k = 0; k < st.mu; ++k) {
+          const double yi = (pop[k].x[i] - old_mean[i]) / sigma;
+          rank_mu += st.weights[k] * yi * yi;
+        }
+        c_diag[i] = (1.0 - st.c1 - st.cmu) * c_diag[i] +
+                    st.c1 * (pc[i] * pc[i] + delta_hsig * c_diag[i]) +
+                    st.cmu * rank_mu;
+        c_diag[i] = std::max(c_diag[i], 1e-20);
+      }
+    } else {
+      Matrix rank_mu(n, n);
+      for (std::size_t k = 0; k < st.mu; ++k) {
+        const Vector yk = (pop[k].x - old_mean) / sigma;
+        rank_mu += st.weights[k] * outer(yk, yk);
+      }
+      c_mat = (1.0 - st.c1 - st.cmu + st.c1 * delta_hsig) * c_mat +
+              st.c1 * outer(pc, pc) + st.cmu * rank_mu;
+      // Refresh the eigendecomposition lazily (every ~n/10 iterations is
+      // the usual guidance; we refresh every iteration for small n).
+      const int refresh_every =
+          n <= 40 ? 1 : static_cast<int>(n / 40);
+      if (++eigen_stale >= refresh_every) {
+        eigen_stale = 0;
+        // Symmetrize against numeric drift, then decompose.
+        for (std::size_t r = 0; r < n; ++r)
+          for (std::size_t cix = r + 1; cix < n; ++cix) {
+            const double avg = 0.5 * (c_mat(r, cix) + c_mat(cix, r));
+            c_mat(r, cix) = c_mat(cix, r) = avg;
+          }
+        const linalg::SymmetricEigen eig = linalg::symmetric_eigen(c_mat);
+        b_mat = eig.eigenvectors;
+        for (std::size_t i = 0; i < n; ++i) {
+          d_vec[i] = std::sqrt(std::max(eig.eigenvalues[i], 1e-20));
+        }
+      }
+    }
+
+    if (sigma < options.tol_sigma) {
+      result.stop = CmaesStop::kSigmaCollapse;
+      return result;
+    }
+  }
+  result.stop = CmaesStop::kMaxIterations;
+  return result;
+}
+
+}  // namespace bcert::cmaes

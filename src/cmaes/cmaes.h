@@ -1,0 +1,67 @@
+#pragma once
+/// \file cmaes.h
+/// \brief Covariance Matrix Adaptation Evolution Strategy.
+///
+/// Implements the standard (μ/μ_w, λ)-CMA-ES of Hansen & Ostermeier
+/// (2001) with rank-1 + rank-μ covariance updates and cumulative step-
+/// size adaptation — the algorithm the paper uses for direct policy
+/// search of the NN controller (§4.2, refs [8, 10]). A separable
+/// (diagonal-covariance) variant is included for high-dimensional
+/// parameter vectors where the full n×n covariance is not warranted.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::cmaes {
+
+/// Objective to minimize.
+using ObjectiveFn = std::function<double(const linalg::Vector&)>;
+
+/// Tuning parameters; zero/negative values mean "use the Hansen default".
+struct CmaesOptions {
+  std::size_t lambda = 0;     ///< population size (default 4+⌊3 ln n⌋)
+  double sigma0 = 0.5;        ///< initial step size
+  int max_iterations = 100;
+  double tol_fun = 0.0;       ///< stop when best fitness ≤ tol_fun
+  double tol_sigma = 1e-12;   ///< stop when sigma collapses
+  unsigned seed = 2024;
+  bool diagonal_only = false; ///< separable CMA-ES (large n)
+};
+
+/// Per-iteration report for progress callbacks (e.g. Figure 4 snapshots).
+struct CmaesIteration {
+  int iteration = 0;
+  double best_fitness = 0.0;       ///< best of current population
+  double overall_best_fitness = 0.0;
+  linalg::Vector best_x;           ///< best of current population
+  double sigma = 0.0;
+};
+
+using IterationCallback = std::function<void(const CmaesIteration&)>;
+
+/// Why the optimizer stopped.
+enum class CmaesStop : std::uint8_t {
+  kMaxIterations,
+  kTolFun,
+  kSigmaCollapse,
+};
+
+/// Final report.
+struct CmaesResult {
+  linalg::Vector best_x;
+  double best_fitness = 0.0;
+  int iterations = 0;
+  CmaesStop stop = CmaesStop::kMaxIterations;
+  std::vector<double> fitness_history;  ///< per-iteration population best
+};
+
+/// Minimizes \p objective starting from \p x0.
+CmaesResult cmaes_minimize(const ObjectiveFn& objective,
+                           const linalg::Vector& x0,
+                           const CmaesOptions& options = {},
+                           const IterationCallback& callback = {});
+
+}  // namespace bcert::cmaes

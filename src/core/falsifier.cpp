@@ -1,0 +1,113 @@
+#include "src/core/falsifier.h"
+
+#include <algorithm>
+#include <random>
+
+namespace bcert::core {
+
+Falsifier::Falsifier(BarrierProblem problem, FalsifierOptions options)
+    : problem_(std::move(problem)), options_(options) {
+  problem_.initial_set.validate();
+  problem_.safe_rect.validate();
+  if (!problem_.sim_field) {
+    throw std::invalid_argument("Falsifier: sim_field is required");
+  }
+}
+
+double Falsifier::margin(const linalg::Vector& x) const {
+  const Rect& s = problem_.safe_rect;
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < s.dims(); ++i) {
+    m = std::min(m, x[i] - s.lo[i]);
+    m = std::min(m, s.hi[i] - x[i]);
+  }
+  return m;
+}
+
+double Falsifier::robustness(const linalg::Vector& x0,
+                             ode::Trace* trace_out) const {
+  ode::IntegrateOptions iopts;
+  iopts.step = options_.trace_dt;
+  iopts.t_end = options_.trace_duration;
+  // Stop once clearly unsafe: deeper excursions don't tell us more.
+  iopts.stop = [this](double, const linalg::Vector& x) {
+    return margin(x) < -0.1;
+  };
+  const ode::Trace trace = integrate_rk4(problem_.sim_field, x0, iopts);
+  ++simulations_;
+  double rob = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    rob = std::min(rob, margin(trace.state(i)));
+  }
+  if (trace_out != nullptr) *trace_out = trace;
+  return rob;
+}
+
+FalsificationResult Falsifier::search() {
+  const Rect& x0_set = problem_.initial_set;
+  const std::size_t n = x0_set.dims();
+  simulations_ = 0;
+
+  FalsificationResult best;
+  best.robustness = std::numeric_limits<double>::infinity();
+
+  // Phase 1: uniform random exploration of X0.
+  std::mt19937 rng(options_.seed);
+  std::vector<std::uniform_real_distribution<double>> dims;
+  dims.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    dims.emplace_back(x0_set.lo[i], x0_set.hi[i]);
+  }
+  for (int trial = 0; trial < options_.random_trials; ++trial) {
+    linalg::Vector x0(n);
+    for (std::size_t i = 0; i < n; ++i) x0[i] = dims[i](rng);
+    const double rob = robustness(x0, nullptr);
+    if (rob < best.robustness) {
+      best.robustness = rob;
+      best.initial_state = x0;
+    }
+    if (rob < 0.0) break;  // already falsified
+  }
+
+  // Phase 2: CMA-ES refinement from the best random start (clamped onto
+  // X0 — out-of-set candidates are projected back).
+  if (best.robustness >= 0.0 && options_.cmaes_iterations > 0) {
+    const auto objective = [&](const linalg::Vector& raw) {
+      linalg::Vector x0(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        x0[i] = std::clamp(raw[i], x0_set.lo[i], x0_set.hi[i]);
+      }
+      return robustness(x0, nullptr);
+    };
+    cmaes::CmaesOptions copts;
+    copts.max_iterations = options_.cmaes_iterations;
+    copts.lambda = options_.cmaes_population;
+    copts.seed = options_.seed + 1;
+    // Step size proportional to the set extent.
+    double extent = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      extent = std::max(extent, x0_set.hi[i] - x0_set.lo[i]);
+    }
+    copts.sigma0 = 0.25 * extent;
+    const cmaes::CmaesResult r =
+        cmaes_minimize(objective, best.initial_state, copts);
+    if (r.best_fitness < best.robustness) {
+      best.robustness = r.best_fitness;
+      best.initial_state = linalg::Vector(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        best.initial_state[i] =
+            std::clamp(r.best_x[i], x0_set.lo[i], x0_set.hi[i]);
+      }
+    }
+  }
+
+  // Materialize the winning trajectory.
+  if (best.initial_state.size() == n) {
+    best.robustness = robustness(best.initial_state, &best.trace);
+  }
+  best.falsified = best.robustness < 0.0;
+  best.simulations = simulations_;
+  return best;
+}
+
+}  // namespace bcert::core

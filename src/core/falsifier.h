@@ -1,0 +1,70 @@
+#pragma once
+/// \file falsifier.h
+/// \brief Simulation-based falsification — the testing-side complement
+/// to verification.
+///
+/// The paper positions its method against simulation-based approaches
+/// (e.g. compositional falsification, ref [3]): those *search* for an
+/// unsafe execution, while a barrier certificate *proves* none exists.
+/// This module implements the search side so users get both answers:
+///
+///   * robustness of a trajectory = min over time of its margin to the
+///     unsafe set (negative ⇔ the trajectory is a counterexample);
+///   * the falsifier minimizes robustness over initial states in X0 by
+///     uniform random exploration followed by CMA-ES refinement (the
+///     standard S-TaLiRo-style optimization-based falsification recipe).
+///
+/// On a system with a valid barrier certificate the falsifier must come
+/// up empty — a useful end-to-end consistency check (tested).
+
+#include "src/cmaes/cmaes.h"
+#include "src/core/verifier.h"
+#include "src/ode/integrator.h"
+#include "src/ode/trace.h"
+
+namespace bcert::core {
+
+/// Search budget and simulation settings.
+struct FalsifierOptions {
+  int random_trials = 200;       ///< phase 1: uniform samples of X0
+  int cmaes_iterations = 30;     ///< phase 2: robustness minimization
+  std::size_t cmaes_population = 16;
+  double trace_duration = 20.0;
+  double trace_dt = 0.01;
+  unsigned seed = 11;
+};
+
+/// Outcome of a falsification attempt.
+struct FalsificationResult {
+  bool falsified = false;        ///< an unsafe execution was found
+  linalg::Vector initial_state;  ///< argmin-robustness start
+  ode::Trace trace;              ///< its trajectory
+  double robustness = 0.0;       ///< min margin to U (< 0 when falsified)
+  int simulations = 0;
+};
+
+/// Optimization-based falsifier for the X0 / U = complement(safe_rect)
+/// structure of BarrierProblem (only sim_field is used — no symbolic
+/// model required).
+class Falsifier {
+ public:
+  Falsifier(BarrierProblem problem, FalsifierOptions options);
+
+  /// Runs both phases and reports the most violating execution found.
+  FalsificationResult search();
+
+  /// Robustness of the trajectory from \p x0: min over the trace of the
+  /// margin to the unsafe set (distance inside the safe rectangle,
+  /// negative once outside).
+  double robustness(const linalg::Vector& x0, ode::Trace* trace_out) const;
+
+  /// Pointwise margin of a state to U (positive inside the safe rect).
+  double margin(const linalg::Vector& x) const;
+
+ private:
+  BarrierProblem problem_;
+  FalsifierOptions options_;
+  mutable int simulations_ = 0;
+};
+
+}  // namespace bcert::core

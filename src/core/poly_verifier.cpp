@@ -1,0 +1,305 @@
+#include "src/core/poly_verifier.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "src/expr/derivative.h"
+
+namespace bcert::core {
+
+namespace {
+using clock = std::chrono::steady_clock;
+double seconds_since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+}  // namespace
+
+PolyBarrierVerifier::PolyBarrierVerifier(BarrierProblem problem,
+                                         PolyVerifierOptions options)
+    : problem_(std::move(problem)),
+      options_(std::move(options)),
+      basis_(problem_.dims(), 2, options_.max_degree) {
+  problem_.validate();
+}
+
+double PolyBarrierVerifier::numeric_lie(const PolynomialForm& w,
+                                        const linalg::Vector& x) const {
+  return dot(w.gradient(x), problem_.sim_field(x));
+}
+
+smt::IcpResult PolyBarrierVerifier::check_decrease(const PolynomialForm& w,
+                                                   double delta) const {
+  expr::ExprPool& pool = *problem_.pool;
+  const expr::ExprId lie =
+      expr::lie_derivative(pool, w.to_expr(pool), problem_.sym_field);
+  smt::Conjunction decrease;
+  decrease.add(pool.add(lie, pool.constant(options_.base.gamma)),
+               smt::Rel::kGe);
+  const smt::Dnf query =
+      outside_rect(pool, problem_.initial_set)
+          .conjoin(smt::Dnf::single(std::move(decrease)));
+  smt::IcpConfig config = options_.base.icp;
+  if (delta > 0.0) config.delta = delta;
+  smt::IcpSolver solver(pool, config);
+  return solver.solve(query, problem_.safe_rect.as_box());
+}
+
+smt::IcpResult PolyBarrierVerifier::check_initial_contained(
+    const PolynomialForm& w, double level) const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::Conjunction query;
+  query.add(pool.sub(w.to_expr(pool), pool.constant(level)), smt::Rel::kGt);
+  smt::IcpSolver solver(pool, options_.base.icp);
+  return solver.solve(query, problem_.initial_set.as_box());
+}
+
+std::vector<interval::Box> PolyBarrierVerifier::safe_faces(
+    bool unsafe_only) const {
+  const Rect& s = problem_.safe_rect;
+  std::vector<interval::Box> faces;
+  faces.reserve(2 * s.dims());
+  for (std::size_t i = 0; i < s.dims(); ++i) {
+    if (unsafe_only && !problem_.dim_unsafe(i)) continue;
+    for (const double pin : {s.lo[i], s.hi[i]}) {
+      interval::Box face = s.as_box();
+      face[i] = interval::Interval(pin);
+      faces.push_back(std::move(face));
+    }
+  }
+  return faces;
+}
+
+smt::IcpResult PolyBarrierVerifier::check_domain_invariance() const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::IcpSolver solver(pool, options_.base.icp);
+  smt::IcpResult aggregate;
+  aggregate.verdict = smt::SatResult::kUnsat;
+  for (std::size_t i = 0; i < problem_.dims(); ++i) {
+    if (problem_.dim_unsafe(i)) continue;
+    for (const int side : {-1, +1}) {
+      interval::Box face = problem_.safe_rect.as_box();
+      const double bound =
+          side > 0 ? problem_.safe_rect.hi[i] : problem_.safe_rect.lo[i];
+      face[i] = interval::Interval(bound);
+      smt::Conjunction outward;
+      const expr::ExprId fi = problem_.sym_field[i];
+      outward.add(side > 0 ? fi : pool.neg(fi), smt::Rel::kGt);
+      smt::IcpResult r = solver.solve(outward, face);
+      aggregate.stats.boxes_processed += r.stats.boxes_processed;
+      aggregate.stats.solve_time_s += r.stats.solve_time_s;
+      if (r.is_sat()) return r;
+      if (r.verdict == smt::SatResult::kUnknown) {
+        aggregate.verdict = smt::SatResult::kUnknown;
+      }
+    }
+  }
+  return aggregate;
+}
+
+smt::IcpResult PolyBarrierVerifier::check_boundary_excluded(
+    const PolynomialForm& w, double level) const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::Conjunction in_level_set;
+  in_level_set.add(pool.sub(w.to_expr(pool), pool.constant(level)),
+                   smt::Rel::kLe);
+  smt::IcpSolver solver(pool, options_.base.icp);
+
+  smt::IcpResult aggregate;
+  aggregate.verdict = smt::SatResult::kUnsat;
+  for (const interval::Box& face : safe_faces(true)) {
+    smt::IcpResult r = solver.solve(in_level_set, face);
+    aggregate.stats.boxes_processed += r.stats.boxes_processed;
+    aggregate.stats.solve_time_s += r.stats.solve_time_s;
+    if (r.is_sat()) return r;
+    if (r.verdict == smt::SatResult::kUnknown) {
+      aggregate.verdict = smt::SatResult::kUnknown;
+    }
+  }
+  return aggregate;
+}
+
+std::optional<std::pair<double, double>> PolyBarrierVerifier::level_window(
+    const PolynomialForm& w) const {
+  expr::ExprPool& pool = *problem_.pool;
+  const expr::ExprId w_expr = w.to_expr(pool);
+
+  // ℓ_min: certified *upper* bound of max W over X0 (so X0 ⊂ L holds for
+  // any ℓ above it).
+  const smt::OptimizeResult over_x0 = smt::maximize(
+      pool, w_expr, problem_.initial_set.as_box(), options_.optimize);
+  const double lo = over_x0.upper;
+
+  // ℓ_max: certified *lower* bound of min W over the boundary faces.
+  double hi = std::numeric_limits<double>::infinity();
+  for (const interval::Box& face : safe_faces(true)) {
+    const smt::OptimizeResult on_face =
+        smt::minimize(pool, w_expr, face, options_.optimize);
+    hi = std::min(hi, on_face.lower);
+  }
+  if (!(lo < hi) || lo <= 0.0 || !std::isfinite(hi)) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+PolyVerifyResult PolyBarrierVerifier::verify() {
+  PolyVerifyResult result;
+  const auto t_start = clock::now();
+
+  // Seed simulations reuse the quadratic verifier's machinery.
+  BarrierVerifier seeder(problem_, options_.base);
+  const auto t_seed = clock::now();
+  std::vector<FieldSample> samples;
+  for (const linalg::Vector& x0 : seeder.random_initial_states(
+           options_.base.seed_traces, options_.base.seed)) {
+    const auto s = seeder.simulate_samples(x0);
+    samples.insert(samples.end(), s.begin(), s.end());
+  }
+  // Domain-wide positivity anchors (decrease-exempt), as in the
+  // quadratic pipeline.
+  for (const linalg::Vector& x : seeder.random_initial_states(
+           options_.base.positivity_samples, options_.base.seed + 7919)) {
+    samples.push_back(
+        {x, problem_.sim_field(x), /*require_decrease=*/false});
+  }
+  result.timings.simulation_time_s += seconds_since(t_seed);
+
+  const auto t_gen = clock::now();
+  std::optional<PolynomialForm> generator;
+  for (int iter = 0; iter < options_.base.max_candidate_iterations; ++iter) {
+    ++result.timings.candidate_iterations;
+
+    const auto t_lp = clock::now();
+    const PolySynthesisResult synth = synthesize_polynomial_candidate(
+        samples, basis_, options_.base.synthesis);
+    result.timings.lp_time_s += seconds_since(t_lp);
+    ++result.timings.lp_solves;
+
+    if (!synth.feasible) {
+      result.status = VerifyStatus::kLpInfeasible;
+      result.timings.generator_time_s = seconds_since(t_gen);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    result.lp_margin = synth.margin;
+    result.generator = synth.candidate;
+
+    const auto t_smt = clock::now();
+    smt::IcpResult check = check_decrease(synth.candidate);
+    ++result.timings.smt5_queries;
+    double delta = options_.base.icp.delta;
+    while (options_.base.adaptive_delta &&
+           check.verdict == smt::SatResult::kDeltaSat &&
+           delta > options_.base.min_delta &&
+           numeric_lie(synth.candidate, check.witness_point()) <
+               -options_.base.gamma) {
+      delta *= options_.base.delta_shrink;
+      check = check_decrease(synth.candidate, delta);
+      ++result.timings.smt5_queries;
+    }
+    result.timings.smt5_time_s += seconds_since(t_smt);
+
+    if (check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      result.timings.generator_time_s = seconds_since(t_gen);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    if (check.is_unsat()) {
+      generator = synth.candidate;
+      break;
+    }
+
+    const linalg::Vector cex = check.witness_point();
+    result.counterexamples.push_back(cex);
+    const auto t_sim = clock::now();
+    const auto s = seeder.simulate_samples(cex);
+    result.timings.simulation_time_s += seconds_since(t_sim);
+    samples.insert(samples.end(), s.begin(), s.end());
+    if (s.empty()) {
+      samples.push_back({cex, problem_.sim_field(cex)});
+    }
+  }
+  result.timings.generator_time_s = seconds_since(t_gen);
+
+  if (!generator) {
+    result.status = VerifyStatus::kMaxCandidateIterations;
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+
+  // Level selection via the certified optimizer window + SMT binary
+  // search, exactly as in the quadratic case.
+  const auto t_level = clock::now();
+
+  if (problem_.has_invariant_dims()) {
+    const smt::IcpResult inv = check_domain_invariance();
+    if (inv.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      result.timings.level_set_time_s = seconds_since(t_level);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    if (inv.is_sat()) {
+      result.status = VerifyStatus::kDomainNotInvariant;
+      result.timings.level_set_time_s = seconds_since(t_level);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+  }
+
+  const auto window = level_window(*generator);
+  if (!window) {
+    result.status = VerifyStatus::kLevelSetFailed;
+    result.timings.level_set_time_s = seconds_since(t_level);
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+  double lo = window->first * (1.0 + options_.base.level_margin);
+  double hi = window->second * (1.0 - options_.base.level_margin);
+  if (!(lo < hi)) {
+    result.status = VerifyStatus::kLevelSetFailed;
+    result.timings.level_set_time_s = seconds_since(t_level);
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+
+  double level = std::sqrt(lo * hi);
+  bool proved = false;
+  for (int iter = 0; iter < options_.base.max_level_iterations; ++iter) {
+    const smt::IcpResult init_check =
+        check_initial_contained(*generator, level);
+    if (init_check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      break;
+    }
+    if (init_check.is_sat()) {
+      lo = level;
+      level = std::sqrt(lo * hi);
+      continue;
+    }
+    const smt::IcpResult boundary_check =
+        check_boundary_excluded(*generator, level);
+    if (boundary_check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      break;
+    }
+    if (boundary_check.is_sat()) {
+      hi = level;
+      level = std::sqrt(lo * hi);
+      continue;
+    }
+    proved = true;
+    break;
+  }
+  result.timings.level_set_time_s = seconds_since(t_level);
+  result.timings.total_time_s = seconds_since(t_start);
+
+  if (proved) {
+    result.status = VerifyStatus::kSafe;
+    result.level = level;
+  } else if (result.status != VerifyStatus::kSolverBudget) {
+    result.status = VerifyStatus::kLevelSetFailed;
+  }
+  return result;
+}
+
+}  // namespace bcert::core

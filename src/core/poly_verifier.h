@@ -1,0 +1,102 @@
+#pragma once
+/// \file poly_verifier.h
+/// \brief Barrier-certificate verification with general polynomial
+/// templates (the paper's "Sum-of-Squares polynomials" remark, §3).
+///
+/// Differences from the quadratic BarrierVerifier:
+///
+///  * The level set {W ≤ ℓ} of a higher-degree W is not an ellipsoid, so
+///    there is no closed-form ℓ window. Both ends come from the certified
+///    global optimizer (smt/optimizer.h): ℓ must exceed the certified
+///    max of W over X0 and stay below the certified min of W over every
+///    *face* of the safe rectangle.
+///  * Condition (7) is replaced by its face form (7′):
+///        ∃x ∈ ∂(safe_rect) : W(x) ≤ ℓ      — must be UNSAT.
+///    Soundness: a trajectory from X0 ⊂ {W ≤ ℓ} (by (6)) that reaches U
+///    must cross ∂(safe_rect). Along the way W never exceeds ℓ — inside
+///    X0 by (6), outside X0 by the strict decrease (5) — yet every
+///    boundary point with W ≤ ℓ is excluded by (7′). Contradiction, so
+///    U is unreachable. This is the same argument the paper makes with
+///    L ∩ U = ∅, specialized to U = complement(safe_rect).
+///
+/// The CEX refinement loop, the γ-slack decrease query and the timing
+/// instrumentation are identical to the quadratic pipeline.
+
+#include <optional>
+
+#include "src/core/lp_synthesis.h"
+#include "src/core/polynomial_form.h"
+#include "src/core/verifier.h"
+#include "src/smt/optimizer.h"
+
+namespace bcert::core {
+
+/// Options: the quadratic verifier's plus template degree and optimizer
+/// settings.
+struct PolyVerifierOptions {
+  VerifierOptions base;
+  int max_degree = 4;            ///< monomials of total degree 2..max
+  smt::OptimizeConfig optimize;  ///< level-window bound computation
+};
+
+/// Result mirrors VerifyResult with a PolynomialForm generator.
+struct PolyVerifyResult {
+  VerifyStatus status = VerifyStatus::kMaxCandidateIterations;
+  std::optional<PolynomialForm> generator;
+  double level = 0.0;
+  double lp_margin = 0.0;
+  VerifyTimings timings;
+  std::vector<linalg::Vector> counterexamples;
+
+  bool safe() const { return status == VerifyStatus::kSafe; }
+};
+
+/// Verifier for polynomial templates of degree 2..max_degree.
+class PolyBarrierVerifier {
+ public:
+  PolyBarrierVerifier(BarrierProblem problem, PolyVerifierOptions options);
+
+  /// Runs the full pipeline.
+  PolyVerifyResult verify();
+
+  // --- exposed sub-steps -------------------------------------------------
+
+  /// SMT condition (5) for a polynomial candidate.
+  smt::IcpResult check_decrease(const PolynomialForm& w,
+                                double delta = 0.0) const;
+
+  /// SMT condition (6): ∃x ∈ X0 : W(x) > ℓ.
+  smt::IcpResult check_initial_contained(const PolynomialForm& w,
+                                         double level) const;
+
+  /// SMT condition (7′): ∃x on some *unsafe-dimension* face of the safe
+  /// rectangle with W(x) ≤ ℓ. Faces of domain-only dimensions are
+  /// covered by the flow-invariance check instead (BarrierProblem::
+  /// unsafe_dims), mirroring the quadratic verifier.
+  smt::IcpResult check_boundary_excluded(const PolynomialForm& w,
+                                         double level) const;
+
+  /// Flow-invariance of domain-only faces (see BarrierVerifier).
+  smt::IcpResult check_domain_invariance() const;
+
+  /// Certified ℓ window from the global optimizer; nullopt when the
+  /// bounds do not separate.
+  std::optional<std::pair<double, double>> level_window(
+      const PolynomialForm& w) const;
+
+  const BarrierProblem& problem() const { return problem_; }
+  const MonomialBasis& basis() const { return basis_; }
+
+ private:
+  double numeric_lie(const PolynomialForm& w, const linalg::Vector& x) const;
+
+  /// Faces of the safe rectangle as degenerate boxes; when
+  /// \p unsafe_only, restricted to unsafe dimensions.
+  std::vector<interval::Box> safe_faces(bool unsafe_only) const;
+
+  BarrierProblem problem_;
+  PolyVerifierOptions options_;
+  MonomialBasis basis_;
+};
+
+}  // namespace bcert::core

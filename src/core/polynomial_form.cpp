@@ -1,0 +1,156 @@
+#include "src/core/polynomial_form.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace bcert::core {
+
+namespace {
+
+/// Recursively enumerates exponent vectors with the given total degree.
+void enumerate(std::size_t dims, int remaining, std::vector<int>& current,
+               std::vector<std::vector<int>>& out) {
+  if (current.size() == dims - 1) {
+    current.push_back(remaining);
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (int e = remaining; e >= 0; --e) {
+    current.push_back(e);
+    enumerate(dims, remaining - e, current, out);
+    current.pop_back();
+  }
+}
+
+double int_pow(double x, int n) {
+  double acc = 1.0;
+  for (int i = 0; i < n; ++i) acc *= x;
+  return acc;
+}
+
+}  // namespace
+
+MonomialBasis::MonomialBasis(std::size_t dims, int min_degree,
+                             int max_degree)
+    : dims_(dims) {
+  if (dims == 0) throw std::invalid_argument("MonomialBasis: dims = 0");
+  if (min_degree < 1 || max_degree < min_degree) {
+    throw std::invalid_argument("MonomialBasis: bad degree range");
+  }
+  for (int deg = min_degree; deg <= max_degree; ++deg) {
+    std::vector<int> current;
+    enumerate(dims_, deg, current, exponents_);
+  }
+}
+
+int MonomialBasis::degree(std::size_t k) const {
+  return std::accumulate(exponents_[k].begin(), exponents_[k].end(), 0);
+}
+
+double MonomialBasis::value(std::size_t k, const linalg::Vector& x) const {
+  double acc = 1.0;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    acc *= int_pow(x[i], exponents_[k][i]);
+  }
+  return acc;
+}
+
+linalg::Vector MonomialBasis::gradient(std::size_t k,
+                                       const linalg::Vector& x) const {
+  linalg::Vector g(dims_);
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const int e = exponents_[k][i];
+    if (e == 0) continue;
+    double acc = e * int_pow(x[i], e - 1);
+    for (std::size_t j = 0; j < dims_; ++j) {
+      if (j == i) continue;
+      acc *= int_pow(x[j], exponents_[k][j]);
+    }
+    g[i] = acc;
+  }
+  return g;
+}
+
+expr::ExprId MonomialBasis::to_expr(std::size_t k,
+                                    expr::ExprPool& pool) const {
+  expr::ExprId acc = pool.one();
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const int e = exponents_[k][i];
+    if (e == 0) continue;
+    acc = pool.mul(acc,
+                   pool.pow(pool.var(static_cast<std::int32_t>(i)), e));
+  }
+  return acc;
+}
+
+std::string MonomialBasis::to_string(std::size_t k) const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < dims_; ++i) {
+    const int e = exponents_[k][i];
+    if (e == 0) continue;
+    if (!first) os << '*';
+    first = false;
+    os << 'x' << i;
+    if (e > 1) os << '^' << e;
+  }
+  if (first) os << '1';
+  return os.str();
+}
+
+PolynomialForm::PolynomialForm(MonomialBasis basis)
+    : basis_(std::move(basis)), coeffs_(basis_.size()) {}
+
+PolynomialForm::PolynomialForm(MonomialBasis basis, linalg::Vector coeffs)
+    : basis_(std::move(basis)), coeffs_(std::move(coeffs)) {
+  if (coeffs_.size() != basis_.size()) {
+    throw std::invalid_argument("PolynomialForm: coefficient count");
+  }
+}
+
+double PolynomialForm::value(const linalg::Vector& x) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    acc += coeffs_[k] * basis_.value(k, x);
+  }
+  return acc;
+}
+
+linalg::Vector PolynomialForm::gradient(const linalg::Vector& x) const {
+  linalg::Vector g(dims());
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    g += coeffs_[k] * basis_.gradient(k, x);
+  }
+  return g;
+}
+
+expr::ExprId PolynomialForm::to_expr(expr::ExprPool& pool) const {
+  std::vector<expr::ExprId> terms;
+  terms.reserve(coeffs_.size());
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    terms.push_back(
+        pool.mul(pool.constant(coeffs_[k]), basis_.to_expr(k, pool)));
+  }
+  return pool.sum(terms);
+}
+
+std::string PolynomialForm::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    if (!first) os << " + ";
+    first = false;
+    os << coeffs_[k] << '*' << basis_.to_string(k);
+  }
+  if (first) os << '0';
+  return os.str();
+}
+
+}  // namespace bcert::core

@@ -1,0 +1,178 @@
+#include "src/core/quadratic_form.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/decompositions.h"
+
+namespace bcert::core {
+
+QuadraticForm::QuadraticForm(std::size_t n)
+    : QuadraticForm(n, linalg::Vector(basis_size(n))) {}
+
+QuadraticForm::QuadraticForm(std::size_t n, linalg::Vector coeffs)
+    : n_(n), coeffs_(std::move(coeffs)) {
+  if (n_ == 0) throw std::invalid_argument("QuadraticForm: n must be > 0");
+  if (coeffs_.size() != basis_size(n_)) {
+    throw std::invalid_argument("QuadraticForm: coefficient count");
+  }
+  basis_.reserve(coeffs_.size());
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i; j < n_; ++j) basis_.emplace_back(i, j);
+  }
+}
+
+QuadraticForm QuadraticForm::from_matrix(const linalg::Matrix& p) {
+  if (!p.is_symmetric(1e-9)) {
+    throw std::invalid_argument("QuadraticForm::from_matrix: not symmetric");
+  }
+  const std::size_t n = p.rows();
+  linalg::Vector c(basis_size(n));
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      c[k++] = (i == j) ? p(i, i) : 2.0 * p(i, j);
+    }
+  }
+  return QuadraticForm(n, std::move(c));
+}
+
+std::size_t QuadraticForm::index_of(std::size_t i, std::size_t j) const {
+  // Lexicographic (i, j), i <= j: offset of row i is Σ_{r<i}(n-r).
+  return i * n_ - i * (i - 1) / 2 + (j - i);
+}
+
+double QuadraticForm::basis_value(std::size_t k,
+                                  const linalg::Vector& x) const {
+  const auto [i, j] = basis_[k];
+  return x[i] * x[j];
+}
+
+linalg::Vector QuadraticForm::basis_gradient(std::size_t k,
+                                             const linalg::Vector& x) const {
+  const auto [i, j] = basis_[k];
+  linalg::Vector g(n_);
+  if (i == j) {
+    g[i] = 2.0 * x[i];
+  } else {
+    g[i] = x[j];
+    g[j] = x[i];
+  }
+  return g;
+}
+
+double QuadraticForm::value(const linalg::Vector& x) const {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    acc += coeffs_[k] * basis_value(k, x);
+  }
+  return acc;
+}
+
+linalg::Vector QuadraticForm::gradient(const linalg::Vector& x) const {
+  linalg::Vector g(n_);
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    const auto [i, j] = basis_[k];
+    if (i == j) {
+      g[i] += 2.0 * coeffs_[k] * x[i];
+    } else {
+      g[i] += coeffs_[k] * x[j];
+      g[j] += coeffs_[k] * x[i];
+    }
+  }
+  return g;
+}
+
+linalg::Matrix QuadraticForm::matrix() const {
+  linalg::Matrix p(n_, n_);
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    const auto [i, j] = basis_[k];
+    if (i == j) {
+      p(i, i) = coeffs_[k];
+    } else {
+      p(i, j) = p(j, i) = 0.5 * coeffs_[k];
+    }
+  }
+  return p;
+}
+
+expr::ExprId QuadraticForm::to_expr(expr::ExprPool& pool) const {
+  std::vector<expr::ExprId> terms;
+  terms.reserve(coeffs_.size());
+  for (std::size_t k = 0; k < coeffs_.size(); ++k) {
+    if (coeffs_[k] == 0.0) continue;
+    const auto [i, j] = basis_[k];
+    const expr::ExprId xi = pool.var(static_cast<std::int32_t>(i));
+    const expr::ExprId xj = pool.var(static_cast<std::int32_t>(j));
+    const expr::ExprId mono = (i == j) ? pool.sqr(xi) : pool.mul(xi, xj);
+    terms.push_back(pool.mul(pool.constant(coeffs_[k]), mono));
+  }
+  return pool.sum(terms);
+}
+
+bool QuadraticForm::positive_definite() const {
+  return linalg::CholeskyDecomposition(matrix()).success();
+}
+
+double QuadraticForm::min_level_containing(const Rect& rect) const {
+  double level = 0.0;
+  for (const linalg::Vector& v : rect.vertices()) {
+    level = std::max(level, value(v));
+  }
+  return level;
+}
+
+std::optional<double> QuadraticForm::max_level_avoiding(
+    const Halfspace& hs) const {
+  const linalg::LuDecomposition lu(matrix());
+  if (!lu.invertible()) return std::nullopt;
+  // min over {x : aᵀx = b} of xᵀPx is b² / (aᵀ P⁻¹ a); here a = e_dim.
+  linalg::Vector e(n_);
+  e[hs.dim] = 1.0;
+  const double pinv_dd = lu.solve(e)[hs.dim];
+  if (pinv_dd <= 0.0) return std::nullopt;
+  return hs.bound * hs.bound / pinv_dd;
+}
+
+std::optional<Rect> QuadraticForm::level_set_bounding_box(
+    double level) const {
+  if (level <= 0.0) return std::nullopt;
+  const linalg::LuDecomposition lu(matrix());
+  if (!lu.invertible()) return std::nullopt;
+  Rect r;
+  r.lo = linalg::Vector(n_);
+  r.hi = linalg::Vector(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    linalg::Vector e(n_);
+    e[i] = 1.0;
+    const double pinv_ii = lu.solve(e)[i];
+    if (pinv_ii <= 0.0) return std::nullopt;
+    const double half = std::sqrt(level * pinv_ii);
+    r.lo[i] = -half;
+    r.hi[i] = half;
+  }
+  return r;
+}
+
+std::vector<linalg::Vector> QuadraticForm::boundary_points_2d(
+    double level, std::size_t count) const {
+  if (n_ != 2) {
+    throw std::logic_error("boundary_points_2d: requires 2 dimensions");
+  }
+  std::vector<linalg::Vector> out;
+  out.reserve(count);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (std::size_t k = 0; k < count; ++k) {
+    const double phi = kTwoPi * static_cast<double>(k) /
+                       static_cast<double>(count);
+    linalg::Vector dir{std::cos(phi), std::sin(phi)};
+    const double q = value(dir);  // W(t·dir) = t² q
+    if (q <= 0.0) continue;       // not PD along this ray
+    const double t = std::sqrt(level / q);
+    out.push_back(dir * t);
+  }
+  return out;
+}
+
+}  // namespace bcert::core

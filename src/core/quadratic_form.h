@@ -1,0 +1,88 @@
+#pragma once
+/// \file quadratic_form.h
+/// \brief Pure-quadratic generator-function template W(x) = xᵀ P x.
+///
+/// The paper instantiates the simulation-guided approach with a quadratic
+/// W whose level sets are ellipsoids; the LP determines the monomial
+/// coefficients. This class owns the monomial basis bookkeeping, numeric
+/// and symbolic evaluation, gradients, and the ellipsoid geometry used in
+/// level-set selection.
+
+#include <optional>
+#include <vector>
+
+#include "src/core/region.h"
+#include "src/expr/expr.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::core {
+
+/// W(x) = Σ_{i≤j} c_{ij} x_i x_j, stored as a coefficient vector over the
+/// basis {x_i x_j : i ≤ j} in lexicographic order.
+class QuadraticForm {
+ public:
+  /// Zero form over \p n variables.
+  explicit QuadraticForm(std::size_t n);
+
+  /// Form from coefficients (size must equal basis_size(n)).
+  QuadraticForm(std::size_t n, linalg::Vector coeffs);
+
+  /// Form from a symmetric matrix P (coefficients c_ii = P_ii,
+  /// c_ij = 2 P_ij for i < j).
+  static QuadraticForm from_matrix(const linalg::Matrix& p);
+
+  static std::size_t basis_size(std::size_t n) { return n * (n + 1) / 2; }
+
+  std::size_t dims() const { return n_; }
+  std::size_t num_coeffs() const { return coeffs_.size(); }
+  const linalg::Vector& coeffs() const { return coeffs_; }
+
+  /// Monomial value m_k(x) for basis index k.
+  double basis_value(std::size_t k, const linalg::Vector& x) const;
+
+  /// Gradient of the k-th basis monomial at x.
+  linalg::Vector basis_gradient(std::size_t k, const linalg::Vector& x) const;
+
+  /// W(x).
+  double value(const linalg::Vector& x) const;
+
+  /// ∇W(x).
+  linalg::Vector gradient(const linalg::Vector& x) const;
+
+  /// Symmetric matrix P with W(x) = xᵀ P x.
+  linalg::Matrix matrix() const;
+
+  /// Symbolic W over pool variables 0..n-1.
+  expr::ExprId to_expr(expr::ExprPool& pool) const;
+
+  /// True when P is positive definite (Cholesky succeeds).
+  bool positive_definite() const;
+
+  /// Smallest level ℓ such that every vertex of \p rect satisfies
+  /// W(v) ≤ ℓ (i.e. the rectangle's corners are inside {W ≤ ℓ}).
+  double min_level_containing(const Rect& rect) const;
+
+  /// Largest level ℓ such that the ellipsoid {W ≤ ℓ} stays strictly out
+  /// of the halfspace (min of W over the hyperplane x_dim = bound equals
+  /// bound² / (P⁻¹)_{dim,dim}). Returns nullopt when P is singular.
+  std::optional<double> max_level_avoiding(const Halfspace& hs) const;
+
+  /// Axis-aligned bounding box of the ellipsoid {W ≤ level}:
+  /// |x_i| ≤ sqrt(level · (P⁻¹)_{ii}). Returns nullopt when P is not PD.
+  std::optional<Rect> level_set_bounding_box(double level) const;
+
+  /// Points on the boundary {W = level} (for plotting; 2-D only).
+  std::vector<linalg::Vector> boundary_points_2d(double level,
+                                                 std::size_t count) const;
+
+ private:
+  std::size_t index_of(std::size_t i, std::size_t j) const;
+
+  std::size_t n_;
+  linalg::Vector coeffs_;
+  // Basis bookkeeping: basis k ↦ (i, j), i ≤ j.
+  std::vector<std::pair<std::size_t, std::size_t>> basis_;
+};
+
+}  // namespace bcert::core

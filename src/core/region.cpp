@@ -1,0 +1,96 @@
+#include "src/core/region.h"
+
+#include <stdexcept>
+
+namespace bcert::core {
+
+void Rect::validate() const {
+  if (lo.size() != hi.size() || lo.empty()) {
+    throw std::invalid_argument("Rect: lo/hi dimension mismatch");
+  }
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] > hi[i]) {
+      throw std::invalid_argument("Rect: lo > hi");
+    }
+  }
+}
+
+bool Rect::contains(const linalg::Vector& x) const {
+  if (x.size() != lo.size()) return false;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    if (x[i] < lo[i] || x[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+std::vector<linalg::Vector> Rect::vertices() const {
+  const std::size_t n = dims();
+  std::vector<linalg::Vector> out;
+  out.reserve(std::size_t{1} << n);
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    linalg::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = (mask >> i) & 1 ? hi[i] : lo[i];
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+interval::Box Rect::as_box() const {
+  std::vector<interval::Interval> dims_v;
+  dims_v.reserve(dims());
+  for (std::size_t i = 0; i < dims(); ++i) dims_v.emplace_back(lo[i], hi[i]);
+  return interval::Box(std::move(dims_v));
+}
+
+linalg::Vector Rect::center() const {
+  linalg::Vector c(dims());
+  for (std::size_t i = 0; i < dims(); ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+  return c;
+}
+
+smt::Conjunction inside_rect(expr::ExprPool& pool, const Rect& rect) {
+  smt::Conjunction c;
+  for (std::size_t i = 0; i < rect.dims(); ++i) {
+    const expr::ExprId xi = pool.var(static_cast<std::int32_t>(i));
+    // lo_i − x_i ≤ 0 and x_i − hi_i ≤ 0.
+    c.add(pool.sub(pool.constant(rect.lo[i]), xi), smt::Rel::kLe);
+    c.add(pool.sub(xi, pool.constant(rect.hi[i])), smt::Rel::kLe);
+  }
+  return c;
+}
+
+smt::Dnf outside_rect(expr::ExprPool& pool, const Rect& rect) {
+  smt::Dnf dnf;
+  for (const Halfspace& hs : complement_halfspaces(rect)) {
+    smt::Conjunction c;
+    c.constraints.push_back(halfspace_constraint(pool, hs));
+    dnf.disjuncts.push_back(std::move(c));
+  }
+  return dnf;
+}
+
+std::vector<Halfspace> complement_halfspaces(const Rect& rect) {
+  std::vector<Halfspace> out;
+  out.reserve(2 * rect.dims());
+  for (std::size_t i = 0; i < rect.dims(); ++i) {
+    out.push_back({i, -1, rect.lo[i]});  // x_i ≤ lo_i
+    out.push_back({i, +1, rect.hi[i]});  // x_i ≥ hi_i
+  }
+  return out;
+}
+
+smt::Constraint halfspace_constraint(expr::ExprPool& pool,
+                                     const Halfspace& hs) {
+  const expr::ExprId xi = pool.var(static_cast<std::int32_t>(hs.dim));
+  const expr::ExprId b = pool.constant(hs.bound);
+  if (hs.side > 0) {
+    // x ≥ bound ⇔ bound − x ≤ 0.
+    return {pool.sub(b, xi), smt::Rel::kLe};
+  }
+  // x ≤ bound ⇔ x − bound ≤ 0.
+  return {pool.sub(xi, b), smt::Rel::kLe};
+}
+
+}  // namespace bcert::core

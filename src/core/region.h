@@ -1,0 +1,64 @@
+#pragma once
+/// \file region.h
+/// \brief Rectangular state-space regions and their constraint encodings.
+///
+/// The paper's case study uses: X0 = a rectangle, U = the complement of a
+/// rectangle (a disjunction of four halfspaces), and the domain of
+/// interest D = (X0 ∪ U)′. Membership and non-membership are encoded as
+/// conjunctions / DNF over the shared expression pool, which is exactly
+/// the form the δ-SAT solver consumes.
+
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/linalg/vector.h"
+#include "src/smt/constraint.h"
+
+namespace bcert::core {
+
+/// Axis-aligned rectangle [lo, hi] in state space.
+struct Rect {
+  linalg::Vector lo;
+  linalg::Vector hi;
+
+  std::size_t dims() const { return lo.size(); }
+
+  /// Throws std::invalid_argument when lo/hi mismatch or lo > hi.
+  void validate() const;
+
+  bool contains(const linalg::Vector& x) const;
+
+  /// All 2^n corner points.
+  std::vector<linalg::Vector> vertices() const;
+
+  interval::Box as_box() const;
+
+  /// Center point.
+  linalg::Vector center() const;
+};
+
+/// Conjunction encoding of `x ∈ rect`: for each i, lo_i ≤ x_i ≤ hi_i.
+smt::Conjunction inside_rect(expr::ExprPool& pool, const Rect& rect);
+
+/// DNF encoding of `x ∉ rect` (strict): ∨_i (x_i < lo_i ∨ x_i > hi_i).
+/// Each disjunct is a single halfspace constraint.
+smt::Dnf outside_rect(expr::ExprPool& pool, const Rect& rect);
+
+/// One halfspace `x_dim ≤ bound` (side = -1) or `x_dim ≥ bound`
+/// (side = +1) of the complement of a rectangle; used for the analytic
+/// level-set bound of each unsafe halfspace.
+struct Halfspace {
+  std::size_t dim = 0;
+  int side = 1;        ///< +1: x_dim ≥ bound, −1: x_dim ≤ bound
+  double bound = 0.0;
+};
+
+/// The 2n halfspaces whose union is the complement of \p rect.
+std::vector<Halfspace> complement_halfspaces(const Rect& rect);
+
+/// Constraint `x ∈ halfspace` over the pool.
+smt::Constraint halfspace_constraint(expr::ExprPool& pool,
+                                     const Halfspace& hs);
+
+}  // namespace bcert::core

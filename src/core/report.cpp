@@ -1,0 +1,146 @@
+#include "src/core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace bcert::core {
+
+namespace {
+
+void write_vector_json(std::ostream& os, const linalg::Vector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  os << ']';
+}
+
+void write_rect_json(std::ostream& os, const Rect& r) {
+  os << "{\"lo\": ";
+  write_vector_json(os, r.lo);
+  os << ", \"hi\": ";
+  write_vector_json(os, r.hi);
+  os << '}';
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_text_report(std::ostream& os, const VerifyResult& result,
+                       const BarrierProblem& problem,
+                       const ReportContext& ctx) {
+  os << "=== barrier-certificate verification report ===\n";
+  os << "system      : " << ctx.system_name << '\n';
+  if (!ctx.controller_description.empty()) {
+    os << "controller  : " << ctx.controller_description << '\n';
+  }
+  os << "verdict     : " << verify_status_name(result.status) << '\n';
+  os << "gamma/delta : " << ctx.gamma << " / " << ctx.delta << "\n\n";
+
+  os << "-- regions --\n";
+  os << "X0 lo " << problem.initial_set.lo << " hi "
+     << problem.initial_set.hi << '\n';
+  os << "safe lo " << problem.safe_rect.lo << " hi " << problem.safe_rect.hi
+     << "  (U = complement)\n\n";
+
+  if (result.generator) {
+    os << "-- certificate --\n";
+    os << "W coefficients (basis x_i x_j, i<=j): "
+       << result.generator->coeffs() << '\n';
+    if (result.safe()) {
+      os << "level l = " << result.level << '\n';
+      os << "B(x) = W(x) - l satisfies conditions (1)-(3) of the strict\n";
+      os << "barrier certificate definition: the system is SAFE for\n";
+      os << "unbounded time.\n";
+    }
+    os << '\n';
+  }
+
+  os << "-- procedure --\n";
+  os << "candidate iterations : " << result.timings.candidate_iterations
+     << '\n';
+  os << "LP solves            : " << result.timings.lp_solves << " ("
+     << result.timings.lp_time_s << " s)\n";
+  os << "SMT (5) queries      : " << result.timings.smt5_queries << " ("
+     << result.timings.smt5_time_s << " s)\n";
+  os << "final LP margin      : " << result.lp_margin << '\n';
+  if (!result.counterexamples.empty()) {
+    os << "counterexamples      :\n";
+    for (const auto& cex : result.counterexamples) {
+      os << "  " << cex << '\n';
+    }
+  }
+  os << "\n-- timing (Table-1 columns) --\n";
+  os << "generator total : " << result.timings.generator_time_s << " s\n";
+  os << "level-set phase : " << result.timings.level_set_time_s << " s\n";
+  os << "other           : " << result.timings.other_time_s() << " s\n";
+  os << "total           : " << result.timings.total_time_s << " s\n";
+}
+
+void write_json_report(std::ostream& os, const VerifyResult& result,
+                       const BarrierProblem& problem,
+                       const ReportContext& ctx) {
+  os.precision(17);
+  os << "{\n";
+  os << "  \"system\": \"" << escape(ctx.system_name) << "\",\n";
+  os << "  \"controller\": \"" << escape(ctx.controller_description)
+     << "\",\n";
+  os << "  \"verdict\": \"" << verify_status_name(result.status) << "\",\n";
+  os << "  \"safe\": " << (result.safe() ? "true" : "false") << ",\n";
+  os << "  \"gamma\": " << ctx.gamma << ",\n";
+  os << "  \"delta\": " << ctx.delta << ",\n";
+  os << "  \"initial_set\": ";
+  write_rect_json(os, problem.initial_set);
+  os << ",\n  \"safe_rect\": ";
+  write_rect_json(os, problem.safe_rect);
+  os << ",\n";
+  if (result.generator) {
+    os << "  \"generator_coeffs\": ";
+    write_vector_json(os, result.generator->coeffs());
+    os << ",\n";
+  }
+  os << "  \"level\": " << result.level << ",\n";
+  os << "  \"lp_margin\": " << result.lp_margin << ",\n";
+  os << "  \"counterexamples\": [";
+  for (std::size_t i = 0; i < result.counterexamples.size(); ++i) {
+    if (i) os << ", ";
+    write_vector_json(os, result.counterexamples[i]);
+  }
+  os << "],\n";
+  const VerifyTimings& t = result.timings;
+  os << "  \"timings\": {\n";
+  os << "    \"candidate_iterations\": " << t.candidate_iterations << ",\n";
+  os << "    \"lp_solves\": " << t.lp_solves << ",\n";
+  os << "    \"lp_time_s\": " << t.lp_time_s << ",\n";
+  os << "    \"smt5_queries\": " << t.smt5_queries << ",\n";
+  os << "    \"smt5_time_s\": " << t.smt5_time_s << ",\n";
+  os << "    \"generator_time_s\": " << t.generator_time_s << ",\n";
+  os << "    \"level_set_time_s\": " << t.level_set_time_s << ",\n";
+  os << "    \"other_time_s\": " << t.other_time_s() << ",\n";
+  os << "    \"total_time_s\": " << t.total_time_s << "\n";
+  os << "  }\n}\n";
+}
+
+std::string json_report(const VerifyResult& result,
+                        const BarrierProblem& problem,
+                        const ReportContext& context) {
+  std::ostringstream os;
+  write_json_report(os, result, problem, context);
+  return os.str();
+}
+
+}  // namespace bcert::core

@@ -1,0 +1,42 @@
+#pragma once
+/// \file report.h
+/// \brief Human-readable and machine-readable certificate reports.
+///
+/// A safety proof is only useful if it can be communicated and audited.
+/// This module renders a VerifyResult into (a) a plain-text report for
+/// humans and (b) a single-object JSON document for toolchains, carrying
+/// everything needed to independently re-check the certificate: the
+/// model regions, γ/δ, the generator coefficients, the level, CEX
+/// history and the timing breakdown.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/verifier.h"
+
+namespace bcert::core {
+
+/// Extra context that the VerifyResult itself does not carry.
+struct ReportContext {
+  std::string system_name = "unnamed-system";
+  std::string controller_description;
+  double gamma = 1e-6;
+  double delta = 1e-3;
+};
+
+/// Plain-text report (sections: verdict, certificate, procedure, timing).
+void write_text_report(std::ostream& os, const VerifyResult& result,
+                       const BarrierProblem& problem,
+                       const ReportContext& context = {});
+
+/// JSON report (stable key order; numbers at full precision).
+void write_json_report(std::ostream& os, const VerifyResult& result,
+                       const BarrierProblem& problem,
+                       const ReportContext& context = {});
+
+/// Convenience: JSON to string.
+std::string json_report(const VerifyResult& result,
+                        const BarrierProblem& problem,
+                        const ReportContext& context = {});
+
+}  // namespace bcert::core

@@ -1,0 +1,482 @@
+#include "src/core/verifier.h"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+
+#include "src/expr/derivative.h"
+#include "src/smt/smtlib_export.h"
+
+namespace bcert::core {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+}  // namespace
+
+bool BarrierProblem::has_invariant_dims() const {
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (!dim_unsafe(i)) return true;
+  }
+  return false;
+}
+
+void BarrierProblem::validate() const {
+  if (pool == nullptr) {
+    throw std::invalid_argument("BarrierProblem: pool is required");
+  }
+  if (!sim_field) {
+    throw std::invalid_argument("BarrierProblem: sim_field is required");
+  }
+  initial_set.validate();
+  safe_rect.validate();
+  const std::size_t n = initial_set.dims();
+  if (safe_rect.dims() != n || sym_field.size() != n) {
+    throw std::invalid_argument("BarrierProblem: dimension mismatch");
+  }
+  if (!unsafe_dims.empty()) {
+    if (unsafe_dims.size() != n) {
+      throw std::invalid_argument("BarrierProblem: unsafe_dims size");
+    }
+    bool any = false;
+    for (bool b : unsafe_dims) any = any || b;
+    if (!any) {
+      throw std::invalid_argument(
+          "BarrierProblem: at least one dimension must be unsafe");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (initial_set.lo[i] < safe_rect.lo[i] ||
+        initial_set.hi[i] > safe_rect.hi[i]) {
+      throw std::invalid_argument(
+          "BarrierProblem: X0 must lie inside the safe rectangle");
+    }
+  }
+}
+
+const char* verify_status_name(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kSafe: return "SAFE";
+    case VerifyStatus::kLpInfeasible: return "no-conclusion(LP-infeasible)";
+    case VerifyStatus::kMaxCandidateIterations:
+      return "no-conclusion(max-candidate-iterations)";
+    case VerifyStatus::kLevelSetFailed: return "no-conclusion(level-set)";
+    case VerifyStatus::kSolverBudget: return "no-conclusion(solver-budget)";
+    case VerifyStatus::kDomainNotInvariant:
+      return "no-conclusion(domain-not-invariant)";
+  }
+  return "?";
+}
+
+BarrierVerifier::BarrierVerifier(BarrierProblem problem,
+                                 VerifierOptions options)
+    : problem_(std::move(problem)), options_(options) {
+  problem_.validate();
+}
+
+std::vector<FieldSample> BarrierVerifier::simulate_samples(
+    const linalg::Vector& x0) const {
+  ode::IntegrateOptions iopts;
+  iopts.step = options_.trace_dt;
+  iopts.t_end = options_.trace_duration;
+  const Rect& domain = problem_.safe_rect;
+  // Stop once the state leaves a slightly padded domain — such states
+  // are in U and contribute no constraints.
+  iopts.stop = [&domain](double, const linalg::Vector& x) {
+    for (std::size_t i = 0; i < domain.dims(); ++i) {
+      const double pad = 0.05 * (domain.hi[i] - domain.lo[i]);
+      if (x[i] < domain.lo[i] - pad || x[i] > domain.hi[i] + pad) return true;
+    }
+    return false;
+  };
+  const ode::Trace trace = integrate_rk4(problem_.sim_field, x0, iopts);
+  return samples_from_trace(trace, problem_.sim_field, domain,
+                            options_.samples_per_trace,
+                            &problem_.initial_set);
+}
+
+std::vector<linalg::Vector> BarrierVerifier::random_initial_states(
+    int count, unsigned seed) const {
+  std::mt19937 rng(seed);
+  const Rect& domain = problem_.safe_rect;
+  std::vector<std::uniform_real_distribution<double>> dims;
+  dims.reserve(domain.dims());
+  for (std::size_t i = 0; i < domain.dims(); ++i) {
+    dims.emplace_back(domain.lo[i], domain.hi[i]);
+  }
+  std::vector<linalg::Vector> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    linalg::Vector x(domain.dims());
+    for (std::size_t i = 0; i < domain.dims(); ++i) x[i] = dims[i](rng);
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+smt::IcpResult BarrierVerifier::check_decrease(const QuadraticForm& w,
+                                               double delta) const {
+  expr::ExprPool& pool = *problem_.pool;
+  const expr::ExprId w_expr = w.to_expr(pool);
+  const expr::ExprId lie =
+      expr::lie_derivative(pool, w_expr, problem_.sym_field);
+  // ∇W·f + γ ≥ 0 — the satisfiability query whose UNSAT proves (3).
+  smt::Conjunction decrease;
+  decrease.add(pool.add(lie, pool.constant(options_.gamma)), smt::Rel::kGe);
+
+  // x ∈ D \ X0 : search the safe rectangle, excluding X0 (DNF split).
+  const smt::Dnf query =
+      outside_rect(pool, problem_.initial_set)
+          .conjoin(smt::Dnf::single(std::move(decrease)));
+
+  smt::IcpConfig config = options_.icp;
+  if (delta > 0.0) config.delta = delta;
+  smt::IcpSolver solver(pool, config);
+  return solver.solve(query, problem_.safe_rect.as_box());
+}
+
+double BarrierVerifier::numeric_lie(const QuadraticForm& w,
+                                    const linalg::Vector& x) const {
+  return dot(w.gradient(x), problem_.sim_field(x));
+}
+
+smt::IcpResult BarrierVerifier::check_initial_contained(
+    const QuadraticForm& w, double level) const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::Conjunction query;
+  // W(x) − ℓ > 0 somewhere in X0 would violate X0 ⊂ L.
+  query.add(pool.sub(w.to_expr(pool), pool.constant(level)), smt::Rel::kGt);
+  smt::IcpSolver solver(pool, options_.icp);
+  return solver.solve(query, problem_.initial_set.as_box());
+}
+
+smt::IcpResult BarrierVerifier::check_unsafe_disjoint(const QuadraticForm& w,
+                                                      double level) const {
+  expr::ExprPool& pool = *problem_.pool;
+
+  // The level set L = {W ≤ ℓ} is bounded (W must be PD to get here);
+  // search its padded bounding box intersected with each unsafe
+  // halfspace of U = complement(safe_rect).
+  const std::optional<Rect> bbox = w.level_set_bounding_box(level);
+  if (!bbox) {
+    // Not PD — report as a (spurious) SAT so the caller rejects ℓ.
+    smt::IcpResult r;
+    r.verdict = smt::SatResult::kDeltaSat;
+    return r;
+  }
+  Rect padded = *bbox;
+  for (std::size_t i = 0; i < padded.dims(); ++i) {
+    const double pad = 1e-6 + 1e-6 * (padded.hi[i] - padded.lo[i]);
+    padded.lo[i] -= pad;
+    padded.hi[i] += pad;
+  }
+
+  smt::Conjunction in_level_set;
+  in_level_set.add(pool.sub(w.to_expr(pool), pool.constant(level)),
+                   smt::Rel::kLe);
+  // Only the unsafe dimensions' halfspaces constitute U.
+  smt::Dnf outside;
+  for (const Halfspace& hs : complement_halfspaces(problem_.safe_rect)) {
+    if (!problem_.dim_unsafe(hs.dim)) continue;
+    smt::Conjunction c;
+    c.constraints.push_back(halfspace_constraint(pool, hs));
+    outside.disjuncts.push_back(std::move(c));
+  }
+  const smt::Dnf query = outside.conjoin(smt::Dnf::single(in_level_set));
+
+  smt::IcpSolver solver(pool, options_.icp);
+  return solver.solve(query, padded.as_box());
+}
+
+smt::IcpResult BarrierVerifier::check_domain_invariance() const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::IcpSolver solver(pool, options_.icp);
+
+  smt::IcpResult aggregate;
+  aggregate.verdict = smt::SatResult::kUnsat;
+  for (std::size_t i = 0; i < problem_.dims(); ++i) {
+    if (problem_.dim_unsafe(i)) continue;
+    for (const int side : {-1, +1}) {
+      // On the face x_i = bound, outward flow means side·f_i(x) > 0.
+      interval::Box face = problem_.safe_rect.as_box();
+      const double bound =
+          side > 0 ? problem_.safe_rect.hi[i] : problem_.safe_rect.lo[i];
+      face[i] = interval::Interval(bound);
+      smt::Conjunction outward;
+      const expr::ExprId fi = problem_.sym_field[i];
+      outward.add(side > 0 ? fi : pool.neg(fi), smt::Rel::kGt);
+      smt::IcpResult r = solver.solve(outward, face);
+      aggregate.stats.boxes_processed += r.stats.boxes_processed;
+      aggregate.stats.solve_time_s += r.stats.solve_time_s;
+      if (r.is_sat()) return r;
+      if (r.verdict == smt::SatResult::kUnknown) {
+        aggregate.verdict = smt::SatResult::kUnknown;
+      }
+    }
+  }
+  return aggregate;
+}
+
+std::optional<std::pair<double, double>> BarrierVerifier::level_window(
+    const QuadraticForm& w) const {
+  if (!w.positive_definite()) return std::nullopt;
+  const double lo = w.min_level_containing(problem_.initial_set);
+  double hi = std::numeric_limits<double>::infinity();
+  for (const Halfspace& hs : complement_halfspaces(problem_.safe_rect)) {
+    if (!problem_.dim_unsafe(hs.dim)) continue;
+    const std::optional<double> cap = w.max_level_avoiding(hs);
+    if (!cap) return std::nullopt;
+    hi = std::min(hi, *cap);
+  }
+  if (!std::isfinite(hi)) return std::nullopt;
+  if (!(lo < hi) || lo <= 0.0) return std::nullopt;
+  return std::make_pair(lo, hi);
+}
+
+void BarrierVerifier::export_queries_smtlib(const QuadraticForm& w,
+                                            double level,
+                                            const std::string& prefix) const {
+  expr::ExprPool& pool = *problem_.pool;
+  smt::SmtLibOptions sopts;
+  sopts.precision = options_.icp.delta;
+
+  // Condition (5): decrease over D \ X0.
+  {
+    const expr::ExprId lie =
+        expr::lie_derivative(pool, w.to_expr(pool), problem_.sym_field);
+    smt::Conjunction decrease;
+    decrease.add(pool.add(lie, pool.constant(options_.gamma)), smt::Rel::kGe);
+    const smt::Dnf query =
+        outside_rect(pool, problem_.initial_set)
+            .conjoin(smt::Dnf::single(std::move(decrease)));
+    std::ofstream os(prefix + "_decrease.smt2");
+    write_smtlib(os, pool, query, problem_.safe_rect.as_box(), sopts);
+  }
+  // Condition (6): X0 escapes the level set.
+  {
+    smt::Conjunction query;
+    query.add(pool.sub(w.to_expr(pool), pool.constant(level)),
+              smt::Rel::kGt);
+    std::ofstream os(prefix + "_initial.smt2");
+    write_smtlib(os, pool, query, problem_.initial_set.as_box(), sopts);
+  }
+  // Condition (7): the level set touches U.
+  {
+    smt::Conjunction in_level_set;
+    in_level_set.add(pool.sub(w.to_expr(pool), pool.constant(level)),
+                     smt::Rel::kLe);
+    const smt::Dnf query = outside_rect(pool, problem_.safe_rect)
+                               .conjoin(smt::Dnf::single(in_level_set));
+    const std::optional<Rect> bbox = w.level_set_bounding_box(level);
+    const Rect search = bbox ? *bbox : problem_.safe_rect;
+    std::ofstream os(prefix + "_unsafe.smt2");
+    write_smtlib(os, pool, query, search.as_box(), sopts);
+  }
+}
+
+VerifyStatus BarrierVerifier::check_certificate(const QuadraticForm& w,
+                                                double level) const {
+  if (!w.positive_definite() || level <= 0.0) {
+    return VerifyStatus::kLevelSetFailed;
+  }
+  const smt::IcpResult decrease = check_decrease(w);
+  if (decrease.verdict == smt::SatResult::kUnknown) {
+    return VerifyStatus::kSolverBudget;
+  }
+  if (!decrease.is_unsat()) return VerifyStatus::kMaxCandidateIterations;
+
+  const smt::IcpResult init = check_initial_contained(w, level);
+  if (init.verdict == smt::SatResult::kUnknown) {
+    return VerifyStatus::kSolverBudget;
+  }
+  if (!init.is_unsat()) return VerifyStatus::kLevelSetFailed;
+
+  const smt::IcpResult unsafe = check_unsafe_disjoint(w, level);
+  if (unsafe.verdict == smt::SatResult::kUnknown) {
+    return VerifyStatus::kSolverBudget;
+  }
+  if (!unsafe.is_unsat()) return VerifyStatus::kLevelSetFailed;
+
+  return VerifyStatus::kSafe;
+}
+
+VerifyResult BarrierVerifier::verify() {
+  VerifyResult result;
+  const auto t_start = clock::now();
+
+  // ---- Seed simulations --------------------------------------------------
+  const auto t_seed = clock::now();
+  std::vector<FieldSample> samples;
+  for (const linalg::Vector& x0 :
+       random_initial_states(options_.seed_traces, options_.seed)) {
+    const auto s = simulate_samples(x0);
+    samples.insert(samples.end(), s.begin(), s.end());
+  }
+  // Domain-wide positivity anchors (decrease-exempt).
+  for (const linalg::Vector& x : random_initial_states(
+           options_.positivity_samples, options_.seed + 7919)) {
+    samples.push_back({x, problem_.sim_field(x), /*require_decrease=*/false});
+  }
+  result.timings.simulation_time_s += seconds_since(t_seed);
+
+  // ---- Candidate loop: LP ↔ SMT(5) ---------------------------------------
+  const auto t_gen = clock::now();
+  std::optional<QuadraticForm> generator;
+  for (int iter = 0; iter < options_.max_candidate_iterations; ++iter) {
+    ++result.timings.candidate_iterations;
+
+    const auto t_lp = clock::now();
+    const SynthesisResult synth =
+        synthesize_candidate(samples, problem_.dims(), options_.synthesis);
+    result.timings.lp_time_s += seconds_since(t_lp);
+    ++result.timings.lp_solves;
+
+    if (!synth.feasible) {
+      result.status = VerifyStatus::kLpInfeasible;
+      // Surface the binding samples as counterexamples: they locate
+      // where the closed loop resists *every* template candidate.
+      result.counterexamples = synth.binding_states;
+      result.timings.generator_time_s = seconds_since(t_gen);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    result.lp_margin = synth.margin;
+    result.generator = synth.candidate;
+
+    const auto t_smt = clock::now();
+    smt::IcpResult check = check_decrease(synth.candidate);
+    ++result.timings.smt5_queries;
+    // δ-refinement: re-query with tighter δ while the witness is a
+    // spurious artifact of interval slack (numeric Lie below −γ).
+    double delta = options_.icp.delta;
+    while (options_.adaptive_delta &&
+           check.verdict == smt::SatResult::kDeltaSat &&
+           delta > options_.min_delta &&
+           numeric_lie(synth.candidate, check.witness_point()) <
+               -options_.gamma) {
+      delta *= options_.delta_shrink;
+      check = check_decrease(synth.candidate, delta);
+      ++result.timings.smt5_queries;
+    }
+    result.timings.smt5_time_s += seconds_since(t_smt);
+
+    if (check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      result.timings.generator_time_s = seconds_since(t_gen);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    if (check.is_unsat()) {
+      generator = synth.candidate;
+      break;
+    }
+
+    // CEX: simulate from the witness and extend the sample set.
+    const linalg::Vector cex = check.witness_point();
+    result.counterexamples.push_back(cex);
+    const auto t_sim = clock::now();
+    const auto s = simulate_samples(cex);
+    result.timings.simulation_time_s += seconds_since(t_sim);
+    samples.insert(samples.end(), s.begin(), s.end());
+    if (s.empty()) {
+      // Witness immediately left the domain; at least pin the point
+      // itself so the LP sees the violation.
+      samples.push_back({cex, problem_.sim_field(cex)});
+    }
+  }
+  result.timings.generator_time_s = seconds_since(t_gen);
+
+  if (!generator) {
+    result.status = VerifyStatus::kMaxCandidateIterations;
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+
+  // ---- Level-set selection + SMT (6) & (7) -------------------------------
+  const auto t_level = clock::now();
+
+  // Domain-only dimensions must be flow-invariant, otherwise trajectories
+  // could leave the region where the decrease condition was proven.
+  if (problem_.has_invariant_dims()) {
+    const smt::IcpResult inv = check_domain_invariance();
+    if (inv.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      result.timings.level_set_time_s = seconds_since(t_level);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+    if (inv.is_sat()) {
+      result.status = VerifyStatus::kDomainNotInvariant;
+      result.timings.level_set_time_s = seconds_since(t_level);
+      result.timings.total_time_s = seconds_since(t_start);
+      return result;
+    }
+  }
+
+  const auto window = level_window(*generator);
+  if (!window) {
+    result.status = VerifyStatus::kLevelSetFailed;
+    result.timings.level_set_time_s = seconds_since(t_level);
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+  // Shrink the analytic window slightly so both SMT queries have margin.
+  double lo = window->first * (1.0 + options_.level_margin);
+  double hi = window->second * (1.0 - options_.level_margin);
+  if (!(lo < hi)) {
+    result.status = VerifyStatus::kLevelSetFailed;
+    result.timings.level_set_time_s = seconds_since(t_level);
+    result.timings.total_time_s = seconds_since(t_start);
+    return result;
+  }
+
+  double level = std::sqrt(lo * hi);  // geometric midpoint first
+  bool proved = false;
+  for (int iter = 0; iter < options_.max_level_iterations; ++iter) {
+    const smt::IcpResult init_check =
+        check_initial_contained(*generator, level);
+    if (init_check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      break;
+    }
+    if (init_check.is_sat()) {
+      // Some initial state escapes L: raise ℓ.
+      lo = level;
+      level = std::sqrt(lo * hi);
+      continue;
+    }
+    const smt::IcpResult unsafe_check =
+        check_unsafe_disjoint(*generator, level);
+    if (unsafe_check.verdict == smt::SatResult::kUnknown) {
+      result.status = VerifyStatus::kSolverBudget;
+      break;
+    }
+    if (unsafe_check.is_sat()) {
+      // L reaches into U: lower ℓ.
+      hi = level;
+      level = std::sqrt(lo * hi);
+      continue;
+    }
+    proved = true;
+    break;
+  }
+  result.timings.level_set_time_s = seconds_since(t_level);
+  result.timings.total_time_s = seconds_since(t_start);
+
+  if (proved) {
+    result.status = VerifyStatus::kSafe;
+    result.level = level;
+  } else if (result.status != VerifyStatus::kSolverBudget) {
+    result.status = VerifyStatus::kLevelSetFailed;
+  }
+  return result;
+}
+
+}  // namespace bcert::core

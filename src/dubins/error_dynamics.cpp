@@ -1,0 +1,53 @@
+#include "src/dubins/error_dynamics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcert::dubins {
+
+ode::VectorField closed_loop_field(const ErrorModel& model,
+                                   const nn::FeedforwardNet& controller) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "closed_loop_field: controller must map (d_err, theta_err) -> u");
+  }
+  const double v = model.velocity;
+  const double tr = model.theta_r;
+  const nn::FeedforwardNet net = controller;  // own a copy
+  return [v, tr, net](const linalg::Vector& x) {
+    const double theta_err = x[1];
+    const double u = net.forward(x)[0];
+    linalg::Vector dx(2);
+    dx[0] = -v * std::sin(tr - theta_err) * std::cos(tr) +
+            v * std::cos(tr - theta_err) * std::sin(tr);
+    dx[1] = -u;
+    return dx;
+  };
+}
+
+std::vector<expr::ExprId> closed_loop_field_expr(
+    const ErrorModel& model, const nn::FeedforwardNet& controller,
+    expr::ExprPool& pool) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "closed_loop_field_expr: controller must map 2 inputs -> 1 output");
+  }
+  const expr::ExprId d = pool.var(0);
+  const expr::ExprId th = pool.var(1);
+  const expr::ExprId v = pool.constant(model.velocity);
+  const expr::ExprId tr = pool.constant(model.theta_r);
+
+  // ḋ_err, exactly as printed in the paper (§4.1.3).
+  const expr::ExprId angle = pool.sub(tr, th);
+  const expr::ExprId d_dot = pool.add(
+      pool.neg(pool.mul(pool.mul(v, pool.sin(angle)), pool.cos(tr))),
+      pool.mul(pool.mul(v, pool.cos(angle)), pool.sin(tr)));
+
+  // θ̇_err = −u with u = h(d_err, θ_err).
+  const expr::ExprId u = controller.to_expr(pool, {d, th})[0];
+  const expr::ExprId th_dot = pool.neg(u);
+
+  return {d_dot, th_dot};
+}
+
+}  // namespace bcert::dubins

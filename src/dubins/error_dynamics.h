@@ -1,0 +1,41 @@
+#pragma once
+/// \file error_dynamics.h
+/// \brief The 2-state closed-loop error model of §4.1.3/4.1.4:
+///
+///   x = [d_err, θ_err]
+///   ḋ_err = −V sin(θ_r − θ_err) cos(θ_r) + V cos(θ_r − θ_err) sin(θ_r)
+///   θ̇_err = −u,   u = h(d_err, θ_err)
+///
+/// (the first equation simplifies to V sin(θ_err) for any constant θ_r;
+/// we keep the paper's general form symbolically so the verified model
+/// matches the paper's text verbatim).
+
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/linalg/vector.h"
+#include "src/nn/network.h"
+#include "src/ode/integrator.h"
+
+namespace bcert::dubins {
+
+/// Parameters of the error-dynamics model.
+struct ErrorModel {
+  double velocity = 5.0;   ///< constant V
+  double theta_r = 0.0;    ///< constant target-path tangent angle
+};
+
+/// Numeric closed-loop vector field f(x) = fp(x, h(x)) for simulation.
+/// The controller is evaluated without saturation (the NN's tanh output
+/// is already in (−1, 1)), matching the symbolic model exactly.
+ode::VectorField closed_loop_field(const ErrorModel& model,
+                                   const nn::FeedforwardNet& controller);
+
+/// Symbolic closed-loop field over variables x0 = d_err, x1 = θ_err.
+/// Returns {ḋ_err, θ̇_err} as expressions embedding the controller's
+/// exact weights — the f(x) of the SMT queries.
+std::vector<expr::ExprId> closed_loop_field_expr(
+    const ErrorModel& model, const nn::FeedforwardNet& controller,
+    expr::ExprPool& pool);
+
+}  // namespace bcert::dubins

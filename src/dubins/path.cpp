@@ -1,0 +1,99 @@
+#include "src/dubins/path.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bcert::dubins {
+
+double wrap_angle(double a) {
+  constexpr double kPi = 3.14159265358979323846;
+  a = std::fmod(a + kPi, 2.0 * kPi);
+  if (a <= 0.0) a += 2.0 * kPi;
+  return a - kPi;
+}
+
+double heading_of(double dx, double dy) { return std::atan2(dx, dy); }
+
+PiecewiseLinearPath::PiecewiseLinearPath(std::vector<Point2> waypoints) {
+  waypoints_.reserve(waypoints.size());
+  for (const Point2& p : waypoints) {
+    if (!waypoints_.empty()) {
+      const Point2& last = waypoints_.back();
+      if (std::hypot(p.x - last.x, p.y - last.y) < 1e-12) continue;
+    }
+    waypoints_.push_back(p);
+  }
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument(
+        "PiecewiseLinearPath: need >= 2 distinct waypoints");
+  }
+}
+
+double PiecewiseLinearPath::length() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    acc += std::hypot(waypoints_[i + 1].x - waypoints_[i].x,
+                      waypoints_[i + 1].y - waypoints_[i].y);
+  }
+  return acc;
+}
+
+PathError PiecewiseLinearPath::error(double xv, double yv,
+                                     double theta_v) const {
+  PathError best;
+  double best_dist2 = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i + 1 < waypoints_.size(); ++i) {
+    const Point2& p0 = waypoints_[i];
+    const Point2& p1 = waypoints_[i + 1];
+    const double sx = p1.x - p0.x, sy = p1.y - p0.y;
+    const double len2 = sx * sx + sy * sy;
+    // Projection parameter clamped to the segment.
+    double t = ((xv - p0.x) * sx + (yv - p0.y) * sy) / len2;
+    t = std::clamp(t, 0.0, 1.0);
+    const double nx = p0.x + t * sx, ny = p0.y + t * sy;
+    const double dx = xv - nx, dy = yv - ny;
+    const double dist2 = dx * dx + dy * dy;
+    if (dist2 < best_dist2) {
+      best_dist2 = dist2;
+      best.nearest = {nx, ny};
+      best.segment = i;
+      best.tangent_angle = heading_of(sx, sy);
+      // Signed distance: positive when the vehicle is on the left of the
+      // travel direction. With direction d̂ = (sx, sy)/|s| and offset
+      // v = (dx, dy), left is the cross product d̂ × v̂ > 0 in the
+      // standard (x right, y up) frame... in the paper's clockwise-from-
+      // +y convention "left of travel" is still the same geometric side;
+      // cross = sx*dy - sy*dx gives positive for counter-clockwise
+      // (left) offsets.
+      const double cross = sx * dy - sy * dx;
+      best.distance = (cross >= 0.0 ? 1.0 : -1.0) * std::sqrt(dist2);
+    }
+  }
+  best.angle = wrap_angle(best.tangent_angle - theta_v);
+  return best;
+}
+
+PiecewiseLinearPath PiecewiseLinearPath::figure4_path() {
+  // Shape mirrors the training path of Figure 4: starts near the origin,
+  // heads up-right, bends left, continues up, then turns right —
+  // a few gentle piecewise-linear legs across a ~200x100 region.
+  return PiecewiseLinearPath({{0.0, 0.0},
+                              {30.0, 20.0},
+                              {60.0, 25.0},
+                              {90.0, 45.0},
+                              {100.0, 75.0},
+                              {120.0, 90.0}});
+}
+
+PiecewiseLinearPath PiecewiseLinearPath::straight(double theta_r,
+                                                  double length) {
+  const double dx = std::sin(theta_r), dy = std::cos(theta_r);
+  return PiecewiseLinearPath(
+      {{-0.5 * length * dx, -0.5 * length * dy},
+       {0.5 * length * dx, 0.5 * length * dy}});
+}
+
+}  // namespace bcert::dubins

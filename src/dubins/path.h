@@ -1,0 +1,70 @@
+#pragma once
+/// \file path.h
+/// \brief Target paths and path-following error computation (§4.1.2).
+///
+/// Angle convention follows the paper: θ is the *clockwise* angle from
+/// the positive y-axis, so a heading θ moves along (sin θ, cos θ).
+/// The distance error d_err is positive when the vehicle is left of the
+/// path (relative to travel direction) and negative on the right.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::dubins {
+
+/// A point in the plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Path-following errors at one vehicle pose.
+struct PathError {
+  double distance = 0.0;  ///< d_err, signed (left positive)
+  double angle = 0.0;     ///< θ_err = θ_r − θ_v, wrapped to (−π, π]
+  Point2 nearest;         ///< closest point on the path
+  double tangent_angle = 0.0;  ///< θ_r at the nearest point
+  std::size_t segment = 0;     ///< index of the nearest segment
+};
+
+/// Wraps an angle to (−π, π].
+double wrap_angle(double a);
+
+/// Heading of a direction vector (dx, dy) in the paper's convention
+/// (clockwise from +y): θ = atan2(dx, dy).
+double heading_of(double dx, double dy);
+
+/// Piecewise-linear target path (the blue path of Figure 4).
+class PiecewiseLinearPath {
+ public:
+  /// Requires at least two waypoints; consecutive duplicates are ignored.
+  explicit PiecewiseLinearPath(std::vector<Point2> waypoints);
+
+  const std::vector<Point2>& waypoints() const { return waypoints_; }
+  std::size_t num_segments() const { return waypoints_.size() - 1; }
+
+  Point2 start() const { return waypoints_.front(); }
+  Point2 end() const { return waypoints_.back(); }
+
+  /// Total arc length.
+  double length() const;
+
+  /// Computes the path-following error for a vehicle at (x, y) heading
+  /// θ_v (paper convention).
+  PathError error(double xv, double yv, double theta_v) const;
+
+  /// The piecewise-linear training path of Figure 4 (same overall shape:
+  /// a few straight legs with moderate turns covering ~200 units).
+  static PiecewiseLinearPath figure4_path();
+
+  /// A straight-line path from (0,0) with constant tangent angle
+  /// θ_r (paper convention), long enough for any bounded experiment.
+  static PiecewiseLinearPath straight(double theta_r, double length = 1e4);
+
+ private:
+  std::vector<Point2> waypoints_;
+};
+
+}  // namespace bcert::dubins

@@ -1,0 +1,68 @@
+#include "src/dubins/rnn_dynamics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcert::dubins {
+
+ode::VectorField rnn_closed_loop_field(const ErrorModel& model,
+                                       const nn::Ctrnn& controller) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "rnn_closed_loop_field: controller must map (d, theta) -> u");
+  }
+  const double v = model.velocity;
+  const double tr = model.theta_r;
+  const nn::Ctrnn net = controller;
+  const std::size_t k = net.num_hidden();
+  return [v, tr, net, k](const linalg::Vector& x) {
+    const double theta_err = x[1];
+    linalg::Vector y{x[0], x[1]};
+    linalg::Vector h(k);
+    for (std::size_t i = 0; i < k; ++i) h[i] = x[2 + i];
+
+    const double u = net.output(h)[0];
+    const linalg::Vector dh = net.hidden_derivative(y, h);
+
+    linalg::Vector dx(2 + k);
+    dx[0] = -v * std::sin(tr - theta_err) * std::cos(tr) +
+            v * std::cos(tr - theta_err) * std::sin(tr);
+    dx[1] = -u;
+    for (std::size_t i = 0; i < k; ++i) dx[2 + i] = dh[i];
+    return dx;
+  };
+}
+
+std::vector<expr::ExprId> rnn_closed_loop_field_expr(
+    const ErrorModel& model, const nn::Ctrnn& controller,
+    expr::ExprPool& pool) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "rnn_closed_loop_field_expr: controller must map (d, theta) -> u");
+  }
+  const std::size_t k = controller.num_hidden();
+  const expr::ExprId d = pool.var(0);
+  const expr::ExprId th = pool.var(1);
+  std::vector<expr::ExprId> h(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    h[i] = pool.var(static_cast<std::int32_t>(2 + i));
+  }
+
+  const expr::ExprId v = pool.constant(model.velocity);
+  const expr::ExprId tr = pool.constant(model.theta_r);
+  const expr::ExprId angle = pool.sub(tr, th);
+  const expr::ExprId d_dot = pool.add(
+      pool.neg(pool.mul(pool.mul(v, pool.sin(angle)), pool.cos(tr))),
+      pool.mul(pool.mul(v, pool.cos(angle)), pool.sin(tr)));
+
+  const expr::ExprId u = controller.output_expr(pool, h)[0];
+  const expr::ExprId th_dot = pool.neg(u);
+  const std::vector<expr::ExprId> h_dot =
+      controller.hidden_derivative_expr(pool, {d, th}, h);
+
+  std::vector<expr::ExprId> field{d_dot, th_dot};
+  field.insert(field.end(), h_dot.begin(), h_dot.end());
+  return field;
+}
+
+}  // namespace bcert::dubins

@@ -1,0 +1,31 @@
+#pragma once
+/// \file rnn_dynamics.h
+/// \brief Closed-loop dynamics with a *stateful* (CTRNN) controller —
+/// the paper's future-work configuration (§2, §5).
+///
+/// Augmented state x = [d_err, θ_err, h_1, ..., h_k]:
+///
+///   ḋ_err  = −V sin(θr−θ)cos(θr) + V cos(θr−θ)sin(θr)
+///   θ̇_err  = −u,          u = Wo·h + bo
+///   τ·ḣ    = −h + act(Wx·[d, θ] + Wh·h + b)
+///
+/// The closed loop is autonomous, so the unmodified barrier-certificate
+/// pipeline verifies it; the SMT queries just gain k dimensions.
+
+#include <vector>
+
+#include "src/dubins/error_dynamics.h"
+#include "src/nn/ctrnn.h"
+
+namespace bcert::dubins {
+
+/// Numeric augmented field over [d, θ, h...].
+ode::VectorField rnn_closed_loop_field(const ErrorModel& model,
+                                       const nn::Ctrnn& controller);
+
+/// Symbolic augmented field; variables 0 = d, 1 = θ, 2.. = h.
+std::vector<expr::ExprId> rnn_closed_loop_field_expr(
+    const ErrorModel& model, const nn::Ctrnn& controller,
+    expr::ExprPool& pool);
+
+}  // namespace bcert::dubins

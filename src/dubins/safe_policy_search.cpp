@@ -1,0 +1,96 @@
+#include "src/dubins/safe_policy_search.h"
+
+#include <cmath>
+
+#include "src/dubins/error_dynamics.h"
+
+namespace bcert::dubins {
+
+SafePolicySearchResult safe_policy_search(
+    const PiecewiseLinearPath& path, const core::Rect& initial_set,
+    const core::Rect& safe_rect, const SafePolicySearchOptions& opts) {
+  SafePolicySearchResult result;
+  TrainOptions train = opts.train;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    // Vary the CMA-ES seed per round so a retrain with the same rollout
+    // set still explores differently.
+    train.seed = opts.train.seed + static_cast<unsigned>(round) * 101;
+    const TrainResult tr = train_controller(path, train);
+
+    expr::ExprPool pool;
+    const ErrorModel model{opts.velocity, 0.0};
+    core::BarrierProblem problem;
+    problem.pool = &pool;
+    problem.sim_field = closed_loop_field(model, tr.controller);
+    problem.sym_field = closed_loop_field_expr(model, tr.controller, pool);
+    problem.initial_set = initial_set;
+    problem.safe_rect = safe_rect;
+
+    core::BarrierVerifier verifier(problem, opts.verify);
+    core::VerifyResult vr = verifier.verify();
+
+    SafePolicySearchRound log;
+    log.round = round;
+    log.train_cost = tr.best_cost;
+    log.status = vr.status;
+    log.counterexamples = vr.counterexamples.size();
+    result.rounds.push_back(log);
+
+    result.controller = tr.controller;
+
+    if (vr.safe() || round == opts.max_rounds - 1) {
+      result.verification = std::move(vr);
+      return result;
+    }
+
+    // CEGIS feedback: each adopted counterexample (d, θ) yields rollout
+    // offsets covering the offending direction at full domain scale —
+    // the state and its mirror (the error dynamics are symmetric under
+    // (d,θ) → (−d,−θ) for an odd policy), an amplified copy pushed
+    // toward the domain boundary, and its axis projections. Raw CEX tend
+    // to sit on a small ring near the origin; without amplification the
+    // retrained policy stays incompetent at large errors and the loop
+    // stalls (observed; see DESIGN.md §6).
+    const double d_span =
+        0.8 * std::max(std::fabs(safe_rect.lo[0]), safe_rect.hi[0]);
+    const double th_span =
+        0.8 * std::max(std::fabs(safe_rect.lo[1]), safe_rect.hi[1]);
+    auto add_offset = [&train](double d, double th) {
+      for (const auto& [ed, eth] : train.start_offsets) {
+        if (std::fabs(ed - d) < 0.25 && std::fabs(eth - th) < 0.12) {
+          return;  // effectively a duplicate rollout
+        }
+      }
+      train.start_offsets.emplace_back(d, th);
+    };
+    std::size_t adopted = 0;
+    for (const linalg::Vector& cex : vr.counterexamples) {
+      if (adopted >= opts.max_new_offsets) break;
+      const double d = cex[0], th = cex[1];
+      if (d == 0.0 && th == 0.0) continue;
+      add_offset(d, th);
+      add_offset(-d, -th);
+      const double scale = std::min(
+          std::fabs(d) > 1e-9 ? d_span / std::fabs(d) : 1e18,
+          std::fabs(th) > 1e-9 ? th_span / std::fabs(th) : 1e18);
+      if (scale > 1.0) {
+        add_offset(scale * d, scale * th);
+        add_offset(-scale * d, -scale * th);
+      }
+      if (std::fabs(d) > 1e-3) {
+        add_offset(d > 0 ? d_span : -d_span, 0.0);
+        add_offset(d > 0 ? -d_span : d_span, 0.0);
+      }
+      if (std::fabs(th) > 1e-3) {
+        add_offset(0.0, th > 0 ? th_span : -th_span);
+        add_offset(0.0, th > 0 ? -th_span : th_span);
+      }
+      ++adopted;
+    }
+    result.verification = std::move(vr);
+  }
+  return result;
+}
+
+}  // namespace bcert::dubins

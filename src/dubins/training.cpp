@@ -1,0 +1,142 @@
+#include "src/dubins/training.h"
+
+#include <cmath>
+
+#include "src/nn/elm.h"
+
+namespace bcert::dubins {
+
+double path_following_cost(const ClosedLoopTrace& trace,
+                           const PiecewiseLinearPath& path,
+                           const CostWeights& w) {
+  double j = 0.0;
+  for (const ClosedLoopSample& s : trace.samples) {
+    j += w.distance * s.error.distance * s.error.distance +
+         w.angle * s.error.angle * s.error.angle + w.control * s.u * s.u;
+  }
+  const ClosedLoopSample& last = trace.samples.back();
+  const Point2 end = path.end();
+  const double ex = end.x - last.state.x, ey = end.y - last.state.y;
+  j += w.endpoint * (ex * ex + ey * ey);
+  return j;
+}
+
+SteeringController as_controller(const nn::FeedforwardNet& net) {
+  const nn::FeedforwardNet copy = net;
+  return [copy](double d_err, double theta_err) {
+    return copy.forward(linalg::Vector{d_err, theta_err})[0];
+  };
+}
+
+SteeringController proportional_teacher(double k_d, double k_th) {
+  return [k_d, k_th](double d_err, double theta_err) {
+    // Positive d_err (left of path) should steer right: in the paper's
+    // convention θ̇_err = −u, and reducing a positive d_err needs a
+    // negative θ_err, i.e. u > 0 pushes θ_err down. Hence +k_d·d.
+    return std::tanh(k_d * d_err + k_th * theta_err);
+  };
+}
+
+std::vector<std::pair<double, double>> verification_offsets() {
+  return {{0.0, 0.0}, {4.0, 0.0},  {-4.0, 0.0}, {2.0, -1.2},
+          {-2.0, 1.2}, {4.0, 1.2}, {-4.0, -1.2}};
+}
+
+VehicleState offset_start(const PiecewiseLinearPath& path, double d_err,
+                          double theta_err) {
+  const Point2 p0 = path.start();
+  const Point2 p1 = path.waypoints()[1];
+  const double len = std::hypot(p1.x - p0.x, p1.y - p0.y);
+  const double sx = (p1.x - p0.x) / len, sy = (p1.y - p0.y) / len;
+  const double theta_r = heading_of(sx, sy);
+  // Left-normal n satisfies cross(s, n) = +1, so displacing by d_err·n
+  // realizes exactly that signed distance error.
+  VehicleState s;
+  s.x = p0.x - d_err * sy;
+  s.y = p0.y + d_err * sx;
+  s.theta = theta_r - theta_err;
+  return s;
+}
+
+TrainResult train_controller(const PiecewiseLinearPath& path,
+                             const TrainOptions& opts,
+                             const SnapshotCallback& snapshot) {
+  nn::FeedforwardNet proto =
+      nn::FeedforwardNet::single_hidden(2, opts.hidden_neurons, 1);
+
+  // Start poses: the base pose shifted by each requested error offset.
+  std::vector<VehicleState> starts;
+  starts.reserve(opts.start_offsets.size());
+  for (const auto& [d0, th0] : opts.start_offsets) {
+    if (d0 == 0.0 && th0 == 0.0) {
+      starts.push_back(opts.initial);
+    } else {
+      starts.push_back(offset_start(path, d0, th0));
+    }
+  }
+
+  // Objective: roll out the candidate policy from every start pose and
+  // sum the paper's cost.
+  const auto objective = [&](const linalg::Vector& params) {
+    nn::FeedforwardNet net = proto;
+    net.set_parameters(params);
+    double total = 0.0;
+    for (const VehicleState& s0 : starts) {
+      const ClosedLoopTrace trace =
+          simulate_path_following(path, as_controller(net), s0, opts.sim);
+      total += path_following_cost(trace, path, opts.weights);
+    }
+    return total;
+  };
+
+  // Random initial parameters (the paper also starts from random
+  // weights; Figure 4(a) shows the resulting wandering behaviour).
+  std::mt19937 rng(opts.seed);
+  proto.randomize(rng, 1.0);
+  const linalg::Vector x0 = proto.parameters();
+
+  cmaes::CmaesOptions copts;
+  copts.lambda = opts.population;
+  copts.sigma0 = opts.sigma0;
+  copts.max_iterations = opts.iterations;
+  copts.seed = opts.seed + 1;
+  // Full covariance up to a few hundred parameters, separable beyond.
+  copts.diagonal_only = x0.size() > 400;
+
+  cmaes::IterationCallback cb;
+  if (snapshot) {
+    cb = [&](const cmaes::CmaesIteration& info) {
+      TrainingSnapshot snap;
+      snap.iteration = info.iteration;
+      snap.best_cost = info.best_fitness;
+      snap.controller = proto;
+      snap.controller.set_parameters(info.best_x);
+      snapshot(snap);
+    };
+  }
+
+  const cmaes::CmaesResult r = cmaes_minimize(objective, x0, copts, cb);
+
+  TrainResult out;
+  out.controller = proto;
+  out.controller.set_parameters(r.best_x);
+  out.best_cost = r.best_fitness;
+  out.cost_history = r.fitness_history;
+  return out;
+}
+
+nn::FeedforwardNet distill_controller(const SteeringController& teacher,
+                                      std::size_t hidden, unsigned seed,
+                                      double d_range, double theta_range) {
+  nn::ElmOptions opts;
+  opts.hidden = hidden;
+  opts.samples = std::max<std::size_t>(4 * hidden, 600);
+  opts.seed = seed;
+  const nn::TeacherFn fn = [&teacher](const linalg::Vector& x) {
+    return linalg::Vector{teacher(x[0], x[1])};
+  };
+  return nn::elm_fit(fn, 2, 1, linalg::Vector{-d_range, -theta_range},
+                     linalg::Vector{d_range, theta_range}, opts);
+}
+
+}  // namespace bcert::dubins

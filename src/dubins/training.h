@@ -1,0 +1,101 @@
+#pragma once
+/// \file training.h
+/// \brief NN controller training by CMA-ES direct policy search (§4.2)
+/// and factories for the controller suite of Table 1.
+
+#include <functional>
+#include <vector>
+
+#include "src/cmaes/cmaes.h"
+#include "src/dubins/path.h"
+#include "src/dubins/vehicle.h"
+#include "src/nn/network.h"
+
+namespace bcert::dubins {
+
+/// Weights of the paper's training cost
+///   J = Σ_k (w_d d_err_k² + w_th θ_err_k² + w_u u_k²)
+///       + w_end |(x_end, y_end) − (x_vN, y_vN)|².
+struct CostWeights {
+  double distance = 100.0;
+  double angle = 1e5;
+  double control = 100.0;
+  double endpoint = 1e3;
+};
+
+/// Evaluates the paper's cost J for one closed-loop simulation.
+double path_following_cost(const ClosedLoopTrace& trace,
+                           const PiecewiseLinearPath& path,
+                           const CostWeights& weights = {});
+
+/// Training configuration (§4.2 defaults: 10 hidden neurons, 50
+/// CMA-ES iterations, population 152).
+struct TrainOptions {
+  std::size_t hidden_neurons = 10;
+  int iterations = 50;
+  std::size_t population = 152;
+  double sigma0 = 0.5;
+  unsigned seed = 7;
+  SimOptions sim;            ///< discrete-time simulation settings
+  CostWeights weights;
+  VehicleState initial;      ///< base start pose for training rollouts
+
+  /// Initial (d_err, θ_err) offsets for the training rollouts; the cost
+  /// is summed over one rollout per offset. The default single on-path
+  /// rollout matches §4.2. Adding off-path offsets (see
+  /// `verification_offsets()`) exposes the policy to the whole domain D,
+  /// which a policy must handle before an *unbounded-time* certificate
+  /// over D can exist — a controller trained only on-path can behave
+  /// arbitrarily at large d_err.
+  std::vector<std::pair<double, double>> start_offsets = {{0.0, 0.0}};
+};
+
+/// Offsets spanning the verification domain of §4.3 (|d| ≤ 5,
+/// |θ| ≤ π/2−ε) for robust training.
+std::vector<std::pair<double, double>> verification_offsets();
+
+/// Places the vehicle at lateral offset \p d_err and heading error
+/// \p theta_err relative to \p path's first segment.
+VehicleState offset_start(const PiecewiseLinearPath& path, double d_err,
+                          double theta_err);
+
+/// Per-iteration snapshot for Figure 4 reproduction.
+struct TrainingSnapshot {
+  int iteration = 0;
+  double best_cost = 0.0;
+  nn::FeedforwardNet controller;  ///< best-of-iteration policy
+};
+
+using SnapshotCallback = std::function<void(const TrainingSnapshot&)>;
+
+/// Result of a policy search.
+struct TrainResult {
+  nn::FeedforwardNet controller;
+  double best_cost = 0.0;
+  std::vector<double> cost_history;
+};
+
+/// Trains a (2 → Nh → 1) all-tansig controller to follow \p path by
+/// CMA-ES policy search on the paper's cost.
+TrainResult train_controller(const PiecewiseLinearPath& path,
+                             const TrainOptions& opts,
+                             const SnapshotCallback& snapshot = {});
+
+/// Wraps a network as a SteeringController closure.
+SteeringController as_controller(const nn::FeedforwardNet& net);
+
+/// A hand-derived smooth baseline steering law
+///   u = tanh(k_d·d_err + k_th·θ_err)
+/// used as the ELM teacher and as a sanity baseline in tests/benches.
+SteeringController proportional_teacher(double k_d = 0.25, double k_th = 2.0);
+
+/// Builds a controller with \p hidden neurons that is functionally
+/// equivalent to \p teacher over the verification domain, by random-
+/// feature least squares (see nn/elm.h for why this substitution is
+/// faithful for the Table-1 scaling experiment).
+nn::FeedforwardNet distill_controller(const SteeringController& teacher,
+                                      std::size_t hidden, unsigned seed = 99,
+                                      double d_range = 6.0,
+                                      double theta_range = 1.7);
+
+}  // namespace bcert::dubins

@@ -1,0 +1,35 @@
+#include "src/dubins/vehicle.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcert::dubins {
+
+ClosedLoopTrace simulate_path_following(const PiecewiseLinearPath& path,
+                                        const SteeringController& controller,
+                                        const VehicleState& initial,
+                                        const SimOptions& opts) {
+  ClosedLoopTrace trace;
+  trace.samples.reserve(opts.steps + 1);
+
+  VehicleState s = initial;
+  for (std::size_t k = 0; k <= opts.steps; ++k) {
+    ClosedLoopSample sample;
+    sample.t = static_cast<double>(k) * opts.dt;
+    sample.state = s;
+    sample.error = path.error(s.x, s.y, s.theta);
+    sample.u = std::clamp(
+        controller(sample.error.distance, sample.error.angle), opts.u_min,
+        opts.u_max);
+    trace.samples.push_back(sample);
+    if (k == opts.steps) break;
+
+    // Euler step of Eqs. (8)-(10): ẋ = V sin θ, ẏ = V cos θ, θ̇ = u.
+    s.x += opts.dt * opts.velocity * std::sin(s.theta);
+    s.y += opts.dt * opts.velocity * std::cos(s.theta);
+    s.theta += opts.dt * sample.u;
+  }
+  return trace;
+}
+
+}  // namespace bcert::dubins

@@ -1,0 +1,63 @@
+#pragma once
+/// \file vehicle.h
+/// \brief Global-frame Dubins car (Eqs. 8-10) and closed-loop simulation
+/// against a target path. Used for controller training (Figure 4) and
+/// informal validation; the *verification* model is the 2-state error
+/// dynamics in error_dynamics.h.
+
+#include <functional>
+
+#include "src/dubins/path.h"
+#include "src/linalg/vector.h"
+#include "src/ode/trace.h"
+
+namespace bcert::dubins {
+
+/// Vehicle pose in the global frame.
+struct VehicleState {
+  double x = 0.0;
+  double y = 0.0;
+  double theta = 0.0;  ///< clockwise from +y (paper convention)
+};
+
+/// Steering controller: (d_err, θ_err) → turn rate u.
+using SteeringController =
+    std::function<double(double d_err, double theta_err)>;
+
+/// Discrete-time closed-loop simulation settings (mirrors the paper's
+/// MATLAB discrete-time simulation used for the training cost).
+struct SimOptions {
+  double velocity = 5.0;  ///< constant longitudinal speed V
+  double dt = 0.1;        ///< step
+  std::size_t steps = 400;
+  double u_min = -1.0;    ///< actuator saturation applied to u
+  double u_max = 1.0;
+};
+
+/// One simulated sample of the closed loop.
+struct ClosedLoopSample {
+  double t = 0.0;
+  VehicleState state;
+  PathError error;
+  double u = 0.0;
+};
+
+/// Full closed-loop record.
+struct ClosedLoopTrace {
+  std::vector<ClosedLoopSample> samples;
+
+  std::size_t size() const { return samples.size(); }
+  const ClosedLoopSample& operator[](std::size_t i) const {
+    return samples[i];
+  }
+};
+
+/// Simulates the Dubins car following \p path under \p controller from
+/// \p initial, using per-step Euler integration of Eqs. (8)-(10) (the
+/// paper's discrete-time training simulation).
+ClosedLoopTrace simulate_path_following(const PiecewiseLinearPath& path,
+                                        const SteeringController& controller,
+                                        const VehicleState& initial,
+                                        const SimOptions& opts);
+
+}  // namespace bcert::dubins

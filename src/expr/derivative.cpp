@@ -1,0 +1,130 @@
+#include "src/expr/derivative.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bcert::expr {
+
+namespace {
+
+class Differentiator {
+ public:
+  Differentiator(ExprPool& pool, std::int32_t var) : pool_(pool), var_(var) {}
+
+  ExprId diff(ExprId id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    const ExprId result = compute(id);
+    memo_.emplace(id, result);
+    return result;
+  }
+
+ private:
+  ExprId compute(ExprId id) {
+    ExprPool& p = pool_;
+    const Node n = p.node(id);  // copy: pool may reallocate during diff
+    switch (n.op) {
+      case Op::kConst:
+        return p.zero();
+      case Op::kVar:
+        return n.index == var_ ? p.one() : p.zero();
+      case Op::kAdd:
+        return p.add(diff(n.a), diff(n.b));
+      case Op::kSub:
+        return p.sub(diff(n.a), diff(n.b));
+      case Op::kMul:
+        return p.add(p.mul(diff(n.a), n.b), p.mul(n.a, diff(n.b)));
+      case Op::kDiv:
+        // (a/b)' = (a'b - ab') / b²
+        return p.div(p.sub(p.mul(diff(n.a), n.b), p.mul(n.a, diff(n.b))),
+                     p.sqr(n.b));
+      case Op::kNeg:
+        return p.neg(diff(n.a));
+      case Op::kSin:
+        return p.mul(p.cos(n.a), diff(n.a));
+      case Op::kCos:
+        return p.neg(p.mul(p.sin(n.a), diff(n.a)));
+      case Op::kTan: {
+        // tan' = 1 + tan²
+        const ExprId t = p.tan(n.a);
+        return p.mul(p.add(p.one(), p.sqr(t)), diff(n.a));
+      }
+      case Op::kAtan:
+        return p.div(diff(n.a), p.add(p.one(), p.sqr(n.a)));
+      case Op::kExp:
+        return p.mul(p.exp(n.a), diff(n.a));
+      case Op::kLog:
+        return p.div(diff(n.a), n.a);
+      case Op::kSqrt:
+        return p.div(diff(n.a), p.mul(p.constant(2.0), p.sqrt(n.a)));
+      case Op::kSqr:
+        return p.mul(p.mul(p.constant(2.0), n.a), diff(n.a));
+      case Op::kPow:
+        return p.mul(p.mul(p.constant(static_cast<double>(n.index)),
+                           p.pow(n.a, n.index - 1)),
+                     diff(n.a));
+      case Op::kTanh: {
+        // tanh' = 1 - tanh²
+        const ExprId t = p.tanh(n.a);
+        return p.mul(p.sub(p.one(), p.sqr(t)), diff(n.a));
+      }
+      case Op::kSigmoid: {
+        // σ' = σ(1-σ)
+        const ExprId s = p.sigmoid(n.a);
+        return p.mul(p.mul(s, p.sub(p.one(), s)), diff(n.a));
+      }
+      case Op::kRelu: {
+        // Sub-gradient: derivative of the active branch via 0.5(sign+1)
+        // is overkill for our smooth use cases; encode as max'(a,0) ≈
+        // (relu(a)/a is ill-defined at 0) — use the Heaviside surrogate
+        // d relu = (sign(a)+1)/2 expressed with abs: (a/|a|+1)/2.
+        // For safety verification we never differentiate through relu in
+        // the pipeline; reject loudly instead of silently mis-deriving.
+        throw std::domain_error(
+            "differentiate: relu is not differentiable; use smooth "
+            "activations for barrier search");
+      }
+      case Op::kAbs:
+        // d|a| = sign(a)·a' ; encode sign(a) = a/|a| (undefined at 0).
+        return p.mul(p.div(n.a, p.abs(n.a)), diff(n.a));
+      case Op::kMin:
+      case Op::kMax:
+        throw std::domain_error(
+            "differentiate: min/max are not differentiable; rewrite the "
+            "model with smooth functions");
+    }
+    throw std::logic_error("differentiate: unknown op");
+  }
+
+  ExprPool& pool_;
+  std::int32_t var_;
+  std::unordered_map<ExprId, ExprId> memo_;
+};
+
+}  // namespace
+
+ExprId differentiate(ExprPool& pool, ExprId expr, std::int32_t var) {
+  Differentiator d(pool, var);
+  return d.diff(expr);
+}
+
+std::vector<ExprId> gradient(ExprPool& pool, ExprId expr, std::size_t n) {
+  std::vector<ExprId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(differentiate(pool, expr, static_cast<std::int32_t>(i)));
+  return out;
+}
+
+ExprId lie_derivative(ExprPool& pool, ExprId w,
+                      const std::vector<ExprId>& field) {
+  std::vector<ExprId> terms;
+  terms.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const ExprId dw = differentiate(pool, w, static_cast<std::int32_t>(i));
+    terms.push_back(pool.mul(dw, field[i]));
+  }
+  return pool.sum(terms);
+}
+
+}  // namespace bcert::expr

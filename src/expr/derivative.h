@@ -1,0 +1,30 @@
+#pragma once
+/// \file derivative.h
+/// \brief Symbolic differentiation over the expression pool.
+///
+/// Used to form the Lie derivative ∇W·f of the generator function along
+/// the closed-loop vector field. Differentiation is memoized per
+/// (node, variable) pair, so shared subterms are differentiated once.
+
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace bcert::expr {
+
+/// Returns ∂expr/∂x_var as a new expression in the same pool.
+/// Non-differentiable ops (relu kinks, abs at 0, min/max ties) use the
+/// standard sub-gradient convention (derivative of the active branch);
+/// for the smooth activations the paper targets this never matters.
+ExprId differentiate(ExprPool& pool, ExprId expr, std::int32_t var);
+
+/// Gradient with respect to variables 0..n-1.
+std::vector<ExprId> gradient(ExprPool& pool, ExprId expr, std::size_t n);
+
+/// Lie derivative ∇W·f — the left side of barrier condition (3):
+/// dW/dt along trajectories of ẋ = f(x).
+/// \p field must have one component per state variable.
+ExprId lie_derivative(ExprPool& pool, ExprId w,
+                      const std::vector<ExprId>& field);
+
+}  // namespace bcert::expr

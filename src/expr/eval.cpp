@@ -1,0 +1,140 @@
+#include "src/expr/eval.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcert::expr {
+
+using interval::Interval;
+
+Evaluator::Evaluator(const ExprPool& pool, std::vector<ExprId> roots)
+    : pool_(&pool), roots_(std::move(roots)) {
+  position_.assign(pool.size(), npos);
+  schedule_.reserve(256);
+
+  // Iterative DFS post-order over the union of all roots.
+  std::vector<std::pair<ExprId, bool>> stack;
+  for (ExprId r : roots_) stack.push_back({r, false});
+  std::vector<bool> visited(pool.size(), false);
+  while (!stack.empty()) {
+    auto [cur, expanded] = stack.back();
+    stack.pop_back();
+    if (visited[cur]) continue;
+    const Node& n = pool.node(cur);
+    if (!expanded) {
+      stack.push_back({cur, true});
+      if (n.a != kNoExpr && !visited[n.a]) stack.push_back({n.a, false});
+      if (n.b != kNoExpr && !visited[n.b]) stack.push_back({n.b, false});
+      continue;
+    }
+    visited[cur] = true;
+    position_[cur] = schedule_.size();
+    schedule_.push_back(cur);
+  }
+
+  root_pos_.reserve(roots_.size());
+  for (ExprId r : roots_) root_pos_.push_back(position_[r]);
+}
+
+std::size_t Evaluator::position_of(ExprId id) const {
+  return id < position_.size() ? position_[id] : npos;
+}
+
+std::vector<double> Evaluator::eval(const linalg::Vector& x) const {
+  std::vector<double> vals(schedule_.size());
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const Node& n = pool_->node(schedule_[i]);
+    const double a = n.a != kNoExpr ? vals[position_[n.a]] : 0.0;
+    const double b = n.b != kNoExpr ? vals[position_[n.b]] : 0.0;
+    double v = 0.0;
+    switch (n.op) {
+      case Op::kConst: v = n.value; break;
+      case Op::kVar: v = x[static_cast<std::size_t>(n.index)]; break;
+      case Op::kAdd: v = a + b; break;
+      case Op::kSub: v = a - b; break;
+      case Op::kMul: v = a * b; break;
+      case Op::kDiv: v = a / b; break;
+      case Op::kNeg: v = -a; break;
+      case Op::kSin: v = std::sin(a); break;
+      case Op::kCos: v = std::cos(a); break;
+      case Op::kTan: v = std::tan(a); break;
+      case Op::kAtan: v = std::atan(a); break;
+      case Op::kExp: v = std::exp(a); break;
+      case Op::kLog: v = std::log(a); break;
+      case Op::kSqrt: v = std::sqrt(a); break;
+      case Op::kSqr: v = a * a; break;
+      case Op::kPow: v = std::pow(a, n.index); break;
+      case Op::kTanh: v = std::tanh(a); break;
+      case Op::kSigmoid: v = 1.0 / (1.0 + std::exp(-a)); break;
+      case Op::kRelu: v = std::max(a, 0.0); break;
+      case Op::kAbs: v = std::fabs(a); break;
+      case Op::kMin: v = std::min(a, b); break;
+      case Op::kMax: v = std::max(a, b); break;
+    }
+    vals[i] = v;
+  }
+  std::vector<double> out(roots_.size());
+  for (std::size_t i = 0; i < roots_.size(); ++i) out[i] = vals[root_pos_[i]];
+  return out;
+}
+
+double Evaluator::eval_root(std::size_t root_index,
+                            const linalg::Vector& x) const {
+  return eval(x)[root_index];
+}
+
+Interval apply_interval_op(const Node& n, const Interval& a,
+                           const Interval& b) {
+  using namespace interval;  // NOLINT: local, brings interval functions
+  switch (n.op) {
+    case Op::kConst: return Interval(n.value);
+    case Op::kVar:
+      throw std::logic_error("apply_interval_op: kVar must be handled above");
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return a / b;
+    case Op::kNeg: return -a;
+    case Op::kSin: return sin(a);
+    case Op::kCos: return cos(a);
+    case Op::kTan: return tan(a);
+    case Op::kAtan: return atan(a);
+    case Op::kExp: return exp(a);
+    case Op::kLog: return log(a);
+    case Op::kSqrt: return sqrt(a);
+    case Op::kSqr: return sqr(a);
+    case Op::kPow: return pow(a, n.index);
+    case Op::kTanh: return tanh(a);
+    case Op::kSigmoid: return sigmoid(a);
+    case Op::kRelu: return relu(a);
+    case Op::kAbs: return abs(a);
+    case Op::kMin: return min(a, b);
+    case Op::kMax: return max(a, b);
+  }
+  return Interval::entire();
+}
+
+void Evaluator::eval_forward(const interval::Box& box,
+                             std::vector<Interval>& values) const {
+  values.resize(schedule_.size());
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const Node& n = pool_->node(schedule_[i]);
+    if (n.op == Op::kVar) {
+      values[i] = box[static_cast<std::size_t>(n.index)];
+      continue;
+    }
+    const Interval a = n.a != kNoExpr ? values[position_[n.a]] : Interval();
+    const Interval b = n.b != kNoExpr ? values[position_[n.b]] : Interval();
+    values[i] = apply_interval_op(n, a, b);
+  }
+}
+
+std::vector<Interval> Evaluator::eval(const interval::Box& box) const {
+  std::vector<Interval> vals;
+  eval_forward(box, vals);
+  std::vector<Interval> out(roots_.size());
+  for (std::size_t i = 0; i < roots_.size(); ++i) out[i] = vals[root_pos_[i]];
+  return out;
+}
+
+}  // namespace bcert::expr

@@ -1,0 +1,68 @@
+#pragma once
+/// \file eval.h
+/// \brief Fast repeated evaluation of expression DAGs.
+///
+/// The ICP solver evaluates the same terms over thousands of boxes. The
+/// `Evaluator` compiles a set of root expressions into a flat topological
+/// schedule once; each evaluation is then a single pass over dense arrays
+/// (no hashing, no recursion). Both real (`double`) and interval modes
+/// share the schedule.
+
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/interval/interval.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::expr {
+
+/// Compiled evaluation schedule for one or more roots over a pool.
+class Evaluator {
+ public:
+  /// Compiles the schedule covering all \p roots.
+  Evaluator(const ExprPool& pool, std::vector<ExprId> roots);
+
+  const std::vector<ExprId>& roots() const { return roots_; }
+  /// Number of schedule steps (reachable DAG nodes).
+  std::size_t schedule_size() const { return schedule_.size(); }
+
+  /// Evaluates all roots at point \p x; result aligned with roots().
+  std::vector<double> eval(const linalg::Vector& x) const;
+
+  /// Evaluates a single root at \p x.
+  double eval_root(std::size_t root_index, const linalg::Vector& x) const;
+
+  /// Interval evaluation over \p box (natural interval extension).
+  std::vector<interval::Interval> eval(const interval::Box& box) const;
+
+  /// Interval evaluation that also exposes per-node values — this is the
+  /// forward pass of HC4; the backward pass consumes `values`.
+  /// `values` is indexed by *schedule position* (see `position_of`).
+  void eval_forward(const interval::Box& box,
+                    std::vector<interval::Interval>& values) const;
+
+  /// Schedule position of pool node \p id, or npos when unreachable.
+  std::size_t position_of(ExprId id) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// The node ids in schedule order (parents after children).
+  const std::vector<ExprId>& schedule() const { return schedule_; }
+
+  const ExprPool& pool() const { return *pool_; }
+
+ private:
+  const ExprPool* pool_;
+  std::vector<ExprId> roots_;
+  std::vector<ExprId> schedule_;         // topo order, children first
+  std::vector<std::size_t> position_;    // pool id -> schedule pos
+  std::vector<std::size_t> root_pos_;    // root -> schedule pos
+};
+
+/// Applies one interval operation; shared by Evaluator and the HC4
+/// backward pass (for re-evaluation after contraction).
+interval::Interval apply_interval_op(const Node& n,
+                                     const interval::Interval& a,
+                                     const interval::Interval& b);
+
+}  // namespace bcert::expr

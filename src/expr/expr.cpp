@@ -1,0 +1,360 @@
+#include "src/expr/expr.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace bcert::expr {
+
+bool is_binary(Op op) {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMin:
+    case Op::kMax:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConst: return "const";
+    case Op::kVar: return "var";
+    case Op::kAdd: return "+";
+    case Op::kSub: return "-";
+    case Op::kMul: return "*";
+    case Op::kDiv: return "/";
+    case Op::kNeg: return "neg";
+    case Op::kSin: return "sin";
+    case Op::kCos: return "cos";
+    case Op::kTan: return "tan";
+    case Op::kAtan: return "atan";
+    case Op::kExp: return "exp";
+    case Op::kLog: return "log";
+    case Op::kSqrt: return "sqrt";
+    case Op::kSqr: return "sqr";
+    case Op::kPow: return "pow";
+    case Op::kTanh: return "tanh";
+    case Op::kSigmoid: return "sigmoid";
+    case Op::kRelu: return "relu";
+    case Op::kAbs: return "abs";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+  }
+  return "?";
+}
+
+std::size_t ExprPool::NodeKeyHash::operator()(const NodeKey& k) const {
+  std::size_t h = std::hash<int>()(static_cast<int>(k.op));
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<ExprId>()(k.a));
+  mix(std::hash<ExprId>()(k.b));
+  mix(std::hash<double>()(k.value));
+  mix(std::hash<std::int32_t>()(k.index));
+  return h;
+}
+
+ExprPool::ExprPool() {
+  nodes_.reserve(1024);
+  constant(0.0);  // id 0 is always the zero literal
+  constant(1.0);  // id 1 is always the one literal
+}
+
+ExprId ExprPool::intern(const Node& n) {
+  NodeKey key{n.op, n.a, n.b, n.value, n.index};
+  auto [it, inserted] =
+      interned_.emplace(key, static_cast<ExprId>(nodes_.size()));
+  if (inserted) nodes_.push_back(n);
+  return it->second;
+}
+
+ExprId ExprPool::constant(double v) {
+  Node n;
+  n.op = Op::kConst;
+  n.value = v;
+  return intern(n);
+}
+
+ExprId ExprPool::var(std::int32_t index) {
+  if (index < 0) throw std::invalid_argument("ExprPool::var: negative index");
+  Node n;
+  n.op = Op::kVar;
+  n.index = index;
+  num_vars_ = std::max(num_vars_, static_cast<std::size_t>(index) + 1);
+  return intern(n);
+}
+
+bool ExprPool::is_const(ExprId id, double v) const {
+  const Node& n = node(id);
+  return n.op == Op::kConst && n.value == v;
+}
+
+ExprId ExprPool::add(ExprId a, ExprId b) {
+  if (is_const(a, 0.0)) return b;
+  if (is_const(b, 0.0)) return a;
+  if (is_const(a) && is_const(b))
+    return constant(node(a).value + node(b).value);
+  if (a > b) std::swap(a, b);  // canonical order for commutative ops
+  Node n;
+  n.op = Op::kAdd;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::sub(ExprId a, ExprId b) {
+  if (is_const(b, 0.0)) return a;
+  if (a == b) return zero();
+  if (is_const(a) && is_const(b))
+    return constant(node(a).value - node(b).value);
+  if (is_const(a, 0.0)) return neg(b);
+  Node n;
+  n.op = Op::kSub;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::mul(ExprId a, ExprId b) {
+  if (is_const(a, 0.0) || is_const(b, 0.0)) return zero();
+  if (is_const(a, 1.0)) return b;
+  if (is_const(b, 1.0)) return a;
+  if (is_const(a) && is_const(b))
+    return constant(node(a).value * node(b).value);
+  if (is_const(a, -1.0)) return neg(b);
+  if (is_const(b, -1.0)) return neg(a);
+  if (a == b) return sqr(a);
+  if (a > b) std::swap(a, b);
+  Node n;
+  n.op = Op::kMul;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::div(ExprId a, ExprId b) {
+  if (is_const(a, 0.0)) return zero();
+  if (is_const(b, 1.0)) return a;
+  if (is_const(a) && is_const(b) && node(b).value != 0.0)
+    return constant(node(a).value / node(b).value);
+  Node n;
+  n.op = Op::kDiv;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::neg(ExprId a) {
+  if (is_const(a)) return constant(-node(a).value);
+  if (node(a).op == Op::kNeg) return node(a).a;
+  Node n;
+  n.op = Op::kNeg;
+  n.a = a;
+  return intern(n);
+}
+
+#define BCERT_UNARY(NAME, OPTAG, FOLD)                      \
+  ExprId ExprPool::NAME(ExprId a) {                         \
+    if (is_const(a)) return constant(FOLD(node(a).value));  \
+    Node n;                                                 \
+    n.op = OPTAG;                                           \
+    n.a = a;                                                \
+    return intern(n);                                       \
+  }
+
+BCERT_UNARY(sin, Op::kSin, std::sin)
+BCERT_UNARY(cos, Op::kCos, std::cos)
+BCERT_UNARY(tan, Op::kTan, std::tan)
+BCERT_UNARY(atan, Op::kAtan, std::atan)
+BCERT_UNARY(exp, Op::kExp, std::exp)
+BCERT_UNARY(log, Op::kLog, std::log)
+BCERT_UNARY(sqrt, Op::kSqrt, std::sqrt)
+BCERT_UNARY(tanh, Op::kTanh, std::tanh)
+BCERT_UNARY(abs, Op::kAbs, std::fabs)
+
+#undef BCERT_UNARY
+
+ExprId ExprPool::sqr(ExprId a) {
+  if (is_const(a)) return constant(node(a).value * node(a).value);
+  Node n;
+  n.op = Op::kSqr;
+  n.a = a;
+  return intern(n);
+}
+
+ExprId ExprPool::pow(ExprId a, std::int32_t e) {
+  if (e == 0) return one();
+  if (e == 1) return a;
+  if (e == 2) return sqr(a);
+  if (is_const(a)) return constant(std::pow(node(a).value, e));
+  Node n;
+  n.op = Op::kPow;
+  n.a = a;
+  n.index = e;
+  return intern(n);
+}
+
+ExprId ExprPool::sigmoid(ExprId a) {
+  if (is_const(a)) return constant(1.0 / (1.0 + std::exp(-node(a).value)));
+  Node n;
+  n.op = Op::kSigmoid;
+  n.a = a;
+  return intern(n);
+}
+
+ExprId ExprPool::relu(ExprId a) {
+  if (is_const(a)) return constant(std::max(node(a).value, 0.0));
+  Node n;
+  n.op = Op::kRelu;
+  n.a = a;
+  return intern(n);
+}
+
+ExprId ExprPool::min(ExprId a, ExprId b) {
+  if (a == b) return a;
+  if (is_const(a) && is_const(b))
+    return constant(std::min(node(a).value, node(b).value));
+  if (a > b) std::swap(a, b);
+  Node n;
+  n.op = Op::kMin;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::max(ExprId a, ExprId b) {
+  if (a == b) return a;
+  if (is_const(a) && is_const(b))
+    return constant(std::max(node(a).value, node(b).value));
+  if (a > b) std::swap(a, b);
+  Node n;
+  n.op = Op::kMax;
+  n.a = a;
+  n.b = b;
+  return intern(n);
+}
+
+ExprId ExprPool::sum(const std::vector<ExprId>& terms) {
+  // Balanced reduction keeps depth O(log n) for wide sums (NN layers).
+  if (terms.empty()) return zero();
+  std::vector<ExprId> level = terms;
+  while (level.size() > 1) {
+    std::vector<ExprId> next;
+    next.reserve((level.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2)
+      next.push_back(add(level[i], level[i + 1]));
+    if (level.size() % 2) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+ExprId ExprPool::affine(const std::vector<double>& coeffs,
+                        const std::vector<ExprId>& terms, double bias) {
+  if (coeffs.size() != terms.size()) {
+    throw std::invalid_argument("ExprPool::affine: size mismatch");
+  }
+  std::vector<ExprId> parts;
+  parts.reserve(terms.size() + 1);
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (coeffs[i] == 0.0) continue;
+    parts.push_back(mul(constant(coeffs[i]), terms[i]));
+  }
+  if (bias != 0.0) parts.push_back(constant(bias));
+  return sum(parts);
+}
+
+double ExprPool::eval(ExprId id, const linalg::Vector& x) const {
+  std::vector<double> memo(nodes_.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  std::vector<bool> done(nodes_.size(), false);
+  // Iterative post-order to avoid deep recursion on long sum chains.
+  std::vector<std::pair<ExprId, bool>> stack{{id, false}};
+  while (!stack.empty()) {
+    auto [cur, expanded] = stack.back();
+    stack.pop_back();
+    if (done[cur]) continue;
+    const Node& n = nodes_[cur];
+    if (!expanded) {
+      stack.push_back({cur, true});
+      if (n.a != kNoExpr && !done[n.a]) stack.push_back({n.a, false});
+      if (n.b != kNoExpr && !done[n.b]) stack.push_back({n.b, false});
+      continue;
+    }
+    const double a = n.a != kNoExpr ? memo[n.a] : 0.0;
+    const double b = n.b != kNoExpr ? memo[n.b] : 0.0;
+    double v = 0.0;
+    switch (n.op) {
+      case Op::kConst: v = n.value; break;
+      case Op::kVar: v = x[static_cast<std::size_t>(n.index)]; break;
+      case Op::kAdd: v = a + b; break;
+      case Op::kSub: v = a - b; break;
+      case Op::kMul: v = a * b; break;
+      case Op::kDiv: v = a / b; break;
+      case Op::kNeg: v = -a; break;
+      case Op::kSin: v = std::sin(a); break;
+      case Op::kCos: v = std::cos(a); break;
+      case Op::kTan: v = std::tan(a); break;
+      case Op::kAtan: v = std::atan(a); break;
+      case Op::kExp: v = std::exp(a); break;
+      case Op::kLog: v = std::log(a); break;
+      case Op::kSqrt: v = std::sqrt(a); break;
+      case Op::kSqr: v = a * a; break;
+      case Op::kPow: v = std::pow(a, n.index); break;
+      case Op::kTanh: v = std::tanh(a); break;
+      case Op::kSigmoid: v = 1.0 / (1.0 + std::exp(-a)); break;
+      case Op::kRelu: v = std::max(a, 0.0); break;
+      case Op::kAbs: v = std::fabs(a); break;
+      case Op::kMin: v = std::min(a, b); break;
+      case Op::kMax: v = std::max(a, b); break;
+    }
+    memo[cur] = v;
+    done[cur] = true;
+  }
+  return memo[id];
+}
+
+std::vector<std::int32_t> ExprPool::variables(ExprId id) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<bool> vars(num_vars_, false);
+  std::vector<ExprId> stack{id};
+  while (!stack.empty()) {
+    const ExprId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    const Node& n = nodes_[cur];
+    if (n.op == Op::kVar) vars[static_cast<std::size_t>(n.index)] = true;
+    if (n.a != kNoExpr) stack.push_back(n.a);
+    if (n.b != kNoExpr) stack.push_back(n.b);
+  }
+  std::vector<std::int32_t> out;
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    if (vars[i]) out.push_back(static_cast<std::int32_t>(i));
+  return out;
+}
+
+std::size_t ExprPool::term_size(ExprId id) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::vector<ExprId> stack{id};
+  std::size_t count = 0;
+  while (!stack.empty()) {
+    const ExprId cur = stack.back();
+    stack.pop_back();
+    if (seen[cur]) continue;
+    seen[cur] = true;
+    ++count;
+    const Node& n = nodes_[cur];
+    if (n.a != kNoExpr) stack.push_back(n.a);
+    if (n.b != kNoExpr) stack.push_back(n.b);
+  }
+  return count;
+}
+
+}  // namespace bcert::expr

@@ -1,0 +1,153 @@
+#pragma once
+/// \file expr.h
+/// \brief Hash-consed arena of symbolic expressions.
+///
+/// Expressions are immutable DAG nodes stored in an `ExprPool` and
+/// referenced by index (`ExprId`). Hash-consing guarantees structural
+/// sharing (the same subterm is stored once), which keeps the closed-loop
+/// dynamics of a 1000-neuron controller compact and makes memoized
+/// evaluation trivial. Construction applies light algebraic
+/// simplification (constant folding, additive/multiplicative identities)
+/// so the SMT queries stay small.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::expr {
+
+/// Index of an expression node inside its pool.
+using ExprId = std::uint32_t;
+
+/// Sentinel for "no child".
+inline constexpr ExprId kNoExpr = 0xFFFFFFFFu;
+
+/// Operation tag of an expression node.
+enum class Op : std::uint8_t {
+  kConst,    ///< literal; `value`
+  kVar,      ///< variable; `index`
+  kAdd,      ///< a + b
+  kSub,      ///< a - b
+  kMul,      ///< a * b
+  kDiv,      ///< a / b
+  kNeg,      ///< -a
+  kSin,
+  kCos,
+  kTan,
+  kAtan,
+  kExp,
+  kLog,
+  kSqrt,
+  kSqr,      ///< a²  (kept distinct from kPow for cheap eval/diff)
+  kPow,      ///< aⁿ, integer n in `index`
+  kTanh,     ///< MATLAB tansig
+  kSigmoid,  ///< logistic 1/(1+e^{-a})
+  kRelu,     ///< max(a, 0)
+  kAbs,
+  kMin,      ///< min(a, b)
+  kMax,      ///< max(a, b)
+};
+
+/// True for operations with two children.
+bool is_binary(Op op);
+/// Human-readable operation name (used by the printer and diagnostics).
+const char* op_name(Op op);
+
+/// One immutable expression node. Plain data: no invariant beyond what
+/// ExprPool enforces at construction.
+struct Node {
+  Op op = Op::kConst;
+  ExprId a = kNoExpr;   ///< first child
+  ExprId b = kNoExpr;   ///< second child (binary ops only)
+  double value = 0.0;   ///< payload for kConst
+  std::int32_t index = 0;  ///< variable index (kVar) or exponent (kPow)
+};
+
+/// Arena + hash-consing factory for expression DAGs.
+///
+/// All ExprIds handed out by a pool are only meaningful with that pool.
+class ExprPool {
+ public:
+  ExprPool();
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(ExprId id) const { return nodes_[id]; }
+
+  /// Number of distinct variables referenced so far (max index + 1).
+  std::size_t num_vars() const { return num_vars_; }
+
+  // --- leaf constructors -------------------------------------------------
+  ExprId constant(double v);
+  ExprId var(std::int32_t index);
+  /// Convenience constants.
+  ExprId zero() { return constant(0.0); }
+  ExprId one() { return constant(1.0); }
+
+  // --- operators (with algebraic simplification) --------------------------
+  ExprId add(ExprId a, ExprId b);
+  ExprId sub(ExprId a, ExprId b);
+  ExprId mul(ExprId a, ExprId b);
+  ExprId div(ExprId a, ExprId b);
+  ExprId neg(ExprId a);
+  ExprId sin(ExprId a);
+  ExprId cos(ExprId a);
+  ExprId tan(ExprId a);
+  ExprId atan(ExprId a);
+  ExprId exp(ExprId a);
+  ExprId log(ExprId a);
+  ExprId sqrt(ExprId a);
+  ExprId sqr(ExprId a);
+  ExprId pow(ExprId a, std::int32_t n);
+  ExprId tanh(ExprId a);
+  ExprId sigmoid(ExprId a);
+  ExprId relu(ExprId a);
+  ExprId abs(ExprId a);
+  ExprId min(ExprId a, ExprId b);
+  ExprId max(ExprId a, ExprId b);
+
+  /// Builds Σ terms (empty sum = 0). More balanced than a left fold,
+  /// which keeps DAG depth logarithmic for wide NN layers.
+  ExprId sum(const std::vector<ExprId>& terms);
+
+  /// Builds the dot product Σ cᵢ·xᵢ of constants and expressions.
+  ExprId affine(const std::vector<double>& coeffs,
+                const std::vector<ExprId>& terms, double bias);
+
+  /// True when \p id is the literal \p v.
+  bool is_const(ExprId id, double v) const;
+  /// True when \p id is any literal.
+  bool is_const(ExprId id) const { return node(id).op == Op::kConst; }
+
+  /// Evaluates the expression at a point (memoized over the DAG).
+  /// Prefer expr::Evaluator for repeated evaluation.
+  double eval(ExprId id, const linalg::Vector& x) const;
+
+  /// Set of variable indices appearing under \p id.
+  std::vector<std::int32_t> variables(ExprId id) const;
+
+  /// Number of nodes reachable from \p id (DAG size of the term).
+  std::size_t term_size(ExprId id) const;
+
+ private:
+  ExprId intern(const Node& n);
+
+  struct NodeKey {
+    Op op;
+    ExprId a, b;
+    double value;
+    std::int32_t index;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<NodeKey, ExprId, NodeKeyHash> interned_;
+  std::size_t num_vars_ = 0;
+};
+
+}  // namespace bcert::expr

@@ -1,0 +1,83 @@
+#include "src/expr/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace bcert::expr {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const ExprPool& pool, const std::vector<std::string>& names)
+      : pool_(pool), names_(names) {}
+
+  std::string print(ExprId id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    std::string s = render(id);
+    memo_.emplace(id, s);
+    return s;
+  }
+
+ private:
+  std::string var_name(std::int32_t index) const {
+    const auto i = static_cast<std::size_t>(index);
+    if (i < names_.size()) return names_[i];
+    return "x" + std::to_string(index);
+  }
+
+  std::string paren(ExprId id) {
+    const Node& n = pool_.node(id);
+    const bool atom = n.op == Op::kConst || n.op == Op::kVar ||
+                      (!is_binary(n.op) && n.op != Op::kNeg);
+    const std::string s = print(id);
+    return atom ? s : "(" + s + ")";
+  }
+
+  std::string render(ExprId id) {
+    const Node& n = pool_.node(id);
+    std::ostringstream os;
+    switch (n.op) {
+      case Op::kConst:
+        os << n.value;
+        return os.str();
+      case Op::kVar:
+        return var_name(n.index);
+      case Op::kAdd:
+        return print(n.a) + " + " + print(n.b);
+      case Op::kSub:
+        return print(n.a) + " - " + paren(n.b);
+      case Op::kMul:
+        return paren(n.a) + "*" + paren(n.b);
+      case Op::kDiv:
+        return paren(n.a) + "/" + paren(n.b);
+      case Op::kNeg:
+        return "-" + paren(n.a);
+      case Op::kSqr:
+        return paren(n.a) + "^2";
+      case Op::kPow:
+        return paren(n.a) + "^" + std::to_string(n.index);
+      case Op::kMin:
+        return "min(" + print(n.a) + ", " + print(n.b) + ")";
+      case Op::kMax:
+        return "max(" + print(n.a) + ", " + print(n.b) + ")";
+      default:
+        return std::string(op_name(n.op)) + "(" + print(n.a) + ")";
+    }
+  }
+
+  const ExprPool& pool_;
+  const std::vector<std::string>& names_;
+  std::unordered_map<ExprId, std::string> memo_;
+};
+
+}  // namespace
+
+std::string to_string(const ExprPool& pool, ExprId id,
+                      const std::vector<std::string>& var_names) {
+  Printer p(pool, var_names);
+  return p.print(id);
+}
+
+}  // namespace bcert::expr

@@ -1,0 +1,17 @@
+#pragma once
+/// \file printer.h
+/// \brief Infix pretty-printing of expressions for logs and debugging.
+
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace bcert::expr {
+
+/// Renders \p id as an infix string. Variables print as `x0`, `x1`, ...
+/// unless \p var_names supplies custom names.
+std::string to_string(const ExprPool& pool, ExprId id,
+                      const std::vector<std::string>& var_names = {});
+
+}  // namespace bcert::expr

@@ -1,0 +1,114 @@
+#include "src/interval/box.h"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace bcert::interval {
+
+Box Box::point(const linalg::Vector& x) {
+  std::vector<Interval> dims;
+  dims.reserve(x.size());
+  for (double v : x) dims.emplace_back(v);
+  return Box(std::move(dims));
+}
+
+Box Box::from_bounds(const std::vector<std::pair<double, double>>& b) {
+  std::vector<Interval> dims;
+  dims.reserve(b.size());
+  for (const auto& [lo, hi] : b) dims.emplace_back(lo, hi);
+  return Box(std::move(dims));
+}
+
+bool Box::is_empty() const {
+  for (const Interval& d : dims_)
+    if (d.is_empty()) return true;
+  return false;
+}
+
+double Box::max_width() const {
+  double w = 0.0;
+  for (const Interval& d : dims_) w = std::max(w, d.width());
+  return w;
+}
+
+std::size_t Box::widest_dim() const {
+  std::size_t best = 0;
+  double w = -1.0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].width() > w) {
+      w = dims_[i].width();
+      best = i;
+    }
+  }
+  return best;
+}
+
+linalg::Vector Box::midpoint() const {
+  linalg::Vector m(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) m[i] = dims_[i].mid();
+  return m;
+}
+
+double Box::perimeter() const {
+  double acc = 0.0;
+  for (const Interval& d : dims_) acc += d.width();
+  return acc;
+}
+
+double Box::volume() const {
+  if (dims_.empty() || is_empty()) return 0.0;
+  double acc = 1.0;
+  for (const Interval& d : dims_) acc *= d.width();
+  return acc;
+}
+
+bool Box::contains(const linalg::Vector& x) const {
+  if (x.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].contains(x[i])) return false;
+  return true;
+}
+
+bool Box::contains(const Box& o) const {
+  if (o.size() != dims_.size()) return false;
+  for (std::size_t i = 0; i < dims_.size(); ++i)
+    if (!dims_[i].contains(o[i])) return false;
+  return true;
+}
+
+std::pair<Box, Box> Box::split(std::size_t dim) const {
+  if (dim >= dims_.size()) throw std::out_of_range("Box::split");
+  Box left = *this, right = *this;
+  const double m = dims_[dim].mid();
+  left[dim] = Interval(dims_[dim].lo(), m);
+  right[dim] = Interval(m, dims_[dim].hi());
+  return {std::move(left), std::move(right)};
+}
+
+Box intersect(const Box& a, const Box& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Box intersect: dims");
+  std::vector<Interval> dims;
+  dims.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    dims.push_back(intersect(a[i], b[i]));
+  return Box(std::move(dims));
+}
+
+Box hull(const Box& a, const Box& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("Box hull: dims");
+  std::vector<Interval> dims;
+  dims.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) dims.push_back(hull(a[i], b[i]));
+  return Box(std::move(dims));
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  os << '{';
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (i) os << " x ";
+    os << b[i];
+  }
+  return os << '}';
+}
+
+}  // namespace bcert::interval

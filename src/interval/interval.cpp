@@ -1,0 +1,366 @@
+#include "src/interval/interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace bcert::interval {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kPiHi = kPiUpper;
+constexpr double kPiLo = kPiLower;
+
+/// Endpoint product obeying the interval convention 0 * inf = 0.
+double mul_ep(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+double prev_float(double v) {
+  if (v == -kInf) return v;
+  return std::nextafter(v, -kInf);
+}
+
+double next_float(double v) {
+  if (v == kInf) return v;
+  return std::nextafter(v, kInf);
+}
+
+Interval widen(const Interval& x, int ulps) {
+  if (x.is_empty()) return x;
+  double lo = x.lo(), hi = x.hi();
+  for (int i = 0; i < ulps; ++i) {
+    lo = prev_float(lo);
+    hi = next_float(hi);
+  }
+  return {lo, hi};
+}
+
+bool Interval::is_unbounded() const {
+  return !is_empty() && (lo_ == -kInf || hi_ == kInf);
+}
+
+double Interval::mid() const {
+  if (is_empty()) return std::numeric_limits<double>::quiet_NaN();
+  if (lo_ == -kInf && hi_ == kInf) return 0.0;
+  if (lo_ == -kInf) return hi_ - 1.0;
+  if (hi_ == kInf) return lo_ + 1.0;
+  // Midpoint computed so it cannot overflow for large finite endpoints.
+  return lo_ / 2.0 + hi_ / 2.0;
+}
+
+double Interval::mag() const {
+  if (is_empty()) return 0.0;
+  return std::max(std::fabs(lo_), std::fabs(hi_));
+}
+
+double Interval::mig() const {
+  if (is_empty()) return 0.0;
+  if (lo_ <= 0.0 && 0.0 <= hi_) return 0.0;
+  return std::min(std::fabs(lo_), std::fabs(hi_));
+}
+
+Interval intersect(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const double lo = std::max(a.lo(), b.lo());
+  const double hi = std::min(a.hi(), b.hi());
+  if (lo > hi) return Interval::empty();
+  return {lo, hi};
+}
+
+Interval hull(const Interval& a, const Interval& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
+}
+
+Interval operator+(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {prev_float(a.lo() + b.lo()), next_float(a.hi() + b.hi())};
+}
+
+Interval operator-(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {prev_float(a.lo() - b.hi()), next_float(a.hi() - b.lo())};
+}
+
+Interval operator-(const Interval& a) {
+  if (a.is_empty()) return a;
+  return {-a.hi(), -a.lo()};
+}
+
+Interval operator*(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if ((a.lo() == 0.0 && a.hi() == 0.0) || (b.lo() == 0.0 && b.hi() == 0.0)) {
+    return Interval(0.0);
+  }
+  const double p1 = mul_ep(a.lo(), b.lo());
+  const double p2 = mul_ep(a.lo(), b.hi());
+  const double p3 = mul_ep(a.hi(), b.lo());
+  const double p4 = mul_ep(a.hi(), b.hi());
+  const double lo = std::min(std::min(p1, p2), std::min(p3, p4));
+  const double hi = std::max(std::max(p1, p2), std::max(p3, p4));
+  return {prev_float(lo), next_float(hi)};
+}
+
+Interval operator/(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (b.lo() > 0.0 || b.hi() < 0.0) {
+    // Divisor bounded away from zero: reciprocal then multiply.
+    const Interval rec{prev_float(1.0 / b.hi()), next_float(1.0 / b.lo())};
+    return a * rec;
+  }
+  // Divisor touches or spans zero: extended division.
+  if (b.lo() == 0.0 && b.hi() == 0.0) return Interval::empty();
+  if (a.contains(0.0)) return Interval::entire();
+  if (b.lo() == 0.0) {
+    // b = [0, bh], bh > 0.
+    if (a.hi() < 0.0) return {-kInf, next_float(a.hi() / b.hi())};
+    return {prev_float(a.lo() / b.hi()), kInf};
+  }
+  if (b.hi() == 0.0) {
+    // b = [bl, 0], bl < 0.
+    if (a.hi() < 0.0) return {prev_float(a.hi() / b.lo()), kInf};
+    return {-kInf, next_float(a.lo() / b.lo())};
+  }
+  return Interval::entire();  // zero strictly inside b
+}
+
+Interval operator+(const Interval& a, double b) { return a + Interval(b); }
+Interval operator+(double a, const Interval& b) { return Interval(a) + b; }
+Interval operator-(const Interval& a, double b) { return a - Interval(b); }
+Interval operator-(double a, const Interval& b) { return Interval(a) - b; }
+Interval operator*(const Interval& a, double b) { return a * Interval(b); }
+Interval operator*(double a, const Interval& b) { return Interval(a) * b; }
+Interval operator/(const Interval& a, double b) { return a / Interval(b); }
+
+Interval sqr(const Interval& x) {
+  if (x.is_empty()) return x;
+  const double m = x.mag();
+  const double lo = x.mig();
+  return {std::max(0.0, prev_float(lo * lo)), next_float(m * m)};
+}
+
+Interval sqrt(const Interval& x) {
+  const Interval d = intersect(x, {0.0, kInf});
+  if (d.is_empty()) return d;
+  return {std::max(0.0, prev_float(std::sqrt(d.lo()))),
+          next_float(std::sqrt(d.hi()))};
+}
+
+Interval exp(const Interval& x) {
+  if (x.is_empty()) return x;
+  return {std::max(0.0, prev_float(std::exp(x.lo()))),
+          next_float(std::exp(x.hi()))};
+}
+
+Interval log(const Interval& x) {
+  const Interval d = intersect(x, {0.0, kInf});
+  if (d.is_empty() || d.hi() == 0.0) return Interval::empty();
+  const double lo = d.lo() == 0.0 ? -kInf : prev_float(std::log(d.lo()));
+  return {lo, next_float(std::log(d.hi()))};
+}
+
+Interval pow(const Interval& x, int n) {
+  if (x.is_empty()) return x;
+  if (n == 0) return Interval(1.0);
+  if (n < 0) return Interval(1.0) / pow(x, -n);
+  if (n == 1) return x;
+  if (n % 2 == 0) {
+    // Even power: symmetric, uses mig/mag like sqr.
+    const double lo = x.mig(), hi = x.mag();
+    return {prev_float(std::pow(lo, n)), next_float(std::pow(hi, n))};
+  }
+  // Odd power: monotone.
+  return {prev_float(std::pow(x.lo(), n)), next_float(std::pow(x.hi(), n))};
+}
+
+Interval abs(const Interval& x) {
+  if (x.is_empty()) return x;
+  return {x.mig(), x.mag()};
+}
+
+Interval min(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi())};
+}
+
+Interval max(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
+}
+
+namespace {
+
+/// True when some x = offset + k*period (k integer) lies in [lo, hi].
+/// offset/period are given as conservative [lo,hi] bounds themselves.
+bool contains_critical(double lo, double hi, double offset_lo,
+                       double offset_hi, double period_lo, double period_hi) {
+  if (hi - lo >= period_hi) return true;
+  // Conservative k range: any integer k with
+  // offset + k*period ∈ [lo, hi] possibly nonempty.
+  const double k_min = std::floor((lo - offset_hi) / period_hi) - 1;
+  const double k_max = std::ceil((hi - offset_lo) / period_lo) + 1;
+  for (double k = k_min; k <= k_max; ++k) {
+    const double x_lo = offset_lo + k * (k >= 0 ? period_lo : period_hi);
+    const double x_hi = offset_hi + k * (k >= 0 ? period_hi : period_lo);
+    if (x_hi >= lo && x_lo <= hi) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Interval sin(const Interval& x) {
+  if (x.is_empty()) return x;
+  if (x.is_unbounded() || x.width() >= 2.0 * kPiHi) return {-1.0, 1.0};
+  // Slightly widen the argument so the critical-point tests are safe.
+  const Interval xx = widen(x, 2);
+  double lo = std::min(std::sin(x.lo()), std::sin(x.hi()));
+  double hi = std::max(std::sin(x.lo()), std::sin(x.hi()));
+  lo = prev_float(prev_float(lo));
+  hi = next_float(next_float(hi));
+  // Maxima of sin at pi/2 + 2k*pi.
+  if (contains_critical(xx.lo(), xx.hi(), kPiLo / 2.0, kPiHi / 2.0,
+                        2.0 * kPiLo, 2.0 * kPiHi)) {
+    hi = 1.0;
+  }
+  // Minima at -pi/2 + 2k*pi.
+  if (contains_critical(xx.lo(), xx.hi(), -kPiHi / 2.0, -kPiLo / 2.0,
+                        2.0 * kPiLo, 2.0 * kPiHi)) {
+    lo = -1.0;
+  }
+  return intersect({lo, hi}, {-1.0, 1.0});
+}
+
+Interval cos(const Interval& x) {
+  if (x.is_empty()) return x;
+  if (x.is_unbounded() || x.width() >= 2.0 * kPiHi) return {-1.0, 1.0};
+  const Interval xx = widen(x, 2);
+  double lo = std::min(std::cos(x.lo()), std::cos(x.hi()));
+  double hi = std::max(std::cos(x.lo()), std::cos(x.hi()));
+  lo = prev_float(prev_float(lo));
+  hi = next_float(next_float(hi));
+  // Maxima of cos at 2k*pi.
+  if (contains_critical(xx.lo(), xx.hi(), 0.0, 0.0, 2.0 * kPiLo,
+                        2.0 * kPiHi)) {
+    hi = 1.0;
+  }
+  // Minima at pi + 2k*pi.
+  if (contains_critical(xx.lo(), xx.hi(), kPiLo, kPiHi, 2.0 * kPiLo,
+                        2.0 * kPiHi)) {
+    lo = -1.0;
+  }
+  return intersect({lo, hi}, {-1.0, 1.0});
+}
+
+Interval tan(const Interval& x) {
+  if (x.is_empty()) return x;
+  if (x.is_unbounded() || x.width() >= kPiHi) return Interval::entire();
+  const Interval xx = widen(x, 2);
+  // Poles at pi/2 + k*pi.
+  if (contains_critical(xx.lo(), xx.hi(), kPiLo / 2.0, kPiHi / 2.0, kPiLo,
+                        kPiHi)) {
+    return Interval::entire();
+  }
+  return {prev_float(prev_float(std::tan(x.lo()))),
+          next_float(next_float(std::tan(x.hi())))};
+}
+
+Interval atan(const Interval& x) {
+  if (x.is_empty()) return x;
+  return intersect({prev_float(std::atan(x.lo())),
+                    next_float(std::atan(x.hi()))},
+                   {-kPiHi / 2.0, kPiHi / 2.0});
+}
+
+Interval asin(const Interval& x) {
+  const Interval d = intersect(x, {-1.0, 1.0});
+  if (d.is_empty()) return d;
+  return intersect({prev_float(prev_float(std::asin(d.lo()))),
+                    next_float(next_float(std::asin(d.hi())))},
+                   {-kPiHi / 2.0, kPiHi / 2.0});
+}
+
+Interval acos(const Interval& x) {
+  const Interval d = intersect(x, {-1.0, 1.0});
+  if (d.is_empty()) return d;
+  return intersect({prev_float(prev_float(std::acos(d.hi()))),
+                    next_float(next_float(std::acos(d.lo())))},
+                   {0.0, kPiHi});
+}
+
+Interval sigmoid(const Interval& x) {
+  if (x.is_empty()) return x;
+  const auto s = [](double v) { return 1.0 / (1.0 + std::exp(-v)); };
+  return intersect({prev_float(prev_float(s(x.lo()))),
+                    next_float(next_float(s(x.hi())))},
+                   {0.0, 1.0});
+}
+
+Interval tanh(const Interval& x) {
+  if (x.is_empty()) return x;
+  return intersect({prev_float(prev_float(std::tanh(x.lo()))),
+                    next_float(next_float(std::tanh(x.hi())))},
+                   {-1.0, 1.0});
+}
+
+Interval atanh(const Interval& x) {
+  const Interval d = intersect(x, {-1.0, 1.0});
+  if (d.is_empty()) return d;
+  const double lo = d.lo() <= -1.0 ? -kInf
+                                   : prev_float(prev_float(std::atanh(d.lo())));
+  const double hi =
+      d.hi() >= 1.0 ? kInf : next_float(next_float(std::atanh(d.hi())));
+  return {lo, hi};
+}
+
+Interval relu(const Interval& x) {
+  if (x.is_empty()) return x;
+  return {std::max(0.0, x.lo()), std::max(0.0, x.hi())};
+}
+
+namespace {
+/// Conservative scalar n-th root (outward padded).
+double root_scalar(double v, int n) {
+  if (n == 2) return std::sqrt(v);
+  if (n == 3) return std::cbrt(v);
+  if (v < 0.0) return -std::pow(-v, 1.0 / n);
+  return std::pow(v, 1.0 / n);
+}
+}  // namespace
+
+Interval nth_root(const Interval& x, int n) {
+  if (n < 1) return Interval::entire();
+  if (n == 1) return x;
+  if (n % 2 == 0) {
+    const Interval d = intersect(x, {0.0, kInf});
+    if (d.is_empty()) return d;
+    return {std::max(0.0, prev_float(prev_float(root_scalar(d.lo(), n)))),
+            next_float(next_float(root_scalar(d.hi(), n)))};
+  }
+  if (x.is_empty()) return x;
+  return {prev_float(prev_float(root_scalar(x.lo(), n))),
+          next_float(next_float(root_scalar(x.hi(), n)))};
+}
+
+Interval logit(const Interval& x) {
+  const Interval d = intersect(x, {0.0, 1.0});
+  if (d.is_empty()) return d;
+  const auto f = [](double v) { return std::log(v / (1.0 - v)); };
+  const double lo =
+      d.lo() <= 0.0 ? -kInf : prev_float(prev_float(f(d.lo())));
+  const double hi = d.hi() >= 1.0 ? kInf : next_float(next_float(f(d.hi())));
+  return {lo, hi};
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& x) {
+  if (x.is_empty()) return os << "[empty]";
+  return os << '[' << x.lo() << ", " << x.hi() << ']';
+}
+
+}  // namespace bcert::interval

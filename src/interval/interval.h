@@ -1,0 +1,153 @@
+#pragma once
+/// \file interval.h
+/// \brief Outward-rounded interval arithmetic.
+///
+/// Every operation returns an interval guaranteed to contain the exact
+/// real-number image of its operands. Rounding is made safe by padding
+/// each floating-point result outward with `std::nextafter` (a couple of
+/// ulps generously covers the ≤1-ulp error of IEEE basic ops and the
+/// few-ulp error of quality libm transcendentals). This is the soundness
+/// bedrock of the δ-SAT solver: an UNSAT answer built on these bounds is
+/// a proof over the reals.
+
+#include <iosfwd>
+#include <limits>
+
+namespace bcert::interval {
+
+/// Conservative enclosure of π: kPiLower < π < kPiUpper.
+inline constexpr double kPiLower = 3.14159265358979267;
+inline constexpr double kPiUpper = 3.14159265358979356;
+
+/// Closed real interval [lo, hi]. The empty interval is represented by
+/// lo > hi (canonically [+inf, -inf]).
+class Interval {
+ public:
+  /// Default: the empty interval.
+  constexpr Interval()
+      : lo_(std::numeric_limits<double>::infinity()),
+        hi_(-std::numeric_limits<double>::infinity()) {}
+
+  /// Degenerate point interval [v, v].
+  constexpr explicit Interval(double v) : lo_(v), hi_(v) {}
+
+  /// Interval [lo, hi]; lo > hi yields the empty interval.
+  constexpr Interval(double lo, double hi) : lo_(lo), hi_(hi) {}
+
+  /// The whole real line.
+  static constexpr Interval entire() {
+    return {-std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+  }
+  static constexpr Interval empty() { return {}; }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  bool is_empty() const { return lo_ > hi_; }
+  bool is_point() const { return lo_ == hi_; }
+  /// True if either endpoint is infinite (and not empty).
+  bool is_unbounded() const;
+
+  /// Width hi - lo (0 for points, -inf... guarded: 0 for empty).
+  double width() const { return is_empty() ? 0.0 : hi_ - lo_; }
+  /// Midpoint, clamped to finite when one side is infinite.
+  double mid() const;
+  /// Maximum absolute value over the interval.
+  double mag() const;
+  /// Minimum absolute value over the interval (0 if it contains 0).
+  double mig() const;
+
+  bool contains(double v) const { return lo_ <= v && v <= hi_; }
+  bool contains(const Interval& o) const {
+    return o.is_empty() || (lo_ <= o.lo_ && o.hi_ <= hi_);
+  }
+  bool intersects(const Interval& o) const {
+    return !is_empty() && !o.is_empty() && lo_ <= o.hi_ && o.lo_ <= hi_;
+  }
+
+  /// True when every point is strictly positive / negative.
+  bool strictly_positive() const { return !is_empty() && lo_ > 0.0; }
+  bool strictly_negative() const { return !is_empty() && hi_ < 0.0; }
+
+  bool operator==(const Interval& o) const {
+    return (is_empty() && o.is_empty()) || (lo_ == o.lo_ && hi_ == o.hi_);
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Next representable double below / above (outward rounding helpers).
+double prev_float(double v);
+double next_float(double v);
+
+/// Widens both endpoints outward by \p ulps representable steps.
+/// Used to make libm results conservative.
+Interval widen(const Interval& x, int ulps = 2);
+
+// --- set operations ---------------------------------------------------
+
+Interval intersect(const Interval& a, const Interval& b);
+/// Interval hull (smallest interval containing both).
+Interval hull(const Interval& a, const Interval& b);
+
+// --- arithmetic (all outward rounded) ----------------------------------
+
+Interval operator+(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a, const Interval& b);
+Interval operator-(const Interval& a);
+Interval operator*(const Interval& a, const Interval& b);
+/// Division. If b contains 0 the result may be entire() (we do not split
+/// into two disjoint rays; the ICP layer handles the precision loss).
+Interval operator/(const Interval& a, const Interval& b);
+
+Interval operator+(const Interval& a, double b);
+Interval operator+(double a, const Interval& b);
+Interval operator-(const Interval& a, double b);
+Interval operator-(double a, const Interval& b);
+Interval operator*(const Interval& a, double b);
+Interval operator*(double a, const Interval& b);
+Interval operator/(const Interval& a, double b);
+
+// --- elementary functions ----------------------------------------------
+
+Interval sqr(const Interval& x);
+Interval sqrt(const Interval& x);   ///< intersected with [0, inf)
+Interval exp(const Interval& x);
+Interval log(const Interval& x);    ///< intersected with domain (0, inf)
+Interval pow(const Interval& x, int n);
+Interval abs(const Interval& x);
+Interval min(const Interval& a, const Interval& b);
+Interval max(const Interval& a, const Interval& b);
+
+Interval sin(const Interval& x);
+Interval cos(const Interval& x);
+Interval tan(const Interval& x);
+Interval atan(const Interval& x);
+/// Principal arcsine; input clipped to [-1,1]. Range [-pi/2, pi/2].
+Interval asin(const Interval& x);
+/// Principal arccosine; input clipped to [-1,1]. Range [0, pi].
+Interval acos(const Interval& x);
+/// Monotone sigmoid 1/(1+e^{-x}), range (0,1).
+Interval sigmoid(const Interval& x);
+/// Monotone tanh, range (-1,1). This is MATLAB's `tansig`.
+Interval tanh(const Interval& x);
+/// Inverse of tanh on (-1,1); inputs outside are clipped to the domain.
+Interval atanh(const Interval& x);
+/// ReLU max(x, 0).
+Interval relu(const Interval& x);
+
+/// Real n-th root, n ≥ 1. For even n the domain is clipped to [0, inf)
+/// and the result is the non-negative root; for odd n the root is
+/// sign-preserving (defined on all reals).
+Interval nth_root(const Interval& x, int n);
+
+/// Inverse of the logistic sigmoid: log(x / (1-x)) on (0, 1).
+/// Inputs are clipped to [0, 1]; endpoints map to ∓inf.
+Interval logit(const Interval& x);
+
+std::ostream& operator<<(std::ostream& os, const Interval& x);
+
+}  // namespace bcert::interval

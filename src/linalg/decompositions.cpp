@@ -1,0 +1,243 @@
+#include "src/linalg/decompositions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bcert::linalg {
+
+namespace {
+constexpr double kPivotTol = 1e-13;
+}
+
+LuDecomposition::LuDecomposition(const Matrix& a) : lu_(a) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("LuDecomposition: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < kPivotTol) {
+      invertible_ = false;
+      continue;
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      sign_ = -sign_;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) / lu_(k, k);
+      lu_(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  if (!invertible_) throw std::runtime_error("LU solve: singular matrix");
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("LU solve: size mismatch");
+  Vector x(n);
+  // Forward substitution with permutation (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution through U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  Matrix out(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) out.set_col(c, solve(b.col(c)));
+  return out;
+}
+
+double LuDecomposition::determinant() const {
+  if (!invertible_) return 0.0;
+  double det = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a)
+    : l_(a.rows(), a.cols()) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("Cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  success_ = true;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c <= r; ++c) {
+      double acc = a(r, c);
+      for (std::size_t k = 0; k < c; ++k) acc -= l_(r, k) * l_(c, k);
+      if (r == c) {
+        if (acc <= 0.0) {
+          success_ = false;
+          return;
+        }
+        l_(r, c) = std::sqrt(acc);
+      } else {
+        l_(r, c) = acc / l_(c, c);
+      }
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  if (!success_) throw std::runtime_error("Cholesky solve: not SPD");
+  const std::size_t n = l_.rows();
+  if (b.size() != n) {
+    throw std::invalid_argument("Cholesky solve: size mismatch");
+  }
+  Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[r];
+    for (std::size_t c = 0; c < r; ++c) acc -= l_(r, c) * y[c];
+    y[r] = acc / l_(r, r);
+  }
+  Vector x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= l_(c, ri) * x[c];
+    x[ri] = acc / l_(ri, ri);
+  }
+  return x;
+}
+
+SymmetricEigen symmetric_eigen(const Matrix& a, double tol, int max_sweeps) {
+  if (!a.is_symmetric(1e-9)) {
+    throw std::invalid_argument("symmetric_eigen: matrix is not symmetric");
+  }
+  const std::size_t n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = r + 1; c < n; ++c) off += d(r, c) * d(r, c);
+    if (std::sqrt(off) < tol) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::fabs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply the rotation G(p,q,θ) on both sides of D and accumulate in V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p), dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k), dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return d(i, i) < d(j, j); });
+
+  SymmetricEigen out;
+  out.eigenvalues = Vector(n);
+  out.eigenvectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = d(order[j], order[j]);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  const std::size_t m = a.rows(), n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("least_squares: size");
+  if (m < n) throw std::invalid_argument("least_squares: underdetermined");
+
+  // Householder QR, transforming b in place.
+  Matrix r = a;
+  Vector rhs = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm < 1e-300) continue;
+    const double alpha = (r(k, k) > 0) ? -norm : norm;
+    Vector v(m - k);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    const double vnorm2 = dot(v, v);
+    if (vnorm2 < 1e-300) continue;
+    // Apply H = I - 2 v vᵀ / ‖v‖² to the remaining columns and the rhs.
+    for (std::size_t c = k; c < n; ++c) {
+      double proj = 0.0;
+      for (std::size_t i = k; i < m; ++i) proj += v[i - k] * r(i, c);
+      proj = 2.0 * proj / vnorm2;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= proj * v[i - k];
+    }
+    double proj = 0.0;
+    for (std::size_t i = k; i < m; ++i) proj += v[i - k] * rhs[i];
+    proj = 2.0 * proj / vnorm2;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= proj * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular part; tiny pivots are
+  // regularized so rank-deficient fits still return a finite answer.
+  Vector x(n);
+  for (std::size_t ki = n; ki-- > 0;) {
+    double acc = rhs[ki];
+    for (std::size_t c = ki + 1; c < n; ++c) acc -= r(ki, c) * x[c];
+    const double piv = r(ki, ki);
+    x[ki] = acc / ((std::fabs(piv) < 1e-12) ? (piv >= 0 ? 1e-12 : -1e-12)
+                                            : piv);
+  }
+  return x;
+}
+
+std::optional<Vector> solve_linear(const Matrix& a, const Vector& b) {
+  LuDecomposition lu(a);
+  if (!lu.invertible()) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace bcert::linalg

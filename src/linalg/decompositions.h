@@ -1,0 +1,83 @@
+#pragma once
+/// \file decompositions.h
+/// \brief Dense factorizations used by the pipeline: LU solves for
+/// ellipsoid geometry (P⁻¹ in level-set bounds), Cholesky + symmetric
+/// eigendecomposition for CMA-ES sampling, Householder QR for the
+/// least-squares ("ELM") controller fits.
+
+#include <optional>
+
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::linalg {
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Factors PA = LU; exposes solves, determinant and inverse.
+class LuDecomposition {
+ public:
+  /// Factors \p a. Throws std::invalid_argument if \p a is not square.
+  explicit LuDecomposition(const Matrix& a);
+
+  /// True when no zero (below tolerance) pivot was hit.
+  bool invertible() const { return invertible_; }
+
+  /// Solves A x = b. Throws std::runtime_error if singular.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column. Throws std::runtime_error if singular.
+  Matrix solve(const Matrix& b) const;
+
+  /// Determinant of A (0 when singular was detected).
+  double determinant() const;
+
+  /// A⁻¹. Throws std::runtime_error if singular.
+  Matrix inverse() const;
+
+ private:
+  Matrix lu_;                  // packed L (unit diagonal) and U
+  std::vector<std::size_t> perm_;
+  int sign_ = 1;
+  bool invertible_ = true;
+};
+
+/// Cholesky factorization A = L Lᵀ of a symmetric positive-definite matrix.
+class CholeskyDecomposition {
+ public:
+  /// Factors \p a; `success()` reports whether \p a was numerically SPD.
+  explicit CholeskyDecomposition(const Matrix& a);
+
+  bool success() const { return success_; }
+
+  /// Lower-triangular factor L. Only meaningful when success().
+  const Matrix& lower() const { return l_; }
+
+  /// Solves A x = b using the factorization.
+  Vector solve(const Vector& b) const;
+
+ private:
+  Matrix l_;
+  bool success_ = false;
+};
+
+/// Result of a symmetric eigendecomposition A = V diag(λ) Vᵀ.
+struct SymmetricEigen {
+  Vector eigenvalues;   ///< ascending order
+  Matrix eigenvectors;  ///< columns correspond to `eigenvalues`
+};
+
+/// Jacobi rotation eigendecomposition for symmetric matrices.
+/// Robust and simple; fine for the ≤ few-hundred sizes CMA-ES needs.
+/// Throws std::invalid_argument when \p a is not symmetric.
+SymmetricEigen symmetric_eigen(const Matrix& a, double tol = 1e-12,
+                               int max_sweeps = 100);
+
+/// Householder-QR least squares: minimizes ‖A x − b‖₂ for A with
+/// rows ≥ cols and full column rank (rank deficiency is tolerated via
+/// tiny-pivot regularization). Returns the minimizer.
+Vector least_squares(const Matrix& a, const Vector& b);
+
+/// Convenience: solve a square system via LU; std::nullopt when singular.
+std::optional<Vector> solve_linear(const Matrix& a, const Vector& b);
+
+}  // namespace bcert::linalg

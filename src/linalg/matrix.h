@@ -1,0 +1,106 @@
+#pragma once
+/// \file matrix.h
+/// \brief Dense row-major matrix with the handful of operations the
+/// verification pipeline needs (products, transpose, quadratic forms).
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::linalg {
+
+/// Dense row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Creates a \p rows x \p cols zero matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Creates a matrix from nested initializer lists (row major).
+  /// Throws std::invalid_argument on ragged rows.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size \p n.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from the entries of \p d.
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  Matrix transposed() const;
+
+  /// Extracts row \p r as a vector.
+  Vector row(std::size_t r) const;
+  /// Extracts column \p c as a vector.
+  Vector col(std::size_t c) const;
+
+  /// Sets row \p r from \p v (dimension must match cols()).
+  void set_row(std::size_t r, const Vector& v);
+  /// Sets column \p c from \p v (dimension must match rows()).
+  void set_col(std::size_t c, const Vector& v);
+
+  /// Frobenius norm.
+  double norm_frobenius() const;
+
+  /// Largest absolute entry.
+  double norm_max() const;
+
+  /// True when the matrix equals its transpose within \p tol (absolute).
+  bool is_symmetric(double tol = 1e-12) const;
+
+  bool operator==(const Matrix& rhs) const {
+    return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double s);
+Matrix operator*(double s, Matrix rhs);
+
+/// Matrix-matrix product; inner dimensions must match.
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product.
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// Computes xᵀ A y (A must be rows=|x|, cols=|y|).
+double quadratic_form(const Vector& x, const Matrix& a, const Vector& y);
+
+/// Outer product x yᵀ.
+Matrix outer(const Vector& x, const Vector& y);
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace bcert::linalg

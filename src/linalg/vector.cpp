@@ -1,0 +1,97 @@
+#include "src/linalg/vector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace bcert::linalg {
+
+namespace {
+void check_same_size(const Vector& a, const Vector& b, const char* op) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string("Vector ") + op +
+                                ": dimension mismatch");
+  }
+}
+}  // namespace
+
+Vector& Vector::operator+=(const Vector& rhs) {
+  check_same_size(*this, rhs, "+=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += rhs[i];
+  return *this;
+}
+
+Vector& Vector::operator-=(const Vector& rhs) {
+  check_same_size(*this, rhs, "-=");
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= rhs[i];
+  return *this;
+}
+
+Vector& Vector::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Vector& Vector::operator/=(double s) {
+  for (double& v : data_) v /= s;
+  return *this;
+}
+
+double Vector::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Vector::norm_inf() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+double Vector::sum() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v;
+  return acc;
+}
+
+void Vector::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) { return lhs += rhs; }
+Vector operator-(Vector lhs, const Vector& rhs) { return lhs -= rhs; }
+Vector operator*(Vector lhs, double s) { return lhs *= s; }
+Vector operator*(double s, Vector rhs) { return rhs *= s; }
+Vector operator/(Vector lhs, double s) { return lhs /= s; }
+
+Vector operator-(Vector v) {
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = -v[i];
+  return v;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  check_same_size(a, b, "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  check_same_size(a, b, "hadamard");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vector& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ", ";
+    os << v[i];
+  }
+  return os << ']';
+}
+
+}  // namespace bcert::linalg

@@ -1,0 +1,96 @@
+#pragma once
+/// \file vector.h
+/// \brief Dense real-valued vector used throughout the library.
+///
+/// The verification pipeline is small-and-dense (state dimension of the
+/// case study is 2, LP tableaus are a few hundred columns, CMA-ES
+/// covariances reach a few thousand), so a simple contiguous
+/// `std::vector<double>` wrapper with value semantics is the right tool.
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+namespace bcert::linalg {
+
+/// Dense column vector of doubles with value semantics.
+class Vector {
+ public:
+  Vector() = default;
+
+  /// Creates a vector of \p n zeros.
+  explicit Vector(std::size_t n) : data_(n, 0.0) {}
+
+  /// Creates a vector of \p n copies of \p value.
+  Vector(std::size_t n, double value) : data_(n, value) {}
+
+  /// Creates a vector from an explicit element list.
+  Vector(std::initializer_list<double> values) : data_(values) {}
+
+  /// Wraps an existing buffer (moved in).
+  explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t i) { return data_.at(i); }
+  double at(std::size_t i) const { return data_.at(i); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  const std::vector<double>& raw() const { return data_; }
+
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s);
+  Vector& operator/=(double s);
+
+  /// Euclidean (L2) norm.
+  double norm() const;
+  /// Maximum absolute entry; 0 for the empty vector.
+  double norm_inf() const;
+  /// Sum of entries.
+  double sum() const;
+
+  /// Appends an element (used by constraint builders).
+  void push_back(double v) { data_.push_back(v); }
+
+  /// Resizes, zero-filling any new entries.
+  void resize(std::size_t n) { data_.resize(n, 0.0); }
+
+  /// Sets every entry to \p value.
+  void fill(double value);
+
+  bool operator==(const Vector& rhs) const { return data_ == rhs.data_; }
+
+ private:
+  std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector lhs, double s);
+Vector operator*(double s, Vector rhs);
+Vector operator/(Vector lhs, double s);
+Vector operator-(Vector v);
+
+/// Dot product; dimensions must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Element-wise product.
+Vector hadamard(const Vector& a, const Vector& b);
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace bcert::linalg

@@ -1,0 +1,32 @@
+#include "src/lp/problem.h"
+
+#include <stdexcept>
+
+namespace bcert::lp {
+
+const char* lp_status_name(LpStatus s) {
+  switch (s) {
+    case LpStatus::kOptimal: return "optimal";
+    case LpStatus::kInfeasible: return "infeasible";
+    case LpStatus::kUnbounded: return "unbounded";
+    case LpStatus::kIterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+LpProblem LpProblem::with_free_vars(std::size_t n) {
+  LpProblem p;
+  p.objective = linalg::Vector(n);
+  p.lower.assign(n, -kLpInf);
+  p.upper.assign(n, kLpInf);
+  return p;
+}
+
+void LpProblem::add_row(linalg::Vector coeffs, RowRel rel, double rhs) {
+  if (coeffs.size() != num_vars()) {
+    throw std::invalid_argument("LpProblem::add_row: coefficient size");
+  }
+  rows.push_back({std::move(coeffs), rel, rhs});
+}
+
+}  // namespace bcert::lp

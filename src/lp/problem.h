@@ -1,0 +1,68 @@
+#pragma once
+/// \file problem.h
+/// \brief Linear-program model types.
+///
+/// The barrier-synthesis LP is small in variables (template coefficients
+/// plus one margin variable) and moderate in rows (two constraints per
+/// sampled trace point), so a dense representation is appropriate.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::lp {
+
+/// Row relation.
+enum class RowRel : std::uint8_t { kLe, kGe, kEq };
+
+/// Objective sense.
+enum class Sense : std::uint8_t { kMinimize, kMaximize };
+
+inline constexpr double kLpInf = std::numeric_limits<double>::infinity();
+
+/// One linear constraint `coeffs · x (rel) rhs`.
+struct LpRow {
+  linalg::Vector coeffs;
+  RowRel rel = RowRel::kLe;
+  double rhs = 0.0;
+};
+
+/// A linear program over n variables with optional box bounds.
+struct LpProblem {
+  Sense sense = Sense::kMinimize;
+  linalg::Vector objective;     ///< length n
+  std::vector<LpRow> rows;
+  std::vector<double> lower;    ///< length n; -kLpInf for free below
+  std::vector<double> upper;    ///< length n; +kLpInf for free above
+
+  std::size_t num_vars() const { return objective.size(); }
+  std::size_t num_rows() const { return rows.size(); }
+
+  /// Creates a problem with n variables, zero objective, free bounds.
+  static LpProblem with_free_vars(std::size_t n);
+
+  /// Appends a row; coefficient vector must have length num_vars().
+  void add_row(linalg::Vector coeffs, RowRel rel, double rhs);
+};
+
+/// Solver status.
+enum class LpStatus : std::uint8_t {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterLimit,
+};
+
+const char* lp_status_name(LpStatus s);
+
+/// Solution report.
+struct LpSolution {
+  LpStatus status = LpStatus::kIterLimit;
+  linalg::Vector x;        ///< primal values (original variable space)
+  double objective = 0.0;  ///< objective value in the problem's sense
+  int iterations = 0;
+};
+
+}  // namespace bcert::lp

@@ -1,0 +1,27 @@
+#pragma once
+/// \file simplex.h
+/// \brief Two-phase dense primal simplex.
+///
+/// Handles general LPs (free variables, box bounds, ≤/≥/= rows) by
+/// conversion to standard form `min cᵀx, Ax = b, x ≥ 0` followed by a
+/// tableau simplex with Dantzig pricing and a Bland's-rule fallback for
+/// anti-cycling. Built for the small/medium dense problems of the
+/// barrier-synthesis loop.
+
+#include "src/lp/problem.h"
+
+namespace bcert::lp {
+
+/// Solver options.
+struct SimplexOptions {
+  int max_iterations = 50'000;
+  double eps = 1e-9;           ///< pivot / feasibility tolerance
+  int bland_after = 2'000;     ///< switch to Bland's rule after this many
+};
+
+/// Solves \p problem; never throws on solver-status conditions (status is
+/// reported in the result), throws std::invalid_argument on malformed
+/// input (e.g. inconsistent dimensions).
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts = {});
+
+}  // namespace bcert::lp

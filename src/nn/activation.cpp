@@ -1,0 +1,46 @@
+#include "src/nn/activation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcert::nn {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kRelu: return "relu";
+    case Activation::kLinear: return "linear";
+  }
+  return "?";
+}
+
+Activation activation_from_name(const std::string& name) {
+  if (name == "tanh" || name == "tansig") return Activation::kTanh;
+  if (name == "sigmoid" || name == "logsig") return Activation::kSigmoid;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "linear" || name == "purelin") return Activation::kLinear;
+  throw std::invalid_argument("unknown activation: " + name);
+}
+
+double apply(Activation a, double v) {
+  switch (a) {
+    case Activation::kTanh: return std::tanh(v);
+    case Activation::kSigmoid: return 1.0 / (1.0 + std::exp(-v));
+    case Activation::kRelu: return v > 0.0 ? v : 0.0;
+    case Activation::kLinear: return v;
+  }
+  return v;
+}
+
+expr::ExprId apply(Activation a, expr::ExprPool& pool, expr::ExprId v) {
+  switch (a) {
+    case Activation::kTanh: return pool.tanh(v);
+    case Activation::kSigmoid: return pool.sigmoid(v);
+    case Activation::kRelu: return pool.relu(v);
+    case Activation::kLinear: return v;
+  }
+  return v;
+}
+
+}  // namespace bcert::nn

@@ -1,0 +1,32 @@
+#pragma once
+/// \file activation.h
+/// \brief Neuron activation functions, usable numerically and symbolically.
+///
+/// The paper's case study uses MATLAB `tansig` (= tanh) everywhere, and
+/// the verification approach explicitly supports any Type-2 computable
+/// activation; we also provide sigmoid, ReLU and linear for the broader
+/// API (ReLU controllers can be *simulated/trained* but not pushed through
+/// symbolic differentiation — the barrier pipeline itself never needs to
+/// differentiate the controller).
+
+#include <cstdint>
+#include <string>
+
+#include "src/expr/expr.h"
+
+namespace bcert::nn {
+
+enum class Activation : std::uint8_t { kTanh, kSigmoid, kRelu, kLinear };
+
+const char* activation_name(Activation a);
+
+/// Parses an activation name; throws std::invalid_argument on unknown.
+Activation activation_from_name(const std::string& name);
+
+/// Scalar application.
+double apply(Activation a, double v);
+
+/// Symbolic application.
+expr::ExprId apply(Activation a, expr::ExprPool& pool, expr::ExprId v);
+
+}  // namespace bcert::nn

@@ -1,0 +1,104 @@
+#include "src/nn/ctrnn.h"
+
+#include <stdexcept>
+
+namespace bcert::nn {
+
+Ctrnn::Ctrnn(std::size_t inputs, std::size_t hidden, std::size_t outputs,
+             double tau, Activation act)
+    : wx_(hidden, inputs),
+      wh_(hidden, hidden),
+      bias_(hidden),
+      wo_(outputs, hidden),
+      out_bias_(outputs),
+      tau_(tau),
+      act_(act) {
+  if (tau <= 0.0) throw std::invalid_argument("Ctrnn: tau must be > 0");
+}
+
+linalg::Vector Ctrnn::output(const linalg::Vector& h) const {
+  return wo_ * h + out_bias_;
+}
+
+linalg::Vector Ctrnn::hidden_derivative(const linalg::Vector& y,
+                                        const linalg::Vector& h) const {
+  linalg::Vector pre = wx_ * y + wh_ * h + bias_;
+  linalg::Vector dh(num_hidden());
+  for (std::size_t i = 0; i < dh.size(); ++i) {
+    dh[i] = (-h[i] + apply(act_, pre[i])) / tau_;
+  }
+  return dh;
+}
+
+std::vector<expr::ExprId> Ctrnn::output_expr(
+    expr::ExprPool& pool, const std::vector<expr::ExprId>& h) const {
+  if (h.size() != num_hidden()) {
+    throw std::invalid_argument("Ctrnn::output_expr: hidden count");
+  }
+  std::vector<expr::ExprId> out(num_outputs());
+  for (std::size_t j = 0; j < num_outputs(); ++j) {
+    std::vector<double> coeffs(num_hidden());
+    for (std::size_t i = 0; i < num_hidden(); ++i) coeffs[i] = wo_(j, i);
+    out[j] = pool.affine(coeffs, h, out_bias_[j]);
+  }
+  return out;
+}
+
+std::vector<expr::ExprId> Ctrnn::hidden_derivative_expr(
+    expr::ExprPool& pool, const std::vector<expr::ExprId>& y,
+    const std::vector<expr::ExprId>& h) const {
+  if (y.size() != num_inputs() || h.size() != num_hidden()) {
+    throw std::invalid_argument("Ctrnn::hidden_derivative_expr: shape");
+  }
+  std::vector<expr::ExprId> dh(num_hidden());
+  for (std::size_t i = 0; i < num_hidden(); ++i) {
+    std::vector<double> coeffs;
+    std::vector<expr::ExprId> terms;
+    coeffs.reserve(num_inputs() + num_hidden());
+    terms.reserve(num_inputs() + num_hidden());
+    for (std::size_t c = 0; c < num_inputs(); ++c) {
+      coeffs.push_back(wx_(i, c));
+      terms.push_back(y[c]);
+    }
+    for (std::size_t c = 0; c < num_hidden(); ++c) {
+      coeffs.push_back(wh_(i, c));
+      terms.push_back(h[c]);
+    }
+    const expr::ExprId pre = pool.affine(coeffs, terms, bias_[i]);
+    const expr::ExprId activated = apply(act_, pool, pre);
+    dh[i] = pool.div(pool.sub(activated, h[i]), pool.constant(tau_));
+  }
+  return dh;
+}
+
+void Ctrnn::randomize(std::mt19937& rng, double scale) {
+  std::normal_distribution<double> normal(0.0, 1.0);
+  const double wx_std =
+      scale / std::sqrt(static_cast<double>(std::max<std::size_t>(
+                  num_inputs(), 1)));
+  const double wh_std =
+      scale / std::sqrt(static_cast<double>(std::max<std::size_t>(
+                  num_hidden(), 1)));
+  for (std::size_t r = 0; r < wx_.rows(); ++r)
+    for (std::size_t c = 0; c < wx_.cols(); ++c)
+      wx_(r, c) = wx_std * normal(rng);
+  for (std::size_t r = 0; r < wh_.rows(); ++r)
+    for (std::size_t c = 0; c < wh_.cols(); ++c)
+      wh_(r, c) = wh_std * normal(rng);
+  for (std::size_t i = 0; i < bias_.size(); ++i)
+    bias_[i] = 0.1 * scale * normal(rng);
+  for (std::size_t r = 0; r < wo_.rows(); ++r)
+    for (std::size_t c = 0; c < wo_.cols(); ++c)
+      wo_(r, c) = wh_std * normal(rng);
+  for (std::size_t i = 0; i < out_bias_.size(); ++i)
+    out_bias_[i] = 0.1 * scale * normal(rng);
+}
+
+Ctrnn Ctrnn::lagged_policy(const linalg::Vector& gains, double tau) {
+  Ctrnn net(gains.size(), 1, 1, tau, Activation::kTanh);
+  for (std::size_t c = 0; c < gains.size(); ++c) net.wx_(0, c) = gains[c];
+  net.wo_(0, 0) = 1.0;
+  return net;
+}
+
+}  // namespace bcert::nn

@@ -1,0 +1,92 @@
+#pragma once
+/// \file ctrnn.h
+/// \brief Continuous-time recurrent neural network controllers.
+///
+/// The paper's future work (§5) targets *stateful* controllers based on
+/// recurrent networks, noting that "a stateful controller will increase
+/// the query complexity of the verification question". A continuous-time
+/// RNN (CTRNN) realizes this cleanly inside the paper's own formalism:
+/// the controller state h obeys
+///
+///     τ·ḣ = −h + act(Wx·y + Wh·h + b),     u = Wo·h + bo,
+///
+/// so composing plant and controller still yields an autonomous ODE —
+/// now in the augmented state (x, h) — and the *same* barrier-certificate
+/// machinery applies, with the query dimension grown by the hidden size
+/// (exactly the predicted complexity increase; see
+/// tests/ctrnn_test.cpp and bench_ablation_rnn).
+///
+/// With tanh activation the hidden box [−1, 1]^k is forward-invariant
+/// (at h_i = 1, τ·ḣ_i = −1 + tanh(…) ≤ 0), which gives a natural safe
+/// range for the augmented dimensions.
+
+#include <random>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+#include "src/nn/activation.h"
+
+namespace bcert::nn {
+
+/// A single-layer CTRNN: k hidden units, m inputs, p outputs.
+class Ctrnn {
+ public:
+  Ctrnn() = default;
+
+  /// Zero-weight network of the given shape.
+  Ctrnn(std::size_t inputs, std::size_t hidden, std::size_t outputs,
+        double tau = 0.2, Activation act = Activation::kTanh);
+
+  std::size_t num_inputs() const { return wx_.cols(); }
+  std::size_t num_hidden() const { return wx_.rows(); }
+  std::size_t num_outputs() const { return wo_.rows(); }
+  double tau() const { return tau_; }
+
+  linalg::Matrix& wx() { return wx_; }
+  linalg::Matrix& wh() { return wh_; }
+  linalg::Vector& bias() { return bias_; }
+  linalg::Matrix& wo() { return wo_; }
+  linalg::Vector& out_bias() { return out_bias_; }
+  const linalg::Matrix& wx() const { return wx_; }
+  const linalg::Matrix& wh() const { return wh_; }
+  const linalg::Vector& bias() const { return bias_; }
+  const linalg::Matrix& wo() const { return wo_; }
+  const linalg::Vector& out_bias() const { return out_bias_; }
+
+  /// Output u = Wo·h + bo for the current hidden state.
+  linalg::Vector output(const linalg::Vector& h) const;
+
+  /// Hidden derivative ḣ = (−h + act(Wx·y + Wh·h + b)) / τ.
+  linalg::Vector hidden_derivative(const linalg::Vector& y,
+                                   const linalg::Vector& h) const;
+
+  /// Symbolic output over hidden-state expressions.
+  std::vector<expr::ExprId> output_expr(
+      expr::ExprPool& pool, const std::vector<expr::ExprId>& h) const;
+
+  /// Symbolic hidden derivatives over input and hidden expressions.
+  std::vector<expr::ExprId> hidden_derivative_expr(
+      expr::ExprPool& pool, const std::vector<expr::ExprId>& y,
+      const std::vector<expr::ExprId>& h) const;
+
+  /// Random init (scaled like FeedforwardNet::randomize).
+  void randomize(std::mt19937& rng, double scale = 1.0);
+
+  /// The lagged realization of a static single-output policy
+  /// `u* = tanh(gains·y)`: one hidden unit with ḣ = (−h + tanh(g·y))/τ
+  /// and u = h. Converges to the static teacher as τ → 0.
+  static Ctrnn lagged_policy(const linalg::Vector& gains, double tau);
+
+ private:
+  linalg::Matrix wx_;        // hidden × inputs
+  linalg::Matrix wh_;        // hidden × hidden
+  linalg::Vector bias_;      // hidden
+  linalg::Matrix wo_;        // outputs × hidden
+  linalg::Vector out_bias_;  // outputs
+  double tau_ = 0.2;
+  Activation act_ = Activation::kTanh;
+};
+
+}  // namespace bcert::nn

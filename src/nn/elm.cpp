@@ -1,0 +1,93 @@
+#include "src/nn/elm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/linalg/decompositions.h"
+
+namespace bcert::nn {
+
+FeedforwardNet elm_fit(const TeacherFn& teacher, std::size_t inputs,
+                       std::size_t outputs, const linalg::Vector& input_lo,
+                       const linalg::Vector& input_hi,
+                       const ElmOptions& opts) {
+  if (input_lo.size() != inputs || input_hi.size() != inputs) {
+    throw std::invalid_argument("elm_fit: bound dimension mismatch");
+  }
+  if (opts.samples < opts.hidden + 1) {
+    throw std::invalid_argument(
+        "elm_fit: need at least hidden+1 samples for a determined fit");
+  }
+
+  FeedforwardNet net = FeedforwardNet::single_hidden(
+      inputs, opts.hidden, outputs, opts.activation);
+  if (!opts.tanh_output) {
+    net.layer(1).activation = Activation::kLinear;
+  }
+
+  std::mt19937 rng(opts.seed);
+  std::normal_distribution<double> normal(0.0, 1.0);
+
+  // Fixed random hidden layer. Scale relative to the input range so the
+  // features are diverse over the sampling box (not all saturated).
+  Layer& hidden = net.layer(0);
+  for (std::size_t r = 0; r < opts.hidden; ++r) {
+    for (std::size_t c = 0; c < inputs; ++c) {
+      const double range = std::max(input_hi[c] - input_lo[c], 1e-9);
+      hidden.weights(r, c) = opts.weight_scale * normal(rng) * 2.0 / range;
+    }
+    hidden.bias[r] = opts.weight_scale * normal(rng) * 0.5;
+  }
+
+  // Sample the training set and build the feature matrix (+ bias column).
+  std::vector<std::uniform_real_distribution<double>> dims;
+  dims.reserve(inputs);
+  for (std::size_t c = 0; c < inputs; ++c) {
+    dims.emplace_back(input_lo[c], input_hi[c]);
+  }
+
+  // Ridge regularization is implemented by augmenting the design matrix
+  // with √λ·I rows (targets 0): min ‖Ax − b‖² + λ‖x‖².
+  const std::size_t n_cols = opts.hidden + 1;
+  const std::size_t n_rows =
+      opts.samples + (opts.ridge > 0.0 ? n_cols : 0);
+  linalg::Matrix features(n_rows, n_cols);
+  linalg::Matrix targets(n_rows, outputs);
+  if (opts.ridge > 0.0) {
+    const double sq = std::sqrt(opts.ridge);
+    for (std::size_t j = 0; j < n_cols; ++j) {
+      features(opts.samples + j, j) = sq;
+    }
+  }
+  for (std::size_t s = 0; s < opts.samples; ++s) {
+    linalg::Vector x(inputs);
+    for (std::size_t c = 0; c < inputs; ++c) x[c] = dims[c](rng);
+    const linalg::Vector feat = hidden.forward(x);
+    for (std::size_t j = 0; j < opts.hidden; ++j) features(s, j) = feat[j];
+    features(s, opts.hidden) = 1.0;  // bias column
+
+    linalg::Vector y = teacher(x);
+    if (y.size() != outputs) {
+      throw std::invalid_argument("elm_fit: teacher output size");
+    }
+    for (std::size_t j = 0; j < outputs; ++j) {
+      double t = y[j];
+      if (opts.tanh_output) {
+        t = std::atanh(std::clamp(t, -opts.output_clip, opts.output_clip));
+      }
+      targets(s, j) = t;
+    }
+  }
+
+  // Least-squares output weights, one column of targets at a time.
+  Layer& out_layer = net.layer(1);
+  for (std::size_t j = 0; j < outputs; ++j) {
+    const linalg::Vector w =
+        linalg::least_squares(features, targets.col(j));
+    for (std::size_t k = 0; k < opts.hidden; ++k) out_layer.weights(j, k) = w[k];
+    out_layer.bias[j] = w[opts.hidden];
+  }
+  return net;
+}
+
+}  // namespace bcert::nn

@@ -1,0 +1,50 @@
+#pragma once
+/// \file elm.h
+/// \brief Random-feature ("extreme learning machine") controller fitting.
+///
+/// Table 1 of the paper verifies controllers with up to 1000 hidden
+/// neurons. Training a 4001-parameter policy with full-covariance CMA-ES
+/// is not what that experiment measures — it measures how *verification*
+/// scales with network size. To manufacture large controllers that are
+/// functionally equivalent to the trained 10-neuron policy, we fix a
+/// random hidden layer and fit the output layer by least squares to a
+/// teacher controller (distillation). The resulting network has exactly
+/// the architecture and activation functions the SMT query must handle.
+
+#include <functional>
+#include <random>
+
+#include "src/linalg/vector.h"
+#include "src/nn/network.h"
+
+namespace bcert::nn {
+
+/// A teacher mapping controller inputs to desired outputs.
+using TeacherFn = std::function<linalg::Vector(const linalg::Vector&)>;
+
+/// Options for the random-feature fit.
+struct ElmOptions {
+  std::size_t hidden = 100;           ///< hidden neurons of the student
+  std::size_t samples = 600;          ///< training grid size
+  double weight_scale = 1.0;          ///< hidden random weight scale
+  Activation activation = Activation::kTanh;
+  bool tanh_output = true;            ///< paper: tansig output neuron
+  double output_clip = 0.999;         ///< clamp before atanh when fitting
+  unsigned seed = 1234;
+  /// Ridge (Tikhonov) regularization of the output-layer fit. Keeps the
+  /// L1 norm of output weights small, which keeps interval enclosures of
+  /// the network tight during verification — unregularized least squares
+  /// on nearly-collinear random features can produce huge cancelling
+  /// weights that make the δ-SAT queries needlessly hard.
+  double ridge = 1e-4;
+};
+
+/// Fits a single-hidden-layer student to \p teacher over the box
+/// [lo, hi]^inputs sampled uniformly. When `tanh_output`, targets are
+/// mapped through atanh so the final tanh reproduces the teacher.
+FeedforwardNet elm_fit(const TeacherFn& teacher, std::size_t inputs,
+                       std::size_t outputs, const linalg::Vector& input_lo,
+                       const linalg::Vector& input_hi,
+                       const ElmOptions& opts = {});
+
+}  // namespace bcert::nn

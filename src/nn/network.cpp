@@ -1,0 +1,169 @@
+#include "src/nn/network.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace bcert::nn {
+
+linalg::Vector Layer::forward(const linalg::Vector& in) const {
+  linalg::Vector out = weights * in + bias;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = apply(activation, out[i]);
+  }
+  return out;
+}
+
+FeedforwardNet::FeedforwardNet(const std::vector<std::size_t>& layer_sizes,
+                               const std::vector<Activation>& activations) {
+  if (layer_sizes.size() < 2) {
+    throw std::invalid_argument("FeedforwardNet: need >= 2 layer sizes");
+  }
+  if (activations.size() != layer_sizes.size() - 1) {
+    throw std::invalid_argument(
+        "FeedforwardNet: one activation per non-input layer required");
+  }
+  layers_.reserve(layer_sizes.size() - 1);
+  for (std::size_t l = 1; l < layer_sizes.size(); ++l) {
+    Layer layer;
+    layer.weights = linalg::Matrix(layer_sizes[l], layer_sizes[l - 1]);
+    layer.bias = linalg::Vector(layer_sizes[l]);
+    layer.activation = activations[l - 1];
+    layers_.push_back(std::move(layer));
+  }
+}
+
+FeedforwardNet FeedforwardNet::single_hidden(std::size_t inputs,
+                                             std::size_t hidden,
+                                             std::size_t outputs,
+                                             Activation act) {
+  return FeedforwardNet({inputs, hidden, outputs}, {act, act});
+}
+
+std::size_t FeedforwardNet::num_inputs() const {
+  return layers_.empty() ? 0 : layers_.front().inputs();
+}
+
+std::size_t FeedforwardNet::num_outputs() const {
+  return layers_.empty() ? 0 : layers_.back().outputs();
+}
+
+std::size_t FeedforwardNet::num_params() const {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.num_params();
+  return n;
+}
+
+linalg::Vector FeedforwardNet::forward(const linalg::Vector& in) const {
+  if (in.size() != num_inputs()) {
+    throw std::invalid_argument("FeedforwardNet::forward: input size");
+  }
+  linalg::Vector v = in;
+  for (const Layer& l : layers_) v = l.forward(v);
+  return v;
+}
+
+linalg::Vector FeedforwardNet::parameters() const {
+  linalg::Vector out(num_params());
+  std::size_t k = 0;
+  for (const Layer& l : layers_) {
+    for (std::size_t r = 0; r < l.weights.rows(); ++r)
+      for (std::size_t c = 0; c < l.weights.cols(); ++c)
+        out[k++] = l.weights(r, c);
+    for (std::size_t i = 0; i < l.bias.size(); ++i) out[k++] = l.bias[i];
+  }
+  return out;
+}
+
+void FeedforwardNet::set_parameters(const linalg::Vector& params) {
+  if (params.size() != num_params()) {
+    throw std::invalid_argument("FeedforwardNet::set_parameters: size");
+  }
+  std::size_t k = 0;
+  for (Layer& l : layers_) {
+    for (std::size_t r = 0; r < l.weights.rows(); ++r)
+      for (std::size_t c = 0; c < l.weights.cols(); ++c)
+        l.weights(r, c) = params[k++];
+    for (std::size_t i = 0; i < l.bias.size(); ++i) l.bias[i] = params[k++];
+  }
+}
+
+void FeedforwardNet::randomize(std::mt19937& rng, double scale) {
+  std::normal_distribution<double> normal(0.0, 1.0);
+  for (Layer& l : layers_) {
+    const double w_std =
+        scale / std::sqrt(static_cast<double>(std::max<std::size_t>(
+                    l.inputs(), 1)));
+    for (std::size_t r = 0; r < l.weights.rows(); ++r)
+      for (std::size_t c = 0; c < l.weights.cols(); ++c)
+        l.weights(r, c) = w_std * normal(rng);
+    for (std::size_t i = 0; i < l.bias.size(); ++i)
+      l.bias[i] = scale * normal(rng) * 0.1;
+  }
+}
+
+std::vector<expr::ExprId> FeedforwardNet::to_expr(
+    expr::ExprPool& pool, const std::vector<expr::ExprId>& inputs) const {
+  if (inputs.size() != num_inputs()) {
+    throw std::invalid_argument("FeedforwardNet::to_expr: input count");
+  }
+  std::vector<expr::ExprId> current = inputs;
+  for (const Layer& l : layers_) {
+    std::vector<expr::ExprId> next(l.outputs());
+    for (std::size_t j = 0; j < l.outputs(); ++j) {
+      std::vector<double> coeffs(l.inputs());
+      for (std::size_t i = 0; i < l.inputs(); ++i) coeffs[i] = l.weights(j, i);
+      const expr::ExprId pre = pool.affine(coeffs, current, l.bias[j]);
+      next[j] = apply(l.activation, pool, pre);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+void FeedforwardNet::save(std::ostream& os) const {
+  os.precision(17);
+  os << "bcert-ffnet 1\n" << layers_.size() << '\n';
+  for (const Layer& l : layers_) {
+    os << l.outputs() << ' ' << l.inputs() << ' '
+       << activation_name(l.activation) << '\n';
+    for (std::size_t r = 0; r < l.weights.rows(); ++r) {
+      for (std::size_t c = 0; c < l.weights.cols(); ++c) {
+        os << l.weights(r, c) << (c + 1 < l.weights.cols() ? ' ' : '\n');
+      }
+    }
+    for (std::size_t i = 0; i < l.bias.size(); ++i) {
+      os << l.bias[i] << (i + 1 < l.bias.size() ? ' ' : '\n');
+    }
+  }
+}
+
+FeedforwardNet FeedforwardNet::load(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  is >> magic >> version;
+  if (magic != "bcert-ffnet" || version != 1) {
+    throw std::runtime_error("FeedforwardNet::load: bad header");
+  }
+  std::size_t n_layers = 0;
+  is >> n_layers;
+  FeedforwardNet net;
+  net.layers_.reserve(n_layers);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    std::size_t outs = 0, ins = 0;
+    std::string act;
+    is >> outs >> ins >> act;
+    Layer layer;
+    layer.weights = linalg::Matrix(outs, ins);
+    layer.bias = linalg::Vector(outs);
+    layer.activation = activation_from_name(act);
+    for (std::size_t r = 0; r < outs; ++r)
+      for (std::size_t c = 0; c < ins; ++c) is >> layer.weights(r, c);
+    for (std::size_t i = 0; i < outs; ++i) is >> layer.bias[i];
+    if (!is) throw std::runtime_error("FeedforwardNet::load: truncated");
+    net.layers_.push_back(std::move(layer));
+  }
+  return net;
+}
+
+}  // namespace bcert::nn

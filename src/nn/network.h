@@ -1,0 +1,90 @@
+#pragma once
+/// \file network.h
+/// \brief Feedforward neural networks: numeric evaluation, flat-parameter
+/// access for policy search, symbolic export for verification, and
+/// text (de)serialization.
+///
+/// The paper's controller (§4.2) is one hidden `tansig` layer of Nh
+/// neurons with a `tansig` output neuron: (2 → Nh → 1),
+/// 4·Nh + 1 parameters. This class supports arbitrary depth.
+
+#include <iosfwd>
+#include <random>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+#include "src/nn/activation.h"
+
+namespace bcert::nn {
+
+/// One dense layer: out = act(W · in + b).
+struct Layer {
+  linalg::Matrix weights;  ///< (outputs × inputs)
+  linalg::Vector bias;     ///< (outputs)
+  Activation activation = Activation::kTanh;
+
+  std::size_t inputs() const { return weights.cols(); }
+  std::size_t outputs() const { return weights.rows(); }
+  std::size_t num_params() const {
+    return weights.rows() * weights.cols() + bias.size();
+  }
+
+  linalg::Vector forward(const linalg::Vector& in) const;
+};
+
+/// A stateless feedforward network (the `h` of Eq. (3) in the paper).
+class FeedforwardNet {
+ public:
+  FeedforwardNet() = default;
+
+  /// Builds an unpopulated network from a layer-size spec, e.g.
+  /// {2, 10, 1} with activations {kTanh, kTanh} (one per non-input
+  /// layer). Weights start at zero.
+  FeedforwardNet(const std::vector<std::size_t>& layer_sizes,
+                 const std::vector<Activation>& activations);
+
+  /// Convenience: the paper's single-hidden-layer shape
+  /// (inputs → hidden → outputs), all-tanh.
+  static FeedforwardNet single_hidden(std::size_t inputs, std::size_t hidden,
+                                      std::size_t outputs,
+                                      Activation act = Activation::kTanh);
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return layers_[i]; }
+  Layer& layer(std::size_t i) { return layers_[i]; }
+
+  std::size_t num_inputs() const;
+  std::size_t num_outputs() const;
+
+  /// Total trainable parameter count (the 4·Nh+1 of the paper for
+  /// the (2, Nh, 1) shape).
+  std::size_t num_params() const;
+
+  /// Forward evaluation.
+  linalg::Vector forward(const linalg::Vector& in) const;
+
+  /// Flattened parameters (layer by layer: row-major weights then bias).
+  linalg::Vector parameters() const;
+  /// Loads flattened parameters; size must equal num_params().
+  void set_parameters(const linalg::Vector& params);
+
+  /// Random init: weights ~ N(0, scale/sqrt(fan_in)), biases ~ N(0, scale).
+  void randomize(std::mt19937& rng, double scale = 1.0);
+
+  /// Exports the network as expression DAG(s): one ExprId per output,
+  /// in terms of the given symbolic inputs. This is how the *same*
+  /// weights that drive the simulator enter the SMT queries.
+  std::vector<expr::ExprId> to_expr(
+      expr::ExprPool& pool, const std::vector<expr::ExprId>& inputs) const;
+
+  /// Text serialization (portable, human-inspectable).
+  void save(std::ostream& os) const;
+  static FeedforwardNet load(std::istream& is);
+
+ private:
+  std::vector<Layer> layers_;
+};
+
+}  // namespace bcert::nn

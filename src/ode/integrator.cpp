@@ -1,0 +1,102 @@
+#include "src/ode/integrator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcert::ode {
+
+linalg::Vector rk4_step(const VectorField& f, const linalg::Vector& x,
+                        double h) {
+  const linalg::Vector k1 = f(x);
+  const linalg::Vector k2 = f(x + k1 * (h / 2.0));
+  const linalg::Vector k3 = f(x + k2 * (h / 2.0));
+  const linalg::Vector k4 = f(x + k3 * h);
+  return x + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+}
+
+Trace integrate_rk4(const VectorField& f, const linalg::Vector& x0,
+                    const IntegrateOptions& opts) {
+  Trace trace;
+  const auto steps = static_cast<std::size_t>(
+      std::ceil(opts.t_end / opts.step));
+  trace.reserve(steps + 1);
+  linalg::Vector x = x0;
+  double t = 0.0;
+  trace.push_back(t, x);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double h = std::min(opts.step, opts.t_end - t);
+    if (h <= 0.0) break;
+    x = rk4_step(f, x, h);
+    t += h;
+    trace.push_back(t, x);
+    if (opts.stop && opts.stop(t, x)) break;
+  }
+  return trace;
+}
+
+namespace {
+
+// Fehlberg coefficients (RKF45).
+constexpr double kA2 = 1.0 / 4.0;
+constexpr double kB31 = 3.0 / 32.0, kB32 = 9.0 / 32.0;
+constexpr double kC41 = 1932.0 / 2197.0, kC42 = -7200.0 / 2197.0,
+                 kC43 = 7296.0 / 2197.0;
+constexpr double kD51 = 439.0 / 216.0, kD52 = -8.0, kD53 = 3680.0 / 513.0,
+                 kD54 = -845.0 / 4104.0;
+constexpr double kE61 = -8.0 / 27.0, kE62 = 2.0, kE63 = -3544.0 / 2565.0,
+                 kE64 = 1859.0 / 4104.0, kE65 = -11.0 / 40.0;
+// 4th-order solution weights.
+constexpr double kW41 = 25.0 / 216.0, kW43 = 1408.0 / 2565.0,
+                 kW44 = 2197.0 / 4104.0, kW45 = -1.0 / 5.0;
+// 5th-order solution weights.
+constexpr double kW51 = 16.0 / 135.0, kW53 = 6656.0 / 12825.0,
+                 kW54 = 28561.0 / 56430.0, kW55 = -9.0 / 50.0,
+                 kW56 = 2.0 / 55.0;
+
+}  // namespace
+
+Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
+                      const IntegrateOptions& opts) {
+  Trace trace;
+  linalg::Vector x = x0;
+  double t = 0.0;
+  double h = opts.step;
+  trace.push_back(t, x);
+
+  while (t < opts.t_end) {
+    h = std::min(h, opts.t_end - t);
+    h = std::clamp(h, opts.min_step, opts.max_step);
+
+    const linalg::Vector k1 = f(x) * h;
+    const linalg::Vector k2 = f(x + k1 * kA2) * h;
+    const linalg::Vector k3 = f(x + k1 * kB31 + k2 * kB32) * h;
+    const linalg::Vector k4 = f(x + k1 * kC41 + k2 * kC42 + k3 * kC43) * h;
+    const linalg::Vector k5 =
+        f(x + k1 * kD51 + k2 * kD52 + k3 * kD53 + k4 * kD54) * h;
+    const linalg::Vector k6 =
+        f(x + k1 * kE61 + k2 * kE62 + k3 * kE63 + k4 * kE64 + k5 * kE65) * h;
+
+    const linalg::Vector x4 =
+        x + k1 * kW41 + k3 * kW43 + k4 * kW44 + k5 * kW45;
+    const linalg::Vector x5 = x + k1 * kW51 + k3 * kW53 + k4 * kW54 +
+                              k5 * kW55 + k6 * kW56;
+
+    const double err = (x5 - x4).norm_inf();
+    const double tol =
+        opts.abs_tol + opts.rel_tol * std::max(x.norm_inf(), x5.norm_inf());
+
+    if (err <= tol || h <= opts.min_step) {
+      t += h;
+      x = x5;  // local extrapolation: accept the 5th-order solution
+      trace.push_back(t, x);
+      if (opts.stop && opts.stop(t, x)) break;
+    }
+    // Step-size update with the usual safety factor and clamps.
+    const double scale =
+        err > 0.0 ? 0.9 * std::pow(tol / err, 0.2) : 2.0;
+    h *= std::clamp(scale, 0.2, 2.0);
+  }
+  return trace;
+}
+
+}  // namespace bcert::ode

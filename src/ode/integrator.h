@@ -1,0 +1,50 @@
+#pragma once
+/// \file integrator.h
+/// \brief Fixed-step RK4 and adaptive RKF45 integrators for autonomous
+/// ODEs ẋ = f(x).
+///
+/// The paper uses MATLAB simulations only to *seed* the LP with sample
+/// points; soundness of the final certificate never depends on
+/// integration accuracy (the SMT step re-checks everything symbolically).
+/// RK4 is the default; RKF45 is provided for stiff-ish NN controllers and
+/// for cross-checking integration error in tests.
+
+#include <functional>
+
+#include "src/linalg/vector.h"
+#include "src/ode/trace.h"
+
+namespace bcert::ode {
+
+/// Right-hand side of an autonomous ODE.
+using VectorField = std::function<linalg::Vector(const linalg::Vector&)>;
+
+/// Early-termination predicate (e.g. "state left the domain").
+using StopPredicate = std::function<bool(double, const linalg::Vector&)>;
+
+/// Integration settings.
+struct IntegrateOptions {
+  double step = 0.01;          ///< RK4 step / RKF45 initial step
+  double t_end = 10.0;         ///< simulation horizon
+  StopPredicate stop;          ///< optional early stop
+  // RKF45 only:
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-8;
+  double min_step = 1e-6;
+  double max_step = 0.1;
+};
+
+/// Classic fixed-step 4th-order Runge–Kutta from \p x0 at t = 0.
+Trace integrate_rk4(const VectorField& f, const linalg::Vector& x0,
+                    const IntegrateOptions& opts);
+
+/// Runge–Kutta–Fehlberg 4(5) with step adaptation.
+Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
+                      const IntegrateOptions& opts);
+
+/// Single RK4 step (exposed for discrete-time cost evaluation in
+/// controller training).
+linalg::Vector rk4_step(const VectorField& f, const linalg::Vector& x,
+                        double h);
+
+}  // namespace bcert::ode

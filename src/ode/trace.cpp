@@ -1,0 +1,19 @@
+#include "src/ode/trace.h"
+
+namespace bcert::ode {
+
+Trace Trace::downsampled(std::size_t max_points) const {
+  if (max_points < 2 || size() <= max_points) return *this;
+  Trace out;
+  out.reserve(max_points);
+  const double step =
+      static_cast<double>(size() - 1) / static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(i * step + 0.5);
+    const std::size_t clamped = idx < size() ? idx : size() - 1;
+    out.push_back(times_[clamped], states_[clamped]);
+  }
+  return out;
+}
+
+}  // namespace bcert::ode

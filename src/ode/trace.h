@@ -1,0 +1,51 @@
+#pragma once
+/// \file trace.h
+/// \brief Time-stamped simulation traces (the Φs / Φf of the paper).
+
+#include <cstddef>
+#include <vector>
+
+#include "src/linalg/vector.h"
+
+namespace bcert::ode {
+
+/// One simulated trajectory: states sampled at increasing times.
+class Trace {
+ public:
+  Trace() = default;
+
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    states_.reserve(n);
+  }
+
+  void push_back(double t, linalg::Vector x) {
+    times_.push_back(t);
+    states_.push_back(std::move(x));
+  }
+
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  double time(std::size_t i) const { return times_[i]; }
+  const linalg::Vector& state(std::size_t i) const { return states_[i]; }
+
+  const linalg::Vector& front() const { return states_.front(); }
+  const linalg::Vector& back() const { return states_.back(); }
+
+  double duration() const {
+    return empty() ? 0.0 : times_.back() - times_.front();
+  }
+
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<linalg::Vector>& states() const { return states_; }
+
+  /// Downsamples to at most \p max_points states (keeping endpoints).
+  Trace downsampled(std::size_t max_points) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<linalg::Vector> states_;
+};
+
+}  // namespace bcert::ode

@@ -1,0 +1,74 @@
+#include "src/smt/constraint.h"
+
+#include <limits>
+
+namespace bcert::smt {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* rel_name(Rel r) {
+  switch (r) {
+    case Rel::kLe: return "<=";
+    case Rel::kLt: return "<";
+    case Rel::kGe: return ">=";
+    case Rel::kGt: return ">";
+    case Rel::kEq: return "=";
+  }
+  return "?";
+}
+
+interval::Interval Constraint::feasible_values() const {
+  switch (rel) {
+    case Rel::kLe:
+    case Rel::kLt:
+      return {-kInf, 0.0};
+    case Rel::kGe:
+    case Rel::kGt:
+      return {0.0, kInf};
+    case Rel::kEq:
+      return interval::Interval(0.0);
+  }
+  return interval::Interval::entire();
+}
+
+bool Constraint::certainly_violated(const interval::Interval& v) const {
+  if (v.is_empty()) return true;
+  switch (rel) {
+    case Rel::kLe: return v.lo() > 0.0;   // every point has lhs > 0
+    case Rel::kLt: return v.lo() >= 0.0;  // every point has lhs ≥ 0
+    case Rel::kGe: return v.hi() < 0.0;
+    case Rel::kGt: return v.hi() <= 0.0;
+    case Rel::kEq: return !v.contains(0.0);
+  }
+  return false;
+}
+
+bool Constraint::certainly_satisfied(const interval::Interval& v) const {
+  if (v.is_empty()) return false;
+  switch (rel) {
+    case Rel::kLe: return v.hi() <= 0.0;
+    case Rel::kLt: return v.hi() < 0.0;
+    case Rel::kGe: return v.lo() >= 0.0;
+    case Rel::kGt: return v.lo() > 0.0;
+    case Rel::kEq: return v.is_point() && v.lo() == 0.0;
+  }
+  return false;
+}
+
+Dnf Dnf::conjoin(const Dnf& other) const {
+  Dnf out;
+  out.disjuncts.reserve(disjuncts.size() * other.disjuncts.size());
+  for (const Conjunction& a : disjuncts) {
+    for (const Conjunction& b : other.disjuncts) {
+      Conjunction c = a;
+      c.constraints.insert(c.constraints.end(), b.constraints.begin(),
+                           b.constraints.end());
+      out.disjuncts.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace bcert::smt

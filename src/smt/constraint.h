@@ -1,0 +1,74 @@
+#pragma once
+/// \file constraint.h
+/// \brief Atomic real constraints `expr ⋈ 0` for the δ-SAT solver.
+///
+/// Every constraint is normalized to compare an expression against zero.
+/// Strictness matters for the soundness of UNSAT answers (pruning a box
+/// against `e < 0` may use `e ≥ 0`, against `e ≤ 0` only `e > 0`).
+
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/interval.h"
+
+namespace bcert::smt {
+
+/// Comparison relation against zero.
+enum class Rel : std::uint8_t {
+  kLe,  ///< expr ≤ 0
+  kLt,  ///< expr < 0
+  kGe,  ///< expr ≥ 0
+  kGt,  ///< expr > 0
+  kEq,  ///< expr = 0
+};
+
+const char* rel_name(Rel r);
+
+/// One atomic constraint over a shared ExprPool.
+struct Constraint {
+  expr::ExprId lhs = expr::kNoExpr;
+  Rel rel = Rel::kLe;
+
+  /// The set of values of `lhs` consistent with the relation. Strict
+  /// relations use the closed hull (sound for contraction; strictness is
+  /// applied at pruning time).
+  interval::Interval feasible_values() const;
+
+  /// True when an enclosure \p v of lhs over a box proves that *no* point
+  /// of the box satisfies the constraint (box can be pruned).
+  bool certainly_violated(const interval::Interval& v) const;
+
+  /// True when an enclosure \p v proves that *every* point of the box
+  /// satisfies the constraint.
+  bool certainly_satisfied(const interval::Interval& v) const;
+};
+
+/// Conjunction of atomic constraints (one ICP query).
+struct Conjunction {
+  std::vector<Constraint> constraints;
+
+  Conjunction() = default;
+  explicit Conjunction(std::vector<Constraint> cs)
+      : constraints(std::move(cs)) {}
+
+  void add(expr::ExprId lhs, Rel rel) { constraints.push_back({lhs, rel}); }
+  std::size_t size() const { return constraints.size(); }
+  bool empty() const { return constraints.empty(); }
+};
+
+/// Disjunction of conjunctions (DNF). The solver answers SAT if any
+/// disjunct is satisfiable; UNSAT requires refuting all of them.
+struct Dnf {
+  std::vector<Conjunction> disjuncts;
+
+  Dnf() = default;
+  explicit Dnf(std::vector<Conjunction> ds) : disjuncts(std::move(ds)) {}
+
+  /// Cross product: (this) ∧ (other), both in DNF.
+  Dnf conjoin(const Dnf& other) const;
+
+  static Dnf single(Conjunction c) { return Dnf({std::move(c)}); }
+};
+
+}  // namespace bcert::smt

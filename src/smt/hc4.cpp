@@ -1,0 +1,274 @@
+#include "src/smt/hc4.h"
+
+#include <limits>
+
+namespace bcert::smt {
+
+using expr::ExprId;
+using expr::kNoExpr;
+using expr::Node;
+using expr::Op;
+using interval::Interval;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<ExprId> roots_of(const Conjunction& c) {
+  std::vector<ExprId> roots;
+  roots.reserve(c.constraints.size());
+  for (const Constraint& k : c.constraints) roots.push_back(k.lhs);
+  return roots;
+}
+
+}  // namespace
+
+Hc4Contractor::Hc4Contractor(const expr::ExprPool& pool,
+                             Conjunction conjunction)
+    : conjunction_(std::move(conjunction)),
+      eval_(pool, roots_of(conjunction_)) {
+  root_positions_.reserve(conjunction_.size());
+  for (const Constraint& k : conjunction_.constraints) {
+    root_positions_.push_back(eval_.position_of(k.lhs));
+  }
+}
+
+std::vector<Interval> Hc4Contractor::root_values(const interval::Box& box) {
+  return eval_.eval(box);
+}
+
+bool Hc4Contractor::certainly_satisfied(const interval::Box& box) {
+  const auto vals = root_values(box);
+  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
+    if (!conjunction_.constraints[i].certainly_satisfied(vals[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Hc4Contractor::certainly_violated(const interval::Box& box) {
+  const auto vals = root_values(box);
+  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
+    if (conjunction_.constraints[i].certainly_violated(vals[i])) return true;
+  }
+  return false;
+}
+
+ContractResult Hc4Contractor::contract(interval::Box& box) {
+  // Forward pass: natural interval extension for every DAG node.
+  eval_.eval_forward(box, req_);
+
+  // Intersect each constraint root with its feasible value set.
+  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
+    const std::size_t pos = root_positions_[i];
+    req_[pos] =
+        intersect(req_[pos], conjunction_.constraints[i].feasible_values());
+    if (req_[pos].is_empty()) return ContractResult::kEmpty;
+  }
+
+  if (!backward_sweep()) return ContractResult::kEmpty;
+
+  // Read back variable intervals.
+  bool changed = false;
+  const auto& schedule = eval_.schedule();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Node& n = eval_.pool().node(schedule[i]);
+    if (n.op != Op::kVar) continue;
+    const auto dim = static_cast<std::size_t>(n.index);
+    const Interval narrowed = intersect(box[dim], req_[i]);
+    if (narrowed.is_empty()) return ContractResult::kEmpty;
+    if (!(narrowed == box[dim])) {
+      box[dim] = narrowed;
+      changed = true;
+    }
+  }
+  return changed ? ContractResult::kContracted : ContractResult::kNoChange;
+}
+
+bool Hc4Contractor::backward_sweep() {
+  const auto& schedule = eval_.schedule();
+  const expr::ExprPool& pool = eval_.pool();
+
+  // Reverse topological order: parents are processed before children, so
+  // each node's requirement is final before it is projected downward.
+  for (std::size_t idx = schedule.size(); idx-- > 0;) {
+    const Node& n = pool.node(schedule[idx]);
+    const Interval r = req_[idx];
+    if (r.is_empty()) return false;
+    if (n.a == kNoExpr) continue;  // leaf
+
+    const std::size_t pa = eval_.position_of(n.a);
+    const std::size_t pb =
+        n.b != kNoExpr ? eval_.position_of(n.b) : expr::Evaluator::npos;
+    Interval& a = req_[pa];
+    auto refine = [](Interval& target, const Interval& with) {
+      target = intersect(target, with);
+      return !target.is_empty();
+    };
+
+    switch (n.op) {
+      case Op::kAdd: {
+        Interval& b = req_[pb];
+        if (!refine(a, r - b)) return false;
+        if (!refine(b, r - a)) return false;
+        break;
+      }
+      case Op::kSub: {
+        Interval& b = req_[pb];
+        if (!refine(a, r + b)) return false;
+        if (!refine(b, a - r)) return false;
+        break;
+      }
+      case Op::kMul: {
+        Interval& b = req_[pb];
+        if (!refine(a, r / b)) return false;
+        if (!refine(b, r / a)) return false;
+        break;
+      }
+      case Op::kDiv: {
+        Interval& b = req_[pb];
+        if (!refine(a, r * b)) return false;
+        if (!refine(b, a / r)) return false;
+        break;
+      }
+      case Op::kNeg:
+        if (!refine(a, -r)) return false;
+        break;
+      case Op::kSin: {
+        // Invertible only on the principal monotone branch.
+        const Interval principal(-interval::kPiLower / 2.0,
+                                 interval::kPiLower / 2.0);
+        if (principal.contains(a)) {
+          if (!refine(a, interval::asin(r))) return false;
+        }
+        break;
+      }
+      case Op::kCos: {
+        const Interval pos_branch(0.0, interval::kPiLower);
+        const Interval neg_branch(-interval::kPiLower, 0.0);
+        if (pos_branch.contains(a)) {
+          if (!refine(a, interval::acos(r))) return false;
+        } else if (neg_branch.contains(a)) {
+          if (!refine(a, -interval::acos(r))) return false;
+        }
+        break;
+      }
+      case Op::kTan: {
+        const Interval principal(-interval::kPiLower / 2.0,
+                                 interval::kPiLower / 2.0);
+        if (principal.contains(a)) {
+          if (!refine(a, interval::atan(r))) return false;
+        }
+        break;
+      }
+      case Op::kAtan:
+        if (!refine(a, interval::tan(r))) return false;
+        break;
+      case Op::kExp:
+        if (!refine(a, interval::log(r))) return false;
+        break;
+      case Op::kLog:
+        if (!refine(a, interval::exp(r))) return false;
+        break;
+      case Op::kSqrt:
+        if (!refine(a, interval::sqr(intersect(r, {0.0, kInf})))) {
+          return false;
+        }
+        break;
+      case Op::kSqr: {
+        const Interval s = interval::sqrt(r);
+        const Interval cand = hull(intersect(a, Interval(-s.hi(), -s.lo())),
+                                   intersect(a, s));
+        a = cand;
+        if (a.is_empty()) return false;
+        break;
+      }
+      case Op::kPow: {
+        if (n.index <= 0) break;  // no projection for non-positive powers
+        if (n.index % 2 == 0) {
+          const Interval s = interval::nth_root(r, n.index);
+          const Interval cand = hull(
+              intersect(a, Interval(-s.hi(), -s.lo())), intersect(a, s));
+          a = cand;
+          if (a.is_empty()) return false;
+        } else {
+          if (!refine(a, interval::nth_root(r, n.index))) return false;
+        }
+        break;
+      }
+      case Op::kTanh:
+        if (!refine(a, interval::atanh(r))) return false;
+        break;
+      case Op::kSigmoid:
+        if (!refine(a, interval::logit(r))) return false;
+        break;
+      case Op::kRelu: {
+        if (r.hi() < 0.0) return false;  // relu(x) ≥ 0 always
+        if (r.lo() > 0.0) {
+          if (!refine(a, r)) return false;
+        } else {
+          if (!refine(a, Interval(-kInf, r.hi()))) return false;
+        }
+        break;
+      }
+      case Op::kAbs: {
+        const Interval rr = intersect(r, {0.0, kInf});
+        if (rr.is_empty()) return false;
+        const Interval cand = hull(
+            intersect(a, Interval(-rr.hi(), -rr.lo())), intersect(a, rr));
+        a = cand;
+        if (a.is_empty()) return false;
+        break;
+      }
+      case Op::kMin: {
+        Interval& b = req_[pb];
+        // Both operands are ≥ min's lower bound.
+        if (!refine(a, Interval(r.lo(), kInf))) return false;
+        if (!refine(b, Interval(r.lo(), kInf))) return false;
+        // If one operand cannot attain the min, the other must.
+        if (b.lo() > r.hi() && !refine(a, Interval(-kInf, r.hi()))) {
+          return false;
+        }
+        if (a.lo() > r.hi() && !refine(b, Interval(-kInf, r.hi()))) {
+          return false;
+        }
+        break;
+      }
+      case Op::kMax: {
+        Interval& b = req_[pb];
+        if (!refine(a, Interval(-kInf, r.hi()))) return false;
+        if (!refine(b, Interval(-kInf, r.hi()))) return false;
+        if (b.hi() < r.lo() && !refine(a, Interval(r.lo(), kInf))) {
+          return false;
+        }
+        if (a.hi() < r.lo() && !refine(b, Interval(r.lo(), kInf))) {
+          return false;
+        }
+        break;
+      }
+      case Op::kConst:
+      case Op::kVar:
+        break;
+    }
+  }
+  return true;
+}
+
+ContractResult Hc4Contractor::contract_fixpoint(interval::Box& box,
+                                                int max_passes,
+                                                double ratio) {
+  bool any_change = false;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    const double before = box.perimeter();
+    const ContractResult r = contract(box);
+    if (r == ContractResult::kEmpty) return ContractResult::kEmpty;
+    if (r == ContractResult::kNoChange) break;
+    any_change = true;
+    const double after = box.perimeter();
+    if (before <= 0.0 || (before - after) / before < ratio) break;
+  }
+  return any_change ? ContractResult::kContracted : ContractResult::kNoChange;
+}
+
+}  // namespace bcert::smt

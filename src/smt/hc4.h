@@ -1,0 +1,70 @@
+#pragma once
+/// \file hc4.h
+/// \brief HC4 forward/backward interval contractor.
+///
+/// The workhorse of the δ-SAT solver. Given a conjunction of constraints
+/// over a shared expression DAG and a box, HC4:
+///   1. forward-evaluates every DAG node over the box (natural interval
+///      extension),
+///   2. intersects each constraint root with its feasible value set,
+///   3. sweeps the DAG in reverse topological order, projecting each
+///      node's requirement onto its children through inverse operations,
+///   4. reads back the narrowed variable intervals as the contracted box.
+///
+/// All projections are conservative (they may keep spurious points but
+/// never discard a real solution), so an empty result is a proof that the
+/// box contains no solution of the conjunction.
+
+#include <vector>
+
+#include "src/expr/eval.h"
+#include "src/interval/box.h"
+#include "src/smt/constraint.h"
+
+namespace bcert::smt {
+
+/// Outcome of one contraction pass.
+enum class ContractResult : std::uint8_t {
+  kEmpty,       ///< box proven infeasible
+  kContracted,  ///< box narrowed
+  kNoChange,    ///< fixpoint for this pass
+};
+
+/// HC4 contractor specialized to one conjunction (shared evaluator).
+class Hc4Contractor {
+ public:
+  /// Builds the shared evaluation schedule for all constraint roots.
+  Hc4Contractor(const expr::ExprPool& pool, Conjunction conjunction);
+
+  const Conjunction& conjunction() const { return conjunction_; }
+  const expr::Evaluator& evaluator() const { return eval_; }
+
+  /// One forward+backward pass; narrows \p box in place.
+  ContractResult contract(interval::Box& box);
+
+  /// Repeats passes until fixpoint (relative improvement below \p ratio)
+  /// or \p max_passes; returns kEmpty as soon as infeasibility is proven.
+  ContractResult contract_fixpoint(interval::Box& box, int max_passes = 8,
+                                   double ratio = 0.05);
+
+  /// Forward-evaluates all constraint roots over \p box.
+  std::vector<interval::Interval> root_values(const interval::Box& box);
+
+  /// True when every constraint is certainly satisfied over \p box
+  /// (then any point of the box, e.g. its midpoint, is a real witness).
+  bool certainly_satisfied(const interval::Box& box);
+
+  /// True when some constraint is certainly violated over \p box.
+  bool certainly_violated(const interval::Box& box);
+
+ private:
+  /// Projects node requirements onto children; false on empty.
+  bool backward_sweep();
+
+  Conjunction conjunction_;
+  expr::Evaluator eval_;
+  std::vector<std::size_t> root_positions_;
+  std::vector<interval::Interval> req_;  // per schedule node requirement
+};
+
+}  // namespace bcert::smt

@@ -1,0 +1,123 @@
+#include "src/smt/icp_solver.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace bcert::smt {
+
+using clock = std::chrono::steady_clock;
+
+const char* sat_result_name(SatResult r) {
+  switch (r) {
+    case SatResult::kUnsat: return "UNSAT";
+    case SatResult::kSat: return "SAT";
+    case SatResult::kDeltaSat: return "delta-SAT";
+    case SatResult::kUnknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+linalg::Vector IcpResult::witness_point() const {
+  if (!witness) {
+    throw std::logic_error("IcpResult::witness_point: no witness");
+  }
+  return witness->midpoint();
+}
+
+IcpResult IcpSolver::solve(const Conjunction& conjunction,
+                           const interval::Box& box) const {
+  IcpResult result;
+  const auto start = clock::now();
+  auto elapsed_s = [&start] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+
+  if (conjunction.empty()) {
+    // Trivially satisfied everywhere (if the box is nonempty).
+    result.verdict = box.is_empty() ? SatResult::kUnsat : SatResult::kSat;
+    if (!box.is_empty()) result.witness = box;
+    result.stats.solve_time_s = elapsed_s();
+    return result;
+  }
+
+  Hc4Contractor contractor(*pool_, conjunction);
+
+  // DFS work stack: depth-first finds witnesses fast and keeps memory
+  // bounded by (depth x dimension).
+  std::deque<interval::Box> work;
+  if (!box.is_empty()) work.push_back(box);
+
+  result.stats.max_depth_width = box.max_width();
+
+  while (!work.empty()) {
+    if (result.stats.boxes_processed >= config_.max_boxes ||
+        elapsed_s() > config_.time_limit_s) {
+      result.verdict = SatResult::kUnknown;
+      result.stats.solve_time_s = elapsed_s();
+      return result;
+    }
+
+    interval::Box current = std::move(work.back());
+    work.pop_back();
+    ++result.stats.boxes_processed;
+
+    const ContractResult cr = contractor.contract_fixpoint(
+        current, config_.hc4_passes, config_.hc4_improvement);
+    if (cr == ContractResult::kEmpty || current.is_empty()) {
+      ++result.stats.boxes_pruned;
+      continue;
+    }
+
+    result.stats.max_depth_width =
+        std::min(result.stats.max_depth_width, current.max_width());
+
+    // True SAT: constraints certainly hold over the whole surviving box.
+    if (contractor.certainly_satisfied(current)) {
+      result.verdict = SatResult::kSat;
+      result.witness = current;
+      result.stats.solve_time_s = elapsed_s();
+      return result;
+    }
+
+    // δ-condition: box too small to split further.
+    if (current.max_width() <= config_.delta) {
+      result.verdict = SatResult::kDeltaSat;
+      result.witness = current;
+      result.stats.solve_time_s = elapsed_s();
+      return result;
+    }
+
+    auto [left, right] = current.split_widest();
+    ++result.stats.splits;
+    work.push_back(std::move(left));
+    work.push_back(std::move(right));
+  }
+
+  result.verdict = SatResult::kUnsat;
+  result.stats.solve_time_s = elapsed_s();
+  return result;
+}
+
+IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
+  IcpResult aggregate;
+  aggregate.verdict = SatResult::kUnsat;
+  bool any_unknown = false;
+
+  for (const Conjunction& disjunct : dnf.disjuncts) {
+    IcpResult r = solve(disjunct, box);
+    aggregate.stats.boxes_processed += r.stats.boxes_processed;
+    aggregate.stats.boxes_pruned += r.stats.boxes_pruned;
+    aggregate.stats.splits += r.stats.splits;
+    aggregate.stats.solve_time_s += r.stats.solve_time_s;
+    if (r.is_sat()) {
+      aggregate.verdict = r.verdict;
+      aggregate.witness = std::move(r.witness);
+      return aggregate;
+    }
+    if (r.verdict == SatResult::kUnknown) any_unknown = true;
+  }
+  if (any_unknown) aggregate.verdict = SatResult::kUnknown;
+  return aggregate;
+}
+
+}  // namespace bcert::smt

@@ -1,0 +1,91 @@
+#pragma once
+/// \file icp_solver.h
+/// \brief δ-complete branch-and-prune satisfiability solver.
+///
+/// This plays the role dReal plays in the paper: it decides existential
+/// queries `∃x ∈ box : φ(x)` where φ is a conjunction (or DNF) of
+/// nonlinear real constraints built from Type-2 computable functions
+/// (polynomials, trig, exp, tanh, sigmoid, ...).
+///
+/// Answer semantics (mirroring δ-decidability, Gao et al. 2012):
+///  * `kUnsat`  — *proof*: no real point in the box satisfies φ.
+///  * `kSat`    — a box was found over which φ certainly holds; its
+///                midpoint is a genuine witness.
+///  * `kDeltaSat` — a box of width ≤ δ survived pruning; φ may hold there
+///                (a δ-weakening of φ does). Treated as SAT by callers,
+///                exactly as the paper treats dReal's δ-sat answers.
+///  * `kUnknown` — resource budget exhausted.
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/interval/box.h"
+#include "src/smt/constraint.h"
+#include "src/smt/hc4.h"
+
+namespace bcert::smt {
+
+/// Verdict of a query.
+enum class SatResult : std::uint8_t { kUnsat, kSat, kDeltaSat, kUnknown };
+
+const char* sat_result_name(SatResult r);
+
+/// Tuning knobs for the solver.
+struct IcpConfig {
+  double delta = 1e-3;          ///< box-width precision (δ)
+  std::uint64_t max_boxes = 10'000'000;  ///< branch budget
+  double time_limit_s = 300.0;  ///< wall-clock budget
+  int hc4_passes = 8;           ///< contraction passes per box
+  double hc4_improvement = 0.05;  ///< fixpoint threshold (relative)
+};
+
+/// Solver statistics (one query).
+struct IcpStats {
+  std::uint64_t boxes_processed = 0;
+  std::uint64_t boxes_pruned = 0;
+  std::uint64_t splits = 0;
+  double solve_time_s = 0.0;
+  double max_depth_width = 0.0;  ///< smallest surviving box width seen
+};
+
+/// Result of a query: verdict + witness (for SAT / δ-SAT) + stats.
+struct IcpResult {
+  SatResult verdict = SatResult::kUnknown;
+  std::optional<interval::Box> witness;  ///< surviving box when (δ-)SAT
+  IcpStats stats;
+
+  bool is_sat() const {
+    return verdict == SatResult::kSat || verdict == SatResult::kDeltaSat;
+  }
+  bool is_unsat() const { return verdict == SatResult::kUnsat; }
+
+  /// Witness midpoint (only valid when is_sat()).
+  linalg::Vector witness_point() const;
+};
+
+/// δ-complete ICP solver over a shared expression pool.
+class IcpSolver {
+ public:
+  explicit IcpSolver(const expr::ExprPool& pool, IcpConfig config = {})
+      : pool_(&pool), config_(config) {}
+
+  const IcpConfig& config() const { return config_; }
+  IcpConfig& config() { return config_; }
+
+  /// Decides ∃x ∈ \p box : conjunction(x).
+  IcpResult solve(const Conjunction& conjunction,
+                  const interval::Box& box) const;
+
+  /// Decides ∃x ∈ \p box : dnf(x) by solving each disjunct; SAT short-
+  /// circuits, UNSAT requires all disjuncts refuted, any UNKNOWN
+  /// downgrades an otherwise-UNSAT answer to UNKNOWN. Stats accumulate.
+  IcpResult solve(const Dnf& dnf, const interval::Box& box) const;
+
+ private:
+  const expr::ExprPool* pool_;
+  IcpConfig config_;
+};
+
+}  // namespace bcert::smt

@@ -1,0 +1,119 @@
+#include "src/smt/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+namespace bcert::smt {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Work item: a box and the interval bound of the objective over it.
+struct Node {
+  interval::Box box;
+  double lower;  // certified lower bound of the objective on this box
+};
+
+struct NodeCompare {
+  // Best-first: explore the box with the smallest lower bound.
+  bool operator()(const Node& a, const Node& b) const {
+    return a.lower > b.lower;
+  }
+};
+
+}  // namespace
+
+OptimizeResult minimize(const expr::ExprPool& pool, expr::ExprId e,
+                        const interval::Box& box,
+                        const OptimizeConfig& config) {
+  OptimizeResult result;
+  const auto start = clock::now();
+  auto elapsed = [&start] {
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+
+  expr::Evaluator eval(pool, {e});
+
+  std::priority_queue<Node, std::vector<Node>, NodeCompare> queue;
+  {
+    const interval::Interval first = eval.eval(box)[0];
+    queue.push({box, first.lo()});
+  }
+
+  // Upper bound: objective at sampled points (midpoints are feasible).
+  double best_upper = std::numeric_limits<double>::infinity();
+  linalg::Vector best_point = box.midpoint();
+  auto try_point = [&](const linalg::Vector& x) {
+    const double v = eval.eval(x)[0];
+    if (v < best_upper) {
+      best_upper = v;
+      best_point = x;
+    }
+  };
+  try_point(box.midpoint());
+
+  double global_lower = -std::numeric_limits<double>::infinity();
+
+  while (!queue.empty()) {
+    if (result.boxes_processed >= config.max_boxes ||
+        elapsed() > config.time_limit_s) {
+      break;
+    }
+    Node node = queue.top();
+    queue.pop();
+    ++result.boxes_processed;
+
+    global_lower = node.lower;  // best-first ⇒ queue head is the bound
+    const double gap = best_upper - global_lower;
+    if (gap <= config.tolerance ||
+        gap <= config.rel_tolerance * std::max(1.0, std::fabs(best_upper))) {
+      result.converged = true;
+      break;
+    }
+    if (node.lower >= best_upper) {
+      // Cannot contain anything better (can happen after upper improved).
+      global_lower = best_upper;
+      result.converged = true;
+      break;
+    }
+
+    auto [left, right] = node.box.split_widest();
+    for (interval::Box* child : {&left, &right}) {
+      const interval::Interval bound = eval.eval(*child)[0];
+      try_point(child->midpoint());
+      if (bound.lo() < best_upper) {
+        queue.push({std::move(*child), bound.lo()});
+      }
+    }
+  }
+
+  if (queue.empty() && !result.converged) {
+    // Everything pruned: the optimum equals the best sampled value.
+    global_lower = best_upper;
+    result.converged = true;
+  }
+
+  result.lower = global_lower;
+  result.upper = best_upper;
+  result.argmin = best_point;
+  result.solve_time_s = elapsed();
+  return result;
+}
+
+OptimizeResult maximize(expr::ExprPool& pool, expr::ExprId e,
+                        const interval::Box& box,
+                        const OptimizeConfig& config) {
+  // max f = −min(−f).
+  const expr::ExprId neg = pool.neg(e);
+  OptimizeResult r = minimize(pool, neg, box, config);
+  std::swap(r.lower, r.upper);
+  r.lower = -r.lower;
+  r.upper = -r.upper;
+  return r;
+}
+
+}  // namespace bcert::smt

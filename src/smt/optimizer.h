@@ -1,0 +1,54 @@
+#pragma once
+/// \file optimizer.h
+/// \brief Certified global optimization of expressions over boxes.
+///
+/// Branch-and-bound with interval bounds: maintains a certified interval
+/// [lower, upper] that contains the true global optimum and tightens it
+/// until the gap is below a tolerance. Used for level-set selection with
+/// non-quadratic generator templates, where `max W over X0` and
+/// `min W over a face of the safe rectangle` have no closed form.
+///
+/// Soundness inherits from the interval layer: the returned enclosure is
+/// guaranteed to contain the exact optimum of the real-valued function.
+
+#include <cstdint>
+
+#include "src/expr/eval.h"
+#include "src/interval/box.h"
+
+namespace bcert::smt {
+
+/// Optimizer settings.
+struct OptimizeConfig {
+  double tolerance = 1e-6;       ///< stop when upper-lower ≤ tolerance
+  double rel_tolerance = 1e-6;   ///< ... or gap/|optimum| ≤ this
+  std::uint64_t max_boxes = 2'000'000;
+  double time_limit_s = 60.0;
+};
+
+/// Result: a certified enclosure of the optimum and the best point found.
+struct OptimizeResult {
+  bool converged = false;    ///< gap below tolerance within budget
+  double lower = 0.0;        ///< certified lower bound on the optimum
+  double upper = 0.0;        ///< certified upper bound on the optimum
+  linalg::Vector argmin;     ///< best feasible point found
+  std::uint64_t boxes_processed = 0;
+  double solve_time_s = 0.0;
+
+  /// Midpoint estimate of the optimum.
+  double value() const { return 0.5 * (lower + upper); }
+};
+
+/// Certified global minimum of `expr` over `box`.
+OptimizeResult minimize(const expr::ExprPool& pool, expr::ExprId expr,
+                        const interval::Box& box,
+                        const OptimizeConfig& config = {});
+
+/// Certified global maximum of `expr` over `box` (minimize of −expr with
+/// the bounds negated back). Takes a mutable pool: the negated root is
+/// interned into it.
+OptimizeResult maximize(expr::ExprPool& pool, expr::ExprId expr,
+                        const interval::Box& box,
+                        const OptimizeConfig& config = {});
+
+}  // namespace bcert::smt

@@ -1,0 +1,46 @@
+#pragma once
+/// \file smtlib_export.h
+/// \brief SMT-LIB2 serialization of δ-SAT queries.
+///
+/// Emits the exact query our ICP solver answers in the dialect dReal
+/// accepts (QF_NRA with transcendental functions), so any result can be
+/// cross-checked against the solver the paper used:
+///
+///     dreal --precision 1e-3 query.smt2
+///
+/// Expressions print in prefix form with full double precision
+/// (hexfloat-free: decimal with 17 significant digits round-trips).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/interval/box.h"
+#include "src/smt/constraint.h"
+
+namespace bcert::smt {
+
+/// Options for the export.
+struct SmtLibOptions {
+  std::string logic = "QF_NRA";
+  double precision = 1e-3;            ///< dReal δ (emitted as a comment
+                                      ///< and via :precision when set)
+  std::vector<std::string> var_names; ///< default x0, x1, ...
+};
+
+/// Renders one expression in SMT-LIB2 prefix syntax.
+std::string to_smtlib(const expr::ExprPool& pool, expr::ExprId id,
+                      const std::vector<std::string>& var_names = {});
+
+/// Writes a complete benchmark: declarations, box bounds as assertions,
+/// the conjunction's constraints, (check-sat), (exit).
+void write_smtlib(std::ostream& os, const expr::ExprPool& pool,
+                  const Conjunction& conjunction, const interval::Box& box,
+                  const SmtLibOptions& options = {});
+
+/// DNF variant: each disjunct becomes one (or ...) argument.
+void write_smtlib(std::ostream& os, const expr::ExprPool& pool,
+                  const Dnf& dnf, const interval::Box& box,
+                  const SmtLibOptions& options = {});
+
+}  // namespace bcert::smt

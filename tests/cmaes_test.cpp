@@ -1,0 +1,148 @@
+// Tests for the CMA-ES optimizer (full and separable variants).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/cmaes/cmaes.h"
+
+namespace bcert::cmaes {
+namespace {
+
+using linalg::Vector;
+
+double sphere(const Vector& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double rosenbrock(const Vector& x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    const double a = x[i + 1] - x[i] * x[i];
+    const double b = 1.0 - x[i];
+    acc += 100.0 * a * a + b * b;
+  }
+  return acc;
+}
+
+double ellipsoid(const Vector& x) {
+  // Badly conditioned quadratic — exercises covariance adaptation.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double w = std::pow(1e4, static_cast<double>(i) /
+                                        static_cast<double>(x.size() - 1));
+    acc += w * x[i] * x[i];
+  }
+  return acc;
+}
+
+TEST(Cmaes, SolvesSphere) {
+  CmaesOptions opts;
+  opts.max_iterations = 200;
+  opts.tol_fun = 1e-12;
+  const CmaesResult r = cmaes_minimize(sphere, Vector{2.0, -1.5, 0.7}, opts);
+  EXPECT_LT(r.best_fitness, 1e-10);
+  EXPECT_EQ(r.stop, CmaesStop::kTolFun);
+}
+
+TEST(Cmaes, SolvesRosenbrock2d) {
+  CmaesOptions opts;
+  opts.max_iterations = 600;
+  opts.lambda = 16;
+  opts.tol_fun = 1e-10;
+  const CmaesResult r = cmaes_minimize(rosenbrock, Vector{-1.0, 1.0}, opts);
+  EXPECT_LT(r.best_fitness, 1e-8);
+  EXPECT_NEAR(r.best_x[0], 1.0, 1e-3);
+  EXPECT_NEAR(r.best_x[1], 1.0, 1e-3);
+}
+
+TEST(Cmaes, HandlesIllConditionedEllipsoid) {
+  CmaesOptions opts;
+  opts.max_iterations = 800;
+  opts.tol_fun = 1e-10;
+  const CmaesResult r =
+      cmaes_minimize(ellipsoid, Vector{1.0, 1.0, 1.0, 1.0}, opts);
+  EXPECT_LT(r.best_fitness, 1e-8);
+}
+
+TEST(Cmaes, SeparableVariantSolvesSphere) {
+  CmaesOptions opts;
+  opts.max_iterations = 400;
+  opts.diagonal_only = true;
+  opts.tol_fun = 1e-10;
+  Vector x0(20, 1.0);
+  const CmaesResult r = cmaes_minimize(sphere, x0, opts);
+  EXPECT_LT(r.best_fitness, 1e-8);
+}
+
+TEST(Cmaes, FitnessHistoryMostlyImproves) {
+  CmaesOptions opts;
+  opts.max_iterations = 60;
+  const CmaesResult r = cmaes_minimize(sphere, Vector{3.0, 3.0}, opts);
+  ASSERT_GE(r.fitness_history.size(), 10u);
+  EXPECT_LT(r.fitness_history.back(), r.fitness_history.front());
+}
+
+TEST(Cmaes, CallbackSeesEveryIteration) {
+  CmaesOptions opts;
+  opts.max_iterations = 25;
+  int calls = 0;
+  int last_iter = -1;
+  cmaes_minimize(
+      sphere, Vector{1.0, 1.0}, opts,
+      [&](const CmaesIteration& info) {
+        EXPECT_EQ(info.iteration, last_iter + 1);
+        last_iter = info.iteration;
+        EXPECT_GT(info.sigma, 0.0);
+        EXPECT_EQ(info.best_x.size(), 2u);
+        ++calls;
+      });
+  EXPECT_EQ(calls, 25);
+}
+
+TEST(Cmaes, DeterministicForFixedSeed) {
+  CmaesOptions opts;
+  opts.max_iterations = 30;
+  opts.seed = 42;
+  const CmaesResult a = cmaes_minimize(sphere, Vector{1.0, -2.0}, opts);
+  const CmaesResult b = cmaes_minimize(sphere, Vector{1.0, -2.0}, opts);
+  EXPECT_EQ(a.best_fitness, b.best_fitness);
+  EXPECT_EQ(a.best_x.raw(), b.best_x.raw());
+}
+
+TEST(Cmaes, RejectsEmptyStart) {
+  EXPECT_THROW(cmaes_minimize(sphere, Vector{}, {}), std::invalid_argument);
+}
+
+TEST(Cmaes, ShiftedOptimumFound) {
+  const auto shifted = [](const Vector& x) {
+    const double a = x[0] - 3.0, b = x[1] + 2.0;
+    return a * a + 2.0 * b * b;
+  };
+  CmaesOptions opts;
+  opts.max_iterations = 300;
+  opts.sigma0 = 1.0;
+  opts.tol_fun = 1e-12;
+  const CmaesResult r = cmaes_minimize(shifted, Vector{0.0, 0.0}, opts);
+  EXPECT_NEAR(r.best_x[0], 3.0, 1e-4);
+  EXPECT_NEAR(r.best_x[1], -2.0, 1e-4);
+}
+
+// Property sweep: sphere in several dimensions converges.
+class CmaesDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(CmaesDims, SphereConverges) {
+  const int n = GetParam();
+  CmaesOptions opts;
+  opts.max_iterations = 150 + 50 * n;
+  opts.tol_fun = 1e-9;
+  Vector x0(static_cast<std::size_t>(n), 1.0);
+  const CmaesResult r = cmaes_minimize(sphere, x0, opts);
+  EXPECT_LT(r.best_fitness, 1e-7) << "dim " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CmaesDims, ::testing::Values(2, 4, 8, 12));
+
+}  // namespace
+}  // namespace bcert::cmaes

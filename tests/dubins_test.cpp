@@ -1,0 +1,240 @@
+// Tests for the Dubins-car case study: paths/errors, vehicle simulation,
+// error dynamics (numeric & symbolic agreement), and controller training.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/dubins/error_dynamics.h"
+#include "src/dubins/path.h"
+#include "src/dubins/training.h"
+#include "src/dubins/vehicle.h"
+#include "src/expr/eval.h"
+
+namespace bcert::dubins {
+namespace {
+
+using linalg::Vector;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Angles, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(0.0), 0.0, 1e-15);
+  EXPECT_NEAR(wrap_angle(2.0 * kPi + 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(wrap_angle(-2.0 * kPi - 0.3), -0.3, 1e-12);
+  EXPECT_NEAR(wrap_angle(kPi), kPi, 1e-12);        // pi maps to pi
+  EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+}
+
+TEST(Angles, HeadingConvention) {
+  // Paper convention: θ clockwise from +y. Along +y → 0, along +x → π/2.
+  EXPECT_NEAR(heading_of(0.0, 1.0), 0.0, 1e-15);
+  EXPECT_NEAR(heading_of(1.0, 0.0), kPi / 2.0, 1e-15);
+  EXPECT_NEAR(heading_of(-1.0, 0.0), -kPi / 2.0, 1e-15);
+}
+
+TEST(Path, RejectsDegenerate) {
+  EXPECT_THROW(PiecewiseLinearPath({{0.0, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(PiecewiseLinearPath({{1.0, 1.0}, {1.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(Path, LengthOfKnownPath) {
+  PiecewiseLinearPath p({{0.0, 0.0}, {3.0, 0.0}, {3.0, 4.0}});
+  EXPECT_NEAR(p.length(), 7.0, 1e-12);
+}
+
+TEST(Path, StraightPathErrorSigns) {
+  // Straight path along +y (θ_r = 0). Vehicle left of the path is -x
+  // side?? Travel direction is +y; "left" of travel is -x... no: facing
+  // +y, left hand points to -x in screen coords where +x is right.
+  const PiecewiseLinearPath p = PiecewiseLinearPath::straight(0.0);
+  // Vehicle at x = +2 (right of travel direction): distance negative.
+  const PathError right = p.error(2.0, 0.0, 0.0);
+  EXPECT_NEAR(right.distance, -2.0, 1e-9);
+  // Vehicle at x = -2 (left): positive.
+  const PathError left = p.error(-2.0, 0.0, 0.0);
+  EXPECT_NEAR(left.distance, 2.0, 1e-9);
+  // Aligned heading → zero angle error.
+  EXPECT_NEAR(right.angle, 0.0, 1e-12);
+  // Vehicle rotated clockwise by 0.2 → θ_err = θ_r − θ_v = −0.2.
+  EXPECT_NEAR(p.error(0.0, 0.0, 0.2).angle, -0.2, 1e-12);
+}
+
+TEST(Path, NearestPointOnSegments) {
+  PiecewiseLinearPath p({{0.0, 0.0}, {10.0, 0.0}});
+  const PathError e = p.error(5.0, 3.0, kPi / 2.0);
+  EXPECT_NEAR(e.nearest.x, 5.0, 1e-12);
+  EXPECT_NEAR(e.nearest.y, 0.0, 1e-12);
+  EXPECT_NEAR(std::fabs(e.distance), 3.0, 1e-12);
+  // Beyond the end: clamps to the last waypoint.
+  const PathError off = p.error(12.0, 0.0, kPi / 2.0);
+  EXPECT_NEAR(off.nearest.x, 10.0, 1e-12);
+}
+
+TEST(Path, TangentAngleOfDiagonalSegment) {
+  PiecewiseLinearPath p({{0.0, 0.0}, {1.0, 1.0}});
+  const PathError e = p.error(0.5, 0.5, 0.0);
+  EXPECT_NEAR(e.tangent_angle, kPi / 4.0, 1e-12);
+}
+
+TEST(Vehicle, StraightLineMotion) {
+  // Zero steering, heading +y: vehicle travels straight up.
+  const SteeringController zero = [](double, double) { return 0.0; };
+  const PiecewiseLinearPath path = PiecewiseLinearPath::straight(0.0);
+  SimOptions opts;
+  opts.velocity = 1.0;
+  opts.dt = 0.1;
+  opts.steps = 100;
+  const ClosedLoopTrace t =
+      simulate_path_following(path, zero, {0.0, 0.0, 0.0}, opts);
+  EXPECT_EQ(t.size(), 101u);
+  EXPECT_NEAR(t[100].state.y, 10.0, 1e-9);
+  EXPECT_NEAR(t[100].state.x, 0.0, 1e-9);
+}
+
+TEST(Vehicle, SaturationApplied) {
+  const SteeringController big = [](double, double) { return 50.0; };
+  const PiecewiseLinearPath path = PiecewiseLinearPath::straight(0.0);
+  SimOptions opts;
+  opts.steps = 3;
+  const ClosedLoopTrace t =
+      simulate_path_following(path, big, {0.0, 0.0, 0.0}, opts);
+  for (const auto& s : t.samples) EXPECT_LE(s.u, opts.u_max);
+}
+
+TEST(Vehicle, ProportionalTeacherTracksStraightPath) {
+  const PiecewiseLinearPath path = PiecewiseLinearPath::straight(0.0);
+  SimOptions opts;
+  opts.velocity = 1.0;
+  opts.dt = 0.05;
+  opts.steps = 2000;
+  // Start 3 units right of the path with aligned heading.
+  const ClosedLoopTrace t = simulate_path_following(
+      path, proportional_teacher(), {3.0, 0.0, 0.0}, opts);
+  EXPECT_LT(std::fabs(t.samples.back().error.distance), 0.1);
+  EXPECT_LT(std::fabs(t.samples.back().error.angle), 0.05);
+}
+
+TEST(ErrorDynamics, SimplifiesToVSinTheta) {
+  // For any constant θ_r the ḋ expression equals V sin(θ_err).
+  nn::FeedforwardNet net = nn::FeedforwardNet::single_hidden(2, 4, 1);
+  std::mt19937 rng(3);
+  net.randomize(rng);
+  for (double theta_r : {0.0, 0.7, -1.2}) {
+    const ErrorModel model{2.5, theta_r};
+    const auto f = closed_loop_field(model, net);
+    for (double th : {-1.0, -0.2, 0.0, 0.4, 1.3}) {
+      const Vector dx = f(Vector{0.7, th});
+      EXPECT_NEAR(dx[0], 2.5 * std::sin(th), 1e-12) << theta_r;
+    }
+  }
+}
+
+TEST(ErrorDynamics, ThetaDotIsMinusU) {
+  nn::FeedforwardNet net = nn::FeedforwardNet::single_hidden(2, 4, 1);
+  std::mt19937 rng(7);
+  net.randomize(rng);
+  const ErrorModel model{1.0, 0.0};
+  const auto f = closed_loop_field(model, net);
+  const Vector x{1.5, -0.3};
+  EXPECT_NEAR(f(x)[1], -net.forward(x)[0], 1e-15);
+}
+
+TEST(ErrorDynamics, SymbolicMatchesNumeric) {
+  nn::FeedforwardNet net = nn::FeedforwardNet::single_hidden(2, 10, 1);
+  std::mt19937 rng(11);
+  net.randomize(rng, 1.5);
+  const ErrorModel model{1.0, 0.3};
+  const auto f_num = closed_loop_field(model, net);
+
+  expr::ExprPool pool;
+  const auto f_sym = closed_loop_field_expr(model, net, pool);
+  expr::Evaluator ev(pool, f_sym);
+
+  std::uniform_real_distribution<double> dd(-5.0, 5.0), dt(-1.5, 1.5);
+  for (int i = 0; i < 200; ++i) {
+    const Vector x{dd(rng), dt(rng)};
+    const Vector num = f_num(x);
+    const auto sym = ev.eval(x);
+    EXPECT_NEAR(sym[0], num[0], 1e-10);
+    EXPECT_NEAR(sym[1], num[1], 1e-10);
+  }
+}
+
+TEST(ErrorDynamics, RejectsWrongControllerShape) {
+  nn::FeedforwardNet bad = nn::FeedforwardNet::single_hidden(3, 4, 1);
+  EXPECT_THROW(closed_loop_field({1.0, 0.0}, bad), std::invalid_argument);
+}
+
+TEST(Training, CostPenalizesDeviation) {
+  const PiecewiseLinearPath path = PiecewiseLinearPath::straight(0.0);
+  SimOptions opts;
+  opts.steps = 50;
+  const ClosedLoopTrace on_path = simulate_path_following(
+      path, proportional_teacher(), {0.0, 0.0, 0.0}, opts);
+  const ClosedLoopTrace off_path = simulate_path_following(
+      path, proportional_teacher(), {4.0, 0.0, 1.0}, opts);
+  EXPECT_LT(path_following_cost(on_path, path),
+            path_following_cost(off_path, path));
+}
+
+TEST(Training, ShortPolicySearchImproves) {
+  // A tiny CMA-ES run (not the paper's full budget) must reduce the cost
+  // below the random-initialization cost.
+  TrainOptions opts;
+  opts.hidden_neurons = 6;
+  opts.iterations = 12;
+  opts.population = 24;
+  opts.sim.velocity = 1.0;
+  opts.sim.dt = 0.2;
+  opts.sim.steps = 150;
+  opts.seed = 5;
+  const PiecewiseLinearPath path({{0.0, 0.0}, {10.0, 8.0}, {22.0, 12.0}});
+  std::vector<double> history;
+  const TrainResult r = train_controller(
+      path, opts, [&](const TrainingSnapshot& s) {
+        history.push_back(s.best_cost);
+      });
+  ASSERT_EQ(history.size(), 12u);
+  EXPECT_LT(r.best_cost, history.front());
+  // The trained controller must produce bounded steering.
+  const double u = r.controller.forward(Vector{1.0, 0.1})[0];
+  EXPECT_GT(u, -1.0);
+  EXPECT_LT(u, 1.0);
+}
+
+TEST(Training, DistilledControllerMatchesTeacher) {
+  const auto teacher = proportional_teacher();
+  const nn::FeedforwardNet net = distill_controller(teacher, 40);
+  std::mt19937 rng(41);
+  std::uniform_real_distribution<double> dd(-5.0, 5.0), dt(-1.5, 1.5);
+  for (int i = 0; i < 300; ++i) {
+    const double d = dd(rng), th = dt(rng);
+    EXPECT_NEAR(net.forward(Vector{d, th})[0], teacher(d, th), 0.08);
+  }
+}
+
+// Property: error dynamics of the closed loop with the teacher are
+// contracting toward the path from anywhere in the domain.
+class TeacherConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(TeacherConvergence, ErrorStateConverges) {
+  std::mt19937 rng(GetParam() * 53 + 1);
+  std::uniform_real_distribution<double> dd(-4.0, 4.0), dt(-1.3, 1.3);
+  const nn::FeedforwardNet net = distill_controller(proportional_teacher(),
+                                                    20, 77);
+  const ErrorModel model{1.0, 0.0};
+  const auto f = closed_loop_field(model, net);
+  ode::IntegrateOptions iopts;
+  iopts.step = 0.02;
+  iopts.t_end = 40.0;
+  const Vector x0{dd(rng), dt(rng)};
+  const ode::Trace t = integrate_rk4(f, x0, iopts);
+  EXPECT_LT(std::fabs(t.back()[0]), 0.2) << "d_err did not converge";
+  EXPECT_LT(std::fabs(t.back()[1]), 0.1) << "theta_err did not converge";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TeacherConvergence, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bcert::dubins

@@ -1,0 +1,249 @@
+// Unit tests for the expression IR: construction/simplification,
+// evaluation (scalar + interval), differentiation, printing.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/derivative.h"
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+#include "src/expr/printer.h"
+
+namespace bcert::expr {
+namespace {
+
+using interval::Box;
+using interval::Interval;
+using linalg::Vector;
+
+TEST(ExprPool, HashConsingSharesNodes) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  const ExprId a = p.add(x, p.constant(2.0));
+  const ExprId b = p.add(x, p.constant(2.0));
+  EXPECT_EQ(a, b);
+  const std::size_t before = p.size();
+  (void)p.add(x, p.constant(2.0));
+  EXPECT_EQ(p.size(), before);
+}
+
+TEST(ExprPool, CommutativeCanonicalization) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  EXPECT_EQ(p.add(x, y), p.add(y, x));
+  EXPECT_EQ(p.mul(x, y), p.mul(y, x));
+}
+
+TEST(ExprPool, ConstantFolding) {
+  ExprPool p;
+  EXPECT_TRUE(p.is_const(p.add(p.constant(2.0), p.constant(3.0)), 5.0));
+  EXPECT_TRUE(p.is_const(p.mul(p.constant(2.0), p.constant(3.0)), 6.0));
+  EXPECT_TRUE(p.is_const(p.sin(p.constant(0.0)), 0.0));
+  EXPECT_TRUE(p.is_const(p.tanh(p.constant(0.0)), 0.0));
+}
+
+TEST(ExprPool, Identities) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  EXPECT_EQ(p.add(x, p.zero()), x);
+  EXPECT_EQ(p.mul(x, p.one()), x);
+  EXPECT_TRUE(p.is_const(p.mul(x, p.zero()), 0.0));
+  EXPECT_TRUE(p.is_const(p.sub(x, x), 0.0));
+  EXPECT_EQ(p.neg(p.neg(x)), x);
+  EXPECT_EQ(p.mul(x, x), p.sqr(x));
+  EXPECT_EQ(p.pow(x, 1), x);
+  EXPECT_EQ(p.pow(x, 2), p.sqr(x));
+}
+
+TEST(ExprPool, EvalPolynomial) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  // 2x² + 3xy - y + 1
+  const ExprId e =
+      p.add(p.add(p.mul(p.constant(2.0), p.sqr(x)),
+                  p.mul(p.constant(3.0), p.mul(x, y))),
+            p.add(p.neg(y), p.one()));
+  EXPECT_DOUBLE_EQ(p.eval(e, Vector{2.0, 1.0}), 8.0 + 6.0 - 1.0 + 1.0);
+}
+
+TEST(ExprPool, EvalTranscendental) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  const ExprId e = p.add(p.sin(x), p.mul(p.cos(x), p.tanh(x)));
+  const double v = 0.7;
+  EXPECT_NEAR(p.eval(e, Vector{v}),
+              std::sin(v) + std::cos(v) * std::tanh(v), 1e-15);
+}
+
+TEST(ExprPool, VariablesAndTermSize) {
+  ExprPool p;
+  const ExprId e = p.mul(p.add(p.var(0), p.var(2)), p.var(2));
+  const auto vars = p.variables(e);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(vars[0], 0);
+  EXPECT_EQ(vars[1], 2);
+  EXPECT_GE(p.term_size(e), 4u);
+}
+
+TEST(ExprPool, SumBalancedMatchesSequential) {
+  ExprPool p;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 17; ++i) terms.push_back(p.constant(i));
+  EXPECT_TRUE(p.is_const(p.sum(terms), 136.0));
+}
+
+TEST(ExprPool, AffineBuilder) {
+  ExprPool p;
+  const ExprId e = p.affine({2.0, -1.0}, {p.var(0), p.var(1)}, 0.5);
+  EXPECT_DOUBLE_EQ(p.eval(e, Vector{3.0, 4.0}), 6.0 - 4.0 + 0.5);
+}
+
+TEST(Evaluator, MatchesPoolEval) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  const ExprId e1 = p.mul(p.sin(x), p.exp(y));
+  const ExprId e2 = p.sub(p.sqr(x), p.div(y, p.constant(2.0)));
+  Evaluator ev(p, {e1, e2});
+  const Vector pt{0.3, -0.8};
+  const auto out = ev.eval(pt);
+  EXPECT_NEAR(out[0], p.eval(e1, pt), 1e-15);
+  EXPECT_NEAR(out[1], p.eval(e2, pt), 1e-15);
+}
+
+TEST(Evaluator, IntervalEnclosesPointEvals) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  const ExprId e = p.add(p.mul(p.sin(x), p.cos(y)), p.sqr(p.tanh(x)));
+  Evaluator ev(p, {e});
+  const Box box = Box::from_bounds({{-1.0, 1.0}, {0.0, 2.0}});
+  const Interval img = ev.eval(box)[0];
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dx(-1.0, 1.0), dy(0.0, 2.0);
+  for (int i = 0; i < 500; ++i) {
+    const Vector pt{dx(rng), dy(rng)};
+    ASSERT_TRUE(img.contains(p.eval(e, pt)));
+  }
+}
+
+TEST(Derivative, Polynomial) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  // d/dx (x³ - 2x) = 3x² - 2
+  const ExprId e = p.sub(p.pow(x, 3), p.mul(p.constant(2.0), x));
+  const ExprId d = differentiate(p, e, 0);
+  EXPECT_NEAR(p.eval(d, Vector{2.0}), 10.0, 1e-12);
+  EXPECT_NEAR(p.eval(d, Vector{0.0}), -2.0, 1e-12);
+}
+
+TEST(Derivative, ChainRuleThroughTanh) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  const ExprId e = p.tanh(p.mul(p.constant(3.0), x));
+  const ExprId d = differentiate(p, e, 0);
+  const double v = 0.4;
+  const double expected = 3.0 * (1.0 - std::pow(std::tanh(3.0 * v), 2));
+  EXPECT_NEAR(p.eval(d, Vector{v}), expected, 1e-12);
+}
+
+TEST(Derivative, PartialDerivatives) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  const ExprId e = p.mul(x, p.sin(y));
+  EXPECT_NEAR(p.eval(differentiate(p, e, 0), Vector{2.0, 1.0}),
+              std::sin(1.0), 1e-12);
+  EXPECT_NEAR(p.eval(differentiate(p, e, 1), Vector{2.0, 1.0}),
+              2.0 * std::cos(1.0), 1e-12);
+}
+
+TEST(Derivative, GradientAndLie) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  // W = x² + y², f = (-y, x) (rotation): Lie derivative must be 0.
+  const ExprId w = p.add(p.sqr(x), p.sqr(y));
+  const ExprId lie = lie_derivative(p, w, {p.neg(y), x});
+  EXPECT_NEAR(p.eval(lie, Vector{0.3, -0.7}), 0.0, 1e-15);
+  // f = (-x, -y) (contraction): Lie derivative = -2(x²+y²) < 0.
+  const ExprId lie2 = lie_derivative(p, w, {p.neg(x), p.neg(y)});
+  EXPECT_NEAR(p.eval(lie2, Vector{1.0, 2.0}), -10.0, 1e-12);
+}
+
+TEST(Derivative, NumericalAgreement) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  const ExprId e =
+      p.mul(p.exp(p.neg(p.sqr(x))), p.add(p.sin(x), p.constant(2.0)));
+  const ExprId d = differentiate(p, e, 0);
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dom(-2.0, 2.0);
+  const double h = 1e-6;
+  for (int i = 0; i < 50; ++i) {
+    const double v = dom(rng);
+    const double fd =
+        (p.eval(e, Vector{v + h}) - p.eval(e, Vector{v - h})) / (2 * h);
+    EXPECT_NEAR(p.eval(d, Vector{v}), fd, 1e-5);
+  }
+}
+
+TEST(Derivative, SigmoidDerivative) {
+  ExprPool p;
+  const ExprId x = p.var(0);
+  const ExprId d = differentiate(p, p.sigmoid(x), 0);
+  const double v = 0.9;
+  const double s = 1.0 / (1.0 + std::exp(-v));
+  EXPECT_NEAR(p.eval(d, Vector{v}), s * (1.0 - s), 1e-12);
+}
+
+TEST(Derivative, ReluThrows) {
+  ExprPool p;
+  EXPECT_THROW(differentiate(p, p.relu(p.var(0)), 0), std::domain_error);
+}
+
+TEST(Printer, ReadableOutput) {
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  const ExprId e = p.add(p.sqr(x), p.mul(p.constant(2.0), y));
+  const std::string s = to_string(p, e);
+  EXPECT_NE(s.find("x0"), std::string::npos);
+  EXPECT_NE(s.find("x1"), std::string::npos);
+  EXPECT_NE(s.find("^2"), std::string::npos);
+  const std::string named = to_string(p, e, {"d_err", "th_err"});
+  EXPECT_NE(named.find("d_err"), std::string::npos);
+}
+
+// Property: differentiation of random polynomial-ish expressions agrees
+// with central finite differences.
+class DiffProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffProperty, RandomExpressionGradient) {
+  std::mt19937 rng(GetParam());
+  ExprPool p;
+  const ExprId x = p.var(0), y = p.var(1);
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  // random cubic in two vars + a tanh term
+  const ExprId e = p.sum({p.mul(p.constant(coeff(rng)), p.pow(x, 3)),
+                          p.mul(p.constant(coeff(rng)), p.mul(p.sqr(x), y)),
+                          p.mul(p.constant(coeff(rng)), p.sqr(y)),
+                          p.mul(p.constant(coeff(rng)), p.tanh(x)),
+                          p.constant(coeff(rng))});
+  const ExprId dx_ = differentiate(p, e, 0);
+  const ExprId dy_ = differentiate(p, e, 1);
+  std::uniform_real_distribution<double> dom(-1.5, 1.5);
+  const double h = 1e-6;
+  for (int i = 0; i < 20; ++i) {
+    const Vector pt{dom(rng), dom(rng)};
+    const double fdx = (p.eval(e, Vector{pt[0] + h, pt[1]}) -
+                        p.eval(e, Vector{pt[0] - h, pt[1]})) /
+                       (2 * h);
+    const double fdy = (p.eval(e, Vector{pt[0], pt[1] + h}) -
+                        p.eval(e, Vector{pt[0], pt[1] - h})) /
+                       (2 * h);
+    EXPECT_NEAR(p.eval(dx_, pt), fdx, 1e-4);
+    EXPECT_NEAR(p.eval(dy_, pt), fdy, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiffProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace bcert::expr

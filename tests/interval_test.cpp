@@ -1,0 +1,304 @@
+// Unit + property tests for bcert::interval.
+//
+// The property tests are the important ones: for random point inputs the
+// interval image of a point must contain the exact double result, and for
+// random interval inputs the image of sampled points must stay inside the
+// interval result (soundness of outward rounding).
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/interval/box.h"
+#include "src/interval/interval.h"
+
+namespace bcert::interval {
+namespace {
+
+TEST(Interval, EmptyAndPoint) {
+  Interval e;
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_EQ(e, Interval::empty());
+  Interval p(2.5);
+  EXPECT_TRUE(p.is_point());
+  EXPECT_DOUBLE_EQ(p.width(), 0.0);
+  EXPECT_TRUE(p.contains(2.5));
+  EXPECT_FALSE(p.contains(2.6));
+}
+
+TEST(Interval, BasicSetOps) {
+  Interval a(0.0, 2.0), b(1.0, 3.0), c(5.0, 6.0);
+  EXPECT_EQ(intersect(a, b), Interval(1.0, 2.0));
+  EXPECT_TRUE(intersect(a, c).is_empty());
+  EXPECT_EQ(hull(a, c), Interval(0.0, 6.0));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(Interval(0.0, 10.0).contains(b));
+}
+
+TEST(Interval, AddSubContainment) {
+  Interval a(1.0, 2.0), b(-1.0, 3.0);
+  Interval s = a + b;
+  EXPECT_LE(s.lo(), 0.0);
+  EXPECT_GE(s.hi(), 5.0);
+  Interval d = a - b;
+  EXPECT_LE(d.lo(), -2.0);
+  EXPECT_GE(d.hi(), 3.0);
+}
+
+TEST(Interval, MulSignCases) {
+  EXPECT_TRUE((Interval(2, 3) * Interval(4, 5)).contains(Interval(8, 15)));
+  EXPECT_TRUE((Interval(-3, -2) * Interval(4, 5)).contains(Interval(-15, -8)));
+  EXPECT_TRUE((Interval(-2, 3) * Interval(-5, 4)).contains(Interval(-15, 12)));
+  EXPECT_EQ(Interval(0.0) * Interval::entire(), Interval(0.0));
+}
+
+TEST(Interval, DivisionAwayFromZero) {
+  Interval q = Interval(1.0, 2.0) / Interval(4.0, 8.0);
+  EXPECT_TRUE(q.contains(0.125));
+  EXPECT_TRUE(q.contains(0.5));
+  EXPECT_LT(q.width(), 0.376);
+}
+
+TEST(Interval, ExtendedDivision) {
+  // Divisor spanning zero with numerator off zero -> entire.
+  EXPECT_EQ(Interval(1.0, 2.0) / Interval(-1.0, 1.0), Interval::entire());
+  // One-sided zero touch gives a ray.
+  Interval r = Interval(1.0, 2.0) / Interval(0.0, 1.0);
+  EXPECT_TRUE(r.contains(1.0));
+  EXPECT_TRUE(r.contains(1e9));
+  EXPECT_FALSE(r.contains(0.5));
+}
+
+TEST(Interval, SqrIsNonNegativeAndTight) {
+  Interval s = sqr(Interval(-2.0, 3.0));
+  EXPECT_GE(s.lo(), 0.0);
+  EXPECT_TRUE(s.contains(0.0));
+  EXPECT_TRUE(s.contains(9.0));
+  EXPECT_LT(s.hi(), 9.0 + 1e-9);
+}
+
+TEST(Interval, SqrtDomainClipping) {
+  EXPECT_TRUE(sqrt(Interval(-4.0, -1.0)).is_empty());
+  Interval r = sqrt(Interval(-1.0, 4.0));
+  EXPECT_GE(r.lo(), 0.0);
+  EXPECT_TRUE(r.contains(2.0));
+}
+
+TEST(Interval, LogDomainClipping) {
+  EXPECT_TRUE(log(Interval(-2.0, -1.0)).is_empty());
+  Interval r = log(Interval(0.0, 1.0));
+  EXPECT_EQ(r.lo(), -std::numeric_limits<double>::infinity());
+  EXPECT_GE(r.hi(), 0.0);
+}
+
+TEST(Interval, SinCriticalPoints) {
+  // [0, pi] contains the max of sin at pi/2.
+  Interval s = sin(Interval(0.0, 3.15));
+  EXPECT_DOUBLE_EQ(s.hi(), 1.0);
+  EXPECT_LE(s.lo(), 0.0);
+  // Narrow monotone interval stays tight.
+  Interval t = sin(Interval(0.1, 0.2));
+  EXPECT_NEAR(t.lo(), std::sin(0.1), 1e-12);
+  EXPECT_NEAR(t.hi(), std::sin(0.2), 1e-12);
+  // Width >= 2 pi -> [-1, 1].
+  EXPECT_EQ(sin(Interval(0.0, 10.0)), Interval(-1.0, 1.0));
+}
+
+TEST(Interval, CosCriticalPoints) {
+  Interval c = cos(Interval(-0.5, 0.5));  // max at 0
+  EXPECT_DOUBLE_EQ(c.hi(), 1.0);
+  Interval c2 = cos(Interval(3.0, 3.3));  // min at pi
+  EXPECT_DOUBLE_EQ(c2.lo(), -1.0);
+}
+
+TEST(Interval, TanPole) {
+  EXPECT_EQ(tan(Interval(1.0, 2.0)), Interval::entire());  // pi/2 inside
+  Interval t = tan(Interval(-0.5, 0.5));
+  EXPECT_TRUE(t.contains(std::tan(0.5)));
+  EXPECT_FALSE(t.is_unbounded());
+}
+
+TEST(Interval, TanhRangeAndMonotonicity) {
+  Interval t = tanh(Interval(-100.0, 100.0));
+  EXPECT_GE(t.lo(), -1.0);
+  EXPECT_LE(t.hi(), 1.0);
+  Interval u = tanh(Interval(0.5, 1.0));
+  EXPECT_TRUE(u.contains(std::tanh(0.75)));
+}
+
+TEST(Interval, AtanhInverseOfTanh) {
+  Interval x(0.25, 0.5);
+  Interval back = atanh(tanh(x));
+  EXPECT_TRUE(back.contains(x));
+  EXPECT_LT(back.width(), x.width() + 1e-9);
+}
+
+TEST(Interval, SigmoidLogitRoundTrip) {
+  Interval x(-2.0, 1.0);
+  Interval back = logit(sigmoid(x));
+  EXPECT_TRUE(back.contains(x));
+}
+
+TEST(Interval, NthRoot) {
+  EXPECT_TRUE(nth_root(Interval(8.0), 3).contains(2.0));
+  EXPECT_TRUE(nth_root(Interval(-8.0), 3).contains(-2.0));
+  EXPECT_TRUE(nth_root(Interval(16.0), 4).contains(2.0));
+  EXPECT_TRUE(nth_root(Interval(-16.0, -1.0), 4).is_empty());
+}
+
+TEST(Interval, PowEvenOdd) {
+  EXPECT_TRUE(pow(Interval(-2.0, 1.0), 2).contains(Interval(0.0, 4.0)));
+  EXPECT_TRUE(pow(Interval(-2.0, 1.0), 3).contains(Interval(-8.0, 1.0)));
+  EXPECT_EQ(pow(Interval(2.0, 3.0), 0), Interval(1.0));
+}
+
+TEST(Interval, AbsMinMax) {
+  EXPECT_EQ(abs(Interval(-3.0, 2.0)), Interval(0.0, 3.0));
+  EXPECT_EQ(min(Interval(1.0, 5.0), Interval(2.0, 3.0)), Interval(1.0, 3.0));
+  EXPECT_EQ(max(Interval(1.0, 5.0), Interval(2.0, 3.0)), Interval(2.0, 5.0));
+}
+
+TEST(Interval, MidMagMig) {
+  Interval a(-4.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.mid(), -1.0);
+  EXPECT_DOUBLE_EQ(a.mag(), 4.0);
+  EXPECT_DOUBLE_EQ(a.mig(), 0.0);
+  EXPECT_DOUBLE_EQ(Interval(2.0, 5.0).mig(), 2.0);
+}
+
+TEST(Interval, AsinAcos) {
+  EXPECT_TRUE(asin(Interval(0.0, 1.0)).contains(kPiLower / 2.0));
+  EXPECT_TRUE(acos(Interval(-1.0, 1.0)).contains(kPiLower));
+  EXPECT_TRUE(acos(Interval(-1.0, 1.0)).contains(0.0));
+}
+
+// --- soundness property sweeps ------------------------------------------
+
+using UnaryFn = Interval (*)(const Interval&);
+using ScalarFn = double (*)(double);
+
+struct UnaryCase {
+  const char* name;
+  UnaryFn ifn;
+  ScalarFn sfn;
+  double lo, hi;  // sampling domain
+};
+
+class UnarySoundness : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnarySoundness, ImageContainsSampledPoints) {
+  const UnaryCase& c = GetParam();
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dom(c.lo, c.hi);
+  for (int trial = 0; trial < 200; ++trial) {
+    double a = dom(rng), b = dom(rng);
+    if (a > b) std::swap(a, b);
+    const Interval img = c.ifn(Interval(a, b));
+    std::uniform_real_distribution<double> inner(a, b);
+    for (int s = 0; s < 20; ++s) {
+      const double x = inner(rng);
+      const double y = c.sfn(x);
+      if (std::isfinite(y)) {
+        ASSERT_TRUE(img.contains(y))
+            << c.name << " image misses f(" << x << ")=" << y;
+      }
+    }
+  }
+}
+
+double sigmoid_scalar(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double relu_scalar(double x) { return x > 0 ? x : 0.0; }
+double sqr_scalar(double x) { return x * x; }
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, UnarySoundness,
+    ::testing::Values(
+        UnaryCase{"sin", &sin, &std::sin, -10.0, 10.0},
+        UnaryCase{"cos", &cos, &std::cos, -10.0, 10.0},
+        UnaryCase{"tan", &tan, &std::tan, -1.5, 1.5},
+        UnaryCase{"exp", &exp, &std::exp, -5.0, 5.0},
+        UnaryCase{"log", &log, &std::log, 0.01, 100.0},
+        UnaryCase{"sqrt", &sqrt, &std::sqrt, 0.0, 100.0},
+        UnaryCase{"tanh", &tanh, &std::tanh, -5.0, 5.0},
+        UnaryCase{"atan", &atan, &std::atan, -10.0, 10.0},
+        UnaryCase{"asin", &asin, &std::asin, -1.0, 1.0},
+        UnaryCase{"acos", &acos, &std::acos, -1.0, 1.0},
+        UnaryCase{"sigmoid", &sigmoid, &sigmoid_scalar, -10.0, 10.0},
+        UnaryCase{"relu", &relu, &relu_scalar, -5.0, 5.0},
+        UnaryCase{"sqr", &sqr, &sqr_scalar, -10.0, 10.0},
+        UnaryCase{"abs", &abs, &std::fabs, -10.0, 10.0}),
+    [](const auto& info) { return info.param.name; });
+
+class ArithmeticSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithmeticSoundness, RandomIntervalContainment) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dom(-10.0, 10.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    double a1 = dom(rng), a2 = dom(rng), b1 = dom(rng), b2 = dom(rng);
+    if (a1 > a2) std::swap(a1, a2);
+    if (b1 > b2) std::swap(b1, b2);
+    const Interval ia(a1, a2), ib(b1, b2);
+    std::uniform_real_distribution<double> sa(a1, a2), sb(b1, b2);
+    for (int s = 0; s < 10; ++s) {
+      const double x = sa(rng), y = sb(rng);
+      ASSERT_TRUE((ia + ib).contains(x + y));
+      ASSERT_TRUE((ia - ib).contains(x - y));
+      ASSERT_TRUE((ia * ib).contains(x * y));
+      if (!ib.contains(0.0)) {
+        ASSERT_TRUE((ia / ib).contains(x / y));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArithmeticSoundness, ::testing::Range(0, 5));
+
+// --- Box ---------------------------------------------------------------
+
+TEST(Box, BasicGeometry) {
+  Box b = Box::from_bounds({{0.0, 2.0}, {-1.0, 1.0}});
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.max_width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.volume(), 4.0);
+  EXPECT_DOUBLE_EQ(b.perimeter(), 4.0);
+  linalg::Vector mid = b.midpoint();
+  EXPECT_DOUBLE_EQ(mid[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid[1], 0.0);
+  EXPECT_TRUE(b.contains(linalg::Vector{1.0, 0.5}));
+  EXPECT_FALSE(b.contains(linalg::Vector{3.0, 0.0}));
+}
+
+TEST(Box, SplitCoversOriginal) {
+  Box b = Box::from_bounds({{0.0, 4.0}, {0.0, 1.0}});
+  auto [l, r] = b.split_widest();
+  EXPECT_DOUBLE_EQ(l[0].hi(), 2.0);
+  EXPECT_DOUBLE_EQ(r[0].lo(), 2.0);
+  EXPECT_EQ(hull(l, r), b);
+}
+
+TEST(Box, EmptyDetection) {
+  Box b = Box::from_bounds({{0.0, 1.0}});
+  EXPECT_FALSE(b.is_empty());
+  b[0] = Interval::empty();
+  EXPECT_TRUE(b.is_empty());
+}
+
+TEST(Box, IntersectAndContains) {
+  Box a = Box::from_bounds({{0.0, 2.0}, {0.0, 2.0}});
+  Box b = Box::from_bounds({{1.0, 3.0}, {1.0, 3.0}});
+  Box c = intersect(a, b);
+  EXPECT_DOUBLE_EQ(c[0].lo(), 1.0);
+  EXPECT_DOUBLE_EQ(c[0].hi(), 2.0);
+  EXPECT_TRUE(a.contains(c));
+}
+
+TEST(Box, PointBox) {
+  Box p = Box::point(linalg::Vector{1.0, 2.0});
+  EXPECT_TRUE(p[0].is_point());
+  EXPECT_DOUBLE_EQ(p.max_width(), 0.0);
+}
+
+}  // namespace
+}  // namespace bcert::interval

@@ -1,0 +1,224 @@
+// Unit tests for bcert::linalg — vectors, matrices, decompositions.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/decompositions.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::linalg {
+namespace {
+
+TEST(Vector, ArithmeticBasics) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  EXPECT_EQ((a + b), (Vector{5.0, 7.0, 9.0}));
+  EXPECT_EQ((b - a), (Vector{3.0, 3.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vector{2.0, 4.0, 6.0}));
+  EXPECT_EQ((-a), (Vector{-1.0, -2.0, -3.0}));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vector, Norms) {
+  Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(v.sum(), -1.0);
+}
+
+TEST(Vector, DimensionMismatchThrows) {
+  Vector a{1.0, 2.0};
+  Vector b{1.0};
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(dot(a, b), std::invalid_argument);
+}
+
+TEST(Vector, Hadamard) {
+  EXPECT_EQ(hadamard(Vector{1.0, 2.0}, Vector{3.0, 4.0}),
+            (Vector{3.0, 8.0}));
+}
+
+TEST(Matrix, ConstructionAndIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Vector x{1.0, 1.0};
+  EXPECT_EQ(a * x, (Vector{3.0, 7.0}));
+}
+
+TEST(Matrix, TransposeAndSymmetry) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.transposed()(0, 1), 3.0);
+  EXPECT_FALSE(a.is_symmetric());
+  Matrix s{{2.0, 1.0}, {1.0, 2.0}};
+  EXPECT_TRUE(s.is_symmetric());
+}
+
+TEST(Matrix, QuadraticForm) {
+  Matrix p{{2.0, 0.0}, {0.0, 3.0}};
+  Vector x{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quadratic_form(x, p, x), 2.0 + 12.0);
+}
+
+TEST(Matrix, Outer) {
+  Matrix m = outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(m(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 4.0);
+}
+
+TEST(Lu, SolveKnownSystem) {
+  Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  Vector b{10.0, 12.0};
+  LuDecomposition lu(a);
+  ASSERT_TRUE(lu.invertible());
+  Vector x = lu.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  Matrix a{{4.0, 3.0}, {6.0, 3.0}};
+  EXPECT_NEAR(LuDecomposition(a).determinant(), -6.0, 1e-12);
+}
+
+TEST(Lu, SingularDetected) {
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  LuDecomposition lu(a);
+  EXPECT_FALSE(lu.invertible());
+  EXPECT_DOUBLE_EQ(lu.determinant(), 0.0);
+  EXPECT_THROW(lu.solve(Vector{1.0, 1.0}), std::runtime_error);
+}
+
+TEST(Lu, InverseRoundTrip) {
+  Matrix a{{2.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 4.0}};
+  Matrix inv = LuDecomposition(a).inverse();
+  Matrix prod = a * inv;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(prod(r, c), r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Cholesky, SpdSolve) {
+  Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+  CholeskyDecomposition chol(a);
+  ASSERT_TRUE(chol.success());
+  Vector x = chol.solve(Vector{8.0, 7.0});
+  // Verify A x = b.
+  Vector back = a * x;
+  EXPECT_NEAR(back[0], 8.0, 1e-12);
+  EXPECT_NEAR(back[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3, -1
+  EXPECT_FALSE(CholeskyDecomposition(a).success());
+}
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix a = Matrix::diagonal(Vector{3.0, 1.0, 2.0});
+  SymmetricEigen e = symmetric_eigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  Matrix a{{2.0, 1.0}, {1.0, 2.0}};  // eigenvalues 1 and 3
+  SymmetricEigen e = symmetric_eigen(a);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.eigenvalues[1], 3.0, 1e-10);
+}
+
+TEST(Eigen, ReconstructionProperty) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 6;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = r; c < n; ++c) a(r, c) = a(c, r) = dist(rng);
+  SymmetricEigen e = symmetric_eigen(a);
+  // A V = V diag(λ)
+  Matrix av = a * e.eigenvectors;
+  Matrix vl = e.eigenvectors * Matrix::diagonal(e.eigenvalues);
+  EXPECT_LT((av - vl).norm_max(), 1e-9);
+  // V orthogonal
+  Matrix vtv = e.eigenvectors.transposed() * e.eigenvectors;
+  EXPECT_LT((vtv - Matrix::identity(n)).norm_max(), 1e-9);
+}
+
+TEST(Eigen, NonSymmetricThrows) {
+  Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+  EXPECT_THROW(symmetric_eigen(a), std::invalid_argument);
+}
+
+TEST(LeastSquares, ExactFit) {
+  // Overdetermined but consistent: y = 2x + 1 at 4 points.
+  Matrix a{{0.0, 1.0}, {1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}};
+  Vector b{1.0, 3.0, 5.0, 7.0};
+  Vector x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, MinimizesResidual) {
+  Matrix a{{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  Vector b{1.0, 1.0, 0.0};
+  Vector x = least_squares(a, b);
+  // Normal-equation solution: x = (AᵀA)⁻¹ Aᵀ b = [1/3, 1/3]
+  EXPECT_NEAR(x[0], 1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(x[1], 1.0 / 3.0, 1e-10);
+}
+
+TEST(SolveLinear, ReturnsNulloptOnSingular) {
+  Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_FALSE(solve_linear(a, Vector{1.0, 2.0}).has_value());
+}
+
+// Property sweep: LU solve of random well-conditioned systems recovers
+// the planted solution.
+class LuRandomSolve : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomSolve, RecoversPlantedSolution) {
+  std::mt19937 rng(GetParam());
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = dist(rng);
+    a(r, r) += 8.0;  // diagonal dominance keeps conditioning sane
+  }
+  Vector x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = dist(rng);
+  Vector b = a * x_true;
+  Vector x = LuDecomposition(a).solve(b);
+  EXPECT_LT((x - x_true).norm_inf(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomSolve, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace bcert::linalg

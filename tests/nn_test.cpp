@@ -1,0 +1,203 @@
+// Tests for the feedforward NN: evaluation, parameter round-trips,
+// symbolic export consistency, serialization, and ELM distillation.
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/nn/elm.h"
+#include "src/nn/network.h"
+
+namespace bcert::nn {
+namespace {
+
+using linalg::Vector;
+
+TEST(Activation, NamesRoundTrip) {
+  for (Activation a : {Activation::kTanh, Activation::kSigmoid,
+                       Activation::kRelu, Activation::kLinear}) {
+    EXPECT_EQ(activation_from_name(activation_name(a)), a);
+  }
+  EXPECT_EQ(activation_from_name("tansig"), Activation::kTanh);  // MATLAB
+  EXPECT_THROW(activation_from_name("swish"), std::invalid_argument);
+}
+
+TEST(Activation, ScalarValues) {
+  EXPECT_DOUBLE_EQ(apply(Activation::kTanh, 0.0), 0.0);
+  EXPECT_NEAR(apply(Activation::kSigmoid, 0.0), 0.5, 1e-15);
+  EXPECT_DOUBLE_EQ(apply(Activation::kRelu, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(apply(Activation::kRelu, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(apply(Activation::kLinear, -1.5), -1.5);
+}
+
+TEST(Network, ShapeAndParamCount) {
+  // Paper §4.2: (2 → Nh → 1) all-tansig has 4·Nh + 1 parameters.
+  for (std::size_t nh : {10u, 20u, 100u}) {
+    const FeedforwardNet net = FeedforwardNet::single_hidden(2, nh, 1);
+    EXPECT_EQ(net.num_inputs(), 2u);
+    EXPECT_EQ(net.num_outputs(), 1u);
+    EXPECT_EQ(net.num_params(), 4 * nh + 1);
+  }
+}
+
+TEST(Network, ForwardKnownWeights) {
+  // Hand-computed 2-2-1 network.
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 2, 1);
+  net.layer(0).weights = linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  net.layer(0).bias = Vector{0.0, 0.0};
+  net.layer(1).weights = linalg::Matrix{{0.5, -0.5}};
+  net.layer(1).bias = Vector{0.1};
+  const double out = net.forward(Vector{0.3, -0.2})[0];
+  const double expected =
+      std::tanh(0.5 * std::tanh(0.3) - 0.5 * std::tanh(-0.2) + 0.1);
+  EXPECT_NEAR(out, expected, 1e-15);
+}
+
+TEST(Network, TanhOutputIsBounded) {
+  std::mt19937 rng(3);
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 16, 1);
+  net.randomize(rng, 3.0);
+  std::uniform_real_distribution<double> d(-10.0, 10.0);
+  for (int i = 0; i < 200; ++i) {
+    const double u = net.forward(Vector{d(rng), d(rng)})[0];
+    EXPECT_GT(u, -1.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Network, ParameterRoundTrip) {
+  std::mt19937 rng(5);
+  FeedforwardNet net = FeedforwardNet::single_hidden(3, 7, 2);
+  net.randomize(rng);
+  const Vector p = net.parameters();
+  EXPECT_EQ(p.size(), net.num_params());
+  FeedforwardNet other = FeedforwardNet::single_hidden(3, 7, 2);
+  other.set_parameters(p);
+  const Vector x{0.1, -0.4, 0.9};
+  EXPECT_EQ(net.forward(x).raw(), other.forward(x).raw());
+}
+
+TEST(Network, SetParametersRejectsWrongSize) {
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 4, 1);
+  EXPECT_THROW(net.set_parameters(Vector{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Network, SymbolicExportMatchesNumeric) {
+  std::mt19937 rng(11);
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 12, 1);
+  net.randomize(rng, 1.5);
+
+  expr::ExprPool pool;
+  const auto outs = net.to_expr(pool, {pool.var(0), pool.var(1)});
+  ASSERT_EQ(outs.size(), 1u);
+  expr::Evaluator ev(pool, outs);
+
+  std::uniform_real_distribution<double> d(-3.0, 3.0);
+  for (int i = 0; i < 100; ++i) {
+    const Vector x{d(rng), d(rng)};
+    EXPECT_NEAR(ev.eval(x)[0], net.forward(x)[0], 1e-12);
+  }
+}
+
+TEST(Network, SymbolicIntervalEnclosesOutputs) {
+  std::mt19937 rng(13);
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 8, 1);
+  net.randomize(rng, 2.0);
+  expr::ExprPool pool;
+  expr::Evaluator ev(pool, net.to_expr(pool, {pool.var(0), pool.var(1)}));
+  const auto box = interval::Box::from_bounds({{-1.0, 2.0}, {0.5, 1.5}});
+  const interval::Interval img = ev.eval(box)[0];
+  std::uniform_real_distribution<double> dx(-1.0, 2.0), dy(0.5, 1.5);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(img.contains(net.forward(Vector{dx(rng), dy(rng)})[0]));
+  }
+}
+
+TEST(Network, MultiLayerDeepShape) {
+  const FeedforwardNet net({2, 8, 6, 3},
+                           {Activation::kTanh, Activation::kSigmoid,
+                            Activation::kLinear});
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.num_outputs(), 3u);
+  EXPECT_EQ(net.num_params(), (8 * 2 + 8) + (6 * 8 + 6) + (3 * 6 + 3));
+}
+
+TEST(Network, SaveLoadRoundTrip) {
+  std::mt19937 rng(17);
+  FeedforwardNet net = FeedforwardNet::single_hidden(2, 5, 1);
+  net.randomize(rng);
+  std::stringstream ss;
+  net.save(ss);
+  const FeedforwardNet loaded = FeedforwardNet::load(ss);
+  const Vector x{0.25, -0.75};
+  EXPECT_DOUBLE_EQ(loaded.forward(x)[0], net.forward(x)[0]);
+}
+
+TEST(Network, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-network 7");
+  EXPECT_THROW(FeedforwardNet::load(ss), std::runtime_error);
+}
+
+TEST(Elm, FitsSmoothTeacherAccurately) {
+  const TeacherFn teacher = [](const Vector& x) {
+    return Vector{std::tanh(0.25 * x[0] + 2.0 * x[1])};
+  };
+  ElmOptions opts;
+  opts.hidden = 60;
+  opts.samples = 500;
+  const FeedforwardNet student = elm_fit(
+      teacher, 2, 1, Vector{-6.0, -1.7}, Vector{6.0, 1.7}, opts);
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> dd(-6.0, 6.0), dt(-1.7, 1.7);
+  double max_err = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const Vector x{dd(rng), dt(rng)};
+    max_err = std::max(
+        max_err, std::fabs(student.forward(x)[0] - teacher(x)[0]));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(Elm, RejectsUnderdeterminedFit) {
+  const TeacherFn teacher = [](const Vector& x) { return Vector{x[0]}; };
+  ElmOptions opts;
+  opts.hidden = 100;
+  opts.samples = 50;  // < hidden + 1
+  EXPECT_THROW(
+      elm_fit(teacher, 1, 1, Vector{-1.0}, Vector{1.0}, opts),
+      std::invalid_argument);
+}
+
+// Property: ELM students of growing width keep approximating the teacher.
+class ElmWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ElmWidths, ApproximationHolds) {
+  const std::size_t width = GetParam();
+  const TeacherFn teacher = [](const Vector& x) {
+    return Vector{std::tanh(0.25 * x[0] + 2.0 * x[1])};
+  };
+  ElmOptions opts;
+  opts.hidden = width;
+  opts.samples = std::max<std::size_t>(4 * width, 400);
+  const FeedforwardNet student = elm_fit(
+      teacher, 2, 1, Vector{-6.0, -1.7}, Vector{6.0, 1.7}, opts);
+  EXPECT_EQ(student.num_params(), 4 * width + 1);
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> dd(-5.0, 5.0), dt(-1.5, 1.5);
+  double mse = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    const Vector x{dd(rng), dt(rng)};
+    const double e = student.forward(x)[0] - teacher(x)[0];
+    mse += e * e;
+  }
+  EXPECT_LT(mse / n, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ElmWidths,
+                         ::testing::Values(20, 50, 100, 200));
+
+}  // namespace
+}  // namespace bcert::nn

@@ -1,0 +1,138 @@
+// Tests for the RK4 / RKF45 integrators and the Trace container.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ode/integrator.h"
+#include "src/ode/trace.h"
+
+namespace bcert::ode {
+namespace {
+
+using linalg::Vector;
+
+// ẋ = -x has exact solution x(t) = x0 e^{-t}.
+const VectorField kDecay = [](const Vector& x) { return -1.0 * x; };
+
+// Harmonic oscillator: ẋ = y, ẏ = -x; circles of constant radius.
+const VectorField kOscillator = [](const Vector& x) {
+  return Vector{x[1], -x[0]};
+};
+
+TEST(Trace, BasicAccessors) {
+  Trace t;
+  t.push_back(0.0, Vector{1.0});
+  t.push_back(0.5, Vector{2.0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.duration(), 0.5);
+  EXPECT_DOUBLE_EQ(t.front()[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.back()[0], 2.0);
+}
+
+TEST(Trace, DownsampleKeepsEndpoints) {
+  Trace t;
+  for (int i = 0; i <= 100; ++i)
+    t.push_back(0.01 * i, Vector{static_cast<double>(i)});
+  const Trace d = t.downsampled(11);
+  EXPECT_EQ(d.size(), 11u);
+  EXPECT_DOUBLE_EQ(d.front()[0], 0.0);
+  EXPECT_DOUBLE_EQ(d.back()[0], 100.0);
+}
+
+TEST(Trace, DownsampleNoopWhenSmall) {
+  Trace t;
+  t.push_back(0.0, Vector{1.0});
+  t.push_back(1.0, Vector{2.0});
+  EXPECT_EQ(t.downsampled(10).size(), 2u);
+}
+
+TEST(Rk4, ExponentialDecayAccuracy) {
+  IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 2.0;
+  const Trace t = integrate_rk4(kDecay, Vector{1.0}, opts);
+  EXPECT_NEAR(t.back()[0], std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(t.duration(), 2.0, 1e-12);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  // Halving the step should shrink the error by ~2^4.
+  auto err_for = [](double h) {
+    IntegrateOptions opts;
+    opts.step = h;
+    opts.t_end = 1.0;
+    const Trace t = integrate_rk4(kDecay, Vector{1.0}, opts);
+    return std::fabs(t.back()[0] - std::exp(-1.0));
+  };
+  const double e1 = err_for(0.1);
+  const double e2 = err_for(0.05);
+  EXPECT_GT(e1 / e2, 10.0);  // comfortably super-cubic
+}
+
+TEST(Rk4, OscillatorEnergyNearlyConserved) {
+  IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 6.283185307179586;  // one period
+  const Trace t = integrate_rk4(kOscillator, Vector{1.0, 0.0}, opts);
+  EXPECT_NEAR(t.back()[0], 1.0, 1e-6);
+  EXPECT_NEAR(t.back()[1], 0.0, 1e-6);
+}
+
+TEST(Rk4, StopPredicateHaltsEarly) {
+  IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 100.0;
+  opts.stop = [](double, const Vector& x) { return x[0] < 0.5; };
+  const Trace t = integrate_rk4(kDecay, Vector{1.0}, opts);
+  EXPECT_LT(t.back()[0], 0.5);
+  EXPECT_LT(t.duration(), 1.0);  // ln 2 ≈ 0.69
+}
+
+TEST(Rkf45, MatchesExactSolution) {
+  IntegrateOptions opts;
+  opts.step = 0.05;
+  opts.t_end = 3.0;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-10;
+  const Trace t = integrate_rkf45(kDecay, Vector{2.0}, opts);
+  EXPECT_NEAR(t.back()[0], 2.0 * std::exp(-3.0), 1e-7);
+}
+
+TEST(Rkf45, AdaptsStepOnOscillator) {
+  IntegrateOptions opts;
+  opts.step = 0.001;
+  opts.t_end = 6.283185307179586;
+  opts.abs_tol = 1e-9;
+  opts.rel_tol = 1e-9;
+  opts.max_step = 0.5;
+  const Trace t = integrate_rkf45(kOscillator, Vector{1.0, 0.0}, opts);
+  EXPECT_NEAR(t.back()[0], 1.0, 1e-5);
+  // Adaptive: should use far fewer steps than fixed 0.001 would (6283).
+  EXPECT_LT(t.size(), 3000u);
+}
+
+TEST(Rkf45, AgreesWithRk4) {
+  // Nonlinear field: ẋ = sin(x) + 0.1.
+  const VectorField f = [](const Vector& x) {
+    return Vector{std::sin(x[0]) + 0.1};
+  };
+  IntegrateOptions o1;
+  o1.step = 0.001;
+  o1.t_end = 5.0;
+  IntegrateOptions o2 = o1;
+  o2.step = 0.01;
+  const Trace a = integrate_rk4(f, Vector{0.3}, o1);
+  const Trace b = integrate_rkf45(f, Vector{0.3}, o2);
+  EXPECT_NEAR(a.back()[0], b.back()[0], 1e-5);
+}
+
+TEST(Rk4Step, SingleStepMatchesTaylor) {
+  // For ẋ = x at x=1, one RK4 step of h approximates e^h to O(h^5).
+  const VectorField f = [](const Vector& x) { return x; };
+  const Vector next = rk4_step(f, Vector{1.0}, 0.1);
+  // Local truncation error of RK4 is h^5/5! ≈ 8.3e-8 for h = 0.1.
+  EXPECT_NEAR(next[0], std::exp(0.1), 2e-7);
+}
+
+}  // namespace
+}  // namespace bcert::ode

@@ -1,0 +1,76 @@
+// Tests for the CEGIS safe-policy-search loop (the paper's §5 future
+// work). Full convergence is exercised by examples/safe_policy_search
+// (minutes); here we verify the loop mechanics with small budgets.
+#include <gtest/gtest.h>
+
+#include "src/dubins/safe_policy_search.h"
+
+namespace bcert::dubins {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+SafePolicySearchOptions tiny_options() {
+  SafePolicySearchOptions opts;
+  opts.max_rounds = 2;
+  opts.max_new_offsets = 2;
+  opts.train.hidden_neurons = 6;
+  opts.train.iterations = 8;
+  opts.train.population = 16;
+  opts.train.sim.velocity = 1.0;
+  opts.train.sim.dt = 0.2;
+  opts.train.sim.steps = 120;
+  opts.train.weights.angle = 1e3;
+  opts.train.start_offsets = {{0.0, 0.0}};
+  opts.verify.max_candidate_iterations = 2;
+  opts.verify.icp.time_limit_s = 20.0;
+  return opts;
+}
+
+PiecewiseLinearPath test_path() {
+  return PiecewiseLinearPath({{0.0, 0.0}, {12.0, 8.0}, {24.0, 10.0}});
+}
+
+TEST(SafePolicySearch, RunsAllRoundsAndReports) {
+  const SafePolicySearchOptions opts = tiny_options();
+  const core::Rect x0{{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
+  const core::Rect safe{{-5.0, -(kPi / 2.0 - 0.01)}, {5.0, kPi / 2.0 - 0.01}};
+  const SafePolicySearchResult r =
+      safe_policy_search(test_path(), x0, safe, opts);
+  ASSERT_FALSE(r.rounds.empty());
+  EXPECT_LE(r.rounds.size(), static_cast<std::size_t>(opts.max_rounds));
+  // Round indices are sequential and each carries a cost.
+  for (std::size_t i = 0; i < r.rounds.size(); ++i) {
+    EXPECT_EQ(r.rounds[i].round, static_cast<int>(i));
+    EXPECT_GT(r.rounds[i].train_cost, 0.0);
+  }
+  // The returned controller has the configured shape.
+  EXPECT_EQ(r.controller.num_params(),
+            4 * opts.train.hidden_neurons + 1);
+  // Consistency between the summary flag and the final verification.
+  EXPECT_EQ(r.safe(), r.verification.safe());
+}
+
+TEST(SafePolicySearch, StopsEarlyWhenAlreadySafe) {
+  // Seed the training with the full verification offsets so round 0
+  // usually succeeds — the loop must then stop immediately.
+  SafePolicySearchOptions opts = tiny_options();
+  opts.max_rounds = 3;
+  opts.train.iterations = 30;
+  opts.train.population = 60;
+  opts.train.hidden_neurons = 8;
+  opts.train.sim.steps = 400;
+  opts.train.sim.dt = 0.1;
+  opts.train.start_offsets = verification_offsets();
+  opts.verify.max_candidate_iterations = 8;
+  const core::Rect x0{{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
+  const core::Rect safe{{-5.0, -(kPi / 2.0 - 0.01)}, {5.0, kPi / 2.0 - 0.01}};
+  const SafePolicySearchResult r =
+      safe_policy_search(test_path(), x0, safe, opts);
+  if (r.safe()) {
+    EXPECT_EQ(r.rounds.size(), 1u);  // no wasted rounds after success
+  }
+}
+
+}  // namespace
+}  // namespace bcert::dubins

@@ -1,0 +1,104 @@
+// Tests for SMT-LIB2 query export.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/smt/smtlib_export.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprPool;
+using interval::Box;
+
+TEST(SmtLib, ExpressionRendering) {
+  ExprPool p;
+  const auto x = p.var(0), y = p.var(1);
+  EXPECT_EQ(to_smtlib(p, p.add(x, y)), "(+ x0 x1)");
+  // Commutative ops canonicalize operand order by node id.
+  EXPECT_EQ(to_smtlib(p, p.mul(p.constant(2.0), x)), "(* x0 2.0)");
+  EXPECT_EQ(to_smtlib(p, p.sin(x)), "(sin x0)");
+  EXPECT_EQ(to_smtlib(p, p.tanh(x)), "(tanh x0)");
+  EXPECT_EQ(to_smtlib(p, p.sqr(x)), "(* x0 x0)");
+  EXPECT_EQ(to_smtlib(p, p.pow(x, 3)), "(^ x0 3)");
+  EXPECT_EQ(to_smtlib(p, p.neg(x)), "(- x0)");
+}
+
+TEST(SmtLib, NegativeLiteralsWrapped) {
+  ExprPool p;
+  const std::string s = to_smtlib(p, p.add(p.var(0), p.constant(-1.5)));
+  EXPECT_NE(s.find("(- 1.5)"), std::string::npos);
+}
+
+TEST(SmtLib, SigmoidExpanded) {
+  ExprPool p;
+  const std::string s = to_smtlib(p, p.sigmoid(p.var(0)));
+  EXPECT_NE(s.find("exp"), std::string::npos);
+  EXPECT_EQ(s.find("sigmoid"), std::string::npos);
+}
+
+TEST(SmtLib, CustomVariableNames) {
+  ExprPool p;
+  const std::string s =
+      to_smtlib(p, p.mul(p.var(0), p.var(1)), {"d_err", "th_err"});
+  EXPECT_NE(s.find("d_err"), std::string::npos);
+  EXPECT_NE(s.find("th_err"), std::string::npos);
+  EXPECT_EQ(s.find("x0"), std::string::npos);
+}
+
+TEST(SmtLib, FullBenchmarkStructure) {
+  ExprPool p;
+  Conjunction c;
+  c.add(p.sub(p.sqr(p.var(0)), p.one()), Rel::kLe);
+  c.add(p.sin(p.var(1)), Rel::kGt);
+  std::ostringstream os;
+  write_smtlib(os, p, c, Box::from_bounds({{-2.0, 2.0}, {0.0, 3.0}}));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("(set-logic QF_NRA)"), std::string::npos);
+  EXPECT_NE(out.find("(declare-fun x0 () Real)"), std::string::npos);
+  EXPECT_NE(out.find("(declare-fun x1 () Real)"), std::string::npos);
+  EXPECT_NE(out.find("(assert (>= x0 (- 2.0)))"), std::string::npos);
+  EXPECT_NE(out.find("(assert (<= x0 2.0))"), std::string::npos);
+  EXPECT_NE(out.find("(check-sat)"), std::string::npos);
+  EXPECT_NE(out.find("(exit)"), std::string::npos);
+  // Constraints appear with their relations.
+  EXPECT_NE(out.find("(<= (- (* x0 x0) 1.0) 0.0)"), std::string::npos);
+  EXPECT_NE(out.find("(> (sin x1) 0.0)"), std::string::npos);
+}
+
+TEST(SmtLib, DnfBecomesOrOfAnds) {
+  ExprPool p;
+  Conjunction a, b;
+  a.add(p.var(0), Rel::kLe);
+  b.add(p.var(0), Rel::kGe);
+  Dnf dnf({a, b});
+  std::ostringstream os;
+  write_smtlib(os, p, dnf, Box::from_bounds({{-1.0, 1.0}}));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("(assert (or"), std::string::npos);
+  EXPECT_NE(out.find("(and (<= x0 0.0))"), std::string::npos);
+  EXPECT_NE(out.find("(and (>= x0 0.0))"), std::string::npos);
+}
+
+TEST(SmtLib, SharedSubtermsRenderConsistently) {
+  ExprPool p;
+  const auto t = p.tanh(p.var(0));
+  const auto e = p.add(t, p.mul(t, t));  // tanh(x0) appears 3 times
+  const std::string s = to_smtlib(p, e);
+  // Count occurrences of "(tanh x0)".
+  std::size_t count = 0, pos = 0;
+  while ((pos = s.find("(tanh x0)", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(SmtLib, IntegralConstantsGetDecimalPoint) {
+  ExprPool p;
+  const std::string s = to_smtlib(p, p.add(p.var(0), p.constant(42.0)));
+  EXPECT_NE(s.find("42.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bcert::smt
