@@ -3,6 +3,7 @@
 /// \brief Shared setup for the paper-reproduction benches: the case-study
 /// regions, controller factories, and small env-var helpers.
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "src/core/verifier.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
+#include "src/parallel/thread_pool.h"
 
 namespace bcert::bench {
 
@@ -32,6 +34,9 @@ inline core::BarrierProblem make_problem(expr::ExprPool& pool,
   core::BarrierProblem p;
   p.pool = &pool;
   p.sim_field = dubins::closed_loop_field(model, net);
+  p.sim_field_factory = [model, net] {
+    return dubins::closed_loop_field_inplace(model, net);
+  };
   p.sym_field = dubins::closed_loop_field_expr(model, net, pool);
   p.initial_set = paper_initial_set();
   p.safe_rect = paper_safe_rect();
@@ -84,5 +89,67 @@ inline dubins::TrainOptions verification_train_options() {
   opts.iterations = 80;
   return opts;
 }
+
+// --- JSON perf reporting ----------------------------------------------------
+// Every bench executable can drop a `BENCH_<name>.json` next to itself so
+// successive PRs have a machine-readable perf trajectory to diff against.
+
+/// One measured result. Metrics that stay negative are omitted from the
+/// JSON (not every bench has a boxes/sec or simulations/sec notion).
+struct BenchRecord {
+  std::string name;
+  double wall_time_s = 0.0;
+  double boxes_per_sec = -1.0;
+  double simulations_per_sec = -1.0;
+  double items_per_sec = -1.0;
+  double speedup = -1.0;  ///< vs the named baseline record, when relevant
+};
+
+/// Collects records and writes `BENCH_<bench_name>.json` in the current
+/// working directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Writes the report; returns the file name ("" on I/O failure).
+  std::string write() const {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return "";
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench_name_.c_str());
+    std::fprintf(f, "  \"threads\": %zu,\n",
+                 parallel::default_thread_count());
+    std::fprintf(f, "  \"results\": [");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"wall_time_s\": %.6g",
+                   i ? "," : "", r.name.c_str(), r.wall_time_s);
+      if (r.boxes_per_sec >= 0.0) {
+        std::fprintf(f, ", \"boxes_per_sec\": %.6g", r.boxes_per_sec);
+      }
+      if (r.simulations_per_sec >= 0.0) {
+        std::fprintf(f, ", \"simulations_per_sec\": %.6g",
+                     r.simulations_per_sec);
+      }
+      if (r.items_per_sec >= 0.0) {
+        std::fprintf(f, ", \"items_per_sec\": %.6g", r.items_per_sec);
+      }
+      if (r.speedup >= 0.0) {
+        std::fprintf(f, ", \"speedup\": %.4g", r.speedup);
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    return path;
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<BenchRecord> records_;
+};
 
 }  // namespace bcert::bench

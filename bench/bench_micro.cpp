@@ -1,7 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the substrate layers: interval
 // arithmetic, expression evaluation (scalar & interval), HC4 contraction,
 // NN forward passes, the LP solver, RK4 integration, and the
-// eigendecomposition used by CMA-ES.
+// eigendecomposition used by CMA-ES — plus headline head-to-head
+// measurements (sequential vs parallel ICP, allocating vs zero-alloc
+// RK4) that are written to BENCH_micro.json.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
 #include <random>
 
 #include <benchmark/benchmark.h>
@@ -11,6 +17,7 @@
 #include "src/expr/eval.h"
 #include "src/linalg/decompositions.h"
 #include "src/smt/hc4.h"
+#include "src/smt/icp_solver.h"
 
 namespace {
 
@@ -155,6 +162,171 @@ void BM_FullVerificationSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_FullVerificationSmall)->Unit(benchmark::kMillisecond);
 
+// --- headline head-to-head measurements (BENCH_micro.json) ------------------
+// These seed the machine-readable perf trajectory: ICP branch-and-prune
+// sequential vs parallel, and the RK4 rollout pipeline before/after
+// allocation elimination. BCERT_ICP_BOXES / BCERT_ROLLOUTS scale the work.
+
+using bench_clock = std::chrono::steady_clock;
+
+double wall_of(const std::function<void()>& fn) {
+  const auto t0 = bench_clock::now();
+  fn();
+  return std::chrono::duration<double>(bench_clock::now() - t0).count();
+}
+
+/// Interval-opaque identity over the closed-loop Lie derivative:
+/// h = (E + E) − E − E is identically zero, but its natural enclosure
+/// always straddles zero on non-degenerate boxes, so `h > 0` never
+/// resolves and branch-and-prune runs to its box budget — a uniform,
+/// NN-heavy workload representative of the paper's SMT-(5) queries.
+smt::Conjunction icp_workload(expr::ExprPool& pool) {
+  const nn::FeedforwardNet net = make_net(10);
+  const dubins::ErrorModel model{1.0, 0.0};
+  const auto field = dubins::closed_loop_field_expr(model, net, pool);
+  core::QuadraticForm w(2, Vector{0.4, 0.7, 1.0});
+  const expr::ExprId lie =
+      expr::lie_derivative(pool, w.to_expr(pool), field);
+  const expr::ExprId h =
+      pool.sub(pool.sub(pool.add(lie, lie), lie), lie);
+  smt::Conjunction c;
+  c.add(h, smt::Rel::kGt);
+  return c;
+}
+
+void headline_icp(bench::JsonReport& report) {
+  expr::ExprPool pool;
+  const smt::Conjunction c = icp_workload(pool);
+  const Box box = Box::from_bounds({{-4.0, 4.0}, {-1.5, 1.5}});
+
+  smt::IcpConfig config;
+  config.delta = -1.0;  // unreachable: the run is exactly budget-bound
+  config.max_boxes = static_cast<std::uint64_t>(
+      bench::env_int("BCERT_ICP_BOXES", 20000));
+  config.time_limit_s = 300.0;
+
+  config.threads = 1;
+  smt::IcpResult seq;
+  const double seq_s = wall_of([&] {
+    seq = smt::IcpSolver(pool, config).solve(c, box);
+  });
+  report.add({"icp_branch_and_prune_seq", seq_s,
+              static_cast<double>(seq.stats.boxes_processed) / seq_s});
+
+  config.threads = static_cast<int>(parallel::default_thread_count());
+  smt::IcpResult par;
+  const double par_s = wall_of([&] {
+    par = smt::IcpSolver(pool, config).solve(c, box);
+  });
+  bench::BenchRecord r;
+  r.name = "icp_branch_and_prune_parallel";
+  r.wall_time_s = par_s;
+  r.boxes_per_sec = static_cast<double>(par.stats.boxes_processed) / par_s;
+  r.speedup = seq_s / par_s;
+  report.add(r);
+  std::printf("headline icp: seq %.3fs, parallel %.3fs (%d threads, "
+              "speedup %.2fx)\n",
+              seq_s, par_s, config.threads, r.speedup);
+}
+
+/// The seed's allocating RK4 (fresh temporaries every stage) — kept here
+/// verbatim as the baseline the zero-allocation pipeline is measured
+/// against.
+Vector seed_rk4_step(const ode::VectorField& f, const Vector& x, double h) {
+  const Vector k1 = f(x);
+  const Vector k2 = f(x + k1 * (h / 2.0));
+  const Vector k3 = f(x + k2 * (h / 2.0));
+  const Vector k4 = f(x + k3 * h);
+  return x + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+}
+
+ode::Trace seed_integrate_rk4(const ode::VectorField& f, const Vector& x0,
+                              const ode::IntegrateOptions& opts) {
+  ode::Trace trace;
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(opts.t_end / opts.step));
+  trace.reserve(steps + 1);
+  Vector x = x0;
+  double t = 0.0;
+  trace.push_back(t, x);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double h = std::min(opts.step, opts.t_end - t);
+    if (h <= 0.0) break;
+    x = seed_rk4_step(f, x, h);
+    t += h;
+    trace.push_back(t, x);
+  }
+  return trace;
+}
+
+void headline_rk4(bench::JsonReport& report) {
+  const nn::FeedforwardNet net = make_net(10);
+  const dubins::ErrorModel model{1.0, 0.0};
+  const int rollouts = bench::env_int("BCERT_ROLLOUTS", 100);
+  ode::IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 10.0;
+  const Vector x0{3.0, 0.5};
+
+  const ode::VectorField legacy = dubins::closed_loop_field(model, net);
+  const double seed_s = wall_of([&] {
+    for (int i = 0; i < rollouts; ++i) {
+      benchmark::DoNotOptimize(seed_integrate_rk4(legacy, x0, opts));
+    }
+  });
+  report.add({"rk4_rollout_seed", seed_s, -1.0, rollouts / seed_s});
+
+  const double inplace_s = wall_of([&] {
+    ode::VectorFieldInPlace field =
+        dubins::closed_loop_field_inplace(model, net);
+    for (int i = 0; i < rollouts; ++i) {
+      benchmark::DoNotOptimize(integrate_rk4(field, x0, opts));
+    }
+  });
+  bench::BenchRecord inplace;
+  inplace.name = "rk4_rollout_inplace";
+  inplace.wall_time_s = inplace_s;
+  inplace.simulations_per_sec = rollouts / inplace_s;
+  inplace.speedup = seed_s / inplace_s;
+  report.add(inplace);
+
+  // Batched rollouts across the pool (the falsifier/CMA-ES pattern:
+  // one field instance per strand, results indexed).
+  const double batch_s = wall_of([&] {
+    parallel::ThreadPool::global().parallel_for(
+        0, static_cast<std::size_t>(rollouts), 8,
+        [&](std::size_t lo, std::size_t hi) {
+          ode::VectorFieldInPlace field =
+              dubins::closed_loop_field_inplace(model, net);
+          for (std::size_t i = lo; i < hi; ++i) {
+            benchmark::DoNotOptimize(integrate_rk4(field, x0, opts));
+          }
+        });
+  });
+  bench::BenchRecord batch;
+  batch.name = "rk4_rollout_batch_parallel";
+  batch.wall_time_s = batch_s;
+  batch.simulations_per_sec = rollouts / batch_s;
+  batch.speedup = seed_s / batch_s;
+  report.add(batch);
+
+  std::printf("headline rk4: seed %.3fs, in-place %.3fs (%.2fx), "
+              "parallel batch %.3fs (%.2fx)\n",
+              seed_s, inplace_s, inplace.speedup, batch_s, batch.speedup);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  bench::JsonReport report("micro");
+  headline_icp(report);
+  headline_rk4(report);
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

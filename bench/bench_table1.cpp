@@ -57,6 +57,7 @@ int main() {
       parse_sizes(bench::env_str("BCERT_SIZES", "small"));
   const int seeds = bench::env_int("BCERT_SEEDS", 3);
   const bool train = bench::env_int("BCERT_TRAIN", 0) != 0;
+  bench::JsonReport report("table1");
 
   std::printf("# Table 1 reproduction: safety-verification timing vs NN "
               "size\n");
@@ -95,8 +96,15 @@ int main() {
                 hidden, safe_count, seeds, sum_iters / n, sum_lp / n,
                 sum_q / n, sum_gen / n, sum_other / n, sum_total / n);
     std::fflush(stdout);
+    bench::BenchRecord rec;
+    rec.name = "verify_nn" + std::to_string(hidden);
+    rec.wall_time_s = sum_total / n;
+    rec.items_per_sec = sum_total > 0.0 ? seeds / sum_total : -1.0;
+    report.add(rec);
   }
   std::printf("#\n# paper trend: near-flat iteration count; query time "
               "grows with NN size\n");
+  const std::string path = report.write();
+  if (!path.empty()) std::printf("# wrote %s\n", path.c_str());
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "src/linalg/decompositions.h"
 #include "src/linalg/matrix.h"
+#include "src/parallel/thread_pool.h"
 
 namespace bcert::cmaes {
 
@@ -94,8 +95,13 @@ CmaesResult cmaes_minimize(const ObjectiveFn& objective, const Vector& x0,
 
   int eigen_stale = 0;
 
+  const int eval_threads = parallel::resolve_thread_count(options.eval_threads);
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    // --- sample & evaluate ---------------------------------------------
+    // --- sample --------------------------------------------------------
+    // All candidates are drawn on this thread, in population order, so
+    // the RNG stream (and therefore the whole optimization trajectory)
+    // does not depend on how the evaluations below are scheduled.
     for (std::size_t k = 0; k < lambda; ++k) {
       Vector z(n);
       for (std::size_t i = 0; i < n; ++i) z[i] = normal(rng);
@@ -111,7 +117,21 @@ CmaesResult cmaes_minimize(const ObjectiveFn& objective, const Vector& x0,
       }
       pop[k].x = mean + sigma * step;
       pop[k].z = std::move(z);
-      pop[k].fitness = objective(pop[k].x);
+    }
+    // --- evaluate ------------------------------------------------------
+    // Fitness lands in the slot of its candidate whatever the schedule,
+    // so results are byte-identical for any eval_threads value.
+    if (eval_threads <= 1) {
+      for (std::size_t k = 0; k < lambda; ++k) {
+        pop[k].fitness = objective(pop[k].x);
+      }
+    } else {
+      parallel::ThreadPool::global().parallel_for(
+          0, lambda, 1, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) {
+              pop[k].fitness = objective(pop[k].x);
+            }
+          });
     }
     std::sort(pop.begin(), pop.end(),
               [](const Candidate& a, const Candidate& b) {

@@ -29,6 +29,13 @@ struct CmaesOptions {
   double tol_sigma = 1e-12;   ///< stop when sigma collapses
   unsigned seed = 2024;
   bool diagonal_only = false; ///< separable CMA-ES (large n)
+  /// Population-evaluation parallelism: 1 = sequential (default, safe
+  /// for any objective), 0 = auto (BCERT_THREADS / hardware), N = use N
+  /// strands. Values != 1 require a thread-safe objective. Candidates
+  /// are always sampled on the calling thread and fitness values are
+  /// written by population index, so the optimization trajectory is
+  /// byte-identical for a fixed seed at any thread count.
+  int eval_threads = 1;
 };
 
 /// Per-iteration report for progress callbacks (e.g. Figure 4 snapshots).

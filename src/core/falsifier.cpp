@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <random>
 
+#include "src/parallel/thread_pool.h"
+
 namespace bcert::core {
+
+namespace {
+
+/// Phase-1 candidates are evaluated in fixed-size chunks. The chunk size
+/// is a constant (not a function of the thread count) so that the number
+/// of simulations performed — and therefore the reported statistics —
+/// is identical for any BCERT_THREADS setting.
+constexpr int kTrialChunk = 64;
+
+}  // namespace
 
 Falsifier::Falsifier(BarrierProblem problem, FalsifierOptions options)
     : problem_(std::move(problem)), options_(options) {
@@ -33,8 +45,12 @@ double Falsifier::robustness(const linalg::Vector& x0,
   iopts.stop = [this](double, const linalg::Vector& x) {
     return margin(x) < -0.1;
   };
-  const ode::Trace trace = integrate_rk4(problem_.sim_field, x0, iopts);
-  ++simulations_;
+  // A fresh in-place field per rollout: the construction cost (one small
+  // controller copy) is negligible against ~2000 RK4 steps, and it makes
+  // concurrent robustness() calls trivially thread-safe.
+  const ode::Trace trace =
+      integrate_rk4(problem_.make_fast_field(), x0, iopts);
+  simulations_.fetch_add(1, std::memory_order_relaxed);
   double rob = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < trace.size(); ++i) {
     rob = std::min(rob, margin(trace.state(i)));
@@ -46,27 +62,56 @@ double Falsifier::robustness(const linalg::Vector& x0,
 FalsificationResult Falsifier::search() {
   const Rect& x0_set = problem_.initial_set;
   const std::size_t n = x0_set.dims();
-  simulations_ = 0;
+  simulations_.store(0, std::memory_order_relaxed);
+  const int threads = parallel::resolve_thread_count(options_.threads);
+  parallel::ThreadPool& pool = parallel::ThreadPool::global();
 
   FalsificationResult best;
   best.robustness = std::numeric_limits<double>::infinity();
 
-  // Phase 1: uniform random exploration of X0.
+  // Phase 1: uniform random exploration of X0. Candidates are drawn
+  // sequentially from one RNG (the exact stream a sequential sweep would
+  // see), simulated in parallel chunk by chunk, then scanned in index
+  // order — so the winner is independent of the thread count.
   std::mt19937 rng(options_.seed);
   std::vector<std::uniform_real_distribution<double>> dims;
   dims.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     dims.emplace_back(x0_set.lo[i], x0_set.hi[i]);
   }
-  for (int trial = 0; trial < options_.random_trials; ++trial) {
-    linalg::Vector x0(n);
-    for (std::size_t i = 0; i < n; ++i) x0[i] = dims[i](rng);
-    const double rob = robustness(x0, nullptr);
-    if (rob < best.robustness) {
-      best.robustness = rob;
-      best.initial_state = x0;
+  std::vector<linalg::Vector> candidates;
+  std::vector<double> robs;
+  bool falsified_early = false;
+  for (int done = 0; done < options_.random_trials && !falsified_early;) {
+    const int count = std::min(kTrialChunk, options_.random_trials - done);
+    candidates.assign(static_cast<std::size_t>(count), linalg::Vector(n));
+    for (int k = 0; k < count; ++k) {
+      for (std::size_t i = 0; i < n; ++i) candidates[k][i] = dims[i](rng);
     }
-    if (rob < 0.0) break;  // already falsified
+    robs.assign(static_cast<std::size_t>(count), 0.0);
+    if (threads <= 1) {
+      for (int k = 0; k < count; ++k) {
+        robs[k] = robustness(candidates[k], nullptr);
+      }
+    } else {
+      pool.parallel_for(0, static_cast<std::size_t>(count), 1,
+                        [&](std::size_t lo, std::size_t hi) {
+                          for (std::size_t k = lo; k < hi; ++k) {
+                            robs[k] = robustness(candidates[k], nullptr);
+                          }
+                        });
+    }
+    for (int k = 0; k < count; ++k) {
+      if (robs[k] < best.robustness) {
+        best.robustness = robs[k];
+        best.initial_state = candidates[k];
+      }
+      if (robs[k] < 0.0) {
+        falsified_early = true;  // already falsified
+        break;
+      }
+    }
+    done += count;
   }
 
   // Phase 2: CMA-ES refinement from the best random start (clamped onto
@@ -83,6 +128,7 @@ FalsificationResult Falsifier::search() {
     copts.max_iterations = options_.cmaes_iterations;
     copts.lambda = options_.cmaes_population;
     copts.seed = options_.seed + 1;
+    copts.eval_threads = threads;  // objective above is thread-safe
     // Step size proportional to the set extent.
     double extent = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -106,7 +152,7 @@ FalsificationResult Falsifier::search() {
     best.robustness = robustness(best.initial_state, &best.trace);
   }
   best.falsified = best.robustness < 0.0;
-  best.simulations = simulations_;
+  best.simulations = simulations_.load(std::memory_order_relaxed);
   return best;
 }
 

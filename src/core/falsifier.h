@@ -17,6 +17,8 @@
 /// On a system with a valid barrier certificate the falsifier must come
 /// up empty — a useful end-to-end consistency check (tested).
 
+#include <atomic>
+
 #include "src/cmaes/cmaes.h"
 #include "src/core/verifier.h"
 #include "src/ode/integrator.h"
@@ -32,6 +34,11 @@ struct FalsifierOptions {
   double trace_duration = 20.0;
   double trace_dt = 0.01;
   unsigned seed = 11;
+  /// Simulation parallelism: 0 = auto (BCERT_THREADS / hardware), 1 =
+  /// sequential. Candidates are pre-generated on the calling thread and
+  /// results are selected in index order, so the outcome is byte-
+  /// identical for a fixed seed at any thread count.
+  int threads = 0;
 };
 
 /// Outcome of a falsification attempt.
@@ -64,7 +71,7 @@ class Falsifier {
  private:
   BarrierProblem problem_;
   FalsifierOptions options_;
-  mutable int simulations_ = 0;
+  mutable std::atomic<int> simulations_{0};
 };
 
 }  // namespace bcert::core

@@ -21,6 +21,15 @@ double seconds_since(clock::time_point t0) {
 
 }  // namespace
 
+ode::VectorFieldInPlace BarrierProblem::make_fast_field() const {
+  if (sim_field_factory) return sim_field_factory();
+  // Wrapper captures sim_field by value (a shared_ptr-like copy of the
+  // std::function) so the returned field is self-contained.
+  return [f = sim_field](const linalg::Vector& x, linalg::Vector& dx) {
+    dx = f(x);
+  };
+}
+
 bool BarrierProblem::has_invariant_dims() const {
   for (std::size_t i = 0; i < dims(); ++i) {
     if (!dim_unsafe(i)) return true;
@@ -96,7 +105,8 @@ std::vector<FieldSample> BarrierVerifier::simulate_samples(
     }
     return false;
   };
-  const ode::Trace trace = integrate_rk4(problem_.sim_field, x0, iopts);
+  const ode::Trace trace =
+      integrate_rk4(problem_.make_fast_field(), x0, iopts);
   return samples_from_trace(trace, problem_.sim_field, domain,
                             options_.samples_per_trace,
                             &problem_.initial_set);

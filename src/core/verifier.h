@@ -40,6 +40,18 @@ struct BarrierProblem {
   Rect initial_set;                      ///< X0
   Rect safe_rect;                        ///< U is its complement
 
+  /// Optional allocation-free simulation field. Each factory invocation
+  /// must return an *independent* field instance (own scratch buffers):
+  /// the falsifier and the verifier call it once per thread/rollout to
+  /// simulate without touching the allocator. When unset, sim_field is
+  /// wrapped (correct, but slower).
+  std::function<ode::VectorFieldInPlace()> sim_field_factory;
+
+  /// The fastest simulation field available: sim_field_factory() when
+  /// set, otherwise a wrapper around sim_field. The returned field owns
+  /// its scratch and must not be shared across threads.
+  ode::VectorFieldInPlace make_fast_field() const;
+
   /// Which dimensions' bounds constitute the unsafe set. Empty means
   /// "all" (the paper's case study). For augmented states — e.g. the
   /// hidden state of a recurrent controller — mark controller dimensions

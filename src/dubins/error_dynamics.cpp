@@ -25,6 +25,29 @@ ode::VectorField closed_loop_field(const ErrorModel& model,
   };
 }
 
+ode::VectorFieldInPlace closed_loop_field_inplace(
+    const ErrorModel& model, const nn::FeedforwardNet& controller) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "closed_loop_field_inplace: controller must map "
+        "(d_err, theta_err) -> u");
+  }
+  const double v = model.velocity;
+  const double tr = model.theta_r;
+  // Mutable captures = per-instance scratch; the factory hands each
+  // caller (thread) its own.
+  return [v, tr, net = controller, scratch = nn::ForwardScratch{},
+          u = linalg::Vector{}](const linalg::Vector& x,
+                                linalg::Vector& dx) mutable {
+    const double theta_err = x[1];
+    net.forward_inplace(x, u, scratch);
+    dx.resize(2);
+    dx[0] = -v * std::sin(tr - theta_err) * std::cos(tr) +
+            v * std::cos(tr - theta_err) * std::sin(tr);
+    dx[1] = -u[0];
+  };
+}
+
 std::vector<expr::ExprId> closed_loop_field_expr(
     const ErrorModel& model, const nn::FeedforwardNet& controller,
     expr::ExprPool& pool) {

@@ -31,6 +31,14 @@ struct ErrorModel {
 ode::VectorField closed_loop_field(const ErrorModel& model,
                                    const nn::FeedforwardNet& controller);
 
+/// Allocation-free flavor of closed_loop_field, bit-identical to it.
+/// Every call to this factory returns an *independent* field instance
+/// owning its own controller copy and scratch buffers: one instance must
+/// not be shared across threads, but distinct instances evaluate safely
+/// in parallel (this is how the falsifier and CMA-ES batch rollouts).
+ode::VectorFieldInPlace closed_loop_field_inplace(
+    const ErrorModel& model, const nn::FeedforwardNet& controller);
+
 /// Symbolic closed-loop field over variables x0 = d_err, x1 = θ_err.
 /// Returns {ḋ_err, θ̇_err} as expressions embedding the controller's
 /// exact weights — the f(x) of the SMT queries.

@@ -23,6 +23,9 @@ SafePolicySearchResult safe_policy_search(
     core::BarrierProblem problem;
     problem.pool = &pool;
     problem.sim_field = closed_loop_field(model, tr.controller);
+    problem.sim_field_factory = [model, controller = tr.controller] {
+      return closed_loop_field_inplace(model, controller);
+    };
     problem.sym_field = closed_loop_field_expr(model, tr.controller, pool);
     problem.initial_set = initial_set;
     problem.safe_rect = safe_rect;

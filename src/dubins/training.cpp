@@ -102,6 +102,10 @@ TrainResult train_controller(const PiecewiseLinearPath& path,
   copts.seed = opts.seed + 1;
   // Full covariance up to a few hundred parameters, separable beyond.
   copts.diagonal_only = x0.size() > 400;
+  // The objective above touches only thread-private state (fresh net per
+  // call, read-only starts/path), so population rollouts can batch
+  // across the pool.
+  copts.eval_threads = opts.threads;
 
   cmaes::IterationCallback cb;
   if (snapshot) {

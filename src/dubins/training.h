@@ -48,6 +48,11 @@ struct TrainOptions {
   /// over D can exist — a controller trained only on-path can behave
   /// arbitrarily at large d_err.
   std::vector<std::pair<double, double>> start_offsets = {{0.0, 0.0}};
+
+  /// CMA-ES population-evaluation parallelism: 0 = auto (BCERT_THREADS /
+  /// hardware), 1 = sequential. Rollouts are independent, and results
+  /// are byte-identical for a fixed seed at any thread count.
+  int threads = 0;
 };
 
 /// Offsets spanning the verification domain of §4.3 (|d| ≤ 5,

@@ -148,6 +148,18 @@ Vector operator*(const Matrix& a, const Vector& x) {
   return out;
 }
 
+void matvec(const Matrix& a, const Vector& x, Vector& out) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: dimension mismatch");
+  }
+  out.resize(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) acc += a(r, c) * x[c];
+    out[r] = acc;
+  }
+}
+
 double quadratic_form(const Vector& x, const Matrix& a, const Vector& y) {
   if (a.rows() != x.size() || a.cols() != y.size()) {
     throw std::invalid_argument("quadratic_form: dimension mismatch");

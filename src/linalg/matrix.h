@@ -95,6 +95,10 @@ Matrix operator*(const Matrix& a, const Matrix& b);
 /// Matrix-vector product.
 Vector operator*(const Matrix& a, const Vector& x);
 
+/// Allocation-free matrix-vector product: out = A·x, bit-identical to
+/// operator*. `out` may not alias x; it is resized to a.rows().
+void matvec(const Matrix& a, const Vector& x, Vector& out);
+
 /// Computes xᵀ A y (A must be rows=|x|, cols=|y|).
 double quadratic_form(const Vector& x, const Matrix& a, const Vector& y);
 

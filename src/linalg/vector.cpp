@@ -71,6 +71,22 @@ Vector operator-(Vector v) {
   return v;
 }
 
+void axpy(double a, const Vector& x, Vector& y) {
+  check_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale_add(Vector& out, const Vector& x, double a, const Vector& y) {
+  check_same_size(x, y, "scale_add");
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + a * y[i];
+}
+
+void copy_into(const Vector& x, Vector& out) {
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i];
+}
+
 double dot(const Vector& a, const Vector& b) {
   check_same_size(a, b, "dot");
   double acc = 0.0;

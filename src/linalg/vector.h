@@ -85,6 +85,20 @@ Vector operator*(double s, Vector rhs);
 Vector operator/(Vector lhs, double s);
 Vector operator-(Vector v);
 
+// --- in-place kernels -------------------------------------------------------
+// Allocation-free building blocks for the hot simulation loops. All of
+// them tolerate `out` arriving with the wrong size (it is resized once);
+// after warm-up no kernel allocates.
+
+/// y += a·x (dimensions must match).
+void axpy(double a, const Vector& x, Vector& y);
+
+/// out = x + a·y. `out` may not alias x or y.
+void scale_add(Vector& out, const Vector& x, double a, const Vector& y);
+
+/// out = x, reusing out's buffer when capacity allows.
+void copy_into(const Vector& x, Vector& out);
+
 /// Dot product; dimensions must match.
 double dot(const Vector& a, const Vector& b);
 

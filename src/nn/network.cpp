@@ -14,6 +14,14 @@ linalg::Vector Layer::forward(const linalg::Vector& in) const {
   return out;
 }
 
+void Layer::forward_inplace(const linalg::Vector& in,
+                            linalg::Vector& out) const {
+  linalg::matvec(weights, in, out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = apply(activation, out[i] + bias[i]);
+  }
+}
+
 FeedforwardNet::FeedforwardNet(const std::vector<std::size_t>& layer_sizes,
                                const std::vector<Activation>& activations) {
   if (layer_sizes.size() < 2) {
@@ -61,6 +69,27 @@ linalg::Vector FeedforwardNet::forward(const linalg::Vector& in) const {
   linalg::Vector v = in;
   for (const Layer& l : layers_) v = l.forward(v);
   return v;
+}
+
+void FeedforwardNet::forward_inplace(const linalg::Vector& in,
+                                     linalg::Vector& out,
+                                     ForwardScratch& scratch) const {
+  if (in.size() != num_inputs()) {
+    throw std::invalid_argument("FeedforwardNet::forward_inplace: input size");
+  }
+  if (layers_.empty()) {
+    linalg::copy_into(in, out);
+    return;
+  }
+  // Ping-pong between the two scratch buffers; the last layer writes
+  // straight into `out`.
+  const linalg::Vector* cur = &in;
+  for (std::size_t l = 0; l + 1 < layers_.size(); ++l) {
+    linalg::Vector& dst = (l % 2 == 0) ? scratch.a : scratch.b;
+    layers_[l].forward_inplace(*cur, dst);
+    cur = &dst;
+  }
+  layers_.back().forward_inplace(*cur, out);
 }
 
 linalg::Vector FeedforwardNet::parameters() const {

@@ -32,6 +32,16 @@ struct Layer {
   }
 
   linalg::Vector forward(const linalg::Vector& in) const;
+
+  /// Allocation-free forward pass; bit-identical to forward(). \p out
+  /// is resized to outputs() and may not alias \p in.
+  void forward_inplace(const linalg::Vector& in, linalg::Vector& out) const;
+};
+
+/// Reusable ping-pong buffers for FeedforwardNet::forward_inplace. One
+/// scratch per thread; contents are overwritten on every call.
+struct ForwardScratch {
+  linalg::Vector a, b;
 };
 
 /// A stateless feedforward network (the `h` of Eq. (3) in the paper).
@@ -64,6 +74,12 @@ class FeedforwardNet {
 
   /// Forward evaluation.
   linalg::Vector forward(const linalg::Vector& in) const;
+
+  /// Allocation-free forward evaluation into \p out (resized to
+  /// num_outputs()), using \p scratch for hidden-layer activations.
+  /// Bit-identical to forward(); one scratch per thread.
+  void forward_inplace(const linalg::Vector& in, linalg::Vector& out,
+                       ForwardScratch& scratch) const;
 
   /// Flattened parameters (layer by layer: row-major weights then bias).
   linalg::Vector parameters() const;

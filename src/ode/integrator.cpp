@@ -5,33 +5,66 @@
 
 namespace bcert::ode {
 
-linalg::Vector rk4_step(const VectorField& f, const linalg::Vector& x,
-                        double h) {
-  const linalg::Vector k1 = f(x);
-  const linalg::Vector k2 = f(x + k1 * (h / 2.0));
-  const linalg::Vector k3 = f(x + k2 * (h / 2.0));
-  const linalg::Vector k4 = f(x + k3 * h);
-  return x + (k1 + 2.0 * k2 + 2.0 * k3 + k4) * (h / 6.0);
+using linalg::Vector;
+using linalg::copy_into;
+using linalg::scale_add;
+
+VectorFieldInPlace wrap_field(const VectorField& f) {
+  return [&f](const Vector& x, Vector& dx) { dx = f(x); };
 }
 
-Trace integrate_rk4(const VectorField& f, const linalg::Vector& x0,
+void rk4_step_inplace(const VectorFieldInPlace& f, const Vector& x, double h,
+                      Vector& out, RkScratch& s) {
+  // Bit-identical to the textbook formulation
+  //   x + (k1 + 2·k2 + 2·k3 + k4)·(h/6)
+  // evaluated left-to-right, but with every stage written into reused
+  // buffers instead of freshly allocated temporaries.
+  f(x, s.k1);
+  scale_add(s.xt, x, h / 2.0, s.k1);
+  f(s.xt, s.k2);
+  scale_add(s.xt, x, h / 2.0, s.k2);
+  f(s.xt, s.k3);
+  scale_add(s.xt, x, h, s.k3);
+  f(s.xt, s.k4);
+  const double w = h / 6.0;
+  out.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = x[i] + (((s.k1[i] + s.k2[i] * 2.0) + s.k3[i] * 2.0) + s.k4[i]) * w;
+  }
+}
+
+Vector rk4_step(const VectorField& f, const Vector& x, double h) {
+  RkScratch scratch;
+  Vector out;
+  rk4_step_inplace(wrap_field(f), x, h, out, scratch);
+  return out;
+}
+
+Trace integrate_rk4(const VectorFieldInPlace& f, const Vector& x0,
                     const IntegrateOptions& opts) {
   Trace trace;
   const auto steps = static_cast<std::size_t>(
       std::ceil(opts.t_end / opts.step));
   trace.reserve(steps + 1);
-  linalg::Vector x = x0;
+  RkScratch s;
+  Vector x = x0;
   double t = 0.0;
   trace.push_back(t, x);
   for (std::size_t i = 0; i < steps; ++i) {
     const double h = std::min(opts.step, opts.t_end - t);
     if (h <= 0.0) break;
-    x = rk4_step(f, x, h);
+    rk4_step_inplace(f, x, h, s.xn, s);
+    std::swap(x, s.xn);
     t += h;
     trace.push_back(t, x);
     if (opts.stop && opts.stop(t, x)) break;
   }
   return trace;
+}
+
+Trace integrate_rk4(const VectorField& f, const Vector& x0,
+                    const IntegrateOptions& opts) {
+  return integrate_rk4(wrap_field(f), x0, opts);
 }
 
 namespace {
@@ -53,12 +86,21 @@ constexpr double kW51 = 16.0 / 135.0, kW53 = 6656.0 / 12825.0,
                  kW54 = 28561.0 / 56430.0, kW55 = -9.0 / 50.0,
                  kW56 = 2.0 / 55.0;
 
+// Evaluates k = f(xt)·h into \p k without allocating.
+void stage(const VectorFieldInPlace& f, const Vector& xt, double h,
+           Vector& k) {
+  f(xt, k);
+  k *= h;
+}
+
 }  // namespace
 
-Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
+Trace integrate_rkf45(const VectorFieldInPlace& f, const Vector& x0,
                       const IntegrateOptions& opts) {
   Trace trace;
-  linalg::Vector x = x0;
+  RkScratch s;
+  Vector x = x0;
+  const std::size_t n = x0.size();
   double t = 0.0;
   double h = opts.step;
   trace.push_back(t, x);
@@ -67,27 +109,52 @@ Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
     h = std::min(h, opts.t_end - t);
     h = std::clamp(h, opts.min_step, opts.max_step);
 
-    const linalg::Vector k1 = f(x) * h;
-    const linalg::Vector k2 = f(x + k1 * kA2) * h;
-    const linalg::Vector k3 = f(x + k1 * kB31 + k2 * kB32) * h;
-    const linalg::Vector k4 = f(x + k1 * kC41 + k2 * kC42 + k3 * kC43) * h;
-    const linalg::Vector k5 =
-        f(x + k1 * kD51 + k2 * kD52 + k3 * kD53 + k4 * kD54) * h;
-    const linalg::Vector k6 =
-        f(x + k1 * kE61 + k2 * kE62 + k3 * kE63 + k4 * kE64 + k5 * kE65) * h;
+    // Stage points accumulate left-to-right exactly as the allocating
+    // formulation `x + k1*c1 + k2*c2 + ...` did, keeping traces
+    // bit-identical to the original implementation.
+    stage(f, x, h, s.k1);
+    scale_add(s.xt, x, kA2, s.k1);
+    stage(f, s.xt, h, s.k2);
+    scale_add(s.xt, x, kB31, s.k1);
+    linalg::axpy(kB32, s.k2, s.xt);
+    stage(f, s.xt, h, s.k3);
+    scale_add(s.xt, x, kC41, s.k1);
+    linalg::axpy(kC42, s.k2, s.xt);
+    linalg::axpy(kC43, s.k3, s.xt);
+    stage(f, s.xt, h, s.k4);
+    scale_add(s.xt, x, kD51, s.k1);
+    linalg::axpy(kD52, s.k2, s.xt);
+    linalg::axpy(kD53, s.k3, s.xt);
+    linalg::axpy(kD54, s.k4, s.xt);
+    stage(f, s.xt, h, s.k5);
+    scale_add(s.xt, x, kE61, s.k1);
+    linalg::axpy(kE62, s.k2, s.xt);
+    linalg::axpy(kE63, s.k3, s.xt);
+    linalg::axpy(kE64, s.k4, s.xt);
+    linalg::axpy(kE65, s.k5, s.xt);
+    stage(f, s.xt, h, s.k6);
 
-    const linalg::Vector x4 =
-        x + k1 * kW41 + k3 * kW43 + k4 * kW44 + k5 * kW45;
-    const linalg::Vector x5 = x + k1 * kW51 + k3 * kW53 + k4 * kW54 +
-                              k5 * kW55 + k6 * kW56;
+    scale_add(s.x4, x, kW41, s.k1);
+    linalg::axpy(kW43, s.k3, s.x4);
+    linalg::axpy(kW44, s.k4, s.x4);
+    linalg::axpy(kW45, s.k5, s.x4);
+    scale_add(s.xn, x, kW51, s.k1);
+    linalg::axpy(kW53, s.k3, s.xn);
+    linalg::axpy(kW54, s.k4, s.xn);
+    linalg::axpy(kW55, s.k5, s.xn);
+    linalg::axpy(kW56, s.k6, s.xn);
 
-    const double err = (x5 - x4).norm_inf();
-    const double tol =
-        opts.abs_tol + opts.rel_tol * std::max(x.norm_inf(), x5.norm_inf());
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::fabs(s.xn[i] - s.x4[i]));
+    }
+    const double tol = opts.abs_tol +
+                       opts.rel_tol * std::max(x.norm_inf(), s.xn.norm_inf());
 
     if (err <= tol || h <= opts.min_step) {
       t += h;
-      x = x5;  // local extrapolation: accept the 5th-order solution
+      // Local extrapolation: accept the 5th-order solution.
+      std::swap(x, s.xn);
       trace.push_back(t, x);
       if (opts.stop && opts.stop(t, x)) break;
     }
@@ -97,6 +164,11 @@ Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
     h *= std::clamp(scale, 0.2, 2.0);
   }
   return trace;
+}
+
+Trace integrate_rkf45(const VectorField& f, const Vector& x0,
+                      const IntegrateOptions& opts) {
+  return integrate_rkf45(wrap_field(f), x0, opts);
 }
 
 }  // namespace bcert::ode

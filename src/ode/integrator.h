@@ -8,6 +8,18 @@
 /// integration accuracy (the SMT step re-checks everything symbolically).
 /// RK4 is the default; RKF45 is provided for stiff-ish NN controllers and
 /// for cross-checking integration error in tests.
+///
+/// Two vector-field flavors exist:
+///  * `VectorField` (returns a fresh Vector) — the convenient legacy API.
+///  * `VectorFieldInPlace` (writes into a caller-owned buffer) — the
+///    allocation-free API used by the hot simulation loops (falsifier,
+///    CMA-ES training, LP sample generation). Both flavors run through
+///    the same stepping code and produce bit-identical traces.
+///
+/// The integrators keep all Runge–Kutta stage buffers in an `RkScratch`
+/// that is allocated once per call and reused across every step, so a
+/// 2000-step rollout performs no per-step allocation beyond storing the
+/// trace itself.
 
 #include <functional>
 
@@ -16,8 +28,14 @@
 
 namespace bcert::ode {
 
-/// Right-hand side of an autonomous ODE.
+/// Right-hand side of an autonomous ODE (allocating flavor).
 using VectorField = std::function<linalg::Vector(const linalg::Vector&)>;
+
+/// Allocation-free right-hand side: writes f(x) into \p dx. The buffer
+/// arrives sized to the state dimension (after the first call) and must
+/// be fully overwritten.
+using VectorFieldInPlace =
+    std::function<void(const linalg::Vector& x, linalg::Vector& dx)>;
 
 /// Early-termination predicate (e.g. "state left the domain").
 using StopPredicate = std::function<bool(double, const linalg::Vector&)>;
@@ -34,17 +52,41 @@ struct IntegrateOptions {
   double max_step = 0.1;
 };
 
+/// Reusable Runge–Kutta stage buffers. Value-initialized is fine; every
+/// integrator sizes the members lazily on first use. One scratch must
+/// not be shared between threads.
+struct RkScratch {
+  linalg::Vector k1, k2, k3, k4, k5, k6;
+  linalg::Vector xt;   ///< stage evaluation point
+  linalg::Vector x4;   ///< RKF45 4th-order candidate
+  linalg::Vector xn;   ///< accepted next state
+};
+
 /// Classic fixed-step 4th-order Runge–Kutta from \p x0 at t = 0.
+Trace integrate_rk4(const VectorFieldInPlace& f, const linalg::Vector& x0,
+                    const IntegrateOptions& opts);
 Trace integrate_rk4(const VectorField& f, const linalg::Vector& x0,
                     const IntegrateOptions& opts);
 
 /// Runge–Kutta–Fehlberg 4(5) with step adaptation.
+Trace integrate_rkf45(const VectorFieldInPlace& f, const linalg::Vector& x0,
+                      const IntegrateOptions& opts);
 Trace integrate_rkf45(const VectorField& f, const linalg::Vector& x0,
                       const IntegrateOptions& opts);
 
+/// Single allocation-free RK4 step: writes the next state into \p out
+/// (which may not alias \p x) using \p scratch for the stage buffers.
+void rk4_step_inplace(const VectorFieldInPlace& f, const linalg::Vector& x,
+                      double h, linalg::Vector& out, RkScratch& scratch);
+
 /// Single RK4 step (exposed for discrete-time cost evaluation in
-/// controller training).
+/// controller training). Allocating convenience wrapper.
 linalg::Vector rk4_step(const VectorField& f, const linalg::Vector& x,
                         double h);
+
+/// Adapts an allocating field to the in-place interface (the returned
+/// field still pays f's allocations; use a native VectorFieldInPlace to
+/// eliminate them). The referenced \p f must outlive the result.
+VectorFieldInPlace wrap_field(const VectorField& f);
 
 }  // namespace bcert::ode

@@ -1,7 +1,15 @@
 #include "src/smt/icp_solver.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <deque>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/parallel/thread_pool.h"
 
 namespace bcert::smt {
 
@@ -24,99 +32,421 @@ linalg::Vector IcpResult::witness_point() const {
   return witness->midpoint();
 }
 
-IcpResult IcpSolver::solve(const Conjunction& conjunction,
-                           const interval::Box& box) const {
-  IcpResult result;
-  const auto start = clock::now();
-  auto elapsed_s = [&start] {
-    return std::chrono::duration<double>(clock::now() - start).count();
-  };
+namespace {
 
-  if (conjunction.empty()) {
-    // Trivially satisfied everywhere (if the box is nonempty).
-    result.verdict = box.is_empty() ? SatResult::kUnsat : SatResult::kSat;
-    if (!box.is_empty()) result.witness = box;
-    result.stats.solve_time_s = elapsed_s();
-    return result;
+/// One wall-clock + box budget shared by every worker of a query — and,
+/// for DNF queries, by every disjunct, so the configured limits bound
+/// the *query*, not each of its k disjuncts separately.
+struct SharedBudget {
+  clock::time_point start;
+  double time_limit_s;
+  std::uint64_t max_boxes;
+  std::atomic<std::uint64_t> boxes_used{0};
+
+  explicit SharedBudget(const IcpConfig& config)
+      : start(clock::now()),
+        time_limit_s(config.time_limit_s),
+        max_boxes(config.max_boxes) {}
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start).count();
   }
 
-  Hc4Contractor contractor(*pool_, conjunction);
+  /// Claims one box; false when the box or time budget is spent.
+  bool admit_box() {
+    if (boxes_used.fetch_add(1, std::memory_order_relaxed) >= max_boxes) {
+      return false;
+    }
+    return elapsed_s() <= time_limit_s;
+  }
+};
+
+/// Outcome flags shared by the workers of one conjunction query (and by
+/// concurrently dispatched DNF disjuncts).
+struct SharedOutcome {
+  std::mutex m;
+  bool sat_found = false;
+  SatResult sat_verdict = SatResult::kUnknown;
+  interval::Box sat_witness;
+  std::atomic<bool> exhausted{false};
+
+  /// First (δ-)SAT discovery wins; everyone else gets cancelled.
+  void report_sat(SatResult verdict, interval::Box witness,
+                  parallel::CancellationToken& cancel) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      if (!sat_found) {
+        sat_found = true;
+        sat_verdict = verdict;
+        sat_witness = std::move(witness);
+      }
+    }
+    cancel.cancel();
+  }
+};
+
+void merge_stats(IcpStats& into, const IcpStats& from) {
+  into.boxes_processed += from.boxes_processed;
+  into.boxes_pruned += from.boxes_pruned;
+  into.splits += from.splits;
+  into.max_depth_width = std::min(into.max_depth_width, from.max_depth_width);
+}
+
+/// Classic depth-first branch-and-prune over one conjunction, driven by
+/// a shared budget/cancellation pair. With a fresh budget and token this
+/// is exactly the sequential seed algorithm (same exploration order,
+/// same witness); under DNF dispatch several instances run concurrently.
+void solve_sequential(const expr::ExprPool& pool,
+                      const Conjunction& conjunction,
+                      const interval::Box& box, const IcpConfig& config,
+                      SharedBudget& budget, SharedOutcome& outcome,
+                      parallel::CancellationToken& cancel, IcpStats& stats) {
+  Hc4Contractor contractor(pool, conjunction);
 
   // DFS work stack: depth-first finds witnesses fast and keeps memory
   // bounded by (depth x dimension).
   std::deque<interval::Box> work;
   if (!box.is_empty()) work.push_back(box);
 
-  result.stats.max_depth_width = box.max_width();
+  stats.max_depth_width = box.max_width();
 
   while (!work.empty()) {
-    if (result.stats.boxes_processed >= config_.max_boxes ||
-        elapsed_s() > config_.time_limit_s) {
-      result.verdict = SatResult::kUnknown;
-      result.stats.solve_time_s = elapsed_s();
-      return result;
+    if (cancel.cancelled()) return;
+    if (!budget.admit_box()) {
+      outcome.exhausted.store(true, std::memory_order_release);
+      cancel.cancel();
+      return;
     }
 
     interval::Box current = std::move(work.back());
     work.pop_back();
-    ++result.stats.boxes_processed;
+    ++stats.boxes_processed;
 
     const ContractResult cr = contractor.contract_fixpoint(
-        current, config_.hc4_passes, config_.hc4_improvement);
+        current, config.hc4_passes, config.hc4_improvement);
     if (cr == ContractResult::kEmpty || current.is_empty()) {
-      ++result.stats.boxes_pruned;
+      ++stats.boxes_pruned;
       continue;
     }
 
-    result.stats.max_depth_width =
-        std::min(result.stats.max_depth_width, current.max_width());
+    stats.max_depth_width =
+        std::min(stats.max_depth_width, current.max_width());
 
     // True SAT: constraints certainly hold over the whole surviving box.
     if (contractor.certainly_satisfied(current)) {
-      result.verdict = SatResult::kSat;
-      result.witness = current;
-      result.stats.solve_time_s = elapsed_s();
-      return result;
+      outcome.report_sat(SatResult::kSat, std::move(current), cancel);
+      return;
     }
 
     // δ-condition: box too small to split further.
-    if (current.max_width() <= config_.delta) {
-      result.verdict = SatResult::kDeltaSat;
-      result.witness = current;
-      result.stats.solve_time_s = elapsed_s();
-      return result;
+    if (current.max_width() <= config.delta) {
+      outcome.report_sat(SatResult::kDeltaSat, std::move(current), cancel);
+      return;
     }
 
     auto [left, right] = current.split_widest();
-    ++result.stats.splits;
+    ++stats.splits;
     work.push_back(std::move(left));
     work.push_back(std::move(right));
   }
+}
 
-  result.verdict = SatResult::kUnsat;
-  result.stats.solve_time_s = elapsed_s();
+/// Work-sharing frontier: one shard per worker. Owners push/pop at the
+/// back of their shard (depth-first, cache-friendly); idle workers steal
+/// from the *front* of a victim shard, which holds the shallowest — and
+/// therefore largest — subproblems, so a single steal transfers a big
+/// slice of the search tree.
+struct Frontier {
+  struct alignas(64) Shard {
+    std::mutex m;
+    std::deque<interval::Box> stack;
+  };
+  std::vector<Shard> shards;
+  /// Boxes pushed but not yet retired (pruned / leaf / reported). The
+  /// frontier is exhausted — query UNSAT — when this reaches zero.
+  std::atomic<std::int64_t> in_flight{0};
+
+  explicit Frontier(std::size_t workers) : shards(workers) {}
+
+  void push_local(std::size_t w, interval::Box box) {
+    std::lock_guard<std::mutex> lock(shards[w].m);
+    shards[w].stack.push_back(std::move(box));
+  }
+
+  bool pop(std::size_t w, interval::Box& out) {
+    {
+      Shard& own = shards[w];
+      std::lock_guard<std::mutex> lock(own.m);
+      if (!own.stack.empty()) {
+        out = std::move(own.stack.back());
+        own.stack.pop_back();
+        return true;
+      }
+    }
+    for (std::size_t k = 1; k < shards.size(); ++k) {
+      Shard& victim = shards[(w + k) % shards.size()];
+      std::lock_guard<std::mutex> lock(victim.m);
+      if (!victim.stack.empty()) {
+        out = std::move(victim.stack.front());
+        victim.stack.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// Parallel branch-and-prune: the frontier is shared, every worker runs
+/// its own contractor (HC4 keeps mutable per-schedule scratch), and the
+/// first (δ-)SAT box cancels everyone.
+void solve_parallel(const expr::ExprPool& pool, const Conjunction& conjunction,
+                    const interval::Box& box, const IcpConfig& config,
+                    int workers, SharedBudget& budget, SharedOutcome& outcome,
+                    parallel::CancellationToken& cancel,
+                    IcpStats& merged_stats) {
+  Frontier frontier(static_cast<std::size_t>(workers));
+  frontier.in_flight.store(1, std::memory_order_relaxed);
+  frontier.push_local(0, box);
+
+  std::vector<IcpStats> worker_stats(static_cast<std::size_t>(workers));
+  for (IcpStats& s : worker_stats) s.max_depth_width = box.max_width();
+
+  parallel::ThreadPool::global().run_on_workers(
+      static_cast<std::size_t>(workers), [&](std::size_t w) {
+        Hc4Contractor contractor(pool, conjunction);
+        IcpStats& stats = worker_stats[w];
+        interval::Box current;
+        int idle_spins = 0;
+
+        while (!cancel.cancelled()) {
+          if (!frontier.pop(w, current)) {
+            if (frontier.in_flight.load(std::memory_order_acquire) <= 0) {
+              return;  // frontier drained: UNSAT
+            }
+            // Brief spin before yielding: boxes reappear quickly while
+            // peers are mid-split.
+            if (++idle_spins > 64) std::this_thread::yield();
+            continue;
+          }
+          idle_spins = 0;
+
+          if (!budget.admit_box()) {
+            outcome.exhausted.store(true, std::memory_order_release);
+            cancel.cancel();
+            return;
+          }
+          ++stats.boxes_processed;
+
+          const ContractResult cr = contractor.contract_fixpoint(
+              current, config.hc4_passes, config.hc4_improvement);
+          if (cr == ContractResult::kEmpty || current.is_empty()) {
+            ++stats.boxes_pruned;
+            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            continue;
+          }
+
+          stats.max_depth_width =
+              std::min(stats.max_depth_width, current.max_width());
+
+          if (contractor.certainly_satisfied(current)) {
+            outcome.report_sat(SatResult::kSat, std::move(current), cancel);
+            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            return;
+          }
+          if (current.max_width() <= config.delta) {
+            outcome.report_sat(SatResult::kDeltaSat, std::move(current),
+                               cancel);
+            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+            return;
+          }
+
+          auto [left, right] = current.split_widest();
+          ++stats.splits;
+          // Two children replace one parent: net +1 in flight. Publish
+          // before pushing so peers never observe a transient zero.
+          frontier.in_flight.fetch_add(1, std::memory_order_acq_rel);
+          frontier.push_local(w, std::move(left));
+          frontier.push_local(w, std::move(right));
+        }
+      });
+
+  for (const IcpStats& s : worker_stats) merge_stats(merged_stats, s);
+}
+
+/// Assembles the final verdict from the shared outcome flags.
+IcpResult finalize(SharedOutcome& outcome, SharedBudget& budget,
+                   IcpStats stats) {
+  IcpResult result;
+  result.stats = stats;
+  std::lock_guard<std::mutex> lock(outcome.m);
+  if (outcome.sat_found) {
+    result.verdict = outcome.sat_verdict;
+    result.witness = outcome.sat_witness;
+  } else if (outcome.exhausted.load(std::memory_order_acquire)) {
+    result.verdict = SatResult::kUnknown;
+  } else {
+    result.verdict = SatResult::kUnsat;
+  }
+  result.stats.solve_time_s = budget.elapsed_s();
   return result;
 }
 
+}  // namespace
+
+IcpResult IcpSolver::solve(const Conjunction& conjunction,
+                           const interval::Box& box) const {
+  SharedBudget budget(config_);
+
+  if (conjunction.empty()) {
+    // Trivially satisfied everywhere (if the box is nonempty).
+    IcpResult result;
+    result.verdict = box.is_empty() ? SatResult::kUnsat : SatResult::kSat;
+    if (!box.is_empty()) result.witness = box;
+    result.stats.solve_time_s = budget.elapsed_s();
+    return result;
+  }
+
+  SharedOutcome outcome;
+  parallel::CancellationToken cancel;
+  IcpStats stats;
+  stats.max_depth_width = box.max_width();
+
+  const int threads = parallel::resolve_thread_count(config_.threads);
+  if (threads <= 1 || box.is_empty()) {
+    IcpStats seq_stats;
+    solve_sequential(*pool_, conjunction, box, config_, budget, outcome,
+                     cancel, seq_stats);
+    merge_stats(stats, seq_stats);
+  } else {
+    solve_parallel(*pool_, conjunction, box, config_, threads, budget,
+                   outcome, cancel, stats);
+  }
+  return finalize(outcome, budget, stats);
+}
+
 IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
+  // One budget for the whole DNF: a k-disjunct query previously received
+  // k fresh budgets and could run k× over the configured limits.
+  SharedBudget budget(config_);
+  const std::size_t k = dnf.disjuncts.size();
+
   IcpResult aggregate;
   aggregate.verdict = SatResult::kUnsat;
-  bool any_unknown = false;
+  aggregate.stats.max_depth_width = box.max_width();
 
+  std::vector<IcpResult> results(k);
+  for (IcpResult& r : results) r.stats.max_depth_width = box.max_width();
+  const int threads = parallel::resolve_thread_count(config_.threads);
+
+  if (threads > 1 && k >= static_cast<std::size_t>(threads)) {
+    // Concurrent disjunct dispatch (enough disjuncts to feed every
+    // worker): each disjunct runs the sequential branch-and-prune on a
+    // pool strand; the first SAT answer (or an exhausted budget)
+    // cancels the rest. With fewer disjuncts than workers the sweep
+    // below is used instead, parallelizing *within* each disjunct so no
+    // worker idles.
+    parallel::CancellationToken cancel;
+    SharedOutcome dnf_outcome;  // only `exhausted` is shared DNF-wide
+    std::vector<SharedOutcome> outcomes(k);
+    std::atomic<std::size_t> next{0};
+    const std::size_t strands =
+        std::min<std::size_t>(k, static_cast<std::size_t>(threads));
+
+    parallel::ThreadPool::global().run_on_workers(strands, [&](std::size_t) {
+      while (!cancel.cancelled()) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= k) return;
+        IcpStats stats;
+        stats.max_depth_width = box.max_width();
+        if (box.is_empty()) {
+          results[i].verdict = SatResult::kUnsat;
+          continue;
+        }
+        if (dnf.disjuncts[i].empty()) {
+          outcomes[i].sat_found = true;
+          outcomes[i].sat_verdict = SatResult::kSat;
+          outcomes[i].sat_witness = box;
+          cancel.cancel();
+        } else {
+          solve_sequential(*pool_, dnf.disjuncts[i], box, config_, budget,
+                           outcomes[i], cancel, stats);
+          if (outcomes[i].exhausted.load(std::memory_order_acquire)) {
+            dnf_outcome.exhausted.store(true, std::memory_order_release);
+          }
+        }
+        results[i].stats = stats;
+        std::lock_guard<std::mutex> lock(outcomes[i].m);
+        if (outcomes[i].sat_found) {
+          results[i].verdict = outcomes[i].sat_verdict;
+          results[i].witness = outcomes[i].sat_witness;
+        } else if (cancel.cancelled()) {
+          results[i].verdict = SatResult::kUnknown;
+        } else {
+          results[i].verdict = SatResult::kUnsat;
+        }
+      }
+    });
+
+    bool any_unknown =
+        dnf_outcome.exhausted.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < k; ++i) {
+      merge_stats(aggregate.stats, results[i].stats);
+      if (results[i].is_sat() && aggregate.verdict != SatResult::kSat &&
+          aggregate.verdict != SatResult::kDeltaSat) {
+        aggregate.verdict = results[i].verdict;
+        aggregate.witness = std::move(results[i].witness);
+      } else if (results[i].verdict == SatResult::kUnknown &&
+                 !results[i].is_sat()) {
+        any_unknown = true;
+      }
+    }
+    if (!aggregate.is_sat() && any_unknown) {
+      aggregate.verdict = SatResult::kUnknown;
+    }
+    aggregate.stats.solve_time_s = budget.elapsed_s();
+    return aggregate;
+  }
+
+  // Sequential disjunct sweep (seed semantics: first SAT short-circuits)
+  // under the shared budget.
+  bool any_unknown = false;
   for (const Conjunction& disjunct : dnf.disjuncts) {
-    IcpResult r = solve(disjunct, box);
-    aggregate.stats.boxes_processed += r.stats.boxes_processed;
-    aggregate.stats.boxes_pruned += r.stats.boxes_pruned;
-    aggregate.stats.splits += r.stats.splits;
-    aggregate.stats.solve_time_s += r.stats.solve_time_s;
-    if (r.is_sat()) {
-      aggregate.verdict = r.verdict;
-      aggregate.witness = std::move(r.witness);
+    SharedOutcome outcome;
+    parallel::CancellationToken cancel;
+    IcpStats stats;
+    stats.max_depth_width = box.max_width();
+    if (disjunct.empty()) {
+      if (!box.is_empty()) {
+        aggregate.verdict = SatResult::kSat;
+        aggregate.witness = box;
+        aggregate.stats.solve_time_s = budget.elapsed_s();
+        return aggregate;
+      }
+      continue;
+    }
+    if (!box.is_empty()) {
+      if (threads > 1) {
+        solve_parallel(*pool_, disjunct, box, config_, threads, budget,
+                       outcome, cancel, stats);
+      } else {
+        IcpStats seq_stats;
+        solve_sequential(*pool_, disjunct, box, config_, budget, outcome,
+                         cancel, seq_stats);
+        merge_stats(stats, seq_stats);
+      }
+    }
+    merge_stats(aggregate.stats, stats);
+    std::lock_guard<std::mutex> lock(outcome.m);
+    if (outcome.sat_found) {
+      aggregate.verdict = outcome.sat_verdict;
+      aggregate.witness = std::move(outcome.sat_witness);
+      aggregate.stats.solve_time_s = budget.elapsed_s();
       return aggregate;
     }
-    if (r.verdict == SatResult::kUnknown) any_unknown = true;
+    if (outcome.exhausted.load(std::memory_order_acquire)) any_unknown = true;
   }
   if (any_unknown) aggregate.verdict = SatResult::kUnknown;
+  aggregate.stats.solve_time_s = budget.elapsed_s();
   return aggregate;
 }
 

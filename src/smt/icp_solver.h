@@ -15,6 +15,17 @@
 ///                (a δ-weakening of φ does). Treated as SAT by callers,
 ///                exactly as the paper treats dReal's δ-sat answers.
 ///  * `kUnknown` — resource budget exhausted.
+///
+/// Parallel execution: with `IcpConfig::threads != 1` the box frontier is
+/// shared across pool workers (each owning its own HC4 contractor, since
+/// contraction keeps mutable scratch). A worker that proves (δ-)SAT
+/// short-circuits the others through a cancellation token. UNSAT and
+/// UNKNOWN answers are identical to the sequential solver's; a SAT
+/// witness box may differ between runs (any surviving box is a valid
+/// witness — δ-decidability does not pin down which one is reported).
+/// DNF queries dispatch their disjuncts concurrently under one *shared*
+/// wall-clock/box budget, so a k-disjunct query can no longer run k×
+/// over the configured limits.
 
 #include <chrono>
 #include <cstdint>
@@ -35,10 +46,13 @@ const char* sat_result_name(SatResult r);
 /// Tuning knobs for the solver.
 struct IcpConfig {
   double delta = 1e-3;          ///< box-width precision (δ)
-  std::uint64_t max_boxes = 10'000'000;  ///< branch budget
-  double time_limit_s = 300.0;  ///< wall-clock budget
+  std::uint64_t max_boxes = 10'000'000;  ///< branch budget (per query)
+  double time_limit_s = 300.0;  ///< wall-clock budget (per query)
   int hc4_passes = 8;           ///< contraction passes per box
   double hc4_improvement = 0.05;  ///< fixpoint threshold (relative)
+  /// Branch-and-prune parallelism: 0 = auto (BCERT_THREADS / hardware),
+  /// 1 = sequential (bit-identical to the classic solver), N = N workers.
+  int threads = 0;
 };
 
 /// Solver statistics (one query).
@@ -80,7 +94,9 @@ class IcpSolver {
 
   /// Decides ∃x ∈ \p box : dnf(x) by solving each disjunct; SAT short-
   /// circuits, UNSAT requires all disjuncts refuted, any UNKNOWN
-  /// downgrades an otherwise-UNSAT answer to UNKNOWN. Stats accumulate.
+  /// downgrades an otherwise-UNSAT answer to UNKNOWN. Stats accumulate
+  /// across disjuncts (max_depth_width is the minimum seen anywhere) and
+  /// the whole DNF shares one time/box budget.
   IcpResult solve(const Dnf& dnf, const interval::Box& box) const;
 
  private:

@@ -1,0 +1,244 @@
+// Cross-implementation equivalence sweep for the parallel branch-and-
+// prune ICP solver: the sequential (threads = 1) and parallel
+// (threads = 4) solvers must agree on every verdict, with UNSAT answers
+// bit-identical. Also covers the shared DNF budget fix.
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+#include "src/smt/icp_solver.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprId;
+using expr::ExprPool;
+using interval::Box;
+using linalg::Vector;
+
+IcpConfig config_with_threads(int threads) {
+  IcpConfig c;
+  c.delta = 1e-2;
+  c.max_boxes = 500'000;
+  c.time_limit_s = 60.0;
+  c.threads = threads;
+  return c;
+}
+
+/// Random atomic constraint over (x, y): a small library of nonlinear
+/// shapes whose SAT/UNSAT status varies with the drawn parameters.
+Constraint random_atom(ExprPool& pool, std::mt19937& rng) {
+  std::uniform_real_distribution<double> coef(-2.0, 2.0);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<int> rel_pick(0, 1);
+  const ExprId x = pool.var(0);
+  const ExprId y = pool.var(1);
+  ExprId e = expr::kNoExpr;
+  switch (kind(rng)) {
+    case 0:  // circle: x² + y² - r²
+      e = pool.sub(pool.add(pool.sqr(x), pool.sqr(y)),
+                   pool.constant(std::abs(coef(rng)) + 0.1));
+      break;
+    case 1:  // trig sheet: sin(a·x) + cos(b·y) + c
+      e = pool.add(
+          pool.add(pool.sin(pool.mul(pool.constant(coef(rng)), x)),
+                   pool.cos(pool.mul(pool.constant(coef(rng)), y))),
+          pool.constant(coef(rng)));
+      break;
+    case 2:  // saddle: x·y - c
+      e = pool.sub(pool.mul(x, y), pool.constant(coef(rng)));
+      break;
+    default:  // sigmoid ridge: tanh(x) - y + c
+      e = pool.add(pool.sub(pool.tanh(x), y), pool.constant(coef(rng)));
+      break;
+  }
+  return {e, rel_pick(rng) == 0 ? Rel::kLe : Rel::kGe};
+}
+
+TEST(ParallelIcp, RandomConjunctionEquivalenceSweep) {
+  std::mt19937 rng(2018);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  int sat_seen = 0, unsat_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    ExprPool pool;
+    std::uniform_int_distribution<int> natoms(1, 3);
+    Conjunction c;
+    const int m = natoms(rng);
+    for (int i = 0; i < m; ++i) {
+      const Constraint atom = random_atom(pool, rng);
+      c.add(atom.lhs, atom.rel);
+    }
+
+    const IcpSolver seq(pool, config_with_threads(1));
+    const IcpSolver par(pool, config_with_threads(4));
+    const IcpResult rs = seq.solve(c, box);
+    const IcpResult rp = par.solve(c, box);
+
+    ASSERT_NE(rs.verdict, SatResult::kUnknown)
+        << "trial " << trial << " exhausted its budget";
+    if (rs.is_unsat()) {
+      ++unsat_seen;
+      // UNSAT is a proof — the parallel solver must reproduce it
+      // bit-identically (same verdict, no witness).
+      EXPECT_EQ(rp.verdict, SatResult::kUnsat) << "trial " << trial;
+      EXPECT_FALSE(rp.witness.has_value());
+    } else {
+      ++sat_seen;
+      EXPECT_TRUE(rp.is_sat())
+          << "trial " << trial << ": sequential found "
+          << sat_result_name(rs.verdict) << ", parallel found "
+          << sat_result_name(rp.verdict);
+      ASSERT_TRUE(rp.witness.has_value());
+      // A kSat witness box certainly satisfies every constraint: check
+      // its midpoint numerically.
+      if (rp.verdict == SatResult::kSat) {
+        const Vector w = rp.witness_point();
+        for (const Constraint& atom : c.constraints) {
+          const double v = pool.eval(atom.lhs, w);
+          if (atom.rel == Rel::kLe) EXPECT_LE(v, 1e-12);
+          if (atom.rel == Rel::kGe) EXPECT_GE(v, -1e-12);
+        }
+      }
+    }
+  }
+  // The sweep is only meaningful if both answer classes occur.
+  EXPECT_GT(sat_seen, 0);
+  EXPECT_GT(unsat_seen, 0);
+}
+
+TEST(ParallelIcp, RandomDnfEquivalenceSweep) {
+  std::mt19937 rng(77);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  for (int trial = 0; trial < 15; ++trial) {
+    ExprPool pool;
+    std::uniform_int_distribution<int> ndisj(2, 4);
+    Dnf dnf;
+    const int d = ndisj(rng);
+    for (int j = 0; j < d; ++j) {
+      Conjunction c;
+      const Constraint a = random_atom(pool, rng);
+      const Constraint b = random_atom(pool, rng);
+      c.add(a.lhs, a.rel);
+      c.add(b.lhs, b.rel);
+      dnf.disjuncts.push_back(std::move(c));
+    }
+    const IcpSolver seq(pool, config_with_threads(1));
+    const IcpSolver par(pool, config_with_threads(4));
+    const IcpResult rs = seq.solve(dnf, box);
+    const IcpResult rp = par.solve(dnf, box);
+    ASSERT_NE(rs.verdict, SatResult::kUnknown);
+    EXPECT_EQ(rs.is_sat(), rp.is_sat()) << "trial " << trial;
+    EXPECT_EQ(rs.is_unsat(), rp.is_unsat()) << "trial " << trial;
+  }
+}
+
+/// A query the solver can never resolve: (x+y)² − x² − 2xy − y² is
+/// identically zero, but the natural interval extension suffers the
+/// dependency problem, so its enclosure always straddles 0 without ever
+/// proving or refuting the equality. Every box survives and splits —
+/// with an unreachable δ the search burns budget forever, which makes
+/// the shared-budget accounting observable.
+Conjunction budget_burner(ExprPool& pool) {
+  const ExprId x = pool.var(0);
+  const ExprId y = pool.var(1);
+  const ExprId h = pool.sub(
+      pool.sub(pool.sub(pool.sqr(pool.add(x, y)), pool.sqr(x)),
+               pool.mul(pool.constant(2.0), pool.mul(x, y))),
+      pool.sqr(y));
+  Conjunction c;
+  c.add(h, Rel::kEq);
+  return c;
+}
+
+TEST(ParallelIcp, DnfSharesOneBoxBudget) {
+  ExprPool pool;
+  Dnf dnf;
+  for (int j = 0; j < 4; ++j) dnf.disjuncts.push_back(budget_burner(pool));
+
+  IcpConfig config;
+  config.delta = -1.0;  // unreachable: the query can only exhaust budget
+  config.max_boxes = 2000;
+  config.time_limit_s = 60.0;
+  config.threads = 1;
+  const IcpSolver solver(pool, config);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  const IcpResult r = solver.solve(dnf, box);
+
+  EXPECT_EQ(r.verdict, SatResult::kUnknown);
+  // The seed gave each disjunct a fresh budget (4 × max_boxes here); the
+  // shared budget must cap the whole query at max_boxes.
+  EXPECT_LE(r.stats.boxes_processed, config.max_boxes);
+}
+
+TEST(ParallelIcp, DnfSharesOneTimeBudget) {
+  ExprPool pool;
+  Dnf dnf;
+  for (int j = 0; j < 4; ++j) dnf.disjuncts.push_back(budget_burner(pool));
+
+  IcpConfig config;
+  config.delta = -1.0;
+  config.time_limit_s = 0.2;  // would be 0.8 s query-wide under the seed
+  config.threads = 1;
+  const IcpSolver solver(pool, config);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+
+  const auto start = std::chrono::steady_clock::now();
+  const IcpResult r = solver.solve(dnf, box);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_EQ(r.verdict, SatResult::kUnknown);
+  // Well under the seed's 4 × time_limit_s worst case.
+  EXPECT_LT(wall, 2 * config.time_limit_s);
+}
+
+TEST(ParallelIcp, DnfPropagatesMaxDepthWidth) {
+  ExprPool pool;
+  // Two disjuncts that both force subdivision; the aggregate must report
+  // the smallest surviving width (the seed silently dropped it).
+  Dnf dnf;
+  {
+    Conjunction c;  // thin ring: 0.9 ≤ x² + y² ≤ 1.0
+    const ExprId r2 = pool.add(pool.sqr(pool.var(0)), pool.sqr(pool.var(1)));
+    c.add(pool.sub(r2, pool.constant(1.0)), Rel::kLe);
+    c.add(pool.sub(pool.constant(0.9), r2), Rel::kLe);
+    dnf.disjuncts.push_back(std::move(c));
+  }
+  IcpConfig config;
+  config.delta = 1e-3;
+  config.threads = 1;
+  const IcpSolver solver(pool, config);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  const IcpResult r = solver.solve(dnf, box);
+  ASSERT_TRUE(r.is_sat());
+  EXPECT_GT(r.stats.max_depth_width, 0.0);
+  EXPECT_LT(r.stats.max_depth_width, box.max_width());
+}
+
+TEST(ParallelIcp, SequentialMatchesSeedBehaviorOnConjunction) {
+  // threads = 1 must preserve the classic DFS exploration: same verdict,
+  // same witness box, same statistics on repeated runs.
+  ExprPool pool;
+  Conjunction c;
+  const ExprId r2 = pool.add(pool.sqr(pool.var(0)), pool.sqr(pool.var(1)));
+  c.add(pool.sub(r2, pool.constant(1.0)), Rel::kLe);
+  c.add(pool.sub(pool.constant(0.25), r2), Rel::kLe);
+
+  const IcpSolver solver(pool, config_with_threads(1));
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  const IcpResult a = solver.solve(c, box);
+  const IcpResult b = solver.solve(c, box);
+  ASSERT_TRUE(a.is_sat());
+  ASSERT_TRUE(b.is_sat());
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(*a.witness, *b.witness);
+  EXPECT_EQ(a.stats.boxes_processed, b.stats.boxes_processed);
+  EXPECT_EQ(a.stats.splits, b.stats.splits);
+}
+
+}  // namespace
+}  // namespace bcert::smt

@@ -1,0 +1,237 @@
+// Tests for the zero-allocation simulation pipeline: the in-place
+// linalg kernels, the workspace-based integrators (bit-for-bit against
+// the allocating API), the in-place NN forward pass, and the
+// thread-count determinism of the falsifier and CMA-ES.
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/cmaes/cmaes.h"
+#include "src/core/falsifier.h"
+#include "src/dubins/error_dynamics.h"
+#include "src/dubins/training.h"
+#include "src/linalg/matrix.h"
+#include "src/linalg/vector.h"
+#include "src/nn/network.h"
+#include "src/ode/integrator.h"
+
+namespace bcert {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(InPlaceKernels, AxpyScaleAddCopyInto) {
+  const Vector x{1.0, -2.0, 3.0};
+  Vector y{0.5, 0.5, 0.5};
+  linalg::axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vector{2.5, -3.5, 6.5}));
+
+  Vector out;
+  linalg::scale_add(out, x, -1.0, y);
+  EXPECT_EQ(out, x + (-1.0) * y);
+
+  Vector copy{9.0};
+  linalg::copy_into(x, copy);
+  EXPECT_EQ(copy, x);
+}
+
+TEST(InPlaceKernels, MatvecMatchesOperator) {
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  Matrix a(5, 7);
+  Vector x(7);
+  for (std::size_t r = 0; r < 5; ++r)
+    for (std::size_t c = 0; c < 7; ++c) a(r, c) = d(rng);
+  for (std::size_t c = 0; c < 7; ++c) x[c] = d(rng);
+  Vector out;
+  linalg::matvec(a, x, out);
+  EXPECT_EQ(out, a * x);
+}
+
+nn::FeedforwardNet random_net(std::vector<std::size_t> sizes, unsigned seed) {
+  std::vector<nn::Activation> acts(sizes.size() - 1, nn::Activation::kTanh);
+  nn::FeedforwardNet net(sizes, acts);
+  std::mt19937 rng(seed);
+  net.randomize(rng);
+  return net;
+}
+
+TEST(InPlaceForward, BitIdenticalToForward) {
+  // Two hidden layers exercise the ping-pong scratch path.
+  const nn::FeedforwardNet net = random_net({2, 8, 8, 1}, 11);
+  nn::ForwardScratch scratch;
+  std::mt19937 rng(4);
+  std::uniform_real_distribution<double> d(-3.0, 3.0);
+  Vector out;
+  for (int i = 0; i < 50; ++i) {
+    const Vector x{d(rng), d(rng)};
+    net.forward_inplace(x, out, scratch);
+    EXPECT_EQ(out, net.forward(x));
+  }
+}
+
+dubins::ErrorModel test_model() { return {/*velocity=*/1.0, /*theta_r=*/0.0}; }
+
+TEST(ZeroAllocIntegrator, Rk4TraceBitIdenticalOnDubinsClosedLoop) {
+  const nn::FeedforwardNet net = random_net({2, 10, 1}, 5);
+  const ode::VectorField legacy = dubins::closed_loop_field(test_model(), net);
+  const ode::VectorFieldInPlace fast =
+      dubins::closed_loop_field_inplace(test_model(), net);
+
+  ode::IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 10.0;
+  const Vector x0{3.0, 0.5};
+  const ode::Trace a = integrate_rk4(legacy, x0, opts);
+  const ode::Trace b = integrate_rk4(fast, x0, opts);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.time(i), b.time(i));
+    EXPECT_EQ(a.state(i), b.state(i)) << "step " << i;
+  }
+}
+
+TEST(ZeroAllocIntegrator, Rkf45TraceBitIdenticalOnDubinsClosedLoop) {
+  const nn::FeedforwardNet net = random_net({2, 10, 1}, 6);
+  const ode::VectorField legacy = dubins::closed_loop_field(test_model(), net);
+  const ode::VectorFieldInPlace fast =
+      dubins::closed_loop_field_inplace(test_model(), net);
+
+  ode::IntegrateOptions opts;
+  opts.step = 0.01;
+  opts.t_end = 5.0;
+  const Vector x0{2.0, -0.3};
+  const ode::Trace a = integrate_rkf45(legacy, x0, opts);
+  const ode::Trace b = integrate_rkf45(fast, x0, opts);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.time(i), b.time(i));
+    EXPECT_EQ(a.state(i), b.state(i)) << "step " << i;
+  }
+}
+
+TEST(ZeroAllocIntegrator, Rk4StepInplaceMatchesRk4Step) {
+  const ode::VectorField f = [](const Vector& x) {
+    return Vector{x[1], -std::sin(x[0])};
+  };
+  const ode::VectorFieldInPlace fi = [](const Vector& x, Vector& dx) {
+    dx.resize(2);
+    dx[0] = x[1];
+    dx[1] = -std::sin(x[0]);
+  };
+  ode::RkScratch scratch;
+  Vector out;
+  const Vector x{0.7, -0.2};
+  ode::rk4_step_inplace(fi, x, 0.01, out, scratch);
+  EXPECT_EQ(out, ode::rk4_step(f, x, 0.01));
+}
+
+core::BarrierProblem small_problem(expr::ExprPool& pool,
+                                   const nn::FeedforwardNet& net) {
+  const dubins::ErrorModel model = test_model();
+  core::BarrierProblem p;
+  p.pool = &pool;
+  p.sim_field = dubins::closed_loop_field(model, net);
+  p.sim_field_factory = [model, net] {
+    return dubins::closed_loop_field_inplace(model, net);
+  };
+  p.sym_field = dubins::closed_loop_field_expr(model, net, pool);
+  p.initial_set = {{-1.0, -0.2}, {1.0, 0.2}};
+  p.safe_rect = {{-5.0, -1.5}, {5.0, 1.5}};
+  return p;
+}
+
+TEST(Determinism, FalsifierByteIdenticalAcrossThreadCounts) {
+  const nn::FeedforwardNet net =
+      dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
+
+  core::FalsifierOptions base;
+  base.random_trials = 24;
+  base.cmaes_iterations = 4;
+  base.cmaes_population = 8;
+  base.trace_duration = 4.0;
+  base.seed = 11;
+
+  std::optional<core::FalsificationResult> reference;
+  for (int threads : {1, 2, 4}) {
+    expr::ExprPool pool;
+    core::FalsifierOptions opts = base;
+    opts.threads = threads;
+    core::Falsifier falsifier(small_problem(pool, net), opts);
+    const core::FalsificationResult r = falsifier.search();
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.falsified, reference->falsified) << threads;
+    EXPECT_EQ(r.robustness, reference->robustness) << threads;
+    EXPECT_EQ(r.initial_state, reference->initial_state) << threads;
+    EXPECT_EQ(r.simulations, reference->simulations) << threads;
+    ASSERT_EQ(r.trace.size(), reference->trace.size()) << threads;
+    for (std::size_t i = 0; i < r.trace.size(); ++i) {
+      EXPECT_EQ(r.trace.state(i), reference->trace.state(i));
+    }
+  }
+}
+
+TEST(Determinism, CmaesByteIdenticalAcrossEvalThreads) {
+  // Thread-safe multimodal objective.
+  const cmaes::ObjectiveFn objective = [](const Vector& v) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      s += v[i] * v[i] + std::sin(3.0 * v[i]);
+    }
+    return s;
+  };
+  const Vector x0{1.5, -0.8, 0.3};
+
+  std::optional<cmaes::CmaesResult> reference;
+  for (int threads : {1, 2, 4}) {
+    cmaes::CmaesOptions opts;
+    opts.max_iterations = 40;
+    opts.seed = 9;
+    opts.eval_threads = threads;
+    const cmaes::CmaesResult r = cmaes_minimize(objective, x0, opts);
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.best_fitness, reference->best_fitness) << threads;
+    EXPECT_EQ(r.best_x, reference->best_x) << threads;
+    EXPECT_EQ(r.iterations, reference->iterations) << threads;
+    ASSERT_EQ(r.fitness_history.size(), reference->fitness_history.size());
+    for (std::size_t i = 0; i < r.fitness_history.size(); ++i) {
+      EXPECT_EQ(r.fitness_history[i], reference->fitness_history[i]);
+    }
+  }
+}
+
+TEST(Determinism, TrainingByteIdenticalAcrossThreadCounts) {
+  dubins::TrainOptions opts;
+  opts.hidden_neurons = 4;
+  opts.iterations = 3;
+  opts.population = 8;
+  opts.sim.steps = 120;
+  opts.seed = 21;
+
+  std::optional<dubins::TrainResult> reference;
+  for (int threads : {1, 4}) {
+    opts.threads = threads;
+    const dubins::TrainResult r = train_controller(
+        dubins::PiecewiseLinearPath({{0.0, 0.0}, {10.0, 5.0}, {20.0, 5.0}}),
+        opts);
+    if (!reference) {
+      reference = r;
+      continue;
+    }
+    EXPECT_EQ(r.best_cost, reference->best_cost);
+    EXPECT_EQ(r.controller.parameters(), reference->controller.parameters());
+  }
+}
+
+}  // namespace
+}  // namespace bcert
