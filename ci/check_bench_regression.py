@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the BENCH_*.json perf trajectory.
+
+Compares a freshly measured bench report against the committed baseline
+and fails (exit 1) when a gated metric drops by more than the allowed
+fraction. Metrics are given as RECORD:FIELD pairs, e.g.
+
+    check_bench_regression.py BENCH_micro.json build/BENCH_micro.json \
+        --metric hc4_contract_tape:speedup --max-drop 0.20
+
+Ratio-style fields (speedup) are machine-independent, which is what a
+gate running on heterogeneous CI machines should compare; throughput
+fields (boxes_per_sec, items_per_sec, ...) only make sense against a
+baseline measured on comparable hardware. A gated record missing from
+the current report is always a failure (the benchmark silently
+disappearing is the worst kind of regression); one missing from the
+baseline is skipped with a note so new benchmarks can land before their
+first baseline is committed.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {r["name"]: r for r in data.get("results", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="committed baseline BENCH_*.json")
+    ap.add_argument("current", help="freshly measured BENCH_*.json")
+    ap.add_argument(
+        "--metric",
+        action="append",
+        required=True,
+        help="record:field to gate (repeatable), e.g. hc4_contract_tape:speedup",
+    )
+    ap.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional drop vs baseline (default 0.20)",
+    )
+    args = ap.parse_args()
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+
+    failures = []
+    for metric in args.metric:
+        record, _, field = metric.partition(":")
+        if not field:
+            ap.error(f"--metric must be RECORD:FIELD, got {metric!r}")
+        cur = current.get(record)
+        if cur is None or field not in cur:
+            failures.append(f"{metric}: missing from current report")
+            continue
+        base = baseline.get(record)
+        if base is None or field not in base:
+            print(f"note: {metric}: no baseline yet, skipping")
+            continue
+        allowed = base[field] * (1.0 - args.max_drop)
+        status = "ok" if cur[field] >= allowed else "FAIL"
+        print(
+            f"{status}: {metric}: current {cur[field]:.4g} vs baseline "
+            f"{base[field]:.4g} (floor {allowed:.4g})"
+        )
+        if cur[field] < allowed:
+            failures.append(
+                f"{metric}: {cur[field]:.4g} < {allowed:.4g} "
+                f"(>{args.max_drop:.0%} drop from {base[field]:.4g})"
+            )
+
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "src/expr/derivative.h"
 
@@ -20,6 +21,11 @@ PolyBarrierVerifier::PolyBarrierVerifier(BarrierProblem problem,
       options_(std::move(options)),
       basis_(problem_.dims(), 2, options_.max_degree) {
   problem_.validate();
+  // Share compiled HC4 tapes across this verifier's query sequence (the
+  // candidate loop re-checks structurally identical conjunctions).
+  if (!options_.base.icp.tape_cache) {
+    options_.base.icp.tape_cache = std::make_shared<smt::TapeCache>();
+  }
 }
 
 double PolyBarrierVerifier::numeric_lie(const PolynomialForm& w,

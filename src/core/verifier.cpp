@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <stdexcept>
 
@@ -88,6 +89,15 @@ BarrierVerifier::BarrierVerifier(BarrierProblem problem,
                                  VerifierOptions options)
     : problem_(std::move(problem)), options_(options) {
   problem_.validate();
+  // Multi-query ICP: every δ-SAT check in the LP ↔ SMT refinement loop
+  // goes through this verifier's pool, and the adaptive-δ re-checks
+  // repeat identical (hash-consed) conjunctions, so one shared tape
+  // cache lets the solvers reuse compiled HC4 schedules across queries.
+  // The cache holds ExprIds of problem_.pool and dies with the verifier,
+  // well before the pool.
+  if (!options_.icp.tape_cache) {
+    options_.icp.tape_cache = std::make_shared<smt::TapeCache>();
+  }
 }
 
 std::vector<FieldSample> BarrierVerifier::simulate_samples(

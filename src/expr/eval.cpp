@@ -85,33 +85,11 @@ double Evaluator::eval_root(std::size_t root_index,
 
 Interval apply_interval_op(const Node& n, const Interval& a,
                            const Interval& b) {
-  using namespace interval;  // NOLINT: local, brings interval functions
-  switch (n.op) {
-    case Op::kConst: return Interval(n.value);
-    case Op::kVar:
-      throw std::logic_error("apply_interval_op: kVar must be handled above");
-    case Op::kAdd: return a + b;
-    case Op::kSub: return a - b;
-    case Op::kMul: return a * b;
-    case Op::kDiv: return a / b;
-    case Op::kNeg: return -a;
-    case Op::kSin: return sin(a);
-    case Op::kCos: return cos(a);
-    case Op::kTan: return tan(a);
-    case Op::kAtan: return atan(a);
-    case Op::kExp: return exp(a);
-    case Op::kLog: return log(a);
-    case Op::kSqrt: return sqrt(a);
-    case Op::kSqr: return sqr(a);
-    case Op::kPow: return pow(a, n.index);
-    case Op::kTanh: return tanh(a);
-    case Op::kSigmoid: return sigmoid(a);
-    case Op::kRelu: return relu(a);
-    case Op::kAbs: return abs(a);
-    case Op::kMin: return min(a, b);
-    case Op::kMax: return max(a, b);
+  if (n.op == Op::kConst) return Interval(n.value);
+  if (n.op == Op::kVar) {
+    throw std::logic_error("apply_interval_op: kVar must be handled above");
   }
-  return Interval::entire();
+  return apply_interval_op(n.op, n.index, a, b);
 }
 
 void Evaluator::eval_forward(const interval::Box& box,

@@ -59,6 +59,43 @@ class Evaluator {
   std::vector<std::size_t> root_pos_;    // root -> schedule pos
 };
 
+/// Applies one interior interval operation (anything but kConst/kVar,
+/// whose payloads live outside the opcode). \p index is the kPow
+/// exponent. Shared — and inline, it sits in every forward sweep — by
+/// the Evaluator, the HC4 tree path, and the bytecode tape, so all three
+/// produce bit-identical enclosures.
+inline interval::Interval apply_interval_op(Op op, std::int32_t index,
+                                            const interval::Interval& a,
+                                            const interval::Interval& b) {
+  using namespace interval;  // NOLINT: local, brings interval functions
+  switch (op) {
+    case Op::kConst:
+    case Op::kVar:
+      break;  // handled by the caller (leaf loads)
+    case Op::kAdd: return a + b;
+    case Op::kSub: return a - b;
+    case Op::kMul: return a * b;
+    case Op::kDiv: return a / b;
+    case Op::kNeg: return -a;
+    case Op::kSin: return sin(a);
+    case Op::kCos: return cos(a);
+    case Op::kTan: return tan(a);
+    case Op::kAtan: return atan(a);
+    case Op::kExp: return exp(a);
+    case Op::kLog: return log(a);
+    case Op::kSqrt: return sqrt(a);
+    case Op::kSqr: return sqr(a);
+    case Op::kPow: return pow(a, index);
+    case Op::kTanh: return tanh(a);
+    case Op::kSigmoid: return sigmoid(a);
+    case Op::kRelu: return relu(a);
+    case Op::kAbs: return abs(a);
+    case Op::kMin: return min(a, b);
+    case Op::kMax: return max(a, b);
+  }
+  return interval::Interval::entire();
+}
+
 /// Applies one interval operation; shared by Evaluator and the HC4
 /// backward pass (for re-evaluation after contraction).
 interval::Interval apply_interval_op(const Node& n,

@@ -12,23 +12,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 constexpr double kPiHi = kPiUpper;
 constexpr double kPiLo = kPiLower;
 
-/// Endpoint product obeying the interval convention 0 * inf = 0.
-double mul_ep(double a, double b) {
-  if (a == 0.0 || b == 0.0) return 0.0;
-  return a * b;
-}
-
 }  // namespace
-
-double prev_float(double v) {
-  if (v == -kInf) return v;
-  return std::nextafter(v, -kInf);
-}
-
-double next_float(double v) {
-  if (v == kInf) return v;
-  return std::nextafter(v, kInf);
-}
 
 Interval widen(const Interval& x, int ulps) {
   if (x.is_empty()) return x;
@@ -40,10 +24,6 @@ Interval widen(const Interval& x, int ulps) {
   return {lo, hi};
 }
 
-bool Interval::is_unbounded() const {
-  return !is_empty() && (lo_ == -kInf || hi_ == kInf);
-}
-
 double Interval::mid() const {
   if (is_empty()) return std::numeric_limits<double>::quiet_NaN();
   if (lo_ == -kInf && hi_ == kInf) return 0.0;
@@ -53,83 +33,6 @@ double Interval::mid() const {
   return lo_ / 2.0 + hi_ / 2.0;
 }
 
-double Interval::mag() const {
-  if (is_empty()) return 0.0;
-  return std::max(std::fabs(lo_), std::fabs(hi_));
-}
-
-double Interval::mig() const {
-  if (is_empty()) return 0.0;
-  if (lo_ <= 0.0 && 0.0 <= hi_) return 0.0;
-  return std::min(std::fabs(lo_), std::fabs(hi_));
-}
-
-Interval intersect(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  const double lo = std::max(a.lo(), b.lo());
-  const double hi = std::min(a.hi(), b.hi());
-  if (lo > hi) return Interval::empty();
-  return {lo, hi};
-}
-
-Interval hull(const Interval& a, const Interval& b) {
-  if (a.is_empty()) return b;
-  if (b.is_empty()) return a;
-  return {std::min(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
-}
-
-Interval operator+(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {prev_float(a.lo() + b.lo()), next_float(a.hi() + b.hi())};
-}
-
-Interval operator-(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {prev_float(a.lo() - b.hi()), next_float(a.hi() - b.lo())};
-}
-
-Interval operator-(const Interval& a) {
-  if (a.is_empty()) return a;
-  return {-a.hi(), -a.lo()};
-}
-
-Interval operator*(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  if ((a.lo() == 0.0 && a.hi() == 0.0) || (b.lo() == 0.0 && b.hi() == 0.0)) {
-    return Interval(0.0);
-  }
-  const double p1 = mul_ep(a.lo(), b.lo());
-  const double p2 = mul_ep(a.lo(), b.hi());
-  const double p3 = mul_ep(a.hi(), b.lo());
-  const double p4 = mul_ep(a.hi(), b.hi());
-  const double lo = std::min(std::min(p1, p2), std::min(p3, p4));
-  const double hi = std::max(std::max(p1, p2), std::max(p3, p4));
-  return {prev_float(lo), next_float(hi)};
-}
-
-Interval operator/(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  if (b.lo() > 0.0 || b.hi() < 0.0) {
-    // Divisor bounded away from zero: reciprocal then multiply.
-    const Interval rec{prev_float(1.0 / b.hi()), next_float(1.0 / b.lo())};
-    return a * rec;
-  }
-  // Divisor touches or spans zero: extended division.
-  if (b.lo() == 0.0 && b.hi() == 0.0) return Interval::empty();
-  if (a.contains(0.0)) return Interval::entire();
-  if (b.lo() == 0.0) {
-    // b = [0, bh], bh > 0.
-    if (a.hi() < 0.0) return {-kInf, next_float(a.hi() / b.hi())};
-    return {prev_float(a.lo() / b.hi()), kInf};
-  }
-  if (b.hi() == 0.0) {
-    // b = [bl, 0], bl < 0.
-    if (a.hi() < 0.0) return {prev_float(a.hi() / b.lo()), kInf};
-    return {-kInf, next_float(a.lo() / b.lo())};
-  }
-  return Interval::entire();  // zero strictly inside b
-}
-
 Interval operator+(const Interval& a, double b) { return a + Interval(b); }
 Interval operator+(double a, const Interval& b) { return Interval(a) + b; }
 Interval operator-(const Interval& a, double b) { return a - Interval(b); }
@@ -137,13 +40,6 @@ Interval operator-(double a, const Interval& b) { return Interval(a) - b; }
 Interval operator*(const Interval& a, double b) { return a * Interval(b); }
 Interval operator*(double a, const Interval& b) { return Interval(a) * b; }
 Interval operator/(const Interval& a, double b) { return a / Interval(b); }
-
-Interval sqr(const Interval& x) {
-  if (x.is_empty()) return x;
-  const double m = x.mag();
-  const double lo = x.mig();
-  return {std::max(0.0, prev_float(lo * lo)), next_float(m * m)};
-}
 
 Interval sqrt(const Interval& x) {
   const Interval d = intersect(x, {0.0, kInf});
@@ -177,21 +73,6 @@ Interval pow(const Interval& x, int n) {
   }
   // Odd power: monotone.
   return {prev_float(std::pow(x.lo(), n)), next_float(std::pow(x.hi(), n))};
-}
-
-Interval abs(const Interval& x) {
-  if (x.is_empty()) return x;
-  return {x.mig(), x.mag()};
-}
-
-Interval min(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi())};
-}
-
-Interval max(const Interval& a, const Interval& b) {
-  if (a.is_empty() || b.is_empty()) return Interval::empty();
-  return {std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
 }
 
 namespace {

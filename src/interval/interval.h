@@ -10,6 +10,10 @@
 /// bedrock of the δ-SAT solver: an UNSAT answer built on these bounds is
 /// a proof over the reals.
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 #include <iosfwd>
 #include <limits>
 
@@ -47,16 +51,27 @@ class Interval {
   bool is_empty() const { return lo_ > hi_; }
   bool is_point() const { return lo_ == hi_; }
   /// True if either endpoint is infinite (and not empty).
-  bool is_unbounded() const;
+  bool is_unbounded() const {
+    return !is_empty() &&
+           (lo_ == -std::numeric_limits<double>::infinity() ||
+            hi_ == std::numeric_limits<double>::infinity());
+  }
 
   /// Width hi - lo (0 for points, -inf... guarded: 0 for empty).
   double width() const { return is_empty() ? 0.0 : hi_ - lo_; }
   /// Midpoint, clamped to finite when one side is infinite.
   double mid() const;
   /// Maximum absolute value over the interval.
-  double mag() const;
+  double mag() const {
+    if (is_empty()) return 0.0;
+    return std::max(std::fabs(lo_), std::fabs(hi_));
+  }
   /// Minimum absolute value over the interval (0 if it contains 0).
-  double mig() const;
+  double mig() const {
+    if (is_empty()) return 0.0;
+    if (lo_ <= 0.0 && 0.0 <= hi_) return 0.0;
+    return std::min(std::fabs(lo_), std::fabs(hi_));
+  }
 
   bool contains(double v) const { return lo_ <= v && v <= hi_; }
   bool contains(const Interval& o) const {
@@ -80,8 +95,27 @@ class Interval {
 };
 
 /// Next representable double below / above (outward rounding helpers).
-double prev_float(double v);
-double next_float(double v);
+/// Implemented as a direct IEEE-754 bit increment — identical results to
+/// std::nextafter (including at ±0 and the subnormal/overflow edges) but
+/// inlineable, which matters because every interval operation rounds both
+/// endpoints outward.
+inline double next_float(double v) {
+  if (v == std::numeric_limits<double>::infinity() || std::isnan(v)) return v;
+  if (v == 0.0) return std::bit_cast<double>(std::uint64_t{1});
+  std::uint64_t b = std::bit_cast<std::uint64_t>(v);
+  b += (b >> 63) == 0 ? 1 : static_cast<std::uint64_t>(-1);
+  return std::bit_cast<double>(b);
+}
+
+inline double prev_float(double v) {
+  if (v == -std::numeric_limits<double>::infinity() || std::isnan(v)) return v;
+  if (v == 0.0) {
+    return std::bit_cast<double>(std::uint64_t{1} << 63 | std::uint64_t{1});
+  }
+  std::uint64_t b = std::bit_cast<std::uint64_t>(v);
+  b += (b >> 63) == 0 ? static_cast<std::uint64_t>(-1) : 1;
+  return std::bit_cast<double>(b);
+}
 
 /// Widens both endpoints outward by \p ulps representable steps.
 /// Used to make libm results conservative.
@@ -89,19 +123,151 @@ Interval widen(const Interval& x, int ulps = 2);
 
 // --- set operations ---------------------------------------------------
 
-Interval intersect(const Interval& a, const Interval& b);
+inline Interval intersect(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const double lo = a.lo() > b.lo() ? a.lo() : b.lo();
+  const double hi = a.hi() < b.hi() ? a.hi() : b.hi();
+  if (lo > hi) return Interval::empty();
+  return {lo, hi};
+}
+
 /// Interval hull (smallest interval containing both).
-Interval hull(const Interval& a, const Interval& b);
+inline Interval hull(const Interval& a, const Interval& b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {a.lo() < b.lo() ? a.lo() : b.lo(),
+          a.hi() > b.hi() ? a.hi() : b.hi()};
+}
 
 // --- arithmetic (all outward rounded) ----------------------------------
+// The four basic operations are inline: they are the inner loop of HC4
+// contraction (forward sweeps and backward projections execute one per
+// DAG node) and at ~10 ns of work each the call overhead used to rival
+// the arithmetic.
 
-Interval operator+(const Interval& a, const Interval& b);
-Interval operator-(const Interval& a, const Interval& b);
-Interval operator-(const Interval& a);
-Interval operator*(const Interval& a, const Interval& b);
+namespace detail {
+/// Endpoint product obeying the interval convention 0 · ∞ = 0 (the exact
+/// image of {0} × anything is {0}; every partner endpoint stands for a
+/// finite real). Also the reason no endpoint product can be NaN.
+inline double mul_ep(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+}  // namespace detail
+
+inline Interval operator+(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {prev_float(a.lo() + b.lo()), next_float(a.hi() + b.hi())};
+}
+
+inline Interval operator-(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {prev_float(a.lo() - b.hi()), next_float(a.hi() - b.lo())};
+}
+
+inline Interval operator-(const Interval& a) {
+  if (a.is_empty()) return a;
+  return {-a.hi(), -a.lo()};
+}
+
+inline Interval operator*(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  // Exact-zero operand: the image {0·y : y ∈ b} is {0} for any nonempty
+  // b, even an unbounded one (every y is a finite real), so [0,0] is the
+  // exact result — returning it unwidened keeps sign information.
+  if ((a.lo() == 0.0 && a.hi() == 0.0) || (b.lo() == 0.0 && b.hi() == 0.0)) {
+    return Interval(0.0);
+  }
+  const double p1 = detail::mul_ep(a.lo(), b.lo());
+  const double p2 = detail::mul_ep(a.lo(), b.hi());
+  const double p3 = detail::mul_ep(a.hi(), b.lo());
+  const double p4 = detail::mul_ep(a.hi(), b.hi());
+  const double lo = std::min(std::min(p1, p2), std::min(p3, p4));
+  const double hi = std::max(std::max(p1, p2), std::max(p3, p4));
+  return {prev_float(lo), next_float(hi)};
+}
 /// Division. If b contains 0 the result may be entire() (we do not split
 /// into two disjoint rays; the ICP layer handles the precision loss).
-Interval operator/(const Interval& a, const Interval& b);
+inline Interval operator/(const Interval& a, const Interval& b) {
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  if (b.lo() > 0.0 || b.hi() < 0.0) {
+    // Divisor bounded away from zero: reciprocal then multiply.
+    const Interval rec{prev_float(1.0 / b.hi()), next_float(1.0 / b.lo())};
+    return a * rec;
+  }
+  // Divisor touches or spans zero: extended division.
+  if (b.lo() == 0.0 && b.hi() == 0.0) return Interval::empty();
+  if (a.contains(0.0)) return Interval::entire();
+  if (b.lo() == 0.0) {
+    // b = [0, bh], bh > 0.
+    if (a.hi() < 0.0) return {-kInfinity, next_float(a.hi() / b.hi())};
+    return {prev_float(a.lo() / b.hi()), kInfinity};
+  }
+  if (b.hi() == 0.0) {
+    // b = [bl, 0], bl < 0.
+    if (a.hi() < 0.0) return {prev_float(a.hi() / b.lo()), kInfinity};
+    return {-kInfinity, next_float(a.lo() / b.lo())};
+  }
+  return Interval::entire();  // zero strictly inside b
+}
+
+/// Generalized (relational) extended division: the closure of
+/// `{x : x·y ∈ num for some y ∈ den}` as up to two disjoint pieces,
+/// written to \p q1 (and \p q2 when the divisor straddles zero and the
+/// numerator does not contain it). Returns the piece count: 0 means the
+/// set is empty (den = [0,0] with 0 ∉ num). Unlike operator/, which
+/// models pointwise real division (so num/[0,0] is empty), this is the
+/// projection semantics HC4 multiplication/division reversal needs:
+/// 0·den ∈ num whenever 0 ∈ num, so the result is entire there instead
+/// of empty. Intersecting a target interval with each piece *before*
+/// hulling keeps contraction tight where plain division returns entire.
+inline int extended_div(const Interval& num, const Interval& den,
+                        Interval& q1, Interval& q2) {
+  constexpr double kInfinity = std::numeric_limits<double>::infinity();
+  if (num.is_empty() || den.is_empty()) {
+    q1 = Interval::empty();
+    return 0;
+  }
+  if (den.lo() > 0.0 || den.hi() < 0.0) {
+    q1 = num / den;  // divisor bounded away from zero: ordinary division
+    return 1;
+  }
+  if (num.contains(0.0)) {
+    // 0 ∈ num and 0 ∈ den: x·0 = 0 ∈ num holds for every x.
+    q1 = Interval::entire();
+    return 1;
+  }
+  if (den.lo() == 0.0 && den.hi() == 0.0) {
+    q1 = Interval::empty();  // x·0 = 0 ∉ num for any x
+    return 0;
+  }
+  if (num.lo() > 0.0) {
+    if (den.lo() == 0.0) {
+      q1 = {prev_float(num.lo() / den.hi()), kInfinity};
+      return 1;
+    }
+    if (den.hi() == 0.0) {
+      q1 = {-kInfinity, next_float(num.lo() / den.lo())};
+      return 1;
+    }
+    q1 = {-kInfinity, next_float(num.lo() / den.lo())};
+    q2 = {prev_float(num.lo() / den.hi()), kInfinity};
+    return 2;
+  }
+  // num.hi() < 0: mirror of the positive-numerator cases.
+  if (den.lo() == 0.0) {
+    q1 = {-kInfinity, next_float(num.hi() / den.hi())};
+    return 1;
+  }
+  if (den.hi() == 0.0) {
+    q1 = {prev_float(num.hi() / den.lo()), kInfinity};
+    return 1;
+  }
+  q1 = {-kInfinity, next_float(num.hi() / den.hi())};
+  q2 = {prev_float(num.hi() / den.lo()), kInfinity};
+  return 2;
+}
 
 Interval operator+(const Interval& a, double b);
 Interval operator+(double a, const Interval& b);
@@ -113,14 +279,32 @@ Interval operator/(const Interval& a, double b);
 
 // --- elementary functions ----------------------------------------------
 
-Interval sqr(const Interval& x);
+inline Interval sqr(const Interval& x) {
+  if (x.is_empty()) return x;
+  const double m = x.mag();
+  const double lo = x.mig();
+  return {std::max(0.0, prev_float(lo * lo)), next_float(m * m)};
+}
+
 Interval sqrt(const Interval& x);   ///< intersected with [0, inf)
 Interval exp(const Interval& x);
 Interval log(const Interval& x);    ///< intersected with domain (0, inf)
 Interval pow(const Interval& x, int n);
-Interval abs(const Interval& x);
-Interval min(const Interval& a, const Interval& b);
-Interval max(const Interval& a, const Interval& b);
+
+inline Interval abs(const Interval& x) {
+  if (x.is_empty()) return x;
+  return {x.mig(), x.mag()};
+}
+
+inline Interval min(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::min(a.lo(), b.lo()), std::min(a.hi(), b.hi())};
+}
+
+inline Interval max(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {std::max(a.lo(), b.lo()), std::max(a.hi(), b.hi())};
+}
 
 Interval sin(const Interval& x);
 Interval cos(const Interval& x);

@@ -1,6 +1,11 @@
 #include "src/smt/hc4.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+
+#include "src/smt/projections.h"
 
 namespace bcert::smt {
 
@@ -12,8 +17,6 @@ using interval::Interval;
 
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
-
 std::vector<ExprId> roots_of(const Conjunction& c) {
   std::vector<ExprId> roots;
   roots.reserve(c.constraints.size());
@@ -23,41 +26,109 @@ std::vector<ExprId> roots_of(const Conjunction& c) {
 
 }  // namespace
 
+Hc4Mode resolve_hc4_mode(Hc4Mode mode) {
+  if (mode != Hc4Mode::kAuto) return mode;
+  static const Hc4Mode env_mode = [] {
+    const char* v = std::getenv("BCERT_HC4_MODE");
+    if (v == nullptr || std::strcmp(v, "tape") == 0) return Hc4Mode::kTape;
+    if (std::strcmp(v, "tree") == 0) return Hc4Mode::kTree;
+    // A typo silently falling back to the default would defeat the
+    // point of the flag (e.g. comparing "tape vs tape" while debugging
+    // a suspected divergence) — warn loudly, once.
+    std::fprintf(stderr,
+                 "bcert: unrecognized BCERT_HC4_MODE=\"%s\" "
+                 "(expected \"tape\" or \"tree\"); using tape\n",
+                 v);
+    return Hc4Mode::kTape;
+  }();
+  return env_mode;
+}
+
 Hc4Contractor::Hc4Contractor(const expr::ExprPool& pool,
-                             Conjunction conjunction)
-    : conjunction_(std::move(conjunction)),
-      eval_(pool, roots_of(conjunction_)) {
+                             Conjunction conjunction, Hc4Mode mode) {
+  if (resolve_hc4_mode(mode) == Hc4Mode::kTape) {
+    tape_ = std::make_shared<const Hc4Tape>(pool, std::move(conjunction));
+    regs_ = tape_->make_registers();
+    return;
+  }
+  conjunction_ = std::move(conjunction);
+  eval_ = std::make_unique<expr::Evaluator>(pool, roots_of(conjunction_));
   root_positions_.reserve(conjunction_.size());
   for (const Constraint& k : conjunction_.constraints) {
-    root_positions_.push_back(eval_.position_of(k.lhs));
+    root_positions_.push_back(eval_->position_of(k.lhs));
   }
 }
 
+Hc4Contractor::Hc4Contractor(std::shared_ptr<const Hc4Tape> tape)
+    : tape_(std::move(tape)), regs_(tape_->make_registers()) {}
+
+const std::vector<Interval>& Hc4Contractor::roots_for(
+    const interval::Box& box) {
+  if (cache_valid_ && cached_box_ == box) return cached_roots_;
+  if (tape_) {
+    tape_->eval_roots(box, regs_, cached_roots_);
+  } else {
+    cached_roots_ = eval_->eval(box);
+  }
+  cached_box_ = box;
+  cache_valid_ = true;
+  return cached_roots_;
+}
+
 std::vector<Interval> Hc4Contractor::root_values(const interval::Box& box) {
-  return eval_.eval(box);
+  return roots_for(box);
 }
 
 bool Hc4Contractor::certainly_satisfied(const interval::Box& box) {
-  const auto vals = root_values(box);
-  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
-    if (!conjunction_.constraints[i].certainly_satisfied(vals[i])) {
-      return false;
-    }
+  const auto& vals = roots_for(box);
+  const Conjunction& c = conjunction();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (!c.constraints[i].certainly_satisfied(vals[i])) return false;
   }
   return true;
 }
 
 bool Hc4Contractor::certainly_violated(const interval::Box& box) {
-  const auto vals = root_values(box);
-  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
-    if (conjunction_.constraints[i].certainly_violated(vals[i])) return true;
+  const auto& vals = roots_for(box);
+  const Conjunction& c = conjunction();
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (c.constraints[i].certainly_violated(vals[i])) return true;
   }
   return false;
 }
 
+Hc4Contractor::Certainty Hc4Contractor::certainty(const interval::Box& box) {
+  const auto& vals = roots_for(box);
+  const Conjunction& c = conjunction();
+  Certainty result{true, false};
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (!c.constraints[i].certainly_satisfied(vals[i])) {
+      result.satisfied = false;
+    }
+    if (c.constraints[i].certainly_violated(vals[i])) result.violated = true;
+  }
+  return result;
+}
+
 ContractResult Hc4Contractor::contract(interval::Box& box) {
+  // Cache the forward-root enclosures for the box being contracted: when
+  // this pass ends at a fixpoint (kNoChange) the box is unchanged and a
+  // following certainly_satisfied/certainly_violated is free.
+  cached_box_ = box;
+
+  if (tape_) {
+    const ContractResult r = tape_->contract(box, regs_, &cached_roots_);
+    cache_valid_ = true;
+    return r;
+  }
+
   // Forward pass: natural interval extension for every DAG node.
-  eval_.eval_forward(box, req_);
+  eval_->eval_forward(box, req_);
+  cached_roots_.resize(root_positions_.size());
+  for (std::size_t i = 0; i < root_positions_.size(); ++i) {
+    cached_roots_[i] = req_[root_positions_[i]];
+  }
+  cache_valid_ = true;
 
   // Intersect each constraint root with its feasible value set.
   for (std::size_t i = 0; i < conjunction_.size(); ++i) {
@@ -71,9 +142,9 @@ ContractResult Hc4Contractor::contract(interval::Box& box) {
 
   // Read back variable intervals.
   bool changed = false;
-  const auto& schedule = eval_.schedule();
+  const auto& schedule = eval_->schedule();
   for (std::size_t i = 0; i < schedule.size(); ++i) {
-    const Node& n = eval_.pool().node(schedule[i]);
+    const Node& n = eval_->pool().node(schedule[i]);
     if (n.op != Op::kVar) continue;
     const auto dim = static_cast<std::size_t>(n.index);
     const Interval narrowed = intersect(box[dim], req_[i]);
@@ -87,8 +158,8 @@ ContractResult Hc4Contractor::contract(interval::Box& box) {
 }
 
 bool Hc4Contractor::backward_sweep() {
-  const auto& schedule = eval_.schedule();
-  const expr::ExprPool& pool = eval_.pool();
+  const auto& schedule = eval_->schedule();
+  const expr::ExprPool& pool = eval_->pool();
 
   // Reverse topological order: parents are processed before children, so
   // each node's requirement is final before it is projected downward.
@@ -98,159 +169,10 @@ bool Hc4Contractor::backward_sweep() {
     if (r.is_empty()) return false;
     if (n.a == kNoExpr) continue;  // leaf
 
-    const std::size_t pa = eval_.position_of(n.a);
-    const std::size_t pb =
-        n.b != kNoExpr ? eval_.position_of(n.b) : expr::Evaluator::npos;
-    Interval& a = req_[pa];
-    auto refine = [](Interval& target, const Interval& with) {
-      target = intersect(target, with);
-      return !target.is_empty();
-    };
-
-    switch (n.op) {
-      case Op::kAdd: {
-        Interval& b = req_[pb];
-        if (!refine(a, r - b)) return false;
-        if (!refine(b, r - a)) return false;
-        break;
-      }
-      case Op::kSub: {
-        Interval& b = req_[pb];
-        if (!refine(a, r + b)) return false;
-        if (!refine(b, a - r)) return false;
-        break;
-      }
-      case Op::kMul: {
-        Interval& b = req_[pb];
-        if (!refine(a, r / b)) return false;
-        if (!refine(b, r / a)) return false;
-        break;
-      }
-      case Op::kDiv: {
-        Interval& b = req_[pb];
-        if (!refine(a, r * b)) return false;
-        if (!refine(b, a / r)) return false;
-        break;
-      }
-      case Op::kNeg:
-        if (!refine(a, -r)) return false;
-        break;
-      case Op::kSin: {
-        // Invertible only on the principal monotone branch.
-        const Interval principal(-interval::kPiLower / 2.0,
-                                 interval::kPiLower / 2.0);
-        if (principal.contains(a)) {
-          if (!refine(a, interval::asin(r))) return false;
-        }
-        break;
-      }
-      case Op::kCos: {
-        const Interval pos_branch(0.0, interval::kPiLower);
-        const Interval neg_branch(-interval::kPiLower, 0.0);
-        if (pos_branch.contains(a)) {
-          if (!refine(a, interval::acos(r))) return false;
-        } else if (neg_branch.contains(a)) {
-          if (!refine(a, -interval::acos(r))) return false;
-        }
-        break;
-      }
-      case Op::kTan: {
-        const Interval principal(-interval::kPiLower / 2.0,
-                                 interval::kPiLower / 2.0);
-        if (principal.contains(a)) {
-          if (!refine(a, interval::atan(r))) return false;
-        }
-        break;
-      }
-      case Op::kAtan:
-        if (!refine(a, interval::tan(r))) return false;
-        break;
-      case Op::kExp:
-        if (!refine(a, interval::log(r))) return false;
-        break;
-      case Op::kLog:
-        if (!refine(a, interval::exp(r))) return false;
-        break;
-      case Op::kSqrt:
-        if (!refine(a, interval::sqr(intersect(r, {0.0, kInf})))) {
-          return false;
-        }
-        break;
-      case Op::kSqr: {
-        const Interval s = interval::sqrt(r);
-        const Interval cand = hull(intersect(a, Interval(-s.hi(), -s.lo())),
-                                   intersect(a, s));
-        a = cand;
-        if (a.is_empty()) return false;
-        break;
-      }
-      case Op::kPow: {
-        if (n.index <= 0) break;  // no projection for non-positive powers
-        if (n.index % 2 == 0) {
-          const Interval s = interval::nth_root(r, n.index);
-          const Interval cand = hull(
-              intersect(a, Interval(-s.hi(), -s.lo())), intersect(a, s));
-          a = cand;
-          if (a.is_empty()) return false;
-        } else {
-          if (!refine(a, interval::nth_root(r, n.index))) return false;
-        }
-        break;
-      }
-      case Op::kTanh:
-        if (!refine(a, interval::atanh(r))) return false;
-        break;
-      case Op::kSigmoid:
-        if (!refine(a, interval::logit(r))) return false;
-        break;
-      case Op::kRelu: {
-        if (r.hi() < 0.0) return false;  // relu(x) ≥ 0 always
-        if (r.lo() > 0.0) {
-          if (!refine(a, r)) return false;
-        } else {
-          if (!refine(a, Interval(-kInf, r.hi()))) return false;
-        }
-        break;
-      }
-      case Op::kAbs: {
-        const Interval rr = intersect(r, {0.0, kInf});
-        if (rr.is_empty()) return false;
-        const Interval cand = hull(
-            intersect(a, Interval(-rr.hi(), -rr.lo())), intersect(a, rr));
-        a = cand;
-        if (a.is_empty()) return false;
-        break;
-      }
-      case Op::kMin: {
-        Interval& b = req_[pb];
-        // Both operands are ≥ min's lower bound.
-        if (!refine(a, Interval(r.lo(), kInf))) return false;
-        if (!refine(b, Interval(r.lo(), kInf))) return false;
-        // If one operand cannot attain the min, the other must.
-        if (b.lo() > r.hi() && !refine(a, Interval(-kInf, r.hi()))) {
-          return false;
-        }
-        if (a.lo() > r.hi() && !refine(b, Interval(-kInf, r.hi()))) {
-          return false;
-        }
-        break;
-      }
-      case Op::kMax: {
-        Interval& b = req_[pb];
-        if (!refine(a, Interval(-kInf, r.hi()))) return false;
-        if (!refine(b, Interval(-kInf, r.hi()))) return false;
-        if (b.hi() < r.lo() && !refine(a, Interval(r.lo(), kInf))) {
-          return false;
-        }
-        if (a.hi() < r.lo() && !refine(b, Interval(r.lo(), kInf))) {
-          return false;
-        }
-        break;
-      }
-      case Op::kConst:
-      case Op::kVar:
-        break;
-    }
+    Interval& a = req_[eval_->position_of(n.a)];
+    Interval* b =
+        n.b != kNoExpr ? &req_[eval_->position_of(n.b)] : nullptr;
+    if (!detail::project_node(n.op, n.index, r, a, b)) return false;
   }
   return true;
 }

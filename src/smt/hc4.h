@@ -14,30 +14,48 @@
 /// All projections are conservative (they may keep spurious points but
 /// never discard a real solution), so an empty result is a proof that the
 /// box contains no solution of the conjunction.
+///
+/// Two execution backends produce bit-identical results:
+///   * kTape (default): the conjunction is compiled once into a flat
+///     interval bytecode tape (src/smt/tape.h) and both sweeps are tight
+///     loops over contiguous arrays — no pointer-chasing into the
+///     ExprPool. Tapes are immutable and shared across ICP workers.
+///   * kTree: the original per-node walk over the Evaluator schedule,
+///     kept for differential testing (BCERT_HC4_MODE=tree).
 
+#include <memory>
 #include <vector>
 
 #include "src/expr/eval.h"
 #include "src/interval/box.h"
 #include "src/smt/constraint.h"
+#include "src/smt/tape.h"
 
 namespace bcert::smt {
 
-/// Outcome of one contraction pass.
-enum class ContractResult : std::uint8_t {
-  kEmpty,       ///< box proven infeasible
-  kContracted,  ///< box narrowed
-  kNoChange,    ///< fixpoint for this pass
-};
+/// HC4 execution backend selector. kAuto resolves through the
+/// BCERT_HC4_MODE environment variable ("tree" / "tape"), default kTape.
+enum class Hc4Mode : std::uint8_t { kAuto, kTape, kTree };
 
-/// HC4 contractor specialized to one conjunction (shared evaluator).
+/// Resolves kAuto against BCERT_HC4_MODE (cached after the first call).
+Hc4Mode resolve_hc4_mode(Hc4Mode mode);
+
+/// HC4 contractor specialized to one conjunction.
 class Hc4Contractor {
  public:
-  /// Builds the shared evaluation schedule for all constraint roots.
-  Hc4Contractor(const expr::ExprPool& pool, Conjunction conjunction);
+  /// Compiles the conjunction for the selected backend.
+  Hc4Contractor(const expr::ExprPool& pool, Conjunction conjunction,
+                Hc4Mode mode = Hc4Mode::kAuto);
 
-  const Conjunction& conjunction() const { return conjunction_; }
-  const expr::Evaluator& evaluator() const { return eval_; }
+  /// Shares an already-compiled tape (private register file only) — how
+  /// parallel ICP workers avoid recompiling the schedule per worker.
+  explicit Hc4Contractor(std::shared_ptr<const Hc4Tape> tape);
+
+  const Conjunction& conjunction() const {
+    return tape_ ? tape_->conjunction() : conjunction_;
+  }
+  /// The compiled tape (null when running the tree backend).
+  const std::shared_ptr<const Hc4Tape>& tape() const { return tape_; }
 
   /// One forward+backward pass; narrows \p box in place.
   ContractResult contract(interval::Box& box);
@@ -52,19 +70,42 @@ class Hc4Contractor {
 
   /// True when every constraint is certainly satisfied over \p box
   /// (then any point of the box, e.g. its midpoint, is a real witness).
+  /// Reuses the most recent forward sweep when it was over this same box
+  /// (e.g. a contract() pass that reached a fixpoint), so the ICP hot
+  /// loop does not pay a second full evaluation per box.
   bool certainly_satisfied(const interval::Box& box);
 
   /// True when some constraint is certainly violated over \p box.
   bool certainly_violated(const interval::Box& box);
 
- private:
-  /// Projects node requirements onto children; false on empty.
-  bool backward_sweep();
+  /// Both verdicts from a single forward evaluation.
+  struct Certainty {
+    bool satisfied;
+    bool violated;
+  };
+  Certainty certainty(const interval::Box& box);
 
+ private:
+  /// Tree backend: projects node requirements onto children.
+  bool backward_sweep();
+  /// Root enclosures for \p box, via the cache when it is fresh.
+  const std::vector<interval::Interval>& roots_for(const interval::Box& box);
+
+  // Tape backend state.
+  std::shared_ptr<const Hc4Tape> tape_;
+  Hc4Tape::Registers regs_;
+
+  // Tree backend state (unused when tape_ is set).
   Conjunction conjunction_;
-  expr::Evaluator eval_;
+  std::unique_ptr<expr::Evaluator> eval_;
   std::vector<std::size_t> root_positions_;
   std::vector<interval::Interval> req_;  // per schedule node requirement
+
+  // Forward-root cache: enclosures from the latest forward sweep and the
+  // box they were evaluated over.
+  std::vector<interval::Interval> cached_roots_;
+  interval::Box cached_box_;
+  bool cache_valid_ = false;
 };
 
 }  // namespace bcert::smt

@@ -92,16 +92,41 @@ void merge_stats(IcpStats& into, const IcpStats& from) {
   into.max_depth_width = std::min(into.max_depth_width, from.max_depth_width);
 }
 
+/// Where a query's workers get their contractors from. In tape mode the
+/// conjunction is compiled exactly once and every worker shares the
+/// immutable tape (each contractor then owns just a register file); in
+/// tree mode each worker compiles its own evaluator, as the seed did.
+struct ContractorSpec {
+  const expr::ExprPool* pool = nullptr;
+  const Conjunction* conjunction = nullptr;
+  std::shared_ptr<const Hc4Tape> tape;  // null → tree backend
+
+  ContractorSpec(const expr::ExprPool& p, const Conjunction& c,
+                 const IcpConfig& config) {
+    if (resolve_hc4_mode(config.hc4_mode) == Hc4Mode::kTape) {
+      tape = config.tape_cache ? config.tape_cache->get_or_compile(p, c)
+                               : std::make_shared<const Hc4Tape>(p, c);
+    } else {
+      pool = &p;
+      conjunction = &c;
+    }
+  }
+
+  Hc4Contractor make() const {
+    return tape ? Hc4Contractor(tape)
+                : Hc4Contractor(*pool, *conjunction, Hc4Mode::kTree);
+  }
+};
+
 /// Classic depth-first branch-and-prune over one conjunction, driven by
 /// a shared budget/cancellation pair. With a fresh budget and token this
 /// is exactly the sequential seed algorithm (same exploration order,
 /// same witness); under DNF dispatch several instances run concurrently.
-void solve_sequential(const expr::ExprPool& pool,
-                      const Conjunction& conjunction,
-                      const interval::Box& box, const IcpConfig& config,
-                      SharedBudget& budget, SharedOutcome& outcome,
+void solve_sequential(const ContractorSpec& spec, const interval::Box& box,
+                      const IcpConfig& config, SharedBudget& budget,
+                      SharedOutcome& outcome,
                       parallel::CancellationToken& cancel, IcpStats& stats) {
-  Hc4Contractor contractor(pool, conjunction);
+  Hc4Contractor contractor = spec.make();
 
   // DFS work stack: depth-first finds witnesses fast and keeps memory
   // bounded by (depth x dimension).
@@ -199,9 +224,9 @@ struct Frontier {
 /// Parallel branch-and-prune: the frontier is shared, every worker runs
 /// its own contractor (HC4 keeps mutable per-schedule scratch), and the
 /// first (δ-)SAT box cancels everyone.
-void solve_parallel(const expr::ExprPool& pool, const Conjunction& conjunction,
-                    const interval::Box& box, const IcpConfig& config,
-                    int workers, SharedBudget& budget, SharedOutcome& outcome,
+void solve_parallel(const ContractorSpec& spec, const interval::Box& box,
+                    const IcpConfig& config, int workers,
+                    SharedBudget& budget, SharedOutcome& outcome,
                     parallel::CancellationToken& cancel,
                     IcpStats& merged_stats) {
   Frontier frontier(static_cast<std::size_t>(workers));
@@ -213,7 +238,7 @@ void solve_parallel(const expr::ExprPool& pool, const Conjunction& conjunction,
 
   parallel::ThreadPool::global().run_on_workers(
       static_cast<std::size_t>(workers), [&](std::size_t w) {
-        Hc4Contractor contractor(pool, conjunction);
+        Hc4Contractor contractor = spec.make();
         IcpStats& stats = worker_stats[w];
         interval::Box current;
         int idle_spins = 0;
@@ -311,15 +336,15 @@ IcpResult IcpSolver::solve(const Conjunction& conjunction,
   IcpStats stats;
   stats.max_depth_width = box.max_width();
 
+  const ContractorSpec spec(*pool_, conjunction, config_);
   const int threads = parallel::resolve_thread_count(config_.threads);
   if (threads <= 1 || box.is_empty()) {
     IcpStats seq_stats;
-    solve_sequential(*pool_, conjunction, box, config_, budget, outcome,
-                     cancel, seq_stats);
+    solve_sequential(spec, box, config_, budget, outcome, cancel, seq_stats);
     merge_stats(stats, seq_stats);
   } else {
-    solve_parallel(*pool_, conjunction, box, config_, threads, budget,
-                   outcome, cancel, stats);
+    solve_parallel(spec, box, config_, threads, budget, outcome, cancel,
+                   stats);
   }
   return finalize(outcome, budget, stats);
 }
@@ -368,8 +393,12 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
           outcomes[i].sat_witness = box;
           cancel.cancel();
         } else {
-          solve_sequential(*pool_, dnf.disjuncts[i], box, config_, budget,
-                           outcomes[i], cancel, stats);
+          // Compile lazily on the claiming strand: a DNF whose first
+          // disjunct SATs immediately cancels the rest before their
+          // (O(nodes)) tape compilations ever run.
+          const ContractorSpec spec(*pool_, dnf.disjuncts[i], config_);
+          solve_sequential(spec, box, config_, budget, outcomes[i],
+                           cancel, stats);
           if (outcomes[i].exhausted.load(std::memory_order_acquire)) {
             dnf_outcome.exhausted.store(true, std::memory_order_release);
           }
@@ -425,13 +454,14 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
       continue;
     }
     if (!box.is_empty()) {
+      const ContractorSpec spec(*pool_, disjunct, config_);
       if (threads > 1) {
-        solve_parallel(*pool_, disjunct, box, config_, threads, budget,
-                       outcome, cancel, stats);
+        solve_parallel(spec, box, config_, threads, budget, outcome, cancel,
+                       stats);
       } else {
         IcpStats seq_stats;
-        solve_sequential(*pool_, disjunct, box, config_, budget, outcome,
-                         cancel, seq_stats);
+        solve_sequential(spec, box, config_, budget, outcome, cancel,
+                         seq_stats);
         merge_stats(stats, seq_stats);
       }
     }

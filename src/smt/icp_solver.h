@@ -29,6 +29,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -53,6 +54,16 @@ struct IcpConfig {
   /// Branch-and-prune parallelism: 0 = auto (BCERT_THREADS / hardware),
   /// 1 = sequential (bit-identical to the classic solver), N = N workers.
   int threads = 0;
+  /// HC4 backend: kAuto honors BCERT_HC4_MODE (default: compiled tape).
+  /// With the tape backend the conjunction is compiled once per query
+  /// and shared read-only by all workers, each holding only a private
+  /// interval register file.
+  Hc4Mode hc4_mode = Hc4Mode::kAuto;
+  /// Optional cross-query tape cache (multi-query ICP): when set,
+  /// compiled tapes are reused for repeated conjunction signatures —
+  /// e.g. the verifier's adaptive-δ re-checks of the same query. Must
+  /// not outlive the ExprPool it caches for.
+  std::shared_ptr<TapeCache> tape_cache;
 };
 
 /// Solver statistics (one query).

@@ -1,0 +1,201 @@
+#pragma once
+/// \file projections.h
+/// \brief Backward (reverse) interval projections for HC4.
+///
+/// One node of the constraint DAG has a *requirement* r — the set of
+/// values it must take for the constraint system to be satisfiable — and
+/// `project_node` narrows its children's requirements through the inverse
+/// operation. Shared by the tree-walking contractor (`Hc4Contractor`) and
+/// the compiled bytecode tape (`Hc4Tape`), so the two paths are
+/// projection-for-projection identical and can be differentially tested.
+///
+/// Every projection is conservative: it may keep spurious points but
+/// never discards a real solution. Returning false means some child's
+/// requirement became empty — a proof the enclosing box is infeasible.
+
+#include <limits>
+
+#include "src/expr/expr.h"
+#include "src/interval/interval.h"
+
+namespace bcert::smt::detail {
+
+using interval::Interval;
+
+inline constexpr double kProjInf = std::numeric_limits<double>::infinity();
+
+/// Refines `target` with the relational quotient num ÷ den (the set
+/// {x : x·y ∈ num, y ∈ den}). Uses two-branch extended division and
+/// intersects each branch with `target` *before* hulling, which prunes
+/// where plain interval division would return entire (e.g. den = [-1,1]
+/// with 0 ∉ num). Sound for divisors that touch or straddle zero: when
+/// 0 ∈ num and 0 ∈ den no pruning happens (any x solves x·0 = 0 ∈ num).
+inline bool refine_quotient(Interval& target, const Interval& num,
+                            const Interval& den) {
+  Interval q1, q2;
+  const int pieces = interval::extended_div(num, den, q1, q2);
+  if (pieces == 0) {
+    target = Interval::empty();
+    return false;
+  }
+  Interval out = intersect(target, q1);
+  if (pieces == 2) out = hull(out, intersect(target, q2));
+  target = out;
+  return !target.is_empty();
+}
+
+/// Projects requirement \p r of a node with operation \p op (and integer
+/// payload \p index, the kPow exponent) onto its children \p a and \p b
+/// (null for unary ops). Children are narrowed in place; false when a
+/// child's requirement becomes empty.
+inline bool project_node(expr::Op op, std::int32_t index, const Interval& r,
+                         Interval& a, Interval* b) {
+  using expr::Op;
+
+  auto refine = [](Interval& target, const Interval& with) {
+    target = intersect(target, with);
+    return !target.is_empty();
+  };
+
+  switch (op) {
+    case Op::kAdd:
+      if (!refine(a, r - *b)) return false;
+      if (!refine(*b, r - a)) return false;
+      break;
+    case Op::kSub:
+      if (!refine(a, r + *b)) return false;
+      if (!refine(*b, a - r)) return false;
+      break;
+    case Op::kMul:
+      // a·b ∈ r: extended division keeps this sound when the sibling
+      // touches zero (plain r/b is empty for b = [0,0] even though any
+      // a satisfies a·0 = 0 ∈ r) and tighter when it straddles zero.
+      if (!refine_quotient(a, r, *b)) return false;
+      if (!refine_quotient(*b, r, a)) return false;
+      break;
+    case Op::kDiv:
+      // a/b ∈ r ⇒ a ∈ r·b, and b ∈ {y : y·v ∈ a for some v ∈ r}.
+      if (!refine(a, r * *b)) return false;
+      if (!refine_quotient(*b, a, r)) return false;
+      break;
+    case Op::kNeg:
+      if (!refine(a, -r)) return false;
+      break;
+    case Op::kSin: {
+      // Invertible only on the principal monotone branch.
+      const Interval principal(-interval::kPiLower / 2.0,
+                               interval::kPiLower / 2.0);
+      if (principal.contains(a)) {
+        if (!refine(a, interval::asin(r))) return false;
+      }
+      break;
+    }
+    case Op::kCos: {
+      const Interval pos_branch(0.0, interval::kPiLower);
+      const Interval neg_branch(-interval::kPiLower, 0.0);
+      if (pos_branch.contains(a)) {
+        if (!refine(a, interval::acos(r))) return false;
+      } else if (neg_branch.contains(a)) {
+        if (!refine(a, -interval::acos(r))) return false;
+      }
+      break;
+    }
+    case Op::kTan: {
+      const Interval principal(-interval::kPiLower / 2.0,
+                               interval::kPiLower / 2.0);
+      if (principal.contains(a)) {
+        if (!refine(a, interval::atan(r))) return false;
+      }
+      break;
+    }
+    case Op::kAtan:
+      if (!refine(a, interval::tan(r))) return false;
+      break;
+    case Op::kExp:
+      if (!refine(a, interval::log(r))) return false;
+      break;
+    case Op::kLog:
+      if (!refine(a, interval::exp(r))) return false;
+      break;
+    case Op::kSqrt:
+      if (!refine(a, interval::sqr(intersect(r, {0.0, kProjInf})))) {
+        return false;
+      }
+      break;
+    case Op::kSqr: {
+      // a² is never negative: clip the requirement to [0, ∞) first and
+      // prune outright when it is entirely negative (mirrors kAbs). The
+      // two square-root branches are intersected with a before hulling.
+      const Interval rr = intersect(r, {0.0, kProjInf});
+      if (rr.is_empty()) return false;
+      const Interval s = interval::sqrt(rr);
+      a = hull(intersect(a, Interval(-s.hi(), -s.lo())), intersect(a, s));
+      if (a.is_empty()) return false;
+      break;
+    }
+    case Op::kPow: {
+      if (index <= 0) break;  // no projection for non-positive powers
+      if (index % 2 == 0) {
+        // Even power: same nonnegativity clip as kSqr.
+        const Interval rr = intersect(r, {0.0, kProjInf});
+        if (rr.is_empty()) return false;
+        const Interval s = interval::nth_root(rr, index);
+        a = hull(intersect(a, Interval(-s.hi(), -s.lo())), intersect(a, s));
+        if (a.is_empty()) return false;
+      } else {
+        if (!refine(a, interval::nth_root(r, index))) return false;
+      }
+      break;
+    }
+    case Op::kTanh:
+      if (!refine(a, interval::atanh(r))) return false;
+      break;
+    case Op::kSigmoid:
+      if (!refine(a, interval::logit(r))) return false;
+      break;
+    case Op::kRelu: {
+      if (r.hi() < 0.0) return false;  // relu(x) ≥ 0 always
+      if (r.lo() > 0.0) {
+        if (!refine(a, r)) return false;
+      } else {
+        if (!refine(a, Interval(-kProjInf, r.hi()))) return false;
+      }
+      break;
+    }
+    case Op::kAbs: {
+      const Interval rr = intersect(r, {0.0, kProjInf});
+      if (rr.is_empty()) return false;
+      a = hull(intersect(a, Interval(-rr.hi(), -rr.lo())), intersect(a, rr));
+      if (a.is_empty()) return false;
+      break;
+    }
+    case Op::kMin:
+      // Both operands are ≥ min's lower bound.
+      if (!refine(a, Interval(r.lo(), kProjInf))) return false;
+      if (!refine(*b, Interval(r.lo(), kProjInf))) return false;
+      // If one operand cannot attain the min, the other must.
+      if (b->lo() > r.hi() && !refine(a, Interval(-kProjInf, r.hi()))) {
+        return false;
+      }
+      if (a.lo() > r.hi() && !refine(*b, Interval(-kProjInf, r.hi()))) {
+        return false;
+      }
+      break;
+    case Op::kMax:
+      if (!refine(a, Interval(-kProjInf, r.hi()))) return false;
+      if (!refine(*b, Interval(-kProjInf, r.hi()))) return false;
+      if (b->hi() < r.lo() && !refine(a, Interval(r.lo(), kProjInf))) {
+        return false;
+      }
+      if (a.hi() < r.lo() && !refine(*b, Interval(r.lo(), kProjInf))) {
+        return false;
+      }
+      break;
+    case Op::kConst:
+    case Op::kVar:
+      break;
+  }
+  return true;
+}
+
+}  // namespace bcert::smt::detail

@@ -1,0 +1,408 @@
+#include "src/smt/tape.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+#include "src/expr/eval.h"
+#include "src/smt/projections.h"
+
+#if defined(__SSE2__)
+#define BCERT_TAPE_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace bcert::smt {
+
+using expr::ExprId;
+using expr::kNoExpr;
+using expr::Node;
+using expr::Op;
+using interval::Interval;
+
+namespace {
+
+/// x · [w, w] for fixed-sign nonzero finite w — bit-for-bit equal to the
+/// general operator* (multiplication by a constant is monotone, and
+/// mul_ep's 0·∞ = 0 convention is preserved) at half the endpoint work.
+inline Interval mul_const(const Interval& x, double w) {
+  if (x.is_empty()) return Interval::empty();
+  if (x.lo() == 0.0 && x.hi() == 0.0) return Interval(0.0);
+  const double p1 = interval::detail::mul_ep(x.lo(), w);
+  const double p2 = interval::detail::mul_ep(x.hi(), w);
+  return w > 0.0
+             ? Interval(interval::prev_float(p1), interval::next_float(p2))
+             : Interval(interval::prev_float(p2), interval::next_float(p1));
+}
+
+#if BCERT_TAPE_SSE2
+// --- SIMD interval kernels (tape engine only) -------------------------------
+// The flat register layout lets the sweeps treat an Interval as one
+// two-lane vector [lo, hi]. These kernels are bit-for-bit equal to the
+// scalar operations (the differential fuzz suite checks this), including
+// the ±0 / ±inf / NaN edges of the outward rounding.
+
+inline __m128d load_iv(const Interval& x) {
+  return _mm_set_pd(x.hi(), x.lo());  // lane0 = lo, lane1 = hi
+}
+
+inline Interval store_iv(__m128d v) {
+  alignas(16) double d[2];
+  _mm_store_pd(d, v);
+  return Interval(d[0], d[1]);
+}
+
+/// [prev_float(lo), next_float(hi)] — branchless vector twin of the
+/// scalar helpers: IEEE-754 bit step away from the interval, ±0 mapped
+/// to the first subnormal of the step direction, the saturating endpoint
+/// (-inf on the lo lane, +inf on the hi lane) and NaN passed through.
+inline __m128d outward_pd(__m128d v) {
+  const __m128i bits = _mm_castpd_si128(v);
+  const __m128i sign = _mm_srli_epi64(bits, 63);  // 0 or 1 per lane
+  // Per-lane bit delta: lo lane steps sign?+1:-1, hi lane sign?-1:+1.
+  __m128i t = _mm_sub_epi64(_mm_slli_epi64(sign, 1), _mm_set1_epi64x(1));
+  const __m128i hi_lane = _mm_set_epi64x(-1, 0);
+  const __m128i neg_t = _mm_sub_epi64(_mm_setzero_si128(), t);
+  t = _mm_or_si128(_mm_and_si128(hi_lane, neg_t),
+                   _mm_andnot_si128(hi_lane, t));
+  __m128d stepped = _mm_castsi128_pd(_mm_add_epi64(bits, t));
+  // ±0 → smallest subnormal in the step direction.
+  const __m128d zero_mask = _mm_cmpeq_pd(v, _mm_setzero_pd());
+  const __m128d zero_step = _mm_castsi128_pd(_mm_set_epi64x(
+      1, static_cast<long long>(0x8000000000000001ULL)));
+  stepped = _mm_or_pd(_mm_and_pd(zero_mask, zero_step),
+                      _mm_andnot_pd(zero_mask, stepped));
+  // Keep saturating infinities and NaN unchanged.
+  const double inf = std::numeric_limits<double>::infinity();
+  const __m128d keep = _mm_or_pd(_mm_cmpeq_pd(v, _mm_set_pd(inf, -inf)),
+                                 _mm_cmpunord_pd(v, v));
+  return _mm_or_pd(_mm_and_pd(keep, v), _mm_andnot_pd(keep, stepped));
+}
+
+/// Forward addition (operands known nonempty, as all forward operands
+/// are once the leaves are loaded — matches operator+ bit-for-bit).
+inline Interval add_iv(const Interval& a, const Interval& b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return store_iv(outward_pd(_mm_add_pd(load_iv(a), load_iv(b))));
+}
+
+/// target ∩= (r − s), the kAdd projection leg. All operands are nonempty
+/// (the backward sweep aborts the moment anything empties), so the
+/// scalar empty pre-checks are vacuous and skipped; the max/min operand
+/// order and the NaN behavior replicate scalar intersect exactly.
+inline bool refine_sub(Interval& target, __m128d r, const Interval& s) {
+  const __m128d sv = load_iv(s);
+  const __m128d diff =
+      outward_pd(_mm_sub_pd(r, _mm_shuffle_pd(sv, sv, 1)));
+  const __m128d tv = load_iv(target);
+  const __m128d res = _mm_move_sd(_mm_min_pd(tv, diff),
+                                  _mm_max_pd(tv, diff));  // [max-lo, min-hi]
+  alignas(16) double d[2];
+  _mm_store_pd(d, res);
+  target = Interval(d[0], d[1]);
+  return !(d[0] > d[1]);  // mirrors !is_empty(), NaN-tolerant
+}
+#endif  // BCERT_TAPE_SSE2
+
+/// r · rec for a reciprocal interval of known sign (never empty, never
+/// touching zero). Monotonicity in r collapses the four-product general
+/// multiply to one endpoint pair per bound; any ±0 sign discrepancy with
+/// the general path is erased by the outward rounding (prev/next_float
+/// treat +0 and -0 identically), so results stay bit-identical.
+inline Interval mul_rec(const Interval& r, const Interval& rec,
+                        bool positive) {
+  if (r.lo() == 0.0 && r.hi() == 0.0) return Interval(0.0);
+  using interval::detail::mul_ep;
+  double lo, hi;
+  if (positive) {
+    lo = std::min(mul_ep(r.lo(), rec.lo()), mul_ep(r.lo(), rec.hi()));
+    hi = std::max(mul_ep(r.hi(), rec.lo()), mul_ep(r.hi(), rec.hi()));
+  } else {
+    lo = std::min(mul_ep(r.hi(), rec.lo()), mul_ep(r.hi(), rec.hi()));
+    hi = std::max(mul_ep(r.lo(), rec.lo()), mul_ep(r.lo(), rec.hi()));
+  }
+  return {interval::prev_float(lo), interval::next_float(hi)};
+}
+
+/// refine_quotient specialized to a target known to be exactly [w, w]:
+/// the intersect-and-hull collapses to a membership test (the result is
+/// [w, w] again when w lies in a quotient piece, empty otherwise), so
+/// the slot needs no write on the surviving path.
+inline bool const_quotient_feasible(double w, const Interval& num,
+                                    const Interval& den) {
+  Interval q1, q2;
+  const int pieces = interval::extended_div(num, den, q1, q2);
+  return (pieces >= 1 && q1.contains(w)) || (pieces == 2 && q2.contains(w));
+}
+
+}  // namespace
+
+Hc4Tape::Hc4Tape(const expr::ExprPool& pool, Conjunction conjunction)
+    : conjunction_(std::move(conjunction)) {
+  std::vector<ExprId> roots;
+  roots.reserve(conjunction_.size());
+  for (const Constraint& k : conjunction_.constraints) roots.push_back(k.lhs);
+
+  // Borrow the evaluator's topological schedule so the *instruction
+  // order* — and therefore every arithmetic step — matches the
+  // tree-walking path exactly (the differential fuzz suite relies on
+  // this). Register numbering is free to differ: slots are laid out as
+  // [constants | variables | interior nodes], each group in schedule
+  // order, so the leaf loads are contiguous (one memcpy re-seeds every
+  // constant) and the forward sweep writes a dense ascending range.
+  const expr::Evaluator ev(pool, std::move(roots));
+  const std::vector<ExprId>& schedule = ev.schedule();
+  num_slots_ = schedule.size();
+
+  std::vector<TapeSlot> slot_of(schedule.size());
+  std::size_t num_consts = 0, num_vars = 0;
+  for (const ExprId id : schedule) {
+    const Op op = pool.node(id).op;
+    num_consts += op == Op::kConst;
+    num_vars += op == Op::kVar;
+  }
+  std::size_t next_const = 0;
+  std::size_t next_var = num_consts;
+  std::size_t next_interior = num_consts + num_vars;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Op op = pool.node(schedule[i]).op;
+    std::size_t& counter = op == Op::kConst  ? next_const
+                           : op == Op::kVar ? next_var
+                                            : next_interior;
+    slot_of[i] = static_cast<TapeSlot>(counter++);
+  }
+
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const Node& n = pool.node(schedule[i]);
+    const TapeSlot slot = slot_of[i];
+    if (n.op == Op::kVar) {
+      var_slots_.push_back(slot);
+      var_dims_.push_back(static_cast<std::uint32_t>(n.index));
+      continue;
+    }
+    if (n.op == Op::kConst) {
+      const_slots_.push_back(slot);
+      const_values_.push_back(Interval(n.value));
+      continue;
+    }
+    if (n.op == Op::kPow && (n.index > INT16_MAX || n.index < INT16_MIN)) {
+      throw std::invalid_argument("Hc4Tape: kPow exponent out of range");
+    }
+    TapeInstr ins;
+    ins.op = n.op;
+    ins.exponent = static_cast<std::int16_t>(n.index);
+    ins.dst = slot;
+    ins.a = slot_of[ev.position_of(n.a)];
+    ins.b = n.b != kNoExpr ? slot_of[ev.position_of(n.b)] : kNoSlot;
+
+    // Strength-reduce multiplies with one constant operand (weight
+    // products dominate NN-derived conjunctions).
+    if (n.op == Op::kMul && mul_const_.size() <= INT16_MAX) {
+      const Node& ca = pool.node(n.a);
+      const Node& cb = pool.node(n.b);
+      const bool a_const = ca.op == Op::kConst;
+      const bool b_const = cb.op == Op::kConst;
+      if (a_const != b_const) {
+        const double w = a_const ? ca.value : cb.value;
+        if (w != 0.0 && std::isfinite(w)) {
+          MulConstSpec sp;
+          sp.w = w;
+          sp.rec = Interval(interval::prev_float(1.0 / w),
+                            interval::next_float(1.0 / w));
+          sp.var_slot = a_const ? ins.b : ins.a;
+          sp.const_slot = a_const ? ins.a : ins.b;
+          sp.var_is_a = !a_const;
+          ins.spec = kSpecMulConst;
+          ins.exponent = static_cast<std::int16_t>(mul_const_.size());
+          mul_const_.push_back(sp);
+        }
+      }
+    }
+    code_.push_back(ins);
+  }
+
+  root_slots_.reserve(conjunction_.size());
+  root_feasible_.reserve(conjunction_.size());
+  for (const Constraint& k : conjunction_.constraints) {
+    root_slots_.push_back(slot_of[ev.position_of(k.lhs)]);
+    root_feasible_.push_back(k.feasible_values());
+  }
+}
+
+Hc4Tape::Registers Hc4Tape::make_registers() const {
+  Registers regs(num_slots_);
+  std::copy(const_values_.begin(), const_values_.end(), regs.begin());
+  return regs;
+}
+
+void Hc4Tape::load_leaves(const interval::Box& box, Registers& regs) const {
+  // Constants are re-seeded every pass: the backward sweep projects
+  // requirements into *all* child slots, including constant leaves, and
+  // those narrowed points must not leak into the next query's forward
+  // values. The layout makes this one contiguous block copy.
+  std::copy(const_values_.begin(), const_values_.end(), regs.begin());
+  Interval* const var_regs = regs.data() + const_values_.size();
+  for (std::size_t i = 0; i < var_slots_.size(); ++i) {
+    var_regs[i] = box[var_dims_[i]];
+  }
+}
+
+void Hc4Tape::forward(Registers& regs) const {
+  static const Interval kNoOperand;  // matches the tree path's empty filler
+  Interval* const r = regs.data();
+  const TapeInstr* const code = code_.data();
+  const MulConstSpec* const mc = mul_const_.data();
+  const std::size_t n = code_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const TapeInstr ins = code[i];
+    if (ins.spec == kSpecMulConst) {
+      const MulConstSpec& sp = mc[ins.exponent];
+      r[ins.dst] = mul_const(r[sp.var_slot], sp.w);
+      continue;
+    }
+#if BCERT_TAPE_SSE2
+    if (ins.op == Op::kAdd) {
+      r[ins.dst] = add_iv(r[ins.a], r[ins.b]);
+      continue;
+    }
+#endif
+    const Interval& a = r[ins.a];
+    const Interval& b = ins.b != kNoSlot ? r[ins.b] : kNoOperand;
+    r[ins.dst] = expr::apply_interval_op(ins.op, ins.exponent, a, b);
+  }
+}
+
+void Hc4Tape::eval_roots(const interval::Box& box, Registers& regs,
+                         std::vector<Interval>& out) const {
+  if (regs.size() != num_slots_) regs = make_registers();
+  load_leaves(box, regs);
+  forward(regs);
+  out.resize(root_slots_.size());
+  for (std::size_t i = 0; i < root_slots_.size(); ++i) {
+    out[i] = regs[root_slots_[i]];
+  }
+}
+
+ContractResult Hc4Tape::contract(interval::Box& box, Registers& regs,
+                                 std::vector<Interval>* fwd_roots) const {
+  if (regs.size() != num_slots_) regs = make_registers();
+  load_leaves(box, regs);
+  forward(regs);
+
+  if (fwd_roots != nullptr) {
+    fwd_roots->resize(root_slots_.size());
+    for (std::size_t i = 0; i < root_slots_.size(); ++i) {
+      (*fwd_roots)[i] = regs[root_slots_[i]];
+    }
+  }
+
+  // Intersect each constraint root with its feasible value set.
+  for (std::size_t i = 0; i < root_slots_.size(); ++i) {
+    Interval& root = regs[root_slots_[i]];
+    root = intersect(root, root_feasible_[i]);
+    if (root.is_empty()) return ContractResult::kEmpty;
+  }
+
+  // Reverse sweep: instructions are in topological order, so walking the
+  // code backwards processes parents before children and each dst's
+  // requirement is final when projected downward.
+  Interval* const reg = regs.data();
+  const TapeInstr* const code = code_.data();
+  const MulConstSpec* const mc = mul_const_.data();
+  for (std::size_t i = code_.size(); i-- > 0;) {
+    const TapeInstr ins = code[i];
+    const Interval r = reg[ins.dst];
+    if (r.is_empty()) return ContractResult::kEmpty;
+    if (ins.spec == kSpecMulConst) {
+      // Same two projection legs as the generic kMul, in the generic
+      // order, but the division by the pristine [w, w] sibling is the
+      // precompiled reciprocal multiply.
+      const MulConstSpec& sp = mc[ins.exponent];
+      Interval& x = reg[sp.var_slot];
+      if (sp.var_is_a) {
+        x = intersect(x, mul_rec(r, sp.rec, sp.w > 0.0));
+        if (x.is_empty()) return ContractResult::kEmpty;
+        if (!const_quotient_feasible(sp.w, r, x)) {
+          return ContractResult::kEmpty;
+        }
+      } else {
+        if (!const_quotient_feasible(sp.w, r, x)) {
+          return ContractResult::kEmpty;
+        }
+        x = intersect(x, mul_rec(r, sp.rec, sp.w > 0.0));
+        if (x.is_empty()) return ContractResult::kEmpty;
+      }
+      continue;
+    }
+#if BCERT_TAPE_SSE2
+    if (ins.op == Op::kAdd) {
+      // Generic kAdd projections, two-lane vectorized.
+      const __m128d rv = load_iv(r);
+      if (!refine_sub(reg[ins.a], rv, reg[ins.b])) {
+        return ContractResult::kEmpty;
+      }
+      if (!refine_sub(reg[ins.b], rv, reg[ins.a])) {
+        return ContractResult::kEmpty;
+      }
+      continue;
+    }
+#endif
+    Interval* b = ins.b != kNoSlot ? &reg[ins.b] : nullptr;
+    if (!detail::project_node(ins.op, ins.exponent, r, reg[ins.a], b)) {
+      return ContractResult::kEmpty;
+    }
+  }
+
+  // Read back the narrowed variable slots.
+  bool changed = false;
+  for (std::size_t i = 0; i < var_slots_.size(); ++i) {
+    const std::uint32_t dim = var_dims_[i];
+    const Interval narrowed = intersect(box[dim], regs[var_slots_[i]]);
+    if (narrowed.is_empty()) return ContractResult::kEmpty;
+    if (!(narrowed == box[dim])) {
+      box[dim] = narrowed;
+      changed = true;
+    }
+  }
+  return changed ? ContractResult::kContracted : ContractResult::kNoChange;
+}
+
+TapeCache::Signature TapeCache::signature_of(const expr::ExprPool& pool,
+                                             const Conjunction& c) {
+  Signature sig;
+  sig.first = &pool;
+  sig.second.reserve(c.size());
+  for (const Constraint& k : c.constraints) {
+    sig.second.emplace_back(k.lhs, k.rel);
+  }
+  return sig;
+}
+
+std::shared_ptr<const Hc4Tape> TapeCache::get_or_compile(
+    const expr::ExprPool& pool, const Conjunction& c) {
+  Signature sig = signature_of(pool, c);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = tapes_.find(sig);
+    if (it != tapes_.end()) return it->second;
+  }
+  // Compile outside the lock; a racing duplicate compile is harmless
+  // (emplace keeps the first, both tapes are equivalent).
+  auto tape = std::make_shared<const Hc4Tape>(pool, c);
+  std::lock_guard<std::mutex> lock(m_);
+  // Epoch reset keeps the cache bounded across a long candidate loop:
+  // each LP ↔ SMT iteration mints fresh W constants (new ExprIds, new
+  // signatures), so stale candidates' tapes can never hit again. The
+  // live query set at any moment is small — current candidate × a few
+  // check kinds — and is simply recompiled after a reset.
+  if (tapes_.size() >= kMaxEntries) tapes_.clear();
+  return tapes_.emplace(std::move(sig), std::move(tape)).first->second;
+}
+
+std::size_t TapeCache::size() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return tapes_.size();
+}
+
+}  // namespace bcert::smt

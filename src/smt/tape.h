@@ -1,0 +1,158 @@
+#pragma once
+/// \file tape.h
+/// \brief Compiled interval bytecode for HC4 contraction.
+///
+/// `Hc4Tape` lowers one `Conjunction` over an `ExprPool` into a flat
+/// program executed against a dense `Interval` register file:
+///
+///   * one register *slot* per reachable DAG node, numbered in
+///     topological order (children before parents — the same order the
+///     tree-walking evaluator uses, so results are bit-identical);
+///   * leaf loads are data, not code: constant slots are preloaded from
+///     `const_slots_/const_values_` and variable slots are copied from
+///     the box through `var_slots_/var_dims_` — the sweeps never dispatch
+///     on kConst/kVar;
+///   * every interior node becomes one `TapeInstr { op, exponent, dst,
+///     a, b }`; the forward sweep runs the instructions in order
+///     (`regs[dst] = op(regs[a], regs[b])`) and the backward sweep runs
+///     them in reverse, projecting `regs[dst]`'s requirement onto
+///     `regs[a]`/`regs[b]` (src/smt/projections.h).
+///
+/// A tape is immutable after construction and holds no mutable scratch,
+/// so concurrent ICP workers share one `const Hc4Tape` and keep only a
+/// private register file (`make_registers`) — compile once per query, not
+/// once per worker — and the flat layout is the substrate for future
+/// SIMD interval kernels.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/interval/interval.h"
+#include "src/smt/constraint.h"
+
+namespace bcert::smt {
+
+/// Outcome of one contraction pass.
+enum class ContractResult : std::uint8_t {
+  kEmpty,       ///< box proven infeasible
+  kContracted,  ///< box narrowed
+  kNoChange,    ///< fixpoint for this pass
+};
+
+/// Register slot index inside a tape's register file.
+using TapeSlot = std::uint32_t;
+inline constexpr TapeSlot kNoSlot = 0xFFFFFFFFu;
+
+/// One interior-node instruction: dst = op(a, b). Packed to 16 bytes so
+/// the sweeps stream four instructions per cache line.
+struct TapeInstr {
+  TapeSlot dst = kNoSlot;
+  TapeSlot a = kNoSlot;
+  TapeSlot b = kNoSlot;  ///< kNoSlot for unary ops
+  expr::Op op = expr::Op::kConst;
+  std::int8_t spec = 0;       ///< specialization tag (kSpec* below)
+  std::int16_t exponent = 0;  ///< kPow exponent, or spec-table index
+};
+static_assert(sizeof(TapeInstr) == 16);
+
+/// TapeInstr::spec values.
+inline constexpr std::int8_t kSpecNone = 0;
+/// kMul with one constant operand: `exponent` indexes MulConstSpec.
+inline constexpr std::int8_t kSpecMulConst = 1;
+
+/// Compile-time data for a multiply-by-constant instruction (the bulk of
+/// NN-derived conjunctions: every weight product). The forward product
+/// needs only two endpoint multiplies (multiplication by a fixed-sign
+/// constant is monotone, bit-for-bit equal to the 4-product general
+/// path), and the backward reversal's division by [w, w] collapses to a
+/// multiply with this precomputed outward-rounded reciprocal. Sound for
+/// shared constant nodes: a point requirement [w, w] can only stay
+/// [w, w] or go empty (which aborts the sweep), so the reciprocal can
+/// never go stale mid-sweep.
+struct MulConstSpec {
+  double w = 0.0;                ///< the constant operand
+  interval::Interval rec;        ///< outward-rounded [1/w, 1/w] enclosure
+  TapeSlot var_slot = kNoSlot;   ///< the non-constant operand
+  TapeSlot const_slot = kNoSlot;
+  bool var_is_a = false;  ///< preserves the generic projection order
+};
+
+/// Immutable compiled HC4 program for one conjunction.
+class Hc4Tape {
+ public:
+  /// Per-worker mutable state: the flat interval register file.
+  using Registers = std::vector<interval::Interval>;
+
+  Hc4Tape(const expr::ExprPool& pool, Conjunction conjunction);
+
+  const Conjunction& conjunction() const { return conjunction_; }
+  std::size_t num_slots() const { return num_slots_; }
+  const std::vector<TapeInstr>& code() const { return code_; }
+
+  /// Fresh register file sized for this tape (constants preloaded).
+  Registers make_registers() const;
+
+  /// One forward+backward HC4 pass over \p box using \p regs as scratch.
+  /// When \p fwd_roots is non-null it receives the forward (natural
+  /// extension) enclosure of every constraint root — the values
+  /// `certainly_satisfied`/`certainly_violated` need — at no extra cost.
+  ContractResult contract(interval::Box& box, Registers& regs,
+                          std::vector<interval::Interval>* fwd_roots) const;
+
+  /// Forward-only evaluation of the constraint roots over \p box.
+  void eval_roots(const interval::Box& box, Registers& regs,
+                  std::vector<interval::Interval>& out) const;
+
+ private:
+  /// Loads constants and the box's variable dimensions into \p regs.
+  void load_leaves(const interval::Box& box, Registers& regs) const;
+  /// Runs the instruction stream front to back.
+  void forward(Registers& regs) const;
+
+  Conjunction conjunction_;
+  std::vector<TapeInstr> code_;
+  std::vector<MulConstSpec> mul_const_;
+  std::vector<TapeSlot> var_slots_;   // parallel arrays: slot ↔ box dim
+  std::vector<std::uint32_t> var_dims_;
+  std::vector<TapeSlot> const_slots_;  // parallel arrays: slot ↔ value
+  std::vector<interval::Interval> const_values_;
+  std::vector<TapeSlot> root_slots_;  // aligned with conjunction_
+  std::vector<interval::Interval> root_feasible_;
+  std::size_t num_slots_ = 0;
+};
+
+/// Multi-query tape cache, keyed by conjunction signature (constraint
+/// root ids + relations). The verifier's LP ↔ SMT refinement loop solves
+/// sequences of closely related queries — notably the adaptive-δ
+/// re-checks, which reuse *identical* hash-consed conjunctions — and a
+/// tape is immutable and self-contained, so compiled schedules can be
+/// shared across IcpSolver instances. ExprIds are only meaningful
+/// relative to their pool, so the pool's address is part of the key;
+/// keep a cache no longer than the pool it serves.
+class TapeCache {
+ public:
+  /// Returns the cached tape for \p c over \p pool, compiling on miss.
+  std::shared_ptr<const Hc4Tape> get_or_compile(const expr::ExprPool& pool,
+                                                const Conjunction& c);
+
+  std::size_t size() const;
+
+  /// Bound on cached tapes; reaching it clears the cache (epoch reset).
+  static constexpr std::size_t kMaxEntries = 64;
+
+ private:
+  using Signature =
+      std::pair<const void*, std::vector<std::pair<expr::ExprId, Rel>>>;
+  static Signature signature_of(const expr::ExprPool& pool,
+                                const Conjunction& c);
+
+  mutable std::mutex m_;
+  std::map<Signature, std::shared_ptr<const Hc4Tape>> tapes_;
+};
+
+}  // namespace bcert::smt

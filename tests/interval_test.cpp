@@ -300,5 +300,150 @@ TEST(Box, PointBox) {
   EXPECT_DOUBLE_EQ(p.max_width(), 0.0);
 }
 
+TEST(Interval, OutwardSteppingMatchesNextafter) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          5e-324,
+                          -5e-324,
+                          1.0,
+                          -1.0,
+                          1e-300,
+                          -1e308,
+                          std::numeric_limits<double>::max(),
+                          -std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double v : cases) {
+    // next/prev_float(±inf) saturate (the seed behavior the solver
+    // depends on); everything else must match libm exactly.
+    const double expect_next = v == inf ? inf : std::nextafter(v, inf);
+    const double expect_prev = v == -inf ? -inf : std::nextafter(v, -inf);
+    EXPECT_EQ(next_float(v), expect_next) << "v = " << v;
+    EXPECT_EQ(prev_float(v), expect_prev) << "v = " << v;
+  }
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> d(-1e12, 1e12);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = d(rng);
+    EXPECT_EQ(next_float(v), std::nextafter(v, inf));
+    EXPECT_EQ(prev_float(v), std::nextafter(v, -inf));
+  }
+}
+
+TEST(Interval, MulExactZeroTimesUnbounded) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // {0·y : y ∈ [a, ∞)} = {0}: the exact-zero operand short-circuit must
+  // hold for unbounded partners with no NaN endpoints.
+  EXPECT_EQ(Interval(0.0) * Interval(5.0, inf), Interval(0.0));
+  EXPECT_EQ(Interval(-3.0, inf) * Interval(0.0), Interval(0.0));
+  EXPECT_EQ(Interval(-inf, inf) * Interval(0.0, 0.0), Interval(0.0));
+}
+
+TEST(Interval, MulUnboundedGeneralPathHasNoNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // [-∞, ∞) × [0, 2]: the endpoint products include (-∞)·0 and ∞·0,
+  // which mul_ep must map to 0 rather than NaN.
+  const Interval a = Interval(-inf, inf) * Interval(0.0, 2.0);
+  EXPECT_FALSE(std::isnan(a.lo()));
+  EXPECT_FALSE(std::isnan(a.hi()));
+  EXPECT_EQ(a, Interval::entire());
+
+  const Interval b = Interval(0.0, 1.0) * Interval(2.0, inf);
+  EXPECT_FALSE(std::isnan(b.lo()));
+  EXPECT_FALSE(std::isnan(b.hi()));
+  EXPECT_LE(b.lo(), 0.0);
+  EXPECT_EQ(b.hi(), inf);
+
+  const Interval c = Interval(-inf, -1.0) * Interval(0.0, 3.0);
+  EXPECT_FALSE(std::isnan(c.lo()));
+  EXPECT_FALSE(std::isnan(c.hi()));
+  EXPECT_EQ(c.lo(), -inf);
+  EXPECT_GE(c.hi(), 0.0);
+}
+
+TEST(Interval, ExtendedDivOrdinary) {
+  Interval q1, q2;
+  ASSERT_EQ(extended_div(Interval(2.0, 4.0), Interval(1.0, 2.0), q1, q2), 1);
+  EXPECT_LE(q1.lo(), 1.0);
+  EXPECT_GE(q1.lo(), 1.0 - 1e-12);
+  EXPECT_GE(q1.hi(), 4.0);
+  EXPECT_LE(q1.hi(), 4.0 + 1e-12);
+}
+
+TEST(Interval, ExtendedDivStraddlingDivisorSplits) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Interval q1, q2;
+  // [2,4] ÷ [-1,1]: two rays (-∞, -2] ∪ [2, ∞).
+  ASSERT_EQ(extended_div(Interval(2.0, 4.0), Interval(-1.0, 1.0), q1, q2),
+            2);
+  EXPECT_EQ(q1.lo(), -inf);
+  EXPECT_NEAR(q1.hi(), -2.0, 1e-12);
+  EXPECT_NEAR(q2.lo(), 2.0, 1e-12);
+  EXPECT_EQ(q2.hi(), inf);
+
+  // Negative numerator mirror: [-4,-2] ÷ [-1,1].
+  ASSERT_EQ(extended_div(Interval(-4.0, -2.0), Interval(-1.0, 1.0), q1, q2),
+            2);
+  EXPECT_EQ(q1.lo(), -inf);
+  EXPECT_NEAR(q1.hi(), -2.0, 1e-12);
+  EXPECT_NEAR(q2.lo(), 2.0, 1e-12);
+  EXPECT_EQ(q2.hi(), inf);
+}
+
+TEST(Interval, ExtendedDivZeroTouchingDivisor) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Interval q1, q2;
+  ASSERT_EQ(extended_div(Interval(2.0, 4.0), Interval(0.0, 1.0), q1, q2), 1);
+  EXPECT_NEAR(q1.lo(), 2.0, 1e-12);
+  EXPECT_EQ(q1.hi(), inf);
+
+  ASSERT_EQ(extended_div(Interval(2.0, 4.0), Interval(-1.0, 0.0), q1, q2),
+            1);
+  EXPECT_EQ(q1.lo(), -inf);
+  EXPECT_NEAR(q1.hi(), -2.0, 1e-12);
+}
+
+TEST(Interval, ExtendedDivExactZeroDivisor) {
+  Interval q1, q2;
+  // x·0 ∈ [2,4] has no solution.
+  EXPECT_EQ(extended_div(Interval(2.0, 4.0), Interval(0.0), q1, q2), 0);
+  // x·0 ∈ [-1,1] holds for every x (0 is in the numerator).
+  ASSERT_EQ(extended_div(Interval(-1.0, 1.0), Interval(0.0), q1, q2), 1);
+  EXPECT_EQ(q1, Interval::entire());
+  // Same when the divisor merely straddles zero.
+  ASSERT_EQ(extended_div(Interval(-1.0, 1.0), Interval(-2.0, 2.0), q1, q2),
+            1);
+  EXPECT_EQ(q1, Interval::entire());
+}
+
+TEST(Interval, ExtendedDivSamplePointSoundness) {
+  // Property: for sampled y ∈ den and q in a piece, q·y must be able to
+  // land in num; conversely every x with x·den ∩ num ≠ ∅ lies in a piece.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> d(-3.0, 3.0);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double nl = d(rng), nh = d(rng);
+    if (nl > nh) std::swap(nl, nh);
+    double dl = d(rng), dh = d(rng);
+    if (dl > dh) std::swap(dl, dh);
+    const Interval num(nl, nh), den(dl, dh);
+    Interval q1, q2;
+    const int pieces = extended_div(num, den, q1, q2);
+    std::uniform_real_distribution<double> ux(-10.0, 10.0);
+    for (int s = 0; s < 8; ++s) {
+      const double x = ux(rng);
+      // x·den is an interval; membership test against num.
+      const Interval image = Interval(x) * den;
+      const bool solves = image.intersects(num);
+      if (!solves) continue;
+      const bool in_pieces = (pieces >= 1 && q1.contains(x)) ||
+                             (pieces == 2 && q2.contains(x));
+      EXPECT_TRUE(in_pieces)
+          << "x=" << x << " num=" << num << " den=" << den;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bcert::interval

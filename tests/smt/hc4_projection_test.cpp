@@ -1,0 +1,163 @@
+// Regression tests for the HC4 backward-projection soundness sweep:
+// kSqr / even-kPow requirement clipping, extended (two-branch) division
+// in the kMul/kDiv reversals, and the single-evaluation certainty cache.
+// Every case runs against both backends (tree and tape).
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/smt/hc4.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprId;
+using expr::ExprPool;
+using interval::Box;
+using interval::Interval;
+
+const Hc4Mode kModes[] = {Hc4Mode::kTree, Hc4Mode::kTape};
+
+TEST(Hc4Projection, SqrEntirelyNegativeRequirementPrunes) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x² + 1 ≤ 0 is infeasible everywhere: the requirement on x² is
+    // [-∞, -1], entirely negative, and must prune the box.
+    Conjunction c;
+    c.add(p.add(p.sqr(p.var(0)), p.one()), Rel::kLe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-3.0, 3.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kEmpty);
+  }
+}
+
+TEST(Hc4Projection, SqrPartiallyNegativeRequirementContracts) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x² - 4 ≤ 0: requirement on x² is [-∞, 4] — the negative part must
+    // be clipped away, not fed to sqrt, and x contracts to ⊆ [-2, 2].
+    Conjunction c;
+    c.add(p.sub(p.sqr(p.var(0)), p.constant(4.0)), Rel::kLe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-10.0, 10.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kContracted);
+    EXPECT_GE(box[0].lo(), -2.0 - 1e-9);
+    EXPECT_LE(box[0].hi(), 2.0 + 1e-9);
+
+    // One-sided box: the positive branch alone survives.
+    Box pos = Box::from_bounds({{0.0, 10.0}});
+    Hc4Contractor hc4b(p, c, mode);
+    EXPECT_EQ(hc4b.contract(pos), ContractResult::kContracted);
+    EXPECT_GE(pos[0].lo(), 0.0);
+    EXPECT_LE(pos[0].hi(), 2.0 + 1e-9);
+  }
+}
+
+TEST(Hc4Projection, PowEvenNegativeRequirementPrunes) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x⁴ + 2 ≤ 0: infeasible (even power is never ≤ -2).
+    Conjunction c;
+    c.add(p.add(p.pow(p.var(0), 4), p.constant(2.0)), Rel::kLe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-3.0, 3.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kEmpty);
+  }
+}
+
+TEST(Hc4Projection, PowEvenPartiallyNegativeRequirementContracts) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x⁴ - 16 ≤ 0 → x ∈ [-2, 2].
+    Conjunction c;
+    c.add(p.sub(p.pow(p.var(0), 4), p.constant(16.0)), Rel::kLe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-10.0, 10.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kContracted);
+    EXPECT_GE(box[0].lo(), -2.0 - 1e-9);
+    EXPECT_LE(box[0].hi(), 2.0 + 1e-9);
+  }
+}
+
+TEST(Hc4Projection, MulByExactZeroSiblingIsSound) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x·y ≤ 0 with y pinned to [0, 0]: x·0 = 0 satisfies the constraint
+    // for every x, so nothing may be pruned. (Plain interval division
+    // r/[0,0] is empty and used to empty x's requirement — a bogus
+    // infeasibility proof.)
+    Conjunction c;
+    c.add(p.mul(p.var(0), p.var(1)), Rel::kLe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-5.0, 5.0}, {0.0, 0.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kNoChange);
+    EXPECT_EQ(box[0], Interval(-5.0, 5.0));
+  }
+}
+
+TEST(Hc4Projection, MulStraddlingSiblingUsesExtendedDivision) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // x·y ≥ 2 with x ∈ [0, 10], y ∈ [-1, 1]. Plain division gives
+    // r/y = entire (no contraction of x); two-branch extended division
+    // intersected with x before hulling yields x ∈ [2, 10] (and then
+    // y ∈ [0.2, 1]).
+    Conjunction c;
+    c.add(p.sub(p.mul(p.var(0), p.var(1)), p.constant(2.0)), Rel::kGe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{0.0, 10.0}, {-1.0, 1.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kContracted);
+    EXPECT_GE(box[0].lo(), 2.0 - 1e-9);
+    EXPECT_GE(box[1].lo(), 0.2 - 1e-9);
+  }
+}
+
+TEST(Hc4Projection, DivisionReversalStaysTight) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    // 1/y ≥ 2 over y ∈ [-3, 3] → y ∈ (0, 1/2].
+    Conjunction c;
+    c.add(p.sub(p.div(p.one(), p.var(0)), p.constant(2.0)), Rel::kGe);
+    Hc4Contractor hc4(p, c, mode);
+    Box box = Box::from_bounds({{-3.0, 3.0}});
+    EXPECT_EQ(hc4.contract(box), ContractResult::kContracted);
+    EXPECT_GE(box[0].lo(), 0.0 - 1e-12);
+    EXPECT_LE(box[0].hi(), 0.5 + 1e-9);
+  }
+}
+
+TEST(Hc4Projection, CertaintyIsSingleEvaluationConsistent) {
+  for (const Hc4Mode mode : kModes) {
+    ExprPool p;
+    Conjunction c;
+    // x² - 4 ≤ 0 ∧ x ≥ 0 (as x·1 ≥ 0 to keep two constraints).
+    c.add(p.sub(p.sqr(p.var(0)), p.constant(4.0)), Rel::kLe);
+    c.add(p.var(0), Rel::kGe);
+
+    Hc4Contractor cached(p, c, mode);
+    Box box = Box::from_bounds({{0.5, 1.5}});
+    // Prime the cache through a contraction pass, then compare cached
+    // answers against a fresh contractor that must evaluate from
+    // scratch.
+    Box work = box;
+    cached.contract_fixpoint(work, 8, 0.05);
+    Hc4Contractor fresh(p, c, mode);
+    EXPECT_EQ(cached.certainly_satisfied(work),
+              fresh.certainly_satisfied(work));
+    EXPECT_EQ(cached.certainly_violated(work),
+              fresh.certainly_violated(work));
+
+    const auto both = cached.certainty(work);
+    EXPECT_EQ(both.satisfied, fresh.certainly_satisfied(work));
+    EXPECT_EQ(both.violated, fresh.certainly_violated(work));
+
+    // And on a box the cache has never seen.
+    Box other = Box::from_bounds({{3.0, 4.0}});
+    EXPECT_EQ(cached.certainly_violated(other),
+              fresh.certainly_violated(other));
+    EXPECT_TRUE(cached.certainly_violated(other));  // x² - 4 > 0 there
+  }
+}
+
+}  // namespace
+}  // namespace bcert::smt

@@ -1,0 +1,325 @@
+// Differential fuzz harness: the compiled interval bytecode tape vs the
+// tree-walking HC4 contractor on randomized expression DAGs and boxes.
+//
+// Two properties are checked per trial:
+//  * equivalence — both backends return the same verdict and
+//    *bit-identical* contracted boxes (they execute the same arithmetic
+//    in the same order, so even rounding must agree);
+//  * soundness — any sampled point of the original box that satisfies
+//    the conjunction (in double arithmetic) must survive contraction:
+//    the result is not kEmpty and the point lies in the contracted box.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/smt/hc4.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprId;
+using expr::ExprPool;
+using interval::Box;
+using interval::Interval;
+using linalg::Vector;
+
+constexpr int kNumVars = 3;
+
+/// Grows a random DAG over `kNumVars` variables. Built terms stay in the
+/// worklist so later operations reuse them — real shared subterms, not a
+/// tree — exercising slot aliasing in the tape.
+ExprId random_dag(ExprPool& pool, std::mt19937& rng, int num_ops) {
+  std::vector<ExprId> terms;
+  for (int v = 0; v < kNumVars; ++v) terms.push_back(pool.var(v));
+  std::uniform_real_distribution<double> cdist(-3.0, 3.0);
+  for (int i = 0; i < 3; ++i) terms.push_back(pool.constant(cdist(rng)));
+
+  auto pick = [&] { return terms[rng() % terms.size()]; };
+  for (int i = 0; i < num_ops; ++i) {
+    ExprId t = terms.front();
+    switch (rng() % 17) {
+      case 0: t = pool.add(pick(), pick()); break;
+      case 1: t = pool.sub(pick(), pick()); break;
+      case 2: t = pool.mul(pick(), pick()); break;
+      case 3: t = pool.div(pick(), pick()); break;
+      case 4: t = pool.neg(pick()); break;
+      case 5: t = pool.sin(pick()); break;
+      case 6: t = pool.cos(pick()); break;
+      case 7: t = pool.tanh(pick()); break;
+      case 8: t = pool.sigmoid(pick()); break;
+      case 9: t = pool.sqr(pick()); break;
+      case 10: t = pool.abs(pick()); break;
+      case 11: t = pool.min(pick(), pick()); break;
+      case 12: t = pool.max(pick(), pick()); break;
+      case 13:
+        t = pool.pow(pick(), static_cast<std::int32_t>(2 + rng() % 3));
+        break;
+      case 14: t = pool.relu(pick()); break;
+      case 15: t = pool.exp(pick()); break;
+      case 16: t = pool.sqrt(pick()); break;
+    }
+    terms.push_back(t);
+  }
+  return terms.back();
+}
+
+Conjunction random_conjunction(ExprPool& pool, std::mt19937& rng) {
+  static constexpr Rel kRels[] = {Rel::kLe, Rel::kLt, Rel::kGe, Rel::kGt};
+  Conjunction c;
+  const int n = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < n; ++i) {
+    c.add(random_dag(pool, rng, 4 + static_cast<int>(rng() % 12)),
+          kRels[rng() % 4]);
+  }
+  return c;
+}
+
+Box random_box(std::mt19937& rng) {
+  std::uniform_real_distribution<double> bdist(-5.0, 5.0);
+  std::vector<Interval> dims;
+  for (int v = 0; v < kNumVars; ++v) {
+    const int shape = static_cast<int>(rng() % 8);
+    if (shape == 0) {
+      dims.emplace_back(0.0, 0.0);  // exact-zero point dim
+    } else if (shape == 1) {
+      const double p = bdist(rng);
+      dims.emplace_back(p, p);  // degenerate point dim
+    } else {
+      double lo = bdist(rng), hi = bdist(rng);
+      if (lo > hi) std::swap(lo, hi);
+      dims.emplace_back(lo, hi);
+    }
+  }
+  return Box(std::move(dims));
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+::testing::AssertionResult boxes_bit_identical(const Box& a, const Box& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "dimension mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i].lo(), b[i].lo()) ||
+        !bits_equal(a[i].hi(), b[i].hi())) {
+      return ::testing::AssertionFailure()
+             << "dim " << i << ": tree " << a[i] << " vs tape " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Evaluates \p id at \p x, or nullopt where the real function is
+/// undefined (division by zero, log of a non-positive value, square root
+/// of a negative). Plain pool.eval would return ±inf/NaN there — e.g.
+/// 1/0 = inf "satisfies" a ≥ constraint in double arithmetic — but such
+/// points are not real solutions and the contractor may prune them.
+std::optional<double> eval_defined(const ExprPool& pool, expr::ExprId id,
+                                   const Vector& x,
+                                   std::map<expr::ExprId, double>& memo) {
+  if (const auto it = memo.find(id); it != memo.end()) return it->second;
+  const expr::Node& n = pool.node(id);
+  double v = 0.0;
+  if (n.op == expr::Op::kConst) {
+    v = n.value;
+  } else if (n.op == expr::Op::kVar) {
+    v = x[static_cast<std::size_t>(n.index)];
+  } else {
+    const auto a = eval_defined(pool, n.a, x, memo);
+    if (!a) return std::nullopt;
+    std::optional<double> b;
+    if (n.b != expr::kNoExpr) {
+      b = eval_defined(pool, n.b, x, memo);
+      if (!b) return std::nullopt;
+    }
+    switch (n.op) {
+      case expr::Op::kDiv:
+        if (*b == 0.0) return std::nullopt;
+        break;
+      case expr::Op::kLog:
+        if (*a <= 0.0) return std::nullopt;
+        break;
+      case expr::Op::kSqrt:
+        if (*a < 0.0) return std::nullopt;
+        break;
+      default: break;
+    }
+    v = pool.eval(id, x);
+    if (std::isnan(v)) return std::nullopt;
+  }
+  memo.emplace(id, v);
+  return v;
+}
+
+/// True when \p x satisfies every constraint of \p c in double
+/// arithmetic and every subterm is defined over the reals at \p x.
+bool satisfies(const ExprPool& pool, const Conjunction& c, const Vector& x) {
+  std::map<expr::ExprId, double> memo;
+  for (const Constraint& k : c.constraints) {
+    const auto v = eval_defined(pool, k.lhs, x, memo);
+    if (!v) return false;
+    switch (k.rel) {
+      case Rel::kLe: if (!(*v <= 0.0)) return false; break;
+      case Rel::kLt: if (!(*v < 0.0)) return false; break;
+      case Rel::kGe: if (!(*v >= 0.0)) return false; break;
+      case Rel::kGt: if (!(*v > 0.0)) return false; break;
+      case Rel::kEq: if (!(*v == 0.0)) return false; break;
+    }
+  }
+  return true;
+}
+
+Vector sample_point(const Box& box, std::mt19937& rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Vector x(box.size());
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    x[i] = box[i].lo() + u(rng) * (box[i].hi() - box[i].lo());
+  }
+  return x;
+}
+
+TEST(Hc4TapeDiff, SinglePassMatchesTreeBitExactly) {
+  std::mt19937 rng(20260731);
+  for (int trial = 0; trial < 300; ++trial) {
+    ExprPool pool;
+    const Conjunction c = random_conjunction(pool, rng);
+    const Box original = random_box(rng);
+
+    Hc4Contractor tree(pool, c, Hc4Mode::kTree);
+    Hc4Contractor tape(pool, c, Hc4Mode::kTape);
+    ASSERT_NE(tape.tape(), nullptr);
+
+    Box tree_box = original, tape_box = original;
+    const ContractResult tr = tree.contract(tree_box);
+    const ContractResult pr = tape.contract(tape_box);
+    ASSERT_EQ(tr, pr) << "trial " << trial;
+    EXPECT_TRUE(boxes_bit_identical(tree_box, tape_box))
+        << "trial " << trial;
+  }
+}
+
+TEST(Hc4TapeDiff, FixpointMatchesTreeBitExactly) {
+  std::mt19937 rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPool pool;
+    const Conjunction c = random_conjunction(pool, rng);
+    const Box original = random_box(rng);
+
+    Hc4Contractor tree(pool, c, Hc4Mode::kTree);
+    Hc4Contractor tape(pool, c, Hc4Mode::kTape);
+
+    Box tree_box = original, tape_box = original;
+    const ContractResult tr = tree.contract_fixpoint(tree_box, 8, 0.05);
+    const ContractResult pr = tape.contract_fixpoint(tape_box, 8, 0.05);
+    ASSERT_EQ(tr, pr) << "trial " << trial;
+    EXPECT_TRUE(boxes_bit_identical(tree_box, tape_box))
+        << "trial " << trial;
+
+    // Certainty verdicts must agree as well (they share forward values).
+    if (tr != ContractResult::kEmpty) {
+      EXPECT_EQ(tree.certainly_satisfied(tree_box),
+                tape.certainly_satisfied(tape_box));
+      EXPECT_EQ(tree.certainly_violated(tree_box),
+                tape.certainly_violated(tape_box));
+    }
+  }
+}
+
+TEST(Hc4TapeDiff, ContractionNeverDiscardsSatisfyingPoints) {
+  std::mt19937 rng(4242);
+  int witnesses = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPool pool;
+    const Conjunction c = random_conjunction(pool, rng);
+    const Box original = random_box(rng);
+
+    // Collect satisfying sample points first.
+    std::vector<Vector> keep;
+    for (int s = 0; s < 32; ++s) {
+      Vector x = sample_point(original, rng);
+      if (satisfies(pool, c, x)) keep.push_back(std::move(x));
+    }
+
+    for (const Hc4Mode mode : {Hc4Mode::kTape, Hc4Mode::kTree}) {
+      Hc4Contractor hc4(pool, c, mode);
+      Box box = original;
+      const ContractResult r = hc4.contract_fixpoint(box, 8, 0.05);
+      if (keep.empty()) continue;
+      ASSERT_NE(r, ContractResult::kEmpty)
+          << "trial " << trial << ": pruned a box holding a witness";
+      for (const Vector& x : keep) {
+        EXPECT_TRUE(box.contains(x))
+            << "trial " << trial << ": witness fell out of the box";
+      }
+    }
+    witnesses += static_cast<int>(keep.size());
+  }
+  // The generator must actually produce satisfiable instances for this
+  // test to mean anything.
+  EXPECT_GT(witnesses, 200);
+}
+
+/// Shared-tape workers: contractors built from one tape must behave
+/// identically to contractors that compiled their own.
+TEST(Hc4TapeDiff, SharedTapePrivateRegisters) {
+  std::mt19937 rng(99);
+  ExprPool pool;
+  const Conjunction c = random_conjunction(pool, rng);
+  const auto tape = std::make_shared<const Hc4Tape>(pool, c);
+
+  Hc4Contractor own(pool, c, Hc4Mode::kTape);
+  Hc4Contractor shared_a(tape);
+  Hc4Contractor shared_b(tape);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Box original = random_box(rng);
+    Box b0 = original, b1 = original, b2 = original;
+    const ContractResult r0 = own.contract_fixpoint(b0, 8, 0.05);
+    const ContractResult r1 = shared_a.contract_fixpoint(b1, 8, 0.05);
+    const ContractResult r2 = shared_b.contract_fixpoint(b2, 8, 0.05);
+    ASSERT_EQ(r0, r1);
+    ASSERT_EQ(r0, r2);
+    EXPECT_TRUE(boxes_bit_identical(b0, b1));
+    EXPECT_TRUE(boxes_bit_identical(b0, b2));
+  }
+}
+
+/// The multi-query cache hands back the same compiled tape for repeated
+/// conjunction signatures (same pool, same roots, same relations).
+TEST(Hc4TapeDiff, TapeCacheReusesCompiledSchedules) {
+  ExprPool pool;
+  Conjunction c;
+  c.add(pool.add(pool.sqr(pool.var(0)), pool.var(1)), Rel::kLe);
+  Conjunction same = c;
+  Conjunction other;
+  other.add(pool.add(pool.sqr(pool.var(0)), pool.var(1)), Rel::kGe);
+
+  TapeCache cache;
+  const auto t1 = cache.get_or_compile(pool, c);
+  const auto t2 = cache.get_or_compile(pool, same);
+  const auto t3 = cache.get_or_compile(pool, other);
+  EXPECT_EQ(t1.get(), t2.get());
+  EXPECT_NE(t1.get(), t3.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Cached tapes still contract correctly: x² + y ≤ 0 with y ∈ [-4, -1]
+  // forces x² ≤ 4, i.e. x ∈ [-2, 2].
+  Hc4Contractor hc4(t2);
+  Box box = Box::from_bounds({{-3.0, 3.0}, {-4.0, -1.0}});
+  EXPECT_EQ(hc4.contract(box), ContractResult::kContracted);
+  EXPECT_LE(box[0].hi(), 2.0 + 1e-9);
+  EXPECT_GE(box[0].lo(), -2.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace bcert::smt
