@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,40 @@ inline core::BarrierProblem make_problem(expr::ExprPool& pool,
   p.sym_field = dubins::closed_loop_field_expr(model, net, pool);
   p.initial_set = paper_initial_set();
   p.safe_rect = paper_safe_rect();
+  return p;
+}
+
+/// Appends \p count synthesis-shaped decrease rows (-a·c + g ≤ tiny,
+/// with the anti-degeneracy rhs perturbation lp_synthesis uses) to a
+/// margin LP built by margin_lp().
+inline void append_margin_rows(lp::LpProblem& p, std::mt19937& rng,
+                               int count) {
+  std::uniform_real_distribution<double> d(0.1, 2.0);
+  const std::size_t k = p.num_vars() - 1;
+  for (int i = 0; i < count; ++i) {
+    linalg::Vector row(k + 1);
+    for (std::size_t j = 0; j < k; ++j) row[j] = -d(rng);
+    row[k] = 1.0;
+    p.add_row(std::move(row), lp::RowRel::kLe,
+              1e-10 * static_cast<double>(p.num_rows() + 1));
+  }
+}
+
+/// Verifier-shaped margin-maximization LP: \p coeffs template
+/// coefficients in [-1, 1] plus one maximized margin variable g ≥ 0,
+/// with \p rows random decrease rows. The shape synthesize_candidate
+/// produces — shared by the LP warm-start benchmark and its tests.
+inline lp::LpProblem margin_lp(std::mt19937& rng, std::size_t coeffs,
+                               int rows) {
+  lp::LpProblem p = lp::LpProblem::with_free_vars(coeffs + 1);
+  p.sense = lp::Sense::kMaximize;
+  p.objective[coeffs] = 1.0;
+  for (std::size_t i = 0; i < coeffs; ++i) {
+    p.lower[i] = -1.0;
+    p.upper[i] = 1.0;
+  }
+  p.lower[coeffs] = 0.0;
+  append_margin_rows(p, rng, rows);
   return p;
 }
 
@@ -103,6 +138,9 @@ struct BenchRecord {
   double simulations_per_sec = -1.0;
   double items_per_sec = -1.0;
   double speedup = -1.0;  ///< vs the named baseline record, when relevant
+  /// Warm-started vs cold-started solve time on the same LP sequence
+  /// (the `lp_solve:warm_speedup` CI regression gate reads this).
+  double warm_speedup = -1.0;
 };
 
 /// Collects records and writes `BENCH_<bench_name>.json` in the current
@@ -139,6 +177,9 @@ class JsonReport {
       }
       if (r.speedup >= 0.0) {
         std::fprintf(f, ", \"speedup\": %.4g", r.speedup);
+      }
+      if (r.warm_speedup >= 0.0) {
+        std::fprintf(f, ", \"warm_speedup\": %.4g", r.warm_speedup);
       }
       std::fprintf(f, "}");
     }

@@ -142,6 +142,32 @@ void BM_SimplexMarginLp(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexMarginLp)->Arg(100)->Arg(400)->Arg(1000);
 
+void BM_LpSolveCold(benchmark::State& state) {
+  std::mt19937 rng(7);
+  const lp::LpProblem p =
+      bench::margin_lp(rng, 6, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(p));
+  }
+}
+BENCHMARK(BM_LpSolveCold)->Arg(100)->Arg(400);
+
+void BM_LpSolveWarm(benchmark::State& state) {
+  // The refinement-loop pattern: the previous iteration's LP has been
+  // solved (its basis is in hand) and 4 counterexample rows arrive.
+  std::mt19937 rng(7);
+  lp::LpProblem p =
+      bench::margin_lp(rng, 6, static_cast<int>(state.range(0)) - 4);
+  const lp::LpSolution base = solve_lp(p);
+  bench::append_margin_rows(p, rng, 4);
+  lp::SimplexOptions opts;
+  opts.warm_start = base.basis;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(p, opts));
+  }
+}
+BENCHMARK(BM_LpSolveWarm)->Arg(100)->Arg(400);
+
 void BM_Rk4DubinsTrace(benchmark::State& state) {
   const nn::FeedforwardNet net = make_net(10);
   const auto field =
@@ -302,6 +328,67 @@ void headline_hc4(bench::JsonReport& report) {
               tree_s, tape_s, tape.speedup);
 }
 
+/// LP warm-starting on the candidate loop's solve sequence: one base
+/// margin LP plus BCERT_LP_ITERS refinement steps of 4 appended
+/// counterexample rows each (the shape BarrierVerifier produces). The
+/// cold pass solves every step from scratch; the warm pass threads each
+/// step's exported basis into the next solve, exactly as the verifiers
+/// do. Gated in CI via lp_solve:warm_speedup.
+void headline_lp(bench::JsonReport& report) {
+  const int base_rows = bench::env_int("BCERT_LP_ROWS", 240);
+  const int iters = bench::env_int("BCERT_LP_ITERS", 20);
+  constexpr std::size_t kCoeffs = 6;
+  constexpr int kAppend = 4;
+
+  // One fixed LP sequence, shared by both passes.
+  std::mt19937 rng(23);
+  std::vector<lp::LpProblem> sequence;
+  sequence.push_back(bench::margin_lp(rng, kCoeffs, base_rows));
+  for (int it = 1; it <= iters; ++it) {
+    lp::LpProblem next = sequence.back();
+    bench::append_margin_rows(next, rng, kAppend);
+    sequence.push_back(std::move(next));
+  }
+
+  int warm_hits = 0;
+  // Best-of-3 per pass, as for the HC4 headline: the gated ratio should
+  // reflect the code, not scheduler noise on shared CI machines.
+  const auto best_of = [&](const std::function<void()>& fn) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 3; ++rep) best = std::min(best, wall_of(fn));
+    return best;
+  };
+
+  const double cold_s = best_of([&] {
+    for (const lp::LpProblem& p : sequence) {
+      benchmark::DoNotOptimize(solve_lp(p));
+    }
+  });
+  const double warm_s = best_of([&] {
+    warm_hits = 0;
+    lp::SimplexOptions opts;
+    for (const lp::LpProblem& p : sequence) {
+      const lp::LpSolution sol = solve_lp(p, opts);
+      warm_hits += sol.used_warm_start ? 1 : 0;
+      opts.warm_start = sol.basis;
+      benchmark::DoNotOptimize(&sol);
+    }
+  });
+
+  const double solves = static_cast<double>(sequence.size());
+  report.add({"lp_solve_cold", cold_s, -1.0, -1.0, solves / cold_s});
+  report.add({"lp_solve_warm", warm_s, -1.0, -1.0, solves / warm_s});
+  bench::BenchRecord combined;
+  combined.name = "lp_solve";
+  combined.wall_time_s = cold_s + warm_s;
+  combined.warm_speedup = cold_s / warm_s;
+  report.add(combined);
+  std::printf("headline lp: cold %.3fs, warm %.3fs over %d solves "
+              "(%d warm-started, warm_speedup %.2fx)\n",
+              cold_s, warm_s, static_cast<int>(solves), warm_hits,
+              combined.warm_speedup);
+}
+
 /// The seed's allocating RK4 (fresh temporaries every stage) — kept here
 /// verbatim as the baseline the zero-allocation pipeline is measured
 /// against.
@@ -399,6 +486,7 @@ int main(int argc, char** argv) {
   bench::JsonReport report("micro");
   headline_hc4(report);
   headline_icp(report);
+  headline_lp(report);
   headline_rk4(report);
   const std::string path = report.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());

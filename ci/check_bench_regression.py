@@ -6,16 +6,17 @@ and fails (exit 1) when a gated metric drops by more than the allowed
 fraction. Metrics are given as RECORD:FIELD pairs, e.g.
 
     check_bench_regression.py BENCH_micro.json build/BENCH_micro.json \
-        --metric hc4_contract_tape:speedup --max-drop 0.20
+        --metric hc4_contract_tape:speedup \
+        --metric lp_solve:warm_speedup --max-drop 0.20
 
-Ratio-style fields (speedup) are machine-independent, which is what a
-gate running on heterogeneous CI machines should compare; throughput
-fields (boxes_per_sec, items_per_sec, ...) only make sense against a
-baseline measured on comparable hardware. A gated record missing from
-the current report is always a failure (the benchmark silently
-disappearing is the worst kind of regression); one missing from the
-baseline is skipped with a note so new benchmarks can land before their
-first baseline is committed.
+Ratio-style fields (speedup, warm_speedup) are machine-independent,
+which is what a gate running on heterogeneous CI machines should
+compare; throughput fields (boxes_per_sec, items_per_sec, ...) only
+make sense against a baseline measured on comparable hardware. A gated
+record missing from the current report is always a failure (the
+benchmark silently disappearing is the worst kind of regression); one
+missing from the baseline is skipped with a note so new benchmarks can
+land before their first baseline is committed.
 """
 
 import argparse

@@ -1,8 +1,22 @@
 #include "src/core/lp_synthesis.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 
 namespace bcert::core {
+
+bool lp_warm_start_enabled(const SynthesisOptions& opts) {
+  static const int env_state = [] {
+    const char* v = std::getenv("BCERT_LP_WARM");
+    if (v == nullptr) return -1;  // unset: defer to the options flag
+    const bool off = std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+                     std::strcmp(v, "false") == 0;
+    return off ? 0 : 1;
+  }();
+  if (env_state >= 0) return env_state == 1;
+  return opts.warm_start;
+}
 
 namespace {
 /// Scales a constraint row to unit ∞-norm. Rows are homogeneous
@@ -81,8 +95,10 @@ SynthesisResult synthesize_candidate(const std::vector<FieldSample>& samples,
 
   const lp::LpSolution lp_sol = lp::solve_lp(problem, opts.simplex);
 
-  SynthesisResult result{false, QuadraticForm(dims), 0.0, lp_sol.iterations,
-                         lp_sol.status};
+  SynthesisResult result{false,         QuadraticForm(dims),
+                         0.0,           lp_sol.iterations,
+                         lp_sol.status, lp_sol.basis,
+                         lp_sol.used_warm_start};
   if (lp_sol.status != lp::LpStatus::kOptimal) return result;
 
   linalg::Vector coeffs(k);
@@ -151,8 +167,10 @@ PolySynthesisResult synthesize_polynomial_candidate(
 
   const lp::LpSolution lp_sol = lp::solve_lp(problem, opts.simplex);
 
-  PolySynthesisResult result{false, PolynomialForm(basis), 0.0,
-                             lp_sol.iterations, lp_sol.status};
+  PolySynthesisResult result{false,         PolynomialForm(basis),
+                             0.0,           lp_sol.iterations,
+                             lp_sol.status, lp_sol.basis,
+                             lp_sol.used_warm_start};
   if (lp_sol.status != lp::LpStatus::kOptimal) return result;
 
   linalg::Vector coeffs(k);

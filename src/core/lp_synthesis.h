@@ -51,6 +51,13 @@ struct SynthesisResult {
   double margin = 0.0;       ///< optimal g
   int lp_iterations = 0;
   lp::LpStatus lp_status = lp::LpStatus::kIterLimit;
+  /// Final simplex basis (optimal solves only). Feed it back through
+  /// SynthesisOptions::simplex.warm_start on the next candidate LP —
+  /// the refinement loop only appends counterexample rows, which is
+  /// exactly the append-only pattern the warm start is built for.
+  lp::LpBasis basis;
+  /// True when the LP completed from the provided warm basis.
+  bool lp_warm_started = false;
   /// States whose decrease constraint binds the margin (worst first).
   /// When the LP is infeasible these locate where *no* template
   /// candidate can decrease — valuable feedback for retraining (CEGIS).
@@ -69,7 +76,18 @@ struct SynthesisOptions {
   /// re-validated symbolically regardless.
   double rhs_perturbation = 1e-10;
   lp::SimplexOptions simplex;
+  /// Thread the previous iteration's basis into the next candidate LP
+  /// (the verifiers do this via SynthesisResult::basis). The env var
+  /// BCERT_LP_WARM overrides this flag when set ("0"/"off"/"false"
+  /// disables, anything else enables) — see lp_warm_start_enabled().
+  bool warm_start = true;
 };
+
+/// Effective warm-start switch: BCERT_LP_WARM when set, else
+/// \p opts.warm_start. The environment is consulted once per process
+/// (first call) and cached — changing BCERT_LP_WARM afterwards has no
+/// effect; in-process toggling goes through \p opts.warm_start.
+bool lp_warm_start_enabled(const SynthesisOptions& opts);
 
 /// Solves the margin-maximization LP over all \p samples for a pure
 /// quadratic template in \p dims variables.
@@ -84,6 +102,10 @@ struct PolySynthesisResult {
   double margin = 0.0;
   int lp_iterations = 0;
   lp::LpStatus lp_status = lp::LpStatus::kIterLimit;
+  /// Final simplex basis (optimal solves only); see SynthesisResult.
+  lp::LpBasis basis;
+  /// True when the LP completed from the provided warm basis.
+  bool lp_warm_started = false;
 };
 
 /// Same LP over an arbitrary monomial basis (see polynomial_form.h):

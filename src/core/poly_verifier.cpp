@@ -170,12 +170,19 @@ PolyVerifyResult PolyBarrierVerifier::verify() {
 
   const auto t_gen = clock::now();
   std::optional<PolynomialForm> generator;
+  // Warm-start each candidate LP from the previous iteration's basis —
+  // the loop only appends counterexample rows (see BarrierVerifier).
+  const bool warm = lp_warm_start_enabled(options_.base.synthesis);
+  lp::LpBasis warm_basis;
   for (int iter = 0; iter < options_.base.max_candidate_iterations; ++iter) {
     ++result.timings.candidate_iterations;
 
     const auto t_lp = clock::now();
-    const PolySynthesisResult synth = synthesize_polynomial_candidate(
-        samples, basis_, options_.base.synthesis);
+    SynthesisOptions sopts = options_.base.synthesis;
+    if (warm) sopts.simplex.warm_start = std::move(warm_basis);
+    const PolySynthesisResult synth =
+        synthesize_polynomial_candidate(samples, basis_, sopts);
+    warm_basis = synth.basis;
     result.timings.lp_time_s += seconds_since(t_lp);
     ++result.timings.lp_solves;
 

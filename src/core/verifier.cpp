@@ -349,12 +349,22 @@ VerifyResult BarrierVerifier::verify() {
   // ---- Candidate loop: LP ↔ SMT(5) ---------------------------------------
   const auto t_gen = clock::now();
   std::optional<QuadraticForm> generator;
+  // Each refinement iteration re-solves the margin LP with the same
+  // variables and all previous rows plus the new counterexample rows —
+  // the append-only pattern basis warm-starting is built for. Thread the
+  // previous optimal basis into the next solve (BCERT_LP_WARM=0 or
+  // SynthesisOptions::warm_start=false reverts to cold starts).
+  const bool warm = lp_warm_start_enabled(options_.synthesis);
+  lp::LpBasis warm_basis;
   for (int iter = 0; iter < options_.max_candidate_iterations; ++iter) {
     ++result.timings.candidate_iterations;
 
     const auto t_lp = clock::now();
+    SynthesisOptions sopts = options_.synthesis;
+    if (warm) sopts.simplex.warm_start = std::move(warm_basis);
     const SynthesisResult synth =
-        synthesize_candidate(samples, problem_.dims(), options_.synthesis);
+        synthesize_candidate(samples, problem_.dims(), sopts);
+    warm_basis = synth.basis;
     result.timings.lp_time_s += seconds_since(t_lp);
     ++result.timings.lp_solves;
 

@@ -47,6 +47,7 @@ class CholeskyDecomposition {
   /// Factors \p a; `success()` reports whether \p a was numerically SPD.
   explicit CholeskyDecomposition(const Matrix& a);
 
+  /// True when the factorization completed (a was numerically SPD).
   bool success() const { return success_; }
 
   /// Lower-triangular factor L. Only meaningful when success().

@@ -15,6 +15,7 @@ namespace bcert::linalg {
 /// Dense row-major matrix of doubles with value semantics.
 class Matrix {
  public:
+  /// Creates an empty (0 x 0) matrix.
   Matrix() = default;
 
   /// Creates a \p rows x \p cols zero matrix.
@@ -31,28 +32,40 @@ class Matrix {
   /// Diagonal matrix from the entries of \p d.
   static Matrix diagonal(const Vector& d);
 
+  /// Number of rows.
   std::size_t rows() const { return rows_; }
+  /// Number of columns.
   std::size_t cols() const { return cols_; }
+  /// True when the matrix holds no elements.
   bool empty() const { return data_.empty(); }
 
+  /// Unchecked element access at row \p r, column \p c.
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }
+  /// Unchecked element access at row \p r, column \p c (const).
   double operator()(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }
 
   /// Bounds-checked access; throws std::out_of_range.
   double& at(std::size_t r, std::size_t c);
+  /// Bounds-checked access (const); throws std::out_of_range.
   double at(std::size_t r, std::size_t c) const;
 
+  /// Pointer to the contiguous row-major storage.
   double* data() { return data_.data(); }
+  /// Pointer to the contiguous row-major storage (const).
   const double* data() const { return data_.data(); }
 
+  /// Element-wise sum; dimensions must match (throws otherwise).
   Matrix& operator+=(const Matrix& rhs);
+  /// Element-wise difference; dimensions must match (throws otherwise).
   Matrix& operator-=(const Matrix& rhs);
+  /// Scales every element by \p s.
   Matrix& operator*=(double s);
 
+  /// Returns the transpose as a new matrix.
   Matrix transposed() const;
 
   /// Extracts row \p r as a vector.
@@ -74,6 +87,7 @@ class Matrix {
   /// True when the matrix equals its transpose within \p tol (absolute).
   bool is_symmetric(double tol = 1e-12) const;
 
+  /// Exact element-wise equality (dimensions must match too).
   bool operator==(const Matrix& rhs) const {
     return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
   }
@@ -84,9 +98,13 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Element-wise sum; dimensions must match.
 Matrix operator+(Matrix lhs, const Matrix& rhs);
+/// Element-wise difference; dimensions must match.
 Matrix operator-(Matrix lhs, const Matrix& rhs);
+/// Scales \p lhs by \p s.
 Matrix operator*(Matrix lhs, double s);
+/// Scales \p rhs by \p s.
 Matrix operator*(double s, Matrix rhs);
 
 /// Matrix-matrix product; inner dimensions must match.
@@ -105,6 +123,7 @@ double quadratic_form(const Vector& x, const Matrix& a, const Vector& y);
 /// Outer product x yᵀ.
 Matrix outer(const Vector& x, const Vector& y);
 
+/// Streams the matrix row by row to \p os.
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
 
 }  // namespace bcert::linalg

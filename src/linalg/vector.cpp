@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <ostream>
 #include <stdexcept>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 namespace bcert::linalg {
 
@@ -73,7 +78,49 @@ Vector operator-(Vector v) {
 
 void axpy(double a, const Vector& x, Vector& y) {
   check_same_size(x, y, "axpy");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  axpy(x.size(), a, x.data(), y.data());
+}
+
+void axpy(std::size_t n, double a, const double* x, double* y) {
+  std::size_t i = 0;
+#if defined(__SSE2__)
+  const __m128d va = _mm_set1_pd(a);
+  for (; i + 2 <= n; i += 2) {
+    const __m128d vy = _mm_loadu_pd(y + i);
+    const __m128d vx = _mm_loadu_pd(x + i);
+    _mm_storeu_pd(y + i, _mm_add_pd(vy, _mm_mul_pd(va, vx)));
+  }
+#endif
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void scale_divide(std::size_t n, double d, double* x) {
+  std::size_t i = 0;
+#if defined(__SSE2__)
+  const __m128d vd = _mm_set1_pd(d);
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(x + i, _mm_div_pd(_mm_loadu_pd(x + i), vd));
+  }
+#endif
+  for (; i < n; ++i) x[i] /= d;
+}
+
+double dot(std::size_t n, const double* x, const double* y) {
+  // Sequential accumulation on purpose — see the header contract.
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void AlignedDeleter::operator()(double* p) const noexcept {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+AlignedDoubles aligned_doubles(std::size_t n) {
+  auto* p = static_cast<double*>(
+      ::operator new[](n * sizeof(double), std::align_val_t{64}));
+  std::fill(p, p + n, 0.0);
+  return AlignedDoubles(p);
 }
 
 void scale_add(Vector& out, const Vector& x, double a, const Vector& y) {
@@ -89,9 +136,7 @@ void copy_into(const Vector& x, Vector& out) {
 
 double dot(const Vector& a, const Vector& b) {
   check_same_size(a, b, "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return dot(a.size(), a.data(), b.data());
 }
 
 Vector hadamard(const Vector& a, const Vector& b) {

@@ -10,13 +10,22 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
+/// \namespace bcert
+/// \brief Barrier-certificate safety verification toolkit — a C++
+/// reproduction and extension of Tuncali et al., DAC 2018.
+
+/// \namespace bcert::linalg
+/// \brief Dense linear algebra: vectors, matrices, factorizations, and
+/// the allocation-free / raw-pointer kernels the hot loops run on.
 namespace bcert::linalg {
 
 /// Dense column vector of doubles with value semantics.
 class Vector {
  public:
+  /// Creates an empty (size-0) vector.
   Vector() = default;
 
   /// Creates a vector of \p n zeros.
@@ -31,29 +40,45 @@ class Vector {
   /// Wraps an existing buffer (moved in).
   explicit Vector(std::vector<double> values) : data_(std::move(values)) {}
 
+  /// Number of elements.
   std::size_t size() const { return data_.size(); }
+  /// True when size() == 0.
   bool empty() const { return data_.empty(); }
 
+  /// Unchecked element access.
   double& operator[](std::size_t i) { return data_[i]; }
+  /// Unchecked element access (const).
   double operator[](std::size_t i) const { return data_[i]; }
 
   /// Bounds-checked access; throws std::out_of_range.
   double& at(std::size_t i) { return data_.at(i); }
+  /// Bounds-checked access (const); throws std::out_of_range.
   double at(std::size_t i) const { return data_.at(i); }
 
+  /// Pointer to the contiguous element storage.
   double* data() { return data_.data(); }
+  /// Pointer to the contiguous element storage (const).
   const double* data() const { return data_.data(); }
 
+  /// Iterator to the first element.
   auto begin() { return data_.begin(); }
+  /// Iterator past the last element.
   auto end() { return data_.end(); }
+  /// Const iterator to the first element.
   auto begin() const { return data_.begin(); }
+  /// Const iterator past the last element.
   auto end() const { return data_.end(); }
 
+  /// The underlying std::vector (read-only view).
   const std::vector<double>& raw() const { return data_; }
 
+  /// Element-wise sum; dimensions must match (throws otherwise).
   Vector& operator+=(const Vector& rhs);
+  /// Element-wise difference; dimensions must match (throws otherwise).
   Vector& operator-=(const Vector& rhs);
+  /// Scales every element by \p s.
   Vector& operator*=(double s);
+  /// Divides every element by \p s.
   Vector& operator/=(double s);
 
   /// Euclidean (L2) norm.
@@ -72,17 +97,24 @@ class Vector {
   /// Sets every entry to \p value.
   void fill(double value);
 
+  /// Exact element-wise equality (sizes must match too).
   bool operator==(const Vector& rhs) const { return data_ == rhs.data_; }
 
  private:
   std::vector<double> data_;
 };
 
+/// Element-wise sum; dimensions must match.
 Vector operator+(Vector lhs, const Vector& rhs);
+/// Element-wise difference; dimensions must match.
 Vector operator-(Vector lhs, const Vector& rhs);
+/// Scales \p lhs by \p s.
 Vector operator*(Vector lhs, double s);
+/// Scales \p rhs by \p s.
 Vector operator*(double s, Vector rhs);
+/// Divides \p lhs by \p s element-wise.
 Vector operator/(Vector lhs, double s);
+/// Element-wise negation.
 Vector operator-(Vector v);
 
 // --- in-place kernels -------------------------------------------------------
@@ -90,7 +122,7 @@ Vector operator-(Vector v);
 // them tolerate `out` arriving with the wrong size (it is resized once);
 // after warm-up no kernel allocates.
 
-/// y += a·x (dimensions must match).
+/// y += a·x (dimensions must match; throws std::invalid_argument).
 void axpy(double a, const Vector& x, Vector& y);
 
 /// out = x + a·y. `out` may not alias x or y.
@@ -99,12 +131,52 @@ void scale_add(Vector& out, const Vector& x, double a, const Vector& y);
 /// out = x, reusing out's buffer when capacity allows.
 void copy_into(const Vector& x, Vector& out);
 
-/// Dot product; dimensions must match.
+/// Dot product; dimensions must match (throws std::invalid_argument).
 double dot(const Vector& a, const Vector& b);
 
-/// Element-wise product.
+/// Element-wise product; dimensions must match.
 Vector hadamard(const Vector& a, const Vector& b);
 
+// --- raw-pointer kernels ----------------------------------------------------
+// The LP tableau and other flat row-major hot paths operate on raw
+// 64-byte-aligned rows rather than Vector objects. These kernels are the
+// shared implementation layer: element-wise (never reassociating a
+// reduction), with branchless two-lane SSE2 fast paths on x86-64 that
+// produce bit-identical results to the scalar loops. Preconditions: the
+// ranges [x, x+n) and [y, y+n) are valid and (where both appear) do not
+// alias; no kernel allocates.
+
+/// y[i] += a·x[i] for i in [0, n).
+void axpy(std::size_t n, double a, const double* x, double* y);
+
+/// x[i] /= d for i in [0, n). \p d must be nonzero (not checked); kept
+/// as a true division so callers that depend on IEEE division semantics
+/// (e.g. simplex pivot-row normalization) stay bit-faithful to the
+/// scalar reference implementation.
+void scale_divide(std::size_t n, double d, double* x);
+
+/// Strictly sequential dot product of x[0..n) and y[0..n). Deliberately
+/// NOT vectorized: a multi-lane reduction reassociates the sum, and the
+/// simulation pipeline's bit-for-bit determinism contract (see
+/// zero_alloc_sim_test) relies on scalar accumulation order.
+double dot(std::size_t n, const double* x, const double* y);
+
+/// Deleter for 64-byte-aligned double arrays (see aligned_doubles()).
+struct AlignedDeleter {
+  /// Releases memory obtained from aligned_doubles().
+  void operator()(double* p) const noexcept;
+};
+
+/// Owning handle to a 64-byte-aligned double array.
+using AlignedDoubles = std::unique_ptr<double[], AlignedDeleter>;
+
+/// Allocates a zero-filled array of \p n doubles whose base address is
+/// 64-byte aligned (one cache line / one AVX-512 lane), so row-major
+/// matrices with a stride that is a multiple of 8 doubles keep every row
+/// aligned. Postcondition: all n entries are 0.0.
+AlignedDoubles aligned_doubles(std::size_t n);
+
+/// Streams "[v0, v1, ...]" to \p os.
 std::ostream& operator<<(std::ostream& os, const Vector& v);
 
 }  // namespace bcert::linalg

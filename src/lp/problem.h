@@ -1,6 +1,6 @@
 #pragma once
 /// \file problem.h
-/// \brief Linear-program model types.
+/// \brief Linear-program model types (problem, status, solution, basis).
 ///
 /// The barrier-synthesis LP is small in variables (template coefficients
 /// plus one margin variable) and moderate in rows (two constraints per
@@ -12,57 +12,115 @@
 
 #include "src/linalg/vector.h"
 
+/// \namespace bcert::lp
+/// \brief Dense linear programming: problem model and the two-phase
+/// primal simplex with basis warm-starting used by candidate synthesis.
 namespace bcert::lp {
 
-/// Row relation.
-enum class RowRel : std::uint8_t { kLe, kGe, kEq };
+/// Row relation of a linear constraint.
+enum class RowRel : std::uint8_t {
+  kLe,  ///< coeffs·x ≤ rhs
+  kGe,  ///< coeffs·x ≥ rhs
+  kEq,  ///< coeffs·x = rhs
+};
 
 /// Objective sense.
-enum class Sense : std::uint8_t { kMinimize, kMaximize };
+enum class Sense : std::uint8_t {
+  kMinimize,  ///< minimize objective·x
+  kMaximize,  ///< maximize objective·x
+};
 
+/// The solver's "unbounded" sentinel for variable bounds: a `lower` of
+/// `-kLpInf` means free below, an `upper` of `+kLpInf` free above. Row
+/// right-hand sides must be finite; infinities are only meaningful in
+/// `LpProblem::lower` / `LpProblem::upper`.
 inline constexpr double kLpInf = std::numeric_limits<double>::infinity();
 
 /// One linear constraint `coeffs · x (rel) rhs`.
 struct LpRow {
-  linalg::Vector coeffs;
-  RowRel rel = RowRel::kLe;
-  double rhs = 0.0;
+  linalg::Vector coeffs;      ///< length num_vars() coefficient vector
+  RowRel rel = RowRel::kLe;   ///< relation between coeffs·x and rhs
+  double rhs = 0.0;           ///< right-hand side (finite)
 };
 
 /// A linear program over n variables with optional box bounds.
 struct LpProblem {
-  Sense sense = Sense::kMinimize;
-  linalg::Vector objective;     ///< length n
-  std::vector<LpRow> rows;
-  std::vector<double> lower;    ///< length n; -kLpInf for free below
-  std::vector<double> upper;    ///< length n; +kLpInf for free above
+  Sense sense = Sense::kMinimize;  ///< objective sense
+  linalg::Vector objective;        ///< length n objective coefficients
+  std::vector<LpRow> rows;         ///< general constraint rows
+  std::vector<double> lower;       ///< length n; -kLpInf for free below
+  std::vector<double> upper;       ///< length n; +kLpInf for free above
 
+  /// Number of decision variables (== objective.size()).
   std::size_t num_vars() const { return objective.size(); }
+  /// Number of general constraint rows (bounds not included).
   std::size_t num_rows() const { return rows.size(); }
 
   /// Creates a problem with n variables, zero objective, free bounds.
   static LpProblem with_free_vars(std::size_t n);
 
-  /// Appends a row; coefficient vector must have length num_vars().
+  /// Appends a row; coefficient vector must have length num_vars()
+  /// (throws std::invalid_argument otherwise).
   void add_row(linalg::Vector coeffs, RowRel rel, double rhs);
 };
 
 /// Solver status.
 enum class LpStatus : std::uint8_t {
-  kOptimal,
-  kInfeasible,
-  kUnbounded,
-  kIterLimit,
+  kOptimal,     ///< optimal basic solution found
+  kInfeasible,  ///< constraint system has no solution
+  kUnbounded,   ///< objective unbounded over the feasible set
+  kIterLimit,   ///< SimplexOptions::max_iterations exhausted
 };
 
+/// Human-readable name of \p s (never nullptr).
 const char* lp_status_name(LpStatus s);
+
+/// A simplex basis snapshot, exported from an optimal solve and usable
+/// to warm-start a later solve (see SimplexOptions::warm_start).
+///
+/// Entry r of `basic` identifies the basic column of standard-form row r
+/// in a *stable id space* that survives row appends:
+///   - ids `[0, num_structural)` are the structural standard-form
+///     columns introduced for the problem's variables (in variable
+///     order, one or two per variable depending on its bounds);
+///   - id `num_structural + r` is the slack/surplus column of
+///     standard-form row r. Rows are ordered bounds-first (the rows the
+///     variable transformation introduces for two-sided bounds), then
+///     the problem's `rows` in order — so a later problem that only
+///     *appends* rows keeps every id of an earlier basis meaningful.
+///
+/// Warm-start contract: correctness never depends on the basis —
+/// `solve_lp` re-derives the tableau from the problem and falls back to
+/// a cold start whenever the basis does not resolve (different variable
+/// structure, out-of-range rows, a row slot without a slack), is
+/// numerically singular, is not dual-feasible, or its dual-simplex
+/// repair stalls (the warm attempt is capped at half the iteration
+/// budget; its pivots count against the budget shared with the cold
+/// retry). A well-matched basis (same variables/bounds, rows appended
+/// only) merely reduces the pivot count, typically to a handful of
+/// dual-simplex steps on the appended rows.
+struct LpBasis {
+  std::vector<std::int32_t> basic;  ///< per-row basic column ids (stable)
+  std::int32_t num_structural = 0;  ///< structural-column count at export
+
+  /// True when no basis is recorded (solve_lp treats it as "cold").
+  bool empty() const { return basic.empty(); }
+  /// Number of standard-form rows the basis was exported with.
+  std::size_t num_rows() const { return basic.size(); }
+};
 
 /// Solution report.
 struct LpSolution {
-  LpStatus status = LpStatus::kIterLimit;
+  LpStatus status = LpStatus::kIterLimit;  ///< terminal solver status
   linalg::Vector x;        ///< primal values (original variable space)
   double objective = 0.0;  ///< objective value in the problem's sense
-  int iterations = 0;
+  int iterations = 0;      ///< simplex iterations across all phases
+  /// Final basis (populated when status == kOptimal, empty otherwise);
+  /// feed it to SimplexOptions::warm_start of a related later solve.
+  LpBasis basis;
+  /// True when the solve was completed from the supplied warm basis
+  /// (false on cold solves and when the warm attempt fell back).
+  bool used_warm_start = false;
 };
 
 }  // namespace bcert::lp

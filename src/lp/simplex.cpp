@@ -1,12 +1,17 @@
 #include "src/lp/simplex.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
 namespace bcert::lp {
 
 namespace {
+
+constexpr std::int32_t kNoCol = -1;
 
 /// How an original variable maps into standard-form variables.
 struct VarMap {
@@ -16,13 +21,21 @@ struct VarMap {
   double offset = 0.0; ///< l (shifted) or u (negated-shifted)
 };
 
-/// Standard-form program min cᵀy, Ay = b, y ≥ 0 plus recovery mapping.
+/// Standard-form program min cᵀy, Ay = b, y ≥ 0 in one flat row-major
+/// matrix, plus the recovery mapping and the stable row/slack layout the
+/// warm-start id space relies on. Rows are ordered bounds-first, then
+/// the problem's rows, so appending problem rows never renumbers the
+/// rows (or slack columns) an exported basis refers to.
 struct StandardForm {
-  std::vector<std::vector<double>> a;  // m x n
-  std::vector<double> b;               // m
-  std::vector<double> c;               // n
-  std::vector<VarMap> var_map;         // original var -> standard vars
-  std::size_t n = 0;
+  std::size_t m = 0;         // rows
+  std::size_t n_struct = 0;  // structural columns (from variables)
+  std::size_t n_cols = 0;    // structural + slack/surplus columns
+  std::vector<double> a;     // m x n_cols, row-major
+  std::vector<double> b;     // m, normalized to b >= 0
+  std::vector<double> c;     // n_cols (zero on slack columns)
+  std::vector<VarMap> var_map;
+  std::vector<std::int32_t> slack_col_of_row;  // kNoCol for = rows
+  std::vector<std::int32_t> row_of_slack_col;  // kNoCol for structural
 };
 
 StandardForm build_standard_form(const LpProblem& p) {
@@ -42,30 +55,44 @@ StandardForm build_standard_form(const LpProblem& p) {
     if (l != -kLpInf) {
       vm.kind = VarMap::Kind::kShifted;
       vm.offset = l;
-      vm.y1 = sf.n++;
+      vm.y1 = sf.n_struct++;
     } else if (u != kLpInf) {
       vm.kind = VarMap::Kind::kNegatedShifted;
       vm.offset = u;
-      vm.y1 = sf.n++;
+      vm.y1 = sf.n_struct++;
     } else {
       vm.kind = VarMap::Kind::kSplit;
-      vm.y1 = sf.n++;
-      vm.y2 = sf.n++;
+      vm.y1 = sf.n_struct++;
+      vm.y2 = sf.n_struct++;
     }
   }
 
-  // Gather all rows: problem rows + finite-upper-bound rows for shifted
-  // variables (y ≤ u - l) and finite-lower rows for negated variables.
+  // Gather all rows. Bound rows (y ≤ u − l for two-sided variables) come
+  // FIRST — they depend only on the variables, so a later problem that
+  // appends constraint rows keeps every earlier row index stable, which
+  // is what makes exported bases re-importable (see LpBasis).
   struct RawRow {
-    std::vector<double> coeffs;  // over standard vars (size sf.n for now)
+    std::vector<double> coeffs;  // over structural vars (size n_struct)
     RowRel rel;
     double rhs;
   };
   std::vector<RawRow> raw;
+  for (std::size_t j = 0; j < nv; ++j) {
+    const VarMap& vm = sf.var_map[j];
+    if (vm.kind == VarMap::Kind::kShifted && p.upper[j] != kLpInf) {
+      RawRow rr;
+      rr.coeffs.assign(sf.n_struct, 0.0);
+      rr.coeffs[vm.y1] = 1.0;
+      rr.rel = RowRel::kLe;
+      rr.rhs = p.upper[j] - p.lower[j];
+      raw.push_back(std::move(rr));
+    }
+    // kNegatedShifted has implicit y ≥ 0 ⇔ x ≤ u and no other bound.
+  }
 
   auto substitute = [&](const linalg::Vector& coeffs, double rhs) {
     RawRow rr;
-    rr.coeffs.assign(sf.n, 0.0);
+    rr.coeffs.assign(sf.n_struct, 0.0);
     rr.rhs = rhs;
     for (std::size_t j = 0; j < nv; ++j) {
       const double cj = coeffs[j];
@@ -97,25 +124,10 @@ StandardForm build_standard_form(const LpProblem& p) {
     rr.rel = row.rel;
     raw.push_back(std::move(rr));
   }
-  // Bound rows introduced by the variable transformation.
-  for (std::size_t j = 0; j < nv; ++j) {
-    const VarMap& vm = sf.var_map[j];
-    const double l = p.lower[j], u = p.upper[j];
-    if (vm.kind == VarMap::Kind::kShifted && u != kLpInf) {
-      RawRow rr;
-      rr.coeffs.assign(sf.n, 0.0);
-      rr.coeffs[vm.y1] = 1.0;
-      rr.rel = RowRel::kLe;
-      rr.rhs = u - l;
-      raw.push_back(std::move(rr));
-    }
-    // kNegatedShifted has implicit y ≥ 0 ⇔ x ≤ u and no other bound.
-    (void)l;
-  }
 
-  // Objective over standard vars (minimization).
+  // Objective over structural vars (minimization).
   const double sense = p.sense == Sense::kMaximize ? -1.0 : 1.0;
-  sf.c.assign(sf.n, 0.0);
+  sf.c.assign(sf.n_struct, 0.0);
   for (std::size_t j = 0; j < nv; ++j) {
     const double cj = sense * p.objective[j];
     if (cj == 0.0) continue;
@@ -134,142 +146,338 @@ StandardForm build_standard_form(const LpProblem& p) {
     }
   }
 
-  // Add slack/surplus columns and equalize.
-  const std::size_t m = raw.size();
-  std::size_t n_total = sf.n;
-  for (const RawRow& rr : raw) {
-    if (rr.rel != RowRel::kEq) ++n_total;
+  // Assign slack/surplus columns (in row order — stable under appends).
+  sf.m = raw.size();
+  sf.slack_col_of_row.assign(sf.m, kNoCol);
+  std::size_t n_cols = sf.n_struct;
+  for (std::size_t i = 0; i < sf.m; ++i) {
+    if (raw[i].rel != RowRel::kEq) {
+      sf.slack_col_of_row[i] = static_cast<std::int32_t>(n_cols++);
+    }
   }
-  sf.a.assign(m, std::vector<double>(n_total, 0.0));
-  sf.b.assign(m, 0.0);
-  sf.c.resize(n_total, 0.0);
+  sf.n_cols = n_cols;
+  sf.row_of_slack_col.assign(n_cols, kNoCol);
+  for (std::size_t i = 0; i < sf.m; ++i) {
+    if (sf.slack_col_of_row[i] != kNoCol) {
+      sf.row_of_slack_col[sf.slack_col_of_row[i]] =
+          static_cast<std::int32_t>(i);
+    }
+  }
+  sf.c.resize(n_cols, 0.0);
 
-  std::size_t slack_col = sf.n;
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < sf.n; ++j) sf.a[i][j] = raw[i].coeffs[j];
+  // Flatten, equalize, and normalize to b ≥ 0.
+  sf.a.assign(sf.m * n_cols, 0.0);
+  sf.b.assign(sf.m, 0.0);
+  for (std::size_t i = 0; i < sf.m; ++i) {
+    double* r = sf.a.data() + i * n_cols;
+    std::copy(raw[i].coeffs.begin(), raw[i].coeffs.end(), r);
     sf.b[i] = raw[i].rhs;
     if (raw[i].rel == RowRel::kLe) {
-      sf.a[i][slack_col++] = 1.0;
+      r[sf.slack_col_of_row[i]] = 1.0;
     } else if (raw[i].rel == RowRel::kGe) {
-      sf.a[i][slack_col++] = -1.0;
+      r[sf.slack_col_of_row[i]] = -1.0;
     }
     if (sf.b[i] < 0.0) {
-      for (double& v : sf.a[i]) v = -v;
+      for (std::size_t j = 0; j < n_cols; ++j) r[j] = -r[j];
       sf.b[i] = -sf.b[i];
     }
   }
-  sf.n = n_total;
   return sf;
 }
 
-/// Full-tableau simplex working state.
+/// Full-tableau simplex over one flat, 64-byte-aligned allocation.
+///
+/// Layout: m+1 rows of `stride` doubles (stride = n+1 rounded up to a
+/// multiple of 8, so every row starts cache-line aligned). Row i < m is
+/// tableau row i, row m is the reduced-cost row z; column n is the
+/// right-hand side. Columns [0, n_cols) are structural+slack, columns
+/// [n_cols, n) (cold solves only) are one artificial per row. All row
+/// updates run through the linalg raw kernels.
 class Tableau {
  public:
-  Tableau(StandardForm sf, const SimplexOptions& opts)
-      : sf_(std::move(sf)), opts_(opts), m_(sf_.b.size()) {
-    // Columns: structural (sf_.n) + artificial (one per row). Artificials
-    // that are unnecessary (a row already has a unit column) are still
-    // added for simplicity; phase 1 removes them at zero cost.
-    n_struct_ = sf_.n;
-    n_ = n_struct_ + m_;
-    t_.assign(m_, std::vector<double>(n_ + 1, 0.0));
-    basis_.assign(m_, 0);
+  Tableau(const StandardForm& sf, const SimplexOptions& opts,
+          bool with_artificials)
+      : sf_(sf),
+        opts_(opts),
+        m_(sf.m),
+        n_price_(sf.n_cols),
+        n_(sf.n_cols + (with_artificials ? sf.m : 0)),
+        stride_((n_ + 1 + 7) & ~static_cast<std::size_t>(7)),
+        buf_(linalg::aligned_doubles((m_ + 1) * stride_)),
+        basis_(m_, kNoCol),
+        row_of_col_(n_, kNoCol) {
     for (std::size_t i = 0; i < m_; ++i) {
-      for (std::size_t j = 0; j < n_struct_; ++j) t_[i][j] = sf_.a[i][j];
-      t_[i][n_struct_ + i] = 1.0;
-      t_[i][n_] = sf_.b[i];
-      basis_[i] = n_struct_ + i;
+      double* r = row(i);
+      const double* src = sf.a.data() + i * sf.n_cols;
+      std::copy(src, src + sf.n_cols, r);
+      r[n_] = sf.b[i];
     }
   }
 
-  /// Runs both phases. Returns the final status.
-  LpStatus run() {
-    // Phase 1: minimize the sum of artificials.
-    std::vector<double> cost1(n_, 0.0);
-    for (std::size_t j = n_struct_; j < n_; ++j) cost1[j] = 1.0;
-    build_reduced_costs(cost1);
-    LpStatus s = iterate();
-    if (s != LpStatus::kOptimal) return s;
-    if (objective_value() > 1e-7) return LpStatus::kInfeasible;
-    if (!drive_out_artificials()) return LpStatus::kInfeasible;
-
-    // Phase 2: original costs, artificial columns frozen.
-    std::vector<double> cost2 = sf_.c;
-    cost2.resize(n_, 0.0);
-    frozen_after_ = n_struct_;
-    build_reduced_costs(cost2);
-    return iterate();
+  /// Cold start: crash basis (slack where usable, artificial otherwise),
+  /// phase 1 only when artificials were needed, then phase 2.
+  LpStatus cold_run() {
+    bool any_artificial = false;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::int32_t sc = sf_.slack_col_of_row[i];
+      if (sc != kNoCol && row(i)[static_cast<std::size_t>(sc)] == 1.0) {
+        set_basis(i, sc);  // feasible: b_i >= 0 after normalization
+      } else {
+        const std::size_t art = sf_.n_cols + i;
+        row(i)[art] = 1.0;
+        set_basis(i, static_cast<std::int32_t>(art));
+        any_artificial = true;
+      }
+    }
+    if (any_artificial) {
+      // Phase 1: minimize the sum of artificials. Entering columns are
+      // always drawn from [0, n_cols) — artificials never re-enter.
+      std::vector<double> cost1(n_, 0.0);
+      for (std::size_t j = sf_.n_cols; j < n_; ++j) cost1[j] = 1.0;
+      build_reduced_costs(cost1.data());
+      const LpStatus s = primal_iterate();
+      if (s != LpStatus::kOptimal) return s;
+      if (objective_value() > 1e-7) return LpStatus::kInfeasible;
+      if (!drive_out_artificials()) return LpStatus::kInfeasible;
+    }
+    build_phase2_costs();
+    return primal_iterate();
   }
 
+  /// Expresses the tableau in the warm basis by Gaussian pivoting.
+  /// Returns false (leaving the caller to cold-start a fresh Tableau)
+  /// when the basis does not resolve against this standard form or is
+  /// numerically singular.
+  bool realize_warm(const LpBasis& warm) {
+    if (warm.num_structural != static_cast<std::int32_t>(sf_.n_struct)) {
+      return false;
+    }
+    if (warm.basic.size() > m_) return false;
+    // Resolve the stable ids into the column SET of the basis. The
+    // exported per-row pairing is meaningless against a fresh tableau
+    // (it described the previous B⁻¹A, not A), so only the set matters.
+    std::vector<std::int32_t> cols(m_, kNoCol);
+    for (std::size_t r = 0; r < m_; ++r) {
+      // Rows beyond the exported basis are the appended ones; their own
+      // slack is the natural basic column (dual simplex repairs any
+      // infeasibility it brings in).
+      const std::int32_t id =
+          r < warm.basic.size()
+              ? warm.basic[r]
+              : static_cast<std::int32_t>(sf_.n_struct + r);
+      if (id < 0) return false;
+      std::int32_t col;
+      if (id < warm.num_structural) {
+        col = id;
+      } else {
+        const auto rr = static_cast<std::size_t>(id - warm.num_structural);
+        if (rr >= m_) return false;
+        col = sf_.slack_col_of_row[rr];
+        if (col == kNoCol) return false;  // = row has no slack
+      }
+      if (cols[r] != kNoCol) return false;
+      for (std::size_t q = 0; q < r; ++q) {
+        if (cols[q] == col) return false;  // duplicate basic column
+      }
+      cols[r] = col;
+    }
+    // Gaussian realization with partial pivoting over the basis set:
+    // each row takes the still-unused basis column with the largest
+    // pivot magnitude, re-deriving the row↔column pairing from A.
+    std::vector<std::int32_t> remaining = cols;
+    for (std::size_t r = 0; r < m_; ++r) {
+      std::size_t pick = remaining.size();
+      double best = 1e-7;  // anything at/below this is singular
+      const double* ri = crow(r);
+      for (std::size_t q = 0; q < remaining.size(); ++q) {
+        const double mag =
+            std::fabs(ri[static_cast<std::size_t>(remaining[q])]);
+        if (mag > best) {
+          best = mag;
+          pick = q;
+        }
+      }
+      if (pick == remaining.size()) return false;  // singular basis
+      pivot(r, static_cast<std::size_t>(remaining[pick]));
+      remaining[pick] = remaining.back();
+      remaining.pop_back();
+    }
+    return true;
+  }
+
+  /// Finishes a solve from a realized warm basis: dual-simplex repair of
+  /// any primal infeasibility the appended rows introduced, then primal
+  /// iterations. nullopt means "give up, cold-start instead" (the basis
+  /// was not dual-feasible, or dual pricing found no pivot — the cold
+  /// path re-derives the status soundly from scratch).
+  std::optional<LpStatus> warm_run() {
+    build_phase2_costs();
+    double min_rhs = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) min_rhs = std::min(min_rhs, rhs(i));
+    if (min_rhs < -1e-9) {
+      const double* z = zrow();
+      for (std::size_t j = 0; j < n_price_; ++j) {
+        if (z[j] < -1e-7) return std::nullopt;  // primal AND dual infeasible
+      }
+      const std::optional<LpStatus> s = dual_iterate();
+      if (!s) return std::nullopt;
+      // An iteration-limited repair phase is abandoned too: the cold
+      // path decides the status with the budget that remains.
+      if (*s != LpStatus::kOptimal) return std::nullopt;
+    }
+    const LpStatus status = primal_iterate();
+    // Hitting the warm attempt's (halved) budget is never terminal —
+    // abandon so the cold retry can finish within the shared budget.
+    if (status == LpStatus::kIterLimit) return std::nullopt;
+    return status;
+  }
+
+  /// Simplex iterations spent so far (all phases).
   int iterations() const { return iters_; }
 
-  /// Value of structural variable \p j in the current basis.
+  /// Value of standard-form variable \p j in the current basis — O(1)
+  /// via the basis→row index map (the seed implementation scanned the
+  /// basis per variable, O(m·n) over a full solution recovery).
   double value_of(std::size_t j) const {
-    for (std::size_t i = 0; i < m_; ++i) {
-      if (basis_[i] == j) return t_[i][n_];
-    }
-    return 0.0;
+    const std::int32_t r = row_of_col_[j];
+    return r == kNoCol ? 0.0 : crow(static_cast<std::size_t>(r))[n_];
   }
 
-  double objective_value() const { return -z_[n_]; }
+  /// Current objective of the active cost row (phase 1: Σ artificials).
+  double objective_value() const { return -czrow()[n_]; }
+
+  /// Exports the basis in the stable id space (see LpBasis).
+  LpBasis export_basis() const {
+    LpBasis out;
+    out.num_structural = static_cast<std::int32_t>(sf_.n_struct);
+    out.basic.resize(m_);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::int32_t col = basis_[r];
+      std::int32_t id;
+      if (col < static_cast<std::int32_t>(sf_.n_struct)) {
+        id = col;
+      } else if (col < static_cast<std::int32_t>(sf_.n_cols)) {
+        id = out.num_structural +
+             sf_.row_of_slack_col[static_cast<std::size_t>(col)];
+      } else {
+        // Artificial basic at zero level (redundant row): record the
+        // row's own slot; a future import resolves it to that row's
+        // slack or falls back to a cold start.
+        id = out.num_structural + static_cast<std::int32_t>(r);
+      }
+      out.basic[r] = id;
+    }
+    return out;
+  }
 
  private:
-  void build_reduced_costs(const std::vector<double>& cost) {
-    z_.assign(n_ + 1, 0.0);
-    for (std::size_t j = 0; j <= n_; ++j) {
-      double acc = (j < n_) ? cost[j] : 0.0;
-      for (std::size_t i = 0; i < m_; ++i) {
-        acc -= cost[basis_[i]] * t_[i][j];
-      }
-      z_[j] = acc;
-    }
+  double* buf_row(std::size_t i) { return buf_.get() + i * stride_; }
+  const double* cbuf_row(std::size_t i) const {
+    return buf_.get() + i * stride_;
+  }
+  double* row(std::size_t i) { return buf_row(i); }
+  const double* crow(std::size_t i) const { return cbuf_row(i); }
+  double* zrow() { return buf_row(m_); }
+  const double* czrow() const { return cbuf_row(m_); }
+  double rhs(std::size_t i) const { return crow(i)[n_]; }
+
+  void set_basis(std::size_t r, std::int32_t col) {
+    const std::int32_t old = basis_[r];
+    if (old != kNoCol) row_of_col_[static_cast<std::size_t>(old)] = kNoCol;
+    basis_[r] = col;
+    row_of_col_[static_cast<std::size_t>(col)] = static_cast<std::int32_t>(r);
   }
 
-  /// Pivots on (row, col) updating tableau and cost row.
-  void pivot(std::size_t row, std::size_t col) {
-    const double piv = t_[row][col];
-    for (double& v : t_[row]) v /= piv;
+  /// Rebuilds the reduced-cost row z = c − c_Bᵀ B⁻¹ A for \p cost
+  /// (length n_) as one axpy per basic row with nonzero cost.
+  void build_reduced_costs(const double* cost) {
+    double* z = zrow();
+    std::copy(cost, cost + n_, z);
+    z[n_] = 0.0;
     for (std::size_t i = 0; i < m_; ++i) {
-      if (i == row) continue;
-      const double f = t_[i][col];
-      if (f == 0.0) continue;
-      for (std::size_t j = 0; j <= n_; ++j) t_[i][j] -= f * t_[row][j];
+      const double cb = cost[static_cast<std::size_t>(basis_[i])];
+      if (cb != 0.0) linalg::axpy(n_ + 1, -cb, crow(i), z);
     }
-    const double zf = z_[col];
-    if (zf != 0.0) {
-      for (std::size_t j = 0; j <= n_; ++j) z_[j] -= zf * t_[row][j];
-    }
-    basis_[row] = col;
   }
 
-  LpStatus iterate() {
+  void build_phase2_costs() {
+    std::vector<double> cost(n_, 0.0);
+    std::copy(sf_.c.begin(), sf_.c.end(), cost.begin());
+    build_reduced_costs(cost.data());
+  }
+
+  /// Pivots on (r, col): kernel-normalized pivot row, one axpy per
+  /// remaining row (z included), with exact unit-column fixups so basic
+  /// columns stay bit-clean across hundreds of pivots.
+  void pivot(std::size_t r, std::size_t col) {
+    double* pr = row(r);
+    const double piv = pr[col];
+    if (piv != 1.0) linalg::scale_divide(n_ + 1, piv, pr);
+    pr[col] = 1.0;
+    for (std::size_t i = 0; i <= m_; ++i) {
+      if (i == r) continue;
+      double* ri = buf_row(i);
+      const double f = ri[col];
+      if (f == 0.0) continue;
+      linalg::axpy(n_ + 1, -f, pr, ri);
+      ri[col] = 0.0;
+    }
+    set_basis(r, static_cast<std::int32_t>(col));
+  }
+
+  /// Dantzig pricing with a partial (windowed) scan: resume where the
+  /// last scan left off, take the most negative reduced cost within the
+  /// first window that holds any candidate, widen only when a window is
+  /// clean. Returns n_ when no column prices out (optimal).
+  std::size_t pick_dantzig() {
+    const std::size_t n = n_price_;
+    if (n == 0) return n_;
+    const std::size_t w = opts_.pricing_window > 0
+                              ? static_cast<std::size_t>(opts_.pricing_window)
+                              : n;
+    const double* z = czrow();
+    std::size_t best = n_;
+    double best_z = -opts_.eps;
+    std::size_t j = pricing_start_ % n;
+    std::size_t in_window = 0;
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      if (z[j] < best_z) {
+        best_z = z[j];
+        best = j;
+      }
+      if (++j == n) j = 0;
+      if (++in_window == w) {
+        if (best != n_) break;
+        in_window = 0;
+      }
+    }
+    if (best != n_) pricing_start_ = (best + 1) % n;
+    return best;
+  }
+
+  /// Bland's rule: lowest-index column with negative reduced cost.
+  std::size_t pick_bland() const {
+    const double* z = czrow();
+    for (std::size_t j = 0; j < n_price_; ++j) {
+      if (z[j] < -opts_.eps) return j;
+    }
+    return n_;
+  }
+
+  LpStatus primal_iterate() {
     for (;; ++iters_) {
       if (iters_ >= opts_.max_iterations) return LpStatus::kIterLimit;
       const bool bland = iters_ >= opts_.bland_after;
-
-      // Pricing: pick entering column with negative reduced cost.
-      std::size_t enter = n_;
-      double best = -opts_.eps;
-      const std::size_t limit = frozen_after_ ? frozen_after_ : n_;
-      for (std::size_t j = 0; j < limit; ++j) {
-        if (z_[j] < best) {
-          enter = j;
-          if (bland) break;  // first negative index (Bland)
-          best = z_[j];
-        } else if (bland && z_[j] < -opts_.eps) {
-          enter = j;
-          break;
-        }
-      }
+      const std::size_t enter = bland ? pick_bland() : pick_dantzig();
       if (enter == n_) return LpStatus::kOptimal;
 
       // Ratio test (smallest basis index breaks ties — anti-cycling).
       std::size_t leave = m_;
       double best_ratio = 0.0;
       for (std::size_t i = 0; i < m_; ++i) {
-        const double a = t_[i][enter];
+        const double a = crow(i)[enter];
         if (a <= opts_.eps) continue;
-        const double ratio = t_[i][n_] / a;
+        const double ratio = rhs(i) / a;
         if (leave == m_ || ratio < best_ratio - 1e-12 ||
             (std::fabs(ratio - best_ratio) <= 1e-12 &&
              basis_[i] < basis_[leave])) {
@@ -282,23 +490,68 @@ class Tableau {
     }
   }
 
+  /// Dual simplex: restores primal feasibility while keeping the
+  /// reduced costs non-negative. kOptimal means "primal feasible again"
+  /// (the caller finishes with primal iterations); nullopt means no
+  /// entering column existed — primal infeasible in exact arithmetic,
+  /// but the caller re-derives that verdict via a cold start rather
+  /// than trusting a warm-path conclusion.
+  std::optional<LpStatus> dual_iterate() {
+    for (;; ++iters_) {
+      if (iters_ >= opts_.max_iterations) return LpStatus::kIterLimit;
+      // Leaving row: most negative basic value; after bland_after
+      // iterations, the lowest infeasible row instead (the dual
+      // analogue of the primal Bland switch, against degenerate
+      // zero-ratio cycling).
+      const bool bland = iters_ >= opts_.bland_after;
+      std::size_t leave = m_;
+      double most_neg = -1e-9;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (rhs(i) < most_neg) {
+          most_neg = rhs(i);
+          leave = i;
+          if (bland) break;
+        }
+      }
+      if (leave == m_) return LpStatus::kOptimal;
+
+      const double* lr = crow(leave);
+      const double* z = czrow();
+      std::size_t enter = n_;
+      double best_ratio = 0.0;
+      for (std::size_t j = 0; j < n_price_; ++j) {
+        const double a = lr[j];
+        if (a >= -opts_.eps) continue;
+        const double ratio = std::max(z[j], 0.0) / -a;
+        if (enter == n_ || ratio < best_ratio - 1e-12 ||
+            (std::fabs(ratio - best_ratio) <= 1e-12 && j < enter)) {
+          enter = j;
+          best_ratio = ratio;
+        }
+      }
+      if (enter == n_) return std::nullopt;
+      pivot(leave, enter);
+    }
+  }
+
   /// After phase 1, replaces basic artificials by structural columns
-  /// (or drops redundant rows). Returns false when numerically stuck.
+  /// (or keeps zero-level artificials on redundant rows). Returns false
+  /// when a nonzero artificial cannot be removed (infeasible).
   bool drive_out_artificials() {
     for (std::size_t i = 0; i < m_; ++i) {
-      if (basis_[i] < n_struct_) continue;
-      // Find any structural column with a usable pivot in this row.
-      std::size_t col = n_struct_;
-      for (std::size_t j = 0; j < n_struct_; ++j) {
-        if (std::fabs(t_[i][j]) > 1e-7) {
+      if (basis_[i] < static_cast<std::int32_t>(sf_.n_cols)) continue;
+      const double* ri = crow(i);
+      std::size_t col = sf_.n_cols;
+      for (std::size_t j = 0; j < sf_.n_cols; ++j) {
+        if (std::fabs(ri[j]) > 1e-7) {
           col = j;
           break;
         }
       }
-      if (col == n_struct_) {
+      if (col == sf_.n_cols) {
         // Redundant row (all-zero structural part); harmless: the
-        // artificial stays basic at value 0 and is frozen in phase 2.
-        if (std::fabs(t_[i][n_]) > 1e-7) return false;
+        // artificial stays basic at value 0 and is never priced.
+        if (std::fabs(rhs(i)) > 1e-7) return false;
         continue;
       }
       pivot(i, col);
@@ -306,33 +559,27 @@ class Tableau {
     return true;
   }
 
-  StandardForm sf_;
+  const StandardForm& sf_;
   SimplexOptions opts_;
   std::size_t m_;
-  std::size_t n_struct_ = 0;
-  std::size_t n_ = 0;
-  std::size_t frozen_after_ = 0;  // phase 2: exclude columns >= this
-  std::vector<std::vector<double>> t_;
-  std::vector<double> z_;
-  std::vector<std::size_t> basis_;
+  std::size_t n_price_;  // pricing limit: structural + slack columns
+  std::size_t n_;        // total columns (rhs lives at index n_)
+  std::size_t stride_;   // padded row length, multiple of 8 doubles
+  linalg::AlignedDoubles buf_;
+  std::vector<std::int32_t> basis_;        // per-row basic column
+  std::vector<std::int32_t> row_of_col_;   // basis→row map (kNoCol = nonbasic)
+  std::size_t pricing_start_ = 0;
   int iters_ = 0;
 };
 
-}  // namespace
-
-LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
-  StandardForm sf = build_standard_form(problem);
-  const std::vector<VarMap> var_map = sf.var_map;  // keep before move
-  Tableau tab(std::move(sf), opts);
-
-  LpSolution sol;
-  sol.status = tab.run();
+void finalize(LpSolution& sol, LpStatus status, const Tableau& tab,
+              const StandardForm& sf, const LpProblem& problem) {
+  sol.status = status;
   sol.iterations = tab.iterations();
-  if (sol.status != LpStatus::kOptimal) return sol;
-
+  if (status != LpStatus::kOptimal) return;
   sol.x = linalg::Vector(problem.num_vars());
   for (std::size_t j = 0; j < problem.num_vars(); ++j) {
-    const VarMap& vm = var_map[j];
+    const VarMap& vm = sf.var_map[j];
     switch (vm.kind) {
       case VarMap::Kind::kShifted:
         sol.x[j] = vm.offset + tab.value_of(vm.y1);
@@ -346,6 +593,40 @@ LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
     }
   }
   sol.objective = dot(problem.objective, sol.x);
+  sol.basis = tab.export_basis();
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
+  const StandardForm sf = build_standard_form(problem);
+
+  LpSolution sol;
+  int warm_attempt_iters = 0;
+  if (!opts.warm_start.empty()) {
+    // The warm attempt may use at most half the iteration budget: a
+    // stalling repair phase is abandoned (cold fallback below) while at
+    // least half the budget is still unspent.
+    SimplexOptions warm_opts = opts;
+    warm_opts.max_iterations = opts.max_iterations / 2;
+    Tableau tab(sf, warm_opts, /*with_artificials=*/false);
+    if (tab.realize_warm(opts.warm_start)) {
+      if (const std::optional<LpStatus> status = tab.warm_run()) {
+        finalize(sol, *status, tab, sf, problem);
+        sol.used_warm_start = true;
+        return sol;
+      }
+    }
+    warm_attempt_iters = tab.iterations();
+  }
+
+  // The iteration budget is shared across the whole solve: pivots spent
+  // on an abandoned warm attempt come out of the cold retry's budget.
+  SimplexOptions cold_opts = opts;
+  cold_opts.max_iterations -= warm_attempt_iters;
+  Tableau tab(sf, cold_opts, /*with_artificials=*/true);
+  finalize(sol, tab.cold_run(), tab, sf, problem);
+  sol.iterations += warm_attempt_iters;
   return sol;
 }
 

@@ -1,11 +1,33 @@
 #pragma once
 /// \file simplex.h
-/// \brief Two-phase dense primal simplex.
+/// \brief Two-phase dense primal simplex over a flat vectorized tableau,
+/// with basis warm-starting.
 ///
 /// Handles general LPs (free variables, box bounds, ≤/≥/= rows) by
-/// conversion to standard form `min cᵀx, Ax = b, x ≥ 0` followed by a
-/// tableau simplex with Dantzig pricing and a Bland's-rule fallback for
-/// anti-cycling. Built for the small/medium dense problems of the
+/// conversion to standard form `min cᵀy, Ay = b, y ≥ 0` followed by a
+/// full-tableau simplex. The tableau is one contiguous 64-byte-aligned
+/// allocation with row-major, padded rows, and every pivot / cost-row
+/// update runs through the in-place `linalg` raw kernels (SSE2 on
+/// x86-64). Pricing is Dantzig with partial (windowed) pricing by
+/// default, falling back to Bland's rule after
+/// SimplexOptions::bland_after iterations for anti-cycling; solution
+/// recovery is O(m+n) via a basis→row index map.
+///
+/// Warm-starting: an optimal solve exports its basis (LpSolution::basis)
+/// and a later solve of a *related* problem — same variables and bounds,
+/// rows only appended, the LP ↔ SMT refinement-loop pattern — can pass
+/// it back via SimplexOptions::warm_start. The solver realizes the basis
+/// by Gaussian pivoting, repairs any primal infeasibility the appended
+/// rows introduced with dual-simplex steps, and finishes with primal
+/// iterations. Whenever the warm basis is singular, structurally stale,
+/// not dual-feasible, or its repair phase stalls, the solver silently
+/// falls back to a cold phase-1 start — a warm basis can never change
+/// the reported status or optimum, only the iteration count. The one
+/// caveat is the shared iteration budget: a warm attempt may consume up
+/// to half of SimplexOptions::max_iterations before falling back, so a
+/// solve that would already be near the limit cold can reach
+/// LpStatus::kIterLimit a little earlier (see LpBasis for the full
+/// contract). Built for the small/medium dense problems of the
 /// barrier-synthesis loop.
 
 #include "src/lp/problem.h"
@@ -14,14 +36,31 @@ namespace bcert::lp {
 
 /// Solver options.
 struct SimplexOptions {
+  /// Pivot budget shared by all phases (including warm-start repair);
+  /// exceeding it yields LpStatus::kIterLimit.
   int max_iterations = 50'000;
-  double eps = 1e-9;           ///< pivot / feasibility tolerance
-  int bland_after = 2'000;     ///< switch to Bland's rule after this many
+  /// Pivot / feasibility tolerance: reduced costs above -eps count as
+  /// non-negative, ratio-test pivots must exceed eps.
+  double eps = 1e-9;
+  /// Switch from Dantzig to Bland's rule after this many iterations
+  /// (anti-cycling safeguard on degenerate programs).
+  int bland_after = 2'000;
+  /// Partial-pricing window: entering-column search scans this many
+  /// candidate columns past the previous entering column and takes the
+  /// most negative reduced cost found, only widening when the window is
+  /// clean. 0 means full Dantzig pricing (scan every column).
+  int pricing_window = 64;
+  /// Basis to start from (see LpBasis for the contract). Empty = cold
+  /// two-phase start.
+  LpBasis warm_start;
 };
 
 /// Solves \p problem; never throws on solver-status conditions (status is
 /// reported in the result), throws std::invalid_argument on malformed
-/// input (e.g. inconsistent dimensions).
+/// input (e.g. inconsistent dimensions or an empty bound interval).
+/// Postconditions: on kOptimal, `x`, `objective` and `basis` are
+/// populated (bounds/rows hold up to the solver tolerances); on any
+/// other status `x` and `basis` are empty.
 LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts = {});
 
 }  // namespace bcert::lp

@@ -1,6 +1,8 @@
 // Unit tests for bcert::linalg — vectors, matrices, decompositions.
 #include <cmath>
+#include <cstdint>
 #include <random>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -219,6 +221,42 @@ TEST_P(LuRandomSolve, RecoversPlantedSolution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LuRandomSolve, ::testing::Range(0, 10));
+
+// Raw-pointer kernels (the LP tableau's substrate): SSE2 fast paths must
+// be bit-identical to the scalar loops at every length, including the
+// odd tails, and the aligned allocator must deliver 64-byte rows.
+TEST(RawKernels, MatchScalarReferenceAtAllLengths) {
+  std::mt19937 rng(33);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  for (std::size_t n = 0; n <= 17; ++n) {
+    std::vector<double> x(n), y(n), y_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = dist(rng);
+      y[i] = y_ref[i] = dist(rng);
+    }
+    const double a = dist(rng);
+
+    axpy(n, a, x.data(), y.data());
+    for (std::size_t i = 0; i < n; ++i) y_ref[i] += a * x[i];
+    EXPECT_EQ(y, y_ref) << "axpy n=" << n;
+
+    std::vector<double> q = x, q_ref = x;
+    const double d = a != 0.0 ? a : 1.5;
+    scale_divide(n, d, q.data());
+    for (std::size_t i = 0; i < n; ++i) q_ref[i] /= d;
+    EXPECT_EQ(q, q_ref) << "scale_divide n=" << n;
+
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+    EXPECT_EQ(dot(n, x.data(), y.data()), acc) << "dot n=" << n;
+  }
+}
+
+TEST(RawKernels, AlignedDoublesIsZeroedAndAligned) {
+  const AlignedDoubles buf = aligned_doubles(37);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.get()) % 64, 0u);
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_EQ(buf[i], 0.0);
+}
 
 }  // namespace
 }  // namespace bcert::linalg

@@ -1,0 +1,332 @@
+#pragma once
+// The SEED two-phase tableau simplex, preserved verbatim (modulo
+// namespacing / inline-ing) as the reference implementation for the
+// differential tests in lp_warm_test.cpp: the flat vectorized solver in
+// src/lp/simplex.cpp must agree with this one on status and objective
+// for randomized programs. Test-only code — not built into the library.
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/lp/problem.h"
+
+namespace bcert::lp::seed_ref {
+
+struct VarMap {
+  enum class Kind { kShifted, kNegatedShifted, kSplit } kind = Kind::kSplit;
+  std::size_t y1 = 0;
+  std::size_t y2 = 0;
+  double offset = 0.0;
+};
+
+struct StandardForm {
+  std::vector<std::vector<double>> a;  // m x n
+  std::vector<double> b;               // m
+  std::vector<double> c;               // n
+  std::vector<VarMap> var_map;         // original var -> standard vars
+  std::size_t n = 0;
+};
+
+inline StandardForm build_standard_form(const LpProblem& p) {
+  const std::size_t nv = p.num_vars();
+  if (p.lower.size() != nv || p.upper.size() != nv) {
+    throw std::invalid_argument("solve_lp: bounds size mismatch");
+  }
+
+  StandardForm sf;
+  sf.var_map.resize(nv);
+
+  for (std::size_t j = 0; j < nv; ++j) {
+    const double l = p.lower[j], u = p.upper[j];
+    if (l > u) throw std::invalid_argument("solve_lp: empty variable bound");
+    VarMap& vm = sf.var_map[j];
+    if (l != -kLpInf) {
+      vm.kind = VarMap::Kind::kShifted;
+      vm.offset = l;
+      vm.y1 = sf.n++;
+    } else if (u != kLpInf) {
+      vm.kind = VarMap::Kind::kNegatedShifted;
+      vm.offset = u;
+      vm.y1 = sf.n++;
+    } else {
+      vm.kind = VarMap::Kind::kSplit;
+      vm.y1 = sf.n++;
+      vm.y2 = sf.n++;
+    }
+  }
+
+  struct RawRow {
+    std::vector<double> coeffs;
+    RowRel rel;
+    double rhs;
+  };
+  std::vector<RawRow> raw;
+
+  auto substitute = [&](const linalg::Vector& coeffs, double rhs) {
+    RawRow rr;
+    rr.coeffs.assign(sf.n, 0.0);
+    rr.rhs = rhs;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double cj = coeffs[j];
+      if (cj == 0.0) continue;
+      const VarMap& vm = sf.var_map[j];
+      switch (vm.kind) {
+        case VarMap::Kind::kShifted:
+          rr.coeffs[vm.y1] += cj;
+          rr.rhs -= cj * vm.offset;
+          break;
+        case VarMap::Kind::kNegatedShifted:
+          rr.coeffs[vm.y1] -= cj;
+          rr.rhs -= cj * vm.offset;
+          break;
+        case VarMap::Kind::kSplit:
+          rr.coeffs[vm.y1] += cj;
+          rr.coeffs[vm.y2] -= cj;
+          break;
+      }
+    }
+    return rr;
+  };
+
+  for (const LpRow& row : p.rows) {
+    if (row.coeffs.size() != nv) {
+      throw std::invalid_argument("solve_lp: row size mismatch");
+    }
+    RawRow rr = substitute(row.coeffs, row.rhs);
+    rr.rel = row.rel;
+    raw.push_back(std::move(rr));
+  }
+  for (std::size_t j = 0; j < nv; ++j) {
+    const VarMap& vm = sf.var_map[j];
+    const double l = p.lower[j], u = p.upper[j];
+    if (vm.kind == VarMap::Kind::kShifted && u != kLpInf) {
+      RawRow rr;
+      rr.coeffs.assign(sf.n, 0.0);
+      rr.coeffs[vm.y1] = 1.0;
+      rr.rel = RowRel::kLe;
+      rr.rhs = u - l;
+      raw.push_back(std::move(rr));
+    }
+    (void)l;
+  }
+
+  const double sense = p.sense == Sense::kMaximize ? -1.0 : 1.0;
+  sf.c.assign(sf.n, 0.0);
+  for (std::size_t j = 0; j < nv; ++j) {
+    const double cj = sense * p.objective[j];
+    if (cj == 0.0) continue;
+    const VarMap& vm = sf.var_map[j];
+    switch (vm.kind) {
+      case VarMap::Kind::kShifted:
+        sf.c[vm.y1] += cj;
+        break;
+      case VarMap::Kind::kNegatedShifted:
+        sf.c[vm.y1] -= cj;
+        break;
+      case VarMap::Kind::kSplit:
+        sf.c[vm.y1] += cj;
+        sf.c[vm.y2] -= cj;
+        break;
+    }
+  }
+
+  const std::size_t m = raw.size();
+  std::size_t n_total = sf.n;
+  for (const RawRow& rr : raw) {
+    if (rr.rel != RowRel::kEq) ++n_total;
+  }
+  sf.a.assign(m, std::vector<double>(n_total, 0.0));
+  sf.b.assign(m, 0.0);
+  sf.c.resize(n_total, 0.0);
+
+  std::size_t slack_col = sf.n;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < sf.n; ++j) sf.a[i][j] = raw[i].coeffs[j];
+    sf.b[i] = raw[i].rhs;
+    if (raw[i].rel == RowRel::kLe) {
+      sf.a[i][slack_col++] = 1.0;
+    } else if (raw[i].rel == RowRel::kGe) {
+      sf.a[i][slack_col++] = -1.0;
+    }
+    if (sf.b[i] < 0.0) {
+      for (double& v : sf.a[i]) v = -v;
+      sf.b[i] = -sf.b[i];
+    }
+  }
+  sf.n = n_total;
+  return sf;
+}
+
+class Tableau {
+ public:
+  Tableau(StandardForm sf, const SimplexOptions& opts)
+      : sf_(std::move(sf)), opts_(opts), m_(sf_.b.size()) {
+    n_struct_ = sf_.n;
+    n_ = n_struct_ + m_;
+    t_.assign(m_, std::vector<double>(n_ + 1, 0.0));
+    basis_.assign(m_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      for (std::size_t j = 0; j < n_struct_; ++j) t_[i][j] = sf_.a[i][j];
+      t_[i][n_struct_ + i] = 1.0;
+      t_[i][n_] = sf_.b[i];
+      basis_[i] = n_struct_ + i;
+    }
+  }
+
+  LpStatus run() {
+    std::vector<double> cost1(n_, 0.0);
+    for (std::size_t j = n_struct_; j < n_; ++j) cost1[j] = 1.0;
+    build_reduced_costs(cost1);
+    LpStatus s = iterate();
+    if (s != LpStatus::kOptimal) return s;
+    if (objective_value() > 1e-7) return LpStatus::kInfeasible;
+    if (!drive_out_artificials()) return LpStatus::kInfeasible;
+
+    std::vector<double> cost2 = sf_.c;
+    cost2.resize(n_, 0.0);
+    frozen_after_ = n_struct_;
+    build_reduced_costs(cost2);
+    return iterate();
+  }
+
+  int iterations() const { return iters_; }
+
+  double value_of(std::size_t j) const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] == j) return t_[i][n_];
+    }
+    return 0.0;
+  }
+
+  double objective_value() const { return -z_[n_]; }
+
+ private:
+  void build_reduced_costs(const std::vector<double>& cost) {
+    z_.assign(n_ + 1, 0.0);
+    for (std::size_t j = 0; j <= n_; ++j) {
+      double acc = (j < n_) ? cost[j] : 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        acc -= cost[basis_[i]] * t_[i][j];
+      }
+      z_[j] = acc;
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double piv = t_[row][col];
+    for (double& v : t_[row]) v /= piv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double f = t_[i][col];
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j <= n_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    const double zf = z_[col];
+    if (zf != 0.0) {
+      for (std::size_t j = 0; j <= n_; ++j) z_[j] -= zf * t_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  LpStatus iterate() {
+    for (;; ++iters_) {
+      if (iters_ >= opts_.max_iterations) return LpStatus::kIterLimit;
+      const bool bland = iters_ >= opts_.bland_after;
+
+      std::size_t enter = n_;
+      double best = -opts_.eps;
+      const std::size_t limit = frozen_after_ ? frozen_after_ : n_;
+      for (std::size_t j = 0; j < limit; ++j) {
+        if (z_[j] < best) {
+          enter = j;
+          if (bland) break;
+          best = z_[j];
+        } else if (bland && z_[j] < -opts_.eps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_) return LpStatus::kOptimal;
+
+      std::size_t leave = m_;
+      double best_ratio = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double a = t_[i][enter];
+        if (a <= opts_.eps) continue;
+        const double ratio = t_[i][n_] / a;
+        if (leave == m_ || ratio < best_ratio - 1e-12 ||
+            (std::fabs(ratio - best_ratio) <= 1e-12 &&
+             basis_[i] < basis_[leave])) {
+          leave = i;
+          best_ratio = ratio;
+        }
+      }
+      if (leave == m_) return LpStatus::kUnbounded;
+      pivot(leave, enter);
+    }
+  }
+
+  bool drive_out_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) continue;
+      std::size_t col = n_struct_;
+      for (std::size_t j = 0; j < n_struct_; ++j) {
+        if (std::fabs(t_[i][j]) > 1e-7) {
+          col = j;
+          break;
+        }
+      }
+      if (col == n_struct_) {
+        if (std::fabs(t_[i][n_]) > 1e-7) return false;
+        continue;
+      }
+      pivot(i, col);
+    }
+    return true;
+  }
+
+  StandardForm sf_;
+  SimplexOptions opts_;
+  std::size_t m_;
+  std::size_t n_struct_ = 0;
+  std::size_t n_ = 0;
+  std::size_t frozen_after_ = 0;
+  std::vector<std::vector<double>> t_;
+  std::vector<double> z_;
+  std::vector<std::size_t> basis_;
+  int iters_ = 0;
+};
+
+/// The seed's solve_lp (ignores warm_start/pricing options it predates).
+inline LpSolution solve_lp(const LpProblem& problem,
+                           const SimplexOptions& opts = {}) {
+  StandardForm sf = build_standard_form(problem);
+  const std::vector<VarMap> var_map = sf.var_map;
+  Tableau tab(std::move(sf), opts);
+
+  LpSolution sol;
+  sol.status = tab.run();
+  sol.iterations = tab.iterations();
+  if (sol.status != LpStatus::kOptimal) return sol;
+
+  sol.x = linalg::Vector(problem.num_vars());
+  for (std::size_t j = 0; j < problem.num_vars(); ++j) {
+    const VarMap& vm = var_map[j];
+    switch (vm.kind) {
+      case VarMap::Kind::kShifted:
+        sol.x[j] = vm.offset + tab.value_of(vm.y1);
+        break;
+      case VarMap::Kind::kNegatedShifted:
+        sol.x[j] = vm.offset - tab.value_of(vm.y1);
+        break;
+      case VarMap::Kind::kSplit:
+        sol.x[j] = tab.value_of(vm.y1) - tab.value_of(vm.y2);
+        break;
+    }
+  }
+  sol.objective = dot(problem.objective, sol.x);
+  return sol;
+}
+
+}  // namespace bcert::lp::seed_ref
