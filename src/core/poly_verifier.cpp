@@ -26,6 +26,11 @@ PolyBarrierVerifier::PolyBarrierVerifier(BarrierProblem problem,
   if (!options_.base.icp.tape_cache) {
     options_.base.icp.tape_cache = std::make_shared<smt::TapeCache>();
   }
+  // ICP warm-starting across the candidate loop's structurally repeated
+  // queries, as in BarrierVerifier (see verifier.cpp).
+  if (!options_.base.icp.unsat_cache) {
+    options_.base.icp.unsat_cache = std::make_shared<smt::UnsatTreeCache>();
+  }
 }
 
 double PolyBarrierVerifier::numeric_lie(const PolynomialForm& w,

@@ -98,6 +98,15 @@ BarrierVerifier::BarrierVerifier(BarrierProblem problem,
   if (!options_.icp.tape_cache) {
     options_.icp.tape_cache = std::make_shared<smt::TapeCache>();
   }
+  // UNSAT-tree warm-starting (BCERT_ICP_WARM): successive candidates
+  // differ only in W's coefficients, so their decrease/level queries
+  // share structural signatures and each refutation seeds the next
+  // query's frontier from the previous proof's leaf partition. Sound by
+  // construction — replayed leaves partition the same search box, and a
+  // stale seed silently cold-starts — so verdicts never change.
+  if (!options_.icp.unsat_cache) {
+    options_.icp.unsat_cache = std::make_shared<smt::UnsatTreeCache>();
+  }
 }
 
 std::vector<FieldSample> BarrierVerifier::simulate_samples(

@@ -46,7 +46,11 @@ class Box {
   /// Maximum dimension width (∞-norm diameter).
   double max_width() const;
 
-  /// Index of the widest dimension (0 when dimensionless).
+  /// Index of the widest dimension (0 when dimensionless). Ties break
+  /// stably to the *lowest* dimension index — part of the ICP frontier's
+  /// exploration-order contract: scalar and batched branch-and-prune both
+  /// split the same dimension of the same box, so their search trees are
+  /// reproducible at any batch width or thread count.
   std::size_t widest_dim() const;
 
   /// Component-wise midpoint.

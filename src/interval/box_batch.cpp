@@ -1,0 +1,66 @@
+#include "src/interval/box_batch.h"
+
+#include <stdexcept>
+
+namespace bcert::interval {
+
+namespace {
+/// Plane stride: capacity rounded up to 8 doubles, so every per-dimension
+/// row starts 64-byte aligned when the base allocation is.
+std::size_t padded(std::size_t capacity) { return (capacity + 7) & ~std::size_t{7}; }
+}  // namespace
+
+BoxBatch::BoxBatch(std::size_t dims, std::size_t capacity)
+    : dims_(dims), capacity_(capacity), stride_(padded(capacity)) {
+  if (dims == 0 || capacity == 0) {
+    throw std::invalid_argument("BoxBatch: dims and capacity must be positive");
+  }
+  lo_ = linalg::aligned_doubles(dims_ * stride_);
+  hi_ = linalg::aligned_doubles(dims_ * stride_);
+}
+
+void BoxBatch::push_back(const Box& b) {
+  if (b.size() != dims_) {
+    throw std::invalid_argument("BoxBatch::push_back: dimension mismatch");
+  }
+  if (size_ >= capacity_) {
+    throw std::length_error("BoxBatch::push_back: batch full");
+  }
+  const std::size_t i = size_++;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    lo_plane(d)[i] = b[d].lo();
+    hi_plane(d)[i] = b[d].hi();
+  }
+}
+
+Box BoxBatch::box(std::size_t i) const {
+  std::vector<Interval> dims;
+  dims.reserve(dims_);
+  for (std::size_t d = 0; d < dims_; ++d) dims.push_back(dim(i, d));
+  return Box(std::move(dims));
+}
+
+bool BoxBatch::lane_is_empty(std::size_t i) const {
+  for (std::size_t d = 0; d < dims_; ++d) {
+    if (lo_plane(d)[i] > hi_plane(d)[i]) return true;
+  }
+  return false;
+}
+
+double BoxBatch::max_width(std::size_t i) const {
+  // Box::max_width twin: width() of an empty interval is 0.
+  double w = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) {
+    const Interval v = dim(i, d);
+    if (v.width() > w) w = v.width();
+  }
+  return w;
+}
+
+double BoxBatch::perimeter(std::size_t i) const {
+  double p = 0.0;
+  for (std::size_t d = 0; d < dims_; ++d) p += dim(i, d).width();
+  return p;
+}
+
+}  // namespace bcert::interval

@@ -1,0 +1,88 @@
+#pragma once
+/// \file box_batch.h
+/// \brief Structure-of-arrays batch of boxes — the currency of the
+/// batched ICP contraction pipeline.
+///
+/// A `BoxBatch` holds up to `capacity` boxes of a fixed dimension as two
+/// dense planes (all lower bounds, then all upper bounds), laid out
+/// dimension-major:
+///
+///     lo_plane(d)[i] = lower bound of box i in dimension d
+///     hi_plane(d)[i] = upper bound of box i in dimension d
+///
+/// Each plane row is 32-byte aligned (the allocation is 64-byte aligned
+/// and the per-dimension stride is padded to 8 doubles), so the batched
+/// tape kernels can stream whole sibling groups with aligned SIMD loads.
+/// Boxes inside a batch are independent lanes: the batched contractor
+/// narrows each lane exactly as the scalar contractor would narrow the
+/// corresponding `Box`, bit for bit.
+///
+/// The batch is a *staging* structure, not a container of record: the ICP
+/// frontier still stores `Box` objects; a batch is filled from popped
+/// frontier boxes, contracted in place, and surviving lanes are
+/// materialized back into `Box` children.
+
+#include <cstddef>
+
+#include "src/interval/box.h"
+#include "src/interval/interval.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::interval {
+
+/// Fixed-capacity structure-of-arrays box batch (see file comment).
+class BoxBatch {
+ public:
+  BoxBatch() = default;
+
+  /// Batch for boxes of \p dims dimensions, holding up to \p capacity.
+  BoxBatch(std::size_t dims, std::size_t capacity);
+
+  std::size_t dims() const { return dims_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Forgets all lanes (planes keep their storage).
+  void clear() { size_ = 0; }
+
+  /// Appends \p b as a new lane. \p b must have exactly dims()
+  /// dimensions and the batch must not be full.
+  void push_back(const Box& b);
+
+  /// Materializes lane \p i as a Box.
+  Box box(std::size_t i) const;
+
+  /// Interval of lane \p i in dimension \p d.
+  Interval dim(std::size_t i, std::size_t d) const {
+    return Interval(lo_plane(d)[i], hi_plane(d)[i]);
+  }
+  void set_dim(std::size_t i, std::size_t d, const Interval& v) {
+    lo_plane(d)[i] = v.lo();
+    hi_plane(d)[i] = v.hi();
+  }
+
+  /// True when any dimension of lane \p i is empty.
+  bool lane_is_empty(std::size_t i) const;
+
+  /// Maximum dimension width of lane \p i (Box::max_width twin).
+  double max_width(std::size_t i) const;
+
+  /// Sum of dimension widths of lane \p i (Box::perimeter twin).
+  double perimeter(std::size_t i) const;
+
+  double* lo_plane(std::size_t d) { return lo_.get() + d * stride_; }
+  double* hi_plane(std::size_t d) { return hi_.get() + d * stride_; }
+  const double* lo_plane(std::size_t d) const { return lo_.get() + d * stride_; }
+  const double* hi_plane(std::size_t d) const { return hi_.get() + d * stride_; }
+
+ private:
+  std::size_t dims_ = 0;
+  std::size_t capacity_ = 0;
+  std::size_t stride_ = 0;  ///< doubles per plane row (capacity padded to 8)
+  std::size_t size_ = 0;
+  linalg::AlignedDoubles lo_;
+  linalg::AlignedDoubles hi_;
+};
+
+}  // namespace bcert::interval

@@ -1,19 +1,27 @@
 #include "src/smt/icp_solver.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "src/interval/box_batch.h"
 #include "src/parallel/thread_pool.h"
 
 namespace bcert::smt {
 
 using clock = std::chrono::steady_clock;
+using interval::Box;
+using interval::BoxBatch;
+using interval::Interval;
 
 const char* sat_result_name(SatResult r) {
   switch (r) {
@@ -30,6 +38,36 @@ linalg::Vector IcpResult::witness_point() const {
     throw std::logic_error("IcpResult::witness_point: no witness");
   }
   return witness->midpoint();
+}
+
+int resolve_icp_batch(int requested) {
+  // Clamp both the config and env paths: every worker sizes a BoxBatch
+  // and a batch register file by this, so an absurd width is an OOM.
+  static constexpr int kMaxBatch = 1024;
+  if (requested > 0) return std::min(requested, kMaxBatch);
+  static const int env_batch = [] {
+    if (const char* v = std::getenv("BCERT_ICP_BATCH")) {
+      const int n = std::atoi(v);
+      if (n > 0) return std::min(n, kMaxBatch);
+    }
+    return 8;
+  }();
+  return env_batch;
+}
+
+bool icp_warm_enabled(const IcpConfig& config) {
+  if (!config.unsat_cache) return false;
+  // Same override contract as BCERT_LP_WARM: unset defers to the config
+  // flag, "0"/"off"/"false" force cold, anything else forces warm.
+  static const int env_state = [] {
+    const char* v = std::getenv("BCERT_ICP_WARM");
+    if (v == nullptr) return -1;
+    const bool off = std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+                     std::strcmp(v, "false") == 0;
+    return off ? 0 : 1;
+  }();
+  if (env_state >= 0) return env_state == 1;
+  return config.warm_start;
 }
 
 namespace {
@@ -89,6 +127,7 @@ void merge_stats(IcpStats& into, const IcpStats& from) {
   into.boxes_processed += from.boxes_processed;
   into.boxes_pruned += from.boxes_pruned;
   into.splits += from.splits;
+  into.warm_starts += from.warm_starts;
   into.max_depth_width = std::min(into.max_depth_width, from.max_depth_width);
 }
 
@@ -118,73 +157,337 @@ struct ContractorSpec {
   }
 };
 
-/// Classic depth-first branch-and-prune over one conjunction, driven by
-/// a shared budget/cancellation pair. With a fresh budget and token this
-/// is exactly the sequential seed algorithm (same exploration order,
-/// same witness); under DNF dispatch several instances run concurrently.
-void solve_sequential(const ContractorSpec& spec, const interval::Box& box,
-                      const IcpConfig& config, SharedBudget& budget,
+/// A frontier box plus its node id in the split-tree recording (unused
+/// when recording is off).
+struct WorkItem {
+  Box box;
+  std::uint32_t node = 0;
+};
+
+/// Thread-safe split-tree recorder. Boxes carry their node ids; a split
+/// turns the parent's leaf node into an internal node with two fresh
+/// leaf children. Recording that would exceed the per-tree node cap is
+/// abandoned (overflow) and the tree is not persisted.
+///
+/// Built for the parallel hot loop: ids come from one atomic counter
+/// and nodes live in fixed-size blocks behind stable pointers, so the
+/// common split takes no lock at all (the block-grow path locks once
+/// per kBlockNodes splits). A parent entry is written only by the
+/// worker that popped the parent's box, and the frontier's shard mutex
+/// orders that write before any child box is popped elsewhere.
+class TreeRecorder {
+ public:
+  TreeRecorder() { ensure_block(0); }  // root (id 0) starts as a leaf
+
+  bool overflow() const { return overflow_.load(std::memory_order_acquire); }
+
+  std::pair<std::uint32_t, std::uint32_t> record_split(std::uint32_t parent,
+                                                       std::uint32_t dim,
+                                                       double value) {
+    constexpr auto kNone =
+        std::pair<std::uint32_t, std::uint32_t>{UnsatTree::kNoNode,
+                                                UnsatTree::kNoNode};
+    if (parent == UnsatTree::kNoNode || overflow()) {
+      overflow_.store(true, std::memory_order_release);
+      return kNone;
+    }
+    const std::uint32_t left = next_.fetch_add(2, std::memory_order_relaxed);
+    if (left + 1 >= UnsatTreeCache::kMaxNodes) {
+      overflow_.store(true, std::memory_order_release);
+      return kNone;
+    }
+    const std::uint32_t right = left + 1;
+    // Ensure *both* children's blocks before the ids escape: a sibling
+    // pair can straddle a block boundary, and another worker may write
+    // node(left) (splitting that child) before this thread runs again.
+    ensure_block(left / kBlockNodes);
+    ensure_block(right / kBlockNodes);  // children default to leaves
+    UnsatTree::Node& p = node(parent);
+    p.dim = dim;
+    p.value = value;
+    p.left = left;
+    p.right = right;
+    return {left, right};
+  }
+
+  /// Snapshot of the recording (call only after the solve completed).
+  std::vector<UnsatTree::Node> take_nodes() {
+    const std::uint32_t n = std::min<std::uint32_t>(
+        next_.load(std::memory_order_acquire),
+        static_cast<std::uint32_t>(UnsatTreeCache::kMaxNodes));
+    std::vector<UnsatTree::Node> out(n);
+    for (std::uint32_t i = 0; i < n; ++i) out[i] = node(i);
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kBlockNodes = 4096;
+  static constexpr std::size_t kNumBlocks =
+      (UnsatTreeCache::kMaxNodes + kBlockNodes - 1) / kBlockNodes;
+
+  UnsatTree::Node& node(std::uint32_t id) {
+    return blocks_[id / kBlockNodes].load(std::memory_order_acquire)
+        [id % kBlockNodes];
+  }
+
+  void ensure_block(std::size_t j) {
+    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return;
+    std::lock_guard<std::mutex> lock(grow_m_);
+    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return;
+    owned_.push_back(
+        std::make_unique<UnsatTree::Node[]>(kBlockNodes));  // all leaves
+    blocks_[j].store(owned_.back().get(), std::memory_order_release);
+  }
+
+  std::atomic<std::uint32_t> next_{1};
+  std::atomic<bool> overflow_{false};
+  std::array<std::atomic<UnsatTree::Node*>, kNumBlocks> blocks_{};
+  std::mutex grow_m_;
+  std::vector<std::unique_ptr<UnsatTree::Node[]>> owned_;
+};
+
+/// Replays \p seed over \p box while reproducing the seed's split
+/// structure inside \p rec, so the new recording extends the seeded
+/// partition. Uses the one shared UnsatTree::walk traversal (the
+/// partition-coverage invariant lives in a single place). Returns the
+/// partition leaves in left-first order — pushed onto the LIFO frontier
+/// as-is, they are explored right-most first, matching the cold DFS
+/// orientation.
+std::vector<WorkItem> replay_seed(const UnsatTree& seed, const Box& box,
+                                  TreeRecorder* rec) {
+  std::vector<WorkItem> out;
+  seed.walk(
+      box, std::uint32_t{0},
+      [rec](const UnsatTree::Node& n, std::uint32_t rid) {
+        return rec != nullptr
+                   ? rec->record_split(rid, n.dim, n.value)
+                   : std::pair<std::uint32_t, std::uint32_t>{0, 0};
+      },
+      [&out](Box&& leaf, std::uint32_t rid) {
+        out.push_back({std::move(leaf), rid});
+      });
+  return out;
+}
+
+/// Per-conjunction-solve warm-start context: resolves the seed partition
+/// (or the cold single-box seed), owns the split-tree recorder, and
+/// publishes the recording when the query completed UNSAT.
+class QueryContext {
+ public:
+  QueryContext(const expr::ExprPool& pool, const Conjunction& c,
+               const Box& box, const IcpConfig& config)
+      : pool_(&pool), box_(box), config_(&config) {
+    if (box.is_empty()) return;  // no seeds: trivially UNSAT
+    if (icp_warm_enabled(config)) {
+      rec_ = std::make_unique<TreeRecorder>();
+      // Hash the conjunction's shape once; publish() reuses it.
+      signature_ = structural_signature(pool, c);
+      if (const auto seed = config.unsat_cache->find(pool, signature_, box)) {
+        seeds_ = replay_seed(*seed, box, rec_.get());
+        warm_ = seeds_.size() > 1;
+      }
+    }
+    if (seeds_.empty()) seeds_.push_back({box, 0});
+  }
+
+  std::vector<WorkItem> take_seeds() { return std::move(seeds_); }
+  TreeRecorder* recorder() { return rec_.get(); }
+  bool warm_started() const { return warm_; }
+
+  /// Persists the recorded tree when the query was refuted cleanly (a
+  /// cancelled or exhausted run has an incomplete tree — never stored;
+  /// a root-only tree carries no information — also skipped).
+  void publish(SatResult verdict) {
+    if (rec_ == nullptr || rec_->overflow() ||
+        verdict != SatResult::kUnsat) {
+      return;
+    }
+    std::vector<UnsatTree::Node> nodes = rec_->take_nodes();
+    if (nodes.size() <= 1) return;
+    auto tree = std::make_shared<UnsatTree>();
+    tree->root_box = std::move(box_);
+    tree->nodes = std::move(nodes);
+    config_->unsat_cache->store(*pool_, signature_, std::move(tree));
+  }
+
+ private:
+  const expr::ExprPool* pool_;
+  Box box_;
+  const IcpConfig* config_;
+  std::uint64_t signature_ = 0;
+  std::unique_ptr<TreeRecorder> rec_;
+  std::vector<WorkItem> seeds_;
+  bool warm_ = false;
+};
+
+/// Contraction engine of one worker: either the batched tape sweeps over
+/// a sibling group (structure-of-arrays lanes) or a scalar contractor.
+/// batch_size = 1 and tree mode both take the scalar path, which is the
+/// exact legacy hot loop (contract_fixpoint + cached
+/// certainly_satisfied); every lane of the batched path is bit-identical
+/// to that loop by the tape batch contract.
+class BatchContractor {
+ public:
+  BatchContractor(const ContractorSpec& spec, const IcpConfig& config,
+                  std::size_t dims, int batch)
+      : passes_(config.hc4_passes), ratio_(config.hc4_improvement) {
+    if (spec.tape != nullptr && batch > 1) {
+      tape_ = spec.tape;
+      boxes_ = BoxBatch(dims, static_cast<std::size_t>(batch));
+      regs_ = tape_->make_batch_registers(static_cast<std::size_t>(batch));
+    } else {
+      scalar_.emplace(spec.make());
+    }
+  }
+
+  /// Contracts items[0..k) in place and fills out[0..k).
+  void contract(std::vector<WorkItem>& items, std::size_t k,
+                std::vector<Hc4Tape::LaneOutcome>& out) {
+    out.resize(k);
+    if (tape_ != nullptr) {
+      boxes_.clear();
+      for (std::size_t i = 0; i < k; ++i) boxes_.push_back(items[i].box);
+      tape_->contract_fixpoint_batch(boxes_, regs_, passes_, ratio_,
+                                     out.data());
+      for (std::size_t i = 0; i < k; ++i) {
+        if (out[i].result != ContractResult::kEmpty) {
+          items[i].box = boxes_.box(i);
+        }
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      const ContractResult r =
+          scalar_->contract_fixpoint(items[i].box, passes_, ratio_);
+      out[i].result = r;
+      out[i].satisfied = r != ContractResult::kEmpty &&
+                         !items[i].box.is_empty() &&
+                         scalar_->certainly_satisfied(items[i].box);
+    }
+  }
+
+ private:
+  int passes_;
+  double ratio_;
+  std::shared_ptr<const Hc4Tape> tape_;
+  BoxBatch boxes_;
+  Hc4Tape::BatchRegisters regs_;
+  std::optional<Hc4Contractor> scalar_;
+};
+
+/// Settles one contracted work item — prune / report SAT / report δ-SAT
+/// / split-and-record — appending surviving children to \p children.
+/// Returns false when a (δ-)SAT was reported and the caller must stop.
+/// One shared body keeps the sequential and parallel frontiers
+/// bit-identical per box (the "batch_size = 1 equals the scalar seed
+/// algorithm" contract lives here).
+bool settle_item(WorkItem& it, const Hc4Tape::LaneOutcome& oc,
+                 const IcpConfig& config, TreeRecorder* rec,
+                 SharedOutcome& outcome, parallel::CancellationToken& cancel,
+                 IcpStats& stats,
+                 std::vector<std::pair<WorkItem, WorkItem>>& children) {
+  if (oc.result == ContractResult::kEmpty || it.box.is_empty()) {
+    ++stats.boxes_pruned;
+    return true;
+  }
+  stats.max_depth_width = std::min(stats.max_depth_width, it.box.max_width());
+
+  // True SAT: constraints certainly hold over the whole surviving box.
+  if (oc.satisfied) {
+    outcome.report_sat(SatResult::kSat, std::move(it.box), cancel);
+    return false;
+  }
+  // δ-condition: box too small to split further.
+  if (it.box.max_width() <= config.delta) {
+    outcome.report_sat(SatResult::kDeltaSat, std::move(it.box), cancel);
+    return false;
+  }
+
+  const std::size_t dim = it.box.widest_dim();
+  const double mid = it.box[dim].mid();
+  auto [left, right] = it.box.split(dim);
+  ++stats.splits;
+  const auto ids =
+      rec != nullptr
+          ? rec->record_split(it.node, static_cast<std::uint32_t>(dim), mid)
+          : std::pair<std::uint32_t, std::uint32_t>{0, 0};
+  children.emplace_back(WorkItem{std::move(left), ids.first},
+                        WorkItem{std::move(right), ids.second});
+  return true;
+}
+
+/// Depth-first branch-and-prune over one conjunction, popping and
+/// contracting up to `batch` sibling boxes per round (see the
+/// exploration-order contract in icp_solver.h). With batch = 1 and a
+/// fresh budget/token this is exactly the sequential seed algorithm —
+/// same exploration order, same witness, same statistics.
+void solve_sequential(const ContractorSpec& spec, std::vector<WorkItem> seeds,
+                      const IcpConfig& config, int batch, TreeRecorder* rec,
+                      double root_width, SharedBudget& budget,
                       SharedOutcome& outcome,
                       parallel::CancellationToken& cancel, IcpStats& stats) {
-  Hc4Contractor contractor = spec.make();
+  stats.max_depth_width = root_width;
+  if (seeds.empty()) return;
+  const std::size_t dims = seeds.front().box.size();
+  BatchContractor engine(spec, config, dims, batch);
 
-  // DFS work stack: depth-first finds witnesses fast and keeps memory
-  // bounded by (depth x dimension).
-  std::deque<interval::Box> work;
-  if (!box.is_empty()) work.push_back(box);
-
-  stats.max_depth_width = box.max_width();
+  // DFS work stack (back = deepest): depth-first finds witnesses fast
+  // and keeps memory bounded by (depth × dimension + batch).
+  std::vector<WorkItem> work = std::move(seeds);
+  const auto want = static_cast<std::size_t>(batch);
+  std::vector<WorkItem> items(want);
+  std::vector<Hc4Tape::LaneOutcome> outcomes;
+  std::vector<std::pair<WorkItem, WorkItem>> children;
 
   while (!work.empty()) {
     if (cancel.cancelled()) return;
-    if (!budget.admit_box()) {
+    const std::size_t k = std::min(want, work.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      items[i] = std::move(work.back());
+      work.pop_back();
+    }
+    std::size_t admitted = 0;
+    bool exhausted = false;
+    for (; admitted < k; ++admitted) {
+      if (!budget.admit_box()) {
+        exhausted = true;
+        break;
+      }
+    }
+    stats.boxes_processed += admitted;
+    if (admitted > 0) engine.contract(items, admitted, outcomes);
+
+    children.clear();
+    for (std::size_t i = 0; i < admitted; ++i) {
+      if (!settle_item(items[i], outcomes[i], config, rec, outcome, cancel,
+                       stats, children)) {
+        return;  // (δ-)SAT reported
+      }
+    }
+    // Surviving children go back in reverse pop order, so the deepest
+    // box's children surface first (DFS; exact seed order at batch 1).
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      work.push_back(std::move(it->first));
+      work.push_back(std::move(it->second));
+    }
+    if (exhausted) {
       outcome.exhausted.store(true, std::memory_order_release);
       cancel.cancel();
       return;
     }
-
-    interval::Box current = std::move(work.back());
-    work.pop_back();
-    ++stats.boxes_processed;
-
-    const ContractResult cr = contractor.contract_fixpoint(
-        current, config.hc4_passes, config.hc4_improvement);
-    if (cr == ContractResult::kEmpty || current.is_empty()) {
-      ++stats.boxes_pruned;
-      continue;
-    }
-
-    stats.max_depth_width =
-        std::min(stats.max_depth_width, current.max_width());
-
-    // True SAT: constraints certainly hold over the whole surviving box.
-    if (contractor.certainly_satisfied(current)) {
-      outcome.report_sat(SatResult::kSat, std::move(current), cancel);
-      return;
-    }
-
-    // δ-condition: box too small to split further.
-    if (current.max_width() <= config.delta) {
-      outcome.report_sat(SatResult::kDeltaSat, std::move(current), cancel);
-      return;
-    }
-
-    auto [left, right] = current.split_widest();
-    ++stats.splits;
-    work.push_back(std::move(left));
-    work.push_back(std::move(right));
   }
 }
 
-/// Work-sharing frontier: one shard per worker. Owners push/pop at the
-/// back of their shard (depth-first, cache-friendly); idle workers steal
-/// from the *front* of a victim shard, which holds the shallowest — and
-/// therefore largest — subproblems, so a single steal transfers a big
-/// slice of the search tree.
+/// Work-sharing frontier: one shard per worker. Owners push/pop batches
+/// at the back of their shard (depth-first, cache-friendly); idle
+/// workers steal a whole *chunk* — up to a batch, at most half the
+/// victim's shard — from the front of a victim shard, which holds the
+/// shallowest (largest) subproblems, so one steal transfers a big slice
+/// of the search tree and immediately fills the thief's batch lanes.
 struct Frontier {
   struct alignas(64) Shard {
     std::mutex m;
-    std::deque<interval::Box> stack;
+    std::deque<WorkItem> stack;
   };
   std::vector<Shard> shards;
   /// Boxes pushed but not yet retired (pruned / leaf / reported). The
@@ -193,58 +496,87 @@ struct Frontier {
 
   explicit Frontier(std::size_t workers) : shards(workers) {}
 
-  void push_local(std::size_t w, interval::Box box) {
+  void push_local(std::size_t w, WorkItem item) {
     std::lock_guard<std::mutex> lock(shards[w].m);
-    shards[w].stack.push_back(std::move(box));
+    shards[w].stack.push_back(std::move(item));
   }
 
-  bool pop(std::size_t w, interval::Box& out) {
+  /// Pushes a whole round's surviving children under one lock, in
+  /// reverse pair order (left then right per pair), so the deepest
+  /// parent's children end on top — the documented exploration order.
+  void push_children(std::size_t w,
+                     std::vector<std::pair<WorkItem, WorkItem>>& children) {
+    std::lock_guard<std::mutex> lock(shards[w].m);
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      shards[w].stack.push_back(std::move(it->first));
+      shards[w].stack.push_back(std::move(it->second));
+    }
+  }
+
+  /// Pops up to \p want items into \p out (out[0] = deepest of the run).
+  std::size_t pop_batch(std::size_t w, std::size_t want,
+                        std::vector<WorkItem>& out) {
     {
       Shard& own = shards[w];
       std::lock_guard<std::mutex> lock(own.m);
       if (!own.stack.empty()) {
-        out = std::move(own.stack.back());
-        own.stack.pop_back();
-        return true;
+        const std::size_t k = std::min(want, own.stack.size());
+        for (std::size_t i = 0; i < k; ++i) {
+          out[i] = std::move(own.stack.back());
+          own.stack.pop_back();
+        }
+        return k;
       }
     }
-    for (std::size_t k = 1; k < shards.size(); ++k) {
-      Shard& victim = shards[(w + k) % shards.size()];
+    for (std::size_t j = 1; j < shards.size(); ++j) {
+      Shard& victim = shards[(w + j) % shards.size()];
       std::lock_guard<std::mutex> lock(victim.m);
-      if (!victim.stack.empty()) {
-        out = std::move(victim.stack.front());
+      if (victim.stack.empty()) continue;
+      const std::size_t k =
+          std::min(want, (victim.stack.size() + 1) / 2);
+      for (std::size_t i = 0; i < k; ++i) {
+        out[i] = std::move(victim.stack.front());
         victim.stack.pop_front();
-        return true;
       }
+      return k;
     }
-    return false;
+    return 0;
   }
 };
 
 /// Parallel branch-and-prune: the frontier is shared, every worker runs
-/// its own contractor (HC4 keeps mutable per-schedule scratch), and the
-/// first (δ-)SAT box cancels everyone.
-void solve_parallel(const ContractorSpec& spec, const interval::Box& box,
-                    const IcpConfig& config, int workers,
+/// its own batch engine (contraction keeps mutable per-lane scratch),
+/// and the first (δ-)SAT box cancels everyone.
+void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
+                    std::size_t dims, const IcpConfig& config, int workers,
+                    int batch, TreeRecorder* rec, double root_width,
                     SharedBudget& budget, SharedOutcome& outcome,
                     parallel::CancellationToken& cancel,
                     IcpStats& merged_stats) {
   Frontier frontier(static_cast<std::size_t>(workers));
-  frontier.in_flight.store(1, std::memory_order_relaxed);
-  frontier.push_local(0, box);
+  frontier.in_flight.store(static_cast<std::int64_t>(seeds.size()),
+                           std::memory_order_relaxed);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    frontier.push_local(i % static_cast<std::size_t>(workers),
+                        std::move(seeds[i]));
+  }
 
   std::vector<IcpStats> worker_stats(static_cast<std::size_t>(workers));
-  for (IcpStats& s : worker_stats) s.max_depth_width = box.max_width();
+  for (IcpStats& s : worker_stats) s.max_depth_width = root_width;
 
   parallel::ThreadPool::global().run_on_workers(
       static_cast<std::size_t>(workers), [&](std::size_t w) {
-        Hc4Contractor contractor = spec.make();
+        BatchContractor engine(spec, config, dims, batch);
         IcpStats& stats = worker_stats[w];
-        interval::Box current;
+        const auto want = static_cast<std::size_t>(batch);
+        std::vector<WorkItem> items(want);
+        std::vector<Hc4Tape::LaneOutcome> outcomes;
+        std::vector<std::pair<WorkItem, WorkItem>> children;
         int idle_spins = 0;
 
         while (!cancel.cancelled()) {
-          if (!frontier.pop(w, current)) {
+          const std::size_t k = frontier.pop_batch(w, want, items);
+          if (k == 0) {
             if (frontier.in_flight.load(std::memory_order_acquire) <= 0) {
               return;  // frontier drained: UNSAT
             }
@@ -255,43 +587,41 @@ void solve_parallel(const ContractorSpec& spec, const interval::Box& box,
           }
           idle_spins = 0;
 
-          if (!budget.admit_box()) {
+          std::size_t admitted = 0;
+          bool exhausted = false;
+          for (; admitted < k; ++admitted) {
+            if (!budget.admit_box()) {
+              exhausted = true;
+              break;
+            }
+          }
+          stats.boxes_processed += admitted;
+          if (admitted > 0) engine.contract(items, admitted, outcomes);
+
+          children.clear();
+          bool reported = false;
+          for (std::size_t i = 0; i < admitted && !reported; ++i) {
+            reported = !settle_item(items[i], outcomes[i], config, rec,
+                                    outcome, cancel, stats, children);
+          }
+
+          if (!reported && !exhausted && !children.empty()) {
+            // Children replace their parents: publish the increment
+            // before pushing so peers never observe a transient zero,
+            // then retire the popped batch in one decrement below.
+            frontier.in_flight.fetch_add(
+                static_cast<std::int64_t>(2 * children.size()),
+                std::memory_order_acq_rel);
+            frontier.push_children(w, children);
+          }
+          frontier.in_flight.fetch_sub(static_cast<std::int64_t>(k),
+                                       std::memory_order_acq_rel);
+          if (reported) return;
+          if (exhausted) {
             outcome.exhausted.store(true, std::memory_order_release);
             cancel.cancel();
             return;
           }
-          ++stats.boxes_processed;
-
-          const ContractResult cr = contractor.contract_fixpoint(
-              current, config.hc4_passes, config.hc4_improvement);
-          if (cr == ContractResult::kEmpty || current.is_empty()) {
-            ++stats.boxes_pruned;
-            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-            continue;
-          }
-
-          stats.max_depth_width =
-              std::min(stats.max_depth_width, current.max_width());
-
-          if (contractor.certainly_satisfied(current)) {
-            outcome.report_sat(SatResult::kSat, std::move(current), cancel);
-            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-            return;
-          }
-          if (current.max_width() <= config.delta) {
-            outcome.report_sat(SatResult::kDeltaSat, std::move(current),
-                               cancel);
-            frontier.in_flight.fetch_sub(1, std::memory_order_acq_rel);
-            return;
-          }
-
-          auto [left, right] = current.split_widest();
-          ++stats.splits;
-          // Two children replace one parent: net +1 in flight. Publish
-          // before pushing so peers never observe a transient zero.
-          frontier.in_flight.fetch_add(1, std::memory_order_acq_rel);
-          frontier.push_local(w, std::move(left));
-          frontier.push_local(w, std::move(right));
         }
       });
 
@@ -338,15 +668,25 @@ IcpResult IcpSolver::solve(const Conjunction& conjunction,
 
   const ContractorSpec spec(*pool_, conjunction, config_);
   const int threads = parallel::resolve_thread_count(config_.threads);
-  if (threads <= 1 || box.is_empty()) {
+  const int batch = resolve_icp_batch(config_.batch_size);
+
+  QueryContext ctx(*pool_, conjunction, box, config_);
+  if (ctx.warm_started()) ++stats.warm_starts;
+  std::vector<WorkItem> seeds = ctx.take_seeds();
+
+  if (threads <= 1 || seeds.empty()) {
     IcpStats seq_stats;
-    solve_sequential(spec, box, config_, budget, outcome, cancel, seq_stats);
+    solve_sequential(spec, std::move(seeds), config_, batch, ctx.recorder(),
+                     box.max_width(), budget, outcome, cancel, seq_stats);
     merge_stats(stats, seq_stats);
   } else {
-    solve_parallel(spec, box, config_, threads, budget, outcome, cancel,
-                   stats);
+    solve_parallel(spec, std::move(seeds), box.size(), config_, threads,
+                   batch, ctx.recorder(), box.max_width(), budget, outcome,
+                   cancel, stats);
   }
-  return finalize(outcome, budget, stats);
+  IcpResult result = finalize(outcome, budget, stats);
+  ctx.publish(result.verdict);
+  return result;
 }
 
 IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
@@ -362,6 +702,7 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
   std::vector<IcpResult> results(k);
   for (IcpResult& r : results) r.stats.max_depth_width = box.max_width();
   const int threads = parallel::resolve_thread_count(config_.threads);
+  const int batch = resolve_icp_batch(config_.batch_size);
 
   if (threads > 1 && k >= static_cast<std::size_t>(threads)) {
     // Concurrent disjunct dispatch (enough disjuncts to feed every
@@ -387,6 +728,7 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
           results[i].verdict = SatResult::kUnsat;
           continue;
         }
+        std::optional<QueryContext> ctx;
         if (dnf.disjuncts[i].empty()) {
           outcomes[i].sat_found = true;
           outcomes[i].sat_verdict = SatResult::kSat;
@@ -397,22 +739,28 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
           // disjunct SATs immediately cancels the rest before their
           // (O(nodes)) tape compilations ever run.
           const ContractorSpec spec(*pool_, dnf.disjuncts[i], config_);
-          solve_sequential(spec, box, config_, budget, outcomes[i],
-                           cancel, stats);
+          ctx.emplace(*pool_, dnf.disjuncts[i], box, config_);
+          if (ctx->warm_started()) ++stats.warm_starts;
+          solve_sequential(spec, ctx->take_seeds(), config_, batch,
+                           ctx->recorder(), box.max_width(), budget,
+                           outcomes[i], cancel, stats);
           if (outcomes[i].exhausted.load(std::memory_order_acquire)) {
             dnf_outcome.exhausted.store(true, std::memory_order_release);
           }
         }
         results[i].stats = stats;
-        std::lock_guard<std::mutex> lock(outcomes[i].m);
-        if (outcomes[i].sat_found) {
-          results[i].verdict = outcomes[i].sat_verdict;
-          results[i].witness = outcomes[i].sat_witness;
-        } else if (cancel.cancelled()) {
-          results[i].verdict = SatResult::kUnknown;
-        } else {
-          results[i].verdict = SatResult::kUnsat;
+        {
+          std::lock_guard<std::mutex> lock(outcomes[i].m);
+          if (outcomes[i].sat_found) {
+            results[i].verdict = outcomes[i].sat_verdict;
+            results[i].witness = outcomes[i].sat_witness;
+          } else if (cancel.cancelled()) {
+            results[i].verdict = SatResult::kUnknown;
+          } else {
+            results[i].verdict = SatResult::kUnsat;
+          }
         }
+        if (ctx) ctx->publish(results[i].verdict);
       }
     });
 
@@ -455,14 +803,27 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
     }
     if (!box.is_empty()) {
       const ContractorSpec spec(*pool_, disjunct, config_);
+      QueryContext ctx(*pool_, disjunct, box, config_);
+      if (ctx.warm_started()) ++stats.warm_starts;
       if (threads > 1) {
-        solve_parallel(spec, box, config_, threads, budget, outcome, cancel,
-                       stats);
+        solve_parallel(spec, ctx.take_seeds(), box.size(), config_, threads,
+                       batch, ctx.recorder(), box.max_width(), budget,
+                       outcome, cancel, stats);
       } else {
         IcpStats seq_stats;
-        solve_sequential(spec, box, config_, budget, outcome, cancel,
-                         seq_stats);
+        solve_sequential(spec, ctx.take_seeds(), config_, batch,
+                         ctx.recorder(), box.max_width(), budget, outcome,
+                         cancel, seq_stats);
         merge_stats(stats, seq_stats);
+      }
+      {
+        std::lock_guard<std::mutex> lock(outcome.m);
+        const SatResult verdict =
+            outcome.sat_found ? outcome.sat_verdict
+            : outcome.exhausted.load(std::memory_order_acquire)
+                ? SatResult::kUnknown
+                : SatResult::kUnsat;
+        ctx.publish(verdict);
       }
     }
     merge_stats(aggregate.stats, stats);

@@ -16,16 +16,49 @@
 ///                exactly as the paper treats dReal's δ-sat answers.
 ///  * `kUnknown` — resource budget exhausted.
 ///
+/// Batched frontier: the solver pops, contracts, splits and prunes
+/// *sibling groups* of boxes (`IcpConfig::batch_size` lanes) instead of
+/// one box at a time, running the structure-of-arrays tape sweeps
+/// (src/smt/tape.h) across the group. Exploration order is documented
+/// and stable:
+///  * the frontier is a LIFO stack; each surviving box pushes its left
+///    child then its right child (so the right child is explored first);
+///  * splits bisect the widest dimension, ties breaking to the *lowest*
+///    dimension index (Box::widest_dim);
+///  * a batch pops the top `batch_size` boxes, processes them in pop
+///    order (deepest first), and re-pushes surviving children in reverse
+///    pop order, so the deepest box's children surface first.
+/// With batch_size = 1 this is exactly the classic scalar DFS, witness
+/// and statistics included; with any batch size each box's contraction
+/// is bit-identical to the scalar path, so UNSAT/SAT answers never
+/// change — only which witness is found first.
+///
 /// Parallel execution: with `IcpConfig::threads != 1` the box frontier is
-/// shared across pool workers (each owning its own HC4 contractor, since
-/// contraction keeps mutable scratch). A worker that proves (δ-)SAT
-/// short-circuits the others through a cancellation token. UNSAT and
-/// UNKNOWN answers are identical to the sequential solver's; a SAT
-/// witness box may differ between runs (any surviving box is a valid
-/// witness — δ-decidability does not pin down which one is reported).
-/// DNF queries dispatch their disjuncts concurrently under one *shared*
-/// wall-clock/box budget, so a k-disjunct query can no longer run k×
-/// over the configured limits.
+/// shared across pool workers (each owning its own HC4 contractor or
+/// batch register file). Idle workers steal whole chunks — up to a batch,
+/// at most half the victim's shard — from the *front* of a victim shard,
+/// which holds the shallowest (largest) subproblems. A worker that
+/// proves (δ-)SAT short-circuits the others through a cancellation
+/// token. UNSAT and UNKNOWN answers are identical to the sequential
+/// solver's; a SAT witness box may differ between runs (any surviving
+/// box is a valid witness — δ-decidability does not pin down which one
+/// is reported). DNF queries dispatch their disjuncts concurrently under
+/// one *shared* wall-clock/box budget, so a k-disjunct query can no
+/// longer run k× over the configured limits.
+///
+/// UNSAT-tree warm-starting: when `IcpConfig::unsat_cache` is set (the
+/// verifiers install one) and warm starts are enabled, every refuted
+/// conjunction's terminal split tree is recorded, and a later query with
+/// the same *structure* (same DAG shape — only constants such as W's
+/// coefficients changed) over the same box is seeded from the replayed
+/// partition leaves instead of the full initial box. Replayed leaves
+/// always partition the query box, so a warm start can never produce an
+/// unsound verdict: UNSAT remains a proof over the full box, and kSat
+/// witnesses are independently certified. On δ-borderline queries the
+/// UNSAT / δ-SAT split may differ from a cold run — exactly as it may
+/// under any change of contraction granularity — which the callers'
+/// adaptive-δ handling already absorbs. A stale seed (box mismatch)
+/// silently cold-starts (see src/smt/unsat_tree.h).
 
 #include <chrono>
 #include <cstdint>
@@ -36,6 +69,7 @@
 #include "src/interval/box.h"
 #include "src/smt/constraint.h"
 #include "src/smt/hc4.h"
+#include "src/smt/unsat_tree.h"
 
 namespace bcert::smt {
 
@@ -64,13 +98,41 @@ struct IcpConfig {
   /// e.g. the verifier's adaptive-δ re-checks of the same query. Must
   /// not outlive the ExprPool it caches for.
   std::shared_ptr<TapeCache> tape_cache;
+  /// Frontier batch width: 0 = auto (BCERT_ICP_BATCH, default 8),
+  /// 1 = scalar one-box-at-a-time (bit-identical to the classic solver,
+  /// witness and stats included), N = contract sibling groups of N boxes
+  /// through the batched tape sweeps. See the exploration-order contract
+  /// in the file comment.
+  int batch_size = 0;
+  /// UNSAT-tree warm-starting across structurally identical queries.
+  /// Only active when `unsat_cache` is set; the BCERT_ICP_WARM
+  /// environment variable overrides this flag ("0"/"off"/"false"
+  /// disables, anything else enables), mirroring BCERT_LP_WARM. Sound
+  /// by construction: stale seeds silently cold-start and valid seeds
+  /// partition the same search box (see the file comment).
+  bool warm_start = true;
+  /// Cross-query store of terminal UNSAT box trees (the verifiers
+  /// install one per synthesis run). Must not outlive the ExprPool.
+  std::shared_ptr<UnsatTreeCache> unsat_cache;
 };
+
+/// Resolves IcpConfig::batch_size: values > 0 are taken (clamped to
+/// 1024 — lane buffers are sized per worker by this), otherwise the
+/// BCERT_ICP_BATCH environment variable, otherwise 8.
+int resolve_icp_batch(int requested);
+
+/// True when this config's warm-start flag, the BCERT_ICP_WARM override,
+/// and the presence of an unsat_cache all allow warm starts.
+bool icp_warm_enabled(const IcpConfig& config);
 
 /// Solver statistics (one query).
 struct IcpStats {
   std::uint64_t boxes_processed = 0;
   std::uint64_t boxes_pruned = 0;
   std::uint64_t splits = 0;
+  /// Conjunction solves seeded from a cached UNSAT tree (a DNF query
+  /// counts one per warm-seeded disjunct).
+  std::uint32_t warm_starts = 0;
   double solve_time_s = 0.0;
   double max_depth_width = 0.0;  ///< smallest surviving box width seen
 };

@@ -1,0 +1,111 @@
+#pragma once
+/// \file keyed_cache.h
+/// \brief Bounded, thread-safe keyed LRU store with hit/miss statistics.
+///
+/// The multi-query machinery of the SMT layer keeps two kinds of
+/// compiled artifacts alive across the verifier's LP ↔ SMT refinement
+/// loop: HC4 tapes (`TapeCache`) and terminal UNSAT box trees
+/// (`UnsatTreeCache`). Both need the same store semantics — shared
+/// ownership of immutable values, a hard entry cap so week-long synthesis
+/// runs cannot grow without limit, least-recently-used eviction (the
+/// candidate loop's working set is the current candidate × a few check
+/// kinds; anything older is dead weight), and counters that make cache
+/// effectiveness observable from tests and benches. `KeyedLruCache` is
+/// that store; the two caches are thin typed wrappers over it.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace bcert::smt {
+
+/// Cache effectiveness counters (monotonic; snapshot via stats()).
+struct KeyedCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< get() calls that found nothing
+  std::uint64_t insertions = 0;  ///< entries actually added by put()
+  std::uint64_t evictions = 0;   ///< entries dropped by the LRU cap
+  std::size_t entries = 0;       ///< current size
+  std::size_t capacity = 0;
+};
+
+/// Thread-safe LRU map from Key (any strict-weak-ordered type) to
+/// shared, immutable values. All operations take one internal lock and
+/// do O(log n) map work — the values these caches hold cost milliseconds
+/// to build, so the store is never the bottleneck.
+template <typename Key, typename Value>
+class KeyedLruCache {
+ public:
+  /// Cache holding at most \p capacity entries (≥ 1).
+  explicit KeyedLruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the cached value (bumping it to most-recent) or null.
+  std::shared_ptr<Value> get(const Key& key) {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second.pos);
+    return it->second.value;
+  }
+
+  /// Inserts \p value under \p key, evicting the least-recently-used
+  /// entries beyond capacity. When the key is already present:
+  /// \p replace = true overwrites (newer artifact wins — the UNSAT-tree
+  /// pattern), false keeps the resident value (equivalent-artifact
+  /// pattern: racing compiles of the same tape). Returns the value now
+  /// resident under the key.
+  std::shared_ptr<Value> put(const Key& key, std::shared_ptr<Value> value,
+                             bool replace = true) {
+    std::lock_guard<std::mutex> lock(m_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      order_.splice(order_.begin(), order_, it->second.pos);
+      if (replace) it->second.value = std::move(value);
+      return it->second.value;
+    }
+    order_.push_front(key);
+    map_.emplace(key, Entry{value, order_.begin()});
+    ++stats_.insertions;
+    while (map_.size() > capacity_) {
+      map_.erase(order_.back());
+      order_.pop_back();
+      ++stats_.evictions;
+    }
+    return value;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(m_);
+    return map_.size();
+  }
+
+  KeyedCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(m_);
+    KeyedCacheStats s = stats_;
+    s.entries = map_.size();
+    s.capacity = capacity_;
+    return s;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<Value> value;
+    typename std::list<Key>::iterator pos;  ///< position in order_
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::list<Key> order_;  ///< front = most recently used
+  std::map<Key, Entry> map_;
+  KeyedCacheStats stats_;
+};
+
+}  // namespace bcert::smt

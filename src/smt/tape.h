@@ -25,17 +25,40 @@
 /// SIMD interval kernels.
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/expr/expr.h"
 #include "src/interval/box.h"
+#include "src/interval/box_batch.h"
 #include "src/interval/interval.h"
+#include "src/linalg/vector.h"
 #include "src/smt/constraint.h"
+#include "src/smt/keyed_cache.h"
 
 namespace bcert::smt {
+
+/// Cross-lane SIMD tier of the *batched* tape sweeps. All tiers are
+/// bit-identical per lane (the batch differential tests check every
+/// available tier against the scalar tape):
+///  * kAvx2   — two intervals (two boxes' worth of one register slot) per
+///              256-bit operation; requires AVX2 at runtime.
+///  * kSse2   — one interval per 128-bit operation, the same kernels the
+///              scalar tape sweeps use.
+///  * kScalar — portable per-lane twins of the SSE2 kernels.
+enum class SimdTier : std::uint8_t { kScalar, kSse2, kAvx2 };
+
+const char* simd_tier_name(SimdTier t);
+
+/// True when \p t can execute on this build + CPU.
+bool simd_tier_available(SimdTier t);
+
+/// Highest available tier, overridable via BCERT_ICP_SIMD
+/// ("avx2" / "sse2" / "scalar"; an unavailable or unknown request falls
+/// back to the best available tier with a one-time stderr warning).
+/// Cached after the first call.
+SimdTier resolve_simd_tier();
 
 /// Outcome of one contraction pass.
 enum class ContractResult : std::uint8_t {
@@ -108,6 +131,54 @@ class Hc4Tape {
   void eval_roots(const interval::Box& box, Registers& regs,
                   std::vector<interval::Interval>& out) const;
 
+  // --- batched execution (structure-of-arrays lanes) -----------------------
+
+  /// Register file for a batch of boxes: slot-major, with each slot
+  /// holding `lanes` interleaved [lo, hi] pairs (stride padded so every
+  /// slot row is 32-byte aligned). Lanes are independent boxes; the
+  /// batched sweeps run the same instruction stream across all lanes.
+  /// Also owns the sweeps' per-call scratch (lane masks, fixpoint
+  /// bookkeeping, root enclosures), reused across frontier rounds so the
+  /// hot loop never touches the allocator.
+  struct BatchRegisters {
+    std::size_t lanes = 0;
+    std::size_t stride = 0;  ///< doubles per slot (2 × padded lane count)
+    linalg::AlignedDoubles data;
+    // Scratch below is transient per contract_fixpoint_batch call.
+    std::vector<std::uint8_t> active, alive, any_change, roots_valid,
+        pass_alive, leg_empty, need;
+    std::vector<double> before;
+    std::vector<interval::Interval> roots;
+  };
+
+  /// Fresh batch register file for up to \p lanes boxes.
+  BatchRegisters make_batch_registers(std::size_t lanes) const;
+
+  /// Per-lane outcome of contract_fixpoint_batch.
+  struct LaneOutcome {
+    ContractResult result = ContractResult::kNoChange;
+    /// certainly_satisfied over the lane's contracted box (only
+    /// meaningful when result != kEmpty) — computed exactly as the
+    /// scalar hot loop computes it, reusing the final pass's forward
+    /// enclosures when that pass was a fixpoint.
+    bool satisfied = false;
+  };
+
+  /// Batched twin of `contract_fixpoint` + `certainly_satisfied` over
+  /// every lane of \p batch (narrowed in place). Each lane runs the
+  /// identical pass/fixpoint/certainty sequence the scalar path runs for
+  /// the corresponding Box, so surviving lanes are bit-identical to
+  /// scalar contraction; `regs` must come from make_batch_registers with
+  /// capacity ≥ batch.size(). Uses resolve_simd_tier() for the kernels;
+  /// the explicit-tier overload exists for the differential tests.
+  void contract_fixpoint_batch(interval::BoxBatch& batch,
+                               BatchRegisters& regs, int max_passes,
+                               double ratio, LaneOutcome* out) const;
+  void contract_fixpoint_batch(interval::BoxBatch& batch,
+                               BatchRegisters& regs, int max_passes,
+                               double ratio, LaneOutcome* out,
+                               SimdTier tier) const;
+
  private:
   /// Loads constants and the box's variable dimensions into \p regs.
   void load_leaves(const interval::Box& box, Registers& regs) const;
@@ -134,16 +205,29 @@ class Hc4Tape {
 /// shared across IcpSolver instances. ExprIds are only meaningful
 /// relative to their pool, so the pool's address is part of the key;
 /// keep a cache no longer than the pool it serves.
+///
+/// The store is a bounded LRU (`KeyedLruCache`): each LP ↔ SMT iteration
+/// mints fresh W constants (new ExprIds, new signatures), so a long
+/// synthesis run would otherwise grow the cache without limit; evicting
+/// the least-recently-used tapes keeps exactly the live working set —
+/// current candidate × a few check kinds — resident. `stats()` exposes
+/// hit/miss/eviction counters.
 class TapeCache {
  public:
+  /// Default LRU capacity (entries, not bytes).
+  static constexpr std::size_t kMaxEntries = 64;
+
+  explicit TapeCache(std::size_t capacity = kMaxEntries)
+      : tapes_(capacity) {}
+
   /// Returns the cached tape for \p c over \p pool, compiling on miss.
   std::shared_ptr<const Hc4Tape> get_or_compile(const expr::ExprPool& pool,
                                                 const Conjunction& c);
 
-  std::size_t size() const;
+  std::size_t size() const { return tapes_.size(); }
 
-  /// Bound on cached tapes; reaching it clears the cache (epoch reset).
-  static constexpr std::size_t kMaxEntries = 64;
+  /// Hit/miss/eviction counters and current occupancy.
+  KeyedCacheStats stats() const { return tapes_.stats(); }
 
  private:
   using Signature =
@@ -151,8 +235,7 @@ class TapeCache {
   static Signature signature_of(const expr::ExprPool& pool,
                                 const Conjunction& c);
 
-  mutable std::mutex m_;
-  std::map<Signature, std::shared_ptr<const Hc4Tape>> tapes_;
+  KeyedLruCache<Signature, const Hc4Tape> tapes_;
 };
 
 }  // namespace bcert::smt

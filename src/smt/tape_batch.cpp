@@ -1,0 +1,525 @@
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "src/expr/eval.h"
+#include "src/smt/projections.h"
+#include "src/smt/tape.h"
+#include "src/smt/tape_batch_kernels.h"
+#include "src/smt/tape_kernels.h"
+
+/// \file tape_batch.cpp
+/// \brief Batched (structure-of-arrays) execution of a compiled HC4 tape.
+///
+/// One batch register slot holds the same DAG node's enclosure for every
+/// box in a sibling group, as interleaved [lo, hi] lanes. The sweeps run
+/// the tape's instruction stream once per pass and apply each
+/// instruction across all lanes, which amortizes instruction decode and
+/// lets the kAdd forward/backward kernels run two boxes per 256-bit AVX2
+/// operation. Every lane executes exactly the arithmetic the scalar
+/// sweeps would execute for that box — same helpers, same operand
+/// order, same early-out structure per lane — so surviving lanes are
+/// bit-identical to scalar contraction (checked by the batch
+/// differential fuzz suite at every available SIMD tier).
+
+namespace bcert::smt {
+
+using expr::Op;
+using interval::BoxBatch;
+using interval::Interval;
+
+namespace {
+
+inline Interval get_iv(const double* slot, std::size_t l) {
+  return Interval(slot[2 * l], slot[2 * l + 1]);
+}
+
+inline void set_iv(double* slot, std::size_t l, const Interval& v) {
+  slot[2 * l] = v.lo();
+  slot[2 * l + 1] = v.hi();
+}
+
+// --- portable scalar lane kernels -------------------------------------------
+// Bit-for-bit twins of tkern::add_iv / tkern::refine_sub (which the fuzz
+// suite proved identical to the tree walk): outward rounding via
+// prev/next_float, and the maxpd/minpd operand-order/NaN semantics of
+// the SSE2 intersect spelled out as conditionals. Only compiled where
+// the scalar tape itself uses those kernels (on other targets the tape's
+// kAdd runs the generic path, and so must every batch tier).
+
+#if BCERT_TAPE_SSE2
+void forward_add_scalar(double* dst, const double* a, const double* b,
+                        std::size_t lanes) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double alo = a[2 * l], ahi = a[2 * l + 1];
+    const double blo = b[2 * l], bhi = b[2 * l + 1];
+    if (alo > ahi || blo > bhi) {  // either operand empty
+      dst[2 * l] = kInf;
+      dst[2 * l + 1] = -kInf;
+    } else {
+      dst[2 * l] = interval::prev_float(alo + blo);
+      dst[2 * l + 1] = interval::next_float(ahi + bhi);
+    }
+  }
+}
+
+void refine_sub_scalar(double* t, const double* r, const double* s,
+                       std::uint8_t* empty, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const double dlo = interval::prev_float(r[2 * l] - s[2 * l + 1]);
+    const double dhi = interval::next_float(r[2 * l + 1] - s[2 * l]);
+    // maxpd/minpd twins: (x OP y) ? x : y returns y on NaN, like SSE2.
+    const double lo = t[2 * l] > dlo ? t[2 * l] : dlo;
+    const double hi = t[2 * l + 1] < dhi ? t[2 * l + 1] : dhi;
+    t[2 * l] = lo;
+    t[2 * l + 1] = hi;
+    if (lo > hi) empty[l] = 1;
+  }
+}
+
+void forward_add_sse2(double* dst, const double* a, const double* b,
+                      std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    set_iv(dst, l, tkern::add_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+void refine_sub_sse2(double* t, const double* r, const double* s,
+                     std::uint8_t* empty, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    Interval target = get_iv(t, l);
+    const bool ok =
+        tkern::refine_sub(target, _mm_loadu_pd(r + 2 * l), get_iv(s, l));
+    set_iv(t, l, target);
+    if (!ok) empty[l] = 1;
+  }
+}
+const bkern::LaneKernels kScalarKernels{forward_add_scalar, refine_sub_scalar};
+const bkern::LaneKernels kSse2Kernels{forward_add_sse2, refine_sub_sse2};
+#endif  // BCERT_TAPE_SSE2
+const bkern::LaneKernels kGenericKernels{nullptr, nullptr};
+
+bool cpu_has_avx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const bkern::LaneKernels& kernels_for(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      if (const bkern::LaneKernels* k = bkern::avx2_kernels()) return *k;
+      break;
+    case SimdTier::kSse2:
+#if BCERT_TAPE_SSE2
+      return kSse2Kernels;
+#else
+      break;
+#endif
+    case SimdTier::kScalar:
+#if BCERT_TAPE_SSE2
+      return kScalarKernels;
+#else
+      // Without SSE2 the scalar tape runs the generic per-lane path for
+      // kAdd; the batch must match it, not the SSE2-twin kernels.
+      return kGenericKernels;
+#endif
+  }
+  return kGenericKernels;
+}
+
+}  // namespace
+
+const char* simd_tier_name(SimdTier t) {
+  switch (t) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kSse2: return "sse2";
+    case SimdTier::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool simd_tier_available(SimdTier t) {
+  switch (t) {
+    case SimdTier::kScalar: return true;
+    case SimdTier::kSse2: return BCERT_TAPE_SSE2 != 0;
+    case SimdTier::kAvx2:
+      return bkern::avx2_kernels() != nullptr && cpu_has_avx2();
+  }
+  return false;
+}
+
+SimdTier resolve_simd_tier() {
+  static const SimdTier tier = [] {
+    const SimdTier best = simd_tier_available(SimdTier::kAvx2)
+                              ? SimdTier::kAvx2
+                          : simd_tier_available(SimdTier::kSse2)
+                              ? SimdTier::kSse2
+                              : SimdTier::kScalar;
+    const char* v = std::getenv("BCERT_ICP_SIMD");
+    if (v == nullptr) return best;
+    for (const SimdTier t :
+         {SimdTier::kAvx2, SimdTier::kSse2, SimdTier::kScalar}) {
+      if (std::strcmp(v, simd_tier_name(t)) == 0) {
+        if (simd_tier_available(t)) return t;
+        std::fprintf(stderr,
+                     "bcert: BCERT_ICP_SIMD=\"%s\" not available on this "
+                     "build/CPU; using %s\n",
+                     v, simd_tier_name(best));
+        return best;
+      }
+    }
+    std::fprintf(stderr,
+                 "bcert: unrecognized BCERT_ICP_SIMD=\"%s\" (expected "
+                 "\"avx2\", \"sse2\" or \"scalar\"); using %s\n",
+                 v, simd_tier_name(best));
+    return best;
+  }();
+  return tier;
+}
+
+Hc4Tape::BatchRegisters Hc4Tape::make_batch_registers(
+    std::size_t lanes) const {
+  BatchRegisters regs;
+  regs.lanes = lanes == 0 ? 1 : lanes;
+  // Pad the lane count to 4 so each slot row (2 doubles per lane) starts
+  // 64-byte aligned when the base allocation is.
+  const std::size_t padded = (regs.lanes + 3) & ~std::size_t{3};
+  regs.stride = 2 * padded;
+  regs.data = linalg::aligned_doubles(num_slots_ * regs.stride);
+  return regs;
+}
+
+void Hc4Tape::contract_fixpoint_batch(BoxBatch& batch, BatchRegisters& regs,
+                                      int max_passes, double ratio,
+                                      LaneOutcome* out) const {
+  contract_fixpoint_batch(batch, regs, max_passes, ratio, out,
+                          resolve_simd_tier());
+}
+
+void Hc4Tape::contract_fixpoint_batch(BoxBatch& batch, BatchRegisters& regs,
+                                      int max_passes, double ratio,
+                                      LaneOutcome* out, SimdTier tier) const {
+  const std::size_t n = batch.size();
+  if (n == 0) return;
+  if (regs.lanes < n || regs.data == nullptr) {
+    regs = make_batch_registers(std::max(n, regs.lanes));
+  }
+  const std::size_t stride = regs.stride;
+  double* const data = regs.data.get();
+  const bkern::LaneKernels& kn = kernels_for(tier);
+  const std::size_t nroots = root_slots_.size();
+  const std::size_t nvars = var_slots_.size();
+
+  // Per-lane control state, living in the reusable register-file scratch
+  // (assign() reuses capacity after the first round — no allocator
+  // traffic in the frontier hot loop). `active` lanes are still
+  // iterating fixpoint passes; `alive` lanes have not been proven empty;
+  // `roots_valid` lanes retired on a no-change pass whose forward
+  // enclosures (saved in `roots`) therefore describe the final box.
+  std::vector<std::uint8_t>& active = regs.active;
+  std::vector<std::uint8_t>& alive = regs.alive;
+  std::vector<std::uint8_t>& any_change = regs.any_change;
+  std::vector<std::uint8_t>& roots_valid = regs.roots_valid;
+  std::vector<std::uint8_t>& pass_alive = regs.pass_alive;
+  std::vector<std::uint8_t>& leg_empty = regs.leg_empty;
+  std::vector<double>& before = regs.before;
+  std::vector<Interval>& roots = regs.roots;
+  active.assign(n, 1);
+  alive.assign(n, 1);
+  any_change.assign(n, 0);
+  roots_valid.assign(n, 0);
+  pass_alive.assign(n, 0);
+  leg_empty.assign(n, 0);
+  before.assign(n, 0.0);
+  roots.assign(n * nroots, Interval());
+
+  // The per-lane sweeps take a lane mask: lanes that retired (pruned or
+  // reached their fixpoint) in an earlier pass are skipped — their
+  // registers are garbage that is never read. Only the branchless kAdd
+  // array kernels run full-width regardless (masked lanes' outputs are
+  // discarded).
+  const auto load_leaves = [&](const std::uint8_t* mask) {
+    for (std::size_t i = 0; i < const_slots_.size(); ++i) {
+      double* const slot = data + const_slots_[i] * stride;
+      // Re-seeded every pass: the backward sweep narrows constant leaf
+      // slots too, and those must not leak into the next forward pass.
+      for (std::size_t l = 0; l < n; ++l) {
+        if (mask[l]) set_iv(slot, l, const_values_[i]);
+      }
+    }
+    for (std::size_t i = 0; i < nvars; ++i) {
+      double* const slot = data + var_slots_[i] * stride;
+      const double* const lo = batch.lo_plane(var_dims_[i]);
+      const double* const hi = batch.hi_plane(var_dims_[i]);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (!mask[l]) continue;
+        slot[2 * l] = lo[l];
+        slot[2 * l + 1] = hi[l];
+      }
+    }
+  };
+
+  const auto forward = [&](const std::uint8_t* mask) {
+    const TapeInstr* const code = code_.data();
+    const MulConstSpec* const mc = mul_const_.data();
+    const std::size_t ni = code_.size();
+    for (std::size_t i = 0; i < ni; ++i) {
+      const TapeInstr ins = code[i];
+      double* const dst = data + ins.dst * stride;
+      if (ins.spec == kSpecMulConst) {
+        const MulConstSpec& sp = mc[ins.exponent];
+        const double* const x = data + sp.var_slot * stride;
+        for (std::size_t l = 0; l < n; ++l) {
+          if (mask[l]) set_iv(dst, l, tkern::mul_const(get_iv(x, l), sp.w));
+        }
+        continue;
+      }
+      const double* const a = data + ins.a * stride;
+      if (ins.op == Op::kAdd && kn.forward_add != nullptr) {
+        kn.forward_add(dst, a, data + ins.b * stride, n);
+        continue;
+      }
+      if (ins.b != kNoSlot) {
+        const double* const b = data + ins.b * stride;
+        for (std::size_t l = 0; l < n; ++l) {
+          if (!mask[l]) continue;
+          set_iv(dst, l,
+                 expr::apply_interval_op(ins.op, ins.exponent, get_iv(a, l),
+                                         get_iv(b, l)));
+        }
+      } else {
+        for (std::size_t l = 0; l < n; ++l) {
+          if (!mask[l]) continue;
+          set_iv(dst, l,
+                 expr::apply_interval_op(ins.op, ins.exponent, get_iv(a, l),
+                                         Interval::empty()));
+        }
+      }
+    }
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool some_active = false;
+    for (std::size_t l = 0; l < n; ++l) some_active |= active[l] != 0;
+    if (!some_active) break;
+
+    for (std::size_t l = 0; l < n; ++l) {
+      if (active[l]) before[l] = batch.perimeter(l);
+    }
+
+    // --- one contract pass over the still-active lanes --------------------
+    load_leaves(active.data());
+    forward(active.data());
+
+    // Save the forward root enclosures (pre-intersection) — these are
+    // what certainly_satisfied consumes when this turns out to be the
+    // lane's final (fixpoint) pass.
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!active[l]) continue;
+      for (std::size_t i = 0; i < nroots; ++i) {
+        roots[l * nroots + i] = get_iv(data + root_slots_[i] * stride, l);
+      }
+    }
+
+    // Intersect each constraint root with its feasible set, per lane.
+    std::copy(active.begin(), active.end(), pass_alive.begin());
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!pass_alive[l]) continue;
+      for (std::size_t i = 0; i < nroots; ++i) {
+        double* const slot = data + root_slots_[i] * stride;
+        const Interval root = intersect(get_iv(slot, l), root_feasible_[i]);
+        set_iv(slot, l, root);
+        if (root.is_empty()) {
+          pass_alive[l] = 0;
+          break;
+        }
+      }
+    }
+
+    // Backward sweep, instruction-major across lanes.
+    {
+      const TapeInstr* const code = code_.data();
+      const MulConstSpec* const mc = mul_const_.data();
+      for (std::size_t i = code_.size(); i-- > 0;) {
+        const TapeInstr ins = code[i];
+        double* const dst = data + ins.dst * stride;
+        if (ins.spec == kSpecMulConst) {
+          const MulConstSpec& sp = mc[ins.exponent];
+          double* const xp = data + sp.var_slot * stride;
+          for (std::size_t l = 0; l < n; ++l) {
+            if (!pass_alive[l]) continue;
+            const Interval r = get_iv(dst, l);
+            if (r.is_empty()) {
+              pass_alive[l] = 0;
+              continue;
+            }
+            Interval x = get_iv(xp, l);
+            if (sp.var_is_a) {
+              x = intersect(x, tkern::mul_rec(r, sp.rec, sp.w > 0.0));
+              if (x.is_empty()) {
+                pass_alive[l] = 0;
+                continue;
+              }
+              set_iv(xp, l, x);
+              if (!tkern::const_quotient_feasible(sp.w, r, x)) {
+                pass_alive[l] = 0;
+              }
+            } else {
+              if (!tkern::const_quotient_feasible(sp.w, r, x)) {
+                pass_alive[l] = 0;
+                continue;
+              }
+              x = intersect(x, tkern::mul_rec(r, sp.rec, sp.w > 0.0));
+              if (x.is_empty()) {
+                pass_alive[l] = 0;
+                continue;
+              }
+              set_iv(xp, l, x);
+            }
+          }
+          continue;
+        }
+        if (ins.op == Op::kAdd && kn.refine_sub != nullptr) {
+          // Per-lane requirement-empty check, then both projection legs
+          // across all lanes (dead lanes compute garbage, never read).
+          for (std::size_t l = 0; l < n; ++l) {
+            if (pass_alive[l] && dst[2 * l] > dst[2 * l + 1]) {
+              pass_alive[l] = 0;
+            }
+          }
+          double* const a = data + ins.a * stride;
+          double* const b = data + ins.b * stride;
+          std::fill(leg_empty.begin(), leg_empty.end(), 0);
+          kn.refine_sub(a, dst, b, leg_empty.data(), n);
+          kn.refine_sub(b, dst, a, leg_empty.data(), n);
+          for (std::size_t l = 0; l < n; ++l) {
+            if (leg_empty[l]) pass_alive[l] = 0;
+          }
+          continue;
+        }
+        double* const a = data + ins.a * stride;
+        double* const b = ins.b != kNoSlot ? data + ins.b * stride : nullptr;
+        for (std::size_t l = 0; l < n; ++l) {
+          if (!pass_alive[l]) continue;
+          const Interval r = get_iv(dst, l);
+          if (r.is_empty()) {
+            pass_alive[l] = 0;
+            continue;
+          }
+          Interval av = get_iv(a, l);
+          bool ok;
+          if (b != nullptr && ins.b != ins.a) {
+            Interval bv = get_iv(b, l);
+            ok = detail::project_node(ins.op, ins.exponent, r, av, &bv);
+            set_iv(b, l, bv);
+          } else if (b != nullptr) {
+            // a and b are the same slot: alias through one value, as the
+            // scalar sweep's references do.
+            ok = detail::project_node(ins.op, ins.exponent, r, av, &av);
+          } else {
+            ok = detail::project_node(ins.op, ins.exponent, r, av, nullptr);
+          }
+          set_iv(a, l, av);
+          if (!ok) pass_alive[l] = 0;
+        }
+      }
+    }
+
+    // Read back narrowed variables and settle each lane's pass verdict.
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!active[l]) continue;
+      if (!pass_alive[l]) {
+        out[l].result = ContractResult::kEmpty;
+        active[l] = 0;
+        alive[l] = 0;
+        continue;
+      }
+      bool changed = false;
+      bool emptied = false;
+      for (std::size_t i = 0; i < nvars; ++i) {
+        const std::uint32_t dim = var_dims_[i];
+        const Interval narrowed = intersect(
+            batch.dim(l, dim), get_iv(data + var_slots_[i] * stride, l));
+        if (narrowed.is_empty()) {
+          emptied = true;
+          break;
+        }
+        if (!(narrowed == batch.dim(l, dim))) {
+          batch.set_dim(l, dim, narrowed);
+          changed = true;
+        }
+      }
+      if (emptied) {
+        out[l].result = ContractResult::kEmpty;
+        active[l] = 0;
+        alive[l] = 0;
+        continue;
+      }
+      if (!changed) {
+        // Fixpoint: this pass's forward enclosures describe the final
+        // box, so certainly_satisfied below is free (scalar cache twin).
+        out[l].result = any_change[l] ? ContractResult::kContracted
+                                      : ContractResult::kNoChange;
+        roots_valid[l] = 1;
+        active[l] = 0;
+        continue;
+      }
+      any_change[l] = 1;
+      const double after = batch.perimeter(l);
+      if (before[l] <= 0.0 || (before[l] - after) / before[l] < ratio) {
+        out[l].result = ContractResult::kContracted;
+        active[l] = 0;
+      }
+    }
+  }
+
+  // Lanes that ran out of passes while still improving.
+  for (std::size_t l = 0; l < n; ++l) {
+    if (active[l]) {
+      out[l].result = any_change[l] ? ContractResult::kContracted
+                                    : ContractResult::kNoChange;
+    }
+  }
+
+  // certainly_satisfied per surviving lane: reuse the final fixpoint
+  // pass's enclosures where valid, otherwise one forward-only sweep over
+  // the contracted boxes (exactly the scalar roots_for semantics).
+  std::vector<std::uint8_t>& need = regs.need;
+  need.assign(n, 0);
+  bool need_eval = false;
+  for (std::size_t l = 0; l < n; ++l) {
+    need[l] = alive[l] && !roots_valid[l];
+    need_eval |= need[l] != 0;
+  }
+  if (need_eval) {
+    load_leaves(need.data());
+    forward(need.data());
+    for (std::size_t l = 0; l < n; ++l) {
+      if (!need[l]) continue;
+      for (std::size_t i = 0; i < nroots; ++i) {
+        roots[l * nroots + i] = get_iv(data + root_slots_[i] * stride, l);
+      }
+    }
+  }
+  for (std::size_t l = 0; l < n; ++l) {
+    out[l].satisfied = false;
+    if (!alive[l]) continue;
+    bool sat = true;
+    for (std::size_t i = 0; i < conjunction_.size(); ++i) {
+      if (!conjunction_.constraints[i].certainly_satisfied(
+              roots[l * nroots + i])) {
+        sat = false;
+        break;
+      }
+    }
+    out[l].satisfied = sat;
+  }
+}
+
+}  // namespace bcert::smt

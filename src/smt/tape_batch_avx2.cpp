@@ -1,0 +1,145 @@
+/// \file tape_batch_avx2.cpp
+/// \brief AVX2 two-interval kernels for the batched tape sweeps.
+///
+/// One 256-bit register holds the same tape slot for two boxes — lanes
+/// [lo₀, hi₀, lo₁, hi₁] — and each kernel is the lane-doubled twin of
+/// the SSE2 kernels in tape_kernels.h: identical IEEE operations per
+/// lane, identical outward-rounding bit manipulation, identical
+/// maxpd/minpd NaN semantics, so results are bit-for-bit equal to the
+/// scalar tape (the batch differential fuzz suite compares every tier).
+///
+/// The kernels carry per-function `target("avx2")` attributes instead of
+/// compiling the whole translation unit with -mavx2: a TU-wide flag
+/// would let AVX-encoded copies of shared header inlines (interval
+/// arithmetic, tape kernels) win the linker's COMDAT merge and crash
+/// pre-AVX CPUs on the scalar paths. Selection happens at runtime —
+/// resolve_simd_tier() only picks this tier when the CPU reports AVX2.
+
+#include "src/smt/tape_batch_kernels.h"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <limits>
+
+#include "src/smt/tape_kernels.h"
+
+#define BCERT_AVX2_FN __attribute__((target("avx2")))
+
+namespace bcert::smt::bkern {
+
+namespace {
+
+using interval::Interval;
+
+inline Interval get_iv(const double* slot, std::size_t l) {
+  return Interval(slot[2 * l], slot[2 * l + 1]);
+}
+
+inline void set_iv(double* slot, std::size_t l, const Interval& v) {
+  slot[2 * l] = v.lo();
+  slot[2 * l + 1] = v.hi();
+}
+
+/// 256-bit twin of tkern::outward_pd: [prev_float(lo), next_float(hi)]
+/// per interval pair, ±0 mapped to the first subnormal of the step
+/// direction, saturating infinities and NaN passed through.
+BCERT_AVX2_FN inline __m256d outward_pd4(__m256d v) {
+  const __m256i bits = _mm256_castpd_si256(v);
+  const __m256i sign = _mm256_srli_epi64(bits, 63);  // 0 or 1 per lane
+  // Per-lane bit delta: lo lanes step sign?+1:-1, hi lanes sign?-1:+1.
+  __m256i t =
+      _mm256_sub_epi64(_mm256_slli_epi64(sign, 1), _mm256_set1_epi64x(1));
+  const __m256i hi_lane = _mm256_set_epi64x(-1, 0, -1, 0);
+  const __m256i neg_t = _mm256_sub_epi64(_mm256_setzero_si256(), t);
+  t = _mm256_or_si256(_mm256_and_si256(hi_lane, neg_t),
+                      _mm256_andnot_si256(hi_lane, t));
+  __m256d stepped = _mm256_castsi256_pd(_mm256_add_epi64(bits, t));
+  // ±0 → smallest subnormal in the step direction.
+  const __m256d zero_mask = _mm256_cmp_pd(v, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  const long long kNegSub = static_cast<long long>(0x8000000000000001ULL);
+  const __m256d zero_step =
+      _mm256_castsi256_pd(_mm256_set_epi64x(1, kNegSub, 1, kNegSub));
+  stepped = _mm256_or_pd(_mm256_and_pd(zero_mask, zero_step),
+                         _mm256_andnot_pd(zero_mask, stepped));
+  // Keep saturating infinities and NaN unchanged.
+  const double inf = std::numeric_limits<double>::infinity();
+  const __m256d keep = _mm256_or_pd(
+      _mm256_cmp_pd(v, _mm256_set_pd(inf, -inf, inf, -inf), _CMP_EQ_OQ),
+      _mm256_cmp_pd(v, v, _CMP_UNORD_Q));
+  return _mm256_or_pd(_mm256_and_pd(keep, v),
+                      _mm256_andnot_pd(keep, stepped));
+}
+
+/// Per-pair emptiness (lo > hi) broadcast to both lanes of the pair.
+BCERT_AVX2_FN inline __m256d empty_mask4(__m256d v) {
+  const __m256d swapped = _mm256_permute_pd(v, 0b0101);
+  // Even lanes compare lo > hi (the emptiness test, NaN → ordered-false
+  // like the scalar is_empty); duplicate them across the pair.
+  return _mm256_movedup_pd(_mm256_cmp_pd(v, swapped, _CMP_GT_OQ));
+}
+
+BCERT_AVX2_FN void forward_add_avx2(double* dst, const double* a,
+                                    const double* b, std::size_t lanes) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const __m256d canonical_empty = _mm256_set_pd(-inf, inf, -inf, inf);
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    const __m256d va = _mm256_loadu_pd(a + 2 * l);
+    const __m256d vb = _mm256_loadu_pd(b + 2 * l);
+    const __m256d sum = outward_pd4(_mm256_add_pd(va, vb));
+    const __m256d empty = _mm256_or_pd(empty_mask4(va), empty_mask4(vb));
+    _mm256_storeu_pd(dst + 2 * l,
+                     _mm256_blendv_pd(sum, canonical_empty, empty));
+  }
+  for (; l < lanes; ++l) {  // odd tail: the proven single-interval kernel
+    set_iv(dst, l, tkern::add_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+BCERT_AVX2_FN void refine_sub_avx2(double* t, const double* r,
+                                   const double* s, std::uint8_t* empty,
+                                   std::size_t lanes) {
+  std::size_t l = 0;
+  for (; l + 2 <= lanes; l += 2) {
+    const __m256d vs = _mm256_loadu_pd(s + 2 * l);
+    const __m256d vr = _mm256_loadu_pd(r + 2 * l);
+    const __m256d diff =
+        outward_pd4(_mm256_sub_pd(vr, _mm256_permute_pd(vs, 0b0101)));
+    const __m256d vt = _mm256_loadu_pd(t + 2 * l);
+    // Lo lanes take max(t, diff), hi lanes min(t, diff) — the same
+    // operand order (and therefore NaN behavior) as the SSE2 kernel.
+    const __m256d res = _mm256_blend_pd(_mm256_max_pd(vt, diff),
+                                        _mm256_min_pd(vt, diff), 0b1010);
+    _mm256_storeu_pd(t + 2 * l, res);
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(res, _mm256_permute_pd(res, 0b0101), _CMP_GT_OQ));
+    if (mask & 0x1) empty[l] = 1;
+    if (mask & 0x4) empty[l + 1] = 1;
+  }
+  for (; l < lanes; ++l) {
+    Interval target = get_iv(t, l);
+    const bool ok =
+        tkern::refine_sub(target, _mm_loadu_pd(r + 2 * l), get_iv(s, l));
+    set_iv(t, l, target);
+    if (!ok) empty[l] = 1;
+  }
+}
+
+const LaneKernels kAvx2Kernels{forward_add_avx2, refine_sub_avx2};
+
+}  // namespace
+
+const LaneKernels* avx2_kernels() { return &kAvx2Kernels; }
+
+}  // namespace bcert::smt::bkern
+
+#else  // not a GCC/Clang x86 build: no AVX2 kernels
+
+namespace bcert::smt::bkern {
+const LaneKernels* avx2_kernels() { return nullptr; }
+}  // namespace bcert::smt::bkern
+
+#endif

@@ -1,0 +1,42 @@
+#pragma once
+/// \file tape_batch_kernels.h
+/// \brief Internal lane-kernel table for the batched tape sweeps.
+///
+/// A batch register slot holds `lanes` interleaved [lo, hi] interval
+/// pairs (one per box in the batch). The hot instructions of NN-derived
+/// conjunctions — forward addition and its two backward projection
+/// legs — are dispatched through this table so the same sweep code can
+/// run the portable scalar twins, the per-lane SSE2 kernels, or the
+/// two-interval AVX2 kernels (compiled in their own translation unit
+/// with -mavx2 and selected at runtime).
+///
+/// Every implementation of a kernel MUST be bit-for-bit identical on
+/// every lane — the batch differential fuzz tests compare all available
+/// tiers against the scalar tape. Not a public API.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bcert::smt::bkern {
+
+/// Kernels over interleaved [lo, hi] arrays of \p lanes intervals.
+/// Null pointers mean "no specialized kernel — use the generic per-lane
+/// operation" (the non-SSE2 build, where the scalar tape itself runs the
+/// generic path for kAdd).
+struct LaneKernels {
+  /// dst[l] = a[l] + b[l], canonical empty when either operand is empty
+  /// (bit-identical to interval::operator+).
+  void (*forward_add)(double* dst, const double* a, const double* b,
+                      std::size_t lanes);
+  /// One kAdd projection leg: t[l] ∩= outward(r[l] − swap(s[l])).
+  /// Sets empty[l] = 1 where the refined target became empty (never
+  /// clears a flag). Bit-identical to tkern::refine_sub per lane.
+  void (*refine_sub)(double* t, const double* r, const double* s,
+                     std::uint8_t* empty, std::size_t lanes);
+};
+
+/// AVX2 two-interval kernel table; null when this build carries no AVX2
+/// translation unit. Callers must still check CPU support at runtime.
+const LaneKernels* avx2_kernels();
+
+}  // namespace bcert::smt::bkern

@@ -1,0 +1,117 @@
+#include "src/smt/unsat_tree.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace bcert::smt {
+
+using expr::ExprId;
+using expr::Node;
+using expr::Op;
+using interval::Box;
+using interval::Interval;
+
+std::size_t UnsatTree::split_count() const {
+  std::size_t count = 0;
+  for (const Node& n : nodes) count += n.left != kNoNode;
+  return count;
+}
+
+void UnsatTree::replay(const Box& box, std::vector<Box>& out) const {
+  walk(
+      box, 0,
+      [](const Node&, int) { return std::pair<int, int>{0, 0}; },
+      [&out](Box&& leaf, int) { out.push_back(std::move(leaf)); });
+}
+
+namespace {
+
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+/// Post-order DAG hash ignoring constant values (see header).
+std::uint64_t shape_hash(const expr::ExprPool& pool, ExprId root,
+                         std::unordered_map<ExprId, std::uint64_t>& memo) {
+  std::vector<std::pair<ExprId, bool>> stack{{root, false}};
+  while (!stack.empty()) {
+    const auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(id) != 0) continue;
+    const Node& n = pool.node(id);
+    if (!expanded) {
+      stack.emplace_back(id, true);
+      if (n.a != expr::kNoExpr) stack.emplace_back(n.a, false);
+      if (n.b != expr::kNoExpr) stack.emplace_back(n.b, false);
+      continue;
+    }
+    std::uint64_t h = 0xc0ffee ^ (static_cast<std::uint64_t>(n.op) * 31u);
+    if (n.op == Op::kVar || n.op == Op::kPow) {
+      h = hash_combine(h, static_cast<std::uint64_t>(
+                              static_cast<std::int64_t>(n.index)));
+    }
+    // kConst contributes only its presence, never its value: successive
+    // candidates' W coefficients must hash alike.
+    const bool commutative = n.op == Op::kAdd || n.op == Op::kMul ||
+                             n.op == Op::kMin || n.op == Op::kMax;
+    if (commutative && n.b != expr::kNoExpr) {
+      // ExprPool canonicalizes commutative operands by ExprId, and fresh
+      // constants shift ids between candidate iterations — hash the
+      // children symmetrically so the operand order cannot matter.
+      const std::uint64_t ha = memo.at(n.a), hb = memo.at(n.b);
+      h = hash_combine(h, ha + hb);
+      h = hash_combine(h, ha ^ hb);
+    } else {
+      if (n.a != expr::kNoExpr) h = hash_combine(h, memo.at(n.a));
+      if (n.b != expr::kNoExpr) h = hash_combine(h, memo.at(n.b) + 1);
+    }
+    memo.emplace(id, h);
+  }
+  return memo.at(root);
+}
+
+}  // namespace
+
+std::uint64_t structural_signature(const expr::ExprPool& pool,
+                                   const Conjunction& c) {
+  std::unordered_map<ExprId, std::uint64_t> memo;
+  std::uint64_t h = 0x5eed;
+  for (const Constraint& k : c.constraints) {
+    h = hash_combine(h, shape_hash(pool, k.lhs, memo));
+    h = hash_combine(h, static_cast<std::uint64_t>(k.rel));
+  }
+  return h;
+}
+
+std::shared_ptr<const UnsatTree> UnsatTreeCache::find(
+    const expr::ExprPool& pool, const Conjunction& c,
+    const interval::Box& box) {
+  return find(pool, structural_signature(pool, c), box);
+}
+
+std::shared_ptr<const UnsatTree> UnsatTreeCache::find(
+    const expr::ExprPool& pool, std::uint64_t signature,
+    const interval::Box& box) {
+  auto tree = trees_.get({&pool, signature});
+  if (tree == nullptr) return nullptr;
+  if (!(tree->root_box == box)) {
+    // Stale seed (the search box moved — e.g. a level-set bounding box
+    // recomputed for a new candidate): silently fall back to cold.
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  return tree;
+}
+
+void UnsatTreeCache::store(const expr::ExprPool& pool, const Conjunction& c,
+                           std::shared_ptr<const UnsatTree> tree) {
+  store(pool, structural_signature(pool, c), std::move(tree));
+}
+
+void UnsatTreeCache::store(const expr::ExprPool& pool,
+                           std::uint64_t signature,
+                           std::shared_ptr<const UnsatTree> tree) {
+  trees_.put({&pool, signature}, std::move(tree), /*replace=*/true);
+}
+
+}  // namespace bcert::smt

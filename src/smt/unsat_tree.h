@@ -1,0 +1,186 @@
+#pragma once
+/// \file unsat_tree.h
+/// \brief Terminal UNSAT box trees: recording, replay, and the
+/// structural-signature cache behind ICP warm-starting.
+///
+/// When branch-and-prune refutes a conjunction it implicitly builds a
+/// binary *split tree*: every processed box was either pruned (a leaf)
+/// or bisected at a recorded (dimension, midpoint). `UnsatTree` stores
+/// exactly those split decisions plus the root box. Replaying the splits
+/// over the root box reproduces a *partition* of it — by construction,
+/// for any tree: each replayed split covers its parent interval exactly
+/// (clamped when the recorded midpoint falls outside the replayed
+/// interval, in which case the uncovered child is empty and skipped).
+///
+/// That partition property is the soundness story of ICP warm-starting:
+/// seeding the next query's frontier with the replayed leaves covers
+/// exactly the original box, so even a stale or mismatched tree can
+/// never make an UNSAT claim unsound or hide a real witness. Staleness
+/// only costs a suboptimal partition. (As with any change of
+/// contraction granularity, a δ-*borderline* query may answer δ-SAT
+/// where a cold run proved UNSAT, or vice versa — both are legitimate
+/// δ-complete answers, absorbed by the verifiers' adaptive-δ loop.)
+/// The only validation needed is that the recorded root box equals the
+/// query box (and the dimensions match); on any mismatch the solver
+/// silently cold starts from the full box, mirroring the LP warm-start
+/// contract.
+///
+/// Why it pays: the verifier's LP ↔ SMT loop re-solves queries whose
+/// *shape* is fixed while only W's coefficients (expression constants)
+/// change — candidate refinements, adaptive-δ re-checks, the level-set
+/// binary search. The previous proof's partition already concentrates
+/// splits where the constraint was hard to refute, so most replayed
+/// leaves die in a single contraction pass instead of re-deriving the
+/// tree's interior. `UnsatTreeCache` keys trees by a *structural*
+/// conjunction signature that deliberately ignores constant values, so
+/// consecutive candidates hit the same entry.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/smt/constraint.h"
+#include "src/smt/keyed_cache.h"
+
+namespace bcert::smt {
+
+/// Recorded split tree of one refuted (or partially explored) query.
+/// Immutable once published to the cache.
+struct UnsatTree {
+  /// Sentinel child id: the node is a leaf.
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  struct Node {
+    std::uint32_t dim = 0;       ///< split dimension
+    double value = 0.0;          ///< split point (parent box midpoint)
+    std::uint32_t left = kNoNode;
+    std::uint32_t right = kNoNode;
+  };
+
+  interval::Box root_box;   ///< the box the recorded query searched
+  std::vector<Node> nodes;  ///< nodes[0] is the root (when non-empty)
+
+  /// Number of splits recorded (leaves = splits + 1 when non-degenerate).
+  std::size_t split_count() const;
+
+  /// Replays the recorded splits over \p box, appending the partition
+  /// leaves to \p out in left-first depth-first order. Always produces a
+  /// cover of \p box: a split point outside the replayed interval yields
+  /// one empty child, which is skipped. An empty tree yields \p box
+  /// itself.
+  void replay(const interval::Box& box,
+              std::vector<interval::Box>& out) const;
+
+  /// The traversal behind replay(), exposed so callers can thread their
+  /// own per-node state (the ICP solver mirrors the seed's splits into a
+  /// fresh recording): one shared implementation keeps the
+  /// partition-coverage invariant in exactly one place.
+  /// \p on_split : (const Node&, Tag parent) → {left Tag, right Tag},
+  ///   called once per replayed internal node;
+  /// \p on_leaf  : (interval::Box&&, Tag), called once per partition
+  ///   leaf, in left-first depth-first order.
+  template <typename Tag, typename SplitFn, typename LeafFn>
+  void walk(const interval::Box& box, Tag root_tag, SplitFn&& on_split,
+            LeafFn&& on_leaf) const {
+    struct Frame {
+      std::uint32_t sid;
+      Tag tag;
+      interval::Box box;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({0, root_tag, box});
+    while (!stack.empty()) {
+      Frame f = std::move(stack.back());
+      stack.pop_back();
+      const bool leaf = f.sid == kNoNode || f.sid >= nodes.size() ||
+                        nodes[f.sid].left == kNoNode ||
+                        nodes[f.sid].dim >= f.box.size();
+      if (leaf) {
+        on_leaf(std::move(f.box), f.tag);  // (or malformed: keep cover)
+        continue;
+      }
+      const Node& n = nodes[f.sid];
+      const interval::Interval iv = f.box[n.dim];
+      // Clamped split: a point outside the interval leaves one child
+      // empty (skipped), so the emitted leaves always cover the box.
+      interval::Box left = f.box;
+      interval::Box right = std::move(f.box);
+      left[n.dim] = interval::Interval(iv.lo(), std::min(n.value, iv.hi()));
+      right[n.dim] = interval::Interval(std::max(n.value, iv.lo()), iv.hi());
+      const std::pair<Tag, Tag> tags = on_split(n, f.tag);
+      // Push right below left so the left-most leaf is emitted first.
+      if (!right[n.dim].is_empty()) {
+        stack.push_back({n.right, tags.second, std::move(right)});
+      }
+      if (!left[n.dim].is_empty()) {
+        stack.push_back({n.left, tags.first, std::move(left)});
+      }
+    }
+  }
+};
+
+/// Hash of a conjunction's DAG *shape*: operations, variable indices,
+/// pow exponents, child wiring, and constraint relations — but NOT
+/// constant values. Two candidate iterations that differ only in W's
+/// coefficients therefore share a signature (the warm-start hit case);
+/// a hash collision between genuinely different queries merely seeds a
+/// useless-but-sound partition, because replay always covers the box.
+std::uint64_t structural_signature(const expr::ExprPool& pool,
+                                   const Conjunction& c);
+
+/// LRU store of terminal UNSAT trees, keyed by (pool, structural
+/// signature). Shares the `KeyedLruCache` machinery (and stats contract)
+/// with `TapeCache`. Lookups validate the recorded root box against the
+/// query box and report a miss on mismatch — the silent-fallback half of
+/// the warm-start contract. Stores overwrite: the newest proof for a
+/// query shape is the closest to the next candidate.
+class UnsatTreeCache {
+ public:
+  /// Default LRU capacity. Trees are capped at kMaxNodes nodes each, so
+  /// the cache is bounded in bytes (≤ ~50 MB) as well as entries.
+  static constexpr std::size_t kMaxEntries = 16;
+
+  /// Recording cap per query: a proof deeper than this is not persisted
+  /// (re-deriving it is cheaper than holding arbitrarily large trees).
+  static constexpr std::size_t kMaxNodes = std::size_t{1} << 17;
+
+  explicit UnsatTreeCache(std::size_t capacity = kMaxEntries)
+      : trees_(capacity) {}
+
+  /// The recorded tree for this query shape, or null when absent or when
+  /// the recorded root box does not match \p box exactly. The
+  /// signature-taking overloads let a caller that both finds and stores
+  /// in one query (the solver's warm context) hash the conjunction once.
+  std::shared_ptr<const UnsatTree> find(const expr::ExprPool& pool,
+                                        const Conjunction& c,
+                                        const interval::Box& box);
+  std::shared_ptr<const UnsatTree> find(const expr::ExprPool& pool,
+                                        std::uint64_t signature,
+                                        const interval::Box& box);
+
+  /// Publishes \p tree as the latest proof for this query shape.
+  void store(const expr::ExprPool& pool, const Conjunction& c,
+             std::shared_ptr<const UnsatTree> tree);
+  void store(const expr::ExprPool& pool, std::uint64_t signature,
+             std::shared_ptr<const UnsatTree> tree);
+
+  std::size_t size() const { return trees_.size(); }
+
+  /// Hit/miss/eviction counters of the underlying store. A signature hit
+  /// whose recorded root box mismatches the query box is returned as
+  /// null (cold fallback) and counted separately via stale().
+  KeyedCacheStats stats() const { return trees_.stats(); }
+  std::uint64_t stale() const { return stale_.load(); }
+
+ private:
+  using Key = std::pair<const void*, std::uint64_t>;
+
+  KeyedLruCache<Key, const UnsatTree> trees_;
+  std::atomic<std::uint64_t> stale_{0};
+};
+
+}  // namespace bcert::smt

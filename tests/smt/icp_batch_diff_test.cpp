@@ -1,0 +1,364 @@
+// Differential tests for the batched (structure-of-arrays) tape engine:
+// contract_fixpoint_batch must be bit-identical, lane by lane, to the
+// scalar contraction hot loop at every available SIMD tier, and the
+// batched ICP frontier must agree with the scalar frontier on every
+// verdict. Also pins the exploration-order contract (stable split-index
+// tie-break) and the BoxBatch plane layout.
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/expr/expr.h"
+#include "src/interval/box.h"
+#include "src/interval/box_batch.h"
+#include "src/smt/hc4.h"
+#include "src/smt/icp_solver.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprId;
+using expr::ExprPool;
+using interval::Box;
+using interval::BoxBatch;
+using interval::Interval;
+using linalg::Vector;
+
+constexpr int kNumVars = 3;
+
+/// Random DAG / conjunction / box generators — the same corpus shape as
+/// the scalar tape differential fuzz harness (hc4_tape_diff_test.cpp).
+ExprId random_dag(ExprPool& pool, std::mt19937& rng, int num_ops) {
+  std::vector<ExprId> terms;
+  for (int v = 0; v < kNumVars; ++v) terms.push_back(pool.var(v));
+  std::uniform_real_distribution<double> cdist(-3.0, 3.0);
+  for (int i = 0; i < 3; ++i) terms.push_back(pool.constant(cdist(rng)));
+
+  auto pick = [&] { return terms[rng() % terms.size()]; };
+  for (int i = 0; i < num_ops; ++i) {
+    ExprId t = terms.front();
+    switch (rng() % 17) {
+      case 0: t = pool.add(pick(), pick()); break;
+      case 1: t = pool.sub(pick(), pick()); break;
+      case 2: t = pool.mul(pick(), pick()); break;
+      case 3: t = pool.div(pick(), pick()); break;
+      case 4: t = pool.neg(pick()); break;
+      case 5: t = pool.sin(pick()); break;
+      case 6: t = pool.cos(pick()); break;
+      case 7: t = pool.tanh(pick()); break;
+      case 8: t = pool.sigmoid(pick()); break;
+      case 9: t = pool.sqr(pick()); break;
+      case 10: t = pool.abs(pick()); break;
+      case 11: t = pool.min(pick(), pick()); break;
+      case 12: t = pool.max(pick(), pick()); break;
+      case 13:
+        t = pool.pow(pick(), static_cast<std::int32_t>(2 + rng() % 3));
+        break;
+      case 14: t = pool.relu(pick()); break;
+      case 15: t = pool.exp(pick()); break;
+      case 16: t = pool.sqrt(pick()); break;
+    }
+    terms.push_back(t);
+  }
+  return terms.back();
+}
+
+Conjunction random_conjunction(ExprPool& pool, std::mt19937& rng) {
+  static constexpr Rel kRels[] = {Rel::kLe, Rel::kLt, Rel::kGe, Rel::kGt};
+  Conjunction c;
+  const int n = 1 + static_cast<int>(rng() % 3);
+  for (int i = 0; i < n; ++i) {
+    c.add(random_dag(pool, rng, 4 + static_cast<int>(rng() % 12)),
+          kRels[rng() % 4]);
+  }
+  return c;
+}
+
+Box random_box(std::mt19937& rng) {
+  std::uniform_real_distribution<double> bdist(-5.0, 5.0);
+  std::vector<Interval> dims;
+  for (int v = 0; v < kNumVars; ++v) {
+    const int shape = static_cast<int>(rng() % 8);
+    if (shape == 0) {
+      dims.emplace_back(0.0, 0.0);
+    } else if (shape == 1) {
+      const double p = bdist(rng);
+      dims.emplace_back(p, p);
+    } else {
+      double lo = bdist(rng), hi = bdist(rng);
+      if (lo > hi) std::swap(lo, hi);
+      dims.emplace_back(lo, hi);
+    }
+  }
+  return Box(std::move(dims));
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+::testing::AssertionResult boxes_bit_identical(const Box& a, const Box& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "dimension mismatch";
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bits_equal(a[i].lo(), b[i].lo()) ||
+        !bits_equal(a[i].hi(), b[i].hi())) {
+      return ::testing::AssertionFailure()
+             << "dim " << i << ": scalar " << a[i] << " vs batch " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+std::vector<SimdTier> available_tiers() {
+  std::vector<SimdTier> tiers;
+  for (const SimdTier t :
+       {SimdTier::kScalar, SimdTier::kSse2, SimdTier::kAvx2}) {
+    if (simd_tier_available(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+/// Scalar reference for one box: contract_fixpoint on a scalar tape
+/// contractor plus the hot loop's certainly_satisfied call.
+struct ScalarRef {
+  ContractResult result;
+  bool satisfied;
+  Box box;
+};
+
+ScalarRef scalar_reference(const std::shared_ptr<const Hc4Tape>& tape,
+                           const Box& original, int passes, double ratio) {
+  Hc4Contractor contractor(tape);
+  ScalarRef ref{ContractResult::kNoChange, false, original};
+  ref.result = contractor.contract_fixpoint(ref.box, passes, ratio);
+  ref.satisfied = ref.result != ContractResult::kEmpty &&
+                  !ref.box.is_empty() &&
+                  contractor.certainly_satisfied(ref.box);
+  return ref;
+}
+
+TEST(IcpBatchDiff, BatchedContractionBitIdenticalAtEveryTier) {
+  const std::vector<SimdTier> tiers = available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  std::mt19937 rng(20260731);
+  int survivors = 0;
+
+  for (int trial = 0; trial < 120; ++trial) {
+    ExprPool pool;
+    const Conjunction c = random_conjunction(pool, rng);
+    const auto tape = std::make_shared<const Hc4Tape>(pool, c);
+
+    // Mixed batch widths, including odd sizes (AVX2 tail lanes).
+    const std::size_t lanes = 1 + rng() % 8;
+    std::vector<Box> originals;
+    for (std::size_t i = 0; i < lanes; ++i) originals.push_back(random_box(rng));
+
+    std::vector<ScalarRef> refs;
+    for (const Box& b : originals) {
+      refs.push_back(scalar_reference(tape, b, 8, 0.05));
+    }
+
+    for (const SimdTier tier : tiers) {
+      BoxBatch batch(kNumVars, lanes);
+      for (const Box& b : originals) batch.push_back(b);
+      auto regs = tape->make_batch_registers(lanes);
+      std::vector<Hc4Tape::LaneOutcome> out(lanes);
+      tape->contract_fixpoint_batch(batch, regs, 8, 0.05, out.data(), tier);
+
+      for (std::size_t l = 0; l < lanes; ++l) {
+        ASSERT_EQ(refs[l].result, out[l].result)
+            << "trial " << trial << " lane " << l << " tier "
+            << simd_tier_name(tier);
+        if (refs[l].result == ContractResult::kEmpty) continue;
+        ++survivors;
+        EXPECT_TRUE(boxes_bit_identical(refs[l].box, batch.box(l)))
+            << "trial " << trial << " lane " << l << " tier "
+            << simd_tier_name(tier);
+        EXPECT_EQ(refs[l].satisfied, out[l].satisfied)
+            << "trial " << trial << " lane " << l << " tier "
+            << simd_tier_name(tier);
+      }
+    }
+  }
+  // The corpus must exercise surviving (comparable) lanes.
+  EXPECT_GT(survivors, 100);
+}
+
+TEST(IcpBatchDiff, Avx2MatchesSse2KernelForKernel) {
+  if (!simd_tier_available(SimdTier::kAvx2)) {
+    GTEST_SKIP() << "AVX2 not available on this build/CPU";
+  }
+  ASSERT_TRUE(simd_tier_available(SimdTier::kSse2));
+  std::mt19937 rng(424242);
+  for (int trial = 0; trial < 150; ++trial) {
+    ExprPool pool;
+    const Conjunction c = random_conjunction(pool, rng);
+    const auto tape = std::make_shared<const Hc4Tape>(pool, c);
+    const std::size_t lanes = 2 + rng() % 7;
+
+    BoxBatch sse(kNumVars, lanes), avx(kNumVars, lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const Box b = random_box(rng);
+      sse.push_back(b);
+      avx.push_back(b);
+    }
+    auto regs_sse = tape->make_batch_registers(lanes);
+    auto regs_avx = tape->make_batch_registers(lanes);
+    std::vector<Hc4Tape::LaneOutcome> out_sse(lanes), out_avx(lanes);
+    tape->contract_fixpoint_batch(sse, regs_sse, 8, 0.05, out_sse.data(),
+                                  SimdTier::kSse2);
+    tape->contract_fixpoint_batch(avx, regs_avx, 8, 0.05, out_avx.data(),
+                                  SimdTier::kAvx2);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ASSERT_EQ(out_sse[l].result, out_avx[l].result)
+          << "trial " << trial << " lane " << l;
+      EXPECT_EQ(out_sse[l].satisfied, out_avx[l].satisfied);
+      if (out_sse[l].result != ContractResult::kEmpty) {
+        EXPECT_TRUE(boxes_bit_identical(sse.box(l), avx.box(l)))
+            << "trial " << trial << " lane " << l;
+      }
+    }
+  }
+}
+
+IcpConfig solver_config(int batch) {
+  IcpConfig c;
+  c.delta = 1e-2;
+  c.max_boxes = 500'000;
+  c.time_limit_s = 60.0;
+  c.threads = 1;
+  c.batch_size = batch;
+  return c;
+}
+
+/// Random atoms with varied SAT/UNSAT status (parallel_icp_test shapes).
+Constraint random_atom(ExprPool& pool, std::mt19937& rng) {
+  std::uniform_real_distribution<double> coef(-2.0, 2.0);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<int> rel_pick(0, 1);
+  const ExprId x = pool.var(0);
+  const ExprId y = pool.var(1);
+  ExprId e = expr::kNoExpr;
+  switch (kind(rng)) {
+    case 0:
+      e = pool.sub(pool.add(pool.sqr(x), pool.sqr(y)),
+                   pool.constant(std::abs(coef(rng)) + 0.1));
+      break;
+    case 1:
+      e = pool.add(
+          pool.add(pool.sin(pool.mul(pool.constant(coef(rng)), x)),
+                   pool.cos(pool.mul(pool.constant(coef(rng)), y))),
+          pool.constant(coef(rng)));
+      break;
+    case 2:
+      e = pool.sub(pool.mul(x, y), pool.constant(coef(rng)));
+      break;
+    default:
+      e = pool.add(pool.sub(pool.tanh(x), y), pool.constant(coef(rng)));
+      break;
+  }
+  return {e, rel_pick(rng) == 0 ? Rel::kLe : Rel::kGe};
+}
+
+TEST(IcpBatchDiff, SolverBatchedVsScalarEquivalenceSweep) {
+  std::mt19937 rng(2018);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  int sat_seen = 0, unsat_seen = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprPool pool;
+    Conjunction c;
+    const int m = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < m; ++i) {
+      const Constraint atom = random_atom(pool, rng);
+      c.add(atom.lhs, atom.rel);
+    }
+
+    const IcpSolver scalar(pool, solver_config(1));
+    const IcpSolver batched(pool, solver_config(8));
+    const IcpResult rs = scalar.solve(c, box);
+    const IcpResult rb = batched.solve(c, box);
+
+    ASSERT_NE(rs.verdict, SatResult::kUnknown) << "trial " << trial;
+    if (rs.is_unsat()) {
+      ++unsat_seen;
+      // UNSAT is a proof — the batched frontier explores the same split
+      // tree (same order contract) and must reproduce it exactly.
+      EXPECT_EQ(rb.verdict, SatResult::kUnsat) << "trial " << trial;
+      EXPECT_FALSE(rb.witness.has_value());
+      EXPECT_EQ(rs.stats.splits, rb.stats.splits) << "trial " << trial;
+    } else {
+      ++sat_seen;
+      EXPECT_TRUE(rb.is_sat()) << "trial " << trial;
+      ASSERT_TRUE(rb.witness.has_value());
+      if (rb.verdict == SatResult::kSat) {
+        const Vector w = rb.witness_point();
+        for (const Constraint& atom : c.constraints) {
+          const double v = pool.eval(atom.lhs, w);
+          if (atom.rel == Rel::kLe) EXPECT_LE(v, 1e-12);
+          if (atom.rel == Rel::kGe) EXPECT_GE(v, -1e-12);
+        }
+      }
+    }
+  }
+  EXPECT_GT(sat_seen, 0);
+  EXPECT_GT(unsat_seen, 0);
+}
+
+TEST(IcpBatchDiff, BatchedSequentialIsDeterministic) {
+  ExprPool pool;
+  Conjunction c;
+  const ExprId r2 = pool.add(pool.sqr(pool.var(0)), pool.sqr(pool.var(1)));
+  c.add(pool.sub(r2, pool.constant(1.0)), Rel::kLe);
+  c.add(pool.sub(pool.constant(0.25), r2), Rel::kLe);
+
+  const IcpSolver solver(pool, solver_config(8));
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  const IcpResult a = solver.solve(c, box);
+  const IcpResult b = solver.solve(c, box);
+  ASSERT_TRUE(a.is_sat());
+  ASSERT_TRUE(b.is_sat());
+  EXPECT_EQ(a.verdict, b.verdict);
+  EXPECT_EQ(*a.witness, *b.witness);
+  EXPECT_EQ(a.stats.boxes_processed, b.stats.boxes_processed);
+  EXPECT_EQ(a.stats.splits, b.stats.splits);
+}
+
+TEST(IcpBatchDiff, WidestDimTieBreaksToLowestIndex) {
+  // The exploration-order contract: equal widths split the lowest index.
+  const Box b = Box::from_bounds({{0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_EQ(b.widest_dim(), 0u);
+  const Box c = Box::from_bounds({{0.0, 0.5}, {0.0, 1.0}, {0.0, 1.0}});
+  EXPECT_EQ(c.widest_dim(), 1u);
+}
+
+TEST(IcpBatchDiff, BoxBatchRoundTripsLanesBitExactly) {
+  std::mt19937 rng(7);
+  BoxBatch batch(kNumVars, 5);
+  EXPECT_EQ(batch.size(), 0u);
+  std::vector<Box> boxes;
+  for (int i = 0; i < 5; ++i) {
+    boxes.push_back(random_box(rng));
+    batch.push_back(boxes.back());
+  }
+  EXPECT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(boxes_bit_identical(boxes[i], batch.box(i)));
+    EXPECT_DOUBLE_EQ(boxes[i].max_width(), batch.max_width(i));
+    EXPECT_DOUBLE_EQ(boxes[i].perimeter(), batch.perimeter(i));
+    EXPECT_EQ(boxes[i].is_empty(), batch.lane_is_empty(i));
+  }
+  // Plane rows are 32-byte aligned (the SIMD layout contract).
+  for (int d = 0; d < kNumVars; ++d) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(batch.lo_plane(d)) % 32, 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(batch.hi_plane(d)) % 32, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bcert::smt
