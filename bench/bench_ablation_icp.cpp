@@ -20,7 +20,7 @@ int main() {
   const core::BarrierProblem problem = bench::make_problem(pool, controller);
   core::VerifierOptions base;
   base.adaptive_delta = false;  // measure raw single-δ behaviour
-  core::BarrierVerifier verifier(problem, base);
+  core::BarrierPipeline<core::QuadraticForm> verifier(problem, base);
 
   // A fixed valid generator (synthesized once at default settings).
   std::vector<core::FieldSample> samples;
@@ -41,7 +41,7 @@ int main() {
   for (const double delta : {1e-1, 1e-2, 1e-3, 1e-4, 1e-5}) {
     core::VerifierOptions opts = base;
     opts.icp.delta = delta;
-    core::BarrierVerifier v(problem, opts);
+    core::BarrierPipeline<core::QuadraticForm> v(problem, opts);
     const smt::IcpResult r = v.check_decrease(synth.candidate);
     std::printf("  %10.0e %12s %10.3f %12llu\n", delta,
                 sat_result_name(r.verdict), r.stats.solve_time_s,
@@ -57,7 +57,7 @@ int main() {
     core::VerifierOptions opts = base;
     opts.icp.delta = 1e-4;
     opts.gamma = gamma;
-    core::BarrierVerifier v(problem, opts);
+    core::BarrierPipeline<core::QuadraticForm> v(problem, opts);
     const smt::IcpResult r = v.check_decrease(synth.candidate);
     std::printf("  %10.0e %12s %10.3f %12llu\n", gamma,
                 sat_result_name(r.verdict), r.stats.solve_time_s,

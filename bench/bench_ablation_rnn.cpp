@@ -21,9 +21,10 @@ int main() {
     expr::ExprPool pool;
     const nn::FeedforwardNet net =
         dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
-    core::BarrierVerifier v(bench::make_problem(pool, net), {});
+    core::BarrierPipeline<core::QuadraticForm> v(
+        bench::make_problem(pool, net), {});
     const auto t0 = std::chrono::steady_clock::now();
-    const core::VerifyResult r = v.verify();
+    const core::VerifyResult r = v.run();
     (void)t0;
     // Count boxes of one fresh decrease query for comparability.
     const smt::IcpResult q = v.check_decrease(*r.generator);
@@ -51,8 +52,8 @@ int main() {
     core::VerifierOptions opts;
     opts.trace_duration = 25.0;
     opts.icp.time_limit_s = 180.0;
-    core::BarrierVerifier v(p, opts);
-    const core::VerifyResult r = v.verify();
+    core::BarrierPipeline<core::QuadraticForm> v(p, opts);
+    const core::VerifyResult r = v.run();
     char label[32];
     std::snprintf(label, sizeof label, "CTRNN lag tau=%.2f", tau);
     unsigned long long boxes = 0;

@@ -49,8 +49,9 @@ int main() {
   // Quadratic baseline through the paper's exact pipeline.
   {
     expr::ExprPool pool;
-    core::BarrierVerifier v(bench::make_problem(pool, controller), {});
-    const core::VerifyResult r = v.verify();
+    core::BarrierPipeline<core::QuadraticForm> v(
+        bench::make_problem(pool, controller), {});
+    const core::VerifyResult r = v.run();
     const double area =
         r.safe() ? level_set_area(*r.generator, r.level,
                                   v.problem().safe_rect)
@@ -67,17 +68,16 @@ int main() {
   if (bench::env_int("BCERT_TEMPLATE_DEG6", 0) != 0) degrees.push_back(6);
   for (const int degree : degrees) {
     expr::ExprPool pool;
-    core::PolyVerifierOptions opts;
-    opts.max_degree = degree;
-    core::PolyBarrierVerifier v(bench::make_problem(pool, controller),
-                                opts);
-    const core::PolyVerifyResult r = v.verify();
+    core::BarrierPipeline<core::PolynomialForm> v(
+        bench::make_problem(pool, controller), {},
+        core::TemplateSpec::polynomial(degree));
+    const core::VerifyResult r = v.run();
     const double area =
-        r.safe() ? level_set_area(*r.generator, r.level,
+        r.safe() ? level_set_area(*r.poly_generator, r.level,
                                   v.problem().safe_rect)
                  : 0.0;
     std::printf("  %7d | %7s %7zu %8.4f | %8.3f %9.4f | %9.3f | %7.2f\n",
-                degree, r.safe() ? "SAFE" : "fail", v.basis().size(),
+                degree, r.safe() ? "SAFE" : "fail", v.context().basis.size(),
                 r.lp_margin, r.timings.smt5_time_s, r.level, area,
                 r.timings.total_time_s);
     std::fflush(stdout);

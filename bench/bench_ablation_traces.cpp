@@ -26,15 +26,15 @@ int main() {
       core::VerifierOptions opts;
       opts.seed_traces = traces;
       opts.samples_per_trace = per_trace;
-      core::BarrierVerifier verifier(bench::make_problem(pool, controller),
-                                     opts);
+      core::BarrierPipeline<core::QuadraticForm> verifier(
+          bench::make_problem(pool, controller), opts);
       // Count the samples the seed phase would produce.
       std::size_t n_samples = 0;
       for (const linalg::Vector& x0 :
            verifier.random_initial_states(traces, opts.seed)) {
         n_samples += verifier.simulate_samples(x0).size();
       }
-      const core::VerifyResult r = verifier.verify();
+      const core::VerifyResult r = verifier.run();
       std::printf("  %7d %9zu | %7s %8d %8.4f | %9zu | %7.2f\n", traces,
                   per_trace, r.safe() ? "SAFE" : "fail",
                   r.timings.candidate_iterations, r.lp_margin, n_samples,

@@ -34,8 +34,10 @@ int main() {
     p.safe_rect = bench::paper_safe_rect();
     core::VerifierOptions opts;
     opts.max_candidate_iterations = 6;
-    core::BarrierVerifier verifier(p, opts);
-    const core::VerifyResult r = verifier.verify();
+    core::Engine engine;
+    core::JobOptions job;
+    job.verify = opts;
+    const core::VerifyResult r = engine.verify(p, job);
     std::printf("  %9.2f | %7s %8.4f %9.4f | %8.2f\n", v,
                 r.safe() ? "SAFE" : "fail", r.lp_margin, r.level,
                 r.timings.total_time_s);

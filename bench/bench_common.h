@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/verifier.h"
+#include "src/core/engine.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 #include "src/parallel/thread_pool.h"

@@ -32,8 +32,8 @@ int main() {
 
   expr::ExprPool pool;
   const core::BarrierProblem problem = bench::make_problem(pool, controller);
-  core::BarrierVerifier verifier(problem, {});
-  const core::VerifyResult r = verifier.verify();
+  core::BarrierPipeline<core::QuadraticForm> pipeline(problem, {});
+  const core::VerifyResult r = pipeline.run();
 
   std::printf("# Figure 5 reproduction: phase portrait with barrier "
               "certificate\n");
@@ -59,7 +59,7 @@ int main() {
 
   // Sample trajectories from the domain (as in the figure: starts marked
   // by *, ends by o).
-  const auto starts = verifier.random_initial_states(12, 7);
+  const auto starts = pipeline.random_initial_states(12, 7);
   int k = 0;
   for (const linalg::Vector& x0 : starts) {
     ode::IntegrateOptions iopts;

@@ -199,8 +199,9 @@ void BM_FullVerificationSmall(benchmark::State& state) {
     expr::ExprPool pool;
     const nn::FeedforwardNet net =
         dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
-    core::BarrierVerifier verifier(bench::make_problem(pool, net), {});
-    benchmark::DoNotOptimize(verifier.verify());
+    core::Engine engine;
+    benchmark::DoNotOptimize(
+        engine.verify(bench::make_problem(pool, net)));
   }
 }
 BENCHMARK(BM_FullVerificationSmall)->Unit(benchmark::kMillisecond);
@@ -437,7 +438,7 @@ void headline_hc4(bench::JsonReport& report) {
 
 /// LP warm-starting on the candidate loop's solve sequence: one base
 /// margin LP plus BCERT_LP_ITERS refinement steps of 4 appended
-/// counterexample rows each (the shape BarrierVerifier produces). The
+/// counterexample rows each (the shape the candidate loop produces). The
 /// cold pass solves every step from scratch; the warm pass threads each
 /// step's exported basis into the next solve, exactly as the verifiers
 /// do. Gated in CI via lp_solve:warm_speedup.
@@ -582,6 +583,71 @@ void headline_rk4(bench::JsonReport& report) {
               seed_s, inplace_s, inplace.speedup, batch_s, batch.speedup);
 }
 
+/// Engine campaign throughput: N structurally identical scenarios — one
+/// distilled controller with its weights jittered per scenario (a
+/// quantization-robustness sweep, the "as many scenarios as you can
+/// imagine" workload of the ROADMAP) — verified (a) cold, with a fresh
+/// Engine per scenario (per-run caches only, i.e. the pre-Engine
+/// one-shot behavior), vs (b) through one shared Engine campaign where
+/// compiled tapes, UNSAT-tree partitions and LP bases amortize across
+/// scenarios. BCERT_CAMPAIGN_SCENARIOS scales the set. Gated in CI via
+/// engine_campaign:speedup.
+void headline_engine_campaign(bench::JsonReport& report) {
+  const int n = bench::env_int("BCERT_CAMPAIGN_SCENARIOS", 6);
+  expr::ExprPool pool;
+  const nn::FeedforwardNet base =
+      dubins::distill_controller(dubins::proportional_teacher(), 10, 42);
+  std::mt19937 rng(31);
+  std::normal_distribution<double> jitter(0.0, 1e-4);
+
+  std::vector<core::Scenario> scenarios;
+  scenarios.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    nn::FeedforwardNet net = base;
+    Vector params = net.parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] += jitter(rng);
+    net.set_parameters(params);
+    core::Scenario s;
+    s.name = "jitter-" + std::to_string(k);
+    s.problem = bench::make_problem(pool, net);
+    scenarios.push_back(std::move(s));
+  }
+
+  const core::JobOptions job;
+  int cold_safe = 0;
+  const double cold_s = wall_of([&] {
+    cold_safe = 0;
+    for (const core::Scenario& s : scenarios) {
+      core::Engine engine;  // fresh caches: no cross-scenario reuse
+      cold_safe += engine.verify(s.problem, job).safe() ? 1 : 0;
+    }
+  });
+
+  core::Engine engine;
+  core::CampaignResult campaign;
+  const double shared_s = wall_of([&] {
+    campaign =
+        engine.run_campaign(std::span<const core::Scenario>(scenarios), job);
+  });
+
+  report.add({"engine_campaign_cold", cold_s, -1.0, -1.0,
+              static_cast<double>(n) / cold_s});
+  bench::BenchRecord shared;
+  shared.name = "engine_campaign_shared";
+  shared.wall_time_s = shared_s;
+  shared.items_per_sec = campaign.scenarios_per_sec();
+  report.add(shared);
+  bench::BenchRecord combined;
+  combined.name = "engine_campaign";
+  combined.wall_time_s = cold_s + shared_s;
+  combined.speedup = cold_s / shared_s;
+  report.add(combined);
+  std::printf("headline engine campaign: cold %.3fs (%d/%d safe), shared "
+              "%.3fs (%d/%d safe, %.2f scenarios/s, speedup %.2fx)\n",
+              cold_s, cold_safe, n, shared_s, campaign.safe_count, n,
+              campaign.scenarios_per_sec(), combined.speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -596,6 +662,7 @@ int main(int argc, char** argv) {
   headline_icp_warm(report);
   headline_lp(report);
   headline_rk4(report);
+  headline_engine_campaign(report);
   const std::string path = report.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;

@@ -80,8 +80,11 @@ int main() {
           make_controller(hidden, static_cast<unsigned>(s + 1), train);
       core::VerifierOptions opts;
       opts.seed = static_cast<unsigned>(1000 + s);
-      core::BarrierVerifier verifier(bench::make_problem(pool, net), opts);
-      const core::VerifyResult r = verifier.verify();
+      core::Engine engine;
+      core::JobOptions job;
+      job.verify = opts;
+      const core::VerifyResult r =
+          engine.verify(bench::make_problem(pool, net), job);
       if (r.safe()) ++safe_count;
       sum_iters += r.timings.candidate_iterations;
       sum_lp += r.timings.avg_lp_time_s();

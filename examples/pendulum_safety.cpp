@@ -11,7 +11,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "src/core/verifier.h"
+#include "src/core/engine.h"
 #include "src/dubins/training.h"  // distill_controller reuse
 #include "src/expr/printer.h"
 #include "src/nn/elm.h"
@@ -53,10 +53,10 @@ int main() {
               controller.num_params());
   std::printf("X0 = [-0.2,0.2]^2, U = outside [-1.2,1.2]x[-1.5,1.5]\n\n");
 
-  core::VerifierOptions opts;
-  opts.trace_duration = 20.0;
-  core::BarrierVerifier verifier(problem, opts);
-  const core::VerifyResult r = verifier.verify();
+  Engine engine;
+  JobOptions job;
+  job.verify.trace_duration = 20.0;
+  const core::VerifyResult r = engine.verify(problem, job);
 
   std::printf("result: %s\n", verify_status_name(r.status));
   if (r.generator) {

@@ -8,7 +8,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "src/core/verifier.h"
+#include "src/core/engine.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 #include "src/expr/printer.h"
@@ -34,11 +34,12 @@ int main() {
   problem.initial_set = {{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
   problem.safe_rect = {{-5.0, -(kPi / 2.0 - kEps)}, {5.0, kPi / 2.0 - kEps}};
 
-  // 4. Verify.
-  core::VerifierOptions opts;
-  opts.icp.delta = 1e-3;
-  core::BarrierVerifier verifier(problem, opts);
-  const core::VerifyResult result = verifier.verify();
+  // 4. Verify through the Engine (shared caches + async-capable API;
+  // for one-shot use, Engine::verify is the blocking entry point).
+  Engine engine;
+  JobOptions job;
+  job.verify.icp.delta = 1e-3;
+  const core::VerifyResult result = engine.verify(problem, job);
 
   std::printf("status:        %s\n", verify_status_name(result.status));
   if (result.generator) {

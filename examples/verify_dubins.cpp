@@ -16,9 +16,8 @@
 #include <fstream>
 #include <string>
 
-#include "src/core/falsifier.h"
+#include "src/core/engine.h"
 #include "src/core/report.h"
-#include "src/core/verifier.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 #include "src/expr/printer.h"
@@ -69,8 +68,8 @@ int main(int argc, char** argv) {
   std::printf("X0 = [-1,1] x [-pi/16, pi/16]\n");
   std::printf("U  = complement of [-5,5] x [-(pi/2-e), pi/2-e]\n\n");
 
-  core::BarrierVerifier verifier(problem, {});
-  const core::VerifyResult r = verifier.verify();
+  Engine engine;
+  const core::VerifyResult r = engine.verify(problem);
 
   std::printf("== result: %s ==\n", verify_status_name(r.status));
   if (r.generator) {
@@ -96,8 +95,7 @@ int main(int argc, char** argv) {
     core::FalsifierOptions fopts;
     fopts.random_trials = 100;
     fopts.cmaes_iterations = 10;
-    core::Falsifier falsifier(problem, fopts);
-    const core::FalsificationResult fr = falsifier.search();
+    const core::FalsificationResult fr = engine.falsify(problem, fopts);
     std::printf("\nfalsification cross-check: %s (worst robustness %.4f "
                 "over %d simulations)\n",
                 fr.falsified ? "FALSIFIED (!)" : "no violation found",
@@ -127,7 +125,8 @@ int main(int argc, char** argv) {
     std::ofstream js(report_prefix + ".json");
     write_json_report(js, r, problem, ctx);
     if (r.safe()) {
-      verifier.export_queries_smtlib(*r.generator, r.level, report_prefix);
+      core::BarrierPipeline<core::QuadraticForm>(problem, {})
+          .export_queries_smtlib(*r.generator, r.level, report_prefix);
     }
     std::printf("\nreports written to %s.{txt,json}%s\n",
                 report_prefix.c_str(),

@@ -126,12 +126,14 @@ CmaesResult cmaes_minimize(const ObjectiveFn& objective, const Vector& x0,
         pop[k].fitness = objective(pop[k].x);
       }
     } else {
-      parallel::ThreadPool::global().parallel_for(
-          0, lambda, 1, [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t k = lo; k < hi; ++k) {
-              pop[k].fitness = objective(pop[k].x);
-            }
-          });
+      parallel::ThreadPool& pool = options.pool != nullptr
+                                       ? *options.pool
+                                       : parallel::ThreadPool::global();
+      pool.parallel_for(0, lambda, 1, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          pop[k].fitness = objective(pop[k].x);
+        }
+      });
     }
     std::sort(pop.begin(), pop.end(),
               [](const Candidate& a, const Candidate& b) {

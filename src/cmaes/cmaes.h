@@ -15,6 +15,10 @@
 
 #include "src/linalg/vector.h"
 
+namespace bcert::parallel {
+class ThreadPool;
+}  // namespace bcert::parallel
+
 namespace bcert::cmaes {
 
 /// Objective to minimize.
@@ -36,6 +40,9 @@ struct CmaesOptions {
   /// written by population index, so the optimization trajectory is
   /// byte-identical for a fixed seed at any thread count.
   int eval_threads = 1;
+  /// Pool the evaluation strands run on; null = the process-global
+  /// pool. The Engine threads its owned pool through here.
+  parallel::ThreadPool* pool = nullptr;
 };
 
 /// Per-iteration report for progress callbacks (e.g. Figure 4 snapshots).

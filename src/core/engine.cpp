@@ -1,0 +1,199 @@
+#include "src/core/engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "src/core/report.h"
+
+namespace bcert::core {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Minimal JSON string escaping for caller-supplied scenario names.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      tape_cache_(std::make_shared<smt::TapeCache>(
+          options.tape_cache_entries)),
+      unsat_cache_(std::make_shared<smt::UnsatTreeCache>(
+          options.unsat_cache_entries)),
+      pool_(static_cast<std::size_t>(
+          parallel::resolve_thread_count(options.threads))) {}
+
+VerifyResult Engine::run_job(const BarrierProblem& problem,
+                             const JobOptions& options, JobState* state,
+                             clock::time_point submitted) {
+  // Wire the Engine-owned infrastructure into the pipeline. Caller-set
+  // caches win (a job may want isolation); absent ones get the shared
+  // stores so structurally repeated scenarios reuse compiled tapes,
+  // UNSAT partitions and LP bases across the whole campaign.
+  VerifierOptions verify = options.verify;
+  if (!verify.icp.tape_cache) verify.icp.tape_cache = tape_cache_;
+  if (!verify.icp.unsat_cache) verify.icp.unsat_cache = unsat_cache_;
+
+  PipelineHooks hooks;
+  if (state != nullptr) hooks.cancel = &state->cancel;
+  hooks.pool = &pool_;
+  if (options.deadline_s > 0.0) {
+    hooks.deadline =
+        submitted + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(options.deadline_s));
+    hooks.has_deadline = true;
+  }
+  hooks.on_progress = options.on_progress;
+
+  const BasisKey key{static_cast<int>(options.certificate.kind),
+                     options.certificate.kind == TemplateSpec::Kind::kQuadratic
+                         ? 2
+                         : options.certificate.max_degree,
+                     problem.dims()};
+  lp::LpBasis basis;
+  if (options_.share_lp_basis) {
+    std::lock_guard<std::mutex> lock(basis_mutex_);
+    const auto it = warm_bases_.find(key);
+    if (it != warm_bases_.end()) basis = it->second;
+    hooks.warm_basis_io = &basis;
+  }
+
+  VerifyResult result;
+  if (options.certificate.kind == TemplateSpec::Kind::kQuadratic) {
+    BarrierPipeline<QuadraticForm> pipeline(problem, std::move(verify),
+                                            options.certificate);
+    result = pipeline.run(std::move(hooks));
+  } else {
+    BarrierPipeline<PolynomialForm> pipeline(problem, std::move(verify),
+                                             options.certificate);
+    result = pipeline.run(std::move(hooks));
+  }
+
+  if (options_.share_lp_basis) {
+    std::lock_guard<std::mutex> lock(basis_mutex_);
+    warm_bases_[key] = std::move(basis);
+  }
+  return result;
+}
+
+VerifyResult Engine::verify(const BarrierProblem& problem,
+                            const JobOptions& options) {
+  ++jobs_submitted_;
+  return run_job(problem, options, nullptr, clock::now());
+}
+
+JobHandle Engine::submit(BarrierProblem problem, JobOptions options) {
+  ++jobs_submitted_;
+  auto state = std::make_shared<JobState>();
+  const clock::time_point submitted = clock::now();
+  // The task holds the state shared_ptr: a dropped handle cannot leave
+  // the running job with a dangling cancellation token.
+  state->future =
+      pool_
+          .submit([this, state, submitted, problem = std::move(problem),
+                   options = std::move(options)]() mutable {
+            return run_job(problem, options, state.get(), submitted);
+          })
+          .share();
+  return JobHandle(std::move(state));
+}
+
+CampaignResult Engine::run_campaign(std::span<const Scenario> scenarios,
+                                    const JobOptions& defaults) {
+  CampaignResult out;
+  out.scenarios.reserve(scenarios.size());
+  const clock::time_point t0 = clock::now();
+
+  // Submit everything up front: scenarios pipeline through the pool
+  // workers while this thread collects results in order.
+  std::vector<JobHandle> handles;
+  handles.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) {
+    handles.push_back(submit(s.problem, defaults));
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    ScenarioOutcome outcome;
+    outcome.name = scenarios[i].name;
+    outcome.result = handles[i].get();
+    out.aggregate.accumulate(outcome.result.timings);
+    if (outcome.result.safe()) ++out.safe_count;
+    out.scenarios.push_back(std::move(outcome));
+  }
+  out.wall_time_s =
+      std::chrono::duration<double>(clock::now() - t0).count();
+  return out;
+}
+
+CampaignResult Engine::run_campaign(std::span<const BarrierProblem> problems,
+                                    const JobOptions& defaults) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(problems.size());
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    scenarios.push_back({"scenario-" + std::to_string(i), problems[i]});
+  }
+  return run_campaign(std::span<const Scenario>(scenarios), defaults);
+}
+
+FalsificationResult Engine::falsify(const BarrierProblem& problem,
+                                    FalsifierOptions options) {
+  if (options.pool == nullptr) options.pool = &pool_;
+  Falsifier falsifier(problem, options);
+  return falsifier.search();
+}
+
+std::string CampaignResult::to_json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\n  \"scenarios\": [";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+       << json_escape(scenarios[i].name) << "\", \"result\": ";
+    write_result_json(os, scenarios[i].result);
+    os << '}';
+  }
+  os << "\n  ],\n";
+  os << "  \"safe_count\": " << safe_count << ",\n";
+  os << "  \"wall_time_s\": " << wall_time_s << ",\n";
+  os << "  \"scenarios_per_sec\": " << scenarios_per_sec() << ",\n";
+  os << "  \"aggregate\": {\n";
+  os << "    \"candidate_iterations\": " << aggregate.candidate_iterations
+     << ",\n";
+  os << "    \"lp_solves\": " << aggregate.lp_solves << ",\n";
+  os << "    \"lp_time_s\": " << aggregate.lp_time_s << ",\n";
+  os << "    \"smt5_queries\": " << aggregate.smt5_queries << ",\n";
+  os << "    \"smt5_time_s\": " << aggregate.smt5_time_s << ",\n";
+  os << "    \"simulation_time_s\": " << aggregate.simulation_time_s
+     << ",\n";
+  os << "    \"generator_time_s\": " << aggregate.generator_time_s << ",\n";
+  os << "    \"level_set_time_s\": " << aggregate.level_set_time_s << ",\n";
+  os << "    \"total_time_s\": " << aggregate.total_time_s << "\n";
+  os << "  }\n}\n";
+  return os.str();
+}
+
+}  // namespace bcert::core

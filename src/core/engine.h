@@ -1,0 +1,243 @@
+#pragma once
+/// \file engine.h
+/// \brief The unified verification engine — the library's top-level API.
+///
+/// `bcert::Engine` runs barrier-certificate verification at scale. Where
+/// the deprecated one-shot verifiers rebuilt every cache per call, the
+/// Engine owns the shared infrastructure and amortizes it across *all*
+/// the scenarios it is asked to verify:
+///
+///  * a **thread pool** (`parallel::ThreadPool`) executing submitted
+///    jobs and the parallel ICP frontiers / DNF dispatch inside them;
+///  * a **tape cache** (`smt::TapeCache`): compiled HC4 bytecode reused
+///    whenever scenarios share hash-consed conjunctions;
+///  * an **UNSAT-tree cache** (`smt::UnsatTreeCache`): refutation
+///    partitions replayed across *structurally* identical queries, so
+///    scenario k+1's candidate loop warm-starts from scenario k's
+///    proofs;
+///  * an **LP warm-basis store**: the final simplex basis per template
+///    shape, seeding the next scenario's first candidate LP.
+///
+/// Submission is asynchronous: `submit()` returns a `JobHandle` with
+/// blocking `get()`, cooperative `cancel()` (which interrupts even a
+/// long-running ICP query mid-flight), optional deadlines and progress
+/// callbacks. `run_campaign()` pipelines a batch of scenarios through
+/// the pool and reports per-scenario plus aggregate Table-1 timings.
+///
+/// Lifetime contract: the caches key on `ExprPool` identity — every
+/// `BarrierProblem::pool` passed to this Engine must stay alive until
+/// the Engine is destroyed (or until no further jobs are submitted and
+/// all handles are retired). Destroying the Engine waits for all
+/// submitted jobs to finish (cancel first for a fast exit).
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/falsifier.h"
+#include "src/core/pipeline.h"
+#include "src/core/runtime_config.h"
+#include "src/core/verify_types.h"
+#include "src/lp/simplex.h"
+#include "src/parallel/thread_pool.h"
+#include "src/smt/tape.h"
+#include "src/smt/unsat_tree.h"
+
+namespace bcert::core {
+
+/// Engine construction knobs.
+struct EngineOptions {
+  /// Workers in the Engine-owned pool; 0 = RuntimeConfig / hardware.
+  int threads = 0;
+  /// LRU capacities of the shared caches (entries).
+  std::size_t tape_cache_entries = smt::TapeCache::kMaxEntries;
+  std::size_t unsat_cache_entries = smt::UnsatTreeCache::kMaxEntries;
+  /// Seed each scenario's first candidate LP from the last optimal
+  /// basis of the same template shape (see PipelineHooks::warm_basis_io
+  /// for the contract). Disable to make every job's LP sequence
+  /// independent of submission history.
+  bool share_lp_basis = true;
+};
+
+/// Per-job options: the pipeline tuning plus Engine-level execution
+/// controls.
+struct JobOptions {
+  VerifierOptions verify;
+  TemplateSpec certificate = TemplateSpec::quadratic();
+  /// Wall-clock deadline in seconds from submission; 0 = none. An
+  /// expired deadline stops the pipeline between steps and clamps every
+  /// ICP query's time limit to the remaining budget
+  /// (status kDeadlineExceeded).
+  double deadline_s = 0.0;
+  /// Progress callback; invoked from the executing thread (a pool
+  /// worker for submitted jobs) — must be thread-safe and cheap.
+  std::function<void(const JobProgress&)> on_progress;
+};
+
+/// Shared state of one submitted job (internal).
+struct JobState {
+  parallel::CancellationToken cancel;
+  std::shared_future<VerifyResult> future;
+};
+
+/// Handle to a submitted job. Copyable (shared); `get()` blocks.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the job finished and returns its result. Safe to call
+  /// repeatedly (shared future). Throws std::logic_error on an invalid
+  /// (default-constructed or moved-from) handle, as do the accessors
+  /// below.
+  VerifyResult get() const { return state().future.get(); }
+
+  /// True when the result is ready (non-blocking).
+  bool done() const {
+    return state().future.wait_for(std::chrono::seconds(0)) ==
+           std::future_status::ready;
+  }
+
+  /// Blocks up to \p seconds; true when the result became ready.
+  bool wait_for(double seconds) const {
+    return state().future.wait_for(std::chrono::duration<double>(seconds)) ==
+           std::future_status::ready;
+  }
+
+  /// Requests cooperative cancellation: the pipeline stops at the next
+  /// step boundary and any in-flight ICP query stops admitting boxes.
+  /// The job still completes (promptly) with status kCancelled — call
+  /// get() to observe it.
+  void cancel() const { state().cancel.cancel(); }
+
+ private:
+  JobState& state() const {
+    if (state_ == nullptr) {
+      throw std::logic_error("JobHandle: invalid (empty) handle");
+    }
+    return *state_;
+  }
+
+  friend class Engine;
+  explicit JobHandle(std::shared_ptr<JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<JobState> state_;
+};
+
+/// One named campaign scenario.
+struct Scenario {
+  std::string name;
+  BarrierProblem problem;
+};
+
+/// Per-scenario campaign outcome.
+struct ScenarioOutcome {
+  std::string name;
+  VerifyResult result;
+};
+
+/// Campaign summary: per-scenario results plus the aggregate Table-1
+/// timing columns.
+struct CampaignResult {
+  std::vector<ScenarioOutcome> scenarios;
+  VerifyTimings aggregate;   ///< column-wise sum over scenarios
+  double wall_time_s = 0.0;  ///< end-to-end campaign wall clock
+  int safe_count = 0;
+
+  double scenarios_per_sec() const {
+    return wall_time_s > 0.0
+               ? static_cast<double>(scenarios.size()) / wall_time_s
+               : 0.0;
+  }
+  /// Machine-readable summary (per-scenario verdicts via
+  /// report.h's result JSON plus the aggregate block).
+  std::string to_json() const;
+};
+
+/// The unified verification engine. Thread-safe: submit/verify may be
+/// called concurrently from multiple threads.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  /// Waits for every submitted job to finish (the owned pool drains its
+  /// queue before joining). Cancel outstanding handles first for a fast
+  /// exit.
+  ~Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Blocking single-scenario verification on the calling thread, using
+  /// the shared caches. On a fresh Engine this is bit-identical to the
+  /// deprecated `BarrierVerifier::verify()` / `PolyBarrierVerifier::
+  /// verify()` one-shots (asserted by tests/engine_test.cpp).
+  VerifyResult verify(const BarrierProblem& problem,
+                      const JobOptions& options = {});
+
+  /// Asynchronous submission: the job runs on the Engine's pool.
+  JobHandle submit(BarrierProblem problem, JobOptions options = {});
+
+  /// Verifies every scenario, pipelined through the pool, and returns
+  /// per-scenario plus aggregate results. \p defaults applies to every
+  /// scenario.
+  CampaignResult run_campaign(std::span<const Scenario> scenarios,
+                              const JobOptions& defaults = {});
+  /// Convenience overload for unnamed problems (named scenario-0..N-1).
+  CampaignResult run_campaign(std::span<const BarrierProblem> problems,
+                              const JobOptions& defaults = {});
+
+  /// Testing-side complement: optimization-based falsification of a
+  /// scenario, with simulation batches and CMA-ES evaluations running
+  /// on the Engine's pool. Blocking; see core::Falsifier.
+  FalsificationResult falsify(const BarrierProblem& problem,
+                              FalsifierOptions options = {});
+
+  parallel::ThreadPool& pool() { return pool_; }
+  const smt::TapeCache& tape_cache() const { return *tape_cache_; }
+  const smt::UnsatTreeCache& unsat_cache() const { return *unsat_cache_; }
+
+  std::size_t jobs_submitted() const { return jobs_submitted_.load(); }
+
+ private:
+  /// Executes one job on the current thread with the shared
+  /// infrastructure wired into the pipeline hooks.
+  VerifyResult run_job(const BarrierProblem& problem,
+                       const JobOptions& options, JobState* state,
+                       std::chrono::steady_clock::time_point submitted);
+
+  /// Key of the LP warm-basis store: template kind + degree + problem
+  /// dimension (bases only transfer between identically-shaped LPs).
+  using BasisKey = std::tuple<int, int, std::size_t>;
+
+  EngineOptions options_;
+  std::shared_ptr<smt::TapeCache> tape_cache_;
+  std::shared_ptr<smt::UnsatTreeCache> unsat_cache_;
+  std::mutex basis_mutex_;
+  std::map<BasisKey, lp::LpBasis> warm_bases_;
+  std::atomic<std::size_t> jobs_submitted_{0};
+  /// Declared LAST on purpose: the pool's destructor drains queued jobs
+  /// and joins its workers, and those jobs touch every member above —
+  /// so the pool must be destroyed (and the jobs finished) first.
+  parallel::ThreadPool pool_;
+};
+
+}  // namespace bcert::core
+
+namespace bcert {
+// The Engine is the library's top-level entry point; surface it (and
+// the types its signatures need) at namespace scope.
+using core::Engine;
+using core::EngineOptions;
+using core::JobHandle;
+using core::JobOptions;
+using core::Scenario;
+using core::TemplateSpec;
+}  // namespace bcert

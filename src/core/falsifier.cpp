@@ -64,7 +64,9 @@ FalsificationResult Falsifier::search() {
   const std::size_t n = x0_set.dims();
   simulations_.store(0, std::memory_order_relaxed);
   const int threads = parallel::resolve_thread_count(options_.threads);
-  parallel::ThreadPool& pool = parallel::ThreadPool::global();
+  parallel::ThreadPool& pool = options_.pool != nullptr
+                                   ? *options_.pool
+                                   : parallel::ThreadPool::global();
 
   FalsificationResult best;
   best.robustness = std::numeric_limits<double>::infinity();
@@ -129,6 +131,7 @@ FalsificationResult Falsifier::search() {
     copts.lambda = options_.cmaes_population;
     copts.seed = options_.seed + 1;
     copts.eval_threads = threads;  // objective above is thread-safe
+    copts.pool = options_.pool;    // Engine pool when driven by one
     // Step size proportional to the set extent.
     double extent = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

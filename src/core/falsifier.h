@@ -20,7 +20,7 @@
 #include <atomic>
 
 #include "src/cmaes/cmaes.h"
-#include "src/core/verifier.h"
+#include "src/core/verify_types.h"
 #include "src/ode/integrator.h"
 #include "src/ode/trace.h"
 
@@ -39,6 +39,10 @@ struct FalsifierOptions {
   /// results are selected in index order, so the outcome is byte-
   /// identical for a fixed seed at any thread count.
   int threads = 0;
+  /// Pool the simulation batches (and CMA-ES evaluations) run on;
+  /// null = the process-global pool. Engine::falsify threads its owned
+  /// pool through here.
+  parallel::ThreadPool* pool = nullptr;
 };
 
 /// Outcome of a falsification attempt.

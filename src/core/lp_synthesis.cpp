@@ -1,20 +1,17 @@
 #include "src/core/lp_synthesis.h"
 
 #include <algorithm>
-#include <cstdlib>
-#include <cstring>
+
+#include "src/core/runtime_config.h"
 
 namespace bcert::core {
 
 bool lp_warm_start_enabled(const SynthesisOptions& opts) {
-  static const int env_state = [] {
-    const char* v = std::getenv("BCERT_LP_WARM");
-    if (v == nullptr) return -1;  // unset: defer to the options flag
-    const bool off = std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-                     std::strcmp(v, "false") == 0;
-    return off ? 0 : 1;
-  }();
-  if (env_state >= 0) return env_state == 1;
+  switch (RuntimeConfig::active().lp_warm) {
+    case ConfigToggle::kOn: return true;
+    case ConfigToggle::kOff: return false;
+    case ConfigToggle::kAuto: break;  // BCERT_LP_WARM unset
+  }
   return opts.warm_start;
 }
 

@@ -83,10 +83,10 @@ struct SynthesisOptions {
   bool warm_start = true;
 };
 
-/// Effective warm-start switch: BCERT_LP_WARM when set, else
-/// \p opts.warm_start. The environment is consulted once per process
-/// (first call) and cached — changing BCERT_LP_WARM afterwards has no
-/// effect; in-process toggling goes through \p opts.warm_start.
+/// Effective warm-start switch: RuntimeConfig::active().lp_warm when it
+/// is not kAuto (the typed home of BCERT_LP_WARM, parsed once at
+/// startup), else \p opts.warm_start. In-process toggling goes through
+/// \p opts.warm_start or RuntimeConfig::set_active().
 bool lp_warm_start_enabled(const SynthesisOptions& opts);
 
 /// Solves the margin-maximization LP over all \p samples for a pure

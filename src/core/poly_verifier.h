@@ -1,9 +1,11 @@
 #pragma once
 /// \file poly_verifier.h
-/// \brief Barrier-certificate verification with general polynomial
-/// templates (the paper's "Sum-of-Squares polynomials" remark, §3).
+/// \brief Deprecated polynomial-template facade over the unified
+/// verification pipeline (the paper's "Sum-of-Squares polynomials"
+/// remark, §3).
 ///
-/// Differences from the quadratic BarrierVerifier:
+/// Differences from the quadratic template (both now implemented once,
+/// in `BarrierPipeline<Form>` / `CertificateTraits`, pipeline.h):
 ///
 ///  * The level set {W ≤ ℓ} of a higher-degree W is not an ellipsoid, so
 ///    there is no closed-form ℓ window. Both ends come from the certified
@@ -19,84 +21,81 @@
 ///    U is unreachable. This is the same argument the paper makes with
 ///    L ∩ U = ∅, specialized to U = complement(safe_rect).
 ///
-/// The CEX refinement loop, the γ-slack decrease query and the timing
-/// instrumentation are identical to the quadratic pipeline.
+/// \deprecated `PolyBarrierVerifier` survives as a thin shim so existing
+/// call sites keep compiling; new code should use `core::Engine` with
+/// `TemplateSpec::polynomial(...)`. The former `PolyVerifyResult` — a
+/// field-for-field copy of `VerifyResult` — is gone; both templates now
+/// produce the one `VerifyResult` (the polynomial generator lives in
+/// `VerifyResult::poly_generator`).
 
 #include <optional>
 
-#include "src/core/lp_synthesis.h"
-#include "src/core/polynomial_form.h"
-#include "src/core/verifier.h"
-#include "src/smt/optimizer.h"
+#include "src/core/pipeline.h"
+#include "src/core/verify_types.h"
 
 namespace bcert::core {
 
-/// Options: the quadratic verifier's plus template degree and optimizer
-/// settings.
+/// Options: the shared verifier options plus template degree and
+/// optimizer settings (mapped onto TemplateSpec::polynomial).
 struct PolyVerifierOptions {
   VerifierOptions base;
   int max_degree = 4;            ///< monomials of total degree 2..max
   smt::OptimizeConfig optimize;  ///< level-window bound computation
 };
 
-/// Result mirrors VerifyResult with a PolynomialForm generator.
-struct PolyVerifyResult {
-  VerifyStatus status = VerifyStatus::kMaxCandidateIterations;
-  std::optional<PolynomialForm> generator;
-  double level = 0.0;
-  double lp_margin = 0.0;
-  VerifyTimings timings;
-  std::vector<linalg::Vector> counterexamples;
-
-  bool safe() const { return status == VerifyStatus::kSafe; }
-};
+/// \deprecated Both templates report through the unified VerifyResult;
+/// polynomial candidates are in `poly_generator`.
+using PolyVerifyResult = VerifyResult;
 
 /// Verifier for polynomial templates of degree 2..max_degree.
+///
+/// \deprecated Thin shim over `BarrierPipeline<PolynomialForm>`; prefer
+/// `core::Engine` with `TemplateSpec::polynomial(...)`.
 class PolyBarrierVerifier {
  public:
-  PolyBarrierVerifier(BarrierProblem problem, PolyVerifierOptions options);
+  PolyBarrierVerifier(BarrierProblem problem, PolyVerifierOptions options)
+      : pipeline_(std::move(problem), std::move(options.base),
+                  TemplateSpec::polynomial(options.max_degree,
+                                           options.optimize)) {}
 
-  /// Runs the full pipeline.
-  PolyVerifyResult verify();
+  /// Runs the full pipeline. \deprecated Use Engine::verify.
+  VerifyResult verify() { return pipeline_.run(); }
 
-  // --- exposed sub-steps -------------------------------------------------
+  // --- exposed sub-steps (delegating to the pipeline) ---------------------
 
   /// SMT condition (5) for a polynomial candidate.
   smt::IcpResult check_decrease(const PolynomialForm& w,
-                                double delta = 0.0) const;
-
+                                double delta = 0.0) const {
+    return pipeline_.check_decrease(w, delta);
+  }
   /// SMT condition (6): ∃x ∈ X0 : W(x) > ℓ.
   smt::IcpResult check_initial_contained(const PolynomialForm& w,
-                                         double level) const;
-
+                                         double level) const {
+    return pipeline_.check_initial_contained(w, level);
+  }
   /// SMT condition (7′): ∃x on some *unsafe-dimension* face of the safe
   /// rectangle with W(x) ≤ ℓ. Faces of domain-only dimensions are
-  /// covered by the flow-invariance check instead (BarrierProblem::
-  /// unsafe_dims), mirroring the quadratic verifier.
+  /// covered by the flow-invariance check instead.
   smt::IcpResult check_boundary_excluded(const PolynomialForm& w,
-                                         double level) const;
-
-  /// Flow-invariance of domain-only faces (see BarrierVerifier).
-  smt::IcpResult check_domain_invariance() const;
-
+                                         double level) const {
+    return pipeline_.check_level_exclusion(w, level);
+  }
+  /// Flow-invariance of domain-only faces.
+  smt::IcpResult check_domain_invariance() const {
+    return pipeline_.check_domain_invariance();
+  }
   /// Certified ℓ window from the global optimizer; nullopt when the
   /// bounds do not separate.
   std::optional<std::pair<double, double>> level_window(
-      const PolynomialForm& w) const;
+      const PolynomialForm& w) const {
+    return pipeline_.level_window(w);
+  }
 
-  const BarrierProblem& problem() const { return problem_; }
-  const MonomialBasis& basis() const { return basis_; }
+  const BarrierProblem& problem() const { return pipeline_.problem(); }
+  const MonomialBasis& basis() const { return pipeline_.context().basis; }
 
  private:
-  double numeric_lie(const PolynomialForm& w, const linalg::Vector& x) const;
-
-  /// Faces of the safe rectangle as degenerate boxes; when
-  /// \p unsafe_only, restricted to unsafe dimensions.
-  std::vector<interval::Box> safe_faces(bool unsafe_only) const;
-
-  BarrierProblem problem_;
-  PolyVerifierOptions options_;
-  MonomialBasis basis_;
+  BarrierPipeline<PolynomialForm> pipeline_;
 };
 
 }  // namespace bcert::core

@@ -57,10 +57,16 @@ void write_text_report(std::ostream& os, const VerifyResult& result,
   os << "safe lo " << problem.safe_rect.lo << " hi " << problem.safe_rect.hi
      << "  (U = complement)\n\n";
 
-  if (result.generator) {
+  if (result.has_generator()) {
     os << "-- certificate --\n";
-    os << "W coefficients (basis x_i x_j, i<=j): "
-       << result.generator->coeffs() << '\n';
+    if (result.generator) {
+      os << "W coefficients (basis x_i x_j, i<=j): "
+         << result.generator->coeffs() << '\n';
+    } else {
+      os << "W coefficients (monomial basis, "
+         << result.poly_generator->basis().size()
+         << " terms): " << result.poly_generator->coeffs() << '\n';
+    }
     if (result.safe()) {
       os << "level l = " << result.level << '\n';
       os << "B(x) = W(x) - l satisfies conditions (1)-(3) of the strict\n";
@@ -108,9 +114,11 @@ void write_json_report(std::ostream& os, const VerifyResult& result,
   os << ",\n  \"safe_rect\": ";
   write_rect_json(os, problem.safe_rect);
   os << ",\n";
-  if (result.generator) {
+  os << "  \"template\": \"" << template_kind_name(result.template_kind)
+     << "\",\n";
+  if (result.has_generator()) {
     os << "  \"generator_coeffs\": ";
-    write_vector_json(os, result.generator->coeffs());
+    write_vector_json(os, result.generator_coeffs());
     os << ",\n";
   }
   os << "  \"level\": " << result.level << ",\n";
@@ -140,6 +148,33 @@ std::string json_report(const VerifyResult& result,
                         const ReportContext& context) {
   std::ostringstream os;
   write_json_report(os, result, problem, context);
+  return os.str();
+}
+
+void write_result_json(std::ostream& os, const VerifyResult& result) {
+  os.precision(17);
+  os << "{\"verdict\": \"" << verify_status_name(result.status) << "\", ";
+  os << "\"safe\": " << (result.safe() ? "true" : "false") << ", ";
+  os << "\"template\": \"" << template_kind_name(result.template_kind)
+     << "\", ";
+  if (result.has_generator()) {
+    os << "\"generator_coeffs\": ";
+    write_vector_json(os, result.generator_coeffs());
+    os << ", ";
+  }
+  os << "\"level\": " << result.level << ", ";
+  os << "\"lp_margin\": " << result.lp_margin << ", ";
+  os << "\"counterexamples\": " << result.counterexamples.size() << ", ";
+  const VerifyTimings& t = result.timings;
+  os << "\"candidate_iterations\": " << t.candidate_iterations << ", ";
+  os << "\"lp_time_s\": " << t.lp_time_s << ", ";
+  os << "\"smt5_time_s\": " << t.smt5_time_s << ", ";
+  os << "\"total_time_s\": " << t.total_time_s << "}";
+}
+
+std::string result_json(const VerifyResult& result) {
+  std::ostringstream os;
+  write_result_json(os, result);
   return os.str();
 }
 

@@ -12,7 +12,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "src/core/verifier.h"
+#include "src/core/verify_types.h"
 
 namespace bcert::core {
 
@@ -38,5 +38,15 @@ void write_json_report(std::ostream& os, const VerifyResult& result,
 std::string json_report(const VerifyResult& result,
                         const BarrierProblem& problem,
                         const ReportContext& context = {});
+
+/// JSON object for one VerifyResult alone (no problem regions, no
+/// report context) — the building block of Engine campaign summaries
+/// (CampaignResult::to_json). Covers both templates: whichever of
+/// generator / poly_generator is set is rendered, with the template
+/// kind recorded alongside.
+void write_result_json(std::ostream& os, const VerifyResult& result);
+
+/// Convenience: result JSON to string.
+std::string result_json(const VerifyResult& result);
 
 }  // namespace bcert::core

@@ -1,0 +1,161 @@
+#include "src/core/runtime_config.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern "C" char** environ;
+
+namespace bcert::core {
+
+namespace {
+
+/// The single warning channel: collected when the caller provided a
+/// sink, otherwise printed to stderr with a uniform prefix.
+struct WarningSink {
+  std::vector<std::string>* out;
+
+  void warn(std::string message) const {
+    if (out != nullptr) {
+      out->push_back(std::move(message));
+    } else {
+      std::fprintf(stderr, "bcert: config: %s\n", message.c_str());
+    }
+  }
+};
+
+/// Strict positive-integer parse: the whole token must be a decimal
+/// integer in (0, max]. Returns false (and leaves \p value untouched)
+/// on empty input, trailing junk, overflow or a non-positive value.
+bool parse_positive_int(const char* text, int max, int& value) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (v <= 0 || v > static_cast<long>(max)) return false;
+  value = static_cast<int>(v);
+  return true;
+}
+
+/// Boolean-knob tokens. Anything else is malformed (the legacy contract
+/// "anything else enables" survives as the fallback, but now warns).
+bool parse_toggle(const char* text, ConfigToggle& value) {
+  const bool off = std::strcmp(text, "0") == 0 ||
+                   std::strcmp(text, "off") == 0 ||
+                   std::strcmp(text, "false") == 0;
+  const bool on = std::strcmp(text, "1") == 0 ||
+                  std::strcmp(text, "on") == 0 ||
+                  std::strcmp(text, "true") == 0;
+  if (!off && !on) return false;
+  value = off ? ConfigToggle::kOff : ConfigToggle::kOn;
+  return true;
+}
+
+/// `BCERT_*` variables this library (src/) and its benches understand.
+/// from_env() parses the first six; the rest are read by the bench
+/// executables through bench::env_int and listed here only so a bench
+/// run does not trip the unknown-variable warning.
+constexpr const char* kKnownVars[] = {
+    "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM", "BCERT_LP_WARM",
+    "BCERT_HC4_MODE", "BCERT_ICP_SIMD",
+    // bench-only size knobs (see the README table)
+    "BCERT_ICP_BOXES", "BCERT_ICP_WARM_ITERS", "BCERT_HC4_CONTRACTS",
+    "BCERT_LP_ROWS", "BCERT_LP_ITERS", "BCERT_ROLLOUTS",
+    "BCERT_CAMPAIGN_SCENARIOS", "BCERT_SIZES", "BCERT_SEEDS", "BCERT_TRAIN",
+    "BCERT_FIG4_ITERS", "BCERT_FIG4_POP", "BCERT_FIG5_TRAIN",
+    "BCERT_TEMPLATE_DEG6"};
+
+void warn_unknown_vars(const WarningSink& sink) {
+  if (environ == nullptr) return;
+  for (char** e = environ; *e != nullptr; ++e) {
+    const char* entry = *e;
+    if (std::strncmp(entry, "BCERT_", 6) != 0) continue;
+    const char* eq = std::strchr(entry, '=');
+    const std::string name(entry, eq != nullptr
+                                      ? static_cast<std::size_t>(eq - entry)
+                                      : std::strlen(entry));
+    bool known = false;
+    for (const char* k : kKnownVars) known = known || name == k;
+    if (!known) {
+      sink.warn("unknown environment variable " + name + " (ignored)");
+    }
+  }
+}
+
+RuntimeConfig& active_instance() {
+  // First use parses the environment; warnings go straight to stderr.
+  static RuntimeConfig config = RuntimeConfig::from_env();
+  return config;
+}
+
+}  // namespace
+
+RuntimeConfig RuntimeConfig::from_env(std::vector<std::string>* warnings) {
+  const WarningSink sink{warnings};
+  RuntimeConfig config;
+
+  if (const char* v = std::getenv("BCERT_THREADS")) {
+    if (!parse_positive_int(v, 1 << 20, config.threads)) {
+      sink.warn(std::string("BCERT_THREADS=\"") + v +
+                "\" is not a positive integer; using hardware concurrency");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_ICP_BATCH")) {
+    if (!parse_positive_int(v, 1 << 20, config.icp_batch)) {
+      sink.warn(std::string("BCERT_ICP_BATCH=\"") + v +
+                "\" is not a positive integer; using the default batch");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_ICP_WARM")) {
+    if (!parse_toggle(v, config.icp_warm)) {
+      config.icp_warm = ConfigToggle::kOn;  // legacy: anything else enables
+      sink.warn(std::string("BCERT_ICP_WARM=\"") + v +
+                "\" (expected 0/off/false or 1/on/true); treating as on");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_LP_WARM")) {
+    if (!parse_toggle(v, config.lp_warm)) {
+      config.lp_warm = ConfigToggle::kOn;
+      sink.warn(std::string("BCERT_LP_WARM=\"") + v +
+                "\" (expected 0/off/false or 1/on/true); treating as on");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_HC4_MODE")) {
+    if (std::strcmp(v, "tape") == 0) {
+      config.hc4_mode = ConfigHc4Mode::kTape;
+    } else if (std::strcmp(v, "tree") == 0) {
+      config.hc4_mode = ConfigHc4Mode::kTree;
+    } else {
+      // A typo silently falling back would defeat the point of the flag
+      // (e.g. comparing "tape vs tape" while debugging a divergence).
+      sink.warn(std::string("unrecognized BCERT_HC4_MODE=\"") + v +
+                "\" (expected \"tape\" or \"tree\"); using tape");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_ICP_SIMD")) {
+    if (std::strcmp(v, "avx2") == 0) {
+      config.icp_simd = ConfigSimd::kAvx2;
+    } else if (std::strcmp(v, "sse2") == 0) {
+      config.icp_simd = ConfigSimd::kSse2;
+    } else if (std::strcmp(v, "scalar") == 0) {
+      config.icp_simd = ConfigSimd::kScalar;
+    } else {
+      sink.warn(std::string("unrecognized BCERT_ICP_SIMD=\"") + v +
+                "\" (expected \"avx2\", \"sse2\" or \"scalar\"); using the "
+                "best available tier");
+    }
+  }
+
+  warn_unknown_vars(sink);
+  return config;
+}
+
+const RuntimeConfig& RuntimeConfig::active() { return active_instance(); }
+
+void RuntimeConfig::set_active(const RuntimeConfig& config) {
+  active_instance() = config;
+}
+
+}  // namespace bcert::core

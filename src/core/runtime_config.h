@@ -1,0 +1,99 @@
+#pragma once
+/// \file runtime_config.h
+/// \brief Typed, process-wide runtime configuration — the single home of
+/// every `BCERT_*` environment knob that tunes the library's runtime
+/// behavior.
+///
+/// Before this existed, six call sites (`thread_pool.cpp`,
+/// `icp_solver.cpp` ×2, `hc4.cpp`, `tape_batch.cpp`, `lp_synthesis.cpp`)
+/// each re-implemented `getenv` + ad-hoc parsing; a malformed value such
+/// as `BCERT_ICP_BATCH=abc` was silently ignored (or worse, fed through
+/// `atoi`). Now:
+///
+///  * `RuntimeConfig::from_env()` parses the environment **once**, with
+///    strict validation — trailing junk, overflow, out-of-range and
+///    unrecognized enum tokens all produce a warning on a single channel
+///    (stderr, `bcert: config:` prefix) and fall back to the documented
+///    default. Unknown `BCERT_*` variables (typos like
+///    `BCERT_ICP_BACTH`) are reported too.
+///  * `RuntimeConfig::active()` is the lazily-initialized process-wide
+///    instance every resolver consults
+///    (`parallel::default_thread_count`, `smt::resolve_icp_batch`,
+///    `smt::icp_warm_enabled`, `smt::resolve_hc4_mode`,
+///    `smt::resolve_simd_tier`, `core::lp_warm_start_enabled`).
+///  * Every field is overridable programmatically via
+///    `RuntimeConfig::set_active()` — embedding applications configure
+///    the library through this struct instead of mutating their own
+///    environment.
+///
+/// This header is dependency-free (it sits *below* `parallel`, `smt`
+/// and `lp` in the link order) so every layer can consult it.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcert::core {
+
+/// Tri-state override for boolean knobs whose in-code default lives in
+/// an options struct (`IcpConfig::warm_start`,
+/// `SynthesisOptions::warm_start`): `kAuto` defers to that struct.
+enum class ConfigToggle : std::uint8_t { kAuto, kOn, kOff };
+
+/// HC4 contractor backend selection (`BCERT_HC4_MODE`). Mirrors
+/// `smt::Hc4Mode` without depending on the smt layer.
+enum class ConfigHc4Mode : std::uint8_t { kTape, kTree };
+
+/// SIMD tier request for the batched tape sweeps (`BCERT_ICP_SIMD`).
+/// `kAuto` picks the best tier available on this build/CPU; an explicit
+/// request that is unavailable falls back with a warning (in smt).
+enum class ConfigSimd : std::uint8_t { kAuto, kAvx2, kSse2, kScalar };
+
+/// The typed runtime configuration. Field defaults are the library
+/// defaults; `from_env()` overlays the `BCERT_*` environment on top.
+struct RuntimeConfig {
+  /// Worker count of the global/default thread pools and every
+  /// `threads = 0` auto knob. 0 = hardware concurrency.
+  /// Env: `BCERT_THREADS` (positive integer).
+  int threads = 0;
+
+  /// ICP frontier batch width; 0 = library default (8), 1 = scalar
+  /// frontier. Env: `BCERT_ICP_BATCH` (positive integer; clamped to
+  /// 1024 by the solver).
+  int icp_batch = 0;
+
+  /// UNSAT-tree ICP warm-starting override. Env: `BCERT_ICP_WARM`
+  /// (`0`/`off`/`false` → kOff, `1`/`on`/`true` → kOn).
+  ConfigToggle icp_warm = ConfigToggle::kAuto;
+
+  /// LP basis warm-starting override. Env: `BCERT_LP_WARM` (same
+  /// tokens as `BCERT_ICP_WARM`).
+  ConfigToggle lp_warm = ConfigToggle::kAuto;
+
+  /// HC4 backend for `Hc4Mode::kAuto` contractors. Env:
+  /// `BCERT_HC4_MODE` (`tape` or `tree`).
+  ConfigHc4Mode hc4_mode = ConfigHc4Mode::kTape;
+
+  /// SIMD tier of the batched tape sweeps. Env: `BCERT_ICP_SIMD`
+  /// (`avx2`, `sse2` or `scalar`).
+  ConfigSimd icp_simd = ConfigSimd::kAuto;
+
+  /// Parses the `BCERT_*` environment with strict validation. Malformed
+  /// or unknown variables produce one diagnostic each: appended to
+  /// \p warnings when given, otherwise written to stderr through the
+  /// single warning channel. Reads the environment at every call (the
+  /// caching layer is `active()`).
+  static RuntimeConfig from_env(std::vector<std::string>* warnings = nullptr);
+
+  /// The process-wide configuration. First call parses the environment
+  /// (emitting any warnings to stderr); later calls return the cached
+  /// instance, as replaced by `set_active()`.
+  static const RuntimeConfig& active();
+
+  /// Replaces the process-wide configuration. Call before spinning up
+  /// concurrent work — the swap itself is not synchronized against
+  /// concurrent `active()` readers on other threads.
+  static void set_active(const RuntimeConfig& config);
+};
+
+}  // namespace bcert::core

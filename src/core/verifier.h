@@ -1,223 +1,90 @@
 #pragma once
 /// \file verifier.h
-/// \brief End-to-end barrier-certificate safety verification — the
-/// procedure of Figure 1 in the paper.
+/// \brief Deprecated quadratic-template facade over the unified
+/// verification pipeline.
 ///
-/// Pipeline (all steps instrumented with the Table-1 timing columns):
-///   1. Seed: simulate the closed loop from random initial states in the
-///      domain; collect (x, f(x)) samples.
-///   2. Solve the margin-maximization LP for a quadratic candidate W.
-///   3. SMT check (5): ∃x ∈ D \ X0 with ∇W·f(x) ≥ −γ ?
-///      SAT → simulate from the witness, add samples, goto 2.
-///      UNSAT → W is a valid generator function.
-///   4. Level set: pick ℓ with X0 ⊂ {W ≤ ℓ} and {W ≤ ℓ} ∩ U = ∅ using
-///      the analytic ellipsoid window + binary search; each candidate ℓ
-///      confirmed by SMT checks (6) and (7).
-///   5. UNSAT on (5), (6), (7) ⇒ B(x) = W(x) − ℓ is a strict barrier
-///      certificate: the system is safe.
+/// \deprecated `BarrierVerifier` survives as a thin shim over
+/// `BarrierPipeline<QuadraticForm>` (pipeline.h) so existing call sites
+/// keep compiling. New code should use `core::Engine` (engine.h) — it
+/// shares the tape/UNSAT-tree caches, the LP warm-basis store and the
+/// thread pool across scenarios, and adds async submission,
+/// cancellation and deadlines. The shim's `verify()` is bit-identical
+/// to the Engine's single-job path on a fresh Engine (asserted by
+/// tests/engine_test.cpp).
+///
+/// The problem/options/result vocabulary lives in verify_types.h; this
+/// header re-exports it for source compatibility.
 
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "src/core/lp_synthesis.h"
-#include "src/core/quadratic_form.h"
-#include "src/core/region.h"
-#include "src/expr/expr.h"
-#include "src/ode/integrator.h"
-#include "src/smt/icp_solver.h"
+#include "src/core/pipeline.h"
+#include "src/core/verify_types.h"
 
 namespace bcert::core {
 
-/// The verification problem: a closed-loop system given both numerically
-/// (for simulation) and symbolically (for the SMT queries), with the
-/// paper's region structure X0 / U = complement(safe_rect) /
-/// D = safe_rect \ X0.
-struct BarrierProblem {
-  ode::VectorField sim_field;            ///< numeric ẋ = f(x)
-  std::vector<expr::ExprId> sym_field;   ///< symbolic f, in `pool`
-  expr::ExprPool* pool = nullptr;        ///< shared expression pool
-  Rect initial_set;                      ///< X0
-  Rect safe_rect;                        ///< U is its complement
-
-  /// Optional allocation-free simulation field. Each factory invocation
-  /// must return an *independent* field instance (own scratch buffers):
-  /// the falsifier and the verifier call it once per thread/rollout to
-  /// simulate without touching the allocator. When unset, sim_field is
-  /// wrapped (correct, but slower).
-  std::function<ode::VectorFieldInPlace()> sim_field_factory;
-
-  /// The fastest simulation field available: sim_field_factory() when
-  /// set, otherwise a wrapper around sim_field. The returned field owns
-  /// its scratch and must not be shared across threads.
-  ode::VectorFieldInPlace make_fast_field() const;
-
-  /// Which dimensions' bounds constitute the unsafe set. Empty means
-  /// "all" (the paper's case study). For augmented states — e.g. the
-  /// hidden state of a recurrent controller — mark controller dimensions
-  /// false: their safe_rect bounds are then treated as an *invariant
-  /// domain* instead, and the verifier proves the flow points inward on
-  /// those faces (so trajectories provably never leave the region where
-  /// the decrease condition was checked).
-  std::vector<bool> unsafe_dims;
-
-  /// True when dimension \p i participates in the unsafe set.
-  bool dim_unsafe(std::size_t i) const {
-    return unsafe_dims.empty() || unsafe_dims[i];
-  }
-  /// True when some dimension is domain-only (needs invariance proof).
-  bool has_invariant_dims() const;
-
-  std::size_t dims() const { return initial_set.dims(); }
-  void validate() const;
-};
-
-/// Tuning for the whole procedure.
-struct VerifierOptions {
-  double gamma = 1e-6;            ///< slack of condition (5), as the paper
-  int seed_traces = 10;           ///< initial random simulations
-  double trace_duration = 15.0;
-  double trace_dt = 0.01;
-  std::size_t samples_per_trace = 15;
-  /// Positivity-only samples drawn uniformly from the safe rectangle.
-  /// Trajectory samples concentrate near the closed loop's attracting
-  /// manifold; in augmented state spaces (stateful controllers) that
-  /// leaves W unconstrained off-manifold and the LP can return an
-  /// indefinite form. Uniform positivity samples restore W > 0 on the
-  /// whole domain (they add no decrease rows).
-  int positivity_samples = 100;
-  int max_candidate_iterations = 20;  ///< LP ↔ SMT(5) refinement loop
-  int max_level_iterations = 32;      ///< binary search on ℓ
-  double level_margin = 1e-3;         ///< relative shrink of the ℓ window
-  unsigned seed = 1;                  ///< RNG seed for initial states
-  smt::IcpConfig icp;                 ///< δ-SAT solver settings
-  SynthesisOptions synthesis;         ///< LP settings
-
-  /// δ-refinement: a δ-SAT witness of (5) whose *numeric* Lie derivative
-  /// is below −γ is spurious (an artifact of interval slack at the
-  /// current δ). When enabled, the verifier re-runs the query with a
-  /// tighter δ instead of feeding the spurious point back into the LP —
-  /// the same workflow as re-invoking dReal with a smaller δ.
-  bool adaptive_delta = true;
-  double delta_shrink = 0.25;   ///< δ multiplier per refinement
-  double min_delta = 1e-7;      ///< refinement floor
-};
-
-/// Outcome classes. Only kSafe carries a certificate; the others mirror
-/// the "terminates with no conclusion" exits of Figure 1.
-enum class VerifyStatus : std::uint8_t {
-  kSafe,
-  kLpInfeasible,             ///< no candidate with positive margin
-  kMaxCandidateIterations,   ///< CEX loop exhausted
-  kLevelSetFailed,           ///< no ℓ window or binary search exhausted
-  kSolverBudget,             ///< an SMT query returned UNKNOWN
-  kDomainNotInvariant,       ///< flow exits a domain-only face
-};
-
-const char* verify_status_name(VerifyStatus s);
-
-/// Timing columns of Table 1.
-struct VerifyTimings {
-  int candidate_iterations = 0;  ///< "Avg Num Iterations" contributor
-  int lp_solves = 0;
-  int smt5_queries = 0;
-  double lp_time_s = 0.0;        ///< total LP time
-  double smt5_time_s = 0.0;      ///< total SMT-(5) time
-  double simulation_time_s = 0.0;
-  double generator_time_s = 0.0; ///< total of the candidate loop
-  double level_set_time_s = 0.0; ///< ℓ window + SMT (6)/(7)
-  double total_time_s = 0.0;
-
-  double avg_lp_time_s() const {
-    return lp_solves ? lp_time_s / lp_solves : 0.0;
-  }
-  double avg_smt5_time_s() const {
-    return smt5_queries ? smt5_time_s / smt5_queries : 0.0;
-  }
-  /// Table 1 "Time Spent in Other Steps".
-  double other_time_s() const {
-    return total_time_s - generator_time_s - level_set_time_s;
-  }
-};
-
-/// Verification report.
-struct VerifyResult {
-  VerifyStatus status = VerifyStatus::kMaxCandidateIterations;
-  std::optional<QuadraticForm> generator;  ///< final W candidate
-  double level = 0.0;                      ///< ℓ (when kSafe)
-  double lp_margin = 0.0;                  ///< margin of the final LP
-  VerifyTimings timings;
-  std::vector<linalg::Vector> counterexamples;  ///< CEX states from (5)
-
-  bool safe() const { return status == VerifyStatus::kSafe; }
-};
-
-/// Orchestrates the Figure-1 procedure. The sub-steps are public so
-/// tests, benches and ablations can drive them independently.
+/// Quadratic-template verifier — the procedure of Figure 1 in the paper.
+///
+/// \deprecated Thin shim over `BarrierPipeline<QuadraticForm>`; prefer
+/// `core::Engine`. The exposed sub-steps delegate 1:1 to the pipeline.
 class BarrierVerifier {
  public:
-  BarrierVerifier(BarrierProblem problem, VerifierOptions options);
+  BarrierVerifier(BarrierProblem problem, VerifierOptions options)
+      : pipeline_(std::move(problem), std::move(options)) {}
 
-  /// Runs the full pipeline.
-  VerifyResult verify();
+  /// Runs the full pipeline (blocking, one-shot, per-run caches).
+  /// \deprecated Use Engine::verify / Engine::submit.
+  VerifyResult verify() { return pipeline_.run(); }
 
-  // --- exposed sub-steps -------------------------------------------------
+  // --- exposed sub-steps (delegating to the pipeline) ---------------------
 
-  /// Simulates from \p x0 until the horizon or domain exit and returns
-  /// in-domain LP samples.
-  std::vector<FieldSample> simulate_samples(const linalg::Vector& x0) const;
-
-  /// Random initial states across the safe rectangle.
+  std::vector<FieldSample> simulate_samples(const linalg::Vector& x0) const {
+    return pipeline_.simulate_samples(x0);
+  }
   std::vector<linalg::Vector> random_initial_states(int count,
-                                                    unsigned seed) const;
-
-  /// SMT condition (5): ∃x ∈ D\X0 : ∇W·f(x) ≥ −γ. UNSAT ⇒ valid generator.
-  /// \p delta overrides the configured ICP precision when positive.
+                                                    unsigned seed) const {
+    return pipeline_.random_initial_states(count, seed);
+  }
+  /// SMT condition (5): ∃x ∈ D\X0 : ∇W·f(x) ≥ −γ. UNSAT ⇒ valid
+  /// generator.
   smt::IcpResult check_decrease(const QuadraticForm& w,
-                                double delta = 0.0) const;
-
-  /// Numeric ∇W·f(x) at a point (used to classify δ-SAT witnesses).
-  double numeric_lie(const QuadraticForm& w, const linalg::Vector& x) const;
-
+                                double delta = 0.0) const {
+    return pipeline_.check_decrease(w, delta);
+  }
+  double numeric_lie(const QuadraticForm& w, const linalg::Vector& x) const {
+    return pipeline_.numeric_lie(w, x);
+  }
   /// SMT condition (6): ∃x ∈ X0 : W(x) > ℓ. UNSAT ⇒ X0 ⊂ L.
   smt::IcpResult check_initial_contained(const QuadraticForm& w,
-                                         double level) const;
-
+                                         double level) const {
+    return pipeline_.check_initial_contained(w, level);
+  }
   /// SMT condition (7): ∃x : W(x) ≤ ℓ ∧ x ∈ U. UNSAT ⇒ L ∩ U = ∅.
-  /// Only halfspaces of unsafe dimensions participate.
   smt::IcpResult check_unsafe_disjoint(const QuadraticForm& w,
-                                       double level) const;
-
-  /// For every domain-only dimension, proves the vector field points
-  /// inward on both faces of the safe rectangle (∃x on face with outward
-  /// flow must be UNSAT). Returns kSat-style result on the first
-  /// violation; UNSAT result when all faces are invariant.
-  smt::IcpResult check_domain_invariance() const;
-
-  /// Analytic ℓ window [ℓ_min, ℓ_max]; nullopt when none exists.
+                                       double level) const {
+    return pipeline_.check_level_exclusion(w, level);
+  }
+  smt::IcpResult check_domain_invariance() const {
+    return pipeline_.check_domain_invariance();
+  }
   std::optional<std::pair<double, double>> level_window(
-      const QuadraticForm& w) const;
-
-  /// Independent certificate checking: re-proves conditions (5), (6) and
-  /// (7) for a *given* candidate pair (W, ℓ) without any synthesis.
-  /// Returns kSafe only when all three queries are UNSAT — use this to
-  /// audit a stored certificate against the deployed model.
-  VerifyStatus check_certificate(const QuadraticForm& w, double level) const;
-
-  /// Writes the three SMT queries for the pair (W, ℓ) as SMT-LIB2
-  /// benchmarks cross-checkable with dReal (the solver the paper used):
-  /// `<prefix>_decrease.smt2`, `<prefix>_initial.smt2`,
-  /// `<prefix>_unsafe.smt2`. All three must be unsat for B = W − ℓ to be
-  /// a barrier certificate.
+      const QuadraticForm& w) const {
+    return pipeline_.level_window(w);
+  }
+  VerifyStatus check_certificate(const QuadraticForm& w, double level) const {
+    return pipeline_.check_certificate(w, level);
+  }
   void export_queries_smtlib(const QuadraticForm& w, double level,
-                             const std::string& prefix) const;
+                             const std::string& prefix) const {
+    pipeline_.export_queries_smtlib(w, level, prefix);
+  }
 
-  const BarrierProblem& problem() const { return problem_; }
-  const VerifierOptions& options() const { return options_; }
+  const BarrierProblem& problem() const { return pipeline_.problem(); }
+  const VerifierOptions& options() const { return pipeline_.options(); }
 
  private:
-  BarrierProblem problem_;
-  VerifierOptions options_;
+  BarrierPipeline<QuadraticForm> pipeline_;
 };
 
 }  // namespace bcert::core

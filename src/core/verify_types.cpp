@@ -1,0 +1,105 @@
+#include "src/core/verify_types.h"
+
+#include <stdexcept>
+
+namespace bcert::core {
+
+ode::VectorFieldInPlace BarrierProblem::make_fast_field() const {
+  if (sim_field_factory) return sim_field_factory();
+  // Wrapper captures sim_field by value (a shared_ptr-like copy of the
+  // std::function) so the returned field is self-contained.
+  return [f = sim_field](const linalg::Vector& x, linalg::Vector& dx) {
+    dx = f(x);
+  };
+}
+
+bool BarrierProblem::has_invariant_dims() const {
+  for (std::size_t i = 0; i < dims(); ++i) {
+    if (!dim_unsafe(i)) return true;
+  }
+  return false;
+}
+
+void BarrierProblem::validate() const {
+  if (pool == nullptr) {
+    throw std::invalid_argument("BarrierProblem: pool is required");
+  }
+  if (!sim_field) {
+    throw std::invalid_argument("BarrierProblem: sim_field is required");
+  }
+  initial_set.validate();
+  safe_rect.validate();
+  const std::size_t n = initial_set.dims();
+  if (safe_rect.dims() != n || sym_field.size() != n) {
+    throw std::invalid_argument("BarrierProblem: dimension mismatch");
+  }
+  if (!unsafe_dims.empty()) {
+    if (unsafe_dims.size() != n) {
+      throw std::invalid_argument("BarrierProblem: unsafe_dims size");
+    }
+    bool any = false;
+    for (bool b : unsafe_dims) any = any || b;
+    if (!any) {
+      throw std::invalid_argument(
+          "BarrierProblem: at least one dimension must be unsafe");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (initial_set.lo[i] < safe_rect.lo[i] ||
+        initial_set.hi[i] > safe_rect.hi[i]) {
+      throw std::invalid_argument(
+          "BarrierProblem: X0 must lie inside the safe rectangle");
+    }
+  }
+}
+
+const char* template_kind_name(TemplateSpec::Kind k) {
+  switch (k) {
+    case TemplateSpec::Kind::kQuadratic: return "quadratic";
+    case TemplateSpec::Kind::kPolynomial: return "polynomial";
+  }
+  return "?";
+}
+
+const char* verify_status_name(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kSafe: return "SAFE";
+    case VerifyStatus::kLpInfeasible: return "no-conclusion(LP-infeasible)";
+    case VerifyStatus::kMaxCandidateIterations:
+      return "no-conclusion(max-candidate-iterations)";
+    case VerifyStatus::kLevelSetFailed: return "no-conclusion(level-set)";
+    case VerifyStatus::kSolverBudget: return "no-conclusion(solver-budget)";
+    case VerifyStatus::kDomainNotInvariant:
+      return "no-conclusion(domain-not-invariant)";
+    case VerifyStatus::kCancelled: return "no-conclusion(cancelled)";
+    case VerifyStatus::kDeadlineExceeded:
+      return "no-conclusion(deadline-exceeded)";
+  }
+  return "?";
+}
+
+void VerifyTimings::accumulate(const VerifyTimings& other) {
+  candidate_iterations += other.candidate_iterations;
+  lp_solves += other.lp_solves;
+  smt5_queries += other.smt5_queries;
+  lp_time_s += other.lp_time_s;
+  smt5_time_s += other.smt5_time_s;
+  simulation_time_s += other.simulation_time_s;
+  generator_time_s += other.generator_time_s;
+  level_set_time_s += other.level_set_time_s;
+  total_time_s += other.total_time_s;
+}
+
+double VerifyResult::generator_value(const linalg::Vector& x) const {
+  if (generator) return generator->value(x);
+  if (poly_generator) return poly_generator->value(x);
+  throw std::logic_error("VerifyResult: no generator");
+}
+
+const linalg::Vector& VerifyResult::generator_coeffs() const {
+  if (generator) return generator->coeffs();
+  if (poly_generator) return poly_generator->coeffs();
+  throw std::logic_error("VerifyResult: no generator");
+}
+
+}  // namespace bcert::core

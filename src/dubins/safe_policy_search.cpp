@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/core/engine.h"
 #include "src/dubins/error_dynamics.h"
 
 namespace bcert::dubins {
@@ -12,13 +13,21 @@ SafePolicySearchResult safe_policy_search(
   SafePolicySearchResult result;
   TrainOptions train = opts.train;
 
+  // One Engine and one ExprPool for the whole CEGIS loop: the rounds'
+  // verification problems share the controller architecture, so the
+  // Engine's UNSAT-tree cache warm-starts each retrained candidate's
+  // queries from the previous round's refutations. (The pool must
+  // outlive the Engine's caches — see engine.h's lifetime contract —
+  // which is why it is hoisted out of the loop.)
+  core::Engine engine;
+  expr::ExprPool pool;
+
   for (int round = 0; round < opts.max_rounds; ++round) {
     // Vary the CMA-ES seed per round so a retrain with the same rollout
     // set still explores differently.
     train.seed = opts.train.seed + static_cast<unsigned>(round) * 101;
     const TrainResult tr = train_controller(path, train);
 
-    expr::ExprPool pool;
     const ErrorModel model{opts.velocity, 0.0};
     core::BarrierProblem problem;
     problem.pool = &pool;
@@ -30,8 +39,9 @@ SafePolicySearchResult safe_policy_search(
     problem.initial_set = initial_set;
     problem.safe_rect = safe_rect;
 
-    core::BarrierVerifier verifier(problem, opts.verify);
-    core::VerifyResult vr = verifier.verify();
+    core::JobOptions job;
+    job.verify = opts.verify;
+    core::VerifyResult vr = engine.verify(problem, job);
 
     SafePolicySearchRound log;
     log.round = round;

@@ -1,16 +1,15 @@
 #include "src/parallel/thread_pool.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <exception>
+
+#include "src/core/runtime_config.h"
 
 namespace bcert::parallel {
 
 std::size_t default_thread_count() {
-  if (const char* env = std::getenv("BCERT_THREADS")) {
-    const long v = std::atol(env);
-    if (v > 0) return static_cast<std::size_t>(v);
-  }
+  const int configured = core::RuntimeConfig::active().threads;
+  if (configured > 0) return static_cast<std::size_t>(configured);
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }

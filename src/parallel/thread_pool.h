@@ -22,8 +22,9 @@
 ///    deterministic callers (CMA-ES, falsifier) index their output slots
 ///    up front, so answers are byte-identical for any pool size.
 ///
-/// Thread count resolution: `BCERT_THREADS` environment variable when set
-/// to a positive integer, otherwise `std::thread::hardware_concurrency()`.
+/// Thread count resolution: `core::RuntimeConfig::active().threads` when
+/// positive (the typed home of the `BCERT_THREADS` environment knob),
+/// otherwise `std::thread::hardware_concurrency()`.
 
 #include <atomic>
 #include <condition_variable>

@@ -1,10 +1,10 @@
 #include "src/smt/hc4.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 
+#include "src/core/runtime_config.h"
 #include "src/smt/projections.h"
 
 namespace bcert::smt {
@@ -28,20 +28,11 @@ std::vector<ExprId> roots_of(const Conjunction& c) {
 
 Hc4Mode resolve_hc4_mode(Hc4Mode mode) {
   if (mode != Hc4Mode::kAuto) return mode;
-  static const Hc4Mode env_mode = [] {
-    const char* v = std::getenv("BCERT_HC4_MODE");
-    if (v == nullptr || std::strcmp(v, "tape") == 0) return Hc4Mode::kTape;
-    if (std::strcmp(v, "tree") == 0) return Hc4Mode::kTree;
-    // A typo silently falling back to the default would defeat the
-    // point of the flag (e.g. comparing "tape vs tape" while debugging
-    // a suspected divergence) — warn loudly, once.
-    std::fprintf(stderr,
-                 "bcert: unrecognized BCERT_HC4_MODE=\"%s\" "
-                 "(expected \"tape\" or \"tree\"); using tape\n",
-                 v);
-    return Hc4Mode::kTape;
-  }();
-  return env_mode;
+  // Typed knob (BCERT_HC4_MODE): RuntimeConfig validated the token and
+  // warned on typos; here we only map it onto the smt-layer enum.
+  return core::RuntimeConfig::active().hc4_mode == core::ConfigHc4Mode::kTree
+             ? Hc4Mode::kTree
+             : Hc4Mode::kTape;
 }
 
 Hc4Contractor::Hc4Contractor(const expr::ExprPool& pool,

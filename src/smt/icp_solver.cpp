@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/runtime_config.h"
 #include "src/interval/box_batch.h"
 #include "src/parallel/thread_pool.h"
 
@@ -41,32 +42,25 @@ linalg::Vector IcpResult::witness_point() const {
 }
 
 int resolve_icp_batch(int requested) {
-  // Clamp both the config and env paths: every worker sizes a BoxBatch
-  // and a batch register file by this, so an absurd width is an OOM.
+  // Clamp both the config and RuntimeConfig paths: every worker sizes a
+  // BoxBatch and a batch register file by this, so an absurd width is
+  // an OOM.
   static constexpr int kMaxBatch = 1024;
   if (requested > 0) return std::min(requested, kMaxBatch);
-  static const int env_batch = [] {
-    if (const char* v = std::getenv("BCERT_ICP_BATCH")) {
-      const int n = std::atoi(v);
-      if (n > 0) return std::min(n, kMaxBatch);
-    }
-    return 8;
-  }();
-  return env_batch;
+  const int configured = core::RuntimeConfig::active().icp_batch;
+  if (configured > 0) return std::min(configured, kMaxBatch);
+  return 8;
 }
 
 bool icp_warm_enabled(const IcpConfig& config) {
   if (!config.unsat_cache) return false;
-  // Same override contract as BCERT_LP_WARM: unset defers to the config
-  // flag, "0"/"off"/"false" force cold, anything else forces warm.
-  static const int env_state = [] {
-    const char* v = std::getenv("BCERT_ICP_WARM");
-    if (v == nullptr) return -1;
-    const bool off = std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
-                     std::strcmp(v, "false") == 0;
-    return off ? 0 : 1;
-  }();
-  if (env_state >= 0) return env_state == 1;
+  // Same override contract as the LP warm knob: RuntimeConfig kAuto
+  // (BCERT_ICP_WARM unset) defers to the config flag.
+  switch (core::RuntimeConfig::active().icp_warm) {
+    case core::ConfigToggle::kOn: return true;
+    case core::ConfigToggle::kOff: return false;
+    case core::ConfigToggle::kAuto: break;
+  }
   return config.warm_start;
 }
 
@@ -79,25 +73,37 @@ struct SharedBudget {
   clock::time_point start;
   double time_limit_s;
   std::uint64_t max_boxes;
+  const parallel::CancellationToken* interrupt;
   std::atomic<std::uint64_t> boxes_used{0};
 
   explicit SharedBudget(const IcpConfig& config)
       : start(clock::now()),
         time_limit_s(config.time_limit_s),
-        max_boxes(config.max_boxes) {}
+        max_boxes(config.max_boxes),
+        interrupt(config.interrupt) {}
 
   double elapsed_s() const {
     return std::chrono::duration<double>(clock::now() - start).count();
   }
 
-  /// Claims one box; false when the box or time budget is spent.
+  /// Claims one box; false when the box or time budget is spent or an
+  /// external interrupt fired (all three look like budget exhaustion to
+  /// the solver: the query winds down and reports kUnknown).
   bool admit_box() {
+    if (interrupt != nullptr && interrupt->cancelled()) return false;
     if (boxes_used.fetch_add(1, std::memory_order_relaxed) >= max_boxes) {
       return false;
     }
     return elapsed_s() <= time_limit_s;
   }
 };
+
+/// The pool a query's workers run on (the Engine's owned pool when the
+/// config carries one, else the process-global pool).
+parallel::ThreadPool& pool_of(const IcpConfig& config) {
+  return config.pool != nullptr ? *config.pool
+                                : parallel::ThreadPool::global();
+}
 
 /// Outcome flags shared by the workers of one conjunction query (and by
 /// concurrently dispatched DNF disjuncts).
@@ -564,7 +570,7 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
   std::vector<IcpStats> worker_stats(static_cast<std::size_t>(workers));
   for (IcpStats& s : worker_stats) s.max_depth_width = root_width;
 
-  parallel::ThreadPool::global().run_on_workers(
+  pool_of(config).run_on_workers(
       static_cast<std::size_t>(workers), [&](std::size_t w) {
         BatchContractor engine(spec, config, dims, batch);
         IcpStats& stats = worker_stats[w];
@@ -718,7 +724,7 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
     const std::size_t strands =
         std::min<std::size_t>(k, static_cast<std::size_t>(threads));
 
-    parallel::ThreadPool::global().run_on_workers(strands, [&](std::size_t) {
+    pool_of(config_).run_on_workers(strands, [&](std::size_t) {
       while (!cancel.cancelled()) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= k) return;

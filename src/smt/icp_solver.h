@@ -71,6 +71,11 @@
 #include "src/smt/hc4.h"
 #include "src/smt/unsat_tree.h"
 
+namespace bcert::parallel {
+class CancellationToken;
+class ThreadPool;
+}  // namespace bcert::parallel
+
 namespace bcert::smt {
 
 /// Verdict of a query.
@@ -114,6 +119,16 @@ struct IcpConfig {
   /// Cross-query store of terminal UNSAT box trees (the verifiers
   /// install one per synthesis run). Must not outlive the ExprPool.
   std::shared_ptr<UnsatTreeCache> unsat_cache;
+  /// Pool the parallel frontier and concurrent DNF dispatch run on;
+  /// null = the process-global pool. The Engine points this at its
+  /// owned pool so campaigns share one set of workers.
+  parallel::ThreadPool* pool = nullptr;
+  /// Optional external interrupt, polled cooperatively: once it fires
+  /// the query stops admitting boxes and returns kUnknown promptly,
+  /// exactly like an exhausted budget. The Engine wires its per-job
+  /// cancellation token here so a cancelled job aborts a long-running
+  /// query mid-flight instead of only between pipeline steps.
+  const parallel::CancellationToken* interrupt = nullptr;
 };
 
 /// Resolves IcpConfig::batch_size: values > 0 are taken (clamped to

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/core/runtime_config.h"
 #include "src/expr/eval.h"
 #include "src/smt/projections.h"
 #include "src/smt/tape.h"
@@ -155,32 +156,30 @@ bool simd_tier_available(SimdTier t) {
 }
 
 SimdTier resolve_simd_tier() {
-  static const SimdTier tier = [] {
-    const SimdTier best = simd_tier_available(SimdTier::kAvx2)
-                              ? SimdTier::kAvx2
-                          : simd_tier_available(SimdTier::kSse2)
-                              ? SimdTier::kSse2
-                              : SimdTier::kScalar;
-    const char* v = std::getenv("BCERT_ICP_SIMD");
-    if (v == nullptr) return best;
-    for (const SimdTier t :
-         {SimdTier::kAvx2, SimdTier::kSse2, SimdTier::kScalar}) {
-      if (std::strcmp(v, simd_tier_name(t)) == 0) {
-        if (simd_tier_available(t)) return t;
-        std::fprintf(stderr,
-                     "bcert: BCERT_ICP_SIMD=\"%s\" not available on this "
-                     "build/CPU; using %s\n",
-                     v, simd_tier_name(best));
-        return best;
-      }
-    }
+  const SimdTier best = simd_tier_available(SimdTier::kAvx2)
+                            ? SimdTier::kAvx2
+                        : simd_tier_available(SimdTier::kSse2)
+                            ? SimdTier::kSse2
+                            : SimdTier::kScalar;
+  SimdTier requested = best;
+  switch (core::RuntimeConfig::active().icp_simd) {
+    case core::ConfigSimd::kAuto: return best;
+    case core::ConfigSimd::kAvx2: requested = SimdTier::kAvx2; break;
+    case core::ConfigSimd::kSse2: requested = SimdTier::kSse2; break;
+    case core::ConfigSimd::kScalar: requested = SimdTier::kScalar; break;
+  }
+  if (simd_tier_available(requested)) return requested;
+  // Availability depends on this build/CPU, which RuntimeConfig cannot
+  // know — fall back here, warning once per process.
+  static const bool warned = [&] {
     std::fprintf(stderr,
-                 "bcert: unrecognized BCERT_ICP_SIMD=\"%s\" (expected "
-                 "\"avx2\", \"sse2\" or \"scalar\"); using %s\n",
-                 v, simd_tier_name(best));
-    return best;
+                 "bcert: BCERT_ICP_SIMD=\"%s\" not available on this "
+                 "build/CPU; using %s\n",
+                 simd_tier_name(requested), simd_tier_name(best));
+    return true;
   }();
-  return tier;
+  (void)warned;
+  return best;
 }
 
 Hc4Tape::BatchRegisters Hc4Tape::make_batch_registers(

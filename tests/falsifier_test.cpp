@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/falsifier.h"
+#include "src/core/verifier.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 

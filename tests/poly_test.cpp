@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/poly_verifier.h"
+#include "src/core/verifier.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 #include "src/expr/eval.h"
@@ -146,18 +147,18 @@ TEST(PolyVerifier, QuarticTemplateCertifiesDubins) {
   PolyBarrierVerifier verifier(dubins_problem(pool, controller), opts);
   const PolyVerifyResult r = verifier.verify();
   ASSERT_EQ(r.status, VerifyStatus::kSafe) << verify_status_name(r.status);
-  ASSERT_TRUE(r.generator.has_value());
+  ASSERT_TRUE(r.poly_generator.has_value());
   EXPECT_GT(r.level, 0.0);
 
   // X0 inside the level set; boundary of the safe rect outside it.
   const Rect x0 = verifier.problem().initial_set;
   for (const Vector& v : x0.vertices()) {
-    EXPECT_LE(r.generator->value(v), r.level + 1e-9);
+    EXPECT_LE(r.poly_generator->value(v), r.level + 1e-9);
   }
   const Rect s = verifier.problem().safe_rect;
   for (double th = s.lo[1]; th <= s.hi[1]; th += 0.15) {
-    EXPECT_GT(r.generator->value(Vector{s.lo[0], th}), r.level);
-    EXPECT_GT(r.generator->value(Vector{s.hi[0], th}), r.level);
+    EXPECT_GT(r.poly_generator->value(Vector{s.lo[0], th}), r.level);
+    EXPECT_GT(r.poly_generator->value(Vector{s.hi[0], th}), r.level);
   }
 }
 
@@ -174,9 +175,9 @@ TEST(PolyVerifier, DegreeTwoAgreesWithQuadraticPipeline) {
   EXPECT_EQ(pr.status, VerifyStatus::kSafe);
   EXPECT_EQ(qr.status, VerifyStatus::kSafe);
   // Identical samples + identical basis ⇒ identical LP candidate.
-  ASSERT_TRUE(pr.generator && qr.generator);
+  ASSERT_TRUE(pr.poly_generator && qr.generator);
   for (std::size_t k = 0; k < 3; ++k) {
-    EXPECT_NEAR(pr.generator->coeffs()[k], qr.generator->coeffs()[k], 1e-9);
+    EXPECT_NEAR(pr.poly_generator->coeffs()[k], qr.generator->coeffs()[k], 1e-9);
   }
 }
 
@@ -196,7 +197,7 @@ TEST(PolyVerifier, CertificateInvariantUnderSimulation) {
     iopts.t_end = 25.0;
     const ode::Trace t = integrate_rk4(problem.sim_field, v, iopts);
     for (std::size_t i = 0; i < t.size(); ++i) {
-      ASSERT_LE(r.generator->value(t.state(i)), r.level + 1e-6);
+      ASSERT_LE(r.poly_generator->value(t.state(i)), r.level + 1e-6);
       ASSERT_TRUE(problem.safe_rect.contains(t.state(i)));
     }
   }

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/report.h"
+#include "src/core/verifier.h"
 #include "src/dubins/error_dynamics.h"
 #include "src/dubins/training.h"
 

@@ -1,0 +1,219 @@
+// Tests for core::RuntimeConfig — the typed home of every BCERT_*
+// runtime knob: strict env parsing, the single warning channel, and the
+// programmatic override path the Engine and resolvers rely on.
+#include "src/core/runtime_config.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/lp_synthesis.h"
+#include "src/parallel/thread_pool.h"
+#include "src/smt/hc4.h"
+#include "src/smt/icp_solver.h"
+
+namespace bcert {
+namespace {
+
+using core::ConfigHc4Mode;
+using core::ConfigSimd;
+using core::ConfigToggle;
+using core::RuntimeConfig;
+
+/// Fixture that snapshots and clears the six parsed BCERT_* variables,
+/// so the tests see a deterministic environment even under the CI legs
+/// that exercise the suite with BCERT_THREADS / BCERT_HC4_MODE / ... set.
+/// Everything is restored on teardown.
+class RuntimeConfigTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVars[6] = {
+      "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM",
+      "BCERT_LP_WARM", "BCERT_HC4_MODE", "BCERT_ICP_SIMD"};
+
+  void SetUp() override {
+    for (const char* name : kVars) {
+      const char* v = std::getenv(name);
+      saved_.emplace_back(v ? std::optional<std::string>(v) : std::nullopt);
+      unsetenv(name);
+    }
+  }
+  void TearDown() override {
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (saved_[i]) {
+        setenv(kVars[i], saved_[i]->c_str(), 1);
+      } else {
+        unsetenv(kVars[i]);
+      }
+    }
+  }
+
+  std::vector<std::optional<std::string>> saved_;
+};
+
+TEST_F(RuntimeConfigTest, DefaultsWhenEnvironmentUnset) {
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.threads, 0);
+  EXPECT_EQ(c.icp_batch, 0);
+  EXPECT_EQ(c.icp_warm, ConfigToggle::kAuto);
+  EXPECT_EQ(c.lp_warm, ConfigToggle::kAuto);
+  EXPECT_EQ(c.hc4_mode, ConfigHc4Mode::kTape);
+  EXPECT_EQ(c.icp_simd, ConfigSimd::kAuto);
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST_F(RuntimeConfigTest, ParsesWellFormedValues) {
+  setenv("BCERT_THREADS", "4", 1);
+  setenv("BCERT_ICP_BATCH", "16", 1);
+  setenv("BCERT_ICP_WARM", "off", 1);
+  setenv("BCERT_LP_WARM", "1", 1);
+  setenv("BCERT_HC4_MODE", "tree", 1);
+  setenv("BCERT_ICP_SIMD", "scalar", 1);
+
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.threads, 4);
+  EXPECT_EQ(c.icp_batch, 16);
+  EXPECT_EQ(c.icp_warm, ConfigToggle::kOff);
+  EXPECT_EQ(c.lp_warm, ConfigToggle::kOn);
+  EXPECT_EQ(c.hc4_mode, ConfigHc4Mode::kTree);
+  EXPECT_EQ(c.icp_simd, ConfigSimd::kScalar);
+  EXPECT_TRUE(warnings.empty()) << warnings.front();
+}
+
+TEST_F(RuntimeConfigTest, MalformedIntegersWarnAndFallBack) {
+  setenv("BCERT_THREADS", "abc", 1);
+  setenv("BCERT_ICP_BATCH", "8boxes", 1);  // trailing junk
+
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.threads, 0);    // auto, not atoi garbage
+  EXPECT_EQ(c.icp_batch, 0);  // default, not 8-with-junk
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].find("BCERT_THREADS"), std::string::npos);
+  EXPECT_NE(warnings[1].find("BCERT_ICP_BATCH"), std::string::npos);
+}
+
+TEST_F(RuntimeConfigTest, NonPositiveIntegersRejected) {
+  setenv("BCERT_THREADS", "0", 1);
+  setenv("BCERT_ICP_BATCH", "-3", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.threads, 0);
+  EXPECT_EQ(c.icp_batch, 0);
+  EXPECT_EQ(warnings.size(), 2u);
+}
+
+TEST_F(RuntimeConfigTest, MalformedEnumsWarnAndFallBack) {
+  setenv("BCERT_HC4_MODE", "tapee", 1);
+  setenv("BCERT_ICP_SIMD", "avx512", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.hc4_mode, ConfigHc4Mode::kTape);
+  EXPECT_EQ(c.icp_simd, ConfigSimd::kAuto);
+  EXPECT_EQ(warnings.size(), 2u);
+}
+
+TEST_F(RuntimeConfigTest, MalformedToggleWarnsButEnables) {
+  // Legacy contract: any unrecognized non-off token enables the knob —
+  // preserved, but no longer silent.
+  setenv("BCERT_ICP_WARM", "yes-please", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.icp_warm, ConfigToggle::kOn);
+  EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST_F(RuntimeConfigTest, UnknownBcertVariableWarns) {
+  setenv("BCERT_ICP_BACTH", "8", 1);  // the classic typo
+  std::vector<std::string> warnings;
+  (void)RuntimeConfig::from_env(&warnings);
+  unsetenv("BCERT_ICP_BACTH");
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("BCERT_ICP_BACTH"), std::string::npos);
+  EXPECT_NE(warnings[0].find("unknown"), std::string::npos);
+}
+
+TEST_F(RuntimeConfigTest, BenchKnobsAreKnown) {
+  setenv("BCERT_ICP_BOXES", "1000", 1);
+  setenv("BCERT_SIZES", "small", 1);
+  std::vector<std::string> warnings;
+  (void)RuntimeConfig::from_env(&warnings);
+  unsetenv("BCERT_ICP_BOXES");
+  unsetenv("BCERT_SIZES");
+  EXPECT_TRUE(warnings.empty()) << warnings.front();
+}
+
+/// RAII guard restoring the active config (the rest of the process
+/// consults it through the resolvers).
+class ScopedActiveConfig {
+ public:
+  explicit ScopedActiveConfig(const RuntimeConfig& next)
+      : saved_(RuntimeConfig::active()) {
+    RuntimeConfig::set_active(next);
+  }
+  ~ScopedActiveConfig() { RuntimeConfig::set_active(saved_); }
+
+ private:
+  RuntimeConfig saved_;
+};
+
+TEST(RuntimeConfigOverride, ReachesThreadResolver) {
+  RuntimeConfig c = RuntimeConfig::active();
+  c.threads = 3;
+  ScopedActiveConfig guard(c);
+  EXPECT_EQ(parallel::default_thread_count(), 3u);
+  EXPECT_EQ(parallel::resolve_thread_count(0), 3);
+  EXPECT_EQ(parallel::resolve_thread_count(7), 7);  // explicit wins
+}
+
+TEST(RuntimeConfigOverride, ReachesIcpResolvers) {
+  RuntimeConfig c = RuntimeConfig::active();
+  c.icp_batch = 5;
+  c.icp_warm = ConfigToggle::kOff;
+  c.hc4_mode = ConfigHc4Mode::kTree;
+  ScopedActiveConfig guard(c);
+
+  EXPECT_EQ(smt::resolve_icp_batch(0), 5);
+  EXPECT_EQ(smt::resolve_icp_batch(2), 2);  // explicit wins
+  EXPECT_EQ(smt::resolve_hc4_mode(smt::Hc4Mode::kAuto), smt::Hc4Mode::kTree);
+  EXPECT_EQ(smt::resolve_hc4_mode(smt::Hc4Mode::kTape), smt::Hc4Mode::kTape);
+
+  smt::IcpConfig icp;
+  icp.unsat_cache = std::make_shared<smt::UnsatTreeCache>();
+  icp.warm_start = true;
+  EXPECT_FALSE(smt::icp_warm_enabled(icp));  // kOff overrides the flag
+}
+
+TEST(RuntimeConfigOverride, ReachesLpWarmSwitch) {
+  core::SynthesisOptions opts;
+  opts.warm_start = true;
+
+  RuntimeConfig c = RuntimeConfig::active();
+  c.lp_warm = ConfigToggle::kOff;
+  {
+    ScopedActiveConfig guard(c);
+    EXPECT_FALSE(core::lp_warm_start_enabled(opts));
+  }
+  c.lp_warm = ConfigToggle::kAuto;
+  {
+    ScopedActiveConfig guard(c);
+    EXPECT_TRUE(core::lp_warm_start_enabled(opts));
+    opts.warm_start = false;
+    EXPECT_FALSE(core::lp_warm_start_enabled(opts));
+  }
+}
+
+TEST(RuntimeConfigOverride, IcpBatchClampedToLaneBufferCap) {
+  RuntimeConfig c = RuntimeConfig::active();
+  c.icp_batch = 1 << 19;
+  ScopedActiveConfig guard(c);
+  EXPECT_EQ(smt::resolve_icp_batch(0), 1024);
+  EXPECT_EQ(smt::resolve_icp_batch(1 << 19), 1024);
+}
+
+}  // namespace
+}  // namespace bcert
