@@ -98,6 +98,12 @@ CmaesResult cmaes_minimize(const ObjectiveFn& objective, const Vector& x0,
   const int eval_threads = parallel::resolve_thread_count(options.eval_threads);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (options.should_stop && options.should_stop()) {
+      result.stop = CmaesStop::kInterrupted;
+      result.iterations = iter;
+      if (result.best_x.size() == 0) result.best_x = mean;  // stop before gen 1
+      return result;
+    }
     // --- sample --------------------------------------------------------
     // All candidates are drawn on this thread, in population order, so
     // the RNG stream (and therefore the whole optimization trajectory)

@@ -43,6 +43,11 @@ struct CmaesOptions {
   /// Pool the evaluation strands run on; null = the process-global
   /// pool. The Engine threads its owned pool through here.
   parallel::ThreadPool* pool = nullptr;
+  /// Cooperative stop, polled once per generation before sampling. When
+  /// it returns true the search stops with CmaesStop::kInterrupted,
+  /// keeping the best point found so far — how the falsifier honors job
+  /// deadlines and cancellation mid-search.
+  std::function<bool()> should_stop;
 };
 
 /// Per-iteration report for progress callbacks (e.g. Figure 4 snapshots).
@@ -61,6 +66,7 @@ enum class CmaesStop : std::uint8_t {
   kMaxIterations,
   kTolFun,
   kSigmaCollapse,
+  kInterrupted,  ///< CmaesOptions::should_stop fired
 };
 
 /// Final report.

@@ -1,10 +1,11 @@
 #include "src/core/engine.h"
 
 #include <chrono>
-#include <cstdio>
 #include <sstream>
+#include <thread>
 #include <utility>
 
+#include "src/core/fault.h"
 #include "src/core/report.h"
 
 namespace bcert::core {
@@ -12,30 +13,6 @@ namespace bcert::core {
 namespace {
 
 using clock = std::chrono::steady_clock;
-
-/// Minimal JSON string escaping for caller-supplied scenario names.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
 
 }  // namespace
 
@@ -49,56 +26,86 @@ Engine::Engine(EngineOptions options)
           parallel::resolve_thread_count(options.threads))) {}
 
 VerifyResult Engine::run_job(const BarrierProblem& problem,
-                             const JobOptions& options, JobState* state,
+                             const JobOptions& options,
+                             parallel::CancellationToken* cancel,
                              clock::time_point submitted) {
-  // Wire the Engine-owned infrastructure into the pipeline. Caller-set
-  // caches win (a job may want isolation); absent ones get the shared
-  // stores so structurally repeated scenarios reuse compiled tapes,
-  // UNSAT partitions and LP bases across the whole campaign.
-  VerifierOptions verify = options.verify;
-  if (!verify.icp.tape_cache) verify.icp.tape_cache = tape_cache_;
-  if (!verify.icp.unsat_cache) verify.icp.unsat_cache = unsat_cache_;
+  // Per-attempt resource governor: an explicit job quota wins, else the
+  // BCERT_MEM_QUOTA runtime default (0 = accounting only, no limit).
+  const std::size_t quota = options.mem_quota_bytes != 0
+                                ? options.mem_quota_bytes
+                                : RuntimeConfig::active().mem_quota_bytes;
+  MemoryBudget budget(quota);
 
-  PipelineHooks hooks;
-  if (state != nullptr) hooks.cancel = &state->cancel;
-  hooks.pool = &pool_;
-  if (options.deadline_s > 0.0) {
-    hooks.deadline =
-        submitted + std::chrono::duration_cast<clock::duration>(
-                        std::chrono::duration<double>(options.deadline_s));
-    hooks.has_deadline = true;
-  }
-  hooks.on_progress = options.on_progress;
+  // Noexcept job boundary: nothing a scenario does — an armed fault, a
+  // bug escaping the pipeline, a malformed problem — may take the pool
+  // worker (and with it every other queued scenario) down. Failures
+  // come back as typed statuses that run_campaign can retry/quarantine.
+  try {
+    FaultRegistry::check(FaultPoint::kWorkerDispatch);
 
-  const BasisKey key{static_cast<int>(options.certificate.kind),
-                     options.certificate.kind == TemplateSpec::Kind::kQuadratic
-                         ? 2
-                         : options.certificate.max_degree,
-                     problem.dims()};
-  lp::LpBasis basis;
-  if (options_.share_lp_basis) {
-    std::lock_guard<std::mutex> lock(basis_mutex_);
-    const auto it = warm_bases_.find(key);
-    if (it != warm_bases_.end()) basis = it->second;
-    hooks.warm_basis_io = &basis;
-  }
+    // Wire the Engine-owned infrastructure into the pipeline. Caller-set
+    // caches win (a job may want isolation); absent ones get the shared
+    // stores so structurally repeated scenarios reuse compiled tapes,
+    // UNSAT partitions and LP bases across the whole campaign.
+    VerifierOptions verify = options.verify;
+    if (!verify.icp.tape_cache) verify.icp.tape_cache = tape_cache_;
+    if (!verify.icp.unsat_cache) verify.icp.unsat_cache = unsat_cache_;
 
-  VerifyResult result;
-  if (options.certificate.kind == TemplateSpec::Kind::kQuadratic) {
-    BarrierPipeline<QuadraticForm> pipeline(problem, std::move(verify),
-                                            options.certificate);
-    result = pipeline.run(std::move(hooks));
-  } else {
-    BarrierPipeline<PolynomialForm> pipeline(problem, std::move(verify),
-                                             options.certificate);
-    result = pipeline.run(std::move(hooks));
-  }
+    PipelineHooks hooks;
+    hooks.cancel = cancel;
+    hooks.pool = &pool_;
+    if (options.deadline_s > 0.0) {
+      hooks.deadline =
+          submitted + std::chrono::duration_cast<clock::duration>(
+                          std::chrono::duration<double>(options.deadline_s));
+      hooks.has_deadline = true;
+    }
+    hooks.on_progress = options.on_progress;
+    hooks.mem_budget = &budget;
 
-  if (options_.share_lp_basis) {
-    std::lock_guard<std::mutex> lock(basis_mutex_);
-    warm_bases_[key] = std::move(basis);
+    const BasisKey key{
+        static_cast<int>(options.certificate.kind),
+        options.certificate.kind == TemplateSpec::Kind::kQuadratic
+            ? 2
+            : options.certificate.max_degree,
+        problem.dims()};
+    lp::LpBasis basis;
+    if (options_.share_lp_basis) {
+      std::lock_guard<std::mutex> lock(basis_mutex_);
+      const auto it = warm_bases_.find(key);
+      if (it != warm_bases_.end()) basis = it->second;
+      hooks.warm_basis_io = &basis;
+    }
+
+    VerifyResult result;
+    if (options.certificate.kind == TemplateSpec::Kind::kQuadratic) {
+      BarrierPipeline<QuadraticForm> pipeline(problem, std::move(verify),
+                                              options.certificate);
+      result = pipeline.run(std::move(hooks));
+    } else {
+      BarrierPipeline<PolynomialForm> pipeline(problem, std::move(verify),
+                                               options.certificate);
+      result = pipeline.run(std::move(hooks));
+    }
+
+    if (options_.share_lp_basis) {
+      std::lock_guard<std::mutex> lock(basis_mutex_);
+      warm_bases_[key] = std::move(basis);
+    }
+    return result;
+  } catch (const FaultInjected& e) {
+    VerifyResult result;
+    result.template_kind = options.certificate.kind;
+    result.status = VerifyStatus::kInternalError;
+    result.error = Status(ErrorCode::kFaultInjected, e.what());
+    return result;
+  } catch (const std::exception& e) {
+    VerifyResult result;
+    result.template_kind = options.certificate.kind;
+    result.status = VerifyStatus::kInternalError;
+    result.error = Status(ErrorCode::kInternal, e.what());
+    return result;
   }
-  return result;
 }
 
 VerifyResult Engine::verify(const BarrierProblem& problem,
@@ -111,17 +118,49 @@ JobHandle Engine::submit(BarrierProblem problem, JobOptions options) {
   ++jobs_submitted_;
   auto state = std::make_shared<JobState>();
   const clock::time_point submitted = clock::now();
-  // The task holds the state shared_ptr: a dropped handle cannot leave
-  // the running job with a dangling cancellation token.
+  // The task shares ownership of the token only — capturing `state`
+  // would close a state → future → task → state shared_ptr cycle and
+  // leak the job; a dropped handle still cannot dangle the token.
+  std::shared_ptr<parallel::CancellationToken> token = state->cancel;
   state->future =
       pool_
-          .submit([this, state, submitted, problem = std::move(problem),
+          .submit([this, token, submitted, problem = std::move(problem),
                    options = std::move(options)]() mutable {
-            return run_job(problem, options, state.get(), submitted);
+            return run_job(problem, options, token.get(), submitted);
           })
           .share();
   return JobHandle(std::move(state));
 }
+
+namespace {
+
+/// Collects one handle under the campaign watchdog. With a deadline
+/// set, a job still running `grace` seconds past it is cancelled; if
+/// it still does not retire within another grace period it is
+/// abandoned with kWorkerStuck (the task co-owns its cancellation
+/// token, so the detached worker is safe — it drains with the pool).
+/// Without a deadline get() blocks, exactly the pre-watchdog behavior.
+VerifyResult collect_with_watchdog(const JobHandle& handle,
+                                   const JobOptions& options,
+                                   const std::string& name) {
+  if (options.deadline_s > 0.0) {
+    if (!handle.wait_for(options.deadline_s + options.stuck_grace_s)) {
+      handle.cancel();
+      if (!handle.wait_for(options.stuck_grace_s)) {
+        VerifyResult r;
+        r.status = VerifyStatus::kInternalError;
+        r.error = Status(ErrorCode::kWorkerStuck,
+                         "scenario '" + name +
+                             "' missed its deadline plus grace and ignored "
+                             "cancellation; abandoned by the watchdog");
+        return r;
+      }
+    }
+  }
+  return handle.get();
+}
+
+}  // namespace
 
 CampaignResult Engine::run_campaign(std::span<const Scenario> scenarios,
                                     const JobOptions& defaults) {
@@ -139,7 +178,33 @@ CampaignResult Engine::run_campaign(std::span<const Scenario> scenarios,
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     ScenarioOutcome outcome;
     outcome.name = scenarios[i].name;
-    outcome.result = handles[i].get();
+    outcome.result =
+        collect_with_watchdog(handles[i], defaults, outcome.name);
+
+    // Bounded serial retry with exponential backoff for transient-class
+    // failures (injected faults, escaped exceptions). kWorkerStuck,
+    // deadline and quota breaches are deterministic — no retry.
+    double backoff = defaults.retry.backoff_s;
+    while (outcome.result.error.retryable() &&
+           outcome.attempts <= defaults.retry.max_retries) {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= defaults.retry.backoff_multiplier;
+      }
+      const JobHandle retry = submit(scenarios[i].problem, defaults);
+      outcome.result = collect_with_watchdog(retry, defaults, outcome.name);
+      ++outcome.attempts;
+    }
+    outcome.result.degradation.retries =
+        static_cast<std::uint32_t>(outcome.attempts - 1);
+
+    const ErrorCode code = outcome.result.error.code;
+    if (code != ErrorCode::kOk) ++out.failed_count;
+    outcome.quarantined = code == ErrorCode::kFaultInjected ||
+                          code == ErrorCode::kInternal ||
+                          code == ErrorCode::kWorkerStuck;
+    if (outcome.quarantined) out.quarantined.push_back(outcome.name);
+
     out.aggregate.accumulate(outcome.result.timings);
     if (outcome.result.safe()) ++out.safe_count;
     out.scenarios.push_back(std::move(outcome));
@@ -172,12 +237,21 @@ std::string CampaignResult::to_json() const {
   os << "{\n  \"scenarios\": [";
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     os << (i ? ",\n    " : "\n    ") << "{\"name\": \""
-       << json_escape(scenarios[i].name) << "\", \"result\": ";
+       << json_escape(scenarios[i].name)
+       << "\", \"attempts\": " << scenarios[i].attempts
+       << ", \"quarantined\": "
+       << (scenarios[i].quarantined ? "true" : "false") << ", \"result\": ";
     write_result_json(os, scenarios[i].result);
     os << '}';
   }
   os << "\n  ],\n";
   os << "  \"safe_count\": " << safe_count << ",\n";
+  os << "  \"failed_count\": " << failed_count << ",\n";
+  os << "  \"quarantined\": [";
+  for (std::size_t i = 0; i < quarantined.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(quarantined[i]) << '"';
+  }
+  os << "],\n";
   os << "  \"wall_time_s\": " << wall_time_s << ",\n";
   os << "  \"scenarios_per_sec\": " << scenarios_per_sec() << ",\n";
   os << "  \"aggregate\": {\n";

@@ -65,16 +65,40 @@ struct EngineOptions {
   bool share_lp_basis = true;
 };
 
+/// Campaign-level retry policy for transient job failures (injected
+/// faults, escaped exceptions — Status::retryable()). Retries run
+/// serially on the collecting thread with exponential backoff; a
+/// scenario that fails every attempt is quarantined, never fatal.
+struct RetryPolicy {
+  int max_retries = 2;            ///< extra attempts after the first
+  double backoff_s = 0.05;        ///< sleep before the first retry
+  double backoff_multiplier = 2.0;
+};
+
 /// Per-job options: the pipeline tuning plus Engine-level execution
 /// controls.
 struct JobOptions {
   VerifierOptions verify;
   TemplateSpec certificate = TemplateSpec::quadratic();
   /// Wall-clock deadline in seconds from submission; 0 = none. An
-  /// expired deadline stops the pipeline between steps and clamps every
-  /// ICP query's time limit to the remaining budget
-  /// (status kDeadlineExceeded).
+  /// expired deadline stops the pipeline between steps, clamps every
+  /// ICP query's time limit to the remaining budget and interrupts
+  /// in-flight simplex pivot loops (status kDeadlineExceeded).
   double deadline_s = 0.0;
+  /// Per-job memory quota in bytes for the ICP frontier + UNSAT-tree
+  /// recording; 0 = the BCERT_MEM_QUOTA runtime default (which itself
+  /// defaults to unlimited). A breached quota winds the job down with
+  /// status kResourceExhausted instead of unbounded growth.
+  std::size_t mem_quota_bytes = 0;
+  /// Campaign watchdog grace: a job that is still running this many
+  /// seconds past its deadline is cancelled, and if it still does not
+  /// retire within another grace period it is abandoned with
+  /// ErrorCode::kWorkerStuck (the worker keeps running detached until
+  /// the pool drains at Engine destruction). Only meaningful together
+  /// with deadline_s > 0.
+  double stuck_grace_s = 1.0;
+  /// Retry/quarantine policy applied by run_campaign.
+  RetryPolicy retry;
   /// Progress callback; invoked from the executing thread (a pool
   /// worker for submitted jobs) — must be thread-safe and cheap.
   std::function<void(const JobProgress&)> on_progress;
@@ -82,7 +106,12 @@ struct JobOptions {
 
 /// Shared state of one submitted job (internal).
 struct JobState {
-  parallel::CancellationToken cancel;
+  /// Shared with the running task itself (the task captures the token,
+  /// NOT this state: state → future → task → state would be a
+  /// shared_ptr cycle and leak every job). A dropped handle therefore
+  /// still cannot leave the running job with a dangling token.
+  std::shared_ptr<parallel::CancellationToken> cancel =
+      std::make_shared<parallel::CancellationToken>();
   std::shared_future<VerifyResult> future;
 };
 
@@ -115,7 +144,7 @@ class JobHandle {
   /// step boundary and any in-flight ICP query stops admitting boxes.
   /// The job still completes (promptly) with status kCancelled — call
   /// get() to observe it.
-  void cancel() const { state().cancel.cancel(); }
+  void cancel() const { state().cancel->cancel(); }
 
  private:
   JobState& state() const {
@@ -138,19 +167,32 @@ struct Scenario {
   BarrierProblem problem;
 };
 
-/// Per-scenario campaign outcome.
+/// Per-scenario campaign outcome. `result.error` carries the typed
+/// failure (if any) of the *final* attempt; `attempts` counts every
+/// attempt including the first.
 struct ScenarioOutcome {
   std::string name;
   VerifyResult result;
+  int attempts = 1;
+  bool quarantined = false;  ///< failed every attempt (see CampaignResult)
 };
 
 /// Campaign summary: per-scenario results plus the aggregate Table-1
-/// timing columns.
+/// timing columns. A campaign always completes with partial results:
+/// scenarios whose jobs fault, throw or hang are retried per
+/// RetryPolicy, then quarantined — never allowed to take the process
+/// (or the other scenarios' results) down.
 struct CampaignResult {
   std::vector<ScenarioOutcome> scenarios;
   VerifyTimings aggregate;   ///< column-wise sum over scenarios
   double wall_time_s = 0.0;  ///< end-to-end campaign wall clock
   int safe_count = 0;
+  /// Scenarios whose final attempt still failed with a transient-class
+  /// error (kFaultInjected / kInternal / kWorkerStuck) — candidates to
+  /// exclude from a re-run.
+  std::vector<std::string> quarantined;
+  /// Scenarios whose final result carries any non-kOk error.
+  int failed_count = 0;
 
   double scenarios_per_sec() const {
     return wall_time_s > 0.0
@@ -210,7 +252,8 @@ class Engine {
   /// Executes one job on the current thread with the shared
   /// infrastructure wired into the pipeline hooks.
   VerifyResult run_job(const BarrierProblem& problem,
-                       const JobOptions& options, JobState* state,
+                       const JobOptions& options,
+                       parallel::CancellationToken* cancel,
                        std::chrono::steady_clock::time_point submitted);
 
   /// Key of the LP warm-basis store: template kind + degree + problem

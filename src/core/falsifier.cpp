@@ -85,6 +85,7 @@ FalsificationResult Falsifier::search() {
   std::vector<double> robs;
   bool falsified_early = false;
   for (int done = 0; done < options_.random_trials && !falsified_early;) {
+    if (options_.should_stop && options_.should_stop()) break;
     const int count = std::min(kTrialChunk, options_.random_trials - done);
     candidates.assign(static_cast<std::size_t>(count), linalg::Vector(n));
     for (int k = 0; k < count; ++k) {
@@ -132,6 +133,7 @@ FalsificationResult Falsifier::search() {
     copts.seed = options_.seed + 1;
     copts.eval_threads = threads;  // objective above is thread-safe
     copts.pool = options_.pool;    // Engine pool when driven by one
+    copts.should_stop = options_.should_stop;
     // Step size proportional to the set extent.
     double extent = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -43,6 +43,12 @@ struct FalsifierOptions {
   /// null = the process-global pool. Engine::falsify threads its owned
   /// pool through here.
   parallel::ThreadPool* pool = nullptr;
+  /// Cooperative stop, polled between phase-1 chunks and once per
+  /// CMA-ES generation. When it returns true the search winds down and
+  /// reports the most violating execution found so far — this is how a
+  /// deadline-bounded campaign keeps falsification from overshooting
+  /// the job's wall clock. Null = run the full budget.
+  std::function<bool()> should_stop;
 };
 
 /// Outcome of a falsification attempt.

@@ -243,6 +243,8 @@ smt::IcpConfig BarrierPipeline<Form>::icp_config(double delta) const {
     config.time_limit_s = std::min(config.time_limit_s,
                                    std::max(0.0, remaining));
   }
+  config.mem_budget = hooks_.mem_budget;
+  config.degrade = &degrade_;
   return config;
 }
 
@@ -257,6 +259,14 @@ bool BarrierPipeline<Form>::interrupted(VerifyResult& result) const {
     return true;
   }
   return false;
+}
+
+template <typename Form>
+VerifyStatus BarrierPipeline<Form>::unknown_status() const {
+  if (hooks_.mem_budget != nullptr && hooks_.mem_budget->exhausted()) {
+    return VerifyStatus::kResourceExhausted;
+  }
+  return VerifyStatus::kSolverBudget;
 }
 
 template <typename Form>
@@ -497,6 +507,42 @@ void BarrierPipeline<Form>::export_queries_smtlib(
 template <typename Form>
 VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
   hooks_ = std::move(hooks);
+  degrade_.tape_to_tree.store(0, std::memory_order_relaxed);
+  degrade_.simd_downgrade.store(0, std::memory_order_relaxed);
+  degrade_.cache_cold.store(0, std::memory_order_relaxed);
+  degrade_.lp_cold.store(0, std::memory_order_relaxed);
+
+  VerifyResult result = run_impl();
+
+  // Every exit path carries the fallback tally and a typed error, so
+  // campaign JSON can tell a degraded-but-clean run from a failed one.
+  result.degradation = degrade_.snapshot();
+  switch (result.status) {
+    case VerifyStatus::kCancelled:
+      result.error = Status(ErrorCode::kCancelled, "job cancelled");
+      break;
+    case VerifyStatus::kDeadlineExceeded:
+      result.error = Status(ErrorCode::kDeadlineExceeded,
+                            "job deadline exceeded");
+      break;
+    case VerifyStatus::kResourceExhausted:
+      result.error = Status(
+          ErrorCode::kResourceExhausted,
+          "memory quota exceeded (" +
+              std::to_string(hooks_.mem_budget != nullptr
+                                 ? hooks_.mem_budget->quota()
+                                 : 0) +
+              " bytes)");
+      break;
+    default:
+      break;  // not an error-taxonomy status
+  }
+  hooks_ = PipelineHooks{};
+  return result;
+}
+
+template <typename Form>
+VerifyResult BarrierPipeline<Form>::run_impl() {
   VerifyResult result;
   result.template_kind = Traits::kKind;
   const auto t_start = clock::now();
@@ -550,8 +596,25 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     const auto t_lp = clock::now();
     SynthesisOptions sopts = options_.synthesis;
     if (warm) sopts.simplex.warm_start = std::move(warm_basis);
+    // LP-heavy candidates honor the job's deadline/cancel from inside
+    // the pivot loops: an interrupted solve reports infeasible-shaped
+    // output, which the branch below re-attributes via interrupted().
+    if (hooks_.cancel != nullptr || hooks_.has_deadline) {
+      sopts.simplex.interrupt = [this] {
+        if (hooks_.cancel != nullptr && hooks_.cancel->cancelled()) {
+          return true;
+        }
+        return hooks_.has_deadline && clock::now() >= hooks_.deadline;
+      };
+    }
+    const bool warm_supplied = warm && !sopts.simplex.warm_start.empty();
     const PipelineSynthesis<Form> synth =
         Traits::synthesize(samples, *this, sopts);
+    if (warm_supplied && !synth.lp_warm_started) {
+      // Ladder rung: the supplied basis was stale/singular and the
+      // solver silently cold-started.
+      degrade_.lp_cold.fetch_add(1, std::memory_order_relaxed);
+    }
     warm_basis = synth.basis;
     if (warm && hooks_.warm_basis_io != nullptr) {
       *hooks_.warm_basis_io = warm_basis;
@@ -560,6 +623,13 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     ++result.timings.lp_solves;
 
     if (!synth.feasible) {
+      // A deadline/cancel interrupt surfaces as an unfinished LP; check
+      // it first so the result carries the real cause, not a spurious
+      // kLpInfeasible.
+      if (interrupted(result)) {
+        finish_generator_phase(result);
+        return result;
+      }
       result.status = VerifyStatus::kLpInfeasible;
       // Surface the binding samples as counterexamples: they locate
       // where the closed loop resists *every* template candidate.
@@ -588,7 +658,7 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     result.timings.smt5_time_s += seconds_since(t_smt);
 
     if (check.verdict == smt::SatResult::kUnknown) {
-      if (!interrupted(result)) result.status = VerifyStatus::kSolverBudget;
+      if (!interrupted(result)) result.status = unknown_status();
       finish_generator_phase(result);
       return result;
     }
@@ -637,7 +707,7 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
   if (problem_.has_invariant_dims()) {
     const smt::IcpResult inv = check_domain_invariance();
     if (inv.verdict == smt::SatResult::kUnknown) {
-      if (!interrupted(result)) result.status = VerifyStatus::kSolverBudget;
+      if (!interrupted(result)) result.status = unknown_status();
       finish_level_phase(result);
       return result;
     }
@@ -672,7 +742,7 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     const smt::IcpResult init_check =
         check_initial_contained(*generator, level);
     if (init_check.verdict == smt::SatResult::kUnknown) {
-      if (!interrupted(result)) result.status = VerifyStatus::kSolverBudget;
+      if (!interrupted(result)) result.status = unknown_status();
       break;
     }
     if (init_check.is_sat()) {
@@ -684,7 +754,7 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     const smt::IcpResult unsafe_check =
         check_level_exclusion(*generator, level);
     if (unsafe_check.verdict == smt::SatResult::kUnknown) {
-      if (!interrupted(result)) result.status = VerifyStatus::kSolverBudget;
+      if (!interrupted(result)) result.status = unknown_status();
       break;
     }
     if (unsafe_check.is_sat()) {
@@ -702,6 +772,7 @@ VerifyResult BarrierPipeline<Form>::run(PipelineHooks hooks) {
     result.status = VerifyStatus::kSafe;
     result.level = level;
   } else if (result.status != VerifyStatus::kSolverBudget &&
+             result.status != VerifyStatus::kResourceExhausted &&
              result.status != VerifyStatus::kCancelled &&
              result.status != VerifyStatus::kDeadlineExceeded) {
     result.status = VerifyStatus::kLevelSetFailed;

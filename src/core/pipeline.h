@@ -90,6 +90,11 @@ struct PipelineHooks {
   /// alternate optima a different (equally optimal) vertex may be
   /// reported than a cold solve would find.
   lp::LpBasis* warm_basis_io = nullptr;
+  /// Per-job memory budget (the Engine's resource governor): the ICP
+  /// frontier and UNSAT-tree recorder charge against it, and a latched
+  /// quota breach surfaces as VerifyStatus::kResourceExhausted instead
+  /// of unbounded growth. Null = unlimited.
+  MemoryBudget* mem_budget = nullptr;
 };
 
 template <typename Form>
@@ -255,6 +260,14 @@ class BarrierPipeline {
   /// Sets the status and returns true when the run should stop (cancel
   /// fired or deadline passed).
   bool interrupted(VerifyResult& result) const;
+  /// What a kUnknown ICP verdict means for this run: kResourceExhausted
+  /// when the job's memory budget latched (the query wound down because
+  /// admission stopped, not because the solver budget ran out),
+  /// kSolverBudget otherwise.
+  VerifyStatus unknown_status() const;
+  /// The procedure body; run() wraps it to stamp the degradation
+  /// snapshot and the typed error onto every exit path.
+  VerifyResult run_impl();
   void report_progress(JobPhase phase, int candidate_iteration,
                        int level_iteration) const;
 
@@ -263,6 +276,10 @@ class BarrierPipeline {
   TemplateSpec spec_;
   typename Traits::Context context_;
   PipelineHooks hooks_;  ///< live during run(); defaults otherwise
+  /// Per-run fallback tallies (tape→tree, SIMD downgrade, cold starts),
+  /// shared with the ICP workers via IcpConfig::degrade. Mutable: the
+  /// const query helpers hand out a non-const pointer.
+  mutable DegradationCounters degrade_;
 };
 
 extern template class BarrierPipeline<QuadraticForm>;

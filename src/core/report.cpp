@@ -24,21 +24,34 @@ void write_rect_json(std::ostream& os, const Rect& r) {
   os << '}';
 }
 
-std::string escape(const std::string& s) {
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  static const char* hex = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out += "\\u00";
+          out.push_back(hex[u >> 4]);
+          out.push_back(hex[u & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      }
     }
-    out.push_back(c);
   }
   return out;
 }
-
-}  // namespace
 
 void write_text_report(std::ostream& os, const VerifyResult& result,
                        const BarrierProblem& problem,
@@ -102,8 +115,8 @@ void write_json_report(std::ostream& os, const VerifyResult& result,
                        const ReportContext& ctx) {
   os.precision(17);
   os << "{\n";
-  os << "  \"system\": \"" << escape(ctx.system_name) << "\",\n";
-  os << "  \"controller\": \"" << escape(ctx.controller_description)
+  os << "  \"system\": \"" << json_escape(ctx.system_name) << "\",\n";
+  os << "  \"controller\": \"" << json_escape(ctx.controller_description)
      << "\",\n";
   os << "  \"verdict\": \"" << verify_status_name(result.status) << "\",\n";
   os << "  \"safe\": " << (result.safe() ? "true" : "false") << ",\n";
@@ -165,6 +178,14 @@ void write_result_json(std::ostream& os, const VerifyResult& result) {
   os << "\"level\": " << result.level << ", ";
   os << "\"lp_margin\": " << result.lp_margin << ", ";
   os << "\"counterexamples\": " << result.counterexamples.size() << ", ";
+  os << "\"error\": {\"code\": \"" << error_code_name(result.error.code)
+     << "\", \"message\": \"" << json_escape(result.error.message)
+     << "\"}, ";
+  const DegradationReport& d = result.degradation;
+  os << "\"degradation\": {\"tape_to_tree\": " << d.tape_to_tree
+     << ", \"simd_downgrade\": " << d.simd_downgrade
+     << ", \"cache_cold\": " << d.cache_cold << ", \"lp_cold\": " << d.lp_cold
+     << ", \"retries\": " << d.retries << "}, ";
   const VerifyTimings& t = result.timings;
   os << "\"candidate_iterations\": " << t.candidate_iterations << ", ";
   os << "\"lp_time_s\": " << t.lp_time_s << ", ";

@@ -24,6 +24,13 @@ struct ReportContext {
   double delta = 1e-3;
 };
 
+/// Escapes \p s for inclusion inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, \\n/\\r/\\t use their short forms
+/// and every other control character (< 0x20) is emitted as \\u00XX.
+/// Shared by the report writers and the Engine campaign summaries so
+/// scenario names and error messages can never break the document.
+std::string json_escape(const std::string& s);
+
 /// Plain-text report (sections: verdict, certificate, procedure, timing).
 void write_text_report(std::ostream& os, const VerifyResult& result,
                        const BarrierProblem& problem,

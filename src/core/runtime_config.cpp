@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <unordered_set>
+
+#include "src/core/fault.h"
 
 extern "C" char** environ;
 
@@ -12,18 +16,54 @@ namespace bcert::core {
 namespace {
 
 /// The single warning channel: collected when the caller provided a
-/// sink, otherwise printed to stderr with a uniform prefix.
+/// sink, otherwise printed to stderr with a uniform prefix. The stderr
+/// path dedupes per message text (which embeds the variable name and
+/// offending value), so re-parsing the same malformed environment —
+/// every from_env() call in a long-lived process — emits one line, not
+/// one per parse.
 struct WarningSink {
   std::vector<std::string>* out;
 
   void warn(std::string message) const {
     if (out != nullptr) {
       out->push_back(std::move(message));
-    } else {
-      std::fprintf(stderr, "bcert: config: %s\n", message.c_str());
+      return;
     }
+    static std::mutex mu;
+    static std::unordered_set<std::string>* seen =
+        new std::unordered_set<std::string>;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!seen->insert(message).second) return;
+    }
+    std::fprintf(stderr, "bcert: config: %s\n", message.c_str());
   }
 };
+
+/// `BCERT_MEM_QUOTA` parse: non-negative decimal bytes with an optional
+/// K/M/G (case-insensitive, optionally B-suffixed) binary multiplier.
+bool parse_mem_quota(const char* text, std::uint64_t& value) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text) return false;
+  std::uint64_t mult = 1;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': mult = 1ull << 10; break;
+      case 'm': case 'M': mult = 1ull << 20; break;
+      case 'g': case 'G': mult = 1ull << 30; break;
+      default: return false;
+    }
+    ++end;
+    if (*end == 'b' || *end == 'B') ++end;
+    if (*end != '\0') return false;
+  }
+  if (v > UINT64_MAX / mult) return false;
+  value = static_cast<std::uint64_t>(v) * mult;
+  return true;
+}
 
 /// Strict positive-integer parse: the whole token must be a decimal
 /// integer in (0, max]. Returns false (and leaves \p value untouched)
@@ -59,7 +99,7 @@ bool parse_toggle(const char* text, ConfigToggle& value) {
 /// run does not trip the unknown-variable warning.
 constexpr const char* kKnownVars[] = {
     "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM", "BCERT_LP_WARM",
-    "BCERT_HC4_MODE", "BCERT_ICP_SIMD",
+    "BCERT_HC4_MODE", "BCERT_ICP_SIMD", "BCERT_FAULT", "BCERT_MEM_QUOTA",
     // bench-only size knobs (see the README table)
     "BCERT_ICP_BOXES", "BCERT_ICP_WARM_ITERS", "BCERT_HC4_CONTRACTS",
     "BCERT_LP_ROWS", "BCERT_LP_ITERS", "BCERT_ROLLOUTS",
@@ -86,7 +126,14 @@ void warn_unknown_vars(const WarningSink& sink) {
 
 RuntimeConfig& active_instance() {
   // First use parses the environment; warnings go straight to stderr.
-  static RuntimeConfig config = RuntimeConfig::from_env();
+  // The BCERT_FAULT spec arms the process-wide registry here (and in
+  // set_active) rather than in from_env, so sink-driven test parses
+  // never inject faults as a side effect.
+  static RuntimeConfig config = [] {
+    RuntimeConfig c = RuntimeConfig::from_env();
+    FaultRegistry::configure(c.fault_spec);
+    return c;
+  }();
   return config;
 }
 
@@ -148,6 +195,24 @@ RuntimeConfig RuntimeConfig::from_env(std::vector<std::string>* warnings) {
     }
   }
 
+  if (const char* v = std::getenv("BCERT_FAULT")) {
+    std::vector<std::string> errors;
+    if (FaultRegistry::validate(v, &errors)) {
+      config.fault_spec = v;
+    } else {
+      for (const std::string& e : errors) {
+        sink.warn("BCERT_FAULT: " + e + "; ignoring the spec");
+      }
+    }
+  }
+  if (const char* v = std::getenv("BCERT_MEM_QUOTA")) {
+    if (!parse_mem_quota(v, config.mem_quota_bytes)) {
+      sink.warn(std::string("BCERT_MEM_QUOTA=\"") + v +
+                "\" is not a byte count (optionally K/M/G-suffixed); "
+                "quota disabled");
+    }
+  }
+
   warn_unknown_vars(sink);
   return config;
 }
@@ -156,6 +221,7 @@ const RuntimeConfig& RuntimeConfig::active() { return active_instance(); }
 
 void RuntimeConfig::set_active(const RuntimeConfig& config) {
   active_instance() = config;
+  FaultRegistry::configure(config.fault_spec);
 }
 
 }  // namespace bcert::core

@@ -78,6 +78,19 @@ struct RuntimeConfig {
   /// (`avx2`, `sse2` or `scalar`).
   ConfigSimd icp_simd = ConfigSimd::kAuto;
 
+  /// Deterministic fault-injection spec installed into the process-wide
+  /// `FaultRegistry` when this config becomes active (see
+  /// src/core/fault.h for the grammar, e.g.
+  /// `tape_compile:throw@3,lp_solve:delay=50ms@every:7`). Empty = no
+  /// faults. Env: `BCERT_FAULT`; a malformed spec warns and is dropped.
+  std::string fault_spec;
+
+  /// Default per-job memory quota in bytes for the resource governor
+  /// (`MemoryBudget`); 0 = unlimited. Jobs can override it through
+  /// `JobOptions::mem_quota_bytes`. Env: `BCERT_MEM_QUOTA` (bytes, or
+  /// with a `K`/`M`/`G` suffix, e.g. `256M`).
+  std::uint64_t mem_quota_bytes = 0;
+
   /// Parses the `BCERT_*` environment with strict validation. Malformed
   /// or unknown variables produce one diagnostic each: appended to
   /// \p warnings when given, otherwise written to stderr through the

@@ -74,6 +74,9 @@ const char* verify_status_name(VerifyStatus s) {
     case VerifyStatus::kCancelled: return "no-conclusion(cancelled)";
     case VerifyStatus::kDeadlineExceeded:
       return "no-conclusion(deadline-exceeded)";
+    case VerifyStatus::kResourceExhausted:
+      return "no-conclusion(resource-exhausted)";
+    case VerifyStatus::kInternalError: return "no-conclusion(internal-error)";
   }
   return "?";
 }

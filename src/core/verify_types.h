@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/core/fault.h"
 #include "src/core/lp_synthesis.h"
 #include "src/core/polynomial_form.h"
 #include "src/core/quadratic_form.h"
@@ -140,6 +141,8 @@ enum class VerifyStatus : std::uint8_t {
   kDomainNotInvariant,       ///< flow exits a domain-only face
   kCancelled,                ///< job cancelled via its CancellationToken
   kDeadlineExceeded,         ///< job deadline elapsed mid-pipeline
+  kResourceExhausted,        ///< memory quota hit (resource governor)
+  kInternalError,            ///< exception crossed the job boundary
 };
 
 const char* verify_status_name(VerifyStatus s);
@@ -184,6 +187,14 @@ struct VerifyResult {
   double lp_margin = 0.0;                  ///< margin of the final LP
   VerifyTimings timings;
   std::vector<linalg::Vector> counterexamples;  ///< CEX states from (5)
+  /// Typed error detail for the failure statuses (kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted, kInternalError); ok() for
+  /// every analytic outcome.
+  Status error;
+  /// Degradation-ladder decisions taken while producing this result
+  /// (tape→tree, SIMD downgrades, cold starts, LP cold solves, campaign
+  /// retries). All-zero on a clean run.
+  DegradationReport degradation;
 
   bool safe() const { return status == VerifyStatus::kSafe; }
   /// W(x) of whichever generator is set; requires one to be set.

@@ -10,6 +10,7 @@ const char* lp_status_name(LpStatus s) {
     case LpStatus::kInfeasible: return "infeasible";
     case LpStatus::kUnbounded: return "unbounded";
     case LpStatus::kIterLimit: return "iteration-limit";
+    case LpStatus::kInterrupted: return "interrupted";
   }
   return "?";
 }

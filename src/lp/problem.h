@@ -66,10 +66,11 @@ struct LpProblem {
 
 /// Solver status.
 enum class LpStatus : std::uint8_t {
-  kOptimal,     ///< optimal basic solution found
-  kInfeasible,  ///< constraint system has no solution
-  kUnbounded,   ///< objective unbounded over the feasible set
-  kIterLimit,   ///< SimplexOptions::max_iterations exhausted
+  kOptimal,      ///< optimal basic solution found
+  kInfeasible,   ///< constraint system has no solution
+  kUnbounded,    ///< objective unbounded over the feasible set
+  kIterLimit,    ///< SimplexOptions::max_iterations exhausted
+  kInterrupted,  ///< SimplexOptions::interrupt fired mid-solve
 };
 
 /// Human-readable name of \p s (never nullptr).

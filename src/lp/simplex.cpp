@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/fault.h"
+
 namespace bcert::lp {
 
 namespace {
@@ -321,6 +323,9 @@ class Tableau {
       }
       const std::optional<LpStatus> s = dual_iterate();
       if (!s) return std::nullopt;
+      // An interrupt is terminal everywhere — a cold retry would only
+      // burn pivots past a deadline that has already expired.
+      if (*s == LpStatus::kInterrupted) return *s;
       // An iteration-limited repair phase is abandoned too: the cold
       // path decides the status with the budget that remains.
       if (*s != LpStatus::kOptimal) return std::nullopt;
@@ -464,9 +469,19 @@ class Tableau {
     return n_;
   }
 
+  /// Polls the cooperative interrupt every kInterruptStride pivots (the
+  /// poll itself may be an arbitrary user callback — keep it off the
+  /// per-pivot path).
+  bool interrupted() const {
+    return opts_.interrupt && iters_ % kInterruptStride == 0 &&
+           opts_.interrupt();
+  }
+
   LpStatus primal_iterate() {
     for (;; ++iters_) {
       if (iters_ >= opts_.max_iterations) return LpStatus::kIterLimit;
+      if (interrupted()) return LpStatus::kInterrupted;
+      core::FaultRegistry::check(core::FaultPoint::kLpPivot);
       const bool bland = iters_ >= opts_.bland_after;
       const std::size_t enter = bland ? pick_bland() : pick_dantzig();
       if (enter == n_) return LpStatus::kOptimal;
@@ -499,6 +514,8 @@ class Tableau {
   std::optional<LpStatus> dual_iterate() {
     for (;; ++iters_) {
       if (iters_ >= opts_.max_iterations) return LpStatus::kIterLimit;
+      if (interrupted()) return LpStatus::kInterrupted;
+      core::FaultRegistry::check(core::FaultPoint::kLpPivot);
       // Leaving row: most negative basic value; after bland_after
       // iterations, the lowest infeasible row instead (the dual
       // analogue of the primal Bland switch, against degenerate
@@ -599,6 +616,7 @@ void finalize(LpSolution& sol, LpStatus status, const Tableau& tab,
 }  // namespace
 
 LpSolution solve_lp(const LpProblem& problem, const SimplexOptions& opts) {
+  core::FaultRegistry::check(core::FaultPoint::kLpSolve);
   const StandardForm sf = build_standard_form(problem);
 
   LpSolution sol;

@@ -30,6 +30,8 @@
 /// contract). Built for the small/medium dense problems of the
 /// barrier-synthesis loop.
 
+#include <functional>
+
 #include "src/lp/problem.h"
 
 namespace bcert::lp {
@@ -53,7 +55,16 @@ struct SimplexOptions {
   /// Basis to start from (see LpBasis for the contract). Empty = cold
   /// two-phase start.
   LpBasis warm_start;
+  /// Cooperative interrupt, polled every kInterruptStride pivots inside
+  /// the phase loops. Once it returns true the solve stops with
+  /// LpStatus::kInterrupted — how the pipeline enforces job deadlines
+  /// and cancellation on LP-heavy candidates that would otherwise run a
+  /// full pivot budget past the wall clock. Null = never interrupted.
+  std::function<bool()> interrupt;
 };
+
+/// How many pivots run between SimplexOptions::interrupt polls.
+inline constexpr int kInterruptStride = 64;
 
 /// Solves \p problem; never throws on solver-status conditions (status is
 /// reported in the result), throws std::invalid_argument on malformed

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/fault.h"
 #include "src/core/runtime_config.h"
 #include "src/interval/box_batch.h"
 #include "src/parallel/thread_pool.h"
@@ -74,23 +75,28 @@ struct SharedBudget {
   double time_limit_s;
   std::uint64_t max_boxes;
   const parallel::CancellationToken* interrupt;
+  core::MemoryBudget* mem;
   std::atomic<std::uint64_t> boxes_used{0};
 
   explicit SharedBudget(const IcpConfig& config)
       : start(clock::now()),
         time_limit_s(config.time_limit_s),
         max_boxes(config.max_boxes),
-        interrupt(config.interrupt) {}
+        interrupt(config.interrupt),
+        mem(config.mem_budget) {}
 
   double elapsed_s() const {
     return std::chrono::duration<double>(clock::now() - start).count();
   }
 
-  /// Claims one box; false when the box or time budget is spent or an
-  /// external interrupt fired (all three look like budget exhaustion to
-  /// the solver: the query winds down and reports kUnknown).
+  /// Claims one box; false when the box or time budget is spent, an
+  /// external interrupt fired, or the job's memory budget latched
+  /// exhausted (all look like budget exhaustion to the solver: the query
+  /// winds down and reports kUnknown; the pipeline distinguishes the
+  /// memory case through MemoryBudget::exhausted()).
   bool admit_box() {
     if (interrupt != nullptr && interrupt->cancelled()) return false;
+    if (mem != nullptr && mem->exhausted()) return false;
     if (boxes_used.fetch_add(1, std::memory_order_relaxed) >= max_boxes) {
       return false;
     }
@@ -141,6 +147,11 @@ void merge_stats(IcpStats& into, const IcpStats& from) {
 /// conjunction is compiled exactly once and every worker shares the
 /// immutable tape (each contractor then owns just a register file); in
 /// tree mode each worker compiles its own evaluator, as the seed did.
+///
+/// Two degradation-ladder rungs live here: a tape compilation failure
+/// falls back to the tree backend (bit-identical results, slower), and a
+/// tripped cache_lookup fault treats the tape-cache entry as corrupt —
+/// the conjunction recompiles cold instead of trusting the cache.
 struct ContractorSpec {
   const expr::ExprPool* pool = nullptr;
   const Conjunction* conjunction = nullptr;
@@ -149,12 +160,26 @@ struct ContractorSpec {
   ContractorSpec(const expr::ExprPool& p, const Conjunction& c,
                  const IcpConfig& config) {
     if (resolve_hc4_mode(config.hc4_mode) == Hc4Mode::kTape) {
-      tape = config.tape_cache ? config.tape_cache->get_or_compile(p, c)
-                               : std::make_shared<const Hc4Tape>(p, c);
-    } else {
-      pool = &p;
-      conjunction = &c;
+      try {
+        bool use_cache = config.tape_cache != nullptr;
+        if (use_cache &&
+            core::FaultRegistry::trip(core::FaultPoint::kCacheLookup)) {
+          use_cache = false;
+          if (config.degrade != nullptr) {
+            config.degrade->cache_cold.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        tape = use_cache ? config.tape_cache->get_or_compile(p, c)
+                         : std::make_shared<const Hc4Tape>(p, c);
+        return;
+      } catch (const std::exception&) {
+        if (config.degrade != nullptr) {
+          config.degrade->tape_to_tree.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
     }
+    pool = &p;
+    conjunction = &c;
   }
 
   Hc4Contractor make() const {
@@ -183,7 +208,14 @@ struct WorkItem {
 /// orders that write before any child box is popped elsewhere.
 class TreeRecorder {
  public:
-  TreeRecorder() { ensure_block(0); }  // root (id 0) starts as a leaf
+  explicit TreeRecorder(core::MemoryBudget* mem = nullptr) : mem_(mem) {
+    // Root (id 0) starts as a leaf; no root block → no recording at all.
+    if (!ensure_block(0)) overflow_.store(true, std::memory_order_release);
+  }
+
+  ~TreeRecorder() {
+    if (mem_ != nullptr && charged_ > 0) mem_->release(charged_);
+  }
 
   bool overflow() const { return overflow_.load(std::memory_order_acquire); }
 
@@ -206,8 +238,14 @@ class TreeRecorder {
     // Ensure *both* children's blocks before the ids escape: a sibling
     // pair can straddle a block boundary, and another worker may write
     // node(left) (splitting that child) before this thread runs again.
-    ensure_block(left / kBlockNodes);
-    ensure_block(right / kBlockNodes);  // children default to leaves
+    // A block the memory budget refuses abandons the recording (the
+    // tree is simply not persisted) — recording is an optimization, so
+    // quota pressure degrades it first.
+    if (!ensure_block(left / kBlockNodes) ||
+        !ensure_block(right / kBlockNodes)) {  // children default to leaves
+      overflow_.store(true, std::memory_order_release);
+      return kNone;
+    }
     UnsatTree::Node& p = node(parent);
     p.dim = dim;
     p.value = value;
@@ -236,13 +274,17 @@ class TreeRecorder {
         [id % kBlockNodes];
   }
 
-  void ensure_block(std::size_t j) {
-    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return;
+  bool ensure_block(std::size_t j) {
+    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return true;
     std::lock_guard<std::mutex> lock(grow_m_);
-    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return;
+    if (blocks_[j].load(std::memory_order_acquire) != nullptr) return true;
+    constexpr std::size_t kBlockBytes = kBlockNodes * sizeof(UnsatTree::Node);
+    if (mem_ != nullptr && !mem_->try_charge(kBlockBytes)) return false;
+    charged_ += kBlockBytes;  // under grow_m_
     owned_.push_back(
         std::make_unique<UnsatTree::Node[]>(kBlockNodes));  // all leaves
     blocks_[j].store(owned_.back().get(), std::memory_order_release);
+    return true;
   }
 
   std::atomic<std::uint32_t> next_{1};
@@ -250,6 +292,8 @@ class TreeRecorder {
   std::array<std::atomic<UnsatTree::Node*>, kNumBlocks> blocks_{};
   std::mutex grow_m_;
   std::vector<std::unique_ptr<UnsatTree::Node[]>> owned_;
+  core::MemoryBudget* mem_;
+  std::size_t charged_ = 0;
 };
 
 /// Replays \p seed over \p box while reproducing the seed's split
@@ -285,10 +329,18 @@ class QueryContext {
       : pool_(&pool), box_(box), config_(&config) {
     if (box.is_empty()) return;  // no seeds: trivially UNSAT
     if (icp_warm_enabled(config)) {
-      rec_ = std::make_unique<TreeRecorder>();
+      rec_ = std::make_unique<TreeRecorder>(config.mem_budget);
       // Hash the conjunction's shape once; publish() reuses it.
       signature_ = structural_signature(pool, c);
-      if (const auto seed = config.unsat_cache->find(pool, signature_, box)) {
+      // A tripped cache_lookup fault treats any cached seed as stale:
+      // the query cold-starts from the full box, exactly the stale-seed
+      // recovery path the UNSAT-tree cache already has.
+      if (core::FaultRegistry::trip(core::FaultPoint::kCacheLookup)) {
+        if (config.degrade != nullptr) {
+          config.degrade->cache_cold.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (const auto seed =
+                     config.unsat_cache->find(pool, signature_, box)) {
         seeds_ = replay_seed(*seed, box, rec_.get());
         warm_ = seeds_.size() > 1;
       }
@@ -336,9 +388,12 @@ class BatchContractor {
  public:
   BatchContractor(const ContractorSpec& spec, const IcpConfig& config,
                   std::size_t dims, int batch)
-      : passes_(config.hc4_passes), ratio_(config.hc4_improvement) {
+      : passes_(config.hc4_passes),
+        ratio_(config.hc4_improvement),
+        degrade_(config.degrade) {
     if (spec.tape != nullptr && batch > 1) {
       tape_ = spec.tape;
+      tier_ = resolve_simd_tier();
       boxes_ = BoxBatch(dims, static_cast<std::size_t>(batch));
       regs_ = tape_->make_batch_registers(static_cast<std::size_t>(batch));
     } else {
@@ -351,10 +406,21 @@ class BatchContractor {
                 std::vector<Hc4Tape::LaneOutcome>& out) {
     out.resize(k);
     if (tape_ != nullptr) {
+      // Ladder rung: a tripped simd_dispatch fault walks this worker
+      // down one tier (AVX2 → SSE2 → scalar) for the rest of the query.
+      // Sound and invisible in results — every tier is bit-identical
+      // per lane by the tape batch contract.
+      if (core::FaultRegistry::trip(core::FaultPoint::kSimdDispatch) &&
+          tier_ != SimdTier::kScalar) {
+        tier_ = tier_ == SimdTier::kAvx2 ? SimdTier::kSse2 : SimdTier::kScalar;
+        if (degrade_ != nullptr) {
+          degrade_->simd_downgrade.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
       boxes_.clear();
       for (std::size_t i = 0; i < k; ++i) boxes_.push_back(items[i].box);
       tape_->contract_fixpoint_batch(boxes_, regs_, passes_, ratio_,
-                                     out.data());
+                                     out.data(), tier_);
       for (std::size_t i = 0; i < k; ++i) {
         if (out[i].result != ContractResult::kEmpty) {
           items[i].box = boxes_.box(i);
@@ -375,7 +441,9 @@ class BatchContractor {
  private:
   int passes_;
   double ratio_;
+  core::DegradationCounters* degrade_;
   std::shared_ptr<const Hc4Tape> tape_;
+  SimdTier tier_ = SimdTier::kScalar;
   BoxBatch boxes_;
   Hc4Tape::BatchRegisters regs_;
   std::optional<Hc4Contractor> scalar_;
@@ -437,21 +505,41 @@ void solve_sequential(const ContractorSpec& spec, std::vector<WorkItem> seeds,
   const std::size_t dims = seeds.front().box.size();
   BatchContractor engine(spec, config, dims, batch);
 
+  // Resource governor: the DFS stack's growth is charged per box (the
+  // dominant term — each WorkItem owns dims intervals). A refused
+  // charge latches the budget's exhausted flag and the query winds down
+  // exactly like a spent box budget.
+  core::MemoryBudget* const mem = config.mem_budget;
+  const std::size_t box_bytes =
+      dims * sizeof(Interval) + sizeof(WorkItem);
+  const auto release_frontier = [&](std::size_t boxes) {
+    if (mem != nullptr && boxes > 0) mem->release(boxes * box_bytes);
+  };
+
   // DFS work stack (back = deepest): depth-first finds witnesses fast
   // and keeps memory bounded by (depth × dimension + batch).
   std::vector<WorkItem> work = std::move(seeds);
+  if (mem != nullptr && !mem->try_charge(work.size() * box_bytes)) {
+    outcome.exhausted.store(true, std::memory_order_release);
+    cancel.cancel();
+    return;
+  }
   const auto want = static_cast<std::size_t>(batch);
   std::vector<WorkItem> items(want);
   std::vector<Hc4Tape::LaneOutcome> outcomes;
   std::vector<std::pair<WorkItem, WorkItem>> children;
 
   while (!work.empty()) {
-    if (cancel.cancelled()) return;
+    if (cancel.cancelled()) {
+      release_frontier(work.size());
+      return;
+    }
     const std::size_t k = std::min(want, work.size());
     for (std::size_t i = 0; i < k; ++i) {
       items[i] = std::move(work.back());
       work.pop_back();
     }
+    release_frontier(k);
     std::size_t admitted = 0;
     bool exhausted = false;
     for (; admitted < k; ++admitted) {
@@ -467,8 +555,16 @@ void solve_sequential(const ContractorSpec& spec, std::vector<WorkItem> seeds,
     for (std::size_t i = 0; i < admitted; ++i) {
       if (!settle_item(items[i], outcomes[i], config, rec, outcome, cancel,
                        stats, children)) {
+        release_frontier(work.size());
         return;  // (δ-)SAT reported
       }
+    }
+    if (mem != nullptr && !children.empty() &&
+        !mem->try_charge(2 * children.size() * box_bytes)) {
+      release_frontier(work.size());
+      outcome.exhausted.store(true, std::memory_order_release);
+      cancel.cancel();
+      return;
     }
     // Surviving children go back in reverse pop order, so the deepest
     // box's children surface first (DFS; exact seed order at batch 1).
@@ -477,6 +573,7 @@ void solve_sequential(const ContractorSpec& spec, std::vector<WorkItem> seeds,
       work.push_back(std::move(it->second));
     }
     if (exhausted) {
+      release_frontier(work.size());
       outcome.exhausted.store(true, std::memory_order_release);
       cancel.cancel();
       return;
@@ -562,6 +659,17 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
   Frontier frontier(static_cast<std::size_t>(workers));
   frontier.in_flight.store(static_cast<std::int64_t>(seeds.size()),
                            std::memory_order_relaxed);
+
+  // Resource governor: every box resident in the shared frontier is
+  // charged against the job budget (released on pop, re-charged when
+  // children are pushed). A refused charge winds the query down like a
+  // spent budget.
+  core::MemoryBudget* const mem = config.mem_budget;
+  const std::size_t box_bytes = dims * sizeof(Interval) + sizeof(WorkItem);
+  if (mem != nullptr && !mem->try_charge(seeds.size() * box_bytes)) {
+    outcome.exhausted.store(true, std::memory_order_release);
+    return;
+  }
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     frontier.push_local(i % static_cast<std::size_t>(workers),
                         std::move(seeds[i]));
@@ -572,6 +680,7 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
 
   pool_of(config).run_on_workers(
       static_cast<std::size_t>(workers), [&](std::size_t w) {
+        try {
         BatchContractor engine(spec, config, dims, batch);
         IcpStats& stats = worker_stats[w];
         const auto want = static_cast<std::size_t>(batch);
@@ -592,6 +701,7 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
             continue;
           }
           idle_spins = 0;
+          if (mem != nullptr) mem->release(k * box_bytes);
 
           std::size_t admitted = 0;
           bool exhausted = false;
@@ -612,13 +722,18 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
           }
 
           if (!reported && !exhausted && !children.empty()) {
-            // Children replace their parents: publish the increment
-            // before pushing so peers never observe a transient zero,
-            // then retire the popped batch in one decrement below.
-            frontier.in_flight.fetch_add(
-                static_cast<std::int64_t>(2 * children.size()),
-                std::memory_order_acq_rel);
-            frontier.push_children(w, children);
+            if (mem != nullptr &&
+                !mem->try_charge(2 * children.size() * box_bytes)) {
+              exhausted = true;
+            } else {
+              // Children replace their parents: publish the increment
+              // before pushing so peers never observe a transient zero,
+              // then retire the popped batch in one decrement below.
+              frontier.in_flight.fetch_add(
+                  static_cast<std::int64_t>(2 * children.size()),
+                  std::memory_order_acq_rel);
+              frontier.push_children(w, children);
+            }
           }
           frontier.in_flight.fetch_sub(static_cast<std::int64_t>(k),
                                        std::memory_order_acq_rel);
@@ -629,7 +744,26 @@ void solve_parallel(const ContractorSpec& spec, std::vector<WorkItem> seeds,
             return;
           }
         }
+        } catch (...) {
+          // Job isolation: an exception on one worker (e.g. an injected
+          // hc4_backward fault) must not strand its peers — they spin on
+          // in_flight, which this worker's popped boxes keep nonzero.
+          // Cancel everyone, then let run_on_workers rethrow after all
+          // strands retired.
+          cancel.cancel();
+          throw;
+        }
       });
+
+  if (mem != nullptr) {
+    // Return whatever the wind-down left in the frontier (cancelled and
+    // exhausted exits leave boxes resident).
+    std::size_t remaining = 0;
+    for (Frontier::Shard& shard : frontier.shards) {
+      remaining += shard.stack.size();
+    }
+    mem->release(remaining * box_bytes);
+  }
 
   for (const IcpStats& s : worker_stats) merge_stats(merged_stats, s);
 }
@@ -725,6 +859,7 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
         std::min<std::size_t>(k, static_cast<std::size_t>(threads));
 
     pool_of(config_).run_on_workers(strands, [&](std::size_t) {
+      try {
       while (!cancel.cancelled()) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= k) return;
@@ -767,6 +902,12 @@ IcpResult IcpSolver::solve(const Dnf& dnf, const interval::Box& box) const {
           }
         }
         if (ctx) ctx->publish(results[i].verdict);
+      }
+      } catch (...) {
+        // Fail the whole DNF fast instead of letting sibling disjuncts
+        // run to completion under a doomed query.
+        cancel.cancel();
+        throw;
       }
     });
 

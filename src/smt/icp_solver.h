@@ -66,6 +66,7 @@
 #include <optional>
 #include <string>
 
+#include "src/core/fault.h"
 #include "src/interval/box.h"
 #include "src/smt/constraint.h"
 #include "src/smt/hc4.h"
@@ -129,6 +130,17 @@ struct IcpConfig {
   /// cancellation token here so a cancelled job aborts a long-running
   /// query mid-flight instead of only between pipeline steps.
   const parallel::CancellationToken* interrupt = nullptr;
+  /// Per-job memory budget (resource governor). When set, frontier
+  /// growth and UNSAT-tree recording charge against it; once a charge
+  /// fails the query winds down like an exhausted budget (kUnknown) and
+  /// the caller maps the latched `exhausted()` flag to a typed
+  /// kResourceExhausted verdict. Null = unaccounted.
+  core::MemoryBudget* mem_budget = nullptr;
+  /// Per-job degradation counters (pipeline-owned). When set, the
+  /// ladder rungs taken inside the solver — tape compile failure → tree
+  /// HC4, SIMD tier downgrade, dropped cache entry → cold start — are
+  /// tallied here. Null = not recorded.
+  core::DegradationCounters* degrade = nullptr;
 };
 
 /// Resolves IcpConfig::batch_size: values > 0 are taken (clamped to

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "src/core/fault.h"
 #include "src/expr/eval.h"
 #include "src/smt/projections.h"
 #include "src/smt/tape_kernels.h"
@@ -27,6 +28,9 @@ using tkern::refine_sub;
 
 Hc4Tape::Hc4Tape(const expr::ExprPool& pool, Conjunction conjunction)
     : conjunction_(std::move(conjunction)) {
+  // Degradation-ladder rung: a throw here is caught by the ICP
+  // contractor setup, which falls back to the tree backend.
+  core::FaultRegistry::check(core::FaultPoint::kTapeCompile);
   std::vector<ExprId> roots;
   roots.reserve(conjunction_.size());
   for (const Constraint& k : conjunction_.constraints) roots.push_back(k.lhs);
@@ -194,6 +198,7 @@ ContractResult Hc4Tape::contract(interval::Box& box, Registers& regs,
   // Reverse sweep: instructions are in topological order, so walking the
   // code backwards processes parents before children and each dst's
   // requirement is final when projected downward.
+  core::FaultRegistry::check(core::FaultPoint::kHc4Backward);
   Interval* const reg = regs.data();
   const TapeInstr* const code = code_.data();
   const MulConstSpec* const mc = mul_const_.data();

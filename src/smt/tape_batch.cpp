@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/core/fault.h"
 #include "src/core/runtime_config.h"
 #include "src/expr/eval.h"
 #include "src/smt/projections.h"
@@ -343,6 +344,7 @@ void Hc4Tape::contract_fixpoint_batch(BoxBatch& batch, BatchRegisters& regs,
 
     // Backward sweep, instruction-major across lanes.
     {
+      core::FaultRegistry::check(core::FaultPoint::kHc4Backward);
       const TapeInstr* const code = code_.data();
       const MulConstSpec* const mc = mul_const_.data();
       for (std::size_t i = code_.size(); i-- > 0;) {

@@ -135,6 +135,13 @@ TEST(Engine, PolynomialJobBitIdenticalToDeprecatedShim) {
 // sequence is exactly a fresh run's; the ICP warm machinery itself
 // never changes results on this SAT-free workload.)
 TEST(Engine, CampaignSharesCachesAcrossScenarios) {
+  // Armed cache_lookup / tape_compile faults legitimately change the
+  // cache counters this test pins (cold starts are the intended
+  // degradation); results stay correct, so just skip the stats checks.
+  core::RuntimeConfig::active();  // installs any BCERT_FAULT spec
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: cache stats not stable";
+  }
   EngineOptions eo;
   eo.share_lp_basis = false;
   Engine engine(eo);

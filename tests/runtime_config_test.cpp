@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/fault.h"
 #include "src/core/lp_synthesis.h"
 #include "src/parallel/thread_pool.h"
 #include "src/smt/hc4.h"
@@ -23,15 +24,16 @@ using core::ConfigSimd;
 using core::ConfigToggle;
 using core::RuntimeConfig;
 
-/// Fixture that snapshots and clears the six parsed BCERT_* variables,
-/// so the tests see a deterministic environment even under the CI legs
-/// that exercise the suite with BCERT_THREADS / BCERT_HC4_MODE / ... set.
+/// Fixture that snapshots and clears the parsed BCERT_* variables, so
+/// the tests see a deterministic environment even under the CI legs
+/// that exercise the suite with BCERT_THREADS / BCERT_FAULT / ... set.
 /// Everything is restored on teardown.
 class RuntimeConfigTest : public ::testing::Test {
  protected:
-  static constexpr const char* kVars[6] = {
+  static constexpr const char* kVars[8] = {
       "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM",
-      "BCERT_LP_WARM", "BCERT_HC4_MODE", "BCERT_ICP_SIMD"};
+      "BCERT_LP_WARM", "BCERT_HC4_MODE", "BCERT_ICP_SIMD",
+      "BCERT_FAULT", "BCERT_MEM_QUOTA"};
 
   void SetUp() override {
     for (const char* name : kVars) {
@@ -41,7 +43,7 @@ class RuntimeConfigTest : public ::testing::Test {
     }
   }
   void TearDown() override {
-    for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t i = 0; i < std::size(kVars); ++i) {
       if (saved_[i]) {
         setenv(kVars[i], saved_[i]->c_str(), 1);
       } else {
@@ -145,6 +147,81 @@ TEST_F(RuntimeConfigTest, BenchKnobsAreKnown) {
   unsetenv("BCERT_ICP_BOXES");
   unsetenv("BCERT_SIZES");
   EXPECT_TRUE(warnings.empty()) << warnings.front();
+}
+
+TEST_F(RuntimeConfigTest, FaultSpecParsedWhenWellFormed) {
+  // A CI fault leg may have armed the registry through an earlier
+  // active() call before this fixture scrubbed the environment.
+  core::FaultRegistry::clear();
+  setenv("BCERT_FAULT",
+         "tape_compile:throw@3,lp_solve:delay=50ms@every:7", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.fault_spec, "tape_compile:throw@3,lp_solve:delay=50ms@every:7");
+  EXPECT_TRUE(warnings.empty()) << warnings.front();
+  // from_env only *validates*: parsing an environment must never arm
+  // the process-wide registry as a side effect.
+  EXPECT_FALSE(core::FaultRegistry::enabled());
+}
+
+TEST_F(RuntimeConfigTest, MalformedFaultSpecWarnsAndIsIgnored) {
+  setenv("BCERT_FAULT", "bogus_point:throw,lp_solve:delay=900000ms", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_TRUE(c.fault_spec.empty());
+  ASSERT_EQ(warnings.size(), 2u);
+  EXPECT_NE(warnings[0].find("BCERT_FAULT"), std::string::npos);
+  EXPECT_NE(warnings[0].find("bogus_point"), std::string::npos);
+  EXPECT_NE(warnings[1].find("delay"), std::string::npos);
+}
+
+TEST_F(RuntimeConfigTest, MemQuotaParsesBinarySuffixes) {
+  const auto parse = [this](const char* text) {
+    setenv("BCERT_MEM_QUOTA", text, 1);
+    std::vector<std::string> warnings;
+    const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+    EXPECT_TRUE(warnings.empty()) << text << ": " << warnings.front();
+    return c.mem_quota_bytes;
+  };
+  EXPECT_EQ(parse("1024"), 1024u);
+  EXPECT_EQ(parse("64k"), 64u << 10);
+  EXPECT_EQ(parse("64KB"), 64u << 10);
+  EXPECT_EQ(parse("8M"), 8u << 20);
+  EXPECT_EQ(parse("2g"), 2ull << 30);
+}
+
+TEST_F(RuntimeConfigTest, MalformedMemQuotaWarnsAndDisables) {
+  setenv("BCERT_MEM_QUOTA", "lots", 1);
+  std::vector<std::string> warnings;
+  const RuntimeConfig c = RuntimeConfig::from_env(&warnings);
+  EXPECT_EQ(c.mem_quota_bytes, 0u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("BCERT_MEM_QUOTA"), std::string::npos);
+}
+
+TEST_F(RuntimeConfigTest, StderrWarningsDedupePerMessage) {
+  // Without a sink, warnings go to stderr — but each distinct message
+  // only once per process, however often the same malformed environment
+  // is re-parsed.
+  setenv("BCERT_ICP_BATCH", "dedupe-check-8x", 1);
+  ::testing::internal::CaptureStderr();
+  (void)RuntimeConfig::from_env(nullptr);
+  const std::string first = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(first.find("BCERT_ICP_BATCH"), std::string::npos);
+
+  ::testing::internal::CaptureStderr();
+  (void)RuntimeConfig::from_env(nullptr);
+  (void)RuntimeConfig::from_env(nullptr);
+  const std::string repeats = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(repeats.find("dedupe-check-8x"), std::string::npos) << repeats;
+
+  // A *different* offending value is a different message and still
+  // surfaces.
+  setenv("BCERT_ICP_BATCH", "dedupe-check-9x", 1);
+  ::testing::internal::CaptureStderr();
+  (void)RuntimeConfig::from_env(nullptr);
+  const std::string changed = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(changed.find("dedupe-check-9x"), std::string::npos);
 }
 
 /// RAII guard restoring the active config (the rest of the process

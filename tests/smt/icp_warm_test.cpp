@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/runtime_config.h"
 #include "src/expr/expr.h"
 #include "src/smt/icp_solver.h"
 #include "src/smt/unsat_tree.h"
@@ -82,6 +83,12 @@ TEST(IcpWarm, StructuralSignatureIgnoresConstantValues) {
 }
 
 TEST(IcpWarm, RepeatedQueryWarmStartsAndProcessesFewerBoxes) {
+  // An armed cache_lookup fault legitimately forces cold starts; the
+  // counters this test pins would then undercount by design.
+  core::RuntimeConfig::active();  // installs any BCERT_FAULT spec
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: warm-start stats not stable";
+  }
   ExprPool pool;
   const auto cache = std::make_shared<UnsatTreeCache>();
   const IcpSolver solver(pool, warm_config(cache));
@@ -153,6 +160,10 @@ TEST(IcpWarm, WarmVsColdCandidateSequenceEquivalence) {
 }
 
 TEST(IcpWarm, StaleSeedSilentlyFallsBackToColdStart) {
+  core::RuntimeConfig::active();
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: warm-start stats not stable";
+  }
   ExprPool pool;
   const auto cache = std::make_shared<UnsatTreeCache>();
   const IcpSolver solver(pool, warm_config(cache));
@@ -179,6 +190,10 @@ TEST(IcpWarm, StaleSeedSilentlyFallsBackToColdStart) {
 }
 
 TEST(IcpWarm, PoisonedSeedCannotChangeVerdicts) {
+  core::RuntimeConfig::active();
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: warm-start stats not stable";
+  }
   // Hand-plant a nonsense tree — splits in the wrong places, a split
   // point outside the box, an out-of-range child id — under the exact
   // signature and box of real queries. Replay still partitions the box,
@@ -261,6 +276,10 @@ TEST(IcpWarm, WarmStartsDisabledByConfigFlag) {
 }
 
 TEST(IcpWarm, DnfQueriesWarmStartPerDisjunct) {
+  core::RuntimeConfig::active();  // installs any BCERT_FAULT spec
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: warm-start stats not stable";
+  }
   ExprPool pool;
   const auto cache = std::make_shared<UnsatTreeCache>();
   const IcpSolver solver(pool, warm_config(cache));
