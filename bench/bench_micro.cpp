@@ -14,6 +14,7 @@
 
 #include "bench/bench_common.h"
 #include "src/expr/derivative.h"
+#include "src/scenario/generator.h"
 #include "src/expr/eval.h"
 #include "src/linalg/decompositions.h"
 #include "src/smt/hc4.h"
@@ -648,6 +649,39 @@ void headline_engine_campaign(bench::JsonReport& report) {
               campaign.scenarios_per_sec(), combined.speedup);
 }
 
+void headline_engine_campaign_zoo(bench::JsonReport& report) {
+  // The workload-zoo headline: a generated mixed-plant campaign (all
+  // five families round-robin, jittered dynamics/weights/regions, mixed
+  // quadratic/polynomial templates) through one shared-cache Engine.
+  const int n = bench::env_int("BCERT_ZOO_SCENARIOS", 64);
+  const int seed = bench::env_int("BCERT_ZOO_SEED", 1);
+  scenario::GeneratorConfig config;
+  config.seed = static_cast<std::uint64_t>(seed);
+  config.count = static_cast<std::size_t>(n);
+  config.jitter_templates = true;
+  expr::ExprPool pool;
+  const std::vector<core::Scenario> scenarios =
+      scenario::ScenarioGenerator(pool, config).generate();
+
+  core::Engine engine;
+  core::CampaignResult campaign;
+  const core::JobOptions job = scenario::zoo_job_defaults();
+  const double zoo_s = wall_of([&] {
+    campaign =
+        engine.run_campaign(std::span<const core::Scenario>(scenarios), job);
+  });
+
+  bench::BenchRecord zoo;
+  zoo.name = "engine_campaign_zoo";
+  zoo.wall_time_s = zoo_s;
+  zoo.items_per_sec = campaign.scenarios_per_sec();
+  report.add(zoo);
+  std::printf("headline engine campaign zoo: %d generated scenarios in "
+              "%.3fs (%d safe, %d failed, %.2f scenarios/s)\n",
+              n, zoo_s, campaign.safe_count, campaign.failed_count,
+              campaign.scenarios_per_sec());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -663,6 +697,7 @@ int main(int argc, char** argv) {
   headline_lp(report);
   headline_rk4(report);
   headline_engine_campaign(report);
+  headline_engine_campaign_zoo(report);
   const std::string path = report.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;

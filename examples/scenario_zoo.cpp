@@ -1,0 +1,80 @@
+// The workload zoo end to end: generate a seeded mixed-plant campaign
+// suite, run it through the Engine, and print the verdict table. The
+// same binary doubles as a quick smoke of the differential verdict
+// harness (three-way tape/tree/sampled-point agreement).
+//
+//   BCERT_ZOO_SCENARIOS  suite size            (default 10)
+//   BCERT_ZOO_SEED       generator seed        (default 1)
+//   BCERT_ZOO_QUERIES    differential queries  (default 40)
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/scenario/differential.h"
+#include "src/scenario/generator.h"
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bcert;
+
+  scenario::GeneratorConfig config;
+  config.count = static_cast<std::size_t>(env_int("BCERT_ZOO_SCENARIOS", 10));
+  config.seed = static_cast<std::uint64_t>(env_int("BCERT_ZOO_SEED", 1));
+  config.jitter_templates = true;
+
+  expr::ExprPool pool;
+  scenario::ScenarioGenerator generator(pool, config);
+  const std::vector<core::Scenario> suite = generator.generate();
+
+  std::printf("workload zoo: %zu scenarios, seed %llu\n\n", suite.size(),
+              static_cast<unsigned long long>(config.seed));
+
+  Engine engine;
+  const core::CampaignResult result =
+      engine.run_campaign(std::span<const core::Scenario>(suite),
+                          scenario::zoo_job_defaults());
+
+  std::printf("%-24s %-22s %-10s %9s %9s\n", "scenario", "status",
+              "template", "level", "time[s]");
+  for (const core::ScenarioOutcome& outcome : result.scenarios) {
+    std::printf("%-24s %-22s %-10s %9.4f %9.2f\n", outcome.name.c_str(),
+                verify_status_name(outcome.result.status),
+                core::template_kind_name(outcome.result.template_kind),
+                outcome.result.level, outcome.result.timings.total_time_s);
+  }
+  std::printf("\n%d/%zu safe, %d failed, %zu quarantined, %.2f s wall "
+              "(%.2f scenarios/s)\n",
+              result.safe_count, result.scenarios.size(),
+              result.failed_count, result.quarantined.size(),
+              result.wall_time_s, result.scenarios_per_sec());
+
+  // Differential harness smoke over the first scenarios.
+  const std::size_t queries =
+      static_cast<std::size_t>(env_int("BCERT_ZOO_QUERIES", 40));
+  std::vector<scenario::DifferentialQuery> sampled;
+  for (std::size_t i = 0; i < suite.size() && sampled.size() < queries; ++i) {
+    const std::size_t want =
+        std::min(queries - sampled.size(), std::size_t{8});
+    std::vector<scenario::DifferentialQuery> qs = scenario::sample_queries(
+        suite[i], want, config.seed + i, pool);
+    for (auto& q : qs) sampled.push_back(std::move(q));
+  }
+  const scenario::DifferentialReport report = scenario::run_differential(
+      pool, std::span<const scenario::DifferentialQuery>(sampled));
+  std::printf("\ndifferential harness: %zu queries (%zu sat, %zu unsat), "
+              "%zu disagreements, %zu export failures, %zu KiB smt2\n",
+              report.queries, report.sat_queries, report.unsat_queries,
+              report.disagreements, report.export_failures,
+              report.smt2_bytes / 1024);
+  for (const scenario::VerdictRecord& f : report.failures) {
+    std::printf("  FAIL %s: %s\n", f.label.c_str(), f.detail.c_str());
+  }
+  return report.ok() ? 0 : 1;
+}

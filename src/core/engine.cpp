@@ -160,6 +160,14 @@ VerifyResult collect_with_watchdog(const JobHandle& handle,
   return handle.get();
 }
 
+/// Campaign defaults specialized to one scenario (per-scenario template
+/// override, when set).
+JobOptions scenario_options(const Scenario& s, const JobOptions& defaults) {
+  JobOptions options = defaults;
+  if (s.certificate) options.certificate = *s.certificate;
+  return options;
+}
+
 }  // namespace
 
 CampaignResult Engine::run_campaign(std::span<const Scenario> scenarios,
@@ -173,26 +181,27 @@ CampaignResult Engine::run_campaign(std::span<const Scenario> scenarios,
   std::vector<JobHandle> handles;
   handles.reserve(scenarios.size());
   for (const Scenario& s : scenarios) {
-    handles.push_back(submit(s.problem, defaults));
+    handles.push_back(submit(s.problem, scenario_options(s, defaults)));
   }
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const JobOptions options = scenario_options(scenarios[i], defaults);
     ScenarioOutcome outcome;
     outcome.name = scenarios[i].name;
     outcome.result =
-        collect_with_watchdog(handles[i], defaults, outcome.name);
+        collect_with_watchdog(handles[i], options, outcome.name);
 
     // Bounded serial retry with exponential backoff for transient-class
     // failures (injected faults, escaped exceptions). kWorkerStuck,
     // deadline and quota breaches are deterministic — no retry.
-    double backoff = defaults.retry.backoff_s;
+    double backoff = options.retry.backoff_s;
     while (outcome.result.error.retryable() &&
-           outcome.attempts <= defaults.retry.max_retries) {
+           outcome.attempts <= options.retry.max_retries) {
       if (backoff > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-        backoff *= defaults.retry.backoff_multiplier;
+        backoff *= options.retry.backoff_multiplier;
       }
-      const JobHandle retry = submit(scenarios[i].problem, defaults);
-      outcome.result = collect_with_watchdog(retry, defaults, outcome.name);
+      const JobHandle retry = submit(scenarios[i].problem, options);
+      outcome.result = collect_with_watchdog(retry, options, outcome.name);
       ++outcome.attempts;
     }
     outcome.result.degradation.retries =

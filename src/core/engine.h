@@ -34,6 +34,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -161,10 +162,14 @@ class JobHandle {
   std::shared_ptr<JobState> state_;
 };
 
-/// One named campaign scenario.
+/// One named campaign scenario. `certificate`, when set, overrides the
+/// campaign-default template for this scenario only — how a generated
+/// mixed suite verifies some scenarios with a quadratic and others with
+/// a polynomial template in one run_campaign call.
 struct Scenario {
   std::string name;
   BarrierProblem problem;
+  std::optional<TemplateSpec> certificate;
 };
 
 /// Per-scenario campaign outcome. `result.error` carries the typed

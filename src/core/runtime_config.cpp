@@ -105,7 +105,11 @@ constexpr const char* kKnownVars[] = {
     "BCERT_LP_ROWS", "BCERT_LP_ITERS", "BCERT_ROLLOUTS",
     "BCERT_CAMPAIGN_SCENARIOS", "BCERT_SIZES", "BCERT_SEEDS", "BCERT_TRAIN",
     "BCERT_FIG4_ITERS", "BCERT_FIG4_POP", "BCERT_FIG5_TRAIN",
-    "BCERT_TEMPLATE_DEG6"};
+    "BCERT_TEMPLATE_DEG6",
+    // workload-zoo knobs (examples/scenario_zoo, bench_micro zoo
+    // headline, and the generated-campaign stress test)
+    "BCERT_ZOO_SCENARIOS", "BCERT_ZOO_SEED", "BCERT_ZOO_QUERIES",
+    "BCERT_SCENARIO_STRESS"};
 
 void warn_unknown_vars(const WarningSink& sink) {
   if (environ == nullptr) return;

@@ -33,6 +33,39 @@ ode::VectorField rnn_closed_loop_field(const ErrorModel& model,
   };
 }
 
+ode::VectorFieldInPlace rnn_closed_loop_field_inplace(
+    const ErrorModel& model, const nn::Ctrnn& controller) {
+  if (controller.num_inputs() != 2 || controller.num_outputs() != 1) {
+    throw std::invalid_argument(
+        "rnn_closed_loop_field_inplace: controller must map (d, theta) -> u");
+  }
+  const double v = model.velocity;
+  const double tr = model.theta_r;
+  const std::size_t k = controller.num_hidden();
+  // Mutable captures = per-instance scratch; the factory hands each
+  // caller (thread) its own (same discipline as closed_loop_field_inplace).
+  return [v, tr, k, net = controller, y = linalg::Vector{},
+          h = linalg::Vector{}, u = linalg::Vector{}, dh = linalg::Vector{},
+          scratch = nn::Ctrnn::Scratch{}](const linalg::Vector& x,
+                                          linalg::Vector& dx) mutable {
+    const double theta_err = x[1];
+    y.resize(2);
+    y[0] = x[0];
+    y[1] = x[1];
+    h.resize(k);
+    for (std::size_t i = 0; i < k; ++i) h[i] = x[2 + i];
+
+    net.output_inplace(h, u);
+    net.hidden_derivative_inplace(y, h, dh, scratch);
+
+    dx.resize(2 + k);
+    dx[0] = -v * std::sin(tr - theta_err) * std::cos(tr) +
+            v * std::cos(tr - theta_err) * std::sin(tr);
+    dx[1] = -u[0];
+    for (std::size_t i = 0; i < k; ++i) dx[2 + i] = dh[i];
+  };
+}
+
 std::vector<expr::ExprId> rnn_closed_loop_field_expr(
     const ErrorModel& model, const nn::Ctrnn& controller,
     expr::ExprPool& pool) {

@@ -23,6 +23,13 @@ namespace bcert::dubins {
 ode::VectorField rnn_closed_loop_field(const ErrorModel& model,
                                        const nn::Ctrnn& controller);
 
+/// Allocation-free augmented field; bit-identical to
+/// rnn_closed_loop_field. Each invocation of the factory-style call
+/// returns an independent instance (own scratch buffers), matching the
+/// BarrierProblem::sim_field_factory contract.
+ode::VectorFieldInPlace rnn_closed_loop_field_inplace(
+    const ErrorModel& model, const nn::Ctrnn& controller);
+
 /// Symbolic augmented field; variables 0 = d, 1 = θ, 2.. = h.
 std::vector<expr::ExprId> rnn_closed_loop_field_expr(
     const ErrorModel& model, const nn::Ctrnn& controller,

@@ -20,6 +20,62 @@ linalg::Vector Ctrnn::output(const linalg::Vector& h) const {
   return wo_ * h + out_bias_;
 }
 
+void Ctrnn::output_inplace(const linalg::Vector& h, linalg::Vector& u) const {
+  linalg::matvec(wo_, h, u);
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] += out_bias_[i];
+}
+
+void Ctrnn::hidden_derivative_inplace(const linalg::Vector& y,
+                                      const linalg::Vector& h,
+                                      linalg::Vector& dh,
+                                      Scratch& scratch) const {
+  linalg::matvec(wx_, y, scratch.pre);
+  linalg::matvec(wh_, h, scratch.rec);
+  dh.resize(num_hidden());
+  for (std::size_t i = 0; i < dh.size(); ++i) {
+    const double pre = scratch.pre[i] + scratch.rec[i] + bias_[i];
+    dh[i] = (-h[i] + apply(act_, pre)) / tau_;
+  }
+}
+
+std::size_t Ctrnn::num_params() const {
+  return wx_.rows() * wx_.cols() + wh_.rows() * wh_.cols() + bias_.size() +
+         wo_.rows() * wo_.cols() + out_bias_.size();
+}
+
+linalg::Vector Ctrnn::parameters() const {
+  linalg::Vector params(num_params());
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < wx_.rows(); ++r)
+    for (std::size_t c = 0; c < wx_.cols(); ++c) params[k++] = wx_(r, c);
+  for (std::size_t r = 0; r < wh_.rows(); ++r)
+    for (std::size_t c = 0; c < wh_.cols(); ++c) params[k++] = wh_(r, c);
+  for (std::size_t i = 0; i < bias_.size(); ++i) params[k++] = bias_[i];
+  for (std::size_t r = 0; r < wo_.rows(); ++r)
+    for (std::size_t c = 0; c < wo_.cols(); ++c) params[k++] = wo_(r, c);
+  for (std::size_t i = 0; i < out_bias_.size(); ++i) {
+    params[k++] = out_bias_[i];
+  }
+  return params;
+}
+
+void Ctrnn::set_parameters(const linalg::Vector& params) {
+  if (params.size() != num_params()) {
+    throw std::invalid_argument("Ctrnn::set_parameters: size mismatch");
+  }
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < wx_.rows(); ++r)
+    for (std::size_t c = 0; c < wx_.cols(); ++c) wx_(r, c) = params[k++];
+  for (std::size_t r = 0; r < wh_.rows(); ++r)
+    for (std::size_t c = 0; c < wh_.cols(); ++c) wh_(r, c) = params[k++];
+  for (std::size_t i = 0; i < bias_.size(); ++i) bias_[i] = params[k++];
+  for (std::size_t r = 0; r < wo_.rows(); ++r)
+    for (std::size_t c = 0; c < wo_.cols(); ++c) wo_(r, c) = params[k++];
+  for (std::size_t i = 0; i < out_bias_.size(); ++i) {
+    out_bias_[i] = params[k++];
+  }
+}
+
 linalg::Vector Ctrnn::hidden_derivative(const linalg::Vector& y,
                                         const linalg::Vector& h) const {
   linalg::Vector pre = wx_ * y + wh_ * h + bias_;

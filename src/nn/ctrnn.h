@@ -62,6 +62,34 @@ class Ctrnn {
   linalg::Vector hidden_derivative(const linalg::Vector& y,
                                    const linalg::Vector& h) const;
 
+  /// Reusable buffers for the allocation-free evaluation path. One
+  /// scratch per thread; contents are overwritten on every call.
+  struct Scratch {
+    linalg::Vector pre, rec;
+  };
+
+  /// Allocation-free output into \p u (resized to num_outputs());
+  /// bit-identical to output().
+  void output_inplace(const linalg::Vector& h, linalg::Vector& u) const;
+
+  /// Allocation-free hidden derivative into \p dh (resized to
+  /// num_hidden()); bit-identical to hidden_derivative().
+  void hidden_derivative_inplace(const linalg::Vector& y,
+                                 const linalg::Vector& h, linalg::Vector& dh,
+                                 Scratch& scratch) const;
+
+  /// Total parameter count: |Wx| + |Wh| + |b| + |Wo| + |bo|.
+  std::size_t num_params() const;
+
+  /// Flattened parameters (Wx row-major, Wh row-major, b, Wo row-major,
+  /// bo) — the same layout discipline as FeedforwardNet::parameters(),
+  /// so generic weight-perturbation code (the scenario generator) treats
+  /// both controller families uniformly.
+  linalg::Vector parameters() const;
+
+  /// Loads flattened parameters; size must equal num_params().
+  void set_parameters(const linalg::Vector& params);
+
   /// Symbolic output over hidden-state expressions.
   std::vector<expr::ExprId> output_expr(
       expr::ExprPool& pool, const std::vector<expr::ExprId>& h) const;

@@ -1,0 +1,93 @@
+#pragma once
+/// \file differential.h
+/// \brief N-way differential verdict harness over generated scenarios.
+///
+/// Samples verifier-shaped refutation queries (decrease-violation,
+/// initial containment, level-set membership, raw field-range) from a
+/// scenario's symbolic field, then answers every query three ways:
+///
+///   1. the δ-SAT ICP solver on the compiled **tape** backend,
+///   2. the same solver on the **tree-walker** backend,
+///   3. a **sampled-point falsification check**: deterministic points in
+///      the query box evaluated in plain double arithmetic — a point
+///      satisfying every constraint with margin is a concrete witness,
+///      so an UNSAT verdict against it is a soundness bug, full stop.
+///
+/// The two solver backends are contractually bit-identical (hc4.h), so
+/// the harness asserts *exact* agreement: same verdict, same witness
+/// box, same boxes-processed count. Every query is additionally
+/// round-tripped through `smt::smtlib_export` and checked for
+/// well-formedness, making each generated scenario a cross-check of the
+/// exporter rather than a trust-me benchmark (percy-style N-way
+/// equivalence testing).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/interval/box.h"
+#include "src/smt/constraint.h"
+#include "src/smt/icp_solver.h"
+
+namespace bcert::scenario {
+
+/// One sampled refutation query: a conjunction over the scenario's pool
+/// plus the box it is asked over.
+struct DifferentialQuery {
+  std::string label;
+  smt::Conjunction conjunction;
+  interval::Box box;
+};
+
+/// Samples \p count queries from a scenario, seeded deterministically.
+/// Queries mix certainly-SAT, certainly-UNSAT and borderline instances
+/// (the interesting disagreements live at the border), and reuse the
+/// scenario's symbolic field so the full plant operator mix — tanh
+/// layers, trig, |·| — reaches the solvers and the exporter.
+std::vector<DifferentialQuery> sample_queries(const core::Scenario& scenario,
+                                              std::size_t count,
+                                              std::uint64_t seed,
+                                              expr::ExprPool& pool);
+
+/// Harness tuning. The solver budget is box-count-bound (not wall-clock)
+/// so both backends explore identical search trees even under load.
+struct HarnessOptions {
+  double delta = 1e-2;             ///< δ of both solver runs
+  std::uint64_t max_boxes = 2000;  ///< branch budget per query
+  std::size_t sample_points = 64;  ///< falsification points per query
+  double point_margin = 1e-7;      ///< strict-satisfaction margin
+  bool export_smtlib = true;       ///< render + validate every query
+};
+
+/// Verdict record of one query (kept only for failures).
+struct VerdictRecord {
+  std::string label;
+  smt::SatResult tape = smt::SatResult::kUnknown;
+  smt::SatResult tree = smt::SatResult::kUnknown;
+  bool point_witness = false;  ///< a sampled point satisfied the query
+  std::string detail;          ///< which check disagreed, and how
+};
+
+/// Aggregate harness outcome.
+struct DifferentialReport {
+  std::size_t queries = 0;
+  std::size_t disagreements = 0;   ///< tape/tree/point verdict conflicts
+  std::size_t export_failures = 0; ///< malformed SMT-LIB renderings
+  std::size_t sat_queries = 0;     ///< (δ-)SAT under the tape backend
+  std::size_t unsat_queries = 0;
+  std::size_t smt2_bytes = 0;      ///< total exported benchmark bytes
+  std::vector<VerdictRecord> failures;
+
+  bool ok() const { return disagreements == 0 && export_failures == 0; }
+};
+
+/// Runs the three-way check over \p queries. \p pool must be the pool
+/// the queries were sampled from.
+DifferentialReport run_differential(const expr::ExprPool& pool,
+                                    std::span<const DifferentialQuery> queries,
+                                    const HarnessOptions& options = {});
+
+}  // namespace bcert::scenario

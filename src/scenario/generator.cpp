@@ -1,0 +1,140 @@
+#include "src/scenario/generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/scenario/prng.h"
+
+namespace bcert::scenario {
+
+namespace {
+
+/// Scales a rectangle's faces about the origin by one factor per
+/// dimension, leaving dimensions past \p jitter_dims untouched (the
+/// CTRNN hidden box must stay exactly [-1, 1] for tanh invariance).
+void jitter_rect(core::Rect& rect, SplitMix64& rng, double relative,
+                 std::size_t jitter_dims) {
+  const std::size_t n = std::min(jitter_dims, rect.dims());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double factor = rng.scale(relative);
+    rect.lo[i] *= factor;
+    rect.hi[i] *= factor;
+  }
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(expr::ExprPool& pool,
+                                     GeneratorConfig config)
+    : pool_(&pool), config_(std::move(config)) {
+  if (config_.families.empty()) {
+    throw std::invalid_argument("ScenarioGenerator: families must be "
+                                "non-empty");
+  }
+}
+
+core::Scenario ScenarioGenerator::generate_one(std::size_t index) {
+  SplitMix64 rng(SplitMix64::derive(config_.seed, index));
+  const PlantFamily family =
+      config_.families[index % config_.families.size()];
+  const double pj = config_.param_jitter;
+
+  core::Scenario s;
+  switch (family) {
+    case PlantFamily::kAcc: {
+      AccParams p;
+      p.max_accel *= rng.scale(pj);
+      p.drag *= rng.scale(pj);
+      p.k_gap *= rng.scale(pj);
+      p.k_vel *= rng.scale(pj);
+      p.weight_jitter = config_.weight_jitter;
+      p.jitter_seed = rng.next_u64();
+      jitter_rect(p.safe_rect, rng, config_.region_jitter, 2);
+      jitter_rect(p.initial_set, rng, config_.region_jitter, 2);
+      s = make_acc_scenario(*pool_, p);
+      break;
+    }
+    case PlantFamily::kQuadrotor: {
+      QuadrotorParams p;
+      p.torque *= rng.scale(pj);
+      p.drag *= rng.scale(pj);
+      p.k_angle *= rng.scale(pj);
+      p.k_rate *= rng.scale(pj);
+      p.weight_jitter = config_.weight_jitter;
+      p.jitter_seed = rng.next_u64();
+      jitter_rect(p.safe_rect, rng, config_.region_jitter, 2);
+      jitter_rect(p.initial_set, rng, config_.region_jitter, 2);
+      s = make_quadrotor_scenario(*pool_, p);
+      break;
+    }
+    case PlantFamily::kPendulumElm: {
+      PendulumParams p;
+      p.gravity *= rng.scale(pj);
+      p.torque *= rng.scale(pj);
+      p.k_angle *= rng.scale(pj);
+      p.k_rate *= rng.scale(pj);
+      p.weight_jitter = config_.weight_jitter;
+      p.jitter_seed = rng.next_u64();
+      jitter_rect(p.safe_rect, rng, config_.region_jitter, 2);
+      jitter_rect(p.initial_set, rng, config_.region_jitter, 2);
+      s = make_pendulum_scenario(*pool_, p);
+      break;
+    }
+    case PlantFamily::kDubinsElm: {
+      DubinsElmParams p;
+      p.velocity *= rng.scale(pj);
+      p.k_d *= rng.scale(pj);
+      p.k_theta *= rng.scale(pj);
+      p.weight_jitter = config_.weight_jitter;
+      p.jitter_seed = rng.next_u64();
+      // The paper's heading bound π/2 − ε is a hard kinematic limit of
+      // the error model; jitter only the cross-track extent.
+      jitter_rect(p.safe_rect, rng, config_.region_jitter, 1);
+      jitter_rect(p.initial_set, rng, config_.region_jitter, 1);
+      s = make_dubins_elm_scenario(*pool_, p);
+      break;
+    }
+    case PlantFamily::kDubinsCtrnn: {
+      DubinsCtrnnParams p;
+      p.velocity *= rng.scale(pj);
+      p.k_d *= rng.scale(pj);
+      p.k_theta *= rng.scale(pj);
+      // τ drives verification hardness steeply (LP-infeasible ≈ 0.2);
+      // keep the jittered lag inside the provably workable band.
+      p.tau = std::clamp(p.tau * rng.scale(pj), 0.05, 0.15);
+      p.weight_jitter = config_.weight_jitter;
+      p.jitter_seed = rng.next_u64();
+      jitter_rect(p.safe_rect, rng, config_.region_jitter, 1);
+      jitter_rect(p.initial_set, rng, config_.region_jitter, 1);
+      s = make_dubins_ctrnn_scenario(*pool_, p);
+      break;
+    }
+  }
+
+  if (config_.jitter_templates && rng.below(2) == 1) {
+    s.certificate = core::TemplateSpec::polynomial(config_.polynomial_degree);
+  }
+  s.name += "-s" + std::to_string(config_.seed) + "-" +
+            std::to_string(index);
+  return s;
+}
+
+std::vector<core::Scenario> ScenarioGenerator::generate() {
+  std::vector<core::Scenario> suite;
+  suite.reserve(config_.count);
+  for (std::size_t i = 0; i < config_.count; ++i) {
+    suite.push_back(generate_one(i));
+  }
+  return suite;
+}
+
+core::JobOptions zoo_job_defaults() {
+  core::JobOptions job;
+  // Long enough for the CTRNN scenarios' lagged transient to die out;
+  // the 2-D plants just sample a little deeper into their spirals.
+  job.verify.trace_duration = 25.0;
+  return job;
+}
+
+}  // namespace bcert::scenario

@@ -1,0 +1,91 @@
+#pragma once
+/// \file generator.h
+/// \brief Seeded, fully deterministic campaign-suite generation over the
+/// workload zoo.
+///
+/// `ScenarioGenerator` emits `std::vector<core::Scenario>` suites of
+/// configurable size for `Engine::run_campaign`: each scenario is a zoo
+/// plant with jittered dynamics constants, jittered region layout (the
+/// unsafe set is the obstacle), an independently perturbed controller,
+/// and — optionally — a per-scenario certificate template override.
+///
+/// ## Seed contract
+///
+/// Scenario `i` of a suite is a pure function of `(config.seed, i,
+/// config)` — nothing else. Concretely:
+///
+///  * all randomness flows from `SplitMix64::derive(config.seed, i)`, a
+///    per-scenario stream that does not depend on how many draws any
+///    other scenario consumed (**prefix stability**: growing `count`
+///    re-emits the same first scenarios, bit-for-bit);
+///  * the stream uses only platform-independent integer mixing and
+///    exact power-of-two scaling (src/scenario/prng.h), never
+///    `std::*_distribution`;
+///  * the family rotates round-robin through `config.families`
+///    (`families[i % families.size()]`), so every suite of length
+///    ≥ families.size() is a mixed-plant suite.
+///
+/// Therefore two generators with equal configs produce bit-identical
+/// suites — same names, same region bounds, same controller weights,
+/// same symbolic fields — which tests/scenario/generator_test.cpp
+/// asserts and the differential harness (differential.h) relies on.
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/scenario/plants.h"
+
+namespace bcert::scenario {
+
+/// Suite-shape and jitter-magnitude knobs. All jitters are bounded and
+/// small by default so generated scenarios stay verifiable (the point is
+/// workload diversity, not adversarial search).
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  std::size_t count = 8;
+  /// Families the suite rotates through; must be non-empty.
+  std::vector<PlantFamily> families{
+      PlantFamily::kAcc, PlantFamily::kQuadrotor, PlantFamily::kPendulumElm,
+      PlantFamily::kDubinsElm, PlantFamily::kDubinsCtrnn};
+  /// Relative jitter of dynamics constants (accel authority, drag,
+  /// torque, gravity, velocity, τ, teacher gains).
+  double param_jitter = 0.05;
+  /// Relative bound of the per-weight controller perturbation.
+  double weight_jitter = 0.02;
+  /// Relative jitter of the region layout (safe-rectangle faces = the
+  /// obstacle boundary, and the initial set).
+  double region_jitter = 0.05;
+  /// When set, scenarios alternate pseudo-randomly between the campaign
+  /// default template and polynomial(polynomial_degree), via the
+  /// per-scenario `Scenario::certificate` override.
+  bool jitter_templates = false;
+  int polynomial_degree = 2;
+};
+
+/// Deterministic scenario-suite generator. All scenarios share the one
+/// expression pool passed in (so structurally repeated queries hit the
+/// Engine's tape and UNSAT-tree caches across the whole suite); the pool
+/// must outlive every use of the generated problems.
+class ScenarioGenerator {
+ public:
+  ScenarioGenerator(expr::ExprPool& pool, GeneratorConfig config = {});
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Scenario \p index of the suite (prefix-stable; see seed contract).
+  core::Scenario generate_one(std::size_t index);
+
+  /// The full suite: generate_one(0 .. count-1).
+  std::vector<core::Scenario> generate();
+
+ private:
+  expr::ExprPool* pool_;
+  GeneratorConfig config_;
+};
+
+/// Campaign defaults that fit every zoo family (the CTRNN scenarios
+/// need longer seed traces than the 2-D plants).
+core::JobOptions zoo_job_defaults();
+
+}  // namespace bcert::scenario

@@ -1,0 +1,244 @@
+#include "src/scenario/plants.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dubins/error_dynamics.h"
+#include "src/dubins/rnn_dynamics.h"
+#include "src/nn/ctrnn.h"
+#include "src/nn/elm.h"
+#include "src/scenario/prng.h"
+
+namespace bcert::scenario {
+
+namespace {
+
+/// Post-fit controller perturbation: scales every flat parameter by an
+/// independent SplitMix64 factor in [1 - magnitude, 1 + magnitude).
+/// Relative (not additive) on purpose: the ridge-regularized output
+/// layers carry small weights whose *shape* encodes the policy, and an
+/// additive kick of the same absolute size wrecks them. Works on
+/// anything with the parameters()/set_parameters() protocol
+/// (FeedforwardNet and Ctrnn).
+template <typename Net>
+void perturb_weights(Net& net, double magnitude, std::uint64_t seed) {
+  if (magnitude <= 0.0) return;
+  SplitMix64 rng(seed);
+  linalg::Vector params = net.parameters();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] *= rng.scale(magnitude);
+  }
+  net.set_parameters(params);
+}
+
+/// Distills an ELM student of \p teacher over the given box.
+nn::FeedforwardNet fit_controller(const nn::TeacherFn& teacher,
+                                  const linalg::Vector& lo,
+                                  const linalg::Vector& hi,
+                                  std::size_t hidden, unsigned seed) {
+  nn::ElmOptions opts;
+  opts.hidden = hidden;
+  opts.samples = 600;
+  opts.seed = seed;
+  return nn::elm_fit(teacher, lo.size(), 1, lo, hi, opts);
+}
+
+}  // namespace
+
+const char* plant_family_name(PlantFamily family) {
+  switch (family) {
+    case PlantFamily::kAcc: return "acc";
+    case PlantFamily::kQuadrotor: return "quadrotor";
+    case PlantFamily::kPendulumElm: return "pendulum-elm";
+    case PlantFamily::kDubinsElm: return "dubins-elm";
+    case PlantFamily::kDubinsCtrnn: return "dubins-ctrnn";
+  }
+  throw std::invalid_argument("plant_family_name: unknown family");
+}
+
+core::Scenario make_acc_scenario(expr::ExprPool& pool,
+                                 const AccParams& params) {
+  const nn::TeacherFn teacher = [kg = params.k_gap,
+                                 kv = params.k_vel](const linalg::Vector& x) {
+    return linalg::Vector{std::tanh(kg * x[0] + kv * x[1])};
+  };
+  nn::FeedforwardNet net =
+      fit_controller(teacher, params.safe_rect.lo, params.safe_rect.hi,
+                     params.hidden, params.controller_seed);
+  perturb_weights(net, params.weight_jitter, params.jitter_seed);
+
+  core::Scenario s;
+  s.name = plant_family_name(PlantFamily::kAcc);
+  core::BarrierProblem& p = s.problem;
+  p.pool = &pool;
+  const double a = params.max_accel;
+  const double cv = params.drag;
+  p.sim_field = [a, cv, net](const linalg::Vector& x) {
+    const double u = net.forward(x)[0];
+    return linalg::Vector{x[1], -a * u - cv * x[1]};
+  };
+  p.sim_field_factory = [a, cv, net] {
+    return [a, cv, net, scratch = nn::ForwardScratch{},
+            u = linalg::Vector{}](const linalg::Vector& x,
+                                  linalg::Vector& dx) mutable {
+      net.forward_inplace(x, u, scratch);
+      dx.resize(2);
+      dx[0] = x[1];
+      dx[1] = -a * u[0] - cv * x[1];
+    };
+  };
+  const expr::ExprId e = pool.var(0);
+  const expr::ExprId v = pool.var(1);
+  const expr::ExprId u = net.to_expr(pool, {e, v})[0];
+  p.sym_field = {v, pool.sub(pool.neg(pool.mul(pool.constant(a), u)),
+                             pool.mul(pool.constant(cv), v))};
+  p.initial_set = params.initial_set;
+  p.safe_rect = params.safe_rect;
+  return s;
+}
+
+core::Scenario make_quadrotor_scenario(expr::ExprPool& pool,
+                                       const QuadrotorParams& params) {
+  const nn::TeacherFn teacher =
+      [ka = params.k_angle, kr = params.k_rate](const linalg::Vector& x) {
+        return linalg::Vector{std::tanh(-ka * x[0] - kr * x[1])};
+      };
+  nn::FeedforwardNet net =
+      fit_controller(teacher, params.safe_rect.lo, params.safe_rect.hi,
+                     params.hidden, params.controller_seed);
+  perturb_weights(net, params.weight_jitter, params.jitter_seed);
+
+  core::Scenario s;
+  s.name = plant_family_name(PlantFamily::kQuadrotor);
+  core::BarrierProblem& p = s.problem;
+  p.pool = &pool;
+  const double ct = params.torque;
+  const double cd = params.drag;
+  p.sim_field = [ct, cd, net](const linalg::Vector& x) {
+    const double u = net.forward(x)[0];
+    return linalg::Vector{x[1], ct * u - cd * x[1] * std::abs(x[1])};
+  };
+  p.sim_field_factory = [ct, cd, net] {
+    return [ct, cd, net, scratch = nn::ForwardScratch{},
+            u = linalg::Vector{}](const linalg::Vector& x,
+                                  linalg::Vector& dx) mutable {
+      net.forward_inplace(x, u, scratch);
+      dx.resize(2);
+      dx[0] = x[1];
+      dx[1] = ct * u[0] - cd * x[1] * std::abs(x[1]);
+    };
+  };
+  const expr::ExprId phi = pool.var(0);
+  const expr::ExprId rate = pool.var(1);
+  const expr::ExprId u = net.to_expr(pool, {phi, rate})[0];
+  p.sym_field = {rate,
+                 pool.sub(pool.mul(pool.constant(ct), u),
+                          pool.mul(pool.constant(cd),
+                                   pool.mul(rate, pool.abs(rate))))};
+  p.initial_set = params.initial_set;
+  p.safe_rect = params.safe_rect;
+  return s;
+}
+
+core::Scenario make_pendulum_scenario(expr::ExprPool& pool,
+                                      const PendulumParams& params) {
+  const nn::TeacherFn teacher =
+      [ka = params.k_angle, kr = params.k_rate](const linalg::Vector& x) {
+        return linalg::Vector{std::tanh(-ka * x[0] - kr * x[1])};
+      };
+  // Fit over the safe rectangle inflated ~15% so the student tracks the
+  // teacher slightly beyond every face it must prove decrease on.
+  linalg::Vector lo = params.safe_rect.lo;
+  linalg::Vector hi = params.safe_rect.hi;
+  for (std::size_t i = 0; i < lo.size(); ++i) {
+    lo[i] *= 1.15;
+    hi[i] *= 1.15;
+  }
+  nn::FeedforwardNet net = fit_controller(teacher, lo, hi, params.hidden,
+                                          params.controller_seed);
+  perturb_weights(net, params.weight_jitter, params.jitter_seed);
+
+  core::Scenario s;
+  s.name = plant_family_name(PlantFamily::kPendulumElm);
+  core::BarrierProblem& p = s.problem;
+  p.pool = &pool;
+  const double g = params.gravity;
+  const double ct = params.torque;
+  p.sim_field = [g, ct, net](const linalg::Vector& x) {
+    const double u = net.forward(x)[0];
+    return linalg::Vector{x[1], g * std::sin(x[0]) + ct * u};
+  };
+  p.sim_field_factory = [g, ct, net] {
+    return [g, ct, net, scratch = nn::ForwardScratch{},
+            u = linalg::Vector{}](const linalg::Vector& x,
+                                  linalg::Vector& dx) mutable {
+      net.forward_inplace(x, u, scratch);
+      dx.resize(2);
+      dx[0] = x[1];
+      dx[1] = g * std::sin(x[0]) + ct * u[0];
+    };
+  };
+  const expr::ExprId th = pool.var(0);
+  const expr::ExprId om = pool.var(1);
+  const expr::ExprId u = net.to_expr(pool, {th, om})[0];
+  p.sym_field = {om, pool.add(pool.mul(pool.constant(g), pool.sin(th)),
+                              pool.mul(pool.constant(ct), u))};
+  p.initial_set = params.initial_set;
+  p.safe_rect = params.safe_rect;
+  return s;
+}
+
+core::Scenario make_dubins_elm_scenario(expr::ExprPool& pool,
+                                        const DubinsElmParams& params) {
+  const nn::TeacherFn teacher =
+      [kd = params.k_d, kt = params.k_theta](const linalg::Vector& x) {
+        return linalg::Vector{std::tanh(kd * x[0] + kt * x[1])};
+      };
+  // The distillation box of dubins::distill_controller: wider than the
+  // verification domain in d, matching the heading range.
+  nn::FeedforwardNet net =
+      fit_controller(teacher, linalg::Vector{-6.0, -1.7},
+                     linalg::Vector{6.0, 1.7}, params.hidden,
+                     params.controller_seed);
+  perturb_weights(net, params.weight_jitter, params.jitter_seed);
+
+  const dubins::ErrorModel model{params.velocity, params.theta_r};
+  core::Scenario s;
+  s.name = plant_family_name(PlantFamily::kDubinsElm);
+  core::BarrierProblem& p = s.problem;
+  p.pool = &pool;
+  p.sim_field = dubins::closed_loop_field(model, net);
+  p.sim_field_factory = [model, net] {
+    return dubins::closed_loop_field_inplace(model, net);
+  };
+  p.sym_field = dubins::closed_loop_field_expr(model, net, pool);
+  p.initial_set = params.initial_set;
+  p.safe_rect = params.safe_rect;
+  return s;
+}
+
+core::Scenario make_dubins_ctrnn_scenario(expr::ExprPool& pool,
+                                          const DubinsCtrnnParams& params) {
+  nn::Ctrnn net = nn::Ctrnn::lagged_policy(
+      linalg::Vector{params.k_d, params.k_theta}, params.tau);
+  perturb_weights(net, params.weight_jitter, params.jitter_seed);
+
+  const dubins::ErrorModel model{params.velocity, params.theta_r};
+  core::Scenario s;
+  s.name = plant_family_name(PlantFamily::kDubinsCtrnn);
+  core::BarrierProblem& p = s.problem;
+  p.pool = &pool;
+  p.sim_field = dubins::rnn_closed_loop_field(model, net);
+  p.sim_field_factory = [model, net] {
+    return dubins::rnn_closed_loop_field_inplace(model, net);
+  };
+  p.sym_field = dubins::rnn_closed_loop_field_expr(model, net, pool);
+  p.initial_set = params.initial_set;
+  p.safe_rect = params.safe_rect;
+  // The hidden state is a controller dimension, not a plant one: its
+  // safe_rect faces are an invariant domain (tanh keeps |h| ≤ 1).
+  p.unsafe_dims = {true, true, false};
+  return s;
+}
+
+}  // namespace bcert::scenario

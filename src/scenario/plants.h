@@ -1,0 +1,171 @@
+#pragma once
+/// \file plants.h
+/// \brief The workload zoo: closed-loop NN-controlled plants packaged as
+/// ready-to-verify campaign scenarios.
+///
+/// Everything before this module funneled through the Dubins car and the
+/// pendulum example. The zoo widens the workload to the paper's own
+/// motivating domain — NN-controlled automotive scenarios (adaptive
+/// cruise control; the Dubins car *is* the paper's lane-keeping error
+/// model) — plus a quadrotor attitude loop, and finally wires the
+/// stateful (CTRNN) and random-feature (ELM) controller families of
+/// src/nn into the verification path.
+///
+/// Every builder returns a complete `core::Scenario`: numeric field,
+/// allocation-free in-place field factory, symbolic field over the
+/// caller's pool, and the paper's X0 / U region structure. The
+/// controllers are fit deterministically from the parameter struct
+/// (same params ⇒ bit-identical scenario), and an optional post-fit
+/// weight perturbation — driven by the platform-independent SplitMix64
+/// stream — gives the scenario generator its NN-weight jitter axis.
+///
+/// | family        | state                | controller        | dims |
+/// |---------------|----------------------|-------------------|------|
+/// | acc           | gap error, rel. vel. | ELM (tanh)        | 2    |
+/// | quadrotor     | roll angle, rate     | ELM (tanh)        | 2    |
+/// | pendulum-elm  | angle, ang. velocity | ELM (tanh)        | 2    |
+/// | dubins-elm    | d_err, theta_err     | ELM (tanh)        | 2    |
+/// | dubins-ctrnn  | d_err, theta_err, h  | CTRNN (stateful)  | 3    |
+
+#include <cstdint>
+#include <cstddef>
+
+#include "src/core/engine.h"
+#include "src/linalg/vector.h"
+
+namespace bcert::scenario {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// The zoo's plant families (stable order: the generator's family
+/// round-robin and the bench suite mix index into this).
+enum class PlantFamily : std::uint8_t {
+  kAcc,
+  kQuadrotor,
+  kPendulumElm,
+  kDubinsElm,
+  kDubinsCtrnn,
+};
+
+inline constexpr std::size_t kPlantFamilyCount = 5;
+
+/// Stable display name ("acc", "quadrotor", "pendulum-elm", ...).
+const char* plant_family_name(PlantFamily family);
+
+/// Adaptive cruise control in relative coordinates behind a constant-
+/// speed lead vehicle. State x = [e, v]: e = headway error (actual gap
+/// minus desired gap), v = closing-speed error (lead minus ego).
+///
+///   ė = v
+///   v̇ = −a·u − c_v·v,   u = h(e, v) ∈ (−1, 1)
+///
+/// with a = acceleration authority and u distilled from the PD teacher
+/// u* = tanh(k_e·e + k_v·v) (accelerate when the gap is too large or
+/// opening). U is the complement of the safe rectangle: its lower e face
+/// is the collision margin, the upper face losing the lead.
+struct AccParams {
+  double max_accel = 2.0;   ///< a: acceleration authority (m/s²)
+  double drag = 0.4;        ///< c_v: relative-velocity damping
+  double k_gap = 0.4;       ///< teacher gap gain k_e
+  double k_vel = 1.2;       ///< teacher closing-speed gain k_v
+  std::size_t hidden = 12;  ///< ELM hidden neurons
+  unsigned controller_seed = 1101;  ///< ELM random-feature seed
+  double weight_jitter = 0.0;  ///< post-fit relative |Δw/w| bound, 0 = none
+  std::uint64_t jitter_seed = 0;    ///< SplitMix64 stream for the jitter
+  core::Rect initial_set{{-0.4, -0.4}, {0.4, 0.4}};
+  core::Rect safe_rect{{-2.5, -2.0}, {2.5, 2.0}};
+};
+
+core::Scenario make_acc_scenario(expr::ExprPool& pool,
+                                 const AccParams& params = {});
+
+/// Quadrotor roll-attitude stabilization. State x = [φ, p]: roll angle
+/// and roll rate.
+///
+///   φ̇ = p
+///   ṗ = c_t·u − c_d·p·|p|,   u = h(φ, p) ∈ (−1, 1)
+///
+/// c_t is the torque authority, c_d·p·|p| the quadratic aerodynamic
+/// drag (the |·| puts kAbs on the verification path), and u is
+/// distilled from u* = tanh(−k_a·φ − k_r·p).
+struct QuadrotorParams {
+  double torque = 4.0;      ///< c_t: normalized torque authority
+  double drag = 0.5;        ///< c_d: quadratic rate-drag coefficient
+  double k_angle = 1.5;     ///< teacher angle gain k_a
+  double k_rate = 0.8;      ///< teacher rate gain k_r
+  std::size_t hidden = 12;
+  unsigned controller_seed = 1102;
+  double weight_jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+  core::Rect initial_set{{-0.15, -0.15}, {0.15, 0.15}};
+  core::Rect safe_rect{{-1.0, -2.0}, {1.0, 2.0}};
+};
+
+core::Scenario make_quadrotor_scenario(expr::ExprPool& pool,
+                                       const QuadrotorParams& params = {});
+
+/// Inverted pendulum stabilized by an ELM controller (the
+/// examples/pendulum_safety.cpp system, promoted into the zoo).
+/// State x = [θ, ω]: θ̇ = ω, ω̇ = g·sin θ + c_t·u with
+/// u = h(θ, ω) distilled from u* = tanh(−k_a·θ − k_r·ω).
+struct PendulumParams {
+  double gravity = 1.0;   ///< g: gravity/length ratio
+  double torque = 3.0;    ///< c_t: torque gain
+  double k_angle = 2.0;   ///< teacher angle gain k_a
+  double k_rate = 1.5;    ///< teacher rate gain k_r
+  std::size_t hidden = 12;
+  unsigned controller_seed = 1103;
+  double weight_jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+  core::Rect initial_set{{-0.2, -0.2}, {0.2, 0.2}};
+  core::Rect safe_rect{{-1.2, -1.5}, {1.2, 1.5}};
+};
+
+core::Scenario make_pendulum_scenario(expr::ExprPool& pool,
+                                      const PendulumParams& params = {});
+
+/// The paper's lane-keeping case study (§4): Dubins-vehicle error
+/// dynamics [d_err, θ_err] under an ELM controller distilled from the
+/// proportional teacher u* = tanh(k_d·d + k_θ·θ). Default regions are
+/// the paper's §4.3 X0 and U.
+struct DubinsElmParams {
+  double velocity = 1.0;   ///< V
+  double theta_r = 0.0;    ///< reference heading
+  double k_d = 0.25;       ///< teacher cross-track gain
+  double k_theta = 2.0;    ///< teacher heading gain
+  std::size_t hidden = 10;
+  unsigned controller_seed = 1104;
+  double weight_jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+  core::Rect initial_set{{-1.0, -kPi / 16.0}, {1.0, kPi / 16.0}};
+  core::Rect safe_rect{{-5.0, -(kPi / 2.0 - 0.01)},
+                       {5.0, kPi / 2.0 - 0.01}};
+};
+
+core::Scenario make_dubins_elm_scenario(expr::ExprPool& pool,
+                                        const DubinsElmParams& params = {});
+
+/// The paper's future-work configuration (§5): the same lane-keeping
+/// plant under a *stateful* CTRNN controller — the lagged realization
+/// of the proportional policy, τ·ḣ = −h + tanh(k_d·d + k_θ·θ), u = h.
+/// Augmented state [d_err, θ_err, h]; the hidden dimension is
+/// domain-only (unsafe_dims = {1, 1, 0}), so the pipeline additionally
+/// proves the flow points inward on the h faces.
+struct DubinsCtrnnParams {
+  double velocity = 1.0;
+  double theta_r = 0.0;
+  double k_d = 0.25;
+  double k_theta = 2.0;
+  double tau = 0.1;   ///< controller lag; LP-infeasible above ≈0.2
+  double weight_jitter = 0.0;
+  std::uint64_t jitter_seed = 0;
+  core::Rect initial_set{{-1.0, -kPi / 16.0, -0.25},
+                         {1.0, kPi / 16.0, 0.25}};
+  core::Rect safe_rect{{-5.0, -(kPi / 2.0 - 0.01), -1.0},
+                       {5.0, kPi / 2.0 - 0.01, 1.0}};
+};
+
+core::Scenario make_dubins_ctrnn_scenario(
+    expr::ExprPool& pool, const DubinsCtrnnParams& params = {});
+
+}  // namespace bcert::scenario

@@ -1,0 +1,255 @@
+// Property/fuzz tests for the two trickiest projection primitives:
+// interval::extended_div (the two-branch relational division behind the
+// HC4 kMul/kDiv reversals) and the even-power backward projection
+// (requirement clipping + two-branch root split). The deterministic
+// cases pin signed zeros, straddling divisors and empty requirements;
+// the fuzz sweeps assert the soundness direction — no value consistent
+// with the relation is ever discarded.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/interval/interval.h"
+#include "src/scenario/prng.h"
+#include "src/smt/hc4.h"
+
+namespace bcert {
+namespace {
+
+using interval::Interval;
+using scenario::SplitMix64;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool in_union(double x, int pieces, const Interval& q1, const Interval& q2) {
+  if (pieces >= 1 && q1.contains(x)) return true;
+  if (pieces >= 2 && q2.contains(x)) return true;
+  return false;
+}
+
+TEST(ExtendedDiv, EmptyOperandsYieldNoPieces) {
+  Interval q1, q2;
+  EXPECT_EQ(interval::extended_div(Interval::empty(), {1.0, 2.0}, q1, q2), 0);
+  EXPECT_TRUE(q1.is_empty());
+  EXPECT_EQ(interval::extended_div({1.0, 2.0}, Interval::empty(), q1, q2), 0);
+  EXPECT_TRUE(q1.is_empty());
+}
+
+TEST(ExtendedDiv, BoundedAwayFromZeroIsOrdinaryDivision) {
+  Interval q1, q2;
+  ASSERT_EQ(interval::extended_div({2.0, 6.0}, {1.0, 2.0}, q1, q2), 1);
+  EXPECT_LE(q1.lo(), 1.0);
+  EXPECT_GE(q1.hi(), 6.0);
+  ASSERT_EQ(interval::extended_div({2.0, 6.0}, {-2.0, -1.0}, q1, q2), 1);
+  EXPECT_LE(q1.lo(), -6.0);
+  EXPECT_GE(q1.hi(), -1.0);
+}
+
+TEST(ExtendedDiv, ZeroInBothIsEntire) {
+  // 0·d = 0 ∈ num holds for every real, so the projection is entire —
+  // the exact point where pointwise operator/ would be wrong to use.
+  Interval q1, q2;
+  ASSERT_EQ(interval::extended_div({-1.0, 1.0}, {-2.0, 2.0}, q1, q2), 1);
+  EXPECT_EQ(q1.lo(), -kInf);
+  EXPECT_EQ(q1.hi(), kInf);
+}
+
+TEST(ExtendedDiv, ExactZeroDivisorWithNonzeroNumeratorIsEmpty) {
+  Interval q1, q2;
+  EXPECT_EQ(interval::extended_div({1.0, 2.0}, {0.0, 0.0}, q1, q2), 0);
+  EXPECT_EQ(interval::extended_div({-2.0, -1.0}, {0.0, 0.0}, q1, q2), 0);
+}
+
+TEST(ExtendedDiv, SignedZeroEndpointsBehaveLikePositiveZero) {
+  // IEEE -0.0 == 0.0, so a [-0.0, b] divisor must take the
+  // zero-touching branch (half-line result), not the bounded-away one.
+  Interval q1, q2;
+  ASSERT_EQ(interval::extended_div({1.0, 2.0}, {-0.0, 4.0}, q1, q2), 1);
+  EXPECT_LE(q1.lo(), 0.25);
+  EXPECT_EQ(q1.hi(), kInf);
+
+  ASSERT_EQ(interval::extended_div({1.0, 2.0}, {-4.0, +0.0}, q1, q2), 1);
+  EXPECT_EQ(q1.lo(), -kInf);
+  EXPECT_GE(q1.hi(), -0.25);
+
+  // [-0.0, +0.0] is the exact-zero divisor.
+  EXPECT_EQ(interval::extended_div({3.0, 5.0}, {-0.0, +0.0}, q1, q2), 0);
+  ASSERT_EQ(interval::extended_div({-0.0, 5.0}, {-0.0, +0.0}, q1, q2), 1);
+  EXPECT_EQ(q1.lo(), -kInf);  // 0 ∈ num: entire
+}
+
+TEST(ExtendedDiv, StraddlingDivisorSplitsIntoTwoHalfLines) {
+  Interval q1, q2;
+  // num = [4, 8], den = [-2, 2]: {n/d} = (-inf, -2] ∪ [2, inf).
+  ASSERT_EQ(interval::extended_div({4.0, 8.0}, {-2.0, 2.0}, q1, q2), 2);
+  EXPECT_EQ(q1.lo(), -kInf);
+  EXPECT_GE(q1.hi(), -2.0);
+  EXPECT_LE(q2.lo(), 2.0);
+  EXPECT_EQ(q2.hi(), kInf);
+  // The gap between the pieces is real: 0 is in neither.
+  EXPECT_FALSE(in_union(0.0, 2, q1, q2));
+
+  // Negative-numerator mirror: the set is the same two half-lines.
+  ASSERT_EQ(interval::extended_div({-8.0, -4.0}, {-2.0, 2.0}, q1, q2), 2);
+  EXPECT_EQ(q1.lo(), -kInf);
+  EXPECT_GE(q1.hi(), -2.0 - 1e-12);
+  EXPECT_LE(q2.lo(), 2.0 + 1e-12);
+  EXPECT_EQ(q2.hi(), kInf);
+  EXPECT_FALSE(in_union(0.0, 2, q1, q2));
+}
+
+TEST(ExtendedDiv, FuzzProjectionNeverLosesAConsistentValue) {
+  // Soundness contract: whenever x·d ∈ num for some d ∈ den, x must be
+  // inside q1 ∪ q2. Sweep random intervals (zero-touching endpoints
+  // included on purpose) and random consistent points.
+  SplitMix64 rng(0xD1FFUL);
+  int checked = 0;
+  for (int iter = 0; iter < 4000; ++iter) {
+    const auto endpoint = [&](double span) {
+      // 1 in 4 endpoints snaps to (signed) zero to hammer the edges.
+      const std::uint64_t pick = rng.below(4);
+      if (pick == 0) return rng.below(2) ? 0.0 : -0.0;
+      return rng.uniform(-span, span);
+    };
+    double nlo = endpoint(10.0), nhi = endpoint(10.0);
+    double dlo = endpoint(4.0), dhi = endpoint(4.0);
+    if (nlo > nhi) std::swap(nlo, nhi);
+    if (dlo > dhi) std::swap(dlo, dhi);
+    const Interval num(nlo, nhi), den(dlo, dhi);
+
+    Interval q1, q2;
+    const int pieces = interval::extended_div(num, den, q1, q2);
+
+    for (int s = 0; s < 16; ++s) {
+      const double d = rng.uniform(dlo, dhi);
+      if (d == 0.0) continue;
+      const double n = rng.uniform(nlo, nhi);
+      const double x = n / d;
+      if (!std::isfinite(x)) continue;
+      // x·d == n ∈ num by construction, so x is consistent.
+      EXPECT_TRUE(in_union(x, pieces, q1, q2))
+          << "lost x=" << x << " = " << n << "/" << d << " for num=["
+          << nlo << "," << nhi << "] den=[" << dlo << "," << dhi << "]";
+      ++checked;
+    }
+  }
+  // The sweep must have exercised a meaningful number of points.
+  EXPECT_GT(checked, 10000);
+}
+
+// --- even-power backward projection -------------------------------------
+
+const smt::Hc4Mode kModes[] = {smt::Hc4Mode::kTree, smt::Hc4Mode::kTape};
+
+TEST(PowEvenProjection, EmptyRequirementPrunes) {
+  for (const smt::Hc4Mode mode : kModes) {
+    expr::ExprPool p;
+    // x⁶ + 3 ≤ 0: the requirement on x⁶ is [-inf, -3] — empty after
+    // clipping to the even power's range [0, inf).
+    smt::Conjunction c;
+    c.add(p.add(p.pow(p.var(0), 6), p.constant(3.0)), smt::Rel::kLe);
+    smt::Hc4Contractor hc4(p, c, mode);
+    interval::Box box = interval::Box::from_bounds({{-2.0, 2.0}});
+    EXPECT_EQ(hc4.contract(box), smt::ContractResult::kEmpty);
+  }
+}
+
+TEST(PowEvenProjection, ZeroBoundaryRequirementContractsToZero) {
+  for (const smt::Hc4Mode mode : kModes) {
+    expr::ExprPool p;
+    // x⁴ ≤ 0: only x = 0 survives; the requirement's negative part must
+    // clip to the signed-zero boundary, not poison the root split.
+    smt::Conjunction c;
+    c.add(p.pow(p.var(0), 4), smt::Rel::kLe);
+    smt::Hc4Contractor hc4(p, c, mode);
+    interval::Box box = interval::Box::from_bounds({{-2.0, 3.0}});
+    const smt::ContractResult r = hc4.contract_fixpoint(box);
+    ASSERT_NE(r, smt::ContractResult::kEmpty);
+    EXPECT_LE(std::abs(box[0].lo()), 1e-9);
+    EXPECT_LE(std::abs(box[0].hi()), 1e-9);
+  }
+}
+
+TEST(PowEvenProjection, StraddlingBoxKeepsBothRootBranches) {
+  for (const smt::Hc4Mode mode : kModes) {
+    expr::ExprPool p;
+    smt::Conjunction c;
+    // x⁴ − 16 ≤ 0 ⇔ |x| ≤ 2.
+    c.add(p.sub(p.pow(p.var(0), 4), p.constant(16.0)), smt::Rel::kLe);
+    {
+      smt::Hc4Contractor hc4(p, c, mode);
+      interval::Box box = interval::Box::from_bounds({{-10.0, 10.0}});
+      EXPECT_EQ(hc4.contract(box), smt::ContractResult::kContracted);
+      EXPECT_GE(box[0].lo(), -2.0 - 1e-9);
+      EXPECT_LE(box[0].hi(), 2.0 + 1e-9);
+      // Both signs survive: the projection did not collapse to one root.
+      EXPECT_LT(box[0].lo(), 0.0);
+      EXPECT_GT(box[0].hi(), 0.0);
+    }
+    {
+      // A negative-only box keeps only the negative branch.
+      smt::Hc4Contractor hc4(p, c, mode);
+      interval::Box box = interval::Box::from_bounds({{-10.0, -1.0}});
+      EXPECT_EQ(hc4.contract(box), smt::ContractResult::kContracted);
+      EXPECT_GE(box[0].lo(), -2.0 - 1e-9);
+      EXPECT_LE(box[0].hi(), -1.0);
+    }
+  }
+}
+
+TEST(PowEvenProjection, FuzzContractionNeverDiscardsASatisfyingPoint) {
+  // Random even-power constraints a·x^{2k} + b·x + c ≤ 0 over random
+  // boxes: any sampled point that satisfies the constraint numerically
+  // (with margin) must still be inside the contracted box — for both
+  // backends, which must also agree exactly.
+  SplitMix64 rng(0x9E37UL);
+  int preserved = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    const int exponent = 2 * (1 + static_cast<int>(rng.below(3)));  // 2,4,6
+    const double a = rng.uniform(0.2, 2.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    const double cc = rng.uniform(-8.0, 2.0);
+    double lo = rng.uniform(-4.0, 4.0), hi = rng.uniform(-4.0, 4.0);
+    if (lo > hi) std::swap(lo, hi);
+
+    const auto value = [&](double x) {
+      return a * std::pow(x, exponent) + b * x + cc;
+    };
+
+    expr::ExprPool p;
+    smt::Conjunction c;
+    const expr::ExprId term = p.add(
+        p.add(p.mul(p.constant(a), p.pow(p.var(0), exponent)),
+              p.mul(p.constant(b), p.var(0))),
+        p.constant(cc));
+    c.add(term, smt::Rel::kLe);
+
+    interval::Box tree_box = interval::Box::from_bounds({{lo, hi}});
+    interval::Box tape_box = tree_box;
+    smt::Hc4Contractor tree(p, c, smt::Hc4Mode::kTree);
+    smt::Hc4Contractor tape(p, c, smt::Hc4Mode::kTape);
+    const smt::ContractResult tr = tree.contract_fixpoint(tree_box);
+    const smt::ContractResult ta = tape.contract_fixpoint(tape_box);
+
+    // Backend agreement is contractual and exact.
+    EXPECT_EQ(tr, ta);
+    EXPECT_EQ(tree_box[0].lo(), tape_box[0].lo());
+    EXPECT_EQ(tree_box[0].hi(), tape_box[0].hi());
+
+    for (int s = 0; s < 32; ++s) {
+      const double x = rng.uniform(lo, hi);
+      if (value(x) > -1e-9) continue;  // not a robust satisfying point
+      EXPECT_NE(tr, smt::ContractResult::kEmpty)
+          << "pruned a satisfying point x=" << x << " (iter " << iter << ")";
+      EXPECT_TRUE(tree_box[0].contains(x))
+          << "discarded x=" << x << " with value " << value(x) << " (iter "
+          << iter << ")";
+      ++preserved;
+    }
+  }
+  EXPECT_GT(preserved, 1000);
+}
+
+}  // namespace
+}  // namespace bcert

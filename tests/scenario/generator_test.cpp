@@ -1,0 +1,197 @@
+// ScenarioGenerator determinism contract + generated-campaign stress.
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/core/fault.h"
+#include "src/expr/eval.h"
+#include "src/scenario/generator.h"
+#include "src/scenario/prng.h"
+
+namespace bcert::scenario {
+namespace {
+
+/// Deterministic in-box points for comparing two scenarios' fields.
+std::vector<linalg::Vector> probe_points(const core::Scenario& s,
+                                         std::size_t count) {
+  const core::Rect& r = s.problem.safe_rect;
+  SplitMix64 rng(0xBEEF);
+  std::vector<linalg::Vector> points;
+  for (std::size_t k = 0; k < count; ++k) {
+    linalg::Vector x(r.dims());
+    for (std::size_t i = 0; i < r.dims(); ++i) {
+      x[i] = rng.uniform(r.lo[i], r.hi[i]);
+    }
+    points.push_back(std::move(x));
+  }
+  return points;
+}
+
+/// Bit-identity of two scenarios: name, regions, certificate kind, and
+/// the numeric field at deterministic probe points.
+void expect_identical(const core::Scenario& a, const core::Scenario& b) {
+  EXPECT_EQ(a.name, b.name);
+  const core::Rect &ra = a.problem.safe_rect, &rb = b.problem.safe_rect;
+  ASSERT_EQ(ra.dims(), rb.dims());
+  for (std::size_t i = 0; i < ra.dims(); ++i) {
+    EXPECT_EQ(ra.lo[i], rb.lo[i]) << a.name << " safe lo " << i;
+    EXPECT_EQ(ra.hi[i], rb.hi[i]) << a.name << " safe hi " << i;
+    EXPECT_EQ(a.problem.initial_set.lo[i], b.problem.initial_set.lo[i]);
+    EXPECT_EQ(a.problem.initial_set.hi[i], b.problem.initial_set.hi[i]);
+  }
+  ASSERT_EQ(a.certificate.has_value(), b.certificate.has_value()) << a.name;
+  if (a.certificate) {
+    EXPECT_EQ(a.certificate->kind, b.certificate->kind);
+    EXPECT_EQ(a.certificate->max_degree, b.certificate->max_degree);
+  }
+  for (const linalg::Vector& x : probe_points(a, 10)) {
+    const linalg::Vector da = a.problem.sim_field(x);
+    const linalg::Vector db = b.problem.sim_field(x);
+    ASSERT_EQ(da.size(), db.size());
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      EXPECT_EQ(da[i], db[i]) << a.name << " field component " << i;
+    }
+  }
+}
+
+TEST(Generator, SameSeedIsBitIdentical) {
+  GeneratorConfig config;
+  config.seed = 42;
+  config.count = 10;
+  config.jitter_templates = true;
+  expr::ExprPool pool_a, pool_b;
+  auto suite_a = ScenarioGenerator(pool_a, config).generate();
+  auto suite_b = ScenarioGenerator(pool_b, config).generate();
+  ASSERT_EQ(suite_a.size(), 10u);
+  ASSERT_EQ(suite_b.size(), 10u);
+  for (std::size_t i = 0; i < suite_a.size(); ++i) {
+    expect_identical(suite_a[i], suite_b[i]);
+  }
+}
+
+TEST(Generator, PrefixStability) {
+  // Growing the suite must re-emit the same leading scenarios: each
+  // scenario's stream derives from (seed, index), never from how much
+  // randomness its predecessors consumed.
+  GeneratorConfig small, large;
+  small.seed = large.seed = 7;
+  small.count = 4;
+  large.count = 10;
+  expr::ExprPool pool_a, pool_b;
+  auto suite_small = ScenarioGenerator(pool_a, small).generate();
+  auto suite_large = ScenarioGenerator(pool_b, large).generate();
+  for (std::size_t i = 0; i < suite_small.size(); ++i) {
+    expect_identical(suite_small[i], suite_large[i]);
+  }
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentScenarios) {
+  GeneratorConfig a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.count = b.count = 2;
+  expr::ExprPool pool_a, pool_b;
+  const auto sa = ScenarioGenerator(pool_a, a).generate();
+  const auto sb = ScenarioGenerator(pool_b, b).generate();
+  // Same family rotation, different jitter: regions must differ.
+  EXPECT_NE(sa[0].problem.safe_rect.hi[0], sb[0].problem.safe_rect.hi[0]);
+}
+
+TEST(Generator, RoundRobinFamiliesAndNames) {
+  GeneratorConfig config;
+  config.seed = 3;
+  config.count = kPlantFamilyCount + 2;
+  expr::ExprPool pool;
+  const auto suite = ScenarioGenerator(pool, config).generate();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const PlantFamily f = config.families[i % config.families.size()];
+    const std::string expected = std::string(plant_family_name(f)) + "-s3-" +
+                                 std::to_string(i);
+    EXPECT_EQ(suite[i].name, expected);
+  }
+  // Wrap-around repeats the family but not the scenario.
+  EXPECT_NE(suite[0].problem.safe_rect.hi[0],
+            suite[kPlantFamilyCount].problem.safe_rect.hi[0]);
+}
+
+TEST(Generator, TemplateJitterProducesMixedSuites) {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.count = 16;
+  config.jitter_templates = true;
+  expr::ExprPool pool;
+  const auto suite = ScenarioGenerator(pool, config).generate();
+  std::size_t with_override = 0;
+  for (const core::Scenario& s : suite) {
+    if (s.certificate) {
+      ++with_override;
+      EXPECT_EQ(s.certificate->kind, core::TemplateSpec::Kind::kPolynomial);
+      EXPECT_EQ(s.certificate->max_degree, config.polynomial_degree);
+    }
+  }
+  // A 16-scenario suite with a fair coin lands strictly inside (0, 16)
+  // for any seed we'd keep; pinned here so the axis provably jitters.
+  EXPECT_GT(with_override, 0u);
+  EXPECT_LT(with_override, suite.size());
+}
+
+TEST(Generator, CertificateOverrideReachesTheEngine) {
+  // A scenario whose certificate override requests a polynomial template
+  // must come back verified with template_kind == kPolynomial even when
+  // the campaign default is quadratic.
+  GeneratorConfig config;
+  config.seed = 5;
+  config.count = 1;
+  config.families = {PlantFamily::kAcc};
+  expr::ExprPool pool;
+  std::vector<core::Scenario> suite = ScenarioGenerator(pool, config).generate();
+  suite[0].certificate = core::TemplateSpec::polynomial(2);
+  core::Engine engine({.threads = 1});
+  const core::CampaignResult result =
+      engine.run_campaign(std::span<const core::Scenario>(suite),
+                          zoo_job_defaults());
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  EXPECT_EQ(result.scenarios[0].result.template_kind,
+            core::TemplateSpec::Kind::kPolynomial);
+}
+
+/// Generated-campaign stress: BCERT_SCENARIO_STRESS scales the suite
+/// (CI's nightly-style leg sets 200; the default keeps local ctest
+/// fast). With fault injection armed the assertion weakens to "the
+/// campaign completes and reports every scenario" — that run exists to
+/// prove the retry/quarantine machinery holds under a generated load.
+TEST(Generator, CampaignStress) {
+  std::size_t count = 6;
+  if (const char* v = std::getenv("BCERT_SCENARIO_STRESS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) count = static_cast<std::size_t>(parsed);
+  }
+  GeneratorConfig config;
+  config.seed = 2026;
+  config.count = count;
+  config.jitter_templates = true;
+  expr::ExprPool pool;
+  const std::vector<core::Scenario> suite =
+      ScenarioGenerator(pool, config).generate();
+  core::Engine engine;
+  const core::CampaignResult result = engine.run_campaign(
+      std::span<const core::Scenario>(suite), zoo_job_defaults());
+  ASSERT_EQ(result.scenarios.size(), count);
+  for (const core::ScenarioOutcome& o : result.scenarios) {
+    EXPECT_GE(o.attempts, 1);
+  }
+  if (!core::FaultRegistry::enabled()) {
+    EXPECT_EQ(result.failed_count, 0);
+    EXPECT_TRUE(result.quarantined.empty());
+    // The generator's jitter bounds are calibrated to keep generated
+    // scenarios verifiable; tolerate a small analytic-failure tail
+    // (the 64-scenario headline suite verifies ~91% safe).
+    EXPECT_GE(result.safe_count,
+              static_cast<int>((count * 85) / 100));
+  }
+}
+
+}  // namespace
+}  // namespace bcert::scenario

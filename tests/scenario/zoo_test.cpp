@@ -1,0 +1,183 @@
+// Workload-zoo plant tests: symbolic/numeric field agreement, in-place
+// factory bit-identity, and end-to-end verification of the new plants
+// through the Engine.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+#include "src/expr/eval.h"
+#include "src/nn/ctrnn.h"
+#include "src/scenario/generator.h"
+#include "src/scenario/plants.h"
+#include "src/scenario/prng.h"
+
+namespace bcert::scenario {
+namespace {
+
+/// Deterministic points inside the scenario's safe rectangle.
+std::vector<linalg::Vector> sample_points(const core::Scenario& s,
+                                          std::size_t count,
+                                          std::uint64_t seed) {
+  const core::Rect& r = s.problem.safe_rect;
+  SplitMix64 rng(seed);
+  std::vector<linalg::Vector> points;
+  for (std::size_t k = 0; k < count; ++k) {
+    linalg::Vector x(r.dims());
+    for (std::size_t i = 0; i < r.dims(); ++i) {
+      x[i] = rng.uniform(r.lo[i], r.hi[i]);
+    }
+    points.push_back(std::move(x));
+  }
+  return points;
+}
+
+core::Scenario make_family(expr::ExprPool& pool, PlantFamily family) {
+  switch (family) {
+    case PlantFamily::kAcc: return make_acc_scenario(pool);
+    case PlantFamily::kQuadrotor: return make_quadrotor_scenario(pool);
+    case PlantFamily::kPendulumElm: return make_pendulum_scenario(pool);
+    case PlantFamily::kDubinsElm: return make_dubins_elm_scenario(pool);
+    case PlantFamily::kDubinsCtrnn: return make_dubins_ctrnn_scenario(pool);
+  }
+  throw std::invalid_argument("make_family");
+}
+
+TEST(Zoo, SymbolicFieldMatchesNumericField) {
+  for (std::size_t f = 0; f < kPlantFamilyCount; ++f) {
+    expr::ExprPool pool;
+    const auto family = static_cast<PlantFamily>(f);
+    const core::Scenario s = make_family(pool, family);
+    ASSERT_EQ(s.problem.sym_field.size(), s.problem.safe_rect.dims())
+        << s.name;
+    expr::Evaluator eval(pool, s.problem.sym_field);
+    for (const linalg::Vector& x : sample_points(s, 25, 7 + f)) {
+      const linalg::Vector dx = s.problem.sim_field(x);
+      const std::vector<double> sym = eval.eval(x);
+      ASSERT_EQ(dx.size(), sym.size());
+      for (std::size_t i = 0; i < dx.size(); ++i) {
+        // The symbolic DAG reassociates NN affine layers, so exact
+        // equality is not promised — agreement to ~1e-9 is.
+        EXPECT_NEAR(dx[i], sym[i], 1e-9)
+            << s.name << " component " << i << " at sample";
+      }
+    }
+  }
+}
+
+TEST(Zoo, InplaceFactoryBitIdenticalToAllocatingField) {
+  for (std::size_t f = 0; f < kPlantFamilyCount; ++f) {
+    expr::ExprPool pool;
+    const auto family = static_cast<PlantFamily>(f);
+    const core::Scenario s = make_family(pool, family);
+    ASSERT_TRUE(static_cast<bool>(s.problem.sim_field_factory)) << s.name;
+    auto inplace = s.problem.sim_field_factory();
+    linalg::Vector dx;
+    for (const linalg::Vector& x : sample_points(s, 25, 31 + f)) {
+      const linalg::Vector expected = s.problem.sim_field(x);
+      inplace(x, dx);
+      ASSERT_EQ(dx.size(), expected.size());
+      for (std::size_t i = 0; i < dx.size(); ++i) {
+        // Bit-identical, not approximately equal: the in-place kernels
+        // share the allocating path's accumulation order by contract.
+        EXPECT_EQ(dx[i], expected[i]) << s.name << " component " << i;
+      }
+    }
+  }
+}
+
+TEST(Zoo, FactoryInstancesAreIndependent) {
+  expr::ExprPool pool;
+  const core::Scenario s = make_acc_scenario(pool);
+  auto a = s.problem.sim_field_factory();
+  auto b = s.problem.sim_field_factory();
+  linalg::Vector da, db;
+  // Interleave the two instances: shared scratch would corrupt results.
+  for (const linalg::Vector& x : sample_points(s, 10, 99)) {
+    a(x, da);
+    b(x, db);
+    for (std::size_t i = 0; i < da.size(); ++i) EXPECT_EQ(da[i], db[i]);
+  }
+}
+
+TEST(Zoo, AccVerifiesSafe) {
+  expr::ExprPool pool;
+  const core::Scenario s = make_acc_scenario(pool);
+  core::Engine engine({.threads = 1});
+  const core::VerifyResult r = engine.verify(s.problem, zoo_job_defaults());
+  EXPECT_EQ(r.status, core::VerifyStatus::kSafe);
+  EXPECT_TRUE(r.has_generator());
+  EXPECT_GT(r.level, 0.0);
+}
+
+TEST(Zoo, QuadrotorVerifiesSafe) {
+  expr::ExprPool pool;
+  const core::Scenario s = make_quadrotor_scenario(pool);
+  core::Engine engine({.threads = 1});
+  const core::VerifyResult r = engine.verify(s.problem, zoo_job_defaults());
+  EXPECT_EQ(r.status, core::VerifyStatus::kSafe);
+}
+
+TEST(Zoo, DubinsElmVerifiesSafe) {
+  expr::ExprPool pool;
+  const core::Scenario s = make_dubins_elm_scenario(pool);
+  core::Engine engine({.threads = 1});
+  const core::VerifyResult r = engine.verify(s.problem, zoo_job_defaults());
+  EXPECT_EQ(r.status, core::VerifyStatus::kSafe);
+}
+
+TEST(Zoo, DubinsCtrnnVerifiesSafeWithDomainOnlyHiddenDim) {
+  expr::ExprPool pool;
+  const core::Scenario s = make_dubins_ctrnn_scenario(pool);
+  ASSERT_EQ(s.problem.safe_rect.dims(), 3u);
+  ASSERT_EQ(s.problem.unsafe_dims.size(), 3u);
+  EXPECT_FALSE(s.problem.unsafe_dims[2]);
+  core::Engine engine({.threads = 1});
+  const core::VerifyResult r = engine.verify(s.problem, zoo_job_defaults());
+  EXPECT_EQ(r.status, core::VerifyStatus::kSafe);
+}
+
+TEST(Zoo, CtrnnParameterRoundTrip) {
+  nn::Ctrnn net =
+      nn::Ctrnn::lagged_policy(linalg::Vector{0.25, 2.0}, 0.1);
+  const linalg::Vector params = net.parameters();
+  ASSERT_EQ(params.size(), net.num_params());
+
+  nn::Ctrnn copy = net;
+  copy.set_parameters(params);
+  linalg::Vector y{0.3, -0.2};
+  linalg::Vector h{0.1};
+  EXPECT_EQ(net.output(h)[0], copy.output(h)[0]);
+
+  // A perturbed parameter vector must change behaviour (the jitter axis
+  // is live), and setting the original back must restore it exactly.
+  linalg::Vector bumped = params;
+  bumped[0] += 0.5;
+  copy.set_parameters(bumped);
+  linalg::Vector d0(1), d1(1);
+  nn::Ctrnn::Scratch s0, s1;
+  net.hidden_derivative_inplace(y, h, d0, s0);
+  copy.hidden_derivative_inplace(y, h, d1, s1);
+  EXPECT_NE(d0[0], d1[0]);
+  copy.set_parameters(params);
+  copy.hidden_derivative_inplace(y, h, d1, s1);
+  EXPECT_EQ(d0[0], d1[0]);
+}
+
+TEST(Zoo, WeightJitterIsDeterministicAndBounded) {
+  expr::ExprPool pool_a, pool_b, pool_c;
+  AccParams jittered;
+  jittered.weight_jitter = 0.02;
+  jittered.jitter_seed = 1234;
+  const core::Scenario a = make_acc_scenario(pool_a, jittered);
+  const core::Scenario b = make_acc_scenario(pool_b, jittered);
+  const core::Scenario base = make_acc_scenario(pool_c);
+  const linalg::Vector x{0.3, -0.1};
+  // Same params => bit-identical jittered controller.
+  EXPECT_EQ(a.problem.sim_field(x)[1], b.problem.sim_field(x)[1]);
+  // Jitter actually moved the policy off the unjittered baseline.
+  EXPECT_NE(a.problem.sim_field(x)[1], base.problem.sim_field(x)[1]);
+}
+
+}  // namespace
+}  // namespace bcert::scenario

@@ -1,14 +1,19 @@
 // Tests for SMT-LIB2 query export.
+#include <array>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
+#include "src/expr/derivative.h"
+#include "src/scenario/plants.h"
 #include "src/smt/smtlib_export.h"
 
 namespace bcert::smt {
 namespace {
 
 using expr::ExprPool;
+using expr::Op;
 using interval::Box;
 
 TEST(SmtLib, ExpressionRendering) {
@@ -98,6 +103,130 @@ TEST(SmtLib, IntegralConstantsGetDecimalPoint) {
   ExprPool p;
   const std::string s = to_smtlib(p, p.add(p.var(0), p.constant(42.0)));
   EXPECT_NE(s.find("42.0"), std::string::npos);
+}
+
+// --- operator coverage audit -------------------------------------------
+
+/// One expression exercising \p op. The switch is exhaustive on purpose:
+/// adding an Op without extending it trips -Wswitch here, and adding one
+/// without extending SmtPrinter::render() makes the export throw below —
+/// either way the new operator cannot silently export as garbage.
+expr::ExprId build_op(ExprPool& p, Op op) {
+  const auto x = p.var(0), y = p.var(1);
+  switch (op) {
+    case Op::kConst: return p.constant(2.5);
+    case Op::kVar: return x;
+    case Op::kAdd: return p.add(x, y);
+    case Op::kSub: return p.sub(x, y);
+    case Op::kMul: return p.mul(x, y);
+    case Op::kDiv: return p.div(x, y);
+    case Op::kNeg: return p.neg(x);
+    case Op::kSin: return p.sin(x);
+    case Op::kCos: return p.cos(x);
+    case Op::kTan: return p.tan(x);
+    case Op::kAtan: return p.atan(x);
+    case Op::kExp: return p.exp(x);
+    case Op::kLog: return p.log(x);
+    case Op::kSqrt: return p.sqrt(x);
+    case Op::kSqr: return p.sqr(x);
+    case Op::kPow: return p.pow(x, 5);
+    case Op::kTanh: return p.tanh(x);
+    case Op::kSigmoid: return p.sigmoid(x);
+    case Op::kRelu: return p.relu(x);
+    case Op::kAbs: return p.abs(x);
+    case Op::kMin: return p.min(x, y);
+    case Op::kMax: return p.max(x, y);
+  }
+  throw std::logic_error("build_op: unmapped operator");
+}
+
+bool balanced_parens(const std::string& s) {
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')' && --depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+TEST(SmtLibAudit, EveryOperatorExportsOrFailsLoudly) {
+  constexpr std::array<Op, 22> kAllOps = {
+      Op::kConst, Op::kVar,  Op::kAdd,     Op::kSub,  Op::kMul,  Op::kDiv,
+      Op::kNeg,   Op::kSin,  Op::kCos,     Op::kTan,  Op::kAtan, Op::kExp,
+      Op::kLog,   Op::kSqrt, Op::kSqr,     Op::kPow,  Op::kTanh,
+      Op::kSigmoid, Op::kRelu, Op::kAbs,   Op::kMin,  Op::kMax};
+  // kMax is last in the enum; if this fails the list above is stale.
+  ASSERT_EQ(static_cast<int>(Op::kMax), static_cast<int>(kAllOps.size()) - 1);
+  for (Op op : kAllOps) {
+    ExprPool p;
+    std::string s;
+    ASSERT_NO_THROW(s = to_smtlib(p, build_op(p, op)))
+        << "op code " << static_cast<int>(op);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.find('?'), std::string::npos)
+        << "op code " << static_cast<int>(op) << " rendered: " << s;
+    EXPECT_TRUE(balanced_parens(s)) << s;
+  }
+}
+
+TEST(SmtLibAudit, CorruptRelationThrowsInsteadOfEmittingTrue) {
+  ExprPool p;
+  Conjunction c;
+  c.constraints.push_back({p.var(0), static_cast<Rel>(99)});
+  std::ostringstream os;
+  EXPECT_THROW(write_smtlib(os, p, c, Box::from_bounds({{-1.0, 1.0}})),
+               std::logic_error);
+}
+
+// --- zoo-plant conjunction export ---------------------------------------
+
+/// Exports the plant's Lie-derivative decrease conjunction (the query
+/// shape the differential harness samples) and checks well-formedness.
+std::string export_decrease_query(const core::Scenario& s) {
+  ExprPool& p = *s.problem.pool;
+  // A fixed quadratic candidate W = Σ xᵢ² over the plant's state.
+  std::vector<expr::ExprId> sq;
+  for (std::size_t i = 0; i < s.problem.safe_rect.lo.size(); ++i) {
+    sq.push_back(p.sqr(p.var(static_cast<std::int32_t>(i))));
+  }
+  const expr::ExprId w = p.sum(sq);
+  const expr::ExprId lie = expr::lie_derivative(p, w, s.problem.sym_field);
+  Conjunction c;
+  c.add(lie, Rel::kGe);
+  std::ostringstream os;
+  write_smtlib(os, p, c, s.problem.safe_rect.as_box());
+  return os.str();
+}
+
+TEST(SmtLibAudit, AccScenarioConjunctionExports) {
+  ExprPool pool;
+  const std::string out =
+      export_decrease_query(scenario::make_acc_scenario(pool));
+  EXPECT_TRUE(balanced_parens(out));
+  EXPECT_EQ(out.find('?'), std::string::npos);
+  // The ELM controller puts tanh layers on the export path.
+  EXPECT_NE(out.find("tanh"), std::string::npos);
+  EXPECT_NE(out.find("(check-sat)"), std::string::npos);
+}
+
+TEST(SmtLibAudit, QuadrotorScenarioConjunctionExportsAbs) {
+  ExprPool pool;
+  const std::string out =
+      export_decrease_query(scenario::make_quadrotor_scenario(pool));
+  EXPECT_TRUE(balanced_parens(out));
+  EXPECT_EQ(out.find('?'), std::string::npos);
+  // The quadratic rate drag p·|p| puts kAbs on the export path.
+  EXPECT_NE(out.find("abs"), std::string::npos);
+}
+
+TEST(SmtLibAudit, CtrnnScenarioConjunctionExports) {
+  ExprPool pool;
+  const std::string out =
+      export_decrease_query(scenario::make_dubins_ctrnn_scenario(pool));
+  EXPECT_TRUE(balanced_parens(out));
+  EXPECT_EQ(out.find('?'), std::string::npos);
+  // Three state dimensions declared (d_err, theta_err, hidden).
+  EXPECT_NE(out.find("(declare-fun x2 () Real)"), std::string::npos);
 }
 
 }  // namespace
