@@ -32,6 +32,8 @@ const char* fault_point_name(FaultPoint p) {
   switch (p) {
     case FaultPoint::kTapeCompile:
       return "tape_compile";
+    case FaultPoint::kJitCompile:
+      return "jit_compile";
     case FaultPoint::kHc4Backward:
       return "hc4_backward";
     case FaultPoint::kLpPivot:

@@ -87,6 +87,7 @@ struct Status {
 /// snake_case forms returned by fault_point_name().
 enum class FaultPoint : std::uint8_t {
   kTapeCompile = 0,  ///< Hc4Tape compilation (check: throw → tree HC4)
+  kJitCompile,       ///< Hc4Jit native emission (check: throw → tape HC4)
   kHc4Backward,      ///< tape backward sweep (check: throw → job isolation)
   kLpPivot,          ///< simplex pivot loop (check)
   kLpSolve,          ///< solve_lp entry (check)
@@ -222,6 +223,7 @@ class MemoryBudget {
 /// Plain snapshot of the per-job degradation counters, carried in
 /// VerifyResult and serialized into campaign JSON.
 struct DegradationReport {
+  std::uint32_t jit_to_tape = 0;     ///< JIT emission failed → tape HC4
   std::uint32_t tape_to_tree = 0;    ///< tape compile failed → tree HC4
   std::uint32_t simd_downgrade = 0;  ///< batched tier walked down a rung
   std::uint32_t cache_cold = 0;      ///< cache entry dropped → cold start
@@ -229,14 +231,15 @@ struct DegradationReport {
   std::uint32_t retries = 0;         ///< campaign-level retry attempts
 
   bool any() const {
-    return (tape_to_tree | simd_downgrade | cache_cold | lp_cold | retries) !=
-           0;
+    return (jit_to_tape | tape_to_tree | simd_downgrade | cache_cold |
+            lp_cold | retries) != 0;
   }
 };
 
 /// Atomic per-job tallies, one per ladder rung; shared by the pipeline
 /// and the ICP workers running under it.
 struct DegradationCounters {
+  std::atomic<std::uint32_t> jit_to_tape{0};
   std::atomic<std::uint32_t> tape_to_tree{0};
   std::atomic<std::uint32_t> simd_downgrade{0};
   std::atomic<std::uint32_t> cache_cold{0};
@@ -244,6 +247,7 @@ struct DegradationCounters {
 
   DegradationReport snapshot() const {
     DegradationReport r;
+    r.jit_to_tape = jit_to_tape.load(std::memory_order_relaxed);
     r.tape_to_tree = tape_to_tree.load(std::memory_order_relaxed);
     r.simd_downgrade = simd_downgrade.load(std::memory_order_relaxed);
     r.cache_cold = cache_cold.load(std::memory_order_relaxed);

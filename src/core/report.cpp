@@ -182,7 +182,8 @@ void write_result_json(std::ostream& os, const VerifyResult& result) {
      << "\", \"message\": \"" << json_escape(result.error.message)
      << "\"}, ";
   const DegradationReport& d = result.degradation;
-  os << "\"degradation\": {\"tape_to_tree\": " << d.tape_to_tree
+  os << "\"degradation\": {\"jit_to_tape\": " << d.jit_to_tape
+     << ", \"tape_to_tree\": " << d.tape_to_tree
      << ", \"simd_downgrade\": " << d.simd_downgrade
      << ", \"cache_cold\": " << d.cache_cold << ", \"lp_cold\": " << d.lp_cold
      << ", \"retries\": " << d.retries << "}, ";

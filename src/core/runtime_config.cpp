@@ -100,6 +100,7 @@ bool parse_toggle(const char* text, ConfigToggle& value) {
 constexpr const char* kKnownVars[] = {
     "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM", "BCERT_LP_WARM",
     "BCERT_HC4_MODE", "BCERT_ICP_SIMD", "BCERT_FAULT", "BCERT_MEM_QUOTA",
+    "BCERT_JIT_DUMP",
     // bench-only size knobs (see the README table)
     "BCERT_ICP_BOXES", "BCERT_ICP_WARM_ITERS", "BCERT_HC4_CONTRACTS",
     "BCERT_LP_ROWS", "BCERT_LP_ITERS", "BCERT_ROLLOUTS",
@@ -178,11 +179,23 @@ RuntimeConfig RuntimeConfig::from_env(std::vector<std::string>* warnings) {
       config.hc4_mode = ConfigHc4Mode::kTape;
     } else if (std::strcmp(v, "tree") == 0) {
       config.hc4_mode = ConfigHc4Mode::kTree;
+    } else if (std::strcmp(v, "jit") == 0) {
+      config.hc4_mode = ConfigHc4Mode::kJit;
     } else {
       // A typo silently falling back would defeat the point of the flag
       // (e.g. comparing "tape vs tape" while debugging a divergence).
       sink.warn(std::string("unrecognized BCERT_HC4_MODE=\"") + v +
-                "\" (expected \"tape\" or \"tree\"); using tape");
+                "\" (expected \"jit\", \"tape\" or \"tree\"); using tape");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_JIT_DUMP")) {
+    ConfigToggle t = ConfigToggle::kAuto;
+    if (parse_toggle(v, t)) {
+      config.jit_dump = t == ConfigToggle::kOn;
+    } else {
+      config.jit_dump = true;  // a set-but-odd value still means "dump"
+      sink.warn(std::string("BCERT_JIT_DUMP=\"") + v +
+                "\" (expected 0/off/false or 1/on/true); treating as on");
     }
   }
   if (const char* v = std::getenv("BCERT_ICP_SIMD")) {

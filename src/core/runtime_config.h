@@ -41,8 +41,10 @@ namespace bcert::core {
 enum class ConfigToggle : std::uint8_t { kAuto, kOn, kOff };
 
 /// HC4 contractor backend selection (`BCERT_HC4_MODE`). Mirrors
-/// `smt::Hc4Mode` without depending on the smt layer.
-enum class ConfigHc4Mode : std::uint8_t { kTape, kTree };
+/// `smt::Hc4Mode` without depending on the smt layer. `kJit` requests
+/// the native x86-64 backend and degrades to `kTape` (bit-identically,
+/// counted as `jit_to_tape`) when emission is unavailable.
+enum class ConfigHc4Mode : std::uint8_t { kTape, kTree, kJit };
 
 /// SIMD tier request for the batched tape sweeps (`BCERT_ICP_SIMD`).
 /// `kAuto` picks the best tier available on this build/CPU; an explicit
@@ -71,8 +73,13 @@ struct RuntimeConfig {
   ConfigToggle lp_warm = ConfigToggle::kAuto;
 
   /// HC4 backend for `Hc4Mode::kAuto` contractors. Env:
-  /// `BCERT_HC4_MODE` (`tape` or `tree`).
+  /// `BCERT_HC4_MODE` (`jit`, `tape` or `tree`).
   ConfigHc4Mode hc4_mode = ConfigHc4Mode::kTape;
+
+  /// When true, tape→IR→native compilation logs the tape disassembly and
+  /// the IR after every optimization pass to stderr (miscompile
+  /// debugging). Env: `BCERT_JIT_DUMP` (`0`/`1`/`on`/`off`).
+  bool jit_dump = false;
 
   /// SIMD tier of the batched tape sweeps. Env: `BCERT_ICP_SIMD`
   /// (`avx2`, `sse2` or `scalar`).

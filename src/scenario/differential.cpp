@@ -208,8 +208,41 @@ DifferentialReport run_differential(const expr::ExprPool& pool,
   tape_config.hc4_mode = smt::Hc4Mode::kTape;
   smt::IcpConfig tree_config = base;
   tree_config.hc4_mode = smt::Hc4Mode::kTree;
+  smt::IcpConfig jit_config = base;
+  jit_config.hc4_mode = smt::Hc4Mode::kJit;
   const smt::IcpSolver tape_solver(pool, tape_config);
   const smt::IcpSolver tree_solver(pool, tree_config);
+  const smt::IcpSolver jit_solver(pool, jit_config);
+
+  // Exact-agreement comparator for a pair of contractually bit-identical
+  // backends: same verdict, same explored search tree, same witness box.
+  const auto compare_exact = [](const smt::IcpResult& a, const char* a_name,
+                                const smt::IcpResult& b,
+                                const char* b_name) -> std::string {
+    if (a.verdict != b.verdict) {
+      return std::string(a_name) + "=" + smt::sat_result_name(a.verdict) +
+             " vs " + b_name + "=" + smt::sat_result_name(b.verdict);
+    }
+    if (a.stats.boxes_processed != b.stats.boxes_processed) {
+      return "backend search trees diverged: " + std::string(a_name) +
+             " processed " + std::to_string(a.stats.boxes_processed) +
+             " boxes, " + b_name + " " +
+             std::to_string(b.stats.boxes_processed);
+    }
+    if (a.witness.has_value() != b.witness.has_value()) {
+      return std::string(a_name) + "/" + b_name + " witness presence mismatch";
+    }
+    if (a.witness.has_value()) {
+      for (std::size_t d = 0; d < a.witness->size(); ++d) {
+        if ((*a.witness)[d].lo() != (*b.witness)[d].lo() ||
+            (*a.witness)[d].hi() != (*b.witness)[d].hi()) {
+          return std::string(a_name) + "/" + b_name +
+                 " witness boxes differ in dimension " + std::to_string(d);
+        }
+      }
+    }
+    return {};
+  };
 
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const DifferentialQuery& q = queries[i];
@@ -217,6 +250,7 @@ DifferentialReport run_differential(const expr::ExprPool& pool,
 
     const smt::IcpResult tape = tape_solver.solve(q.conjunction, q.box);
     const smt::IcpResult tree = tree_solver.solve(q.conjunction, q.box);
+    const smt::IcpResult jit = jit_solver.solve(q.conjunction, q.box);
     if (tape.is_sat()) ++report.sat_queries;
     if (tape.is_unsat()) ++report.unsat_queries;
 
@@ -224,27 +258,10 @@ DifferentialReport run_differential(const expr::ExprPool& pool,
     record.label = q.label;
     record.tape = tape.verdict;
     record.tree = tree.verdict;
+    record.jit = jit.verdict;
 
-    std::string detail;
-    if (tape.verdict != tree.verdict) {
-      detail = std::string("tape=") + smt::sat_result_name(tape.verdict) +
-               " vs tree=" + smt::sat_result_name(tree.verdict);
-    } else if (tape.stats.boxes_processed != tree.stats.boxes_processed) {
-      detail = "backend search trees diverged: tape processed " +
-               std::to_string(tape.stats.boxes_processed) +
-               " boxes, tree " +
-               std::to_string(tree.stats.boxes_processed);
-    } else if (tape.witness.has_value() != tree.witness.has_value()) {
-      detail = "witness presence mismatch";
-    } else if (tape.witness.has_value()) {
-      for (std::size_t d = 0; d < tape.witness->size(); ++d) {
-        if ((*tape.witness)[d].lo() != (*tree.witness)[d].lo() ||
-            (*tape.witness)[d].hi() != (*tree.witness)[d].hi()) {
-          detail = "witness boxes differ in dimension " + std::to_string(d);
-          break;
-        }
-      }
-    }
+    std::string detail = compare_exact(tape, "tape", tree, "tree");
+    if (detail.empty()) detail = compare_exact(tape, "tape", jit, "jit");
 
     // Sampled-point falsification: a double-arithmetic witness with
     // margin refutes an UNSAT proof outright.

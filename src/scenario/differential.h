@@ -4,16 +4,19 @@
 ///
 /// Samples verifier-shaped refutation queries (decrease-violation,
 /// initial containment, level-set membership, raw field-range) from a
-/// scenario's symbolic field, then answers every query three ways:
+/// scenario's symbolic field, then answers every query four ways:
 ///
 ///   1. the δ-SAT ICP solver on the compiled **tape** backend,
 ///   2. the same solver on the **tree-walker** backend,
-///   3. a **sampled-point falsification check**: deterministic points in
+///   3. the same solver on the native **jit** backend (which degrades to
+///      the tape interpreter on hosts without emission — still an exact
+///      comparison, of the fallback rung),
+///   4. a **sampled-point falsification check**: deterministic points in
 ///      the query box evaluated in plain double arithmetic — a point
 ///      satisfying every constraint with margin is a concrete witness,
 ///      so an UNSAT verdict against it is a soundness bug, full stop.
 ///
-/// The two solver backends are contractually bit-identical (hc4.h), so
+/// The three solver backends are contractually bit-identical (hc4.h), so
 /// the harness asserts *exact* agreement: same verdict, same witness
 /// box, same boxes-processed count. Every query is additionally
 /// round-tripped through `smt::smtlib_export` and checked for
@@ -67,6 +70,7 @@ struct VerdictRecord {
   std::string label;
   smt::SatResult tape = smt::SatResult::kUnknown;
   smt::SatResult tree = smt::SatResult::kUnknown;
+  smt::SatResult jit = smt::SatResult::kUnknown;
   bool point_witness = false;  ///< a sampled point satisfied the query
   std::string detail;          ///< which check disagreed, and how
 };
@@ -74,7 +78,7 @@ struct VerdictRecord {
 /// Aggregate harness outcome.
 struct DifferentialReport {
   std::size_t queries = 0;
-  std::size_t disagreements = 0;   ///< tape/tree/point verdict conflicts
+  std::size_t disagreements = 0;   ///< tape/tree/jit/point conflicts
   std::size_t export_failures = 0; ///< malformed SMT-LIB renderings
   std::size_t sat_queries = 0;     ///< (δ-)SAT under the tape backend
   std::size_t unsat_queries = 0;

@@ -30,14 +30,36 @@ Hc4Mode resolve_hc4_mode(Hc4Mode mode) {
   if (mode != Hc4Mode::kAuto) return mode;
   // Typed knob (BCERT_HC4_MODE): RuntimeConfig validated the token and
   // warned on typos; here we only map it onto the smt-layer enum.
-  return core::RuntimeConfig::active().hc4_mode == core::ConfigHc4Mode::kTree
-             ? Hc4Mode::kTree
-             : Hc4Mode::kTape;
+  switch (core::RuntimeConfig::active().hc4_mode) {
+    case core::ConfigHc4Mode::kTree:
+      return Hc4Mode::kTree;
+    case core::ConfigHc4Mode::kJit:
+      return Hc4Mode::kJit;
+    case core::ConfigHc4Mode::kTape:
+      break;
+  }
+  return Hc4Mode::kTape;
 }
 
 Hc4Contractor::Hc4Contractor(const expr::ExprPool& pool,
                              Conjunction conjunction, Hc4Mode mode) {
-  if (resolve_hc4_mode(mode) == Hc4Mode::kTape) {
+  const Hc4Mode resolved = resolve_hc4_mode(mode);
+  if (resolved == Hc4Mode::kJit) {
+    auto tape = std::make_shared<const Hc4Tape>(pool, std::move(conjunction));
+    try {
+      jit_ = Hc4Jit::compile(tape);
+      regs_ = jit_->make_registers();
+    } catch (const std::exception&) {
+      // Degradation ladder: emission refused (host, W^X, injected
+      // fault) → run the tape interpreter, bit-identically. Callers that
+      // track degradation (the ICP contractor setup) count their own
+      // fallback; this direct path just stays correct.
+      tape_ = std::move(tape);
+      regs_ = tape_->make_registers();
+    }
+    return;
+  }
+  if (resolved == Hc4Mode::kTape) {
     tape_ = std::make_shared<const Hc4Tape>(pool, std::move(conjunction));
     regs_ = tape_->make_registers();
     return;
@@ -53,10 +75,15 @@ Hc4Contractor::Hc4Contractor(const expr::ExprPool& pool,
 Hc4Contractor::Hc4Contractor(std::shared_ptr<const Hc4Tape> tape)
     : tape_(std::move(tape)), regs_(tape_->make_registers()) {}
 
+Hc4Contractor::Hc4Contractor(std::shared_ptr<const Hc4Jit> jit)
+    : jit_(std::move(jit)), regs_(jit_->make_registers()) {}
+
 const std::vector<Interval>& Hc4Contractor::roots_for(
     const interval::Box& box) {
   if (cache_valid_ && cached_box_ == box) return cached_roots_;
-  if (tape_) {
+  if (jit_) {
+    jit_->eval_roots(box, regs_, cached_roots_);
+  } else if (tape_) {
     tape_->eval_roots(box, regs_, cached_roots_);
   } else {
     cached_roots_ = eval_->eval(box);
@@ -107,6 +134,11 @@ ContractResult Hc4Contractor::contract(interval::Box& box) {
   // following certainly_satisfied/certainly_violated is free.
   cached_box_ = box;
 
+  if (jit_) {
+    const ContractResult r = jit_->contract(box, regs_, &cached_roots_);
+    cache_valid_ = true;
+    return r;
+  }
   if (tape_) {
     const ContractResult r = tape_->contract(box, regs_, &cached_roots_);
     cache_valid_ = true;

@@ -15,7 +15,12 @@
 /// never discard a real solution), so an empty result is a proof that the
 /// box contains no solution of the conjunction.
 ///
-/// Two execution backends produce bit-identical results:
+/// Three execution backends produce bit-identical results:
+///   * kJit (BCERT_HC4_MODE=jit): the tape is lowered through the SSA
+///     IR (src/smt/ir) and emitted as native x86-64 (src/smt/jit), with
+///     the outward rounding fused into the SSE arithmetic. When emission
+///     is impossible (non-x86-64 host, exec-mmap denied, `jit_compile`
+///     fault armed) construction degrades to kTape bit-identically.
 ///   * kTape (default): the conjunction is compiled once into a flat
 ///     interval bytecode tape (src/smt/tape.h) and both sweeps are tight
 ///     loops over contiguous arrays — no pointer-chasing into the
@@ -29,13 +34,15 @@
 #include "src/expr/eval.h"
 #include "src/interval/box.h"
 #include "src/smt/constraint.h"
+#include "src/smt/jit/hc4_jit.h"
 #include "src/smt/tape.h"
 
 namespace bcert::smt {
 
 /// HC4 execution backend selector. kAuto resolves through the
-/// BCERT_HC4_MODE environment variable ("tree" / "tape"), default kTape.
-enum class Hc4Mode : std::uint8_t { kAuto, kTape, kTree };
+/// BCERT_HC4_MODE environment variable ("jit" / "tree" / "tape"),
+/// default kTape.
+enum class Hc4Mode : std::uint8_t { kAuto, kTape, kTree, kJit };
 
 /// Resolves kAuto against BCERT_HC4_MODE (cached after the first call).
 Hc4Mode resolve_hc4_mode(Hc4Mode mode);
@@ -51,11 +58,17 @@ class Hc4Contractor {
   /// parallel ICP workers avoid recompiling the schedule per worker.
   explicit Hc4Contractor(std::shared_ptr<const Hc4Tape> tape);
 
+  /// Shares an already-compiled native jit (private register file only).
+  explicit Hc4Contractor(std::shared_ptr<const Hc4Jit> jit);
+
   const Conjunction& conjunction() const {
+    if (jit_) return jit_->conjunction();
     return tape_ ? tape_->conjunction() : conjunction_;
   }
-  /// The compiled tape (null when running the tree backend).
+  /// The compiled tape (null when running the tree or jit backend).
   const std::shared_ptr<const Hc4Tape>& tape() const { return tape_; }
+  /// The native compilation (null unless running the jit backend).
+  const std::shared_ptr<const Hc4Jit>& jit() const { return jit_; }
 
   /// One forward+backward pass; narrows \p box in place.
   ContractResult contract(interval::Box& box);
@@ -90,6 +103,10 @@ class Hc4Contractor {
   bool backward_sweep();
   /// Root enclosures for \p box, via the cache when it is fresh.
   const std::vector<interval::Interval>& roots_for(const interval::Box& box);
+
+  // Jit backend state (regs_ is shared with the tape backend — the jit
+  // register file is the tape's plus the forward-root tail).
+  std::shared_ptr<const Hc4Jit> jit_;
 
   // Tape backend state.
   std::shared_ptr<const Hc4Tape> tape_;

@@ -143,23 +143,28 @@ void merge_stats(IcpStats& into, const IcpStats& from) {
   into.max_depth_width = std::min(into.max_depth_width, from.max_depth_width);
 }
 
-/// Where a query's workers get their contractors from. In tape mode the
-/// conjunction is compiled exactly once and every worker shares the
-/// immutable tape (each contractor then owns just a register file); in
-/// tree mode each worker compiles its own evaluator, as the seed did.
+/// Where a query's workers get their contractors from. In jit/tape mode
+/// the conjunction is compiled exactly once and every worker shares the
+/// immutable compilation (each contractor then owns just a register
+/// file); in tree mode each worker compiles its own evaluator, as the
+/// seed did.
 ///
-/// Two degradation-ladder rungs live here: a tape compilation failure
-/// falls back to the tree backend (bit-identical results, slower), and a
-/// tripped cache_lookup fault treats the tape-cache entry as corrupt —
-/// the conjunction recompiles cold instead of trusting the cache.
+/// Three degradation-ladder rungs live here, all bit-identical in
+/// results: a native-emission failure falls back to the tape interpreter
+/// (`jit_to_tape`), a tape compilation failure falls back to the tree
+/// backend (`tape_to_tree`), and a tripped cache_lookup fault treats the
+/// tape-cache entry as corrupt — the conjunction recompiles cold instead
+/// of trusting the cache.
 struct ContractorSpec {
   const expr::ExprPool* pool = nullptr;
   const Conjunction* conjunction = nullptr;
-  std::shared_ptr<const Hc4Tape> tape;  // null → tree backend
+  std::shared_ptr<const Hc4Jit> jit;    // non-null → native backend
+  std::shared_ptr<const Hc4Tape> tape;  // else: null → tree backend
 
   ContractorSpec(const expr::ExprPool& p, const Conjunction& c,
                  const IcpConfig& config) {
-    if (resolve_hc4_mode(config.hc4_mode) == Hc4Mode::kTape) {
+    const Hc4Mode mode = resolve_hc4_mode(config.hc4_mode);
+    if (mode == Hc4Mode::kJit || mode == Hc4Mode::kTape) {
       try {
         bool use_cache = config.tape_cache != nullptr;
         if (use_cache &&
@@ -167,6 +172,20 @@ struct ContractorSpec {
           use_cache = false;
           if (config.degrade != nullptr) {
             config.degrade->cache_cold.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (mode == Hc4Mode::kJit) {
+          try {
+            jit = use_cache
+                      ? config.tape_cache->get_or_compile_jit(p, c)
+                      : Hc4Jit::compile(
+                            std::make_shared<const Hc4Tape>(p, c));
+            return;
+          } catch (const std::exception&) {
+            if (config.degrade != nullptr) {
+              config.degrade->jit_to_tape.fetch_add(1,
+                                                    std::memory_order_relaxed);
+            }
           }
         }
         tape = use_cache ? config.tape_cache->get_or_compile(p, c)
@@ -183,6 +202,7 @@ struct ContractorSpec {
   }
 
   Hc4Contractor make() const {
+    if (jit) return Hc4Contractor(jit);
     return tape ? Hc4Contractor(tape)
                 : Hc4Contractor(*pool, *conjunction, Hc4Mode::kTree);
   }

@@ -1,0 +1,258 @@
+#include "src/smt/ir/ir.h"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "src/core/runtime_config.h"
+#include "src/expr/eval.h"
+#include "src/smt/tape_kernels.h"
+
+namespace bcert::smt::ir {
+
+using expr::Op;
+using interval::Interval;
+
+Program Program::from_tape(const Hc4Tape& tape) {
+  Program p;
+  p.num_slots = tape.num_slots();
+  p.forward.reserve(tape.code().size());
+  p.backward.reserve(tape.code().size());
+
+  for (const TapeInstr& ins : tape.code()) {
+    FwdInstr f;
+    f.dst = ins.dst;
+    f.a = ins.a;
+    f.b = ins.b;
+    f.op = ins.op;
+    f.exponent = ins.exponent;
+    BwdInstr b;
+    b.dst = ins.dst;
+    b.a = ins.a;
+    b.b = ins.b;
+    b.op = ins.op;
+    b.exponent = ins.exponent;
+    if (ins.spec == kSpecMulConst) {
+      f.kind = FwdKind::kMulConst;
+      b.kind = BwdKind::kMulConst;
+    } else {
+      switch (ins.op) {
+#if BCERT_TAPE_SSE2
+        // The interpreter special-cases kAdd through the SSE kernels;
+        // the IR mirrors its dispatch exactly so the emitted code and
+        // the compile-time folding run the same arithmetic.
+        case Op::kAdd:
+          f.kind = FwdKind::kAdd;
+          b.kind = BwdKind::kAdd;
+          break;
+#endif
+        case Op::kSub:
+          f.kind = FwdKind::kSub;  // inline twin of apply_interval_op
+          break;
+        case Op::kNeg:
+          f.kind = FwdKind::kNeg;
+          break;
+        default:
+          break;  // kGeneric / kGeneric
+      }
+    }
+    p.forward.push_back(f);
+    p.backward.push_back(b);
+  }
+  // Backward executes parents before children: reverse program order.
+  std::reverse(p.backward.begin(), p.backward.end());
+  return p;
+}
+
+namespace {
+
+/// Slot → constant value map used by fold_constants. kNoSlot-free dense
+/// vector keyed by slot index; `known[slot]` gates `value[slot]`.
+struct ConstMap {
+  std::vector<std::uint8_t> known;
+  std::vector<Interval> value;
+
+  explicit ConstMap(std::size_t slots) : known(slots, 0), value(slots) {}
+
+  void set(TapeSlot s, const Interval& v) {
+    known[s] = 1;
+    value[s] = v;
+  }
+  bool has(TapeSlot s) const { return s != kNoSlot && known[s] != 0; }
+};
+
+}  // namespace
+
+void Program::fold_constants(const Hc4Tape& tape) {
+  static const Interval kNoOperand;  // the interpreter's unary filler
+  ConstMap consts(num_slots);
+  for (std::size_t i = 0; i < tape.const_slots().size(); ++i) {
+    consts.set(tape.const_slots()[i], tape.const_values()[i]);
+  }
+  for (FwdInstr& f : forward) {
+    // kMulConst always has a variable operand; kCopy/kFolded only exist
+    // after this pass.
+    if (f.kind == FwdKind::kMulConst || f.kind == FwdKind::kCopy ||
+        f.kind == FwdKind::kFolded) {
+      continue;
+    }
+    if (!consts.has(f.a)) continue;
+    if (f.b != kNoSlot && !consts.has(f.b)) continue;
+    const Interval& a = consts.value[f.a];
+    Interval v;
+#if BCERT_TAPE_SSE2
+    if (f.kind == FwdKind::kAdd) {
+      v = tkern::add_iv(a, consts.value[f.b]);
+    } else
+#endif
+    {
+      const Interval& b = f.b != kNoSlot ? consts.value[f.b] : kNoOperand;
+      v = expr::apply_interval_op(f.op, f.exponent, a, b);
+    }
+    consts.set(f.dst, v);
+    folded_consts.emplace_back(f.dst, v);
+    f.kind = FwdKind::kFolded;
+    ++stats.folded;
+    // The backward projection of this node is deliberately retained:
+    // it narrows the constant operand slots and its emptiness aborts
+    // must fire exactly where the interpreter's would.
+  }
+}
+
+void Program::share_subexpressions() {
+  // Structural value numbering. kMulConst instructions normalize their
+  // exponent (a spec-table index) away: identical operand slots imply an
+  // identical constant, hence an identical product.
+  using Key = std::tuple<std::uint8_t, std::int32_t, TapeSlot, TapeSlot>;
+  std::map<Key, TapeSlot> seen;
+  for (FwdInstr& f : forward) {
+    if (f.kind == FwdKind::kFolded || f.kind == FwdKind::kCopy) continue;
+    const std::int32_t exp =
+        f.kind == FwdKind::kMulConst ? 0 : static_cast<std::int32_t>(f.exponent);
+    const Key key{static_cast<std::uint8_t>(f.op), exp, f.a, f.b};
+    const auto [it, inserted] = seen.emplace(key, f.dst);
+    if (inserted) continue;
+    // Duplicate: forward value is a copy of the representative's slot.
+    // The node keeps its own slot and its own backward projection, so
+    // per-node requirements replay exactly.
+    f.kind = FwdKind::kCopy;
+    f.a = it->second;
+    f.b = kNoSlot;
+    ++stats.shared;
+  }
+}
+
+void Program::prune_dead_projections(const Hc4Tape& tape) {
+  // Reference counts over everything that can read a slot at runtime:
+  // forward operand reads, backward projections (target + sibling +
+  // requirement), root intersections and variable readback.
+  std::vector<std::uint32_t> refs(num_slots, 0);
+  const auto ref = [&](TapeSlot s) {
+    if (s != kNoSlot) ++refs[s];
+  };
+  for (const FwdInstr& f : forward) {
+    if (f.kind == FwdKind::kFolded) continue;
+    ref(f.a);
+    if (f.kind != FwdKind::kCopy) ref(f.b);
+  }
+  for (const BwdInstr& b : backward) {
+    ref(b.dst);
+    if (b.kind == BwdKind::kCheckOnly) continue;
+    ref(b.a);
+    ref(b.b);
+  }
+  for (const TapeSlot s : tape.root_slots()) ref(s);
+  for (const TapeSlot s : tape.var_slots()) ref(s);
+
+  ConstMap consts(num_slots);
+  for (const TapeSlot s : tape.const_slots()) consts.set(s, Interval());
+  for (const auto& [slot, v] : folded_consts) consts.set(slot, v);
+
+  for (BwdInstr& b : backward) {
+    // (a) kPow with a non-positive exponent: project_node declines to
+    // invert it, so only the requirement-emptiness check is observable.
+    if (b.kind == BwdKind::kGeneric && b.op == Op::kPow && b.exponent <= 0) {
+      b.kind = BwdKind::kCheckOnly;
+      ++stats.dead_projections;
+      continue;
+    }
+    // (b) kAdd leg-2 store demotion: when the leg's target is a
+    // constant-valued leaf referenced by nothing but this instruction
+    // (its two refs here: forward operand + backward leg), the narrowed
+    // value is dead until the next constant re-seed. The intersect and
+    // its emptiness abort remain; only the register store is elided.
+    if (b.kind == BwdKind::kAdd && b.b != kNoSlot && b.b != b.a &&
+        consts.has(b.b) && refs[b.b] == 2) {
+      b.store_b = false;
+      ++stats.demoted_stores;
+    }
+  }
+}
+
+PassStats Program::optimize(const Hc4Tape& tape) {
+  const bool dump_passes = core::RuntimeConfig::active().jit_dump;
+  fold_constants(tape);
+  if (dump_passes) dump(std::cerr, "fold_constants");
+  share_subexpressions();
+  if (dump_passes) dump(std::cerr, "share_subexpressions");
+  prune_dead_projections(tape);
+  if (dump_passes) dump(std::cerr, "prune_dead_projections");
+  return stats;
+}
+
+std::size_t Program::live_forward() const {
+  std::size_t n = 0;
+  for (const FwdInstr& f : forward) n += f.kind != FwdKind::kFolded;
+  return n;
+}
+
+void Program::dump(std::ostream& os, const char* phase) const {
+  os << "ir(" << phase << "): " << live_forward() << " fwd, "
+     << backward.size() << " bwd, " << folded_consts.size() << " folded"
+     << " [fold=" << stats.folded << " cse=" << stats.shared
+     << " deadproj=" << stats.dead_projections
+     << " demoted=" << stats.demoted_stores << "]\n";
+  for (const FwdInstr& f : forward) {
+    if (f.kind == FwdKind::kFolded) continue;
+    os << "  f %" << f.dst << " = ";
+    switch (f.kind) {
+      case FwdKind::kCopy:
+        os << "copy %" << f.a;
+        break;
+      case FwdKind::kMulConst:
+        os << "mulconst %" << f.a << ", %" << f.b << " [mc" << f.exponent
+           << "]";
+        break;
+      default:
+        os << expr::op_name(f.op) << " %" << f.a;
+        if (f.b != kNoSlot) os << ", %" << f.b;
+        if (f.op == Op::kPow) os << " ^" << f.exponent;
+        break;
+    }
+    os << "\n";
+  }
+  for (const BwdInstr& b : backward) {
+    os << "  b %" << b.dst << " ";
+    switch (b.kind) {
+      case BwdKind::kCheckOnly:
+        os << "check";
+        break;
+      case BwdKind::kMulConst:
+        os << "proj mulconst [mc" << b.exponent << "]";
+        break;
+      case BwdKind::kAdd:
+        os << "proj add -> %" << b.a << ", %" << b.b
+           << (b.store_b ? "" : " (leg2 check-only)");
+        break;
+      default:
+        os << "proj " << expr::op_name(b.op) << " -> %" << b.a;
+        if (b.b != kNoSlot) os << ", %" << b.b;
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace bcert::smt::ir

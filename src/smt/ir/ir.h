@@ -1,0 +1,142 @@
+#pragma once
+/// \file ir.h
+/// \brief SSA-style intermediate representation between `Hc4Tape` and the
+/// native x86-64 backend (src/smt/jit).
+///
+/// A tape is already single-assignment per pass — every interior slot is
+/// written by exactly one forward instruction — so the lowering is a
+/// 1:1 re-kinding of the instruction stream into explicit forward and
+/// backward programs, followed by optimization passes that are each
+/// *provably bit-preserving* with respect to the interpreter:
+///
+///  * `fold_constants` — a forward instruction whose operands are all
+///    constant-valued slots computes the same interval every pass (leaf
+///    constants are re-seeded before each forward sweep, so the inputs
+///    are pristine by construction). The value is evaluated once at
+///    compile time — with the *same* kernel the interpreter would run —
+///    and preloaded like a leaf constant; the forward instruction
+///    disappears. The matching backward projection is retained: it
+///    narrows the constant operand slots and its emptiness aborts are a
+///    real feasibility signal (a constant requirement can go empty at
+///    the ulp level even when the algebra says it shouldn't).
+///
+///  * `share_subexpressions` — forward value numbering: a structural
+///    duplicate of an earlier instruction (same op / exponent / operand
+///    slots) becomes a register copy from the representative's slot.
+///    Each node keeps its own slot, so the backward sweep — where
+///    requirements differ per node — replays unchanged. On tapes built
+///    from an `ExprPool` this is a verified no-op (hash-consing plus
+///    commutative-operand canonicalization make structural duplicates
+///    unrepresentable); it is the tape-level guarantee for programs
+///    assembled from other sources, and the unit tests drive it with
+///    hand-built programs.
+///
+///  * `prune_dead_projections` — two provably-dead shapes:
+///    (a) `kPow` with exponent ≤ 0: the interpreter's projection is a
+///        literal no-op (`project_node` declines to invert non-positive
+///        powers), so only the per-instruction requirement-emptiness
+///        check survives (`BwdKind::kCheckOnly` — the check is
+///        load-bearing: it is what aborts the sweep when an ancestor
+///        emptied this slot).
+///    (b) the second `kAdd` projection leg whose target is a
+///        single-reference constant leaf: the narrowed value is provably
+///        never read again before the next re-seed (one reference total,
+///        leaves have no own projection, readback touches variables
+///        only), so the store is elided while the intersect + emptiness
+///        *check* — the observable part — remains.
+///
+/// Passes run in the order above; `dump()` prints the program (used
+/// pass-by-pass under `BCERT_JIT_DUMP=1`) in a format whose instruction
+/// lines round-trip counts for the disassembler tests.
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/interval/interval.h"
+#include "src/smt/tape.h"
+
+namespace bcert::smt::ir {
+
+/// Emission strategy of one forward instruction.
+enum class FwdKind : std::uint8_t {
+  kGeneric,   ///< helper call into apply_interval_op
+  kAdd,       ///< inline SSE add (tkern::add_iv twin)
+  kSub,       ///< inline SSE subtract
+  kNeg,       ///< inline negate (empty operand passes through untouched)
+  kMulConst,  ///< inline multiply by {w, w}; `exponent` = MulConstSpec index
+  kCopy,      ///< dst ← a (inserted by share_subexpressions)
+  kFolded,    ///< removed; value preloaded via Program::folded_consts
+};
+
+struct FwdInstr {
+  TapeSlot dst = kNoSlot;
+  TapeSlot a = kNoSlot;
+  TapeSlot b = kNoSlot;
+  expr::Op op = expr::Op::kConst;
+  std::int16_t exponent = 0;  ///< kPow exponent, or MulConstSpec index
+  FwdKind kind = FwdKind::kGeneric;
+};
+
+/// Emission strategy of one backward (projection) instruction.
+enum class BwdKind : std::uint8_t {
+  kGeneric,    ///< requirement check + project_node helper call
+  kAdd,        ///< inline two-leg refine_sub
+  kMulConst,   ///< requirement check + reciprocal-multiply helper call
+  kCheckOnly,  ///< projection eliminated; requirement check retained
+};
+
+struct BwdInstr {
+  TapeSlot dst = kNoSlot;
+  TapeSlot a = kNoSlot;
+  TapeSlot b = kNoSlot;
+  expr::Op op = expr::Op::kConst;
+  std::int16_t exponent = 0;
+  BwdKind kind = BwdKind::kGeneric;
+  bool store_b = true;  ///< false: kAdd leg-2 store elided (check kept)
+};
+
+/// What the optimization passes did (dump + unit-test introspection).
+struct PassStats {
+  std::size_t folded = 0;
+  std::size_t shared = 0;
+  std::size_t dead_projections = 0;
+  std::size_t demoted_stores = 0;
+};
+
+/// One conjunction tape lowered to explicit forward/backward programs.
+/// `backward` is stored in execution order (reverse topological), so the
+/// emitter walks both vectors front to back.
+struct Program {
+  std::vector<FwdInstr> forward;
+  std::vector<BwdInstr> backward;
+  /// Slots turned constant by fold_constants, with their preload values.
+  std::vector<std::pair<TapeSlot, interval::Interval>> folded_consts;
+  std::size_t num_slots = 0;
+  PassStats stats;
+
+  /// 1:1 lowering of \p tape (no optimization applied yet).
+  static Program from_tape(const Hc4Tape& tape);
+
+  /// Runs the three passes in order; cumulative stats are returned and
+  /// kept in `stats`. When `core::RuntimeConfig::active().jit_dump` is
+  /// set, the program is dumped to stderr after every pass.
+  PassStats optimize(const Hc4Tape& tape);
+
+  // Individual passes (exposed for unit tests).
+  void fold_constants(const Hc4Tape& tape);
+  void share_subexpressions();
+  void prune_dead_projections(const Hc4Tape& tape);
+
+  /// Live (non-folded) forward instruction count.
+  std::size_t live_forward() const;
+
+  /// Prints "ir(<phase>): ..." header plus one line per live forward
+  /// instruction ("  f %dst = ...") and one per backward instruction
+  /// ("  b %dst ...").
+  void dump(std::ostream& os, const char* phase) const;
+};
+
+}  // namespace bcert::smt::ir

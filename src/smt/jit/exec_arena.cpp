@@ -1,0 +1,50 @@
+#include "src/smt/jit/exec_arena.h"
+
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define BCERT_JIT_HOST 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define BCERT_JIT_HOST 0
+#endif
+
+namespace bcert::smt::jit {
+
+bool ExecMemory::supported() { return BCERT_JIT_HOST != 0; }
+
+#if BCERT_JIT_HOST
+
+ExecMemory::ExecMemory(const std::uint8_t* code, std::size_t size) {
+  if (size == 0) throw JitUnavailable("jit: empty code buffer");
+  const std::size_t page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  size_ = (size + page - 1) & ~(page - 1);
+  void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw JitUnavailable("jit: mmap(RW) failed");
+  }
+  std::memcpy(p, code, size);
+  if (::mprotect(p, size_, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(p, size_);
+    throw JitUnavailable("jit: mprotect(RX) refused (W^X policy?)");
+  }
+  base_ = p;
+}
+
+ExecMemory::~ExecMemory() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+#else  // !BCERT_JIT_HOST
+
+ExecMemory::ExecMemory(const std::uint8_t*, std::size_t) {
+  throw JitUnavailable("jit: unsupported host (x86-64 Linux/macOS only)");
+}
+
+ExecMemory::~ExecMemory() = default;
+
+#endif  // BCERT_JIT_HOST
+
+}  // namespace bcert::smt::jit

@@ -1,0 +1,56 @@
+#pragma once
+/// \file exec_arena.h
+/// \brief W^X-safe executable memory for the tape JIT.
+///
+/// One `ExecMemory` owns one mmap'd region per compiled tape. The
+/// lifecycle never holds writable+executable pages simultaneously: the
+/// region is mapped RW, the code bytes are copied in, then the mapping
+/// is flipped to RX with mprotect. Hardened hosts that refuse executable
+/// anonymous mappings (or refuse the RW→RX flip) surface as a
+/// `JitUnavailable` throw, which the contractor setup catches to walk
+/// the degradation ladder down to the interpreter (`jit_to_tape`).
+///
+/// Only x86-64 ELF/Mach-O hosts are supported; everywhere else
+/// `supported()` is false and construction throws.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace bcert::smt::jit {
+
+/// Thrown when native emission cannot proceed on this host (non-x86-64
+/// build, exec-mmap denial, W^X flip refused). Callers degrade to the
+/// tape interpreter — bit-identically, by contract.
+class JitUnavailable : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Immutable executable copy of a finished code buffer.
+class ExecMemory {
+ public:
+  /// True when this build + platform can execute emitted code at all.
+  static bool supported();
+
+  /// Maps RW, copies \p size bytes from \p code, remaps RX.
+  /// Throws JitUnavailable on any failure; never leaves a writable
+  /// executable page behind.
+  ExecMemory(const std::uint8_t* code, std::size_t size);
+  ~ExecMemory();
+
+  ExecMemory(const ExecMemory&) = delete;
+  ExecMemory& operator=(const ExecMemory&) = delete;
+
+  /// Entry point at byte offset \p off into the region.
+  const void* entry(std::size_t off) const {
+    return static_cast<const std::uint8_t*>(base_) + off;
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bcert::smt::jit

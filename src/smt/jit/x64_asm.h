@@ -1,0 +1,287 @@
+#pragma once
+/// \file x64_asm.h
+/// \brief Minimal x86-64 byte-buffer assembler for the tape JIT.
+///
+/// Covers exactly the instruction set the HC4 emitter needs: 64-bit
+/// moves/lea/push/pop/call/ret, rel32 branches with label fixups, and
+/// the SSE2 packed-double subset mirroring src/smt/tape_kernels.h
+/// (movupd/movapd/arithmetic/compares/shuffles plus the integer-lane
+/// ops behind `outward_pd`). Memory operands are restricted to
+/// [base + disp32] with a non-rsp/r12 base, so no SIB bytes exist and
+/// every encoding below is the straight-line REX/modrm case.
+///
+/// Internal header: include only from src/smt/jit implementation files.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace bcert::smt::jit {
+
+// General-purpose register numbers (SysV).
+inline constexpr int kRax = 0, kRcx = 1, kRdx = 2, kRbx = 3, kRsp = 4,
+                     kRbp = 5, kRsi = 6, kRdi = 7, kR8 = 8, kR12 = 12,
+                     kR13 = 13;
+
+/// Condition codes for jcc (0F 8x).
+inline constexpr std::uint8_t kCcBelow = 0x2, kCcEq = 0x4, kCcNe = 0x5,
+                              kCcAbove = 0x7;
+
+class X64Assembler {
+ public:
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+  // --- labels --------------------------------------------------------------
+
+  struct Label {
+    std::ptrdiff_t pos = -1;               ///< bound offset, -1 = pending
+    std::vector<std::size_t> fixups;       ///< rel32 patch positions
+  };
+
+  std::size_t new_label() {
+    labels_.emplace_back();
+    return labels_.size() - 1;
+  }
+
+  void bind(std::size_t label) {
+    Label& l = labels_.at(label);
+    l.pos = static_cast<std::ptrdiff_t>(buf_.size());
+    for (const std::size_t at : l.fixups) patch_rel32(at, l.pos);
+    l.fixups.clear();
+  }
+
+  /// 0F 8x rel32 conditional jump to \p label.
+  void jcc(std::uint8_t cc, std::size_t label) {
+    u8(0x0F);
+    u8(static_cast<std::uint8_t>(0x80 | cc));
+    branch_to(label);
+  }
+
+  /// E9 rel32 unconditional jump.
+  void jmp(std::size_t label) {
+    u8(0xE9);
+    branch_to(label);
+  }
+
+  // --- integer / control flow ----------------------------------------------
+
+  void push(int r) {
+    if (r >= 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x50 + (r & 7)));
+  }
+  void pop(int r) {
+    if (r >= 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0x58 + (r & 7)));
+  }
+  void ret() { u8(0xC3); }
+
+  /// mov r64, imm64 (movabs).
+  void mov_ri64(int r, std::uint64_t imm) {
+    rex(1, 0, r);
+    u8(static_cast<std::uint8_t>(0xB8 + (r & 7)));
+    u64(imm);
+  }
+
+  /// mov r64dst, r64src.
+  void mov_rr64(int dst, int src) {
+    rex(1, src, dst);
+    u8(0x89);
+    modrm(3, src, dst);
+  }
+
+  /// mov r64, [base + disp32].
+  void mov_rm64(int dst, int base, std::int32_t disp) {
+    rex(1, dst, base);
+    u8(0x8B);
+    mem(dst, base, disp);
+  }
+
+  /// lea r64, [base + disp32].
+  void lea(int dst, int base, std::int32_t disp) {
+    rex(1, dst, base);
+    u8(0x8D);
+    mem(dst, base, disp);
+  }
+
+  void call_reg(int r) {
+    if (r >= 8) u8(0x41);
+    u8(0xFF);
+    modrm(3, 2, r);
+  }
+
+  void test_eax_eax() {
+    u8(0x85);
+    u8(0xC0);
+  }
+  void xor_eax_eax() {
+    u8(0x31);
+    u8(0xC0);
+  }
+  void xor_edx_edx() {
+    u8(0x31);
+    u8(0xD2);
+  }
+  void mov_r32_imm(int r, std::uint32_t imm) {
+    if (r >= 8) u8(0x41);
+    u8(static_cast<std::uint8_t>(0xB8 + (r & 7)));
+    u32(imm);
+  }
+  void cmp_eax_imm8(std::int8_t imm) {
+    u8(0x83);
+    u8(0xF8);
+    u8(static_cast<std::uint8_t>(imm));
+  }
+  void cmp_eax_imm32(std::uint32_t imm) {
+    u8(0x3D);
+    u32(imm);
+  }
+
+  // --- SSE2 packed double --------------------------------------------------
+  // All take xmm0..xmm7 only (asserted), so no REX.R is ever needed and a
+  // REX prefix appears only for an r13 base.
+
+  void movupd_load(int x, int base, std::int32_t disp) {
+    sse_mem(0x66, 0x10, x, base, disp);
+  }
+  void movupd_store(int base, std::int32_t disp, int x) {
+    sse_mem(0x66, 0x11, x, base, disp);
+  }
+  void movapd_load(int x, int base, std::int32_t disp) {
+    sse_mem(0x66, 0x28, x, base, disp);
+  }
+  void movapd_rr(int dst, int src) { sse_rr(0x66, 0x28, dst, src); }
+  /// movsd xmm_dst, xmm_src — merges src lane0 into dst lane0.
+  void movsd_rr(int dst, int src) { sse_rr(0xF2, 0x10, dst, src); }
+
+  void addpd(int dst, int src) { sse_rr(0x66, 0x58, dst, src); }
+  void subpd(int dst, int src) { sse_rr(0x66, 0x5C, dst, src); }
+  void mulpd(int dst, int src) { sse_rr(0x66, 0x59, dst, src); }
+  void divpd(int dst, int src) { sse_rr(0x66, 0x5E, dst, src); }
+  void mulpd_mem(int dst, int base, std::int32_t disp) {
+    sse_mem(0x66, 0x59, dst, base, disp);
+  }
+  void minpd(int dst, int src) { sse_rr(0x66, 0x5D, dst, src); }
+  void maxpd(int dst, int src) { sse_rr(0x66, 0x5F, dst, src); }
+  void andpd(int dst, int src) { sse_rr(0x66, 0x54, dst, src); }
+  void andpd_mem(int dst, int base, std::int32_t disp) {
+    sse_mem(0x66, 0x54, dst, base, disp);
+  }
+  void andnpd(int dst, int src) { sse_rr(0x66, 0x55, dst, src); }
+  void orpd(int dst, int src) { sse_rr(0x66, 0x56, dst, src); }
+  void xorpd(int dst, int src) { sse_rr(0x66, 0x57, dst, src); }
+  void unpckhpd(int dst, int src) { sse_rr(0x66, 0x15, dst, src); }
+  void shufpd(int dst, int src, std::uint8_t imm) {
+    sse_rr(0x66, 0xC6, dst, src);
+    u8(imm);
+  }
+  void ucomisd(int a, int b) { sse_rr(0x66, 0x2E, a, b); }
+  /// cmppd dst, src, imm (0 = eq, 3 = unord).
+  void cmppd(int dst, int src, std::uint8_t imm) {
+    sse_rr(0x66, 0xC2, dst, src);
+    u8(imm);
+  }
+  void cmppd_mem(int dst, int base, std::int32_t disp, std::uint8_t imm) {
+    sse_mem(0x66, 0xC2, dst, base, disp);
+    u8(imm);
+  }
+  void movmskpd(int r32, int x) { sse_rr(0x66, 0x50, r32, x); }
+
+  // Integer lanes (outward rounding).
+  void psrlq_imm(int x, std::uint8_t imm) {
+    u8(0x66);
+    u8(0x0F);
+    u8(0x73);
+    modrm(3, 2, x);
+    u8(imm);
+  }
+  void psllq_imm(int x, std::uint8_t imm) {
+    u8(0x66);
+    u8(0x0F);
+    u8(0x73);
+    modrm(3, 6, x);
+    u8(imm);
+  }
+  void paddq(int dst, int src) { sse_rr(0x66, 0xD4, dst, src); }
+  void psubq(int dst, int src) { sse_rr(0x66, 0xFB, dst, src); }
+  void psubq_mem(int dst, int base, std::int32_t disp) {
+    sse_mem(0x66, 0xFB, dst, base, disp);
+  }
+  void pcmpeqd(int dst, int src) { sse_rr(0x66, 0x76, dst, src); }
+  void pmovmskb(int r32, int x) { sse_rr(0x66, 0xD7, r32, x); }
+  void pand(int dst, int src) { sse_rr(0x66, 0xDB, dst, src); }
+  void pandn(int dst, int src) { sse_rr(0x66, 0xDF, dst, src); }
+  void por(int dst, int src) { sse_rr(0x66, 0xEB, dst, src); }
+  void pxor(int dst, int src) { sse_rr(0x66, 0xEF, dst, src); }
+
+ private:
+  void u8(std::uint8_t b) { buf_.push_back(b); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void rex(int w, int reg, int rm) {
+    const std::uint8_t b = static_cast<std::uint8_t>(
+        0x40 | (w << 3) | ((reg >= 8) << 2) | (rm >= 8));
+    if (w != 0 || b != 0x40) u8(b);
+  }
+
+  void modrm(int mod, int reg, int rm) {
+    u8(static_cast<std::uint8_t>((mod << 6) | ((reg & 7) << 3) | (rm & 7)));
+  }
+
+  /// [base + disp32] operand; base must not be rsp/r12 (SIB territory).
+  void mem(int reg, int base, std::int32_t disp) {
+    if ((base & 7) == kRsp) {
+      throw std::logic_error("x64_asm: rsp/r12 base needs a SIB byte");
+    }
+    modrm(2, reg, base);
+    u32(static_cast<std::uint32_t>(disp));
+  }
+
+  void sse_rr(std::uint8_t prefix, std::uint8_t opc, int reg, int rm) {
+    u8(prefix);
+    u8(0x0F);
+    u8(opc);
+    modrm(3, reg, rm);
+  }
+
+  void sse_mem(std::uint8_t prefix, std::uint8_t opc, int x, int base,
+               std::int32_t disp) {
+    u8(prefix);
+    if (base >= 8) u8(0x41);  // REX.B — must precede 0F
+    u8(0x0F);
+    u8(opc);
+    mem(x, base, disp);
+  }
+
+  void branch_to(std::size_t label) {
+    Label& l = labels_.at(label);
+    const std::size_t at = buf_.size();
+    u32(0);
+    if (l.pos >= 0) {
+      patch_rel32(at, l.pos);
+    } else {
+      l.fixups.push_back(at);
+    }
+  }
+
+  void patch_rel32(std::size_t at, std::ptrdiff_t target) {
+    const std::ptrdiff_t rel =
+        target - static_cast<std::ptrdiff_t>(at) - 4;
+    const std::uint32_t v = static_cast<std::uint32_t>(rel);
+    for (int i = 0; i < 4; ++i) {
+      buf_[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::vector<Label> labels_;
+};
+
+}  // namespace bcert::smt::jit

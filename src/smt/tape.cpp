@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <ostream>
 #include <stdexcept>
 
 #include "src/core/fault.h"
 #include "src/expr/eval.h"
+#include "src/smt/jit/hc4_jit.h"
 #include "src/smt/projections.h"
 #include "src/smt/tape_kernels.h"
 
@@ -18,7 +20,6 @@ using expr::Node;
 using expr::Op;
 using interval::Interval;
 using tkern::const_quotient_feasible;
-using tkern::mul_const;
 using tkern::mul_rec;
 #if BCERT_TAPE_SSE2
 using tkern::add_iv;
@@ -149,7 +150,7 @@ void Hc4Tape::forward(Registers& regs) const {
     const TapeInstr ins = code[i];
     if (ins.spec == kSpecMulConst) {
       const MulConstSpec& sp = mc[ins.exponent];
-      r[ins.dst] = mul_const(r[sp.var_slot], sp.w);
+      r[ins.dst] = tkern::mul_const(r[sp.var_slot], sp.w);
       continue;
     }
 #if BCERT_TAPE_SSE2
@@ -260,6 +261,36 @@ ContractResult Hc4Tape::contract(interval::Box& box, Registers& regs,
   return changed ? ContractResult::kContracted : ContractResult::kNoChange;
 }
 
+void Hc4Tape::dump(std::ostream& os) const {
+  os << "tape: " << code_.size() << " instrs, " << num_slots_ << " slots ("
+     << const_slots_.size() << " const, " << var_slots_.size() << " var), "
+     << root_slots_.size() << " roots\n";
+  for (std::size_t i = 0; i < const_slots_.size(); ++i) {
+    os << "  const %" << const_slots_[i] << " = [" << const_values_[i].lo()
+       << ", " << const_values_[i].hi() << "]\n";
+  }
+  for (std::size_t i = 0; i < var_slots_.size(); ++i) {
+    os << "  var   %" << var_slots_[i] << " = x" << var_dims_[i] << "\n";
+  }
+  for (const TapeInstr& ins : code_) {
+    os << "  %" << ins.dst << " = ";
+    if (ins.spec == kSpecMulConst) {
+      const MulConstSpec& sp = mul_const_[ins.exponent];
+      os << "mulconst %" << sp.var_slot << ", " << sp.w
+         << (sp.var_is_a ? "  (var_is_a)" : "");
+    } else {
+      os << expr::op_name(ins.op) << " %" << ins.a;
+      if (ins.b != kNoSlot) os << ", %" << ins.b;
+      if (ins.op == Op::kPow) os << " ^" << ins.exponent;
+    }
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < root_slots_.size(); ++i) {
+    os << "  root  %" << root_slots_[i] << " in [" << root_feasible_[i].lo()
+       << ", " << root_feasible_[i].hi() << "]\n";
+  }
+}
+
 TapeCache::Signature TapeCache::signature_of(const expr::ExprPool& pool,
                                              const Conjunction& c) {
   Signature sig;
@@ -279,6 +310,17 @@ std::shared_ptr<const Hc4Tape> TapeCache::get_or_compile(
   // (put(replace=false) keeps the first, both tapes are equivalent).
   auto tape = std::make_shared<const Hc4Tape>(pool, c);
   return tapes_.put(std::move(sig), std::move(tape), /*replace=*/false);
+}
+
+std::shared_ptr<const Hc4Jit> TapeCache::get_or_compile_jit(
+    const expr::ExprPool& pool, const Conjunction& c) {
+  Signature sig = signature_of(pool, c);
+  if (auto jit = jits_.get(sig)) return jit;
+  // The jit is a pure function of the tape, so reuse (or populate) the
+  // tape store first, then emit outside the lock. Emission failures
+  // propagate and cache nothing.
+  auto jit = Hc4Jit::compile(get_or_compile(pool, c));
+  return jits_.put(std::move(sig), std::move(jit), /*replace=*/false);
 }
 
 }  // namespace bcert::smt

@@ -25,6 +25,7 @@
 /// SIMD interval kernels.
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "src/smt/keyed_cache.h"
 
 namespace bcert::smt {
+
+class Hc4Jit;  // src/smt/jit/hc4_jit.h — native backend over a tape
 
 /// Cross-lane SIMD tier of the *batched* tape sweeps. All tiers are
 /// bit-identical per lane (the batch differential tests check every
@@ -116,6 +119,28 @@ class Hc4Tape {
   const Conjunction& conjunction() const { return conjunction_; }
   std::size_t num_slots() const { return num_slots_; }
   const std::vector<TapeInstr>& code() const { return code_; }
+
+  // Read-only views of the leaf/root tables, consumed by the IR lowering
+  // (src/smt/ir) and the native backend (src/smt/jit), which replay the
+  // exact same load/readback protocol as the interpreter.
+  const std::vector<MulConstSpec>& mul_const() const { return mul_const_; }
+  const std::vector<TapeSlot>& var_slots() const { return var_slots_; }
+  const std::vector<std::uint32_t>& var_dims() const { return var_dims_; }
+  const std::vector<TapeSlot>& const_slots() const { return const_slots_; }
+  const std::vector<interval::Interval>& const_values() const {
+    return const_values_;
+  }
+  const std::vector<TapeSlot>& root_slots() const { return root_slots_; }
+  const std::vector<interval::Interval>& root_feasible() const {
+    return root_feasible_;
+  }
+
+  /// Human-readable disassembly: one header line, one line per leaf
+  /// binding, one line per instruction ("%dst = op %a, %b"), one line per
+  /// constraint root. Exactly `code().size()` lines start with "  %" and
+  /// an instruction mnemonic, so dumps round-trip instruction counts (the
+  /// disassembler unit test relies on this).
+  void dump(std::ostream& os) const;
 
   /// Fresh register file sized for this tape (constants preloaded).
   Registers make_registers() const;
@@ -218,16 +243,27 @@ class TapeCache {
   static constexpr std::size_t kMaxEntries = 64;
 
   explicit TapeCache(std::size_t capacity = kMaxEntries)
-      : tapes_(capacity) {}
+      : tapes_(capacity), jits_(capacity) {}
 
   /// Returns the cached tape for \p c over \p pool, compiling on miss.
   std::shared_ptr<const Hc4Tape> get_or_compile(const expr::ExprPool& pool,
                                                 const Conjunction& c);
 
+  /// Returns the cached native compilation for \p c over \p pool,
+  /// running tape → IR → x86-64 emission on miss. Shares the same
+  /// structural signature as the tape store (the jit is a pure function
+  /// of the tape). Throws (JitUnavailable, FaultInjected, ...) when
+  /// emission is impossible; failures are never cached, so a transient
+  /// armed `jit_compile` fault does not poison later lookups.
+  std::shared_ptr<const Hc4Jit> get_or_compile_jit(const expr::ExprPool& pool,
+                                                   const Conjunction& c);
+
   std::size_t size() const { return tapes_.size(); }
 
-  /// Hit/miss/eviction counters and current occupancy.
+  /// Hit/miss/eviction counters and current occupancy (tape store).
   KeyedCacheStats stats() const { return tapes_.stats(); }
+  /// Same counters for the native-code store.
+  KeyedCacheStats jit_stats() const { return jits_.stats(); }
 
  private:
   using Signature =
@@ -236,6 +272,7 @@ class TapeCache {
                                 const Conjunction& c);
 
   KeyedLruCache<Signature, const Hc4Tape> tapes_;
+  KeyedLruCache<Signature, const Hc4Jit> jits_;
 };
 
 }  // namespace bcert::smt

@@ -99,10 +99,67 @@ void refine_sub_sse2(double* t, const double* r, const double* s,
     if (!ok) empty[l] = 1;
   }
 }
-const bkern::LaneKernels kScalarKernels{forward_add_scalar, refine_sub_scalar};
-const bkern::LaneKernels kSse2Kernels{forward_add_sse2, refine_sub_sse2};
+
+// Scalar twins of the branchy forward lanes: exactly the operations the
+// scalar tape sweep runs for these instructions, applied per masked
+// lane — trivially bit-identical, and the reference the SSE2/AVX2
+// variants are fuzz-compared against.
+
+void forward_mul_const_scalar(double* dst, const double* x, double w,
+                              const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, tkern::mul_const(get_iv(x, l), w));
+  }
+}
+
+void forward_mul_scalar(double* dst, const double* a, const double* b,
+                        const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, get_iv(a, l) * get_iv(b, l));
+  }
+}
+
+void forward_div_scalar(double* dst, const double* a, const double* b,
+                        const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, get_iv(a, l) / get_iv(b, l));
+  }
+}
+
+void forward_mul_const_sse2(double* dst, const double* x, double w,
+                            const std::uint8_t* mask, std::size_t lanes) {
+  const __m128d vw = _mm_set1_pd(w);
+  const bool negative = w < 0.0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) {
+      set_iv(dst, l, tkern::mul_const_iv(get_iv(x, l), vw, negative));
+    }
+  }
+}
+
+void forward_mul_sse2(double* dst, const double* a, const double* b,
+                      const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, tkern::mul_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+void forward_div_sse2(double* dst, const double* a, const double* b,
+                      const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, tkern::div_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+const bkern::LaneKernels kScalarKernels{
+    forward_add_scalar, refine_sub_scalar, forward_mul_const_scalar,
+    forward_mul_scalar, forward_div_scalar};
+const bkern::LaneKernels kSse2Kernels{
+    forward_add_sse2, refine_sub_sse2, forward_mul_const_sse2,
+    forward_mul_sse2, forward_div_sse2};
 #endif  // BCERT_TAPE_SSE2
-const bkern::LaneKernels kGenericKernels{nullptr, nullptr};
+const bkern::LaneKernels kGenericKernels{nullptr, nullptr, nullptr, nullptr,
+                                         nullptr};
 
 bool cpu_has_avx2() {
 #if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
@@ -275,6 +332,10 @@ void Hc4Tape::contract_fixpoint_batch(BoxBatch& batch, BatchRegisters& regs,
       if (ins.spec == kSpecMulConst) {
         const MulConstSpec& sp = mc[ins.exponent];
         const double* const x = data + sp.var_slot * stride;
+        if (kn.forward_mul_const != nullptr) {
+          kn.forward_mul_const(dst, x, sp.w, mask, n);
+          continue;
+        }
         for (std::size_t l = 0; l < n; ++l) {
           if (mask[l]) set_iv(dst, l, tkern::mul_const(get_iv(x, l), sp.w));
         }
@@ -283,6 +344,14 @@ void Hc4Tape::contract_fixpoint_batch(BoxBatch& batch, BatchRegisters& regs,
       const double* const a = data + ins.a * stride;
       if (ins.op == Op::kAdd && kn.forward_add != nullptr) {
         kn.forward_add(dst, a, data + ins.b * stride, n);
+        continue;
+      }
+      if (ins.op == Op::kMul && kn.forward_mul != nullptr) {
+        kn.forward_mul(dst, a, data + ins.b * stride, mask, n);
+        continue;
+      }
+      if (ins.op == Op::kDiv && kn.forward_div != nullptr) {
+        kn.forward_div(dst, a, data + ins.b * stride, mask, n);
         continue;
       }
       if (ins.b != kNoSlot) {

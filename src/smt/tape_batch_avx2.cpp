@@ -128,7 +128,39 @@ BCERT_AVX2_FN void refine_sub_avx2(double* t, const double* r,
   }
 }
 
-const LaneKernels kAvx2Kernels{forward_add_avx2, refine_sub_avx2};
+// The branchy forward lanes (kMulConst / kMul / kDiv) reuse the proven
+// single-interval SSE2 kernels per lane: their empty / exact-zero /
+// divisor-sign pre-checks dominate, so a two-interval AVX2 widening
+// would spend its lanes re-deciding branches, not multiplying.
+
+void forward_mul_const_lanes(double* dst, const double* x, double w,
+                             const std::uint8_t* mask, std::size_t lanes) {
+  const __m128d vw = _mm_set1_pd(w);
+  const bool negative = w < 0.0;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) {
+      set_iv(dst, l, tkern::mul_const_iv(get_iv(x, l), vw, negative));
+    }
+  }
+}
+
+void forward_mul_lanes(double* dst, const double* a, const double* b,
+                       const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, tkern::mul_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+void forward_div_lanes(double* dst, const double* a, const double* b,
+                       const std::uint8_t* mask, std::size_t lanes) {
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (mask[l]) set_iv(dst, l, tkern::div_iv(get_iv(a, l), get_iv(b, l)));
+  }
+}
+
+const LaneKernels kAvx2Kernels{forward_add_avx2, refine_sub_avx2,
+                               forward_mul_const_lanes, forward_mul_lanes,
+                               forward_div_lanes};
 
 }  // namespace
 

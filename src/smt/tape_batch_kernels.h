@@ -33,6 +33,22 @@ struct LaneKernels {
   /// clears a flag). Bit-identical to tkern::refine_sub per lane.
   void (*refine_sub)(double* t, const double* r, const double* s,
                      std::uint8_t* empty, std::size_t lanes);
+
+  // The remaining hot forward lanes are branchy (empty / exact-zero
+  // pre-checks, division's sign cases), so their kernels stay
+  // interval-at-a-time and take the lane mask instead of running
+  // full-width like forward_add.
+
+  /// dst[l] = x[l] · [w, w] on masked-in lanes (w nonzero finite).
+  /// Bit-identical to tkern::mul_const.
+  void (*forward_mul_const)(double* dst, const double* x, double w,
+                            const std::uint8_t* mask, std::size_t lanes);
+  /// dst[l] = a[l] · b[l] on masked-in lanes (interval::operator*).
+  void (*forward_mul)(double* dst, const double* a, const double* b,
+                      const std::uint8_t* mask, std::size_t lanes);
+  /// dst[l] = a[l] / b[l] on masked-in lanes (interval::operator/).
+  void (*forward_div)(double* dst, const double* a, const double* b,
+                      const std::uint8_t* mask, std::size_t lanes);
 };
 
 /// AVX2 two-interval kernel table; null when this build carries no AVX2

@@ -310,6 +310,47 @@ TEST(IcpBatchDiff, SolverBatchedVsScalarEquivalenceSweep) {
   EXPECT_GT(unsat_seen, 0);
 }
 
+/// The native jit contractor plugged into the solver must reproduce the
+/// tape solver's exact search tree — verdict, box counts, splits and
+/// witness — on the same SAT/UNSAT-mixed corpus as the batched sweep.
+/// (On hosts without native emission the jit rung degrades to the tape,
+/// which makes this equivalence trivially true — still worth running:
+/// it pins the degradation path.)
+TEST(IcpBatchDiff, SolverJitVsTapeEquivalenceSweep) {
+  std::mt19937 rng(4711);
+  const Box box = Box::from_bounds({{-2.0, 2.0}, {-2.0, 2.0}});
+  IcpConfig tape_cfg = solver_config(1);
+  tape_cfg.hc4_mode = Hc4Mode::kTape;
+  IcpConfig jit_cfg = solver_config(1);
+  jit_cfg.hc4_mode = Hc4Mode::kJit;
+  for (int trial = 0; trial < 25; ++trial) {
+    ExprPool pool;
+    Conjunction c;
+    const int m = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < m; ++i) {
+      const Constraint atom = random_atom(pool, rng);
+      c.add(atom.lhs, atom.rel);
+    }
+
+    const IcpSolver tape_solver(pool, tape_cfg);
+    const IcpSolver jit_solver(pool, jit_cfg);
+    const IcpResult rt = tape_solver.solve(c, box);
+    const IcpResult rj = jit_solver.solve(c, box);
+
+    ASSERT_EQ(rt.verdict, rj.verdict) << "trial " << trial;
+    EXPECT_EQ(rt.stats.boxes_processed, rj.stats.boxes_processed)
+        << "trial " << trial;
+    EXPECT_EQ(rt.stats.splits, rj.stats.splits) << "trial " << trial;
+    ASSERT_EQ(rt.witness.has_value(), rj.witness.has_value());
+    if (rt.witness.has_value()) {
+      for (std::size_t d = 0; d < rt.witness->size(); ++d) {
+        EXPECT_EQ((*rt.witness)[d].lo(), (*rj.witness)[d].lo());
+        EXPECT_EQ((*rt.witness)[d].hi(), (*rj.witness)[d].hi());
+      }
+    }
+  }
+}
+
 TEST(IcpBatchDiff, BatchedSequentialIsDeterministic) {
   ExprPool pool;
   Conjunction c;
