@@ -15,6 +15,7 @@
 #include "bench/bench_common.h"
 #include "src/expr/derivative.h"
 #include "src/scenario/generator.h"
+#include "src/smt/cache_io.h"
 #include "src/expr/eval.h"
 #include "src/linalg/decompositions.h"
 #include "src/smt/hc4.h"
@@ -692,6 +693,78 @@ void headline_engine_campaign_zoo(bench::JsonReport& report) {
               campaign.scenarios_per_sec());
 }
 
+/// The `bcertd` restart headline: the same generated zoo suite verified
+/// (a) by a cold Engine and (b) by a fresh Engine restored from the
+/// first one's warm-state snapshot — round-tripped through the real
+/// serialization container (encode_snapshot → decode_snapshot), exactly
+/// what a daemon restart does minus the socket. The verdicts are
+/// bit-identical by the warm-state contract; the gated ratio is the
+/// restart's payoff: compiled tapes, refutation trees and LP bases
+/// survive the process boundary. BCERT_RESTART_SCENARIOS scales the
+/// suite. Gated in CI via bcertd_warm_restart:warm_speedup.
+void headline_bcertd_warm_restart(bench::JsonReport& report) {
+  const int n = bench::env_int("BCERT_RESTART_SCENARIOS", 6);
+  scenario::GeneratorConfig config;
+  config.seed = 7;
+  config.count = static_cast<std::size_t>(n);
+  const core::JobOptions job = scenario::zoo_job_defaults();
+
+  const auto run_suite = [&](core::Engine& engine) {
+    expr::ExprPool pool;
+    const std::vector<core::Scenario> scenarios =
+        scenario::ScenarioGenerator(pool, config).generate();
+    core::CampaignResult campaign;
+    const double elapsed = wall_of([&] {
+      campaign =
+          engine.run_campaign(std::span<const core::Scenario>(scenarios), job);
+    });
+    return std::make_pair(elapsed, campaign.safe_count);
+  };
+
+  core::Engine cold_engine;
+  const auto [cold_s, cold_safe] = run_suite(cold_engine);
+
+  // The snapshot round trip a daemon restart performs.
+  const std::vector<std::uint8_t> snapshot =
+      smt::encode_snapshot(cold_engine.export_warm_state());
+  smt::WarmState restored;
+  std::string error;
+  if (!smt::decode_snapshot(snapshot.data(), snapshot.size(), restored,
+                            &error)) {
+    std::printf("headline bcertd restart: snapshot rejected (%s)\n",
+                error.c_str());
+    return;
+  }
+  core::Engine warm_engine;
+  warm_engine.import_warm_state(std::move(restored));
+  const auto [warm_s, warm_safe] = run_suite(warm_engine);
+
+  bench::BenchRecord cold;
+  cold.name = "bcertd_restart_cold";
+  cold.wall_time_s = cold_s;
+  cold.items_per_sec = static_cast<double>(n) / cold_s;
+  report.add(cold);
+  bench::BenchRecord warm;
+  warm.name = "bcertd_restart_warm";
+  warm.wall_time_s = warm_s;
+  warm.items_per_sec = static_cast<double>(n) / warm_s;
+  report.add(warm);
+  bench::BenchRecord combined;
+  combined.name = "bcertd_warm_restart";
+  combined.wall_time_s = cold_s + warm_s;
+  combined.warm_speedup = cold_s / warm_s;
+  report.add(combined);
+  std::printf(
+      "headline bcertd restart: cold %.3fs (%d/%d safe), snapshot %zu "
+      "bytes, restarted %.3fs (%d/%d safe, warm speedup %.2fx, "
+      "%llu tape + %llu tree restores)\n",
+      cold_s, cold_safe, n, snapshot.size(), warm_s, warm_safe, n,
+      combined.warm_speedup,
+      static_cast<unsigned long long>(warm_engine.tape_cache().warm_restores()),
+      static_cast<unsigned long long>(
+          warm_engine.unsat_cache().warm_restores()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -708,6 +781,7 @@ int main(int argc, char** argv) {
   headline_rk4(report);
   headline_engine_campaign(report);
   headline_engine_campaign_zoo(report);
+  headline_bcertd_warm_restart(report);
   const std::string path = report.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());
   return 0;

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# Daemon smoke: drives a real bcertd over its Unix socket through the
+# full service lifecycle and diffs every verdict line against the
+# in-process baseline (`bcertctl local-campaign`).
+#
+#   usage: ci/daemon_smoke.sh BUILD_DIR [FAULT_SPEC]
+#
+# The script runs one cold daemon campaign with concurrent clients and
+# a cancel, then a drain → restart → resubmit cycle so the second
+# campaign starts from the snapshot written on drain. Verdict lines
+# must be byte-identical across all three runs (local, cold daemon,
+# restarted daemon) — warm state may only change timings, never
+# verdicts.
+#
+# With FAULT_SPEC set (e.g. "socket_io:throw@every:7,cache_serialize:
+# throw@every:2") the same lifecycle must survive dropped client
+# connections and failed snapshot writes: clients reconnect and poll
+# `status` (results are always delivered), a failed save is skipped
+# with a warning, and the restarted daemon simply starts cold. The
+# warm-evidence assertions are therefore gated to the clean leg only.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: ci/daemon_smoke.sh BUILD_DIR [FAULT_SPEC]}"
+FAULT_SPEC="${2:-}"
+
+BCERTD="$BUILD_DIR/bcertd"
+BCERTCTL="$BUILD_DIR/bcertctl"
+[[ -x "$BCERTD" && -x "$BCERTCTL" ]] || {
+  echo "daemon_smoke: bcertd/bcertctl not built in $BUILD_DIR" >&2
+  exit 1
+}
+
+SEED=7
+COUNT=4
+WORK="$(mktemp -d)"
+SOCK="$WORK/bcertd.sock"
+STATE="$WORK/state"
+SNAPSHOT="$STATE/bcertd.snapshot"
+mkdir -p "$STATE"
+
+DAEMON_PID=""
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null || true
+    wait "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+ctl() { "$BCERTCTL" --socket "$SOCK" "$@"; }
+
+start_daemon() {
+  env BCERT_DAEMON_SOCKET="$SOCK" BCERT_STATE_DIR="$STATE" \
+      BCERT_SNAPSHOT_S=0 BCERT_LOG_LEVEL=info \
+      ${FAULT_SPEC:+BCERT_FAULT="$FAULT_SPEC"} \
+      "$BCERTD" >>"$WORK/bcertd.log" 2>&1 &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    if ctl --connect-timeout 1 ping >/dev/null 2>&1; then return 0; fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.2
+  done
+  echo "daemon_smoke: daemon did not come up" >&2
+  cat "$WORK/bcertd.log" >&2
+  exit 1
+}
+
+drain_daemon() {
+  ctl drain --wait >/dev/null
+  local exit_code=0
+  wait "$DAEMON_PID" || exit_code=$?
+  DAEMON_PID=""
+  if [[ "$exit_code" -ne 0 ]]; then
+    echo "daemon_smoke: drain exited $exit_code" >&2
+    cat "$WORK/bcertd.log" >&2
+    exit 1
+  fi
+}
+
+diff_verdicts() {
+  if ! diff -u "$WORK/expected.txt" "$1"; then
+    echo "daemon_smoke: $2 verdicts diverged from local-campaign" >&2
+    exit 1
+  fi
+}
+
+# In-process baseline (no daemon, no faults): the exact lines every
+# daemon campaign below must reproduce.
+"$BCERTCTL" local-campaign --seed "$SEED" --count "$COUNT" \
+  >"$WORK/expected.txt"
+
+echo "== cold daemon: concurrent campaign + stats client + cancel =="
+start_daemon
+
+# Client 1: the mini-campaign (submits all jobs, then polls verdicts).
+ctl campaign --seed "$SEED" --count "$COUNT" >"$WORK/cold.txt" &
+CAMPAIGN_PID=$!
+
+# Client 2 (concurrent connection): submit a job beyond the campaign
+# suite and cancel it while it is still queued behind the campaign.
+SUBMIT_OUT="$(ctl submit --seed "$SEED" --index "$COUNT")"
+CANCEL_JOB="${SUBMIT_OUT#job=}"
+CANCEL_JOB="${CANCEL_JOB%% *}"
+ctl cancel --job "$CANCEL_JOB" >/dev/null
+
+# Client 3 (concurrent connection): stats poller.
+ctl stats >/dev/null
+
+wait "$CAMPAIGN_PID" || {
+  echo "daemon_smoke: campaign client failed" >&2
+  cat "$WORK/bcertd.log" >&2
+  exit 1
+}
+diff_verdicts "$WORK/cold.txt" "cold-daemon"
+
+# The cancelled job must report cancelled, not a verdict. Cancellation
+# of a running job is cooperative, so poll until the result lands.
+CANCELLED_OK=0
+for _ in $(seq 1 100); do
+  if ctl status --job "$CANCEL_JOB" | grep -qF "(cancelled)"; then
+    CANCELLED_OK=1
+    break
+  fi
+  sleep 0.2
+done
+if [[ "$CANCELLED_OK" -ne 1 ]]; then
+  echo "daemon_smoke: cancelled job did not report cancelled" >&2
+  exit 1
+fi
+
+ctl stats >"$WORK/stats_cold.txt"
+drain_daemon
+
+echo "== restart from snapshot: resubmit the same campaign =="
+if [[ -z "$FAULT_SPEC" && ! -f "$SNAPSHOT" ]]; then
+  echo "daemon_smoke: drain did not write $SNAPSHOT" >&2
+  exit 1
+fi
+start_daemon
+ctl campaign --seed "$SEED" --count "$COUNT" >"$WORK/warm.txt"
+diff_verdicts "$WORK/warm.txt" "restarted-daemon"
+
+ctl stats >"$WORK/stats_warm.txt"
+if [[ -z "$FAULT_SPEC" ]]; then
+  # Clean leg only: the restart must actually have taken the warm path.
+  grep -q "snapshots.loaded=true" "$WORK/stats_warm.txt" || {
+    echo "daemon_smoke: restarted daemon did not load the snapshot" >&2
+    cat "$WORK/stats_warm.txt" >&2
+    exit 1
+  }
+  TAPE_RESTORES="$(sed -n 's/^caches\.tape\.warm_restores=//p' \
+    "$WORK/stats_warm.txt")"
+  TREE_RESTORES="$(sed -n 's/^caches\.unsat\.warm_restores=//p' \
+    "$WORK/stats_warm.txt")"
+  if [[ "${TAPE_RESTORES:-0}" -eq 0 || "${TREE_RESTORES:-0}" -eq 0 ]]; then
+    echo "daemon_smoke: no warm restores after restart" \
+         "(tape=${TAPE_RESTORES:-0} tree=${TREE_RESTORES:-0})" >&2
+    cat "$WORK/stats_warm.txt" >&2
+    exit 1
+  fi
+  echo "warm evidence: tape=$TAPE_RESTORES tree=$TREE_RESTORES restores"
+fi
+drain_daemon
+
+echo "daemon_smoke: OK (cold, restarted and local verdicts identical)"

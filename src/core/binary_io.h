@@ -1,0 +1,149 @@
+#pragma once
+/// \file binary_io.h
+/// \brief Bounds-checked little-endian byte-stream primitives for the
+/// warm-state snapshot format.
+///
+/// The persistent-cache layer (src/smt/cache_io, src/lp/basis_io) and
+/// the `bcertd` daemon serialize compiled tapes, UNSAT split trees and
+/// LP warm bases to disk. Those readers consume *untrusted* bytes — a
+/// truncated snapshot, a bit flip, a file from a different build — so
+/// every read here is bounds-checked and failure latches: once a read
+/// runs past the end, `ok()` stays false and all further reads return
+/// zero values, letting decoders check a single flag per record instead
+/// of per field. Doubles travel as IEEE-754 bit patterns (u64), so
+/// round-trips are bit-exact including NaNs, infinities and signed
+/// zeros — the warm-state contract ("loaded state behaves exactly like
+/// organically warmed state") needs nothing less.
+///
+/// Header-only and dependency-free on purpose: it sits below smt/lp in
+/// the link order, next to fault.h / runtime_config.h.
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace bcert::core {
+
+/// FNV-1a 64-bit over a byte range — the snapshot payload checksum.
+/// Not cryptographic; it guards against truncation and corruption, not
+/// adversaries (snapshots live in the daemon's own state directory).
+inline std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian byte sink.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(const std::uint8_t* data, std::size_t size) {
+    bytes_.insert(bytes_.end(), data, data + size);
+  }
+
+  /// Length-prefixed string (u32 size + raw bytes).
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  const std::vector<std::uint8_t>& data() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    // Host is little-endian on every platform this project targets
+    // (x86-64); static_assert keeps a future big-endian port honest.
+    static_assert(std::endian::native == std::endian::little,
+                  "snapshot format is little-endian");
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a byte span. All reads after a failure
+/// return zero values and leave ok() false (latched).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+  std::uint8_t u8() {
+    std::uint8_t v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint16_t v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    extract(&v, sizeof v);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!ok_ || n > remaining()) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Declares \p count records of at least \p min_bytes each are about
+  /// to be read; false (latching) when the buffer cannot possibly hold
+  /// them. Guards count-prefixed vector reads against a corrupt count
+  /// causing a gigantic reserve.
+  bool can_read(std::size_t count, std::size_t min_bytes) {
+    if (!ok_) return false;
+    if (min_bytes != 0 && count > remaining() / min_bytes) ok_ = false;
+    return ok_;
+  }
+
+ private:
+  void extract(void* p, std::size_t n) {
+    if (!ok_ || n > size_ - pos_) {
+      ok_ = false;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace bcert::core

@@ -240,6 +240,38 @@ FalsificationResult Engine::falsify(const BarrierProblem& problem,
   return falsifier.search();
 }
 
+smt::WarmState Engine::export_warm_state() const {
+  smt::WarmState state;
+  state.tapes = tape_cache_->export_entries();
+  state.trees = unsat_cache_->export_entries();
+  std::lock_guard<std::mutex> lock(basis_mutex_);
+  state.bases.reserve(warm_bases_.size());
+  for (const auto& [key, basis] : warm_bases_) {
+    if (basis.empty()) continue;
+    smt::WarmBasisEntry entry;
+    entry.kind = std::get<0>(key);
+    entry.degree = std::get<1>(key);
+    entry.dims = std::get<2>(key);
+    entry.basis = basis;
+    state.bases.push_back(std::move(entry));
+  }
+  return state;
+}
+
+void Engine::import_warm_state(smt::WarmState state) {
+  tape_cache_->import_entries(std::move(state.tapes));
+  unsat_cache_->import_entries(std::move(state.trees));
+  std::lock_guard<std::mutex> lock(basis_mutex_);
+  for (smt::WarmBasisEntry& entry : state.bases) {
+    const BasisKey key{entry.kind, entry.degree,
+                       static_cast<std::size_t>(entry.dims)};
+    // emplace keeps any live entry — a basis recorded this run is newer
+    // (and by the warm-start contract, either is merely a starting
+    // point, so staleness is a performance question only).
+    warm_bases_.emplace(key, std::move(entry.basis));
+  }
+}
+
 std::string CampaignResult::to_json() const {
   std::ostringstream os;
   os.precision(17);

@@ -47,6 +47,7 @@
 #include "src/core/verify_types.h"
 #include "src/lp/simplex.h"
 #include "src/parallel/thread_pool.h"
+#include "src/smt/cache_io.h"
 #include "src/smt/tape.h"
 #include "src/smt/unsat_tree.h"
 
@@ -253,6 +254,21 @@ class Engine {
 
   std::size_t jobs_submitted() const { return jobs_submitted_.load(); }
 
+  /// Exports the Engine's warm state — cached tapes and UNSAT trees
+  /// under their pool-independent signatures plus the LP warm-basis
+  /// store — for persistence (smt::save_snapshot). Consistent point-in-
+  /// time copy; safe to call while jobs run.
+  smt::WarmState export_warm_state() const;
+
+  /// Imports a previously exported warm state. Tapes and trees land in
+  /// the caches' warm side tables (adopted on the first matching miss,
+  /// observable via warm_restores()); bases merge into the warm-basis
+  /// store, keeping any live entry (this run's bases are newer). Loaded
+  /// state only changes timings, never verdicts: warm tapes are
+  /// bit-identical programs, trees only seed partitions, bases only pick
+  /// simplex starting points.
+  void import_warm_state(smt::WarmState state);
+
  private:
   /// Executes one job on the current thread with the shared
   /// infrastructure wired into the pipeline hooks.
@@ -268,7 +284,7 @@ class Engine {
   EngineOptions options_;
   std::shared_ptr<smt::TapeCache> tape_cache_;
   std::shared_ptr<smt::UnsatTreeCache> unsat_cache_;
-  std::mutex basis_mutex_;
+  mutable std::mutex basis_mutex_;
   std::map<BasisKey, lp::LpBasis> warm_bases_;
   std::atomic<std::size_t> jobs_submitted_{0};
   /// Declared LAST on purpose: the pool's destructor drains queued jobs

@@ -48,6 +48,10 @@ const char* fault_point_name(FaultPoint p) {
       return "worker_dispatch";
     case FaultPoint::kAlloc:
       return "alloc";
+    case FaultPoint::kCacheSerialize:
+      return "cache_serialize";
+    case FaultPoint::kSocketIo:
+      return "socket_io";
     case FaultPoint::kNumPoints_:
       break;
   }

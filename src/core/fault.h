@@ -95,6 +95,9 @@ enum class FaultPoint : std::uint8_t {
   kSimdDispatch,     ///< batched sweep tier dispatch (trip: downgrade)
   kWorkerDispatch,   ///< Engine job entry on a pool worker (check)
   kAlloc,            ///< MemoryBudget charge (trip: forced charge failure)
+  kCacheSerialize,   ///< warm-state snapshot encode/write (check: the
+                     ///< daemon skips the snapshot + warns, never dies)
+  kSocketIo,         ///< daemon socket read/write (trip: connection drop)
   kNumPoints_,       ///< sentinel, not a point
 };
 

@@ -93,6 +93,18 @@ bool parse_toggle(const char* text, ConfigToggle& value) {
   return true;
 }
 
+/// Strict non-negative double parse (whole token, finite, ≥ 0).
+bool parse_non_negative_double(const char* text, double& value) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!(v >= 0.0) || v > 1e12) return false;  // rejects NaN / negatives
+  value = v;
+  return true;
+}
+
 /// `BCERT_*` variables this library (src/) and its benches understand.
 /// from_env() parses the first six; the rest are read by the bench
 /// executables through bench::env_int and listed here only so a bench
@@ -101,9 +113,13 @@ constexpr const char* kKnownVars[] = {
     "BCERT_THREADS", "BCERT_ICP_BATCH", "BCERT_ICP_WARM", "BCERT_LP_WARM",
     "BCERT_HC4_MODE", "BCERT_ICP_SIMD", "BCERT_FAULT", "BCERT_MEM_QUOTA",
     "BCERT_JIT_DUMP",
+    // bcertd daemon knobs (src/daemon)
+    "BCERT_DAEMON_SOCKET", "BCERT_STATE_DIR", "BCERT_SNAPSHOT_S",
+    "BCERT_LOG_LEVEL",
     // bench-only size knobs (see the README table)
     "BCERT_ICP_BOXES", "BCERT_ICP_WARM_ITERS", "BCERT_HC4_CONTRACTS",
     "BCERT_LP_ROWS", "BCERT_LP_ITERS", "BCERT_ROLLOUTS",
+    "BCERT_RESTART_SCENARIOS",
     "BCERT_CAMPAIGN_SCENARIOS", "BCERT_SIZES", "BCERT_SEEDS", "BCERT_TRAIN",
     "BCERT_FIG4_ITERS", "BCERT_FIG4_POP", "BCERT_FIG5_TRAIN",
     "BCERT_TEMPLATE_DEG6",
@@ -222,6 +238,43 @@ RuntimeConfig RuntimeConfig::from_env(std::vector<std::string>* warnings) {
       }
     }
   }
+  if (const char* v = std::getenv("BCERT_DAEMON_SOCKET")) {
+    // sockaddr_un::sun_path is 108 bytes including the terminator.
+    if (*v == '\0' || std::strlen(v) > 107) {
+      sink.warn(std::string("BCERT_DAEMON_SOCKET=\"") + v +
+                "\" is empty or longer than 107 bytes (sun_path limit); "
+                "using " + config.daemon_socket);
+    } else {
+      config.daemon_socket = v;
+    }
+  }
+  if (const char* v = std::getenv("BCERT_STATE_DIR")) {
+    // Any path is accepted (the daemon reports unusable directories at
+    // snapshot time); the empty string explicitly disables persistence.
+    config.state_dir = v;
+  }
+  if (const char* v = std::getenv("BCERT_SNAPSHOT_S")) {
+    if (!parse_non_negative_double(v, config.snapshot_period_s)) {
+      sink.warn(std::string("BCERT_SNAPSHOT_S=\"") + v +
+                "\" is not a non-negative number of seconds; using the "
+                "default period");
+    }
+  }
+  if (const char* v = std::getenv("BCERT_LOG_LEVEL")) {
+    if (std::strcmp(v, "error") == 0) {
+      config.log_level = ConfigLogLevel::kError;
+    } else if (std::strcmp(v, "warn") == 0) {
+      config.log_level = ConfigLogLevel::kWarn;
+    } else if (std::strcmp(v, "info") == 0) {
+      config.log_level = ConfigLogLevel::kInfo;
+    } else if (std::strcmp(v, "debug") == 0) {
+      config.log_level = ConfigLogLevel::kDebug;
+    } else {
+      sink.warn(std::string("unrecognized BCERT_LOG_LEVEL=\"") + v +
+                "\" (expected \"error\", \"warn\", \"info\" or \"debug\"); "
+                "using info");
+    }
+  }
   if (const char* v = std::getenv("BCERT_MEM_QUOTA")) {
     if (!parse_mem_quota(v, config.mem_quota_bytes)) {
       sink.warn(std::string("BCERT_MEM_QUOTA=\"") + v +
@@ -232,6 +285,16 @@ RuntimeConfig RuntimeConfig::from_env(std::vector<std::string>* warnings) {
 
   warn_unknown_vars(sink);
   return config;
+}
+
+const char* log_level_name(ConfigLogLevel level) {
+  switch (level) {
+    case ConfigLogLevel::kError: return "error";
+    case ConfigLogLevel::kWarn: return "warn";
+    case ConfigLogLevel::kInfo: return "info";
+    case ConfigLogLevel::kDebug: return "debug";
+  }
+  return "info";
 }
 
 const RuntimeConfig& RuntimeConfig::active() { return active_instance(); }

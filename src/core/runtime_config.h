@@ -51,6 +51,12 @@ enum class ConfigHc4Mode : std::uint8_t { kTape, kTree, kJit };
 /// request that is unavailable falls back with a warning (in smt).
 enum class ConfigSimd : std::uint8_t { kAuto, kAvx2, kSse2, kScalar };
 
+/// Structured-log severity threshold of the `bcertd` daemon
+/// (`BCERT_LOG_LEVEL`). Messages below the threshold are dropped.
+enum class ConfigLogLevel : std::uint8_t { kError, kWarn, kInfo, kDebug };
+
+const char* log_level_name(ConfigLogLevel level);
+
 /// The typed runtime configuration. Field defaults are the library
 /// defaults; `from_env()` overlays the `BCERT_*` environment on top.
 struct RuntimeConfig {
@@ -91,6 +97,27 @@ struct RuntimeConfig {
   /// `tape_compile:throw@3,lp_solve:delay=50ms@every:7`). Empty = no
   /// faults. Env: `BCERT_FAULT`; a malformed spec warns and is dropped.
   std::string fault_spec;
+
+  /// Unix-domain socket path the `bcertd` daemon binds (and `bcertctl`
+  /// connects to) when neither passes an explicit --socket. Env:
+  /// `BCERT_DAEMON_SOCKET` (non-empty path; sun_path caps it at 107
+  /// bytes — longer values warn and fall back to the default).
+  std::string daemon_socket = "/tmp/bcertd.sock";
+
+  /// Directory holding the daemon's warm-state snapshot
+  /// (`bcertd.snapshot`): loaded on start, written on drain and on the
+  /// periodic snapshot timer. Empty = persistence disabled. Env:
+  /// `BCERT_STATE_DIR`.
+  std::string state_dir;
+
+  /// Period of the daemon's snapshot timer in seconds; 0 = snapshot
+  /// only on drain/SIGTERM. Env: `BCERT_SNAPSHOT_S` (non-negative
+  /// number).
+  double snapshot_period_s = 300.0;
+
+  /// Daemon structured-log threshold. Env: `BCERT_LOG_LEVEL` (`error`,
+  /// `warn`, `info` or `debug`).
+  ConfigLogLevel log_level = ConfigLogLevel::kInfo;
 
   /// Default per-job memory quota in bytes for the resource governor
   /// (`MemoryBudget`); 0 = unlimited. Jobs can override it through

@@ -1,0 +1,448 @@
+/// \file bcertctl_main.cpp
+/// \brief `bcertctl` — command-line client for the bcertd daemon.
+///
+/// Usage:
+///   bcertctl [--socket PATH] [--connect-timeout S] COMMAND [ARGS]
+///
+/// Commands:
+///   ping                              liveness check
+///   stats                             print the daemon's stats JSON
+///   submit --seed S --index I [...]   submit one zoo scenario
+///   status --job N                    job state (verdict when done)
+///   cancel --job N                    cancel a pending/running job
+///   drain [--wait]                    graceful drain (--wait: until drained)
+///   campaign --seed S --count N [...] submit N scenarios, wait, print
+///                                     verdict lines in index order
+///   local-campaign --seed S --count N run the same scenarios in-process
+///                                     (no daemon) — the differential
+///                                     baseline the CI smoke diffs against
+///
+/// Scenario flags (submit/campaign/local-campaign): --families a,b,...
+/// --priority P --deadline-s D --mem-quota-mb M --polynomial-degree K.
+///
+/// Every request is retried across reconnects: a dropped connection
+/// (daemon restart, armed socket_io fault) is not an error, because the
+/// daemon keeps finished results fetchable via `status` — the client
+/// reconnects and resumes polling. Campaigns therefore complete even
+/// under a fault sweep that sheds connections continuously.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/runtime_config.h"
+#include "src/daemon/client.h"
+#include "src/daemon/json.h"
+#include "src/daemon/protocol.h"
+#include "src/expr/expr.h"
+#include "src/scenario/generator.h"
+
+namespace {
+
+using bcert::daemon::Client;
+using bcert::daemon::JsonValue;
+
+struct CtlOptions {
+  std::string socket_path;
+  double connect_timeout_s = 10.0;
+
+  // Scenario / job flags shared by submit, campaign and local-campaign.
+  std::uint64_t seed = 1;
+  std::uint64_t index = 0;
+  std::uint64_t count = 1;
+  std::string families;  // comma-separated; empty = generator default
+  int priority = 0;
+  double deadline_s = 0.0;
+  double mem_quota_mb = 0.0;
+  int polynomial_degree = 2;
+  std::uint64_t job = 0;
+  bool wait = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bcertctl [--socket PATH] [--connect-timeout S] COMMAND ...\n"
+      "commands: ping | stats | submit | status | cancel | drain |\n"
+      "          campaign | local-campaign   (see file header for flags)\n");
+  return 2;
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+/// JSON array fragment for --families "acc,quadrotor".
+std::string families_json(const std::string& families) {
+  std::string json = "[";
+  std::size_t start = 0;
+  while (start <= families.size()) {
+    std::size_t comma = families.find(',', start);
+    if (comma == std::string::npos) comma = families.size();
+    if (comma > start) {
+      if (json.size() > 1) json += ',';
+      json += '"' + families.substr(start, comma - start) + '"';
+    }
+    start = comma + 1;
+  }
+  return json + "]";
+}
+
+std::string submit_body(const CtlOptions& options, std::uint64_t index) {
+  std::string body = "{\"cmd\":\"submit\",\"scenario\":{";
+  body += "\"seed\":" + std::to_string(options.seed);
+  body += ",\"index\":" + std::to_string(index);
+  if (!options.families.empty()) {
+    body += ",\"families\":" + families_json(options.families);
+  }
+  body += ",\"polynomial_degree\":" +
+          std::to_string(options.polynomial_degree) + "}";
+  if (options.priority != 0) {
+    body += ",\"priority\":" + std::to_string(options.priority);
+  }
+  if (options.deadline_s > 0.0) {
+    body += ",\"deadline_s\":" + std::to_string(options.deadline_s);
+  }
+  if (options.mem_quota_mb > 0.0) {
+    body += ",\"mem_quota_mb\":" + std::to_string(options.mem_quota_mb);
+  }
+  return body + "}";
+}
+
+/// Request with reconnect-and-retry: the daemon dropping this
+/// connection (fault sweep, restart mid-campaign) is recoverable, so a
+/// failed request reconnects and resends. Only repeated total failure
+/// to reach the daemon is fatal.
+bool rpc(Client& client, const CtlOptions& options, const std::string& body,
+         JsonValue& response, std::string* error) {
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    if (!client.connected() &&
+        !client.connect(options.connect_timeout_s, error)) {
+      return false;
+    }
+    if (client.request(body, response, error)) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+/// Polls `status` until the job is done; returns its verdict line.
+bool wait_for_verdict(Client& client, const CtlOptions& options,
+                      std::uint64_t job, std::string& verdict,
+                      std::string* error) {
+  const std::string body =
+      "{\"cmd\":\"status\",\"job\":" + std::to_string(job) + "}";
+  while (true) {
+    JsonValue response;
+    if (!rpc(client, options, body, response, error)) return false;
+    if (response.string_or("type", "") == "error") {
+      if (error != nullptr) *error = response.string_or("error", "error");
+      return false;
+    }
+    if (response.string_or("state", "") == "done") {
+      verdict = response.string_or("verdict", "");
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+int cmd_simple(const CtlOptions& options, const std::string& body) {
+  Client client(options.socket_path);
+  JsonValue response;
+  std::string error;
+  if (!rpc(client, options, body, response, &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (response.string_or("type", "") == "error") {
+    std::fprintf(stderr, "bcertctl: %s\n",
+                 response.string_or("error", "error").c_str());
+    return 1;
+  }
+  std::printf("%s\n", response.string_or("type", "ok").c_str());
+  return 0;
+}
+
+int cmd_stats(const CtlOptions& options) {
+  Client client(options.socket_path);
+  JsonValue response;
+  std::string error;
+  if (!rpc(client, options, "{\"cmd\":\"stats\"}", response, &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  // Re-encode the fields a script wants as grep-able key=value pairs
+  // (the raw JSON also went to the daemon log).
+  const JsonValue* caches = response.find("caches");
+  const JsonValue* jobs = response.find("jobs");
+  const JsonValue* snapshots = response.find("snapshots");
+  std::printf("draining=%s\n",
+              response.bool_or("draining", false) ? "true" : "false");
+  if (jobs != nullptr) {
+    for (const auto& [key, value] : jobs->members()) {
+      if (value.is_number()) {
+        std::printf("jobs.%s=%.0f\n", key.c_str(), value.as_number());
+      }
+    }
+  }
+  if (caches != nullptr) {
+    for (const auto& [cache, fields] : caches->members()) {
+      for (const auto& [key, value] : fields.members()) {
+        if (value.is_number()) {
+          std::printf("caches.%s.%s=%.0f\n", cache.c_str(), key.c_str(),
+                      value.as_number());
+        }
+      }
+    }
+  }
+  if (snapshots != nullptr) {
+    std::printf("snapshots.loaded=%s\n",
+                snapshots->bool_or("loaded", false) ? "true" : "false");
+    std::printf("snapshots.saved=%.0f\n", snapshots->number_or("saved", 0));
+    std::printf("snapshots.failed=%.0f\n", snapshots->number_or("failed", 0));
+  }
+  return 0;
+}
+
+int cmd_submit(const CtlOptions& options) {
+  Client client(options.socket_path);
+  JsonValue response;
+  std::string error;
+  if (!rpc(client, options, submit_body(options, options.index), response,
+           &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (response.string_or("type", "") != "submitted") {
+    std::fprintf(stderr, "bcertctl: %s\n",
+                 response.string_or("error", "submit rejected").c_str());
+    return 1;
+  }
+  const auto job = static_cast<std::uint64_t>(response.number_or("job", 0));
+  if (!options.wait) {
+    std::printf("job=%llu name=%s\n", static_cast<unsigned long long>(job),
+                response.string_or("name", "").c_str());
+    return 0;
+  }
+  std::string verdict;
+  if (!wait_for_verdict(client, options, job, verdict, &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", verdict.c_str());
+  return 0;
+}
+
+int cmd_status(const CtlOptions& options) {
+  Client client(options.socket_path);
+  JsonValue response;
+  std::string error;
+  const std::string body =
+      "{\"cmd\":\"status\",\"job\":" + std::to_string(options.job) + "}";
+  if (!rpc(client, options, body, response, &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (response.string_or("type", "") == "error") {
+    std::fprintf(stderr, "bcertctl: %s\n",
+                 response.string_or("error", "error").c_str());
+    return 1;
+  }
+  const std::string state = response.string_or("state", "?");
+  if (state == "done") {
+    std::printf("%s\n", response.string_or("verdict", "").c_str());
+  } else {
+    std::printf("state=%s\n", state.c_str());
+  }
+  return 0;
+}
+
+int cmd_drain(const CtlOptions& options) {
+  Client client(options.socket_path);
+  JsonValue response;
+  std::string error;
+  if (!rpc(client, options, "{\"cmd\":\"drain\"}", response, &error)) {
+    std::fprintf(stderr, "bcertctl: %s\n", error.c_str());
+    return 1;
+  }
+  if (!options.wait) {
+    std::printf("draining\n");
+    return 0;
+  }
+  // Wait for the drained event — or for the daemon to close/vanish,
+  // which equally means the drain finished.
+  while (true) {
+    JsonValue event;
+    if (!client.read_event(event, 120.0, &error)) {
+      std::printf("drained\n");
+      return 0;
+    }
+    if (event.string_or("type", "") == "drained") {
+      std::printf("drained\n");
+      return 0;
+    }
+  }
+}
+
+int cmd_campaign(const CtlOptions& options) {
+  Client client(options.socket_path);
+  std::string error;
+  std::vector<std::uint64_t> job_ids(options.count, 0);
+  for (std::uint64_t i = 0; i < options.count; ++i) {
+    JsonValue response;
+    if (!rpc(client, options, submit_body(options, i), response, &error)) {
+      std::fprintf(stderr, "bcertctl: submit %llu: %s\n",
+                   static_cast<unsigned long long>(i), error.c_str());
+      return 1;
+    }
+    if (response.string_or("type", "") != "submitted") {
+      std::fprintf(stderr, "bcertctl: submit %llu: %s\n",
+                   static_cast<unsigned long long>(i),
+                   response.string_or("error", "rejected").c_str());
+      return 1;
+    }
+    job_ids[i] = static_cast<std::uint64_t>(response.number_or("job", 0));
+  }
+  for (std::uint64_t i = 0; i < options.count; ++i) {
+    std::string verdict;
+    if (!wait_for_verdict(client, options, job_ids[i], verdict, &error)) {
+      std::fprintf(stderr, "bcertctl: job %llu: %s\n",
+                   static_cast<unsigned long long>(job_ids[i]),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("%s\n", verdict.c_str());
+  }
+  return 0;
+}
+
+/// The in-process differential baseline: same specs, same generator,
+/// fresh Engine, no daemon — prints the exact verdict lines the daemon
+/// path must reproduce.
+int cmd_local_campaign(const CtlOptions& options) {
+  bcert::expr::ExprPool pool;
+  bcert::Engine engine;
+  for (std::uint64_t i = 0; i < options.count; ++i) {
+    bcert::daemon::ScenarioSpec spec;
+    spec.seed = options.seed;
+    spec.index = i;
+    spec.polynomial_degree = options.polynomial_degree;
+    if (!options.families.empty()) {
+      // Reuse the protocol parser so family names behave identically.
+      std::string spec_json = "{\"seed\":" + std::to_string(options.seed) +
+                              ",\"index\":" + std::to_string(i) +
+                              ",\"families\":" +
+                              families_json(options.families) + "}";
+      JsonValue value;
+      std::string parse_error;
+      if (!JsonValue::parse(spec_json, value, &parse_error) ||
+          !bcert::daemon::parse_scenario_spec(value, spec, &parse_error)) {
+        std::fprintf(stderr, "bcertctl: %s\n", parse_error.c_str());
+        return 1;
+      }
+      spec.polynomial_degree = options.polynomial_degree;
+    }
+    bcert::scenario::ScenarioGenerator generator(pool,
+                                                 spec.generator_config());
+    bcert::core::Scenario scenario =
+        generator.generate_one(static_cast<std::size_t>(i));
+    bcert::JobOptions job_options = bcert::scenario::zoo_job_defaults();
+    if (scenario.certificate.has_value()) {
+      job_options.certificate = *scenario.certificate;
+    }
+    job_options.deadline_s = options.deadline_s;
+    job_options.mem_quota_bytes =
+        static_cast<std::size_t>(options.mem_quota_mb * 1024.0 * 1024.0);
+    const bcert::core::VerifyResult result =
+        engine.verify(scenario.problem, job_options);
+    std::printf("%s\n",
+                bcert::daemon::verdict_line(spec.name(), result).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CtlOptions options;
+  options.socket_path = bcert::core::RuntimeConfig::active().daemon_socket;
+
+  std::string command;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    auto take_u64 = [&](std::uint64_t& out) {
+      if (value == nullptr || !parse_u64(value, out)) return false;
+      ++i;
+      return true;
+    };
+    auto take_double = [&](double& out) {
+      if (value == nullptr || !parse_double(value, out)) return false;
+      ++i;
+      return true;
+    };
+    if (std::strcmp(arg, "--socket") == 0 && value != nullptr) {
+      options.socket_path = value;
+      ++i;
+    } else if (std::strcmp(arg, "--connect-timeout") == 0) {
+      if (!take_double(options.connect_timeout_s)) return usage();
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (!take_u64(options.seed)) return usage();
+    } else if (std::strcmp(arg, "--index") == 0) {
+      if (!take_u64(options.index)) return usage();
+    } else if (std::strcmp(arg, "--count") == 0) {
+      if (!take_u64(options.count)) return usage();
+    } else if (std::strcmp(arg, "--job") == 0) {
+      if (!take_u64(options.job)) return usage();
+    } else if (std::strcmp(arg, "--families") == 0 && value != nullptr) {
+      options.families = value;
+      ++i;
+    } else if (std::strcmp(arg, "--priority") == 0) {
+      double p = 0.0;
+      if (!take_double(p)) return usage();
+      options.priority = static_cast<int>(p);
+    } else if (std::strcmp(arg, "--deadline-s") == 0) {
+      if (!take_double(options.deadline_s)) return usage();
+    } else if (std::strcmp(arg, "--mem-quota-mb") == 0) {
+      if (!take_double(options.mem_quota_mb)) return usage();
+    } else if (std::strcmp(arg, "--polynomial-degree") == 0) {
+      std::uint64_t degree = 0;
+      if (!take_u64(degree)) return usage();
+      options.polynomial_degree = static_cast<int>(degree);
+    } else if (std::strcmp(arg, "--wait") == 0) {
+      options.wait = true;
+    } else if (arg[0] != '-' && command.empty()) {
+      command = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  if (command == "ping") return cmd_simple(options, "{\"cmd\":\"ping\"}");
+  if (command == "stats") return cmd_stats(options);
+  if (command == "submit") return cmd_submit(options);
+  if (command == "status") return cmd_status(options);
+  if (command == "cancel") {
+    return cmd_simple(options, "{\"cmd\":\"cancel\",\"job\":" +
+                                   std::to_string(options.job) + "}");
+  }
+  if (command == "drain") return cmd_drain(options);
+  if (command == "campaign") return cmd_campaign(options);
+  if (command == "local-campaign") return cmd_local_campaign(options);
+  return usage();
+}

@@ -1,0 +1,76 @@
+/// \file bcertd_main.cpp
+/// \brief `bcertd` — the verification daemon executable.
+///
+/// Usage:
+///   bcertd [--socket PATH] [--state-dir DIR] [--snapshot-s SECONDS]
+///
+/// Unflagged configuration comes from the BCERT_* environment
+/// (BCERT_DAEMON_SOCKET, BCERT_STATE_DIR, BCERT_SNAPSHOT_S,
+/// BCERT_LOG_LEVEL — see README "Runtime configuration"). SIGTERM and
+/// SIGINT trigger the same graceful drain as the `drain` command:
+/// accepted jobs finish, the warm-state snapshot is written, clients get
+/// a `drained` event, then the process exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/core/runtime_config.h"
+#include "src/daemon/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--state-dir DIR] "
+               "[--snapshot-s SECONDS]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bcert::daemon::ServerOptions options =
+      bcert::daemon::ServerOptions::from_runtime_config(
+          bcert::core::RuntimeConfig::active());
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (std::strcmp(arg, "--socket") == 0 && value != nullptr) {
+      options.socket_path = value;
+      ++i;
+    } else if (std::strcmp(arg, "--state-dir") == 0 && value != nullptr) {
+      options.state_dir = value;
+      ++i;
+    } else if (std::strcmp(arg, "--snapshot-s") == 0 && value != nullptr) {
+      char* end = nullptr;
+      options.snapshot_period_s = std::strtod(value, &end);
+      if (end == value || *end != '\0' || options.snapshot_period_s < 0.0) {
+        return usage(argv[0]);
+      }
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  options.stop_flag = &g_stop;
+
+  struct sigaction action {};
+  action.sa_handler = on_signal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  bcert::daemon::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "bcertd: %s\n", error.c_str());
+    return 1;
+  }
+  return server.run();
+}

@@ -1,0 +1,170 @@
+#include "src/daemon/client.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace bcert::daemon {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+Client::Client(std::string socket_path) : path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+  events_.clear();
+}
+
+bool Client::connect(double timeout_s, std::string* error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.empty() || path_.size() >= sizeof addr.sun_path) {
+    return fail(error, "socket path empty or too long");
+  }
+  std::strncpy(addr.sun_path, path_.c_str(), sizeof addr.sun_path - 1);
+
+  const auto start = SteadyClock::now();
+  int last_errno = 0;
+  do {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return fail(error, std::string("socket(): ") + strerror(errno));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      fd_ = fd;
+      return true;
+    }
+    last_errno = errno;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  } while (seconds_since(start) < timeout_s);
+  return fail(error, "connect " + path_ + ": " + strerror(last_errno));
+}
+
+bool Client::send_all(const std::string& line, std::string* error) {
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return fail(error, std::string("send: ") + strerror(errno));
+  }
+  return true;
+}
+
+bool Client::read_line(std::string& out, double timeout_s,
+                       std::string* error) {
+  const auto start = SteadyClock::now();
+  while (true) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    const double remaining = timeout_s - seconds_since(start);
+    if (remaining <= 0.0) return fail(error, "timed out waiting for response");
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(remaining * 1000.0) + 1);
+    if (rc < 0 && errno != EINTR) {
+      close();
+      return fail(error, std::string("poll: ") + strerror(errno));
+    }
+    if (rc <= 0) continue;
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      buffer_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();
+    return fail(error, n == 0 ? "connection closed by daemon"
+                              : std::string("recv: ") + strerror(errno));
+  }
+}
+
+bool Client::request(const std::string& request, JsonValue& response,
+                     std::string* error) {
+  if (fd_ < 0) return fail(error, "not connected");
+  if (request.empty() || request.front() != '{') {
+    return fail(error, "request must be a JSON object");
+  }
+  const std::uint64_t id = next_id_++;
+  // Splice the id in as the first member: {"id":N,<rest> — or {"id":N}
+  // for the empty object.
+  std::string line = "{\"id\":" + std::to_string(id);
+  if (request.find_first_not_of(" \t", 1) != request.size() - 1) line += ",";
+  line.append(request, 1, request.size() - 1);
+  line += '\n';
+  if (!send_all(line, error)) return false;
+
+  while (true) {
+    std::string text;
+    if (!read_line(text, 30.0, error)) return false;
+    JsonValue value;
+    std::string parse_error;
+    if (!JsonValue::parse(text, value, &parse_error)) {
+      close();
+      return fail(error, "bad daemon line: " + parse_error);
+    }
+    const JsonValue* req = value.find("req");
+    if (req != nullptr && req->is_number() &&
+        req->as_number() == static_cast<double>(id)) {
+      response = std::move(value);
+      return true;
+    }
+    events_.push_back(std::move(value));
+  }
+}
+
+bool Client::read_event(JsonValue& out, double timeout_s,
+                        std::string* error) {
+  if (!events_.empty()) {
+    out = std::move(events_.front());
+    events_.pop_front();
+    return true;
+  }
+  if (fd_ < 0) return fail(error, "not connected");
+  std::string text;
+  if (!read_line(text, timeout_s, error)) return false;
+  std::string parse_error;
+  if (!JsonValue::parse(text, out, &parse_error)) {
+    close();
+    return fail(error, "bad daemon line: " + parse_error);
+  }
+  return true;
+}
+
+}  // namespace bcert::daemon

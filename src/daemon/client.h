@@ -1,0 +1,60 @@
+#pragma once
+/// \file client.h
+/// \brief `bcertctl`'s client side of the bcertd line protocol.
+///
+/// A thin, synchronous client: connect to the daemon's Unix-domain
+/// socket, send one JSON request line, read lines until the matching
+/// response arrives (asynchronous events received in between are
+/// buffered for `read_event`). Connection failures are surfaced, never
+/// retried here — the retry/reconnect policy belongs to the caller
+/// (`bcertctl` reconnects and recovers job results through `status`,
+/// which is what makes its campaigns survive `socket_io` fault drops).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/daemon/json.h"
+
+namespace bcert::daemon {
+
+/// Synchronous protocol client. Not thread-safe (one conversation).
+class Client {
+ public:
+  explicit Client(std::string socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (or reconnects, dropping any buffered events). Retries
+  /// inside for up to \p timeout_s — covers the race against a daemon
+  /// that is still binding its socket.
+  bool connect(double timeout_s, std::string* error);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends \p request (a JSON object WITHOUT an "id"; one is added) and
+  /// blocks until the response carrying the matching "req" arrives.
+  /// Events seen while waiting queue up for read_event(). False on
+  /// protocol/socket failure (the connection is closed; reconnect to
+  /// continue).
+  bool request(const std::string& request, JsonValue& response,
+               std::string* error);
+
+  /// Next buffered-or-read asynchronous event within \p timeout_s.
+  bool read_event(JsonValue& out, double timeout_s, std::string* error);
+
+ private:
+  bool send_all(const std::string& line, std::string* error);
+  /// One line (without the newline) within \p timeout_s.
+  bool read_line(std::string& out, double timeout_s, std::string* error);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string buffer_;
+  std::deque<JsonValue> events_;
+};
+
+}  // namespace bcert::daemon

@@ -1,0 +1,317 @@
+#include "src/daemon/json.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace bcert::daemon {
+
+namespace {
+
+/// Nesting cap: a request is a flat command object with at most a
+/// scenario spec inside — 64 levels is already absurd, and bounding the
+/// recursion bounds the stack.
+constexpr int kMaxDepth = 64;
+
+/// Appends code point \p cp to \p out as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+}  // namespace
+
+/// Recursive-descent parser over one in-memory document.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool run(JsonValue& out, std::string* error) {
+    skip_ws();
+    if (!parse_value(out, 0)) {
+      if (error != nullptr) {
+        *error = "offset " + std::to_string(pos_) + ": " + why_;
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "offset " + std::to_string(pos_) +
+                 ": trailing characters after value";
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (why_.empty()) why_ = why;
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c, const char* why) {
+    if (eof() || peek() != c) return fail(why);
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        return parse_string(out.string_);
+      case 't': return parse_literal("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return parse_literal("false", out, JsonValue::Type::kBool, false);
+      case 'n':
+        return parse_literal("null", out, JsonValue::Type::kNull, false);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* word, JsonValue& out, JsonValue::Type type,
+                     bool value) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return fail("invalid literal");
+    pos_ += n;
+    out.type_ = type;
+    out.bool_ = value;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || peek() < '0' || peek() > '9') return fail("invalid number");
+    // RFC 8259: no leading zeros ("01"), no bare ".5" / "5.".
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return fail("digit required after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return fail("digit required in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("invalid number");
+    out.type_ = JsonValue::Type::kNumber;
+    out.number_ = v;
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      std::uint32_t d = 0;
+      if (c >= '0' && c <= '9') {
+        d = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        d = static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        d = static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("invalid \\u escape");
+      }
+      out = (out << 4) | d;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"', "expected string")) return false;
+    out.clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    if (!consume('[', "expected array")) return false;
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue item;
+      skip_ws();
+      if (!parse_value(item, depth + 1)) return false;
+      out.items_.push_back(std::move(item));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    if (!consume('{', "expected object")) return false;
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!consume(':', "expected ':' after key")) return false;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.members_.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string why_;
+};
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) found = &m.second;
+  }
+  return found;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : fallback;
+}
+
+bool JsonValue::bool_or(const std::string& key, bool fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+bool JsonValue::parse(const std::string& text, JsonValue& out,
+                      std::string* error) {
+  out = JsonValue();
+  Parser parser(text);
+  if (!parser.run(out, error)) {
+    out = JsonValue();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace bcert::daemon

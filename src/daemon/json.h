@@ -1,0 +1,89 @@
+#pragma once
+/// \file json.h
+/// \brief Strict, dependency-free JSON values and parsing for the
+/// `bcertd` line protocol.
+///
+/// The daemon speaks newline-delimited JSON over a Unix-domain socket
+/// (docs/ARCHITECTURE.md, "bcertd"). The writing half of that protocol
+/// already exists — the report/campaign JSON emitters plus
+/// `core::json_escape` — so this file supplies only the missing half: a
+/// small immutable value type and a strict RFC-8259 parser. Strict
+/// means: exactly one value per parse, no trailing input, no comments,
+/// no unquoted keys, \uXXXX escapes decoded (surrogate pairs included),
+/// and a recursion-depth cap so a hostile request cannot blow the
+/// daemon's stack. Anything malformed yields `false` plus a position-
+/// carrying error message — the server answers those with a protocol
+/// error instead of dying.
+///
+/// Numbers are doubles (protocol counters fit in the 2^53 exact-integer
+/// range; job ids and seeds stay well below it).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bcert::daemon {
+
+/// One parsed JSON value. Immutable after parse; copy is deep.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  /// Object members in document order (duplicate keys: last one wins at
+  /// lookup, all retained here).
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Member lookup (objects only; last duplicate wins); null otherwise.
+  const JsonValue* find(const std::string& key) const;
+
+  // Typed convenience lookups with defaults — the request decoder's
+  // bread and butter. A present-but-wrong-type member returns the
+  // default (the server validates types it actually cares about).
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Strictly parses \p text as exactly one JSON value (leading and
+  /// trailing whitespace allowed, nothing else). On failure returns
+  /// false and sets \p error to "offset N: why".
+  static bool parse(const std::string& text, JsonValue& out,
+                    std::string* error);
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<Member> members_;
+};
+
+}  // namespace bcert::daemon

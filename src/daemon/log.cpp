@@ -1,0 +1,90 @@
+#include "src/daemon/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <ctime>
+#include <iostream>
+
+namespace bcert::daemon {
+
+namespace {
+
+/// UTC wall-clock timestamp with millisecond resolution,
+/// "2026-08-09T12:34:56.789Z".
+std::string timestamp_utc() {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+  return buf;
+}
+
+bool needs_quoting(const std::string& v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_value(std::string& line, const std::string& v) {
+  if (!needs_quoting(v)) {
+    line += v;
+    return;
+  }
+  line += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '"': line += "\\\""; break;
+      case '\\': line += "\\\\"; break;
+      case '\n': line += "\\n"; break;
+      case '\t': line += "\\t"; break;
+      default: line += c;
+    }
+  }
+  line += '"';
+}
+
+}  // namespace
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  value = buf;
+}
+
+Logger::Logger(core::ConfigLogLevel level, std::ostream* os)
+    : level_(level), os_(os != nullptr ? os : &std::cerr) {}
+
+void Logger::log(core::ConfigLogLevel severity, const std::string& event,
+                 std::vector<LogField> fields) {
+  if (static_cast<int>(severity) > static_cast<int>(level_)) return;
+  std::string line = timestamp_utc();
+  line += " level=";
+  line += core::log_level_name(severity);
+  line += " event=";
+  append_value(line, event);
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    append_value(line, f.value);
+  }
+  line += '\n';
+  std::lock_guard<std::mutex> lock(mutex_);
+  (*os_) << line << std::flush;
+}
+
+}  // namespace bcert::daemon

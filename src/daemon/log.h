@@ -1,0 +1,74 @@
+#pragma once
+/// \file log.h
+/// \brief Structured key=value logging for the `bcertd` daemon.
+///
+/// One line per event on a single stream (stderr by default):
+///
+///   2026-08-09T12:34:56.789Z level=info event=submit job=3 conn=1 ...
+///
+/// Severity is filtered against `BCERT_LOG_LEVEL`
+/// (core::ConfigLogLevel); values containing spaces, quotes or '=' are
+/// double-quoted with backslash escaping so lines stay machine-
+/// splittable on whitespace. A mutex serializes whole lines — progress
+/// events fire from Engine pool workers while the scheduler logs its
+/// own, and interleaved fragments would defeat the point of structure.
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/runtime_config.h"
+
+namespace bcert::daemon {
+
+/// One key=value field. Values are formatted by the caller (keep keys
+/// snake_case and stable: tooling greps them).
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, std::uint64_t v) : key(std::move(k)),
+                                             value(std::to_string(v)) {}
+  LogField(std::string k, std::int64_t v) : key(std::move(k)),
+                                            value(std::to_string(v)) {}
+  LogField(std::string k, int v) : key(std::move(k)),
+                                   value(std::to_string(v)) {}
+};
+
+/// Thread-safe leveled logger. Cheap when the level filters the event
+/// out (one enum compare before any formatting).
+class Logger {
+ public:
+  explicit Logger(core::ConfigLogLevel level, std::ostream* os = nullptr);
+
+  core::ConfigLogLevel level() const { return level_; }
+
+  void log(core::ConfigLogLevel severity, const std::string& event,
+           std::vector<LogField> fields = {});
+
+  void error(const std::string& event, std::vector<LogField> fields = {}) {
+    log(core::ConfigLogLevel::kError, event, std::move(fields));
+  }
+  void warn(const std::string& event, std::vector<LogField> fields = {}) {
+    log(core::ConfigLogLevel::kWarn, event, std::move(fields));
+  }
+  void info(const std::string& event, std::vector<LogField> fields = {}) {
+    log(core::ConfigLogLevel::kInfo, event, std::move(fields));
+  }
+  void debug(const std::string& event, std::vector<LogField> fields = {}) {
+    log(core::ConfigLogLevel::kDebug, event, std::move(fields));
+  }
+
+ private:
+  core::ConfigLogLevel level_;
+  std::ostream* os_;
+  std::mutex mutex_;
+};
+
+}  // namespace bcert::daemon

@@ -1,0 +1,149 @@
+#include "src/daemon/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/scenario/plants.h"
+
+namespace bcert::daemon {
+
+namespace {
+
+/// %.17g — round-trips every finite double exactly.
+std::string full_precision(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Exact non-negative integer check for JSON numbers used as u64 ids.
+bool as_u64(const JsonValue& v, std::uint64_t& out) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9007199254740992.0) {
+    return false;
+  }
+  out = static_cast<std::uint64_t>(d);
+  return true;
+}
+
+bool family_from_name(const std::string& name, scenario::PlantFamily& out) {
+  for (int i = 0; i < scenario::kPlantFamilyCount; ++i) {
+    const auto family = static_cast<scenario::PlantFamily>(i);
+    if (name == scenario::plant_family_name(family)) {
+      out = family;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error != nullptr) *error = why;
+  return false;
+}
+
+}  // namespace
+
+std::string ScenarioSpec::name() const {
+  return "zoo-s" + std::to_string(seed) + "-i" + std::to_string(index);
+}
+
+scenario::GeneratorConfig ScenarioSpec::generator_config() const {
+  scenario::GeneratorConfig config;
+  config.seed = seed;
+  config.count = index + 1;
+  if (!families.empty()) config.families = families;
+  if (param_jitter >= 0.0) config.param_jitter = param_jitter;
+  if (weight_jitter >= 0.0) config.weight_jitter = weight_jitter;
+  if (region_jitter >= 0.0) config.region_jitter = region_jitter;
+  config.jitter_templates = jitter_templates;
+  config.polynomial_degree = polynomial_degree;
+  return config;
+}
+
+bool parse_scenario_spec(const JsonValue& v, ScenarioSpec& out,
+                         std::string* error) {
+  out = ScenarioSpec();
+  if (!v.is_object()) return fail(error, "scenario must be an object");
+  for (const JsonValue::Member& m : v.members()) {
+    const std::string& key = m.first;
+    const JsonValue& value = m.second;
+    if (key == "seed") {
+      if (!as_u64(value, out.seed)) {
+        return fail(error, "scenario.seed must be a non-negative integer");
+      }
+    } else if (key == "index") {
+      if (!as_u64(value, out.index) || out.index > 1u << 20) {
+        return fail(error, "scenario.index must be an integer in [0, 2^20]");
+      }
+    } else if (key == "families") {
+      if (!value.is_array()) {
+        return fail(error, "scenario.families must be an array of names");
+      }
+      out.families.clear();
+      for (const JsonValue& item : value.items()) {
+        scenario::PlantFamily family{};
+        if (!item.is_string() ||
+            !family_from_name(item.as_string(), family)) {
+          return fail(error, "scenario.families: unknown plant family");
+        }
+        out.families.push_back(family);
+      }
+      if (out.families.empty()) {
+        return fail(error, "scenario.families must not be empty");
+      }
+    } else if (key == "param_jitter" || key == "weight_jitter" ||
+               key == "region_jitter") {
+      if (!value.is_number() || !(value.as_number() >= 0.0) ||
+          !(value.as_number() <= 1.0)) {
+        return fail(error, "scenario." + key + " must be in [0, 1]");
+      }
+      (key == "param_jitter"
+           ? out.param_jitter
+           : key == "weight_jitter" ? out.weight_jitter
+                                    : out.region_jitter) = value.as_number();
+    } else if (key == "jitter_templates") {
+      if (!value.is_bool()) {
+        return fail(error, "scenario.jitter_templates must be a bool");
+      }
+      out.jitter_templates = value.as_bool();
+    } else if (key == "polynomial_degree") {
+      std::uint64_t degree = 0;
+      if (!as_u64(value, degree) || degree < 1 || degree > 6) {
+        return fail(error, "scenario.polynomial_degree must be in [1, 6]");
+      }
+      out.polynomial_degree = static_cast<int>(degree);
+    } else {
+      return fail(error, "scenario: unknown key \"" + key + "\"");
+    }
+  }
+  return true;
+}
+
+std::string verdict_line(const std::string& name,
+                         const core::VerifyResult& result) {
+  std::string line = name;
+  line += " status=";
+  line += core::verify_status_name(result.status);
+  line += " template=";
+  line += core::template_kind_name(result.template_kind);
+  line += " level=";
+  line += full_precision(result.level);
+  line += " lp_margin=";
+  line += full_precision(result.lp_margin);
+  line += " cex=";
+  line += std::to_string(result.counterexamples.size());
+  line += " coeffs=[";
+  if (result.has_generator()) {
+    const linalg::Vector& coeffs = result.generator_coeffs();
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      if (i != 0) line += ',';
+      line += full_precision(coeffs[i]);
+    }
+  }
+  line += ']';
+  return line;
+}
+
+}  // namespace bcert::daemon

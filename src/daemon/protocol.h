@@ -1,0 +1,73 @@
+#pragma once
+/// \file protocol.h
+/// \brief The `bcertd` wire protocol: request vocabulary, scenario
+/// submission specs and the canonical verdict line.
+///
+/// Transport is newline-delimited JSON over a Unix-domain socket: each
+/// request is one JSON object on one line, each response/event one JSON
+/// object on one line. Requests carry `"cmd"` plus command-specific
+/// fields and an optional client-chosen `"id"` echoed as `"req"` in the
+/// direct response, so a client can match replies while asynchronous
+/// events (progress, results, the drain notice) interleave. The full
+/// grammar lives in docs/ARCHITECTURE.md ("bcertd protocol").
+///
+/// Jobs are submitted as *scenario specs*, not serialized problems: a
+/// spec names a point of the deterministic workload-zoo generator
+/// (seed, index, generator knobs), and the daemon materializes the
+/// scenario through its own long-lived `ExprPool`. The seed contract
+/// (src/scenario/generator.h) makes this exact — the same spec
+/// materializes the bit-identical scenario in any process — which is
+/// what lets the CI smoke test diff daemon verdicts against an
+/// in-process run, and keeps the protocol payload a handful of numbers
+/// instead of a symbolic-expression exchange format.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/verify_types.h"
+#include "src/daemon/json.h"
+#include "src/scenario/generator.h"
+
+namespace bcert::daemon {
+
+/// One submitted scenario: a point of the zoo generator plus job-level
+/// execution controls. Everything defaults to the generator/job
+/// defaults, so `{"cmd":"submit","scenario":{"seed":7,"index":3}}` is a
+/// complete request.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;
+  std::uint64_t index = 0;
+  /// Family rotation; empty = the generator's default mix.
+  std::vector<scenario::PlantFamily> families;
+  double param_jitter = -1.0;   ///< negative = generator default
+  double weight_jitter = -1.0;
+  double region_jitter = -1.0;
+  bool jitter_templates = false;
+  int polynomial_degree = 2;
+
+  /// Stable display name, also used in verdict lines:
+  /// "zoo-s<seed>-i<index>".
+  std::string name() const;
+
+  /// The generator config this spec selects (count = index + 1; the
+  /// generator is prefix-stable so only `index` matters).
+  scenario::GeneratorConfig generator_config() const;
+};
+
+/// Decodes the `"scenario"` object of a submit request. Strict about
+/// types and ranges (a malformed spec is a protocol error, not a
+/// best-effort guess); unknown keys are rejected so typos cannot
+/// silently select a different scenario.
+bool parse_scenario_spec(const JsonValue& v, ScenarioSpec& out,
+                         std::string* error);
+
+/// The canonical one-line verdict summary used by the restart and
+/// differential checks: scenario name, status, template kind, level,
+/// LP margin and every generator coefficient at full (%.17g) precision
+/// — everything analytic about the result, nothing timing-dependent.
+/// Two runs produced bit-identical verdicts iff their lines are equal.
+std::string verdict_line(const std::string& name,
+                         const core::VerifyResult& result);
+
+}  // namespace bcert::daemon

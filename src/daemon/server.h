@@ -1,0 +1,238 @@
+#pragma once
+/// \file server.h
+/// \brief `bcertd` — the verification-as-a-service daemon.
+///
+/// One `Server` owns one `Engine`, one long-lived `ExprPool` and one
+/// Unix-domain listening socket, and runs until drained. Two threads:
+///
+///  * the **I/O thread** accepts connections and reads newline-delimited
+///    JSON requests into an inbox (`poll()` over the listen fd, every
+///    client fd and a self-pipe used for shutdown wakeups);
+///  * the **scheduler thread** (the thread calling `run()`) drains the
+///    inbox, decodes requests, materializes scenarios, dispatches jobs
+///    onto the Engine pool, delivers progress/result events, takes
+///    periodic warm-state snapshots and performs the drain.
+///
+/// Writes to a client go directly from whichever thread produced the
+/// event — the scheduler for responses/results, an Engine pool worker
+/// for progress callbacks — serialized per connection by a write mutex,
+/// with `MSG_NOSIGNAL` and a bounded send timeout so one stalled reader
+/// can never wedge the daemon (it is disconnected instead; its finished
+/// results stay in the completed map and remain fetchable via `status`
+/// after reconnecting — results are always deliverable).
+///
+/// ## Scheduling
+///
+/// Scenario materialization interns expressions into the daemon's
+/// `ExprPool`, and running pipelines intern candidate coefficients into
+/// the same pool — and `ExprPool` is not thread-safe. The scheduler
+/// therefore materializes pending specs only at **quiesce** (no job in
+/// flight), in batches: each batch is ordered by (priority descending,
+/// round-robin across client connections, submission order) — the
+/// fair-share rule that stops one chatty client from starving another —
+/// and then dispatched onto the Engine pool as a wave. Requests that
+/// arrive while a wave runs queue up for the next quiesce.
+///
+/// ## Warm-state persistence
+///
+/// With `state_dir` set, the daemon loads `<state_dir>/bcertd.snapshot`
+/// at start (a corrupt, truncated or version-mismatched snapshot loads
+/// as empty with a warning — never a crash), saves it every
+/// `snapshot_period_s` seconds (0 = drain-only) and again as the last
+/// act of a drain. Saves go through `smt::save_snapshot` (atomic
+/// temp+rename; an armed `cache_serialize` fault or I/O error skips the
+/// snapshot with a warning and bumps a counter — the daemon never dies
+/// for its own persistence).
+///
+/// ## Fault posture
+///
+/// `socket_io` is a trip-style fault point hit once per received
+/// request line and once per written line: a firing rule drops that
+/// connection, exactly like a client vanishing mid-conversation. Under
+/// a fault sweep the daemon sheds connections, never state — clients
+/// reconnect and recover results through `status`.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/core/runtime_config.h"
+#include "src/daemon/json.h"
+#include "src/daemon/log.h"
+#include "src/daemon/protocol.h"
+#include "src/expr/expr.h"
+
+namespace bcert::daemon {
+
+/// One accepted client connection. The I/O thread owns `read_buffer`
+/// and the fd's lifecycle; any thread may write through `send` (which
+/// serializes on `write_mutex`). A failed or faulted write marks the
+/// connection closed and shuts the socket down — the I/O thread then
+/// observes the hangup and reclaims the fd, so fds are only ever
+/// *closed* on the I/O thread.
+struct Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  std::atomic<bool> closed{false};
+  std::mutex write_mutex;
+  std::string read_buffer;
+};
+
+/// Everything `bcertd` needs to run. `from_runtime_config()` fills the
+/// knobs from the `BCERT_*` environment (RuntimeConfig); tests construct
+/// options directly and never touch process-global state.
+struct ServerOptions {
+  std::string socket_path = "/tmp/bcertd.sock";
+  /// Snapshot directory; empty disables persistence.
+  std::string state_dir;
+  /// Periodic snapshot cadence in seconds; 0 = drain-only.
+  double snapshot_period_s = 300.0;
+  core::ConfigLogLevel log_level = core::ConfigLogLevel::kInfo;
+  core::EngineOptions engine;
+  /// External stop request (the SIGTERM handler's atomic): polled every
+  /// scheduler tick, a set flag triggers the same graceful drain as the
+  /// `drain` command.
+  std::atomic<bool>* stop_flag = nullptr;
+  /// Log sink override for tests; null = stderr.
+  std::ostream* log_stream = nullptr;
+
+  static ServerOptions from_runtime_config(const core::RuntimeConfig& config);
+};
+
+/// Aggregate daemon counters, exposed on the `stats` endpoint and (for
+/// in-process tests) via `Server::stats_snapshot()`.
+struct ServerStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;   ///< result delivered (any status)
+  std::uint64_t jobs_cancelled = 0;   ///< of completed: status kCancelled
+  std::uint64_t jobs_failed = 0;      ///< of completed: non-ok error
+  std::uint64_t queue_depth = 0;      ///< pending (not yet dispatched)
+  std::uint64_t running = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t connections_opened = 0;
+  std::uint64_t connections_dropped = 0;  ///< faulted / failed writes
+  std::uint64_t snapshots_saved = 0;
+  std::uint64_t snapshot_failures = 0;
+  bool snapshot_loaded = false;       ///< start-up restore succeeded
+  double queue_wait_total_s = 0.0;    ///< submit → dispatch, completed jobs
+  double run_total_s = 0.0;           ///< dispatch → finish, completed jobs
+  core::VerifyTimings phase_totals;   ///< per-phase latency aggregate
+  core::DegradationReport degradation;  ///< aggregate over completed jobs
+};
+
+/// The daemon. Construct, `start()`, then `run()` (blocking) on the
+/// scheduler thread. `run()` returns when a drain completes — via the
+/// `drain` command or the external stop flag.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket, restores the warm-state snapshot (when
+  /// configured) and starts the I/O thread. False + \p error on failure
+  /// (socket path too long, bind refused, ...). A stale socket file
+  /// from a dead daemon is unlinked and rebound.
+  bool start(std::string* error);
+
+  /// The scheduler loop. Blocks until drained; returns the process exit
+  /// code (0 = drained cleanly). Requires a successful start().
+  int run();
+
+  /// Point-in-time copy of the daemon counters (thread-safe).
+  ServerStats stats_snapshot() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job;
+  struct InboundLine {
+    std::shared_ptr<Connection> conn;
+    std::string line;
+  };
+
+  // --- I/O thread -----------------------------------------------------------
+  void io_loop();
+  void accept_client();
+  /// Reads available bytes from \p conn, enqueues complete lines; false
+  /// when the connection is finished (EOF, error, fault, oversized
+  /// line) and should be reclaimed.
+  bool read_from(const std::shared_ptr<Connection>& conn);
+  void reclaim(const std::shared_ptr<Connection>& conn);
+
+  // --- writes (any thread) --------------------------------------------------
+  /// Writes one JSON line (newline appended). False when the connection
+  /// is/became closed; a failed or faulted write drops the connection.
+  bool send_line(const std::shared_ptr<Connection>& conn,
+                 const std::string& json);
+
+  // --- scheduler ------------------------------------------------------------
+  void handle_line(const InboundLine& in);
+  void handle_submit(const std::shared_ptr<Connection>& conn,
+                     const JsonValue& request, const std::string& req_id);
+  void handle_status(const std::shared_ptr<Connection>& conn,
+                     const JsonValue& request, const std::string& req_id);
+  void handle_cancel(const std::shared_ptr<Connection>& conn,
+                     const JsonValue& request, const std::string& req_id);
+  void handle_stats(const std::shared_ptr<Connection>& conn,
+                    const std::string& req_id);
+  void send_error(const std::shared_ptr<Connection>& conn,
+                  const std::string& req_id, const std::string& message);
+
+  /// Materializes + dispatches every pending job, fair-share ordered.
+  /// Only called at quiesce (no running jobs) — see the file comment.
+  void dispatch_wave();
+  /// Completes jobs whose handles are ready; emits result events.
+  void collect_finished();
+  void finish_job(Job& job, core::VerifyResult result);
+  /// Saves the warm-state snapshot; returns success. Never throws.
+  bool save_snapshot_now(const char* reason);
+  void maybe_periodic_snapshot();
+  std::string snapshot_path() const;
+
+  std::string stats_json(const std::string& req_id) const;
+
+  ServerOptions options_;
+  Logger log_;
+  expr::ExprPool pool_;
+  std::unique_ptr<core::Engine> engine_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread io_thread_;
+  std::atomic<bool> io_stop_{false};
+  bool started_ = false;
+
+  mutable std::mutex conn_mutex_;
+  std::map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  std::uint64_t next_conn_id_ = 1;
+
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  std::deque<InboundLine> inbox_;
+
+  // Scheduler-thread state (no lock: only run() touches it).
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::vector<std::uint64_t> pending_;
+  std::vector<std::uint64_t> running_;
+  std::uint64_t next_job_id_ = 1;
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point started_at_;
+  std::chrono::steady_clock::time_point last_snapshot_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace bcert::daemon

@@ -1,0 +1,352 @@
+#include "src/smt/cache_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "src/core/binary_io.h"
+#include "src/core/fault.h"
+
+namespace bcert::smt {
+
+using core::ByteReader;
+using core::ByteWriter;
+using interval::Interval;
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'C', 'E', 'R', 'T', 'S', 'N', 'P'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+void write_interval(ByteWriter& w, const Interval& iv) {
+  w.f64(iv.lo());
+  w.f64(iv.hi());
+}
+
+Interval read_interval(ByteReader& r) {
+  const double lo = r.f64();
+  const double hi = r.f64();
+  return Interval(lo, hi);
+}
+
+void write_intervals(ByteWriter& w, const std::vector<Interval>& ivs) {
+  w.u64(ivs.size());
+  for (const Interval& iv : ivs) write_interval(w, iv);
+}
+
+bool read_intervals(ByteReader& r, std::vector<Interval>& out) {
+  const std::uint64_t n = r.u64();
+  if (!r.can_read(n, 16)) return false;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_interval(r));
+  return r.ok();
+}
+
+void write_u32s(ByteWriter& w, const std::vector<std::uint32_t>& v) {
+  w.u64(v.size());
+  for (const std::uint32_t x : v) w.u32(x);
+}
+
+bool read_u32s(ByteReader& r, std::vector<std::uint32_t>& out) {
+  const std::uint64_t n = r.u64();
+  if (!r.can_read(n, 4)) return false;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.u32());
+  return r.ok();
+}
+
+// --- tape section ------------------------------------------------------------
+
+void write_tape(ByteWriter& w, const Hc4Tape::Image& img) {
+  w.u64(img.rels.size());
+  for (const Rel rel : img.rels) w.u8(static_cast<std::uint8_t>(rel));
+  w.u64(img.code.size());
+  for (const TapeInstr& ins : img.code) {
+    w.u32(ins.dst);
+    w.u32(ins.a);
+    w.u32(ins.b);
+    w.u8(static_cast<std::uint8_t>(ins.op));
+    w.u8(static_cast<std::uint8_t>(ins.spec));
+    w.u16(static_cast<std::uint16_t>(ins.exponent));
+  }
+  w.u64(img.mul_const.size());
+  for (const MulConstSpec& sp : img.mul_const) {
+    w.f64(sp.w);
+    write_interval(w, sp.rec);
+    w.u32(sp.var_slot);
+    w.u32(sp.const_slot);
+    w.u8(sp.var_is_a ? 1 : 0);
+  }
+  write_u32s(w, img.var_slots);
+  write_u32s(w, img.var_dims);
+  write_u32s(w, img.const_slots);
+  write_intervals(w, img.const_values);
+  write_u32s(w, img.root_slots);
+  write_intervals(w, img.root_feasible);
+  w.u64(img.num_slots);
+}
+
+bool read_tape(ByteReader& r, Hc4Tape::Image& img) {
+  const std::uint64_t num_rels = r.u64();
+  if (!r.can_read(num_rels, 1)) return false;
+  img.rels.reserve(num_rels);
+  for (std::uint64_t i = 0; i < num_rels; ++i) {
+    const std::uint8_t rel = r.u8();
+    if (rel > static_cast<std::uint8_t>(Rel::kEq)) return false;
+    img.rels.push_back(static_cast<Rel>(rel));
+  }
+  const std::uint64_t num_instrs = r.u64();
+  if (!r.can_read(num_instrs, 16)) return false;
+  img.code.reserve(num_instrs);
+  for (std::uint64_t i = 0; i < num_instrs; ++i) {
+    TapeInstr ins;
+    ins.dst = r.u32();
+    ins.a = r.u32();
+    ins.b = r.u32();
+    ins.op = static_cast<expr::Op>(r.u8());
+    ins.spec = static_cast<std::int8_t>(r.u8());
+    ins.exponent = static_cast<std::int16_t>(r.u16());
+    img.code.push_back(ins);
+  }
+  const std::uint64_t num_specs = r.u64();
+  if (!r.can_read(num_specs, 33)) return false;
+  img.mul_const.reserve(num_specs);
+  for (std::uint64_t i = 0; i < num_specs; ++i) {
+    MulConstSpec sp;
+    sp.w = r.f64();
+    sp.rec = read_interval(r);
+    sp.var_slot = r.u32();
+    sp.const_slot = r.u32();
+    sp.var_is_a = r.u8() != 0;
+    img.mul_const.push_back(sp);
+  }
+  if (!read_u32s(r, img.var_slots)) return false;
+  if (!read_u32s(r, img.var_dims)) return false;
+  if (!read_u32s(r, img.const_slots)) return false;
+  if (!read_intervals(r, img.const_values)) return false;
+  if (!read_u32s(r, img.root_slots)) return false;
+  if (!read_intervals(r, img.root_feasible)) return false;
+  img.num_slots = r.u64();
+  return r.ok();
+}
+
+// --- tree section ------------------------------------------------------------
+
+void write_tree(ByteWriter& w, const UnsatTree& tree) {
+  w.u64(tree.root_box.size());
+  for (const Interval& iv : tree.root_box) write_interval(w, iv);
+  w.u64(tree.nodes.size());
+  for (const UnsatTree::Node& n : tree.nodes) {
+    w.u32(n.dim);
+    w.f64(n.value);
+    w.u32(n.left);
+    w.u32(n.right);
+  }
+}
+
+bool read_tree(ByteReader& r, UnsatTree& tree) {
+  const std::uint64_t dims = r.u64();
+  if (!r.can_read(dims, 16)) return false;
+  std::vector<Interval> box_dims;
+  box_dims.reserve(dims);
+  for (std::uint64_t i = 0; i < dims; ++i) box_dims.push_back(read_interval(r));
+  tree.root_box = interval::Box(std::move(box_dims));
+  const std::uint64_t num_nodes = r.u64();
+  if (!r.can_read(num_nodes, 20)) return false;
+  tree.nodes.reserve(num_nodes);
+  for (std::uint64_t i = 0; i < num_nodes; ++i) {
+    UnsatTree::Node n;
+    n.dim = r.u32();
+    n.value = r.f64();
+    n.left = r.u32();
+    n.right = r.u32();
+    tree.nodes.push_back(n);
+  }
+  // walk() tolerates any node contents (malformed ⇒ leaf, keeping the
+  // partition cover), so structural validation ends at the byte level.
+  return r.ok();
+}
+
+// --- basis section -----------------------------------------------------------
+
+void write_basis(ByteWriter& w, const WarmBasisEntry& e) {
+  w.i32(e.kind);
+  w.i32(e.degree);
+  w.u64(e.dims);
+  w.u64(e.basis.basic.size());
+  for (const std::int32_t col : e.basis.basic) w.i32(col);
+  w.i32(e.basis.num_structural);
+}
+
+bool read_basis(ByteReader& r, WarmBasisEntry& e) {
+  e.kind = r.i32();
+  e.degree = r.i32();
+  e.dims = r.u64();
+  const std::uint64_t rows = r.u64();
+  if (!r.can_read(rows, 4)) return false;
+  e.basis.basic.reserve(rows);
+  for (std::uint64_t i = 0; i < rows; ++i) e.basis.basic.push_back(r.i32());
+  e.basis.num_structural = r.i32();
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const WarmState& state) {
+  ByteWriter payload;
+  payload.u64(state.tapes.size());
+  for (const TapeCache::WarmEntry& e : state.tapes) {
+    payload.u64(e.content.a);
+    payload.u64(e.content.b);
+    write_tape(payload, e.tape->image());
+  }
+  payload.u64(state.trees.size());
+  for (const UnsatTreeCache::WarmEntry& e : state.trees) {
+    payload.u64(e.content.a);
+    payload.u64(e.content.b);
+    write_tree(payload, *e.tree);
+  }
+  payload.u64(state.bases.size());
+  for (const WarmBasisEntry& e : state.bases) write_basis(payload, e);
+
+  ByteWriter out;
+  out.bytes(reinterpret_cast<const std::uint8_t*>(kMagic), sizeof kMagic);
+  out.u32(kSnapshotVersion);
+  out.u64(payload.size());
+  out.u64(core::fnv1a64(payload.data().data(), payload.size()));
+  out.bytes(payload.data().data(), payload.size());
+  return out.take();
+}
+
+bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                     WarmState& out, std::string* error) {
+  out = WarmState{};
+  const auto fail = [&](const char* why) {
+    out = WarmState{};
+    if (error != nullptr) *error = why;
+    return false;
+  };
+
+  if (size < kHeaderBytes) return fail("snapshot shorter than header");
+  if (std::memcmp(data, kMagic, sizeof kMagic) != 0) {
+    return fail("bad snapshot magic");
+  }
+  ByteReader header(data + sizeof kMagic, kHeaderBytes - sizeof kMagic);
+  const std::uint32_t version = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t checksum = header.u64();
+  if (version != kSnapshotVersion) return fail("snapshot version mismatch");
+  if (payload_size != size - kHeaderBytes) {
+    return fail("snapshot payload size mismatch");
+  }
+  const std::uint8_t* payload = data + kHeaderBytes;
+  if (core::fnv1a64(payload, payload_size) != checksum) {
+    return fail("snapshot checksum mismatch");
+  }
+
+  ByteReader r(payload, payload_size);
+  const std::uint64_t num_tapes = r.u64();
+  if (!r.can_read(num_tapes, 16)) return fail("corrupt tape count");
+  out.tapes.reserve(num_tapes);
+  for (std::uint64_t i = 0; i < num_tapes; ++i) {
+    TapeCache::WarmEntry e;
+    e.content.a = r.u64();
+    e.content.b = r.u64();
+    Hc4Tape::Image img;
+    if (!read_tape(r, img)) return fail("corrupt tape record");
+    e.tape = Hc4Tape::restore(img);
+    if (e.tape == nullptr) return fail("invalid tape image");
+    out.tapes.push_back(std::move(e));
+  }
+  const std::uint64_t num_trees = r.u64();
+  if (!r.can_read(num_trees, 16)) return fail("corrupt tree count");
+  out.trees.reserve(num_trees);
+  for (std::uint64_t i = 0; i < num_trees; ++i) {
+    UnsatTreeCache::WarmEntry e;
+    e.content.a = r.u64();
+    e.content.b = r.u64();
+    auto tree = std::make_shared<UnsatTree>();
+    if (!read_tree(r, *tree)) return fail("corrupt tree record");
+    e.tree = std::move(tree);
+    out.trees.push_back(std::move(e));
+  }
+  const std::uint64_t num_bases = r.u64();
+  if (!r.can_read(num_bases, 20)) return fail("corrupt basis count");
+  out.bases.reserve(num_bases);
+  for (std::uint64_t i = 0; i < num_bases; ++i) {
+    WarmBasisEntry e;
+    if (!read_basis(r, e)) return fail("corrupt basis record");
+    out.bases.push_back(std::move(e));
+  }
+  if (!r.ok()) return fail("snapshot truncated");
+  if (r.remaining() != 0) return fail("trailing bytes after snapshot");
+  return true;
+}
+
+bool save_snapshot(const std::string& path, const WarmState& state,
+                   std::string* error) {
+  try {
+    // Degradation rung: an armed cache_serialize fault makes the save
+    // report failure — callers skip the snapshot and keep serving.
+    core::FaultRegistry::check(core::FaultPoint::kCacheSerialize);
+
+    const std::vector<std::uint8_t> bytes = encode_snapshot(state);
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      if (error != nullptr) {
+        *error = "open failed: " + std::string(std::strerror(errno));
+      }
+      return false;
+    }
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != bytes.size() || !flushed || !closed) {
+      std::remove(tmp.c_str());
+      if (error != nullptr) *error = "short write";
+      return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      if (error != nullptr) {
+        *error = "rename failed: " + std::string(std::strerror(errno));
+      }
+      return false;
+    }
+    return true;
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+bool load_snapshot(const std::string& path, WarmState& out,
+                   std::string* error) {
+  out = WarmState{};
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "open failed: " + std::string(std::strerror(errno));
+    }
+    return false;
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read failed";
+    return false;
+  }
+  return decode_snapshot(bytes.data(), bytes.size(), out, error);
+}
+
+}  // namespace bcert::smt

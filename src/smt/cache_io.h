@@ -1,0 +1,103 @@
+#pragma once
+/// \file cache_io.h
+/// \brief Persistent warm-state snapshots: serialization of compiled
+/// HC4 tapes, UNSAT split trees and LP warm bases across process
+/// restarts.
+///
+/// The daemon (`bcertd`) accumulates warm state that is expensive to
+/// rebuild — compiled tape programs, refutation partitions, simplex
+/// bases — but all of it is keyed by the live `ExprPool`'s address and
+/// therefore dies with the process. This file defines the
+/// pool-independent on-disk form:
+///
+///   * tapes travel as `Hc4Tape::Image` keyed by the conjunction's
+///     128-bit `content_signature` (full compiler input → adopting a
+///     persisted tape is bit-identical to recompiling);
+///   * UNSAT trees travel keyed by the same content-exact signature —
+///     NOT the lossy structural key the live LRU uses. Adopting a tree
+///     for a different-content query of the same shape would be sound
+///     (replay always partitions the box) but not verdict-neutral: it
+///     seeds a search a cold process runs unseeded, changing which δ-SAT
+///     witness is found. Content-exact adoption replays only the
+///     byte-identical query the tree refuted, reproducing verdict and
+///     recording alike;
+///   * LP bases travel keyed by {problem kind, degree, dims} — a warm
+///     basis is only ever a simplex starting point, never an answer.
+///
+/// Container format (little-endian, see src/core/binary_io.h):
+///
+///   magic "BCERTSNP" (8 bytes) | version u32 | payload_size u64 |
+///   fnv1a64(payload) u64 | payload
+///
+/// The payload is the three sections in order, each count-prefixed.
+/// Decoding is strict: wrong magic, unknown version, short payload, bad
+/// checksum, or any structurally invalid record (via `Hc4Tape::restore`
+/// validation) rejects the *whole* snapshot and the caller cold-starts —
+/// a snapshot is a pure performance artifact, so the only acceptable
+/// failure mode is "as if it never existed". Writing is atomic
+/// (temp file + rename) so a crash mid-save leaves the previous
+/// snapshot intact. `save_snapshot` honours the `cache_serialize` fault
+/// point by reporting failure (the daemon skips the snapshot and
+/// warns — it never dies for persistence).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lp/problem.h"
+#include "src/smt/tape.h"
+#include "src/smt/unsat_tree.h"
+
+namespace bcert::smt {
+
+/// Current snapshot container version. Bump on ANY change to the
+/// payload encoding; old files then load as empty (cold start), which
+/// is always correct. Never reinterpret bytes across versions.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// One persisted LP warm basis with its pool-independent key (mirrors
+/// core::Engine's warm-basis map key).
+struct WarmBasisEntry {
+  std::int32_t kind = 0;    ///< verification problem kind
+  std::int32_t degree = 0;  ///< certificate template degree
+  std::uint64_t dims = 0;   ///< state-space dimension
+  lp::LpBasis basis;
+};
+
+/// Everything a process persists across restarts. Loaded state is
+/// behavior-identical to organically warmed state: warm tapes are
+/// bit-identical programs, warm trees only seed partitions, warm bases
+/// only pick simplex starting points.
+struct WarmState {
+  std::vector<TapeCache::WarmEntry> tapes;
+  std::vector<UnsatTreeCache::WarmEntry> trees;
+  std::vector<WarmBasisEntry> bases;
+
+  bool empty() const {
+    return tapes.empty() && trees.empty() && bases.empty();
+  }
+};
+
+/// Serializes \p state into the full container (header + payload).
+std::vector<std::uint8_t> encode_snapshot(const WarmState& state);
+
+/// Strict decode of a full container. On success returns true and fills
+/// \p out; on any corruption/version mismatch returns false and leaves
+/// \p out empty. Restored tapes pass `Hc4Tape::restore` validation;
+/// records that fail it reject the whole snapshot.
+bool decode_snapshot(const std::uint8_t* data, std::size_t size,
+                     WarmState& out, std::string* error);
+
+/// Atomically writes the snapshot (`path.tmp` + rename). Returns false
+/// (with \p error set) on I/O failure or an armed `cache_serialize`
+/// fault; never throws, never leaves a partial file at \p path.
+bool save_snapshot(const std::string& path, const WarmState& state,
+                   std::string* error);
+
+/// Loads and strictly decodes \p path. A missing file, I/O error or
+/// corrupt/mismatched snapshot returns false with \p out empty and
+/// \p error describing why — the caller logs a warning and cold-starts.
+bool load_snapshot(const std::string& path, WarmState& out,
+                   std::string* error);
+
+}  // namespace bcert::smt

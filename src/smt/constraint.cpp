@@ -1,11 +1,37 @@
 #include "src/smt/constraint.h"
 
+#include <bit>
 #include <limits>
+
+#include "src/expr/eval.h"
 
 namespace bcert::smt {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// SplitMix64 finalizer — a strong 64-bit mixer.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Two independently-mixed accumulator lanes; feeding each datum
+/// through mix64 with lane-distinct tweaks keeps the lanes decorrelated
+/// (a collision must survive both).
+struct Sig128Hasher {
+  std::uint64_t a = 0x62636572742d3161ull;  // "bcert-1a"
+  std::uint64_t b = 0x62636572742d3162ull;  // "bcert-1b"
+
+  void feed(std::uint64_t v) {
+    a = mix64(a ^ v);
+    b = mix64(b ^ ~v) + 0x165667b19e3779f9ull;
+  }
+
+  Sig128 digest() const { return {a, b}; }
+};
 }
 
 const char* rel_name(Rel r) {
@@ -55,6 +81,40 @@ bool Constraint::certainly_satisfied(const interval::Interval& v) const {
     case Rel::kEq: return v.is_point() && v.lo() == 0.0;
   }
   return false;
+}
+
+Sig128 content_signature(const expr::ExprPool& pool, const Conjunction& c) {
+  std::vector<expr::ExprId> roots;
+  roots.reserve(c.size());
+  for (const Constraint& k : c.constraints) roots.push_back(k.lhs);
+  // The Evaluator's schedule is the tape compiler's slot order (a pure
+  // structural DFS): hashing node data against *schedule positions*
+  // instead of pool ExprIds makes the signature independent of how the
+  // pool numbered the DAG, while still covering wiring and sharing
+  // exactly as the compiler sees them.
+  const expr::Evaluator ev(pool, std::move(roots));
+  const std::vector<expr::ExprId>& schedule = ev.schedule();
+
+  Sig128Hasher h;
+  h.feed(schedule.size());
+  for (const expr::ExprId id : schedule) {
+    const expr::Node& n = pool.node(id);
+    h.feed(static_cast<std::uint64_t>(n.op));
+    if (n.op == expr::Op::kConst) {
+      h.feed(std::bit_cast<std::uint64_t>(n.value));
+    } else if (n.op == expr::Op::kVar || n.op == expr::Op::kPow) {
+      h.feed(static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(n.index)));
+    }
+    h.feed(n.a != expr::kNoExpr ? ev.position_of(n.a) : ~0ull);
+    h.feed(n.b != expr::kNoExpr ? ev.position_of(n.b) : ~0ull);
+  }
+  h.feed(c.size());
+  for (const Constraint& k : c.constraints) {
+    h.feed(ev.position_of(k.lhs));
+    h.feed(static_cast<std::uint64_t>(k.rel));
+  }
+  return h.digest();
 }
 
 Dnf Dnf::conjoin(const Dnf& other) const {

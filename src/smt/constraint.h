@@ -6,6 +6,8 @@
 /// Strictness matters for the soundness of UNSAT answers (pruning a box
 /// against `e < 0` may use `e ≥ 0`, against `e ≤ 0` only `e > 0`).
 
+#include <compare>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,28 @@ struct Conjunction {
   std::size_t size() const { return constraints.size(); }
   bool empty() const { return constraints.empty(); }
 };
+
+/// Pool-independent 128-bit conjunction identity, the key of the
+/// persistent warm-state stores (src/smt/cache_io). Unlike
+/// `structural_signature` (unsat_tree.h), which deliberately ignores
+/// constant values so consecutive candidates collide, this hash covers
+/// the *complete* compiler input of an HC4 tape: every operation, child
+/// wiring in order, variable index, pow exponent, constant IEEE-754 bit
+/// pattern and constraint relation. Two conjunctions with equal content
+/// signatures therefore compile to bit-identical tapes (the tape slot
+/// schedule is a pure structural DFS — see Hc4Tape), which is what lets
+/// a restarted process adopt a persisted tape without re-deriving it.
+/// Collisions would need two different compiler inputs meeting in 128
+/// bits — negligible against cache populations of ≤ thousands.
+struct Sig128 {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const Sig128&, const Sig128&) = default;
+  friend auto operator<=>(const Sig128&, const Sig128&) = default;
+};
+
+Sig128 content_signature(const expr::ExprPool& pool, const Conjunction& c);
 
 /// Disjunction of conjunctions (DNF). The solver answers SAT if any
 /// disjunct is satisfiable; UNSAT requires refuting all of them.

@@ -350,8 +350,13 @@ class QueryContext {
     if (box.is_empty()) return;  // no seeds: trivially UNSAT
     if (icp_warm_enabled(config)) {
       rec_ = std::make_unique<TreeRecorder>(config.mem_budget);
-      // Hash the conjunction's shape once; publish() reuses it.
+      // Hash the conjunction once; publish() reuses both signatures. The
+      // lossy shape hash keys the live LRU (organic cross-candidate
+      // seeding); the content-exact hash keys the persisted warm table,
+      // where only a byte-identical query may adopt a restored tree
+      // (verdict invariance — see UnsatTreeCache::WarmEntry).
       signature_ = structural_signature(pool, c);
+      content_ = content_signature(pool, c);
       // A tripped cache_lookup fault treats any cached seed as stale:
       // the query cold-starts from the full box, exactly the stale-seed
       // recovery path the UNSAT-tree cache already has.
@@ -360,7 +365,8 @@ class QueryContext {
           config.degrade->cache_cold.fetch_add(1, std::memory_order_relaxed);
         }
       } else if (const auto seed =
-                     config.unsat_cache->find(pool, signature_, box)) {
+                     config.unsat_cache->find(pool, signature_, content_,
+                                              box)) {
         seeds_ = replay_seed(*seed, box, rec_.get());
         warm_ = seeds_.size() > 1;
       }
@@ -385,7 +391,8 @@ class QueryContext {
     auto tree = std::make_shared<UnsatTree>();
     tree->root_box = std::move(box_);
     tree->nodes = std::move(nodes);
-    config_->unsat_cache->store(*pool_, signature_, std::move(tree));
+    config_->unsat_cache->store(*pool_, signature_, content_,
+                                std::move(tree));
   }
 
  private:
@@ -393,6 +400,7 @@ class QueryContext {
   Box box_;
   const IcpConfig* config_;
   std::uint64_t signature_ = 0;
+  Sig128 content_;
   std::unique_ptr<TreeRecorder> rec_;
   std::vector<WorkItem> seeds_;
   bool warm_ = false;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 namespace bcert::smt {
 
@@ -85,6 +86,20 @@ class KeyedLruCache {
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(m_);
     return map_.size();
+  }
+
+  /// Consistent copy of the resident entries in most-recently-used
+  /// order — what the warm-state snapshot writer serializes. Values are
+  /// shared (immutable), so this is O(n) pointer copies, not deep ones.
+  std::vector<std::pair<Key, std::shared_ptr<Value>>> snapshot() const {
+    std::lock_guard<std::mutex> lock(m_);
+    std::vector<std::pair<Key, std::shared_ptr<Value>>> out;
+    out.reserve(map_.size());
+    for (const Key& key : order_) {
+      const auto it = map_.find(key);
+      if (it != map_.end()) out.emplace_back(key, it->second.value);
+    }
+    return out;
   }
 
   KeyedCacheStats stats() const {

@@ -1,9 +1,11 @@
 #include "src/smt/tape.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 
 #include "src/core/fault.h"
@@ -119,6 +121,145 @@ Hc4Tape::Hc4Tape(const expr::ExprPool& pool, Conjunction conjunction)
   for (const Constraint& k : conjunction_.constraints) {
     root_slots_.push_back(slot_of[ev.position_of(k.lhs)]);
     root_feasible_.push_back(k.feasible_values());
+  }
+}
+
+Hc4Tape::Image Hc4Tape::image() const {
+  Image img;
+  img.rels.reserve(conjunction_.size());
+  for (const Constraint& k : conjunction_.constraints) {
+    img.rels.push_back(k.rel);
+  }
+  img.code = code_;
+  img.mul_const = mul_const_;
+  img.var_slots = var_slots_;
+  img.var_dims = var_dims_;
+  img.const_slots = const_slots_;
+  img.const_values = const_values_;
+  img.root_slots = root_slots_;
+  img.root_feasible = root_feasible_;
+  img.num_slots = num_slots_;
+  return img;
+}
+
+namespace {
+/// Bitwise interval equality — the restore validator's notion of "the
+/// compiler would have produced exactly this" (operator== treats two
+/// empty intervals as equal regardless of representation; bit equality
+/// is stricter).
+bool same_bits(const Interval& x, const Interval& y) {
+  return std::bit_cast<std::uint64_t>(x.lo()) ==
+             std::bit_cast<std::uint64_t>(y.lo()) &&
+         std::bit_cast<std::uint64_t>(x.hi()) ==
+             std::bit_cast<std::uint64_t>(y.hi());
+}
+
+/// Ceiling on persisted variable dimensions — wildly above any real
+/// scenario, low enough that a forged tape cannot index far outside a
+/// live box.
+constexpr std::uint32_t kMaxRestoredVarDim = 1u << 20;
+}  // namespace
+
+std::shared_ptr<const Hc4Tape> Hc4Tape::restore(const Image& img) {
+  const std::size_t nc = img.const_slots.size();
+  const std::size_t nv = img.var_slots.size();
+  const std::size_t ni = img.code.size();
+  const std::size_t nr = img.root_slots.size();
+  if (img.const_values.size() != nc || img.var_dims.size() != nv ||
+      img.root_feasible.size() != nr || img.rels.size() != nr) {
+    return nullptr;
+  }
+  if (img.num_slots != nc + nv + ni) return nullptr;
+  const std::size_t slots = static_cast<std::size_t>(img.num_slots);
+
+  // Dense [constants | variables | interiors] layout in schedule order —
+  // exactly what the compiling constructor lays down.
+  for (std::size_t i = 0; i < nc; ++i) {
+    if (img.const_slots[i] != static_cast<TapeSlot>(i)) return nullptr;
+  }
+  for (std::size_t i = 0; i < nv; ++i) {
+    if (img.var_slots[i] != static_cast<TapeSlot>(nc + i)) return nullptr;
+    if (img.var_dims[i] > kMaxRestoredVarDim) return nullptr;
+  }
+  for (std::size_t i = 0; i < ni; ++i) {
+    const TapeInstr& ins = img.code[i];
+    if (ins.dst != static_cast<TapeSlot>(nc + nv + i)) return nullptr;
+    if (ins.op <= expr::Op::kVar || ins.op > expr::Op::kMax) return nullptr;
+    // Topological order: operands strictly precede their consumer.
+    if (ins.a >= ins.dst) return nullptr;
+    if (expr::is_binary(ins.op)) {
+      if (ins.b == kNoSlot || ins.b >= ins.dst) return nullptr;
+    } else if (ins.b != kNoSlot) {
+      return nullptr;
+    }
+    if (ins.spec == kSpecMulConst) {
+      if (ins.op != Op::kMul) return nullptr;
+      if (ins.exponent < 0 ||
+          static_cast<std::size_t>(ins.exponent) >= img.mul_const.size()) {
+        return nullptr;
+      }
+      const MulConstSpec& sp = img.mul_const[ins.exponent];
+      const TapeSlot want_var = sp.var_is_a ? ins.a : ins.b;
+      const TapeSlot want_const = sp.var_is_a ? ins.b : ins.a;
+      if (sp.var_slot != want_var || sp.const_slot != want_const) {
+        return nullptr;
+      }
+      if (sp.w == 0.0 || !std::isfinite(sp.w)) return nullptr;
+      if (sp.const_slot >= nc ||
+          !same_bits(img.const_values[sp.const_slot], Interval(sp.w))) {
+        return nullptr;
+      }
+      const Interval rec(interval::prev_float(1.0 / sp.w),
+                         interval::next_float(1.0 / sp.w));
+      if (!same_bits(sp.rec, rec)) return nullptr;
+    } else if (ins.spec != kSpecNone) {
+      return nullptr;
+    }
+  }
+  for (std::size_t i = 0; i < nr; ++i) {
+    if (img.root_slots[i] >= slots) return nullptr;
+    if (img.rels[i] > Rel::kEq) return nullptr;
+    const Constraint proto{kNoExpr, img.rels[i]};
+    if (!same_bits(img.root_feasible[i], proto.feasible_values())) {
+      return nullptr;
+    }
+  }
+
+  std::shared_ptr<Hc4Tape> tape(new Hc4Tape());
+  for (const Rel rel : img.rels) tape->conjunction_.add(kNoExpr, rel);
+  tape->code_ = img.code;
+  tape->mul_const_ = img.mul_const;
+  tape->var_slots_ = img.var_slots;
+  tape->var_dims_ = img.var_dims;
+  tape->const_slots_ = img.const_slots;
+  tape->const_values_ = img.const_values;
+  tape->root_slots_ = img.root_slots;
+  tape->root_feasible_ = img.root_feasible;
+  tape->num_slots_ = slots;
+  return tape;
+}
+
+Hc4Tape::Hc4Tape(const Hc4Tape& proto, Conjunction conjunction)
+    : conjunction_(std::move(conjunction)),
+      code_(proto.code_),
+      mul_const_(proto.mul_const_),
+      var_slots_(proto.var_slots_),
+      var_dims_(proto.var_dims_),
+      const_slots_(proto.const_slots_),
+      const_values_(proto.const_values_),
+      root_slots_(proto.root_slots_),
+      root_feasible_(proto.root_feasible_),
+      num_slots_(proto.num_slots_) {
+  // Same degradation-ladder rung as a cold compile: adopting a warm
+  // prototype must not dodge an armed tape_compile fault.
+  core::FaultRegistry::check(core::FaultPoint::kTapeCompile);
+  if (conjunction_.size() != proto.conjunction_.size()) {
+    throw std::invalid_argument("Hc4Tape rebind: constraint count mismatch");
+  }
+  for (std::size_t i = 0; i < conjunction_.size(); ++i) {
+    if (conjunction_.constraints[i].rel != proto.conjunction_.constraints[i].rel) {
+      throw std::invalid_argument("Hc4Tape rebind: relation mismatch");
+    }
   }
 }
 
@@ -305,11 +446,56 @@ TapeCache::Signature TapeCache::signature_of(const expr::ExprPool& pool,
 std::shared_ptr<const Hc4Tape> TapeCache::get_or_compile(
     const expr::ExprPool& pool, const Conjunction& c) {
   Signature sig = signature_of(pool, c);
-  if (auto tape = tapes_.get(sig)) return tape;
-  // Compile outside the lock; a racing duplicate compile is harmless
-  // (put(replace=false) keeps the first, both tapes are equivalent).
-  auto tape = std::make_shared<const Hc4Tape>(pool, c);
-  return tapes_.put(std::move(sig), std::move(tape), /*replace=*/false);
+  if (auto entry = tapes_.get(sig)) return entry->tape;
+
+  // Miss: before compiling, probe the persisted warm prototypes under
+  // the pool-independent content signature. A hit is adopted (rebound to
+  // the live conjunction — bit-identical program, see content_signature)
+  // instead of compiled, and promoted into the LRU like any compile.
+  const Sig128 content = content_signature(pool, c);
+  std::shared_ptr<const Hc4Tape> proto;
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    const auto it = warm_.find(content);
+    if (it != warm_.end()) {
+      proto = it->second;
+      warm_.erase(it);  // now owned by the LRU under the live key
+    }
+  }
+  std::shared_ptr<const Hc4Tape> tape;
+  if (proto != nullptr) {
+    tape = std::make_shared<const Hc4Tape>(*proto, c);
+    warm_restores_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Compile outside the lock; a racing duplicate compile is harmless
+    // (put(replace=false) keeps the first, both tapes are equivalent).
+    tape = std::make_shared<const Hc4Tape>(pool, c);
+  }
+  auto entry =
+      std::make_shared<const CachedTape>(CachedTape{std::move(tape), content});
+  return tapes_.put(std::move(sig), std::move(entry), /*replace=*/false)->tape;
+}
+
+std::vector<TapeCache::WarmEntry> TapeCache::export_entries() const {
+  std::vector<WarmEntry> out;
+  std::set<Sig128> seen;
+  for (const auto& [key, entry] : tapes_.snapshot()) {
+    if (entry != nullptr && seen.insert(entry->content).second) {
+      out.push_back({entry->content, entry->tape});
+    }
+  }
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  for (const auto& [content, tape] : warm_) {
+    if (seen.insert(content).second) out.push_back({content, tape});
+  }
+  return out;
+}
+
+void TapeCache::import_entries(std::vector<WarmEntry> entries) {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  for (WarmEntry& e : entries) {
+    if (e.tape != nullptr) warm_[e.content] = std::move(e.tape);
+  }
 }
 
 std::shared_ptr<const Hc4Jit> TapeCache::get_or_compile_jit(

@@ -24,9 +24,12 @@
 /// once per worker — and the flat layout is the substrate for future
 /// SIMD interval kernels.
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -135,6 +138,45 @@ class Hc4Tape {
     return root_feasible_;
   }
 
+  /// Flat, self-contained copy of a compiled tape — everything except
+  /// the pool-relative `conjunction()` (whose relations are recorded so
+  /// a restored tape can be validated and rebound). This is the payload
+  /// the persistent warm-state store (src/smt/cache_io) serializes,
+  /// keyed by the conjunction's `content_signature`.
+  struct Image {
+    std::vector<Rel> rels;  ///< conjunction relations, in root order
+    std::vector<TapeInstr> code;
+    std::vector<MulConstSpec> mul_const;
+    std::vector<TapeSlot> var_slots;
+    std::vector<std::uint32_t> var_dims;
+    std::vector<TapeSlot> const_slots;
+    std::vector<interval::Interval> const_values;
+    std::vector<TapeSlot> root_slots;
+    std::vector<interval::Interval> root_feasible;
+    std::uint64_t num_slots = 0;
+  };
+
+  /// Snapshot of this tape's flat contents (deep copy).
+  Image image() const;
+
+  /// Validated reconstruction of a tape from a (possibly corrupt)
+  /// image. Every structural invariant the compiler establishes is
+  /// re-checked — slot layout ([consts | vars | interiors] in dense
+  /// schedule order), slot bounds, opcode range, mul-const
+  /// specialization wiring (including the recomputed outward-rounded
+  /// reciprocal) and the relation-derived root feasible intervals.
+  /// Returns null on any violation; the caller falls back to a cold
+  /// compile. The restored tape's `conjunction()` carries the recorded
+  /// relations but no live ExprIds — it is a *prototype*, only handed
+  /// out after rebinding to a live conjunction (the ctor below).
+  static std::shared_ptr<const Hc4Tape> restore(const Image& img);
+
+  /// Rebinds a restored prototype to the live conjunction it is being
+  /// adopted for (bit-identical flat program, live ExprIds). Checks the
+  /// `tape_compile` fault point exactly like a real compile, so the
+  /// degradation ladder sees warm restores and cold compiles alike.
+  Hc4Tape(const Hc4Tape& proto, Conjunction conjunction);
+
   /// Human-readable disassembly: one header line, one line per leaf
   /// binding, one line per instruction ("%dst = op %a, %b"), one line per
   /// constraint root. Exactly `code().size()` lines start with "  %" and
@@ -205,6 +247,8 @@ class Hc4Tape {
                                SimdTier tier) const;
 
  private:
+  Hc4Tape() = default;  ///< empty shell restore() fills field by field
+
   /// Loads constants and the box's variable dimensions into \p regs.
   void load_leaves(const interval::Box& box, Registers& regs) const;
   /// Runs the instruction stream front to back.
@@ -265,14 +309,53 @@ class TapeCache {
   /// Same counters for the native-code store.
   KeyedCacheStats jit_stats() const { return jits_.stats(); }
 
+  // --- persistent warm state (src/smt/cache_io, bcertd) ---------------------
+
+  /// One exportable entry: the conjunction's pool-independent content
+  /// signature plus the shared immutable tape.
+  struct WarmEntry {
+    Sig128 content;
+    std::shared_ptr<const Hc4Tape> tape;
+  };
+
+  /// Everything worth persisting: the live LRU contents (MRU first)
+  /// plus imported warm prototypes not yet re-adopted this run (so an
+  /// idle daemon does not bleed state across restart cycles). One entry
+  /// per content signature; live entries win.
+  std::vector<WarmEntry> export_entries() const;
+
+  /// Installs restored prototypes into the warm side table. A later
+  /// `get_or_compile` miss whose conjunction hashes to an imported
+  /// signature adopts the prototype (rebound to the live conjunction)
+  /// instead of compiling — bit-identical by the content-signature
+  /// contract — and counts it in `warm_restores()`.
+  void import_entries(std::vector<WarmEntry> entries);
+
+  /// Compiles avoided by adopting an imported prototype — the counter
+  /// proving a snapshot-warmed process actually took the warm path.
+  std::uint64_t warm_restores() const {
+    return warm_restores_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Signature =
       std::pair<const void*, std::vector<std::pair<expr::ExprId, Rel>>>;
   static Signature signature_of(const expr::ExprPool& pool,
                                 const Conjunction& c);
 
-  KeyedLruCache<Signature, const Hc4Tape> tapes_;
+  /// LRU value: the tape plus its content signature (computed once on
+  /// the miss path, kept so export never needs the — possibly dead —
+  /// pool the key points at).
+  struct CachedTape {
+    std::shared_ptr<const Hc4Tape> tape;
+    Sig128 content;
+  };
+
+  KeyedLruCache<Signature, const CachedTape> tapes_;
   KeyedLruCache<Signature, const Hc4Jit> jits_;
+  mutable std::mutex warm_mutex_;
+  std::map<Sig128, std::shared_ptr<const Hc4Tape>> warm_;
+  std::atomic<std::uint64_t> warm_restores_{0};
 };
 
 }  // namespace bcert::smt

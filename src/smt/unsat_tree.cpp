@@ -103,6 +103,65 @@ std::shared_ptr<const UnsatTree> UnsatTreeCache::find(
   return tree;
 }
 
+std::shared_ptr<const UnsatTree> UnsatTreeCache::find(
+    const expr::ExprPool& pool, std::uint64_t signature,
+    const Sig128& content, const interval::Box& box) {
+  // A live hit always wins: in-process seeding must evolve exactly as it
+  // would without any imported state.
+  if (auto tree = trees_.get({&pool, signature})) {
+    if (tree->root_box == box) return tree;
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Content-exact warm probe. The entry is left in place — after the
+  // adopted replay completes UNSAT, publish re-stores an isomorphic tree
+  // under the same content key anyway.
+  std::shared_ptr<const UnsatTree> tree;
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    const auto it = warm_.find(content);
+    if (it == warm_.end()) return nullptr;
+    tree = it->second;
+  }
+  if (!(tree->root_box == box)) {
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  warm_restores_.fetch_add(1, std::memory_order_relaxed);
+  return tree;
+}
+
+std::vector<UnsatTreeCache::WarmEntry> UnsatTreeCache::export_entries() const {
+  std::vector<WarmEntry> out;
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  out.reserve(warm_.size());
+  for (const auto& [content, tree] : warm_) out.push_back({content, tree});
+  return out;
+}
+
+void UnsatTreeCache::import_entries(std::vector<WarmEntry> entries) {
+  std::lock_guard<std::mutex> lock(warm_mutex_);
+  for (WarmEntry& e : entries) {
+    if (e.tree != nullptr) warm_insert(e.content, std::move(e.tree));
+  }
+}
+
+// Requires warm_mutex_ held.
+void UnsatTreeCache::warm_insert(const Sig128& content,
+                                 std::shared_ptr<const UnsatTree> tree) {
+  auto [it, inserted] = warm_.insert_or_assign(content, std::move(tree));
+  (void)it;
+  if (inserted) warm_order_.push_back(content);
+  // Lazy FIFO eviction: queue entries whose key was already evicted (or
+  // re-inserted later) are skipped, so the queue can momentarily exceed
+  // the map but both stay bounded.
+  while (warm_.size() > kMaxWarmEntries && !warm_order_.empty()) {
+    const Sig128 victim = warm_order_.front();
+    warm_order_.pop_front();
+    warm_.erase(victim);
+  }
+}
+
 void UnsatTreeCache::store(const expr::ExprPool& pool, const Conjunction& c,
                            std::shared_ptr<const UnsatTree> tree) {
   store(pool, structural_signature(pool, c), std::move(tree));
@@ -111,6 +170,16 @@ void UnsatTreeCache::store(const expr::ExprPool& pool, const Conjunction& c,
 void UnsatTreeCache::store(const expr::ExprPool& pool,
                            std::uint64_t signature,
                            std::shared_ptr<const UnsatTree> tree) {
+  trees_.put({&pool, signature}, std::move(tree), /*replace=*/true);
+}
+
+void UnsatTreeCache::store(const expr::ExprPool& pool,
+                           std::uint64_t signature, const Sig128& content,
+                           std::shared_ptr<const UnsatTree> tree) {
+  {
+    std::lock_guard<std::mutex> lock(warm_mutex_);
+    warm_insert(content, tree);
+  }
   trees_.put({&pool, signature}, std::move(tree), /*replace=*/true);
 }
 

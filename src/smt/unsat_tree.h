@@ -37,7 +37,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -162,11 +165,29 @@ class UnsatTreeCache {
                                         std::uint64_t signature,
                                         const interval::Box& box);
 
+  /// As above, but on a live miss also probes the imported warm side
+  /// table under the content-exact signature. A content hit means \p c
+  /// is byte-for-byte the query the tree refuted in a previous process,
+  /// so replaying it re-derives the same UNSAT verdict and re-records an
+  /// isomorphic tree — the adoption cannot change any verdict. Counted
+  /// in warm_restores().
+  std::shared_ptr<const UnsatTree> find(const expr::ExprPool& pool,
+                                        std::uint64_t signature,
+                                        const Sig128& content,
+                                        const interval::Box& box);
+
   /// Publishes \p tree as the latest proof for this query shape.
   void store(const expr::ExprPool& pool, const Conjunction& c,
              std::shared_ptr<const UnsatTree> tree);
   void store(const expr::ExprPool& pool, std::uint64_t signature,
              std::shared_ptr<const UnsatTree> tree);
+
+  /// As above, but also records \p tree in the content-keyed warm table
+  /// so it becomes exportable (see export_entries). The solver's publish
+  /// path uses this overload; the content-less overloads feed the live
+  /// LRU only.
+  void store(const expr::ExprPool& pool, std::uint64_t signature,
+             const Sig128& content, std::shared_ptr<const UnsatTree> tree);
 
   std::size_t size() const { return trees_.size(); }
 
@@ -176,11 +197,62 @@ class UnsatTreeCache {
   KeyedCacheStats stats() const { return trees_.stats(); }
   std::uint64_t stale() const { return stale_.load(); }
 
+  // --- persistent warm state (src/smt/cache_io, bcertd) ---------------------
+
+  /// Bound on the content-keyed warm table (the exportable record of
+  /// published trees). FIFO-evicted; eviction order is deterministic, so
+  /// identical runs export identical snapshots.
+  static constexpr std::size_t kMaxWarmEntries = 1024;
+
+  /// One exportable entry: the pool-independent *content-exact* 128-bit
+  /// signature (full solver input, constants included — the same
+  /// contract tapes use) and the shared immutable tree.
+  ///
+  /// Why content-exact and not the live cache's lossy structural key:
+  /// replay of any tree is *sound* (it always partitions the query box),
+  /// but it is not *verdict-neutral* — seeding a δ-SAT search with a
+  /// different-content tree changes which witness branch-and-prune finds
+  /// first, which perturbs the LP ↔ SMT trajectory downstream. Organic
+  /// in-process seeding evolves identically in every identical run, so
+  /// lossy keys are fine there; an *imported* tree, however, would seed
+  /// the first query of a shape that a cold process runs cold, breaking
+  /// the snapshot contract that warm state changes timings, never
+  /// verdicts. Keying persisted trees by content means an adopted tree
+  /// replays only the byte-identical query it refuted before: the
+  /// verdict (UNSAT) and the re-recorded tree are reproduced, and the
+  /// live cache stays in lockstep with a cold process.
+  struct WarmEntry {
+    Sig128 content;
+    std::shared_ptr<const UnsatTree> tree;
+  };
+
+  /// Contents of the content-keyed warm table (imported entries merged
+  /// with trees published via the content-taking store()).
+  std::vector<WarmEntry> export_entries() const;
+
+  /// Installs restored trees into the warm side table; a later find()
+  /// whose content signature matches adopts the tree (same root-box
+  /// validation as a live hit) and counts it in warm_restores().
+  void import_entries(std::vector<WarmEntry> entries);
+
+  /// find() calls answered from an imported tree — the counter proving a
+  /// snapshot-warmed process actually took the warm path.
+  std::uint64_t warm_restores() const {
+    return warm_restores_.load(std::memory_order_relaxed);
+  }
+
  private:
   using Key = std::pair<const void*, std::uint64_t>;
 
+  void warm_insert(const Sig128& content,
+                   std::shared_ptr<const UnsatTree> tree);
+
   KeyedLruCache<Key, const UnsatTree> trees_;
   std::atomic<std::uint64_t> stale_{0};
+  mutable std::mutex warm_mutex_;
+  std::map<Sig128, std::shared_ptr<const UnsatTree>> warm_;
+  std::deque<Sig128> warm_order_;  ///< FIFO eviction queue (lazy)
+  std::atomic<std::uint64_t> warm_restores_{0};
 };
 
 }  // namespace bcert::smt

@@ -1,0 +1,130 @@
+// Strict-JSON parser tests for the bcertd line protocol: RFC-8259
+// acceptance (escapes, surrogate pairs, nesting, duplicate keys) and
+// the rejection paths a hostile or buggy client can hit (trailing
+// input, leading zeros, raw control characters, depth bombs, truncated
+// documents). Every rejection must come back as false + a positioned
+// error, never a throw — the server turns these into protocol errors.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/daemon/json.h"
+
+namespace bcert::daemon {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(text, v, &error)) << text << ": " << error;
+  return v;
+}
+
+void expect_reject(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(text, v, &error)) << "accepted: " << text;
+  EXPECT_NE(error.find("offset"), std::string::npos)
+      << "error lacks position: " << error;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").as_bool());
+  EXPECT_FALSE(parse_ok("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_ok("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e2").as_number(), -1250.0);
+  EXPECT_DOUBLE_EQ(parse_ok("1e-3").as_number(), 1e-3);
+  EXPECT_EQ(parse_ok("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_ok("  42  ").as_number(), 42.0);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t\r\f\b")").as_string(),
+            "a\"b\\c/d\n\t\r\f\b");
+  EXPECT_EQ(parse_ok(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 → 4-byte UTF-8.
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParsesContainers) {
+  const JsonValue v = parse_ok(
+      R"({"cmd":"submit","scenario":{"seed":7,"index":0},"tags":[1,2,3]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.string_or("cmd", ""), "submit");
+  const JsonValue* scenario = v.find("scenario");
+  ASSERT_NE(scenario, nullptr);
+  EXPECT_DOUBLE_EQ(scenario->number_or("seed", 0.0), 7.0);
+  const JsonValue* tags = v.find("tags");
+  ASSERT_NE(tags, nullptr);
+  ASSERT_EQ(tags->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(tags->items()[2].as_number(), 3.0);
+
+  EXPECT_TRUE(parse_ok("{}").members().empty());
+  EXPECT_TRUE(parse_ok("[]").items().empty());
+}
+
+TEST(Json, DuplicateKeysLastWinsAtLookup) {
+  const JsonValue v = parse_ok(R"({"a":1,"a":2})");
+  ASSERT_EQ(v.members().size(), 2u);  // document order retained
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->as_number(), 2.0);
+}
+
+TEST(Json, TypedLookupsFallBackOnWrongType) {
+  const JsonValue v = parse_ok(R"({"n":"not a number","s":3,"b":"x"})");
+  EXPECT_DOUBLE_EQ(v.number_or("n", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("s", "fallback"), "fallback");
+  EXPECT_TRUE(v.bool_or("b", true));
+  EXPECT_DOUBLE_EQ(v.number_or("missing", 9.0), 9.0);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  expect_reject("");
+  expect_reject("{");
+  expect_reject("[1,2");
+  expect_reject("{\"a\":}");
+  expect_reject("{\"a\" 1}");
+  expect_reject("{a:1}");          // unquoted key
+  expect_reject("[1,]");           // trailing comma
+  expect_reject("{} {}");          // trailing input
+  expect_reject("nul");
+  expect_reject("truth");
+}
+
+TEST(Json, RejectsMalformedNumbers) {
+  expect_reject("01");      // leading zero
+  expect_reject("-");
+  expect_reject("1.");      // digit required after '.'
+  expect_reject(".5");
+  expect_reject("1e");
+  expect_reject("+1");
+  expect_reject("NaN");
+  expect_reject("Infinity");
+}
+
+TEST(Json, RejectsMalformedStrings) {
+  expect_reject("\"unterminated");
+  expect_reject("\"bad \\x escape\"");
+  expect_reject("\"\\u12\"");           // short unicode escape
+  expect_reject("\"\\ud83d\"");         // lone high surrogate
+  expect_reject("\"\\ude00\"");         // lone low surrogate
+  expect_reject(std::string("\"raw\tcontrol\""));  // unescaped control char
+  expect_reject(std::string("\"nul\0byte\"", 10));
+}
+
+TEST(Json, RejectsDepthBomb) {
+  // 64 levels parse; 100 must hit the recursion cap, not the stack.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  expect_reject(deep);
+
+  std::string ok(40, '[');
+  ok += std::string(40, ']');
+  parse_ok(ok);
+}
+
+}  // namespace
+}  // namespace bcert::daemon

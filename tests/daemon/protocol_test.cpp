@@ -1,0 +1,95 @@
+// Protocol-layer tests: strict scenario-spec decoding (the daemon must
+// reject rather than guess — a typo'd key could silently verify the
+// wrong scenario) and the canonical verdict line (the restart and
+// differential checks compare these strings byte-for-byte, so the
+// format itself is contract).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/verify_types.h"
+#include "src/daemon/json.h"
+#include "src/daemon/protocol.h"
+
+namespace bcert::daemon {
+namespace {
+
+JsonValue parse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(JsonValue::parse(text, v, &error)) << error;
+  return v;
+}
+
+bool spec_ok(const std::string& json, ScenarioSpec* out = nullptr) {
+  ScenarioSpec spec;
+  std::string error;
+  const bool ok = parse_scenario_spec(parse(json), spec, &error);
+  if (out != nullptr) *out = spec;
+  return ok;
+}
+
+TEST(Protocol, MinimalSpecUsesDefaults) {
+  ScenarioSpec spec;
+  ASSERT_TRUE(spec_ok("{}", &spec));
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.index, 0u);
+  EXPECT_TRUE(spec.families.empty());
+  EXPECT_EQ(spec.name(), "zoo-s1-i0");
+}
+
+TEST(Protocol, FullSpecRoundTrips) {
+  ScenarioSpec spec;
+  ASSERT_TRUE(spec_ok(
+      R"({"seed":7,"index":3,"families":["acc"],"param_jitter":0.5,)"
+      R"("polynomial_degree":4,"jitter_templates":true})",
+      &spec));
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.index, 3u);
+  ASSERT_EQ(spec.families.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.param_jitter, 0.5);
+  EXPECT_EQ(spec.polynomial_degree, 4);
+  EXPECT_TRUE(spec.jitter_templates);
+  EXPECT_EQ(spec.name(), "zoo-s7-i3");
+
+  // The selected generator config must pin the prefix-stable contract:
+  // count = index + 1 so generate_one(index) exists.
+  const scenario::GeneratorConfig config = spec.generator_config();
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.count, 4u);
+}
+
+TEST(Protocol, RejectsUnknownKeysAndBadValues) {
+  EXPECT_FALSE(spec_ok(R"({"sede":7})"));           // typo'd key
+  EXPECT_FALSE(spec_ok(R"({"seed":-1})"));          // negative
+  EXPECT_FALSE(spec_ok(R"({"seed":1.5})"));         // non-integer
+  EXPECT_FALSE(spec_ok(R"({"index":2000000})"));    // over the cap
+  EXPECT_FALSE(spec_ok(R"({"families":[]})"));      // empty list
+  EXPECT_FALSE(spec_ok(R"({"families":["warp"]})"));  // unknown family
+  EXPECT_FALSE(spec_ok(R"({"param_jitter":1.5})"));   // out of [0,1]
+  EXPECT_FALSE(spec_ok(R"({"polynomial_degree":0})"));
+  EXPECT_FALSE(spec_ok(R"({"polynomial_degree":7})"));
+}
+
+TEST(Protocol, VerdictLineIsDeterministicAndTimingFree) {
+  core::VerifyResult result;
+  result.status = core::VerifyStatus::kSolverBudget;
+  result.level = 1.0 / 3.0;
+  result.lp_margin = 2.0 / 7.0;
+  const std::string line = verdict_line("zoo-s1-i0", result);
+
+  EXPECT_NE(line.find("zoo-s1-i0 status="), std::string::npos) << line;
+  EXPECT_NE(line.find("template="), std::string::npos) << line;
+  // Full %.17g precision: equality of lines ⇔ bit-equality of values.
+  EXPECT_NE(line.find("level=0.33333333333333331"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("lp_margin=0.2857142857142857"), std::string::npos)
+      << line;
+  // No generator set: guarded empty coefficient list, no throw.
+  EXPECT_NE(line.find("coeffs=[]"), std::string::npos) << line;
+  // Nothing timing-dependent: two calls, one string.
+  EXPECT_EQ(line, verdict_line("zoo-s1-i0", result));
+}
+
+}  // namespace
+}  // namespace bcert::daemon

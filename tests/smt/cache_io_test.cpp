@@ -1,0 +1,199 @@
+// Warm-state snapshot serialization tests: encode→decode→re-encode
+// bit-identity for all three sections (tapes, UNSAT trees, LP bases),
+// strict rejection of every corruption class (truncation, bit flips,
+// version bumps, bad magic, trailing bytes) with the whole snapshot
+// loading as empty, atomic save/load through the filesystem, and the
+// cache_serialize fault point degrading a save into a clean failure.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fault.h"
+#include "src/expr/expr.h"
+#include "src/smt/cache_io.h"
+#include "src/smt/constraint.h"
+#include "src/smt/tape.h"
+#include "src/smt/unsat_tree.h"
+
+namespace bcert::smt {
+namespace {
+
+using expr::ExprId;
+using expr::ExprPool;
+using interval::Box;
+using interval::Interval;
+
+Conjunction sample_query(ExprPool& pool, double coeff) {
+  const ExprId x = pool.var(0);
+  const ExprId y = pool.var(1);
+  Conjunction q;
+  q.add(pool.sub(pool.mul(pool.constant(coeff), pool.add(pool.sqr(x), y)),
+                 pool.constant(0.25)),
+        Rel::kGe);
+  return q;
+}
+
+std::shared_ptr<const UnsatTree> sample_tree() {
+  auto tree = std::make_shared<UnsatTree>();
+  tree->root_box = Box::from_bounds({{-1.0, 1.0}, {-2.0, 2.0}});
+  tree->nodes = {
+      {0, 0.0, 1, 2},
+      {1, -0.5, UnsatTree::kNoNode, UnsatTree::kNoNode},
+      {1, 0.5, UnsatTree::kNoNode, UnsatTree::kNoNode},
+  };
+  return tree;
+}
+
+/// A populated WarmState with one real compiled tape, one tree and one
+/// basis. The tape goes through TapeCache so the exported entry is
+/// exactly what a live process would persist.
+WarmState sample_state(ExprPool& pool, TapeCache& tapes) {
+  const Conjunction q = sample_query(pool, 1.25);
+  (void)tapes.get_or_compile(pool, q);
+
+  WarmState state;
+  state.tapes = tapes.export_entries();
+  state.trees.push_back({content_signature(pool, q), sample_tree()});
+  WarmBasisEntry basis;
+  basis.kind = 1;
+  basis.degree = 2;
+  basis.dims = 3;
+  basis.basis.basic = {0, 4, 7, -1};
+  basis.basis.num_structural = 9;
+  state.bases.push_back(std::move(basis));
+  return state;
+}
+
+TEST(CacheIo, EncodeDecodeReencodeIsBitIdentical) {
+  ExprPool pool;
+  TapeCache tapes;
+  const WarmState state = sample_state(pool, tapes);
+  ASSERT_FALSE(state.tapes.empty());
+
+  const std::vector<std::uint8_t> bytes = encode_snapshot(state);
+  WarmState decoded;
+  std::string error;
+  ASSERT_TRUE(decode_snapshot(bytes.data(), bytes.size(), decoded, &error))
+      << error;
+  ASSERT_EQ(decoded.tapes.size(), state.tapes.size());
+  ASSERT_EQ(decoded.trees.size(), 1u);
+  ASSERT_EQ(decoded.bases.size(), 1u);
+
+  // Field-level checks on the tree (the section this PR's restart
+  // bit-identity hinges on): content key and node array byte-for-byte.
+  EXPECT_EQ(decoded.trees[0].content, state.trees[0].content);
+  const UnsatTree& tree = *decoded.trees[0].tree;
+  ASSERT_EQ(tree.nodes.size(), 3u);
+  EXPECT_EQ(tree.nodes[0].dim, 0u);
+  EXPECT_EQ(tree.nodes[2].value, 0.5);
+  EXPECT_TRUE(tree.root_box == state.trees[0].tree->root_box);
+  EXPECT_EQ(decoded.bases[0].basis.basic, state.bases[0].basis.basic);
+
+  // The strongest property: re-encoding the decoded state reproduces
+  // the original byte stream exactly.
+  EXPECT_EQ(encode_snapshot(decoded), bytes);
+}
+
+TEST(CacheIo, EmptyStateRoundTrips) {
+  const WarmState empty;
+  const std::vector<std::uint8_t> bytes = encode_snapshot(empty);
+  WarmState decoded;
+  std::string error;
+  ASSERT_TRUE(decode_snapshot(bytes.data(), bytes.size(), decoded, &error));
+  EXPECT_TRUE(decoded.empty());
+}
+
+void expect_rejected(std::vector<std::uint8_t> bytes) {
+  WarmState out;
+  // Pre-fill to prove rejection clears the output.
+  out.bases.emplace_back();
+  std::string error;
+  EXPECT_FALSE(decode_snapshot(bytes.data(), bytes.size(), out, &error));
+  EXPECT_TRUE(out.empty()) << "rejected snapshot left partial state";
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CacheIo, RejectsEveryCorruptionClass) {
+  ExprPool pool;
+  TapeCache tapes;
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(sample_state(pool, tapes));
+
+  // Truncation at several depths: inside the header, inside the
+  // payload, one byte short.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, std::size_t{20}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    expect_rejected({bytes.begin(), bytes.begin() + keep});
+  }
+
+  // A single flipped payload bit must fail the checksum.
+  std::vector<std::uint8_t> flipped = bytes;
+  flipped[flipped.size() - 3] ^= 0x40;
+  expect_rejected(std::move(flipped));
+
+  // Version bump: future formats must load as empty, never reinterpret.
+  std::vector<std::uint8_t> versioned = bytes;
+  versioned[8] += 1;  // version u32 sits right after the 8-byte magic
+  expect_rejected(std::move(versioned));
+
+  // Bad magic.
+  std::vector<std::uint8_t> magic = bytes;
+  magic[0] = 'X';
+  expect_rejected(std::move(magic));
+
+  // Trailing garbage after a valid payload.
+  std::vector<std::uint8_t> trailing = bytes;
+  trailing.push_back(0);
+  expect_rejected(std::move(trailing));
+}
+
+TEST(CacheIo, SaveAndLoadThroughFilesystem) {
+  ExprPool pool;
+  TapeCache tapes;
+  const WarmState state = sample_state(pool, tapes);
+  const std::string path = testing::TempDir() + "cache_io_test.snapshot";
+  std::remove(path.c_str());
+
+  std::string error;
+  WarmState missing;
+  EXPECT_FALSE(load_snapshot(path, missing, &error));
+
+  ASSERT_TRUE(save_snapshot(path, state, &error)) << error;
+  WarmState loaded;
+  ASSERT_TRUE(load_snapshot(path, loaded, &error)) << error;
+  EXPECT_EQ(encode_snapshot(loaded), encode_snapshot(state));
+
+  // No temp file left behind by the atomic write.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(CacheIo, CacheSerializeFaultFailsSaveCleanly) {
+  core::FaultRegistry::clear();
+  ASSERT_TRUE(core::FaultRegistry::configure("cache_serialize:throw@1",
+                                             nullptr));
+  const std::string path = testing::TempDir() + "cache_io_fault.snapshot";
+  std::remove(path.c_str());
+
+  std::string error;
+  EXPECT_FALSE(save_snapshot(path, WarmState{}, &error));
+  EXPECT_FALSE(error.empty());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr) << "faulted save left a file";
+  if (f != nullptr) std::fclose(f);
+
+  // The fault fired once; the retry (next hit) succeeds.
+  EXPECT_TRUE(save_snapshot(path, WarmState{}, &error)) << error;
+  std::remove(path.c_str());
+  core::FaultRegistry::clear();
+}
+
+}  // namespace
+}  // namespace bcert::smt

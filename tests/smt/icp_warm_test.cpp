@@ -159,6 +159,54 @@ TEST(IcpWarm, WarmVsColdCandidateSequenceEquivalence) {
   EXPECT_GE(warm_hits, 3u);
 }
 
+TEST(IcpWarm, ImportedTreesRestoreWithoutChangingAnything) {
+  core::RuntimeConfig::active();
+  if (core::FaultRegistry::enabled()) {
+    GTEST_SKIP() << "fault injection armed: warm-start stats not stable";
+  }
+  // The snapshot contract (src/smt/cache_io.h): a process restored from
+  // exported trees must behave *bit-identically* to a fresh one on the
+  // same query sequence — not just same SAT/UNSAT answers but the same
+  // witnesses, because downstream the witness steers the LP ↔ SMT
+  // trajectory and every low-order certificate digit. Content-exact
+  // adoption guarantees this: an imported tree only ever seeds the
+  // byte-identical query it refuted before.
+  struct Step {
+    double coeff, eps;
+  };
+  const std::vector<Step> sequence = {
+      {1.20, kEps}, {1.22, kEps}, {1.30, -kEps}, {1.25, kEps},
+  };
+
+  ExprPool pool_a;
+  const auto cache_a = std::make_shared<UnsatTreeCache>();
+  const IcpSolver solver_a(pool_a, warm_config(cache_a));
+  std::vector<IcpResult> organic;
+  for (const Step& s : sequence) {
+    organic.push_back(
+        solver_a.solve(candidate_query(pool_a, s.coeff, s.eps), search_box()));
+  }
+
+  ExprPool pool_b;
+  const auto cache_b = std::make_shared<UnsatTreeCache>();
+  cache_b->import_entries(cache_a->export_entries());
+  const IcpSolver solver_b(pool_b, warm_config(cache_b));
+  for (std::size_t i = 0; i < sequence.size(); ++i) {
+    const Step& s = sequence[i];
+    const IcpResult restored =
+        solver_b.solve(candidate_query(pool_b, s.coeff, s.eps), search_box());
+    EXPECT_EQ(restored.verdict, organic[i].verdict) << "step " << i;
+    ASSERT_EQ(restored.witness.has_value(), organic[i].witness.has_value())
+        << "step " << i;
+    if (restored.witness.has_value()) {
+      // Bit-identical witness boxes, not merely valid ones.
+      EXPECT_TRUE(*restored.witness == *organic[i].witness) << "step " << i;
+    }
+  }
+  // The first refutation of the shape was answered from the import.
+  EXPECT_GE(cache_b->warm_restores(), 1u);
+}
+
 TEST(IcpWarm, StaleSeedSilentlyFallsBackToColdStart) {
   core::RuntimeConfig::active();
   if (core::FaultRegistry::enabled()) {
